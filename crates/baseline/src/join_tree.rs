@@ -1,0 +1,199 @@
+//! Join trees: connected subgraphs of the schema graph linking the relations
+//! that contain the query keywords (DISCOVER's "candidate networks").
+
+use precis_graph::SchemaGraph;
+use precis_storage::RelationId;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A join tree: the relations it spans and the join edges (schema-graph
+/// edge indices) connecting them. Join edges are treated as undirected here
+/// — a keyword join works either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTree {
+    relations: Vec<RelationId>,
+    edges: Vec<usize>,
+}
+
+impl JoinTree {
+    /// Grow a tree that connects `terminals` (one relation per keyword,
+    /// duplicates fine), attaching each terminal to the partial tree by a
+    /// shortest undirected path. Returns `None` if the terminals are not
+    /// connected or the tree would exceed `max_relations`.
+    pub fn connect(
+        graph: &SchemaGraph,
+        terminals: &[RelationId],
+        max_relations: usize,
+    ) -> Option<JoinTree> {
+        let (first, rest) = terminals.split_first()?;
+        let mut relations: Vec<RelationId> = vec![*first];
+        let mut edges: Vec<usize> = Vec::new();
+        for &t in rest {
+            if relations.contains(&t) {
+                continue;
+            }
+            let path = shortest_path(graph, &relations, t)?;
+            for (rel, edge) in path {
+                if !relations.contains(&rel) {
+                    relations.push(rel);
+                }
+                if !edges.contains(&edge) {
+                    edges.push(edge);
+                }
+            }
+            if relations.len() > max_relations {
+                return None;
+            }
+        }
+        Some(JoinTree { relations, edges })
+    }
+
+    pub fn relations(&self) -> &[RelationId] {
+        &self.relations
+    }
+
+    pub fn edges(&self) -> &[usize] {
+        &self.edges
+    }
+
+    /// Number of joins — the ranking criterion ("the number of joins", §2).
+    pub fn join_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Relations adjacent to `rel` within the tree, with the connecting edge.
+    pub fn neighbors(&self, graph: &SchemaGraph, rel: RelationId) -> Vec<(RelationId, usize)> {
+        self.edges
+            .iter()
+            .filter_map(|&e| {
+                let j = graph.join_edge(e);
+                if j.from == rel {
+                    Some((j.to, e))
+                } else if j.to == rel {
+                    Some((j.from, e))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// A canonical key for deduplicating trees found through different
+    /// terminal assignments.
+    pub fn canonical_key(&self) -> (BTreeSet<RelationId>, BTreeSet<usize>) {
+        (
+            self.relations.iter().copied().collect(),
+            self.edges.iter().copied().collect(),
+        )
+    }
+}
+
+/// BFS over the undirected join graph from any relation in `sources` to
+/// `target`. Returns the path as (relation, edge-into-it) pairs, excluding
+/// the source endpoint.
+fn shortest_path(
+    graph: &SchemaGraph,
+    sources: &[RelationId],
+    target: RelationId,
+) -> Option<Vec<(RelationId, usize)>> {
+    let mut prev: HashMap<RelationId, (RelationId, usize)> = HashMap::new();
+    let mut queue: VecDeque<RelationId> = sources.iter().copied().collect();
+    let mut seen: BTreeSet<RelationId> = sources.iter().copied().collect();
+    while let Some(rel) = queue.pop_front() {
+        if rel == target {
+            let mut path = Vec::new();
+            let mut cur = rel;
+            while let Some(&(p, e)) = prev.get(&cur) {
+                path.push((cur, e));
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for (i, j) in graph.join_edges().iter().enumerate() {
+            for (a, b) in [(j.from, j.to), (j.to, j.from)] {
+                if a == rel && seen.insert(b) {
+                    prev.insert(b, (rel, i));
+                    queue.push_back(b);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_storage::{DataType, DatabaseSchema, ForeignKey, RelationSchema};
+
+    /// A — B — C chain plus isolated D.
+    fn graph() -> SchemaGraph {
+        let mut s = DatabaseSchema::new("d");
+        for name in ["A", "B", "C", "D"] {
+            let mut b = RelationSchema::builder(name)
+                .attr_not_null("id", DataType::Int)
+                .primary_key("id");
+            if name == "B" {
+                b = b.attr("a_id", DataType::Int);
+            }
+            if name == "C" {
+                b = b.attr("b_id", DataType::Int);
+            }
+            s.add_relation(b.build().unwrap()).unwrap();
+        }
+        s.add_foreign_key(ForeignKey::new("B", "a_id", "A", "id")).unwrap();
+        s.add_foreign_key(ForeignKey::new("C", "b_id", "B", "id")).unwrap();
+        SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.9).unwrap()
+    }
+
+    fn rid(g: &SchemaGraph, n: &str) -> RelationId {
+        g.schema().relation_id(n).unwrap()
+    }
+
+    #[test]
+    fn single_terminal_is_a_leaf_tree() {
+        let g = graph();
+        let t = JoinTree::connect(&g, &[rid(&g, "A")], 5).unwrap();
+        assert_eq!(t.relations(), &[rid(&g, "A")]);
+        assert_eq!(t.join_count(), 0);
+    }
+
+    #[test]
+    fn connects_distant_terminals_via_bridge() {
+        let g = graph();
+        let t = JoinTree::connect(&g, &[rid(&g, "A"), rid(&g, "C")], 5).unwrap();
+        assert_eq!(t.relations().len(), 3, "A, bridge B, C");
+        assert_eq!(t.join_count(), 2);
+        let neighbors = t.neighbors(&g, rid(&g, "B"));
+        assert_eq!(neighbors.len(), 2);
+    }
+
+    #[test]
+    fn size_cap_rejects_large_trees() {
+        let g = graph();
+        assert!(JoinTree::connect(&g, &[rid(&g, "A"), rid(&g, "C")], 2).is_none());
+    }
+
+    #[test]
+    fn disconnected_terminals_fail() {
+        let g = graph();
+        assert!(JoinTree::connect(&g, &[rid(&g, "A"), rid(&g, "D")], 9).is_none());
+    }
+
+    #[test]
+    fn duplicate_terminals_collapse() {
+        let g = graph();
+        let a = rid(&g, "A");
+        let t = JoinTree::connect(&g, &[a, a, a], 5).unwrap();
+        assert_eq!(t.relations(), &[a]);
+        assert!(JoinTree::connect(&g, &[], 5).is_none());
+    }
+
+    #[test]
+    fn canonical_key_ignores_discovery_order() {
+        let g = graph();
+        let t1 = JoinTree::connect(&g, &[rid(&g, "A"), rid(&g, "C")], 5).unwrap();
+        let t2 = JoinTree::connect(&g, &[rid(&g, "C"), rid(&g, "A")], 5).unwrap();
+        assert_eq!(t1.canonical_key(), t2.canonical_key());
+    }
+}

@@ -1,0 +1,19 @@
+//! # precis-baseline
+//!
+//! A DISCOVER/DBXplorer-style **keyword search baseline** over the same
+//! storage, graph and index substrates as the précis engine.
+//!
+//! This is the class of system the paper positions précis queries against
+//! (§2): keyword matches are connected by *join trees* over the schema
+//! graph, and each tree is evaluated into **flattened rows** — single tuples
+//! concatenating attributes from every relation of the tree — ranked by the
+//! number of joins (fewer joins ≙ tighter connection, as in DBXplorer).
+//!
+//! Contrast with a précis: no surrounding information beyond the connecting
+//! path, no result schema, no constraints — just rows.
+
+mod join_tree;
+mod search;
+
+pub use join_tree::JoinTree;
+pub use search::{BaselineAnswer, FlatRow, KeywordSearch};

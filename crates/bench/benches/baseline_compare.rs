@@ -1,0 +1,42 @@
+//! Précis query answering vs. DISCOVER-style keyword search over the same
+//! database, index, and schema graph — the ablation for the Related Work
+//! contrast (§2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use precis_baseline::KeywordSearch;
+use precis_bench::workloads::bench_movies_db;
+use precis_core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
+use precis_datagen::movies_graph;
+use precis_index::InvertedIndex;
+use std::hint::black_box;
+
+fn bench_compare(c: &mut Criterion) {
+    let db = bench_movies_db(0xBA5E);
+    let graph = movies_graph();
+    let index = InvertedIndex::build(&db);
+
+    {
+        let ks_db = bench_movies_db(0xBA5E);
+        let ks_index = InvertedIndex::build(&ks_db);
+        let ks_graph = movies_graph();
+        c.bench_function("baseline/keyword_search_comedy", |b| {
+            let ks = KeywordSearch::new(&ks_db, &ks_graph, &ks_index);
+            b.iter(|| ks.search(black_box(&["comedy"]), 4, 200))
+        });
+    }
+
+    let engine = PrecisEngine::with_index(db, graph, index);
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.5),
+        CardinalityConstraint::MaxTotalTuples(200),
+    );
+    let query = PrecisQuery::new(["comedy"]);
+    c.bench_function("baseline/precis_comedy_200_tuples", |b| {
+        b.iter(|| engine.answer(black_box(&query), &spec).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! The two primitives of the paper's cost model (Formula 1): `IndexTime`
+//! (find the tuple ids for a value in an index) and `TupleTime` (read a
+//! tuple given its id). These micro-costs, multiplied by `c_R · n_R`, must
+//! predict the Result Database Generator's time (Formula 2) — the
+//! `experiments cost-model` binary prints the validation table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use precis_datagen::chain_db_fanout;
+use precis_storage::{TupleId, Value};
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let (db, graph) = chain_db_fanout(2, 10_000, 1, 3);
+    let r1 = graph.schema().relation_id("R1").unwrap();
+    let fk = graph.schema().relation(r1).attr_position("r0_id").unwrap();
+
+    c.bench_function("cost_model/index_time", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            db.lookup(r1, fk, black_box(&Value::from(i as i64))).unwrap().len()
+        })
+    });
+
+    c.bench_function("cost_model/tuple_time", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            db.fetch_from(r1, black_box(TupleId(i))).unwrap().arity()
+        })
+    });
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

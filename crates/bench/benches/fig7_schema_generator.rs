@@ -1,0 +1,50 @@
+//! Figure 7: Result Schema Generator execution time as a function of the
+//! degree constraint `d` (max projections in the answer).
+//!
+//! The paper's finding: "the execution time of the Result Schema Generator
+//! is very small even for large values of d" — overall negligible next to
+//! the Result Database Generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use precis_bench::figures::{fig7_large_graph, fig7_movies_graph};
+use precis_core::{generate_result_schema, DegreeConstraint};
+use precis_datagen::random_weight_graph;
+use precis_storage::RelationId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let mut group = c.benchmark_group("fig7/movies");
+    let movies = random_weight_graph(&fig7_movies_graph(), &mut rng);
+    for d in [2usize, 6, 10, 14] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let constraint = DegreeConstraint::TopProjections(d);
+            b.iter(|| {
+                generate_result_schema(
+                    black_box(&movies),
+                    black_box(&[RelationId(6)]), // DIRECTOR
+                    &constraint,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig7/tree15x60");
+    let large = random_weight_graph(&fig7_large_graph(), &mut rng);
+    for d in [10usize, 30, 60] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let constraint = DegreeConstraint::TopProjections(d);
+            b.iter(|| {
+                generate_result_schema(black_box(&large), black_box(&[RelationId(0)]), &constraint)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 8: Result Database Generator execution time as the per-relation
+//! cardinality `c_R` grows, with `n_R = 4` populated relations, NaïveQ.
+//!
+//! The paper's finding: time grows almost linearly with `c_R` (Formula 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use precis_bench::workloads::{
+    bench_movies_db, bench_movies_graph, connected_relation_sets, full_result_schema,
+    random_seed_tids, restrict_graph, run_db_generation,
+};
+use precis_core::RetrievalStrategy;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let db = bench_movies_db(0xF168);
+    let graph = bench_movies_graph();
+    let set = connected_relation_sets(&graph, 4)
+        .into_iter()
+        .next()
+        .expect("a connected 4-set exists");
+    let restricted = restrict_graph(&graph, &set);
+    let origin = set[0];
+    let schema = full_result_schema(&restricted, origin);
+
+    let mut group = c.benchmark_group("fig8/naiveq_n4");
+    for c_r in [10usize, 30, 50, 70, 90] {
+        let seeds = random_seed_tids(&db, origin, c_r, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(c_r), &c_r, |b, &c_r| {
+            b.iter(|| {
+                run_db_generation(
+                    black_box(&db),
+                    &restricted,
+                    &schema,
+                    origin,
+                    &seeds,
+                    c_r,
+                    RetrievalStrategy::NaiveQ,
+                    true,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 9: NaïveQ vs. Round-Robin as the number of populated relations
+//! `n_R` grows, at fixed `c_R = 50`.
+//!
+//! The paper's findings: time grows almost linearly with `n_R`, and
+//! Round-Robin costs more than NaïveQ (it opens one scan per join value and
+//! retrieves a single tuple at a time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use precis_bench::workloads::{full_result_schema, random_seed_tids_in_range, run_db_generation};
+use precis_core::RetrievalStrategy;
+use precis_datagen::chain_db_fanout;
+use std::hint::black_box;
+
+const C_R: usize = 50;
+const ROWS: usize = 2_000;
+const FANOUT: usize = 8;
+
+fn bench_fig9(c: &mut Criterion) {
+    for (label, strategy) in [
+        ("naiveq", RetrievalStrategy::NaiveQ),
+        ("round_robin", RetrievalStrategy::RoundRobin),
+    ] {
+        let mut group = c.benchmark_group(format!("fig9/{label}"));
+        for n_r in [2usize, 4, 8] {
+            let (db, graph) = chain_db_fanout(n_r, ROWS, FANOUT, 9 ^ n_r as u64);
+            let r0 = graph.schema().relation_id("R0").unwrap();
+            let schema = full_result_schema(&graph, r0);
+            let seeds = random_seed_tids_in_range(&db, r0, ROWS / FANOUT, C_R, 9);
+            group.bench_with_input(BenchmarkId::from_parameter(n_r), &n_r, |b, _| {
+                b.iter(|| {
+                    run_db_generation(
+                        black_box(&db),
+                        &graph,
+                        &schema,
+                        r0,
+                        &seeds,
+                        C_R,
+                        strategy,
+                        true,
+                    )
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Narrative synthesis cost (§5.3): how long the Translator takes to turn a
+//! précis answer into text, per answer size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use precis_core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
+use precis_datagen::{movies_graph, movies_vocabulary, MoviesConfig, MoviesGenerator};
+use precis_nlg::Translator;
+use std::hint::black_box;
+
+fn bench_translator(c: &mut Criterion) {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies: 1_000,
+        directors: 100,
+        actors: 400,
+        theatres: 20,
+        plays: 1_500,
+        seed: 31,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let vocab = movies_vocabulary(db.schema());
+    let engine = PrecisEngine::new(db, movies_graph()).expect("engine builds");
+
+    let mut group = c.benchmark_group("translator/narrate_comedy");
+    for per_rel in [5usize, 20, 50] {
+        let answer = engine
+            .answer(
+                &PrecisQuery::new(["comedy"]),
+                &AnswerSpec::new(
+                    DegreeConstraint::MinWeight(0.7),
+                    CardinalityConstraint::MaxTuplesPerRelation(per_rel),
+                ),
+            )
+            .expect("query answers");
+        group.bench_with_input(BenchmarkId::from_parameter(per_rel), &per_rel, |b, _| {
+            let t = Translator::new(engine.database(), engine.graph(), &vocab);
+            b.iter(|| t.translate(black_box(&answer)).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translator);
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! Regenerate every table/figure of the paper's evaluation as text tables.
+//!
+//! ```text
+//! cargo run --release -p precis-bench --bin experiments -- all
+//! cargo run --release -p precis-bench --bin experiments -- fig7
+//! ```
+//!
+//! Subcommands: `fig7`, `fig7-large`, `fig8`, `fig9`, `cost-model`,
+//! `ablation-pruning`, `ablation-indegree`, `baseline`, `all`.
+
+use precis_bench::figures::{
+    ablation_fast_schema_gen, ablation_in_degree, ablation_pruning, cost_model_validation, fig7,
+    fig7_large_graph, fig7_movies_graph, fig8, fig9,
+};
+use precis_bench::workloads::bench_movies_db;
+use precis_core::RetrievalStrategy;
+use std::time::Instant;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let t0 = Instant::now();
+    match arg.as_str() {
+        "fig7" => run_fig7(),
+        "fig7-large" => run_fig7_large(),
+        "fig8" => run_fig8(),
+        "fig9" => run_fig9(),
+        "cost-model" => run_cost_model(),
+        "ablation-pruning" => run_ablation_pruning(),
+        "ablation-fastgen" => run_ablation_fastgen(),
+        "ablation-indegree" => run_ablation_indegree(),
+        "baseline" => run_baseline(),
+        "all" => {
+            run_fig7();
+            run_fig7_large();
+            run_fig8();
+            run_fig9();
+            run_cost_model();
+            run_ablation_pruning();
+            run_ablation_fastgen();
+            run_ablation_indegree();
+            run_baseline();
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            eprintln!("expected: fig7 | fig7-large | fig8 | fig9 | cost-model | ablation-pruning | ablation-fastgen | ablation-indegree | baseline | all");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n(total wall time: {:.1}s)", t0.elapsed().as_secs_f64());
+}
+
+fn run_fig7() {
+    println!("\n## Figure 7 — Result Schema Generator time vs degree d");
+    println!("## movies schema graph, 20 random weight sets x 7 origin relations per point");
+    println!("{:>4}  {:>12}  {:>10}  {:>5}", "d", "mean (µs)", "accepted", "runs");
+    for p in fig7(&fig7_movies_graph(), &[1, 2, 4, 6, 8, 10, 12, 14], 20, 42) {
+        println!(
+            "{:>4}  {:>12.2}  {:>10.1}  {:>5}",
+            p.d,
+            p.mean_secs * 1e6,
+            p.mean_accepted,
+            p.runs
+        );
+    }
+}
+
+fn run_fig7_large() {
+    println!("\n## Figure 7 (extended) — 15-relation tree schema, 89 projection edges");
+    println!("{:>4}  {:>12}  {:>10}  {:>5}", "d", "mean (µs)", "accepted", "runs");
+    for p in fig7(&fig7_large_graph(), &[5, 10, 20, 30, 40, 50, 60], 20, 43) {
+        println!(
+            "{:>4}  {:>12.2}  {:>10.1}  {:>5}",
+            p.d,
+            p.mean_secs * 1e6,
+            p.mean_accepted,
+            p.runs
+        );
+    }
+}
+
+fn run_fig8() {
+    println!("\n## Figure 8 — Result Database Generator time vs c_R (n_R = 4, NaiveQ)");
+    println!("## synthetic movies db, 10 connected 4-relation sets x 4 origins x 5 seed sets");
+    let db = bench_movies_db(0xF168);
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>5}",
+        "c_R", "mean (µs)", "tuples", "runs"
+    );
+    for p in fig8(&db, &[10, 20, 30, 40, 50, 60, 70, 80, 90], 10, 5, 8) {
+        println!(
+            "{:>4}  {:>12.2}  {:>10.1}  {:>5}",
+            p.c_r,
+            p.mean_secs * 1e6,
+            p.mean_tuples,
+            p.runs
+        );
+    }
+}
+
+fn run_fig9() {
+    println!("\n## Figure 9 — NaiveQ vs Round-Robin time vs n_R (c_R = 50)");
+    println!("## chain databases, 2000 rows per relation, fan-out 8, 50 repeats");
+    println!(
+        "{:>4}  {:>14}  {:>14}  {:>8}",
+        "n_R", "naive (µs)", "rrobin (µs)", "rr/naive"
+    );
+    let pts = fig9(&[1, 2, 3, 4, 5, 6, 7, 8], 50, 2_000, 8, 50, 9);
+    for pair in pts.chunks(2) {
+        let naive = pair
+            .iter()
+            .find(|p| p.strategy == RetrievalStrategy::NaiveQ)
+            .expect("naive point");
+        let rr = pair
+            .iter()
+            .find(|p| p.strategy == RetrievalStrategy::RoundRobin)
+            .expect("round robin point");
+        println!(
+            "{:>4}  {:>14.2}  {:>14.2}  {:>8.2}",
+            naive.n_r,
+            naive.mean_secs * 1e6,
+            rr.mean_secs * 1e6,
+            rr.mean_secs / naive.mean_secs
+        );
+    }
+}
+
+fn run_cost_model() {
+    println!("\n## Formula 2 — cost model validation: Cost(D') = c_R * n_R * (IndexTime + TupleTime)");
+    let (model, pts) = cost_model_validation(&[10, 30, 50, 70, 90], &[2, 4, 6, 8], 2_000, 20, 11);
+    println!(
+        "## calibrated IndexTime = {:.1} ns, TupleTime = {:.1} ns",
+        model.index_time * 1e9,
+        model.tuple_time * 1e9
+    );
+    println!(
+        "{:>4}  {:>4}  {:>14}  {:>14}  {:>9}",
+        "c_R", "n_R", "measured (µs)", "predicted (µs)", "meas/pred"
+    );
+    for p in pts {
+        println!(
+            "{:>4}  {:>4}  {:>14.2}  {:>14.2}  {:>9.2}",
+            p.c_r,
+            p.n_r,
+            p.measured_secs * 1e6,
+            p.predicted_secs * 1e6,
+            p.ratio()
+        );
+    }
+}
+
+fn run_ablation_pruning() {
+    println!("\n## Ablation — best-first expansion pruning (identical results, less queue work)");
+    println!(
+        "{:>4}  {:>10}  {:>12}  {:>10}  {:>8}",
+        "w0", "pushed", "pushed(off)", "accepted", "saving"
+    );
+    for p in ablation_pruning(&fig7_movies_graph(), &[0.9, 0.7, 0.5, 0.3, 0.1], 20, 13) {
+        println!(
+            "{:>4}  {:>10}  {:>12}  {:>10}  {:>7.2}x",
+            p.w0,
+            p.with_pruning.pushed,
+            p.without_pruning.pushed,
+            p.with_pruning.accepted,
+            p.speedup_pushed
+        );
+    }
+}
+
+fn run_ablation_fastgen() {
+    println!("\n## Optimization — Figure 3 path enumeration vs Dijkstra variant");
+    println!("## layered all-to-all graph (5 layers x 3 relations, 3^4 = 81 root-to-leaf paths)");
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>8}  {:>8}",
+        "w0", "fig3 (µs)", "fast (µs)", "speedup", "attrs"
+    );
+    for p in ablation_fast_schema_gen(&[0.9, 0.7, 0.5, 0.3, 0.2, 0.1], 10, 5, 21) {
+        println!(
+            "{:>4}  {:>12.2}  {:>12.2}  {:>7.2}x  {:>8}",
+            p.w0,
+            p.fig3_secs * 1e6,
+            p.fast_secs * 1e6,
+            p.fig3_secs / p.fast_secs,
+            p.visible_attrs
+        );
+    }
+}
+
+fn run_ablation_indegree() {
+    println!("\n## Ablation — in-degree join postponement (tuples reached, two-origin query)");
+    let db = bench_movies_db(0xD0_D0);
+    println!(
+        "{:>6}  {:>12}  {:>14}",
+        "seeds", "postponed", "no postponing"
+    );
+    for p in ablation_in_degree(&db, &[5, 10, 20, 40], 17) {
+        println!(
+            "{:>6}  {:>12.0}  {:>14.0}",
+            p.seeds, p.tuples_with, p.tuples_without
+        );
+    }
+}
+
+fn run_baseline() {
+    use precis_baseline::KeywordSearch;
+    use precis_core::{
+        AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+    };
+    use precis_datagen::movies_graph;
+    use precis_index::InvertedIndex;
+
+    println!("\n## Baseline — precis vs DISCOVER-style keyword search (same substrate)");
+    let db = bench_movies_db(0xBA5E);
+    let graph = movies_graph();
+    let index = InvertedIndex::build(&db);
+
+    let token = "comedy";
+    let t0 = Instant::now();
+    let ks = KeywordSearch::new(&db, &graph, &index);
+    let answers = ks.search(&[token], 4, 200);
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    let baseline_rows: usize = answers.iter().map(|a| a.rows.len()).sum();
+
+    let engine = PrecisEngine::with_index(db, graph, index);
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.5),
+        CardinalityConstraint::MaxTotalTuples(200),
+    );
+    let t1 = Instant::now();
+    let answer = engine
+        .answer(&PrecisQuery::new([token]), &spec)
+        .expect("query answers");
+    let precis_secs = t1.elapsed().as_secs_f64();
+
+    println!("{:<22} {:>12} {:>10} {:>12}", "system", "time (ms)", "rows", "relations");
+    println!(
+        "{:<22} {:>12.2} {:>10} {:>12}",
+        "keyword search",
+        baseline_secs * 1e3,
+        baseline_rows,
+        answers.len()
+    );
+    println!(
+        "{:<22} {:>12.2} {:>10} {:>12}",
+        "precis (<=200 tuples)",
+        precis_secs * 1e3,
+        answer.precis.total_tuples(),
+        answer.precis.database.schema().relation_count()
+    );
+}

@@ -1,0 +1,268 @@
+//! Shared workload builders for the benches and the experiments binary.
+
+use precis_core::{
+    generate_result_database, generate_result_schema, CardinalityConstraint, DbGenOptions,
+    DegreeConstraint, PrecisDatabase, RetrievalStrategy,
+};
+use precis_datagen::{movies_graph, MoviesConfig, MoviesGenerator};
+use precis_graph::SchemaGraph;
+use precis_storage::{Database, RelationId, TupleId};
+use rand::prelude::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// The synthetic movies database used by the Figure 8 sweeps. Sized so that
+/// `c_R` up to 90 tuples per relation is always satisfiable.
+pub fn bench_movies_db(seed: u64) -> Database {
+    MoviesGenerator::new(MoviesConfig {
+        movies: 5_000,
+        directors: 400,
+        actors: 2_500,
+        theatres: 80,
+        plays: 8_000,
+        seed,
+        ..MoviesConfig::default()
+    })
+    .generate()
+}
+
+/// The paper's movies schema graph.
+pub fn bench_movies_graph() -> SchemaGraph {
+    movies_graph()
+}
+
+/// All connected relation subsets of size `k` of the (undirected) join
+/// graph — the paper's "sets of `k` relations, making sure that there is no
+/// relation in any set that does not join with another relation of this
+/// set".
+pub fn connected_relation_sets(graph: &SchemaGraph, k: usize) -> Vec<Vec<RelationId>> {
+    let n = graph.schema().relation_count();
+    let adjacent = |a: RelationId, b: RelationId| {
+        graph.find_join(a, b).is_some() || graph.find_join(b, a).is_some()
+    };
+    let mut out = Vec::new();
+    let mut subset: Vec<RelationId> = Vec::new();
+    fn grow(
+        n: usize,
+        k: usize,
+        start: usize,
+        subset: &mut Vec<RelationId>,
+        adjacent: &dyn Fn(RelationId, RelationId) -> bool,
+        out: &mut Vec<Vec<RelationId>>,
+    ) {
+        if subset.len() == k {
+            if is_connected(subset, adjacent) {
+                out.push(subset.clone());
+            }
+            return;
+        }
+        for i in start..n {
+            subset.push(RelationId(i));
+            grow(n, k, i + 1, subset, adjacent, out);
+            subset.pop();
+        }
+    }
+    fn is_connected(
+        rels: &[RelationId],
+        adjacent: &dyn Fn(RelationId, RelationId) -> bool,
+    ) -> bool {
+        let mut reached = vec![false; rels.len()];
+        reached[0] = true;
+        let mut frontier = vec![rels[0]];
+        while let Some(cur) = frontier.pop() {
+            for (i, &r) in rels.iter().enumerate() {
+                if !reached[i] && adjacent(cur, r) {
+                    reached[i] = true;
+                    frontier.push(r);
+                }
+            }
+        }
+        reached.into_iter().all(|x| x)
+    }
+    grow(n, k, 0, &mut subset, &adjacent, &mut out);
+    out
+}
+
+/// A copy of `graph` keeping only the edges inside `rels` (the sub-database
+/// the paper retrieves from in the Figure 8/9 experiments).
+pub fn restrict_graph(graph: &SchemaGraph, rels: &[RelationId]) -> SchemaGraph {
+    let schema = graph.schema().clone();
+    let name = |r: RelationId| schema.relation(r).name().to_owned();
+    let mut b = SchemaGraph::builder(schema.clone());
+    for p in graph.projection_edges() {
+        if rels.contains(&p.rel) {
+            b = b
+                .projection(
+                    &name(p.rel),
+                    schema.relation(p.rel).attr_name(p.attr),
+                    p.weight,
+                )
+                .expect("projection exists in source graph");
+        }
+    }
+    for j in graph.join_edges() {
+        if rels.contains(&j.from) && rels.contains(&j.to) {
+            b = b
+                .join(
+                    &name(j.from),
+                    schema.relation(j.from).attr_name(j.from_attr),
+                    &name(j.to),
+                    schema.relation(j.to).attr_name(j.to_attr),
+                    j.weight,
+                )
+                .expect("join exists in source graph");
+        }
+    }
+    b.build().expect("restricted graph is valid")
+}
+
+/// `count` random live tuple ids of `rel`.
+pub fn random_seed_tids(
+    db: &Database,
+    rel: RelationId,
+    count: usize,
+    seed: u64,
+) -> Vec<TupleId> {
+    let mut tids: Vec<TupleId> = db.table(rel).iter().map(|(tid, _)| tid).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    tids.shuffle(&mut rng);
+    tids.truncate(count);
+    tids
+}
+
+/// The result schema covering everything reachable from `origin` — computed
+/// once per experiment configuration so that timed runs measure *only* the
+/// Result Database Generator, like the paper's Figures 8–9.
+pub fn full_result_schema(graph: &SchemaGraph, origin: RelationId) -> precis_core::ResultSchema {
+    generate_result_schema(graph, &[origin], &DegreeConstraint::MinWeight(0.0))
+}
+
+/// One Result-Database-Generator run over a prepared result schema: returns
+/// the generated précis (timing is the caller's business so Criterion can
+/// wrap this directly).
+#[allow(clippy::too_many_arguments)]
+pub fn run_db_generation(
+    db: &Database,
+    graph: &SchemaGraph,
+    schema: &precis_core::ResultSchema,
+    origin: RelationId,
+    seed_tids: &[TupleId],
+    c_r: usize,
+    strategy: RetrievalStrategy,
+    postpone_by_in_degree: bool,
+) -> PrecisDatabase {
+    let seeds: HashMap<RelationId, Vec<TupleId>> =
+        HashMap::from([(origin, seed_tids.to_vec())]);
+    generate_result_database(
+        db,
+        graph,
+        schema,
+        &seeds,
+        &CardinalityConstraint::MaxTuplesPerRelation(c_r),
+        strategy,
+        &DbGenOptions {
+            repair_foreign_keys: false,
+            postpone_by_in_degree,
+            ..DbGenOptions::default()
+        },
+    )
+    .expect("generation succeeds")
+}
+
+/// Random tuple ids drawn from the first `range` tids of `rel` — used with
+/// [`precis_datagen::chain_db_fanout`], whose joining parents live in the
+/// leading id range.
+pub fn random_seed_tids_in_range(
+    db: &Database,
+    rel: RelationId,
+    range: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<TupleId> {
+    let mut tids: Vec<TupleId> = db
+        .table(rel)
+        .iter()
+        .map(|(tid, _)| tid)
+        .filter(|tid| tid.as_usize() < range)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    tids.shuffle(&mut rng);
+    tids.truncate(count);
+    tids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_sets_of_the_movies_schema() {
+        let g = bench_movies_graph();
+        let sets = connected_relation_sets(&g, 4);
+        assert!(!sets.is_empty());
+        // THEATRE-GENRE-ACTOR-DIRECTOR is not connected; make sure nothing
+        // like it sneaks in: every set must induce a connected subgraph.
+        for set in &sets {
+            assert_eq!(set.len(), 4);
+        }
+        let singles = connected_relation_sets(&g, 1);
+        assert_eq!(singles.len(), 7);
+    }
+
+    #[test]
+    fn restricted_graph_drops_outside_edges() {
+        let g = bench_movies_graph();
+        let s = g.schema();
+        let movie = s.relation_id("MOVIE").unwrap();
+        let genre = s.relation_id("GENRE").unwrap();
+        let director = s.relation_id("DIRECTOR").unwrap();
+        let r = restrict_graph(&g, &[movie, genre]);
+        assert!(r.find_join(movie, genre).is_some());
+        assert!(r.find_join(movie, director).is_none());
+        assert!(r
+            .projection_edges()
+            .iter()
+            .all(|p| p.rel == movie || p.rel == genre));
+    }
+
+    #[test]
+    fn db_generation_run_populates_the_set() {
+        let db = MoviesGenerator::new(MoviesConfig {
+            movies: 200,
+            directors: 30,
+            actors: 80,
+            theatres: 10,
+            plays: 300,
+            seed: 3,
+            ..MoviesConfig::default()
+        })
+        .generate();
+        let g = bench_movies_graph();
+        let s = g.schema();
+        let set = vec![
+            s.relation_id("DIRECTOR").unwrap(),
+            s.relation_id("MOVIE").unwrap(),
+            s.relation_id("GENRE").unwrap(),
+            s.relation_id("CAST").unwrap(),
+        ];
+        let restricted = restrict_graph(&g, &set);
+        let origin = set[0];
+        let seeds = random_seed_tids(&db, origin, 10, 1);
+        let schema = full_result_schema(&restricted, origin);
+        let p = run_db_generation(
+            &db,
+            &restricted,
+            &schema,
+            origin,
+            &seeds,
+            10,
+            RetrievalStrategy::NaiveQ,
+            true,
+        );
+        assert_eq!(p.collected.len(), 4, "all four relations populated");
+        for tids in p.collected.values() {
+            assert!(tids.len() <= 10);
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! # precis-cli
+//!
+//! Session logic behind the `precis` binary: command parsing and execution
+//! over a [`PrecisEngine`]. Kept as a library so the whole REPL surface is
+//! unit-testable without a terminal.
+
+use precis_core::{
+    explain, AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisAnswer, PrecisEngine,
+    PrecisQuery, RetrievalStrategy,
+};
+use precis_datagen::{
+    movies_graph, movies_vocabulary, woody_allen_instance, MoviesConfig, MoviesGenerator,
+};
+use precis_graph::{SchemaGraph, WeightProfile};
+use precis_nlg::{Translator, Vocabulary};
+use precis_storage::io::{dump_to_string, load_from_string};
+use precis_storage::Database;
+use std::fmt::Write as _;
+
+/// CLI help text (also shown by `help`).
+pub const HELP: &str = "\
+precis — interactive précis query explorer
+
+  precis --demo                  the paper's Woody Allen movies database
+  precis --synthetic <movies>    seeded synthetic movies database
+  precis --load <file>           a database saved with `save`
+  precis ... --exec 'cmd; cmd'   run commands non-interactively
+
+commands:
+  query <tokens>                 answer a précis query (quotes group phrases)
+  set degree minweight <w> | top <r> | maxlen <l>
+  set cardinality perrel <n> | total <n> | unbounded
+  set strategy naive | roundrobin | topweight
+  weight <REL.attr|FROM->TO> <w> override one edge weight for this session
+  weights reset                  drop all session weight overrides
+  schema                         show the database schema
+  settings                       show the current constraints and strategy
+  save <file>                    save the last answer's database as text
+  help                           this text
+  quit                           leave";
+
+/// Where the session's database comes from.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// The paper's hand-crafted Woody Allen instance + Figure 1 graph +
+    /// narrative vocabulary.
+    Demo,
+    /// Seeded synthetic movies database of the given size.
+    Synthetic { movies: usize },
+    /// A text dump produced by `save` (graph derived from foreign keys).
+    File(String),
+}
+
+/// The result of executing one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    Output(String),
+    Error(String),
+    Quit,
+}
+
+/// One interactive session: an engine plus mutable query settings.
+pub struct Session {
+    engine: PrecisEngine,
+    vocabulary: Option<Vocabulary>,
+    degree: DegreeConstraint,
+    cardinality: CardinalityConstraint,
+    strategy: RetrievalStrategy,
+    overrides: Vec<(String, f64)>,
+    base_graph: SchemaGraph,
+    last_answer: Option<PrecisAnswer>,
+    source_label: String,
+}
+
+impl Session {
+    /// Open a session over the given source.
+    pub fn open(source: Source) -> Result<Session, String> {
+        let (db, graph, vocabulary, label): (Database, SchemaGraph, Option<Vocabulary>, String) =
+            match source {
+                Source::Demo => {
+                    let db = woody_allen_instance();
+                    let vocab = movies_vocabulary(db.schema());
+                    (db, movies_graph(), Some(vocab), "demo movies database".into())
+                }
+                Source::Synthetic { movies } => {
+                    let db = MoviesGenerator::new(MoviesConfig {
+                        movies,
+                        directors: (movies / 8).max(1),
+                        actors: (movies / 2).max(1),
+                        theatres: (movies / 50).max(1),
+                        plays: movies * 2,
+                        ..MoviesConfig::default()
+                    })
+                    .generate();
+                    let vocab = movies_vocabulary(db.schema());
+                    (
+                        db,
+                        movies_graph(),
+                        Some(vocab),
+                        format!("synthetic movies database ({movies} movies)"),
+                    )
+                }
+                Source::File(path) => {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    let db = load_from_string(&text).map_err(|e| e.to_string())?;
+                    let graph = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.9, 0.8, 0.9)
+                        .map_err(|e| e.to_string())?;
+                    (db, graph, None, format!("database loaded from {path}"))
+                }
+            };
+        let base_graph = graph.clone();
+        let engine = PrecisEngine::new(db, graph).map_err(|e| e.to_string())?;
+        Ok(Session {
+            engine,
+            vocabulary,
+            degree: DegreeConstraint::MinWeight(0.9),
+            cardinality: CardinalityConstraint::MaxTuplesPerRelation(10),
+            strategy: RetrievalStrategy::RoundRobin,
+            overrides: Vec::new(),
+            base_graph,
+            last_answer: None,
+            source_label: label,
+        })
+    }
+
+    /// The greeting printed when the session starts.
+    pub fn banner(&self) -> String {
+        format!(
+            "précis explorer — {} ({} tuples, {} relations). Type `help` for commands.",
+            self.source_label,
+            self.engine.database().total_tuples(),
+            self.engine.database().schema().relation_count()
+        )
+    }
+
+    /// Parse and execute one command line.
+    pub fn execute(&mut self, line: &str) -> SessionOutcome {
+        let line = line.trim();
+        if line.is_empty() {
+            return SessionOutcome::Output(String::new());
+        }
+        let (verb, rest) = match line.find(char::is_whitespace) {
+            Some(p) => (&line[..p], line[p..].trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "help" => SessionOutcome::Output(HELP.to_owned()),
+            "quit" | "exit" => SessionOutcome::Quit,
+            "query" | "q" => self.run_query(rest),
+            "set" => self.run_set(rest),
+            "weight" => self.run_weight(rest),
+            "weights" if rest == "reset" => {
+                self.overrides.clear();
+                SessionOutcome::Output("weight overrides cleared".into())
+            }
+            "schema" => SessionOutcome::Output(self.render_schema()),
+            "settings" => SessionOutcome::Output(self.render_settings()),
+            "save" => self.run_save(rest),
+            other => SessionOutcome::Error(format!("unknown command {other:?} (try `help`)")),
+        }
+    }
+
+    fn current_graph(&self) -> Result<SchemaGraph, String> {
+        if self.overrides.is_empty() {
+            return Ok(self.base_graph.clone());
+        }
+        let mut profile = WeightProfile::new("session");
+        for (edge, w) in &self.overrides {
+            profile = profile.set(edge.clone(), *w);
+        }
+        self.base_graph
+            .with_profile(&profile)
+            .map_err(|e| e.to_string())
+    }
+
+    fn run_query(&mut self, tokens: &str) -> SessionOutcome {
+        if tokens.is_empty() {
+            return SessionOutcome::Error("query needs tokens".into());
+        }
+        let graph = match self.current_graph() {
+            Ok(g) => g,
+            Err(e) => return SessionOutcome::Error(e),
+        };
+        // Rebuild an engine view with the session graph (cheap: index and
+        // database are shared by reference inside the engine, so we answer
+        // through a temporary engine over the same data).
+        let spec = AnswerSpec::new(self.degree.clone(), self.cardinality.clone())
+            .with_strategy(self.strategy);
+        let query = PrecisQuery::parse(tokens);
+        let answer = {
+            // The engine owns its graph; apply session overrides by
+            // registering them as a one-off profile.
+            let mut engine_spec = spec;
+            if !self.overrides.is_empty() {
+                let mut profile = WeightProfile::new("__session");
+                for (edge, w) in &self.overrides {
+                    profile = profile.set(edge.clone(), *w);
+                }
+                self.engine.register_profile(profile);
+                engine_spec = engine_spec.with_profile("__session");
+            }
+            match self.engine.answer(&query, &engine_spec) {
+                Ok(a) => a,
+                Err(e) => return SessionOutcome::Error(e.to_string()),
+            }
+        };
+
+        let mut out = String::new();
+        let unmatched = answer.unmatched_tokens();
+        if !unmatched.is_empty() {
+            let _ = writeln!(out, "(no matches for: {})", unmatched.join(", "));
+        }
+        let _ = write!(out, "{}", explain::explain_schema(&graph, &answer.schema));
+        let _ = write!(
+            out,
+            "{}",
+            explain::explain_precis(self.engine.database(), &answer.precis)
+        );
+        // Narrate with the designer vocabulary when we have one; otherwise
+        // fall back to generic mechanical clauses so loaded databases still
+        // read as text.
+        let fallback_vocab = Vocabulary::new();
+        let translator = match &self.vocabulary {
+            Some(vocab) => Translator::new(self.engine.database(), self.engine.graph(), vocab),
+            None => Translator::new(self.engine.database(), self.engine.graph(), &fallback_vocab)
+                .with_generic_fallback(),
+        };
+        match translator.translate_ranked(&answer) {
+            Ok(narratives) => {
+                for n in narratives {
+                    let _ = writeln!(out, "\n[{} — {}]\n{}", n.token, n.relation, n.text);
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "(narrative unavailable: {e})");
+            }
+        }
+        self.last_answer = Some(answer);
+        SessionOutcome::Output(out)
+    }
+
+    fn run_set(&mut self, rest: &str) -> SessionOutcome {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        match parts.as_slice() {
+            ["degree", "minweight", w] => match w.parse::<f64>() {
+                Ok(w) if (0.0..=1.0).contains(&w) => {
+                    self.degree = DegreeConstraint::MinWeight(w);
+                    SessionOutcome::Output(format!("degree: projections with weight >= {w}"))
+                }
+                _ => SessionOutcome::Error("minweight needs a number in [0, 1]".into()),
+            },
+            ["degree", "top", r] => match r.parse::<usize>() {
+                Ok(r) => {
+                    self.degree = DegreeConstraint::TopProjections(r);
+                    SessionOutcome::Output(format!("degree: top {r} projections"))
+                }
+                Err(_) => SessionOutcome::Error("top needs a count".into()),
+            },
+            ["degree", "maxlen", l] => match l.parse::<usize>() {
+                Ok(l) => {
+                    self.degree = DegreeConstraint::MaxPathLength(l);
+                    SessionOutcome::Output(format!("degree: paths of at most {l} edges"))
+                }
+                Err(_) => SessionOutcome::Error("maxlen needs a count".into()),
+            },
+            ["cardinality", "perrel", n] => match n.parse::<usize>() {
+                Ok(n) => {
+                    self.cardinality = CardinalityConstraint::MaxTuplesPerRelation(n);
+                    SessionOutcome::Output(format!("cardinality: at most {n} tuples per relation"))
+                }
+                Err(_) => SessionOutcome::Error("perrel needs a count".into()),
+            },
+            ["cardinality", "total", n] => match n.parse::<usize>() {
+                Ok(n) => {
+                    self.cardinality = CardinalityConstraint::MaxTotalTuples(n);
+                    SessionOutcome::Output(format!("cardinality: at most {n} tuples in total"))
+                }
+                Err(_) => SessionOutcome::Error("total needs a count".into()),
+            },
+            ["cardinality", "unbounded"] => {
+                self.cardinality = CardinalityConstraint::Unbounded;
+                SessionOutcome::Output("cardinality: unbounded".into())
+            }
+            ["strategy", s] => match *s {
+                "naive" => {
+                    self.strategy = RetrievalStrategy::NaiveQ;
+                    SessionOutcome::Output("strategy: NaiveQ".into())
+                }
+                "roundrobin" => {
+                    self.strategy = RetrievalStrategy::RoundRobin;
+                    SessionOutcome::Output("strategy: Round-Robin".into())
+                }
+                "topweight" => {
+                    self.strategy = RetrievalStrategy::TopWeight;
+                    SessionOutcome::Output("strategy: TopWeight".into())
+                }
+                other => SessionOutcome::Error(format!(
+                    "unknown strategy {other:?} (naive | roundrobin | topweight)"
+                )),
+            },
+            _ => SessionOutcome::Error(
+                "usage: set degree|cardinality|strategy ... (see `help`)".into(),
+            ),
+        }
+    }
+
+    fn run_weight(&mut self, rest: &str) -> SessionOutcome {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [edge, w] = parts.as_slice() else {
+            return SessionOutcome::Error("usage: weight <REL.attr|FROM->TO> <w>".into());
+        };
+        let Ok(w) = w.parse::<f64>() else {
+            return SessionOutcome::Error("weight needs a number".into());
+        };
+        // Validate the override eagerly against the base graph.
+        let trial = WeightProfile::new("trial").set(edge.to_string(), w);
+        if let Err(e) = self.base_graph.with_profile(&trial) {
+            return SessionOutcome::Error(e.to_string());
+        }
+        self.overrides.retain(|(e, _)| e != edge);
+        self.overrides.push((edge.to_string(), w));
+        SessionOutcome::Output(format!("weight override: {edge} = {w}"))
+    }
+
+    fn run_save(&mut self, path: &str) -> SessionOutcome {
+        if path.is_empty() {
+            return SessionOutcome::Error("save needs a path".into());
+        }
+        let Some(answer) = &self.last_answer else {
+            return SessionOutcome::Error("nothing to save — run a query first".into());
+        };
+        let text = dump_to_string(&answer.precis.database);
+        match std::fs::write(path, &text) {
+            Ok(()) => SessionOutcome::Output(format!(
+                "saved {} tuples ({} bytes) to {path}",
+                answer.precis.total_tuples(),
+                text.len()
+            )),
+            Err(e) => SessionOutcome::Error(format!("cannot write {path}: {e}")),
+        }
+    }
+
+    fn render_schema(&self) -> String {
+        let mut out = String::new();
+        let schema = self.engine.database().schema();
+        let _ = writeln!(out, "database {:?}", schema.name());
+        for (rel, r) in schema.relations() {
+            let attrs: Vec<String> = r
+                .attributes()
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let pk = if r.primary_key() == Some(i) { "*" } else { "" };
+                    format!("{pk}{}:{}", a.name, a.ty)
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {}({}) — {} tuples",
+                r.name(),
+                attrs.join(", "),
+                self.engine.database().len(rel)
+            );
+        }
+        for fk in schema.foreign_keys() {
+            let _ = writeln!(
+                out,
+                "  fk {}.{} -> {}.{}",
+                fk.relation, fk.attribute, fk.ref_relation, fk.ref_attribute
+            );
+        }
+        out
+    }
+
+    fn render_settings(&self) -> String {
+        let degree = match &self.degree {
+            DegreeConstraint::MinWeight(w) => format!("projections with weight >= {w}"),
+            DegreeConstraint::TopProjections(r) => format!("top {r} projections"),
+            DegreeConstraint::MaxPathLength(l) => format!("paths of at most {l} edges"),
+            DegreeConstraint::All(_) => "composite".to_owned(),
+        };
+        let cardinality = match &self.cardinality {
+            CardinalityConstraint::MaxTuplesPerRelation(n) => {
+                format!("at most {n} tuples per relation")
+            }
+            CardinalityConstraint::MaxTotalTuples(n) => format!("at most {n} tuples in total"),
+            CardinalityConstraint::Unbounded => "unbounded".to_owned(),
+            CardinalityConstraint::All(_) => "composite".to_owned(),
+        };
+        let strategy = match self.strategy {
+            RetrievalStrategy::NaiveQ => "NaiveQ",
+            RetrievalStrategy::RoundRobin => "Round-Robin",
+            RetrievalStrategy::TopWeight => "TopWeight",
+        };
+        let mut out = format!(
+            "degree:      {degree}\ncardinality: {cardinality}\nstrategy:    {strategy}"
+        );
+        if !self.overrides.is_empty() {
+            out.push_str("\noverrides:");
+            for (e, w) in &self.overrides {
+                let _ = write!(out, " {e}={w}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Session {
+        Session::open(Source::Demo).expect("demo opens")
+    }
+
+    fn output(s: SessionOutcome) -> String {
+        match s {
+            SessionOutcome::Output(t) => t,
+            other => panic!("expected output, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn banner_and_schema() {
+        let s = demo();
+        assert!(s.banner().contains("demo movies database"));
+        let schema = s.render_schema();
+        assert!(schema.contains("MOVIE(*mid:INT"));
+        assert!(schema.contains("fk MOVIE.did -> DIRECTOR.did"));
+    }
+
+    #[test]
+    fn query_produces_schema_data_and_narrative() {
+        let mut s = demo();
+        let out = output(s.execute(r#"query "Woody Allen""#));
+        assert!(out.contains("result schema"), "{out}");
+        assert!(out.contains("précis database"));
+        assert!(out.contains("As a director, Woody Allen's work includes"));
+    }
+
+    #[test]
+    fn settings_commands_change_behavior() {
+        let mut s = demo();
+        output(s.execute("set degree top 2"));
+        output(s.execute("set cardinality total 4"));
+        output(s.execute("set strategy naive"));
+        let settings = output(s.execute("settings"));
+        assert!(settings.contains("top 2 projections"));
+        assert!(settings.contains("at most 4 tuples in total"));
+        assert!(settings.contains("NaiveQ"));
+        let out = output(s.execute("query woody"));
+        assert!(out.contains("précis database"));
+    }
+
+    #[test]
+    fn weight_overrides_change_the_answer() {
+        let mut s = demo();
+        let before = output(s.execute(r#"query "Woody Allen""#));
+        assert!(before.contains("GENRE"));
+        output(s.execute("weight MOVIE->GENRE 0.1"));
+        let after = output(s.execute(r#"query "Woody Allen""#));
+        assert!(!after.contains("GENRE (in-degree"), "{after}");
+        output(s.execute("weights reset"));
+        let restored = output(s.execute(r#"query "Woody Allen""#));
+        assert!(restored.contains("GENRE"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut s = demo();
+        assert!(matches!(s.execute("nonsense"), SessionOutcome::Error(_)));
+        assert!(matches!(s.execute("query"), SessionOutcome::Error(_)));
+        assert!(matches!(
+            s.execute("set degree minweight 2.0"),
+            SessionOutcome::Error(_)
+        ));
+        assert!(matches!(
+            s.execute("weight NOPE->NADA 0.5"),
+            SessionOutcome::Error(_)
+        ));
+        assert!(matches!(s.execute("save /tmp/x"), SessionOutcome::Error(_)));
+        assert!(matches!(s.execute("quit"), SessionOutcome::Quit));
+        // Blank lines are fine.
+        assert_eq!(s.execute("   "), SessionOutcome::Output(String::new()));
+    }
+
+    #[test]
+    fn save_and_reload_round_trip() {
+        let mut s = demo();
+        output(s.execute(r#"query "Woody Allen""#));
+        let path = std::env::temp_dir().join("precis_cli_test.precisdb");
+        let path_str = path.to_str().unwrap().to_owned();
+        let out = output(s.execute(&format!("save {path_str}")));
+        assert!(out.contains("saved"));
+        let mut loaded = Session::open(Source::File(path_str)).unwrap();
+        let schema = output(loaded.execute("schema"));
+        assert!(schema.contains("MOVIE"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn loaded_databases_narrate_with_generic_fallback() {
+        let mut s = demo();
+        output(s.execute(r#"query "Woody Allen""#));
+        let path = std::env::temp_dir().join("precis_cli_fallback.precisdb");
+        let path_str = path.to_str().unwrap().to_owned();
+        output(s.execute(&format!("save {path_str}")));
+        let mut loaded = Session::open(Source::File(path_str)).unwrap();
+        output(loaded.execute("set degree minweight 0.5"));
+        let out = output(loaded.execute("query woody"));
+        // No designer vocabulary for loaded dumps, so generic clauses apply.
+        assert!(out.contains("DIRECTOR:"), "{out}");
+        assert!(out.contains("dname = Woody Allen"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn synthetic_source_opens_and_answers() {
+        let mut s = Session::open(Source::Synthetic { movies: 100 }).unwrap();
+        let out = output(s.execute("query comedy"));
+        assert!(out.contains("précis database"));
+    }
+}

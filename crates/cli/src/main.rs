@@ -1,0 +1,109 @@
+//! The `precis` binary: an interactive explorer for précis queries — the
+//! "appropriate user interface" the paper imagines for setting weights at
+//! query time and exploring a database interactively (§3.1).
+//!
+//! ```text
+//! precis --demo                       # the paper's Woody Allen database
+//! precis --synthetic 2000            # seeded synthetic movies database
+//! precis --load dump.precisdb        # a database saved with `save`
+//! precis --demo --exec 'query "Woody Allen"; quit'   # scripted
+//! ```
+
+use precis_cli::{Session, SessionOutcome};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut source = None;
+    let mut exec: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => source = Some(precis_cli::Source::Demo),
+            "--synthetic" => {
+                i += 1;
+                let movies = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--synthetic needs a movie count"));
+                source = Some(precis_cli::Source::Synthetic { movies });
+            }
+            "--load" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| usage("--load needs a path"));
+                source = Some(precis_cli::Source::File(path));
+            }
+            "--exec" => {
+                i += 1;
+                exec = Some(args.get(i).cloned().unwrap_or_else(|| usage("--exec needs commands")));
+            }
+            "--help" | "-h" => {
+                println!("{}", precis_cli::HELP);
+                return;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    let source = source.unwrap_or(precis_cli::Source::Demo);
+    let mut session = match Session::open(source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", session.banner());
+
+    if let Some(script) = exec {
+        for command in script.split(';') {
+            if run_one(&mut session, command) {
+                return;
+            }
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("precis> ");
+        let _ = std::io::stdout().flush();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                if run_one(&mut session, &line) {
+                    return;
+                }
+            }
+            Err(e) => {
+                eprintln!("input error: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Returns true when the session should end.
+fn run_one(session: &mut Session, command: &str) -> bool {
+    match session.execute(command) {
+        SessionOutcome::Output(text) => {
+            if !text.is_empty() {
+                println!("{text}");
+            }
+            false
+        }
+        SessionOutcome::Error(text) => {
+            eprintln!("error: {text}");
+            false
+        }
+        SessionOutcome::Quit => true,
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{}", precis_cli::HELP);
+    std::process::exit(2)
+}

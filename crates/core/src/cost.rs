@@ -1,0 +1,158 @@
+//! The cost model of the Result Database Generator (paper §6).
+//!
+//! Formula (1): `Cost(D′) = Σᵢ card(R′ᵢ) · (IndexTime + TupleTime)` — each
+//! retrieved tuple pays one index probe and one tuple read.
+//!
+//! Formula (2): with a per-relation cardinality cap c_R and n_R populated
+//! relations, `Cost(D′) = c_R · n_R · (IndexTime + TupleTime)`.
+//!
+//! Formula (3): given a response-time budget cost_M,
+//! `c_R = cost_M / (n_R · (IndexTime + TupleTime))` — constraints can be
+//! derived from desired latency.
+
+use precis_storage::{Database, RelationId, StatsSnapshot, Value};
+use std::time::Instant;
+
+/// Calibrated micro-costs of the two storage primitives, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Seconds to find the tuple ids for a value in an index (`IndexTime`).
+    pub index_time: f64,
+    /// Seconds to read a tuple given its id (`TupleTime`).
+    pub tuple_time: f64,
+}
+
+impl CostModel {
+    pub fn new(index_time: f64, tuple_time: f64) -> Self {
+        CostModel {
+            index_time,
+            tuple_time,
+        }
+    }
+
+    /// Formula (2): predicted generation cost in seconds for `c_r` tuples
+    /// per relation across `n_r` relations.
+    pub fn predict(&self, c_r: usize, n_r: usize) -> f64 {
+        (c_r * n_r) as f64 * (self.index_time + self.tuple_time)
+    }
+
+    /// Formula (1) generalized to measured event counts: probes and reads
+    /// priced separately.
+    pub fn predict_from_counts(&self, s: StatsSnapshot) -> f64 {
+        s.index_probes as f64 * self.index_time + s.tuple_reads as f64 * self.tuple_time
+    }
+
+    /// Formula (3): the per-relation cardinality constraint affordable
+    /// within `cost_m` seconds when `n_r` relations will be populated.
+    pub fn cardinality_for_budget(&self, cost_m: f64, n_r: usize) -> usize {
+        if n_r == 0 || self.index_time + self.tuple_time <= 0.0 {
+            return usize::MAX;
+        }
+        (cost_m / (n_r as f64 * (self.index_time + self.tuple_time))).floor() as usize
+    }
+
+    /// Measure `IndexTime` and `TupleTime` on a live database by timing
+    /// repeated probes of `rel.attr` with the given sample values.
+    ///
+    /// Values absent from the index still measure probe cost; tuple reads
+    /// are measured over the tuples the probes return.
+    pub fn calibrate(
+        db: &Database,
+        rel: RelationId,
+        attr: usize,
+        sample_values: &[Value],
+        rounds: usize,
+    ) -> Option<CostModel> {
+        if sample_values.is_empty() || rounds == 0 {
+            return None;
+        }
+        let mut probes = 0u64;
+        let mut reads = 0u64;
+        let mut probe_secs = 0.0f64;
+        let mut read_secs = 0.0f64;
+        for _ in 0..rounds {
+            for v in sample_values {
+                let t0 = Instant::now();
+                let tids = db.lookup(rel, attr, v).ok()?.to_vec();
+                probe_secs += t0.elapsed().as_secs_f64();
+                probes += 1;
+                let t1 = Instant::now();
+                for tid in tids {
+                    let _ = db.fetch_from(rel, tid).ok()?;
+                    reads += 1;
+                }
+                read_secs += t1.elapsed().as_secs_f64();
+            }
+        }
+        if probes == 0 || reads == 0 {
+            return None;
+        }
+        Some(CostModel {
+            index_time: probe_secs / probes as f64,
+            tuple_time: read_secs / reads as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_storage::{DataType, DatabaseSchema, RelationSchema};
+
+    #[test]
+    fn formula_two_is_bilinear() {
+        let m = CostModel::new(1e-6, 2e-6);
+        let c1 = m.predict(10, 4);
+        assert!((c1 - 10.0 * 4.0 * 3e-6).abs() < 1e-12);
+        assert!((m.predict(20, 4) - 2.0 * c1).abs() < 1e-12);
+        assert!((m.predict(10, 8) - 2.0 * c1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_prediction_prices_events_separately() {
+        let m = CostModel::new(1.0, 10.0);
+        let s = StatsSnapshot {
+            index_probes: 3,
+            tuple_reads: 2,
+        };
+        assert!((m.predict_from_counts(s) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formula_three_inverts_formula_two() {
+        let m = CostModel::new(1e-6, 2e-6);
+        let budget = m.predict(50, 4);
+        assert_eq!(m.cardinality_for_budget(budget, 4), 50);
+        assert_eq!(m.cardinality_for_budget(1.0, 0), usize::MAX);
+        let degenerate = CostModel::new(0.0, 0.0);
+        assert_eq!(degenerate.cardinality_for_budget(1.0, 4), usize::MAX);
+    }
+
+    #[test]
+    fn calibration_measures_positive_times() {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("R")
+                .attr_not_null("id", DataType::Int)
+                .attr("k", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(s).unwrap();
+        let r = db.schema().relation_id("R").unwrap();
+        db.create_index(r, 1);
+        for i in 0..100 {
+            db.insert("R", vec![Value::from(i), Value::from(i % 10)])
+                .unwrap();
+        }
+        let samples: Vec<Value> = (0..10).map(Value::from).collect();
+        let m = CostModel::calibrate(&db, r, 1, &samples, 5).unwrap();
+        assert!(m.index_time > 0.0);
+        assert!(m.tuple_time > 0.0);
+        // Empty input is rejected.
+        assert!(CostModel::calibrate(&db, r, 1, &[], 5).is_none());
+        assert!(CostModel::calibrate(&db, r, 1, &samples, 0).is_none());
+    }
+}

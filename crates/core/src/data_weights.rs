@@ -1,0 +1,203 @@
+//! Weights on data values — the paper's §7 ongoing work: "we are
+//! investigating the possibility of having weights on data values as well."
+//!
+//! A [`TupleWeights`] registry assigns every tuple an importance in [0, 1].
+//! Combined with [`crate::RetrievalStrategy::TopWeight`], the Result
+//! Database Generator retrieves the most important joining tuples first, so
+//! a tight cardinality constraint keeps a movie's blockbusters rather than
+//! whichever tuples the index happened to list first.
+
+use crate::error::CoreError;
+use crate::Result;
+use precis_storage::{Database, RelationId, TupleId, Value};
+use std::collections::HashMap;
+
+/// Per-tuple importance weights, defaulting to `default_weight` for tuples
+/// without an explicit entry.
+#[derive(Debug, Clone)]
+pub struct TupleWeights {
+    weights: HashMap<(RelationId, TupleId), f64>,
+    default_weight: f64,
+}
+
+impl Default for TupleWeights {
+    fn default() -> Self {
+        TupleWeights {
+            weights: HashMap::new(),
+            default_weight: 0.5,
+        }
+    }
+}
+
+impl TupleWeights {
+    pub fn new(default_weight: f64) -> Result<Self> {
+        check(default_weight)?;
+        Ok(TupleWeights {
+            weights: HashMap::new(),
+            default_weight,
+        })
+    }
+
+    /// Set one tuple's weight (must be within [0, 1]).
+    pub fn set(&mut self, rel: RelationId, tid: TupleId, weight: f64) -> Result<()> {
+        check(weight)?;
+        self.weights.insert((rel, tid), weight);
+        Ok(())
+    }
+
+    /// The weight of a tuple.
+    pub fn get(&self, rel: RelationId, tid: TupleId) -> f64 {
+        self.weights
+            .get(&(rel, tid))
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+
+    /// Number of explicit entries.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Derive weights for one relation from a numeric attribute (a rating,
+    /// a popularity count, a recency year …), min-max normalized into
+    /// [0, 1]. Tuples with NULL or non-numeric values keep the default.
+    pub fn load_from_attribute(
+        &mut self,
+        db: &Database,
+        rel: RelationId,
+        attr: usize,
+    ) -> Result<usize> {
+        let numeric = |v: &Value| -> Option<f64> {
+            match v {
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        };
+        let values: Vec<(TupleId, f64)> = db
+            .table(rel)
+            .iter()
+            .filter_map(|(tid, t)| numeric(&t[attr]).map(|x| (tid, x)))
+            .collect();
+        let (min, max) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, x)| {
+            (lo.min(x), hi.max(x))
+        });
+        if values.is_empty() {
+            return Ok(0);
+        }
+        let span = max - min;
+        for (tid, x) in &values {
+            let w = if span > 0.0 { (x - min) / span } else { 1.0 };
+            self.set(rel, *tid, w)?;
+        }
+        Ok(values.len())
+    }
+
+    /// Sort tids by descending weight (stable on ties, so index order is the
+    /// tiebreak).
+    pub(crate) fn order_desc(&self, rel: RelationId, tids: &mut [TupleId]) {
+        tids.sort_by(|a, b| self.get(rel, *b).total_cmp(&self.get(rel, *a)));
+    }
+}
+
+fn check(w: f64) -> Result<()> {
+    if (0.0..=1.0).contains(&w) {
+        Ok(())
+    } else {
+        Err(CoreError::Graph(precis_graph::GraphError::WeightOutOfRange(
+            w,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_storage::{DataType, DatabaseSchema, RelationSchema};
+
+    fn db_with_ratings() -> Database {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("M")
+                .attr_not_null("id", DataType::Int)
+                .attr("rating", DataType::Float)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(s).unwrap();
+        for (id, r) in [(1, 2.0), (2, 8.0), (3, 5.0)] {
+            db.insert("M", vec![Value::from(id), Value::from(r)]).unwrap();
+        }
+        db.insert("M", vec![Value::from(4), Value::Null]).unwrap();
+        db
+    }
+
+    #[test]
+    fn defaults_and_explicit_weights() {
+        let mut w = TupleWeights::new(0.3).unwrap();
+        let rel = RelationId(0);
+        assert_eq!(w.get(rel, TupleId(7)), 0.3);
+        w.set(rel, TupleId(7), 0.9).unwrap();
+        assert_eq!(w.get(rel, TupleId(7)), 0.9);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+        assert!(w.set(rel, TupleId(1), 1.5).is_err());
+        assert!(TupleWeights::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn attribute_loading_normalizes_min_max() {
+        let db = db_with_ratings();
+        let rel = db.schema().relation_id("M").unwrap();
+        let mut w = TupleWeights::default();
+        let loaded = w.load_from_attribute(&db, rel, 1).unwrap();
+        assert_eq!(loaded, 3, "NULL row skipped");
+        assert_eq!(w.get(rel, TupleId(0)), 0.0); // rating 2.0 = min
+        assert_eq!(w.get(rel, TupleId(1)), 1.0); // rating 8.0 = max
+        assert_eq!(w.get(rel, TupleId(2)), 0.5); // rating 5.0
+        assert_eq!(w.get(rel, TupleId(3)), 0.5, "NULL keeps default");
+    }
+
+    #[test]
+    fn constant_attribute_maps_to_full_weight() {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("M")
+                .attr_not_null("id", DataType::Int)
+                .attr("year", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(s).unwrap();
+        for id in 0..3 {
+            db.insert("M", vec![Value::from(id), Value::from(1999)])
+                .unwrap();
+        }
+        let rel = db.schema().relation_id("M").unwrap();
+        let mut w = TupleWeights::default();
+        w.load_from_attribute(&db, rel, 1).unwrap();
+        for id in 0..3 {
+            assert_eq!(w.get(rel, TupleId(id)), 1.0);
+        }
+    }
+
+    #[test]
+    fn ordering_is_descending_with_stable_ties() {
+        let mut w = TupleWeights::new(0.5).unwrap();
+        let rel = RelationId(0);
+        w.set(rel, TupleId(0), 0.1).unwrap();
+        w.set(rel, TupleId(1), 0.9).unwrap();
+        // TupleId(2) and TupleId(3) share the default 0.5.
+        let mut tids = vec![TupleId(0), TupleId(2), TupleId(1), TupleId(3)];
+        w.order_desc(rel, &mut tids);
+        assert_eq!(tids, vec![TupleId(1), TupleId(2), TupleId(3), TupleId(0)]);
+    }
+}

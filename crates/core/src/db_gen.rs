@@ -1,0 +1,1008 @@
+//! The **Result Database Generator** (paper §5.2, Figure 5).
+//!
+//! Produces the result database D′ for a result schema D′: seeds the
+//! relations containing query tokens with their matching tuples, then walks
+//! the used join edges in decreasing weight order, retrieving the tuples of
+//! the destination relation that join to the tuples already collected in the
+//! source relation. No actual join query is ever executed — only selections
+//! by tuple id and by join-attribute value.
+//!
+//! Two retrieval strategies bound each step by the cardinality constraint:
+//!
+//! * [`RetrievalStrategy::NaiveQ`] — one `attr IN (values) … ROWNUM ≤ k`
+//!   style selection; fast but may starve later join values on 1-to-n joins;
+//! * [`RetrievalStrategy::RoundRobin`] — one open scan per join value,
+//!   retrieving one tuple per scan per round, spreading the budget evenly.
+
+use crate::constraints::{CardinalityBudget, CardinalityConstraint};
+use crate::data_weights::TupleWeights;
+use crate::error::CoreError;
+use crate::result_schema::ResultSchema;
+use crate::Result;
+use precis_graph::SchemaGraph;
+use precis_storage::{Database, DatabaseSchema, RelationId, TupleId, Value, ValueScan};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// How the generator retrieves a bounded subset of joining tuples (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetrievalStrategy {
+    /// Submit one selection per join step and keep the first tuples up to
+    /// the cardinality allowance (the paper's `RowNum` trick).
+    NaiveQ,
+    /// Open a scan per join value and take one tuple per scan per round
+    /// while the allowance holds.
+    RoundRobin,
+    /// Gather every joining tuple and keep the ones with the highest
+    /// data-value weights ([`crate::TupleWeights`], the paper's §7 ongoing
+    /// work). Without configured weights all tuples tie and this degrades
+    /// to NaïveQ order.
+    TopWeight,
+}
+
+/// Knobs of the generator beyond the paper's required inputs.
+#[derive(Debug, Clone)]
+pub struct DbGenOptions {
+    /// After generation, pull in missing referenced (parent) tuples so the
+    /// materialized database satisfies every foreign key copied into its
+    /// schema — required for the paper's "test database" use case. Repairs
+    /// may exceed the cardinality constraint; the overshoot is reported.
+    pub repair_foreign_keys: bool,
+    /// Postpone joins departing from relations whose arriving joins have not
+    /// all executed (the paper's in-degree rule). Disabling this is an
+    /// ablation: results may retrieve fewer tuples per relation because a
+    /// departing join sees only part of the relation's final contents.
+    pub postpone_by_in_degree: bool,
+    /// Data-value weights used by [`RetrievalStrategy::TopWeight`] and for
+    /// ordering seed tuples under a tight budget.
+    pub tuple_weights: Option<std::sync::Arc<TupleWeights>>,
+}
+
+impl Default for DbGenOptions {
+    fn default() -> Self {
+        DbGenOptions {
+            repair_foreign_keys: true,
+            postpone_by_in_degree: true,
+            tuple_weights: None,
+        }
+    }
+}
+
+/// Counters describing one generation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenReport {
+    /// Tuples seeded from the inverted-index matches.
+    pub seed_tuples: usize,
+    /// Tuples retrieved by join steps (excluding seeds and repairs).
+    pub retrieved_tuples: usize,
+    /// Join edges executed with a positive allowance.
+    pub joins_executed: usize,
+    /// Join edges skipped because their source relation never populated.
+    pub joins_skipped: usize,
+    /// Times the in-degree postponement rule had to be broken to make
+    /// progress (cyclic used-edge graphs).
+    pub deadlocks_broken: usize,
+    /// Parent tuples added by foreign-key repair.
+    pub repaired_tuples: usize,
+}
+
+/// The précis: a freshly materialized database D′ plus provenance back to
+/// the original database.
+#[derive(Debug)]
+pub struct PrecisDatabase {
+    /// The materialized result database (own schema, constraints, contents).
+    pub database: Database,
+    /// Original relation id → result relation id.
+    pub rel_map: HashMap<RelationId, RelationId>,
+    /// Original relation id → stored attribute positions (in the original
+    /// relation's numbering), ascending; position `i` of a result tuple
+    /// holds original attribute `attr_map[rel][i]`.
+    pub attr_map: HashMap<RelationId, Vec<usize>>,
+    /// Original relation id → visible attribute positions (original
+    /// numbering). Stored-but-not-visible attributes are join endpoints and
+    /// primary keys the translator must not verbalize.
+    pub visible: HashMap<RelationId, Vec<usize>>,
+    /// (original relation, original tid) → result tid.
+    pub provenance: HashMap<(RelationId, TupleId), TupleId>,
+    /// Original relation id → collected original tids, in retrieval order.
+    pub collected: BTreeMap<RelationId, Vec<TupleId>>,
+    /// Seed tuples per origin relation (original tids that matched tokens),
+    /// bounded by the cardinality constraint.
+    pub seeds: BTreeMap<RelationId, Vec<TupleId>>,
+    /// Run counters.
+    pub report: GenReport,
+}
+
+impl PrecisDatabase {
+    /// Total tuples in the result database (`card(D′)`).
+    pub fn total_tuples(&self) -> usize {
+        self.database.total_tuples()
+    }
+}
+
+/// Working state per collected relation.
+#[derive(Debug, Default)]
+struct Collected {
+    order: Vec<TupleId>,
+    tags: HashMap<TupleId, BTreeSet<RelationId>>,
+}
+
+impl Collected {
+    fn contains(&self, tid: TupleId) -> bool {
+        self.tags.contains_key(&tid)
+    }
+
+    fn add(&mut self, tid: TupleId, origins: &BTreeSet<RelationId>) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.tags.entry(tid) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().extend(origins.iter().copied());
+                false
+            }
+            Entry::Vacant(v) => {
+                v.insert(origins.clone());
+                self.order.push(tid);
+                true
+            }
+        }
+    }
+}
+
+/// Run the Result Database Generator.
+///
+/// `seeds` maps each origin relation to the tuple ids where the query tokens
+/// were found (from the inverted index). Relations absent from the result
+/// schema are ignored.
+pub fn generate_result_database(
+    db: &Database,
+    graph: &SchemaGraph,
+    schema: &ResultSchema,
+    seeds: &HashMap<RelationId, Vec<TupleId>>,
+    cardinality: &CardinalityConstraint,
+    strategy: RetrievalStrategy,
+    options: &DbGenOptions,
+) -> Result<PrecisDatabase> {
+    let mut budget = CardinalityBudget::new(cardinality.clone());
+    let mut collected: BTreeMap<RelationId, Collected> = BTreeMap::new();
+    let mut report = GenReport::default();
+    let mut kept_seeds: BTreeMap<RelationId, Vec<TupleId>> = BTreeMap::new();
+
+    // Step 1: D′ ← tuples involving query tokens, bounded by c(·).
+    let mut seed_rels: Vec<RelationId> = seeds.keys().copied().collect();
+    seed_rels.sort_unstable();
+    for rel in seed_rels {
+        if !schema.contains(rel) {
+            continue;
+        }
+        let mut tids = seeds[&rel].clone();
+        tids.sort_unstable();
+        tids.dedup();
+        // With data-value weights, the most important matches survive a
+        // tight budget.
+        if let Some(w) = &options.tuple_weights {
+            w.order_desc(rel, &mut tids);
+        }
+        let allowance = budget.allowance(rel);
+        tids.truncate(allowance);
+        if tids.is_empty() {
+            continue;
+        }
+        let mut tag = BTreeSet::new();
+        tag.insert(rel);
+        let entry = collected.entry(rel).or_default();
+        let mut added = 0;
+        for tid in &tids {
+            // Count the tuple read (σ_Tids retrieval) and validate liveness.
+            if db.fetch_from(rel, *tid).is_ok() && entry.add(*tid, &tag) {
+                added += 1;
+            }
+        }
+        budget.charge(rel, added);
+        report.seed_tuples += added;
+        kept_seeds.insert(rel, entry.order.clone());
+    }
+
+    // Step 2: walk the used join edges.
+    execute_joins(
+        db,
+        graph,
+        schema,
+        strategy,
+        options,
+        &mut budget,
+        &mut collected,
+        &mut report,
+    )?;
+
+    // Step 3: optional foreign-key repair for structural consistency.
+    if options.repair_foreign_keys {
+        repair_foreign_keys(db, graph, schema, &mut collected, &mut report)?;
+    }
+
+    materialize(db, graph, schema, collected, kept_seeds, report)
+}
+
+/// The join-processing loop of Figure 5.
+#[allow(clippy::too_many_arguments)]
+fn execute_joins(
+    db: &Database,
+    graph: &SchemaGraph,
+    schema: &ResultSchema,
+    strategy: RetrievalStrategy,
+    options: &DbGenOptions,
+    budget: &mut CardinalityBudget,
+    collected: &mut BTreeMap<RelationId, Collected>,
+    report: &mut GenReport,
+) -> Result<()> {
+    let used = schema.used_joins();
+    let mut executed = vec![false; used.len()];
+    // Remaining arriving joins per relation — the paper's mutable in-degree.
+    let mut pending_in: HashMap<RelationId, usize> = HashMap::new();
+    for u in used {
+        *pending_in.entry(graph.join_edge(u.edge).to).or_insert(0) += 1;
+    }
+
+    loop {
+        let (idx, broke_deadlock) =
+            match pick_edge(graph, used, &executed, collected, &pending_in, options, false) {
+                Some(i) => (i, false),
+                None => match pick_edge(
+                    graph,
+                    used,
+                    &executed,
+                    collected,
+                    &pending_in,
+                    options,
+                    true,
+                ) {
+                    Some(i) => (i, true),
+                    None => break, // nothing has a populated source: done
+                },
+            };
+        if broke_deadlock {
+            report.deadlocks_broken += 1;
+        }
+
+        let u = &used[idx];
+        let e = graph.join_edge(u.edge);
+        executed[idx] = true;
+        if let Some(p) = pending_in.get_mut(&e.to) {
+            *p = p.saturating_sub(1);
+        }
+
+        // Tuples of the source relation reached from the origins whose paths
+        // use this edge ("which of the tuples collected in a relation are
+        // used for subsequently joining depends on the paths stored in P_d").
+        let source = collected.get(&e.from).expect("picked populated source");
+        let mut values: Vec<Value> = Vec::new();
+        let mut seen_values: BTreeSet<Value> = BTreeSet::new();
+        for tid in &source.order {
+            let tags = &source.tags[tid];
+            if tags.iter().any(|o| u.origins.contains(o)) {
+                // Re-reading a tuple already in D′: no new storage cost.
+                if let Some(t) = db.table(e.from).get(*tid) {
+                    let v = t[e.from_attr].clone();
+                    if !v.is_null() && seen_values.insert(v.clone()) {
+                        values.push(v);
+                    }
+                }
+            }
+        }
+        if values.is_empty() {
+            report.joins_skipped += 1;
+            continue;
+        }
+
+        let allowance = budget.allowance(e.to);
+        let dest = collected.entry(e.to).or_default();
+        let added = match strategy {
+            RetrievalStrategy::NaiveQ => {
+                naive_q(db, e.to, e.to_attr, &values, allowance, dest, &u.origins)?
+            }
+            RetrievalStrategy::RoundRobin => {
+                round_robin(db, e.to, e.to_attr, &values, allowance, dest, &u.origins)?
+            }
+            RetrievalStrategy::TopWeight => {
+                let default_weights = TupleWeights::default();
+                let weights = options
+                    .tuple_weights
+                    .as_deref()
+                    .unwrap_or(&default_weights);
+                top_weight(
+                    db, e.to, e.to_attr, &values, allowance, dest, &u.origins, weights,
+                )?
+            }
+        };
+        budget.charge(e.to, added);
+        report.retrieved_tuples += added;
+        report.joins_executed += 1;
+    }
+
+    // Any edge never executed had an unpopulatable source.
+    report.joins_skipped += executed.iter().filter(|&&x| !x).count();
+    Ok(())
+}
+
+/// Choose the next executable join edge: source populated, and (unless
+/// `relaxed`) no pending arrivals at the source — the paper's in-degree
+/// postponement. Highest weight wins; ties go to the lowest edge index.
+fn pick_edge(
+    graph: &SchemaGraph,
+    used: &[crate::result_schema::UsedJoin],
+    executed: &[bool],
+    collected: &BTreeMap<RelationId, Collected>,
+    pending_in: &HashMap<RelationId, usize>,
+    options: &DbGenOptions,
+    relaxed: bool,
+) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, u) in used.iter().enumerate() {
+        if executed[i] {
+            continue;
+        }
+        let e = graph.join_edge(u.edge);
+        if !collected.contains_key(&e.from) {
+            continue;
+        }
+        let postponed = options.postpone_by_in_degree
+            && !relaxed
+            && pending_in.get(&e.from).copied().unwrap_or(0) > 0;
+        if postponed {
+            continue;
+        }
+        match best {
+            Some((w, _)) if w >= e.weight => {}
+            _ => best = Some((e.weight, i)),
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// NaïveQ: first-N tuples in value-list order (paper's `RowNum` selection).
+fn naive_q(
+    db: &Database,
+    rel: RelationId,
+    attr: usize,
+    values: &[Value],
+    allowance: usize,
+    dest: &mut Collected,
+    origins: &BTreeSet<RelationId>,
+) -> Result<usize> {
+    let mut added = 0;
+    'outer: for v in values {
+        let tids = db.lookup(rel, attr, v)?.to_vec();
+        for tid in tids {
+            if added >= allowance {
+                break 'outer;
+            }
+            if dest.contains(tid) {
+                dest.add(tid, origins); // merge tags, no charge
+                continue;
+            }
+            db.fetch_from(rel, tid)?; // the TupleTime event
+            dest.add(tid, origins);
+            added += 1;
+        }
+    }
+    Ok(added)
+}
+
+/// Round-Robin: one scan per join value, one tuple per scan per round.
+fn round_robin(
+    db: &Database,
+    rel: RelationId,
+    attr: usize,
+    values: &[Value],
+    allowance: usize,
+    dest: &mut Collected,
+    origins: &BTreeSet<RelationId>,
+) -> Result<usize> {
+    let mut scans: Vec<ValueScan> = Vec::with_capacity(values.len());
+    for v in values {
+        scans.push(ValueScan::open(db, rel, attr, v)?);
+    }
+    let mut added = 0;
+    while added < allowance && scans.iter().any(ValueScan::is_open) {
+        for scan in &mut scans {
+            if added >= allowance {
+                break;
+            }
+            match scan.next_row(db, &[])? {
+                Some(row) => {
+                    if dest.contains(row.tid) {
+                        dest.add(row.tid, origins);
+                    } else {
+                        dest.add(row.tid, origins);
+                        added += 1;
+                    }
+                }
+                None => continue,
+            }
+        }
+    }
+    Ok(added)
+}
+
+/// TopWeight: gather every joining tuple, keep the highest-weighted ones
+/// (data-value weights, §7 ongoing work).
+#[allow(clippy::too_many_arguments)]
+fn top_weight(
+    db: &Database,
+    rel: RelationId,
+    attr: usize,
+    values: &[Value],
+    allowance: usize,
+    dest: &mut Collected,
+    origins: &BTreeSet<RelationId>,
+    weights: &TupleWeights,
+) -> Result<usize> {
+    let mut candidates: Vec<TupleId> = Vec::new();
+    let mut seen: BTreeSet<TupleId> = BTreeSet::new();
+    for v in values {
+        for tid in db.lookup(rel, attr, v)? {
+            if seen.insert(*tid) {
+                candidates.push(*tid);
+            }
+        }
+    }
+    weights.order_desc(rel, &mut candidates);
+    let mut added = 0;
+    for tid in candidates {
+        if added >= allowance {
+            break;
+        }
+        if dest.contains(tid) {
+            dest.add(tid, origins);
+            continue;
+        }
+        db.fetch_from(rel, tid)?; // the TupleTime event
+        dest.add(tid, origins);
+        added += 1;
+    }
+    Ok(added)
+}
+
+/// Pull in missing parents for every foreign key that will be copied into
+/// the result schema, until a fixpoint.
+fn repair_foreign_keys(
+    db: &Database,
+    graph: &SchemaGraph,
+    schema: &ResultSchema,
+    collected: &mut BTreeMap<RelationId, Collected>,
+    report: &mut GenReport,
+) -> Result<()> {
+    let applicable = applicable_foreign_keys(db.schema(), graph, schema);
+    loop {
+        let mut additions: Vec<(RelationId, TupleId)> = Vec::new();
+        for &(child, child_attr, parent, parent_attr) in &applicable {
+            let Some(children) = collected.get(&child) else {
+                continue;
+            };
+            for tid in &children.order {
+                let Some(t) = db.table(child).get(*tid) else {
+                    continue;
+                };
+                let v = &t[child_attr];
+                if v.is_null() {
+                    continue;
+                }
+                let present = collected
+                    .get(&parent)
+                    .map(|c| {
+                        c.order.iter().any(|pt| {
+                            db.table(parent)
+                                .get(*pt)
+                                .is_some_and(|p| &p[parent_attr] == v)
+                        })
+                    })
+                    .unwrap_or(false);
+                if present {
+                    continue;
+                }
+                for ptid in db.lookup(parent, parent_attr, v)?.iter().take(1) {
+                    additions.push((parent, *ptid));
+                }
+            }
+        }
+        if additions.is_empty() {
+            return Ok(());
+        }
+        let tags = BTreeSet::new();
+        for (rel, tid) in additions {
+            let entry = collected.entry(rel).or_default();
+            if !entry.contains(tid) {
+                db.fetch_from(rel, tid)?;
+                entry.add(tid, &tags);
+                report.repaired_tuples += 1;
+            }
+        }
+    }
+}
+
+/// Original-schema foreign keys that survive into the result schema: both
+/// relations present and both attributes stored.
+/// Returns (child rel, child attr, parent rel, parent attr).
+fn applicable_foreign_keys(
+    orig: &DatabaseSchema,
+    graph: &SchemaGraph,
+    schema: &ResultSchema,
+) -> Vec<(RelationId, usize, RelationId, usize)> {
+    orig.foreign_keys()
+        .iter()
+        .filter_map(|fk| {
+            let child = orig.relation_id(&fk.relation)?;
+            let parent = orig.relation_id(&fk.ref_relation)?;
+            if !schema.contains(child) || !schema.contains(parent) {
+                return None;
+            }
+            let child_attr = orig.relation(child).attr_position(&fk.attribute)?;
+            let parent_attr = orig.relation(parent).attr_position(&fk.ref_attribute)?;
+            let child_stored = schema.stored_attrs(graph, child);
+            let parent_stored = schema.stored_attrs(graph, parent);
+            (child_stored.contains(&child_attr) && parent_stored.contains(&parent_attr))
+                .then_some((child, child_attr, parent, parent_attr))
+        })
+        .collect()
+}
+
+/// Build the physical result database from the collected tids.
+fn materialize(
+    db: &Database,
+    graph: &SchemaGraph,
+    schema: &ResultSchema,
+    collected: BTreeMap<RelationId, Collected>,
+    seeds: BTreeMap<RelationId, Vec<TupleId>>,
+    report: GenReport,
+) -> Result<PrecisDatabase> {
+    let orig = db.schema();
+    let mut out_schema = DatabaseSchema::new(format!("{}_precis", orig.name()));
+    let mut rel_map: HashMap<RelationId, RelationId> = HashMap::new();
+    let mut attr_map: HashMap<RelationId, Vec<usize>> = HashMap::new();
+    let mut visible: HashMap<RelationId, Vec<usize>> = HashMap::new();
+
+    // Every relation of the result schema appears in D′ — possibly empty
+    // ("any relations that may not be eventually populated due to the
+    // cardinality constraint would be the most weakly connected").
+    for (rel, _) in schema.relations() {
+        let stored = schema.stored_attrs(graph, rel);
+        if stored.is_empty() {
+            continue;
+        }
+        let projected = orig.relation(rel).project(&stored, None);
+        let new_id = out_schema.add_relation(projected).map_err(CoreError::from)?;
+        rel_map.insert(rel, new_id);
+        attr_map.insert(rel, stored);
+        visible.insert(rel, schema.visible_attrs(rel));
+    }
+
+    // Copy the original foreign keys that survive the projection.
+    for fk in orig.foreign_keys() {
+        let (Some(child), Some(parent)) = (
+            orig.relation_id(&fk.relation),
+            orig.relation_id(&fk.ref_relation),
+        ) else {
+            continue;
+        };
+        let (Some(_), Some(_)) = (rel_map.get(&child), rel_map.get(&parent)) else {
+            continue;
+        };
+        let child_attr = orig.relation(child).attr_position(&fk.attribute);
+        let parent_attr = orig.relation(parent).attr_position(&fk.ref_attribute);
+        let (Some(ca), Some(pa)) = (child_attr, parent_attr) else {
+            continue;
+        };
+        if attr_map[&child].contains(&ca) && attr_map[&parent].contains(&pa) {
+            out_schema
+                .add_foreign_key(fk.clone())
+                .map_err(CoreError::from)?;
+        }
+    }
+
+    let mut out_db = Database::new(out_schema).map_err(CoreError::from)?;
+    let mut provenance: HashMap<(RelationId, TupleId), TupleId> = HashMap::new();
+    let mut collected_tids: BTreeMap<RelationId, Vec<TupleId>> = BTreeMap::new();
+
+    for (rel, c) in &collected {
+        let Some(&new_rel) = rel_map.get(rel) else {
+            continue;
+        };
+        let stored = &attr_map[rel];
+        for tid in &c.order {
+            let Some(t) = db.table(*rel).get(*tid) else {
+                continue;
+            };
+            let new_tid = out_db
+                .insert_into(new_rel, t.project(stored))
+                .map_err(CoreError::from)?;
+            provenance.insert((*rel, *tid), new_tid);
+        }
+        collected_tids.insert(*rel, c.order.clone());
+    }
+
+    Ok(PrecisDatabase {
+        database: out_db,
+        rel_map,
+        attr_map,
+        visible,
+        provenance,
+        collected: collected_tids,
+        seeds,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::DegreeConstraint;
+    use crate::schema_gen::generate_result_schema;
+    use precis_storage::{DataType, RelationSchema};
+
+    /// DIRECTOR ←(did) MOVIE ←(mid) GENRE, with one director of 5 movies,
+    /// each movie having 2 genres.
+    fn tiny_movies() -> (Database, SchemaGraph) {
+        let mut s = DatabaseSchema::new("m");
+        s.add_relation(
+            RelationSchema::builder("DIRECTOR")
+                .attr_not_null("did", DataType::Int)
+                .attr("dname", DataType::Text)
+                .primary_key("did")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("MOVIE")
+                .attr_not_null("mid", DataType::Int)
+                .attr("title", DataType::Text)
+                .attr("did", DataType::Int)
+                .primary_key("mid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("GENRE")
+                .attr_not_null("gid", DataType::Int)
+                .attr("mid", DataType::Int)
+                .attr("genre", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(precis_storage::ForeignKey::new(
+            "MOVIE", "did", "DIRECTOR", "did",
+        ))
+        .unwrap();
+        s.add_foreign_key(precis_storage::ForeignKey::new(
+            "GENRE", "mid", "MOVIE", "mid",
+        ))
+        .unwrap();
+        let mut db = Database::new(s).unwrap();
+        db.insert("DIRECTOR", vec![Value::from(1), Value::from("Woody Allen")])
+            .unwrap();
+        db.insert("DIRECTOR", vec![Value::from(2), Value::from("Other")])
+            .unwrap();
+        let mut gid = 0;
+        for m in 0..5 {
+            db.insert(
+                "MOVIE",
+                vec![Value::from(m), Value::from(format!("M{m}")), Value::from(1)],
+            )
+            .unwrap();
+            for g in ["Comedy", "Drama"] {
+                db.insert(
+                    "GENRE",
+                    vec![Value::from(gid), Value::from(m), Value::from(g)],
+                )
+                .unwrap();
+                gid += 1;
+            }
+        }
+        // One movie by the other director.
+        db.insert(
+            "MOVIE",
+            vec![Value::from(99), Value::from("Other movie"), Value::from(2)],
+        )
+        .unwrap();
+        let g = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.9, 0.95, 0.92).unwrap();
+        (db, g)
+    }
+
+    fn setup(
+        cardinality: CardinalityConstraint,
+        strategy: RetrievalStrategy,
+        options: DbGenOptions,
+    ) -> PrecisDatabase {
+        let (db, g) = tiny_movies();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        let schema = generate_result_schema(&g, &[director], &DegreeConstraint::MinWeight(0.7));
+        let seeds = HashMap::from([(director, vec![TupleId(0)])]);
+        generate_result_database(&db, &g, &schema, &seeds, &cardinality, strategy, &options)
+            .unwrap()
+    }
+
+    #[test]
+    fn generates_connected_subdatabase() {
+        let p = setup(
+            CardinalityConstraint::Unbounded,
+            RetrievalStrategy::NaiveQ,
+            DbGenOptions::default(),
+        );
+        let (db, _) = tiny_movies();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let genre = db.schema().relation_id("GENRE").unwrap();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        assert_eq!(p.collected[&director].len(), 1, "seed only");
+        assert_eq!(p.collected[&movie].len(), 5, "Allen's movies only");
+        assert_eq!(p.collected[&genre].len(), 10);
+        assert_eq!(p.total_tuples(), 16);
+        assert_eq!(p.report.seed_tuples, 1);
+        assert_eq!(p.report.retrieved_tuples, 15);
+        assert!(p.report.joins_executed >= 2);
+        // Materialized database satisfies its copied constraints.
+        assert!(p.database.validate_foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn cardinality_per_relation_caps_each_relation() {
+        let p = setup(
+            CardinalityConstraint::MaxTuplesPerRelation(3),
+            RetrievalStrategy::NaiveQ,
+            DbGenOptions {
+                repair_foreign_keys: false,
+                ..DbGenOptions::default()
+            },
+        );
+        for tids in p.collected.values() {
+            assert!(tids.len() <= 3, "cap respected: {}", tids.len());
+        }
+    }
+
+    #[test]
+    fn cardinality_total_caps_whole_result() {
+        let p = setup(
+            CardinalityConstraint::MaxTotalTuples(4),
+            RetrievalStrategy::NaiveQ,
+            DbGenOptions {
+                repair_foreign_keys: false,
+                ..DbGenOptions::default()
+            },
+        );
+        assert!(p.total_tuples() <= 4, "{}", p.total_tuples());
+    }
+
+    #[test]
+    fn round_robin_balances_genres_across_movies() {
+        let p = setup(
+            CardinalityConstraint::MaxTuplesPerRelation(5),
+            RetrievalStrategy::RoundRobin,
+            DbGenOptions {
+                repair_foreign_keys: false,
+                ..DbGenOptions::default()
+            },
+        );
+        let (db, _) = tiny_movies();
+        let genre = db.schema().relation_id("GENRE").unwrap();
+        // 5 genre tuples across 5 movies: round robin gives one per movie.
+        let mids: BTreeSet<i64> = p.collected[&genre]
+            .iter()
+            .map(|tid| db.table(genre).get(*tid).unwrap()[1].as_int().unwrap())
+            .collect();
+        assert_eq!(mids.len(), 5, "one genre from each movie");
+    }
+
+    #[test]
+    fn naive_q_skews_genres_toward_first_movies() {
+        let p = setup(
+            CardinalityConstraint::MaxTuplesPerRelation(5),
+            RetrievalStrategy::NaiveQ,
+            DbGenOptions {
+                repair_foreign_keys: false,
+                ..DbGenOptions::default()
+            },
+        );
+        let (db, _) = tiny_movies();
+        let genre = db.schema().relation_id("GENRE").unwrap();
+        let mids: BTreeSet<i64> = p.collected[&genre]
+            .iter()
+            .map(|tid| db.table(genre).get(*tid).unwrap()[1].as_int().unwrap())
+            .collect();
+        assert!(mids.len() <= 3, "first movies exhaust the budget: {mids:?}");
+    }
+
+    #[test]
+    fn repair_restores_foreign_keys_under_tight_budget() {
+        let (db, g) = tiny_movies();
+        let genre = db.schema().relation_id("GENRE").unwrap();
+        // Seed from GENRE; budget so tight that MOVIE/DIRECTOR parents would
+        // be missing without repair.
+        let schema = generate_result_schema(&g, &[genre], &DegreeConstraint::MinWeight(0.8));
+        let seeds = HashMap::from([(genre, vec![TupleId(0), TupleId(5)])]);
+        let no_repair = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::MaxTuplesPerRelation(1),
+            RetrievalStrategy::NaiveQ,
+            &DbGenOptions {
+                repair_foreign_keys: false,
+                ..DbGenOptions::default()
+            },
+        )
+        .unwrap();
+        // Seeds themselves are capped at 1 → only genre tid 0.
+        assert_eq!(no_repair.collected[&genre].len(), 1);
+
+        let repaired = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::MaxTuplesPerRelation(1),
+            RetrievalStrategy::NaiveQ,
+            &DbGenOptions::default(),
+        )
+        .unwrap();
+        assert!(repaired.database.validate_foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn provenance_maps_back_to_source_tuples() {
+        let p = setup(
+            CardinalityConstraint::Unbounded,
+            RetrievalStrategy::NaiveQ,
+            DbGenOptions::default(),
+        );
+        let (db, _) = tiny_movies();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let new_movie = p.rel_map[&movie];
+        for orig_tid in &p.collected[&movie] {
+            let new_tid = p.provenance[&(movie, *orig_tid)];
+            let orig = db.table(movie).get(*orig_tid).unwrap();
+            let stored = &p.attr_map[&movie];
+            let new = p.database.table(new_movie).get(new_tid).unwrap();
+            assert_eq!(new.values(), orig.project(stored).as_slice());
+        }
+    }
+
+    #[test]
+    fn hidden_attributes_are_join_keys_and_pks() {
+        let p = setup(
+            CardinalityConstraint::Unbounded,
+            RetrievalStrategy::NaiveQ,
+            DbGenOptions::default(),
+        );
+        let (db, _) = tiny_movies();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let stored = &p.attr_map[&movie];
+        let visible = &p.visible[&movie];
+        // title visible; join keys and pk stored; visible ⊆ stored.
+        assert!(visible.contains(&1));
+        assert!(stored.contains(&0) && stored.contains(&2));
+        assert!(visible.iter().all(|a| stored.contains(a)));
+    }
+
+    #[test]
+    fn empty_seeds_give_empty_but_valid_result() {
+        let (db, g) = tiny_movies();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        let schema = generate_result_schema(&g, &[director], &DegreeConstraint::MinWeight(0.7));
+        let seeds = HashMap::new();
+        let p = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::Unbounded,
+            RetrievalStrategy::NaiveQ,
+            &DbGenOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(p.total_tuples(), 0);
+        assert!(p.report.joins_skipped > 0);
+        // Result schema relations still exist, empty.
+        assert!(!p.rel_map.is_empty());
+    }
+
+    #[test]
+    fn top_weight_keeps_the_heaviest_tuples() {
+        use crate::data_weights::TupleWeights;
+        let (db, g) = tiny_movies();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        // Make M3 and M4 (tids 3, 4) the most important movies.
+        let mut w = TupleWeights::new(0.1).unwrap();
+        w.set(movie, TupleId(3), 0.9).unwrap();
+        w.set(movie, TupleId(4), 0.8).unwrap();
+        let schema = generate_result_schema(&g, &[director], &DegreeConstraint::MinWeight(0.7));
+        let seeds = HashMap::from([(director, vec![TupleId(0)])]);
+        let p = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::MaxTuplesPerRelation(2),
+            RetrievalStrategy::TopWeight,
+            &DbGenOptions {
+                repair_foreign_keys: false,
+                tuple_weights: Some(std::sync::Arc::new(w)),
+                ..DbGenOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.collected[&movie], vec![TupleId(3), TupleId(4)]);
+
+        // Without weights, TopWeight degrades to index order.
+        let p = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::MaxTuplesPerRelation(2),
+            RetrievalStrategy::TopWeight,
+            &DbGenOptions {
+                repair_foreign_keys: false,
+                ..DbGenOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.collected[&movie], vec![TupleId(0), TupleId(1)]);
+    }
+
+    #[test]
+    fn weighted_seeds_survive_tight_budgets() {
+        use crate::data_weights::TupleWeights;
+        let (db, g) = tiny_movies();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        let mut w = TupleWeights::new(0.2).unwrap();
+        w.set(director, TupleId(1), 0.95).unwrap();
+        let schema = generate_result_schema(&g, &[director], &DegreeConstraint::MinWeight(0.7));
+        let seeds = HashMap::from([(director, vec![TupleId(0), TupleId(1)])]);
+        let p = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::MaxTuplesPerRelation(1),
+            RetrievalStrategy::NaiveQ,
+            &DbGenOptions {
+                repair_foreign_keys: false,
+                tuple_weights: Some(std::sync::Arc::new(w)),
+                ..DbGenOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            p.collected[&director],
+            vec![TupleId(1)],
+            "the heavier seed wins the single slot"
+        );
+    }
+
+    #[test]
+    fn seeds_for_relations_outside_schema_are_ignored() {
+        let (db, g) = tiny_movies();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        let genre = db.schema().relation_id("GENRE").unwrap();
+        // Schema restricted to DIRECTOR only (degree excludes everything).
+        let schema = generate_result_schema(&g, &[director], &DegreeConstraint::TopProjections(1));
+        let seeds = HashMap::from([
+            (director, vec![TupleId(0)]),
+            (genre, vec![TupleId(0)]), // not part of this result schema
+        ]);
+        let p = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::Unbounded,
+            RetrievalStrategy::NaiveQ,
+            &DbGenOptions::default(),
+        )
+        .unwrap();
+        assert!(!p.collected.contains_key(&genre));
+        assert_eq!(p.collected[&director], vec![TupleId(0)]);
+    }
+}

@@ -1,0 +1,469 @@
+//! The précis engine: wires the inverted index, the Result Schema Generator
+//! and the Result Database Generator into the pipeline of Figure 2.
+
+use crate::constraints::{CardinalityConstraint, DegreeConstraint};
+use crate::db_gen::{
+    generate_result_database, DbGenOptions, PrecisDatabase, RetrievalStrategy,
+};
+use crate::error::CoreError;
+use crate::query::PrecisQuery;
+use crate::result_schema::ResultSchema;
+use crate::schema_gen::generate_result_schema;
+use crate::Result;
+use precis_graph::{SchemaGraph, WeightProfile};
+use precis_index::{InvertedIndex, Occurrence};
+use precis_storage::{Database, RelationId, TupleId};
+use std::collections::HashMap;
+
+/// How one query token matched the database: the paper's
+/// `k_i → {(R_j, A_lj, Tids_lj)}` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenMatch {
+    pub token: String,
+    pub occurrences: Vec<Occurrence>,
+}
+
+/// Everything that parameterizes one précis answer: the two constraint
+/// kinds, the retrieval strategy, an optional weight profile, and generator
+/// options.
+#[derive(Debug, Clone)]
+pub struct AnswerSpec {
+    pub degree: DegreeConstraint,
+    pub cardinality: CardinalityConstraint,
+    pub strategy: RetrievalStrategy,
+    /// Name of a registered weight profile to personalize the schema graph
+    /// with (§3.1), or `None` for the designer defaults.
+    pub profile: Option<String>,
+    pub options: DbGenOptions,
+}
+
+impl AnswerSpec {
+    /// The paper's running-example parameters: projections with weight ≥ 0.9,
+    /// up to 3 tuples per relation.
+    pub fn paper_example() -> Self {
+        AnswerSpec {
+            degree: DegreeConstraint::MinWeight(0.9),
+            cardinality: CardinalityConstraint::MaxTuplesPerRelation(3),
+            strategy: RetrievalStrategy::RoundRobin,
+            profile: None,
+            options: DbGenOptions::default(),
+        }
+    }
+
+    pub fn new(degree: DegreeConstraint, cardinality: CardinalityConstraint) -> Self {
+        AnswerSpec {
+            degree,
+            cardinality,
+            strategy: RetrievalStrategy::RoundRobin,
+            profile: None,
+            options: DbGenOptions::default(),
+        }
+    }
+
+    pub fn with_strategy(mut self, strategy: RetrievalStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_profile(mut self, profile: impl Into<String>) -> Self {
+        self.profile = Some(profile.into());
+        self
+    }
+
+    pub fn with_options(mut self, options: DbGenOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// A complete précis answer.
+#[derive(Debug)]
+pub struct PrecisAnswer {
+    /// Per-token index matches (empty occurrence lists mean the token was
+    /// not found anywhere).
+    pub matches: Vec<TokenMatch>,
+    /// The result schema D′ (sub-graph G′ of the schema graph).
+    pub schema: ResultSchema,
+    /// The materialized result database D′ with provenance.
+    pub precis: PrecisDatabase,
+}
+
+impl PrecisAnswer {
+    /// Tokens that matched nothing.
+    pub fn unmatched_tokens(&self) -> Vec<&str> {
+        self.matches
+            .iter()
+            .filter(|m| m.occurrences.is_empty())
+            .map(|m| m.token.as_str())
+            .collect()
+    }
+}
+
+/// The précis query engine over one database.
+///
+/// ```
+/// # use precis_storage::{Database, DatabaseSchema, RelationSchema, DataType, Value};
+/// # use precis_graph::SchemaGraph;
+/// # use precis_core::{PrecisEngine, PrecisQuery, AnswerSpec, DegreeConstraint, CardinalityConstraint};
+/// # let mut schema = DatabaseSchema::new("d");
+/// # schema.add_relation(RelationSchema::builder("R")
+/// #     .attr_not_null("id", DataType::Int).attr("name", DataType::Text)
+/// #     .primary_key("id").build().unwrap()).unwrap();
+/// # let mut db = Database::new(schema).unwrap();
+/// # db.insert("R", vec![Value::from(1), Value::from("hello world")]).unwrap();
+/// # let graph = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.8, 0.5, 0.9).unwrap();
+/// let engine = PrecisEngine::new(db, graph).unwrap();
+/// let answer = engine
+///     .answer(
+///         &PrecisQuery::parse("hello"),
+///         &AnswerSpec::new(
+///             DegreeConstraint::MinWeight(0.5),
+///             CardinalityConstraint::MaxTuplesPerRelation(10),
+///         ),
+///     )
+///     .unwrap();
+/// assert_eq!(answer.precis.total_tuples(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PrecisEngine {
+    db: Database,
+    graph: SchemaGraph,
+    index: InvertedIndex,
+    profiles: HashMap<String, WeightProfile>,
+}
+
+impl PrecisEngine {
+    /// Create an engine, building the inverted index over `db` and making
+    /// sure every join endpoint of `graph` is indexed — the schema graph may
+    /// declare joins beyond foreign keys ("other joins that are meaningful
+    /// to a domain expert", §3.1), whose endpoints the database did not
+    /// auto-index.
+    pub fn new(mut db: Database, graph: SchemaGraph) -> Result<Self> {
+        check_schema_match(&db, &graph)?;
+        ensure_join_indexes(&mut db, &graph);
+        let index = InvertedIndex::build(&db);
+        Ok(PrecisEngine {
+            db,
+            graph,
+            index,
+            profiles: HashMap::new(),
+        })
+    }
+
+    /// Create an engine with a pre-built index (e.g. one maintained
+    /// incrementally).
+    pub fn with_index(mut db: Database, graph: SchemaGraph, index: InvertedIndex) -> Self {
+        ensure_join_indexes(&mut db, &graph);
+        PrecisEngine {
+            db,
+            graph,
+            index,
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// Insert a tuple into the underlying database, keeping the inverted
+    /// index in sync.
+    pub fn insert(&mut self, relation: &str, values: Vec<precis_storage::Value>) -> Result<precis_storage::TupleId> {
+        let rel = self.db.schema().require_relation(relation)?;
+        let tid = self.db.insert_into(rel, values)?;
+        self.index.add_tuple(&self.db, rel, tid);
+        Ok(tid)
+    }
+
+    /// Delete a tuple, keeping the inverted index in sync.
+    pub fn delete(&mut self, rel: RelationId, tid: TupleId) -> Result<()> {
+        self.index.remove_tuple(&self.db, rel, tid);
+        self.db.delete(rel, tid)?;
+        Ok(())
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn graph(&self) -> &SchemaGraph {
+        &self.graph
+    }
+
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Register a named weight profile for use via
+    /// [`AnswerSpec::with_profile`].
+    pub fn register_profile(&mut self, profile: WeightProfile) {
+        self.profiles.insert(profile.name().to_owned(), profile);
+    }
+
+    pub fn profile(&self, name: &str) -> Option<&WeightProfile> {
+        self.profiles.get(name)
+    }
+
+    /// Answer a précis query end to end: index lookup → result schema →
+    /// result database.
+    pub fn answer(&self, query: &PrecisQuery, spec: &AnswerSpec) -> Result<PrecisAnswer> {
+        if query.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        let graph = match &spec.profile {
+            None => None,
+            Some(name) => {
+                let p = self
+                    .profiles
+                    .get(name)
+                    .ok_or_else(|| CoreError::UnknownProfile(name.clone()))?;
+                Some(self.graph.with_profile(p)?)
+            }
+        };
+        let graph = graph.as_ref().unwrap_or(&self.graph);
+
+        // Stage 1: inverted index.
+        let matches: Vec<TokenMatch> = query
+            .tokens()
+            .iter()
+            .map(|t| TokenMatch {
+                token: t.clone(),
+                occurrences: self.index.lookup(&self.db, t),
+            })
+            .collect();
+
+        let mut origins: Vec<RelationId> = Vec::new();
+        let mut seeds: HashMap<RelationId, Vec<TupleId>> = HashMap::new();
+        for m in &matches {
+            for occ in &m.occurrences {
+                if !origins.contains(&occ.rel) {
+                    origins.push(occ.rel);
+                }
+                seeds.entry(occ.rel).or_default().extend(&occ.tids);
+            }
+        }
+
+        // Stage 2: result schema generation.
+        let schema = generate_result_schema(graph, &origins, &spec.degree);
+
+        // Stage 3: result database generation.
+        let precis = generate_result_database(
+            &self.db,
+            graph,
+            &schema,
+            &seeds,
+            &spec.cardinality,
+            spec.strategy,
+            &spec.options,
+        )?;
+
+        Ok(PrecisAnswer {
+            matches,
+            schema,
+            precis,
+        })
+    }
+
+    /// Answer within a response-time budget: derives the per-relation
+    /// cardinality constraint from the paper's Formula (3),
+    /// `c_R = cost_M / (n_R · (IndexTime + TupleTime))`, using the result
+    /// schema's relation count as `n_R` — "we could define cardinality
+    /// constraints based on the desired response time of a query" (§6).
+    pub fn answer_within(
+        &self,
+        query: &PrecisQuery,
+        degree: DegreeConstraint,
+        model: &crate::cost::CostModel,
+        budget_secs: f64,
+    ) -> Result<PrecisAnswer> {
+        if query.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        // Cheap pre-pass: find the origins and the result schema so n_R is
+        // known, then answer with the derived constraint.
+        let origins: Vec<RelationId> = query
+            .tokens()
+            .iter()
+            .flat_map(|t| self.index.lookup(&self.db, t))
+            .map(|o| o.rel)
+            .fold(Vec::new(), |mut acc, r| {
+                if !acc.contains(&r) {
+                    acc.push(r);
+                }
+                acc
+            });
+        let schema = generate_result_schema(&self.graph, &origins, &degree);
+        let n_r = schema.relation_count().max(1);
+        let c_r = model.cardinality_for_budget(budget_secs, n_r);
+        let spec = AnswerSpec::new(degree, CardinalityConstraint::MaxTuplesPerRelation(c_r));
+        self.answer(query, &spec)
+    }
+}
+
+/// Verify the graph talks about the same relations (names, arities, order)
+/// as the database — a graph built over a different schema would address
+/// relations and attributes by position and silently corrupt answers.
+fn check_schema_match(db: &Database, graph: &SchemaGraph) -> Result<()> {
+    let ds = db.schema();
+    let gs = graph.schema();
+    if ds.relation_count() != gs.relation_count() {
+        return Err(CoreError::SchemaMismatch(format!(
+            "database has {} relations, graph has {}",
+            ds.relation_count(),
+            gs.relation_count()
+        )));
+    }
+    for (id, dr) in ds.relations() {
+        let gr = gs.relation(id);
+        if dr.name() != gr.name() || dr.arity() != gr.arity() {
+            return Err(CoreError::SchemaMismatch(format!(
+                "relation {id}: database has {}({}), graph has {}({})",
+                dr.name(),
+                dr.arity(),
+                gr.name(),
+                gr.arity()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Build any missing secondary index on a join-edge endpoint.
+fn ensure_join_indexes(db: &mut Database, graph: &SchemaGraph) {
+    for j in graph.join_edges() {
+        for (rel, attr) in [(j.from, j.from_attr), (j.to, j.to_attr)] {
+            if !db.has_index(rel, attr) {
+                db.create_index(rel, attr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_storage::{DataType, DatabaseSchema, RelationSchema, Value};
+
+    /// Two relations related only by a domain-expert join (same `city`
+    /// text attribute), no foreign key anywhere.
+    fn expert_join_setup() -> (Database, SchemaGraph) {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("PERSON")
+                .attr_not_null("pid", DataType::Int)
+                .attr("name", DataType::Text)
+                .attr("city", DataType::Text)
+                .primary_key("pid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("VENUE")
+                .attr_not_null("vid", DataType::Int)
+                .attr("vname", DataType::Text)
+                .attr("city", DataType::Text)
+                .primary_key("vid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(s).unwrap();
+        db.insert(
+            "PERSON",
+            vec![Value::from(1), Value::from("Ada"), Value::from("Athens")],
+        )
+        .unwrap();
+        db.insert(
+            "VENUE",
+            vec![Value::from(1), Value::from("Odeon"), Value::from("Athens")],
+        )
+        .unwrap();
+        db.insert(
+            "VENUE",
+            vec![Value::from(2), Value::from("Rex"), Value::from("Rome")],
+        )
+        .unwrap();
+        let graph = SchemaGraph::builder(db.schema().clone())
+            .projection("PERSON", "name", 1.0)
+            .unwrap()
+            .projection("VENUE", "vname", 1.0)
+            .unwrap()
+            // Expert join on city — no FK backs this, so no auto index.
+            .join_both("PERSON", "city", "VENUE", "city", 0.9, 0.9)
+            .unwrap()
+            .build()
+            .unwrap();
+        (db, graph)
+    }
+
+    #[test]
+    fn expert_joins_without_foreign_keys_work() {
+        let (db, graph) = expert_join_setup();
+        let engine = PrecisEngine::new(db, graph).unwrap();
+        let answer = engine
+            .answer(
+                &PrecisQuery::parse("ada"),
+                &AnswerSpec::new(
+                    crate::DegreeConstraint::MinWeight(0.5),
+                    CardinalityConstraint::Unbounded,
+                ),
+            )
+            .unwrap();
+        let venue = engine.database().schema().relation_id("VENUE").unwrap();
+        let names: Vec<String> = answer.precis.collected[&venue]
+            .iter()
+            .map(|tid| engine.database().table(venue).get(*tid).unwrap()[1].to_string())
+            .collect();
+        assert_eq!(names, vec!["Odeon"], "joined through the shared city");
+    }
+
+    #[test]
+    fn mismatched_graph_is_rejected() {
+        let (db, _) = expert_join_setup();
+        // A graph over a completely different schema.
+        let mut other = DatabaseSchema::new("other");
+        other
+            .add_relation(
+                RelationSchema::builder("X")
+                    .attr_not_null("id", DataType::Int)
+                    .primary_key("id")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let bad_graph = SchemaGraph::from_foreign_keys(other, 0.5, 0.5, 0.5).unwrap();
+        let err = PrecisEngine::new(db, bad_graph).unwrap_err();
+        assert!(matches!(err, CoreError::SchemaMismatch(_)));
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn engine_insert_and_delete_keep_the_index_fresh() {
+        let (db, graph) = expert_join_setup();
+        let mut engine = PrecisEngine::new(db, graph).unwrap();
+        let spec = AnswerSpec::new(
+            crate::DegreeConstraint::MinWeight(0.5),
+            CardinalityConstraint::Unbounded,
+        );
+        assert!(engine
+            .answer(&PrecisQuery::parse("grace"), &spec)
+            .unwrap()
+            .matches[0]
+            .occurrences
+            .is_empty());
+
+        let tid = engine
+            .insert(
+                "PERSON",
+                vec![Value::from(2), Value::from("Grace"), Value::from("Rome")],
+            )
+            .unwrap();
+        let a = engine.answer(&PrecisQuery::parse("grace"), &spec).unwrap();
+        assert_eq!(a.precis.report.seed_tuples, 1);
+        // Grace joins to Rome's venue.
+        let venue = engine.database().schema().relation_id("VENUE").unwrap();
+        assert_eq!(a.precis.collected[&venue].len(), 1);
+
+        let person = engine.database().schema().relation_id("PERSON").unwrap();
+        engine.delete(person, tid).unwrap();
+        let a = engine.answer(&PrecisQuery::parse("grace"), &spec).unwrap();
+        assert!(a.matches[0].occurrences.is_empty());
+    }
+}

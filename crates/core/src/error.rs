@@ -1,0 +1,69 @@
+//! Core précis-processing error type.
+
+use std::fmt;
+
+/// Errors raised while answering a précis query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A storage-engine operation failed.
+    Storage(precis_storage::StorageError),
+    /// A schema-graph operation failed.
+    Graph(precis_graph::GraphError),
+    /// A named weight profile is not registered with the engine.
+    UnknownProfile(String),
+    /// The schema graph was built over a different database schema than the
+    /// engine's database.
+    SchemaMismatch(String),
+    /// The query contained no tokens.
+    EmptyQuery,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::UnknownProfile(p) => write!(f, "unknown weight profile {p:?}"),
+            CoreError::SchemaMismatch(msg) => write!(f, "graph/database schema mismatch: {msg}"),
+            CoreError::EmptyQuery => f.write_str("précis query has no tokens"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<precis_storage::StorageError> for CoreError {
+    fn from(e: precis_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<precis_graph::GraphError> for CoreError {
+    fn from(e: precis_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_sources() {
+        use std::error::Error;
+        let e = CoreError::from(precis_storage::StorageError::UnknownRelation("R".into()));
+        assert!(e.to_string().contains("storage error"));
+        assert!(e.source().is_some());
+        assert!(CoreError::EmptyQuery.source().is_none());
+        let g = CoreError::from(precis_graph::GraphError::WeightOutOfRange(2.0));
+        assert!(g.to_string().contains("graph error"));
+    }
+}

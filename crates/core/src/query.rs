@@ -1,0 +1,113 @@
+//! The précis query model: a free-form set of tokens.
+
+/// A précis query `Q = {k₁, k₂, …, k_m}` (paper §3.3). Tokens are values —
+/// words or quoted phrases — not attribute or relation names; the system
+/// decides which parts of the schema are relevant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrecisQuery {
+    tokens: Vec<String>,
+}
+
+impl PrecisQuery {
+    /// Build a query from explicit tokens. Empty/whitespace tokens are
+    /// dropped; duplicates are kept (they resolve to the same occurrences).
+    pub fn new<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PrecisQuery {
+            tokens: tokens
+                .into_iter()
+                .map(Into::into)
+                .map(|t| t.trim().to_owned())
+                .filter(|t| !t.is_empty())
+                .collect(),
+        }
+    }
+
+    /// Parse free-form user input: whitespace-separated words, with double
+    /// quotes grouping phrases — `woody "match point"` yields the tokens
+    /// `woody` and `match point`.
+    pub fn parse(input: &str) -> Self {
+        let mut tokens = Vec::new();
+        let mut rest = input.trim();
+        while !rest.is_empty() {
+            if let Some(stripped) = rest.strip_prefix('"') {
+                match stripped.find('"') {
+                    Some(end) => {
+                        tokens.push(stripped[..end].to_owned());
+                        rest = stripped[end + 1..].trim_start();
+                    }
+                    None => {
+                        // Unterminated quote: take the remainder as one token.
+                        tokens.push(stripped.to_owned());
+                        rest = "";
+                    }
+                }
+            } else {
+                let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+                tokens.push(rest[..end].to_owned());
+                rest = rest[end..].trim_start();
+            }
+        }
+        PrecisQuery::new(tokens)
+    }
+
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+}
+
+impl std::fmt::Display for PrecisQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_words_and_phrases() {
+        let q = PrecisQuery::parse(r#"woody "match point"  2005"#);
+        assert_eq!(q.tokens(), &["woody", "match point", "2005"]);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn parse_unterminated_quote() {
+        let q = PrecisQuery::parse(r#""woody allen"#);
+        assert_eq!(q.tokens(), &["woody allen"]);
+    }
+
+    #[test]
+    fn new_drops_blank_tokens() {
+        let q = PrecisQuery::new(["", "  ", "x"]);
+        assert_eq!(q.tokens(), &["x"]);
+        assert!(PrecisQuery::parse("   ").is_empty());
+    }
+
+    #[test]
+    fn display_is_set_like() {
+        let q = PrecisQuery::new(["a", "b"]);
+        assert_eq!(q.to_string(), r#"{"a", "b"}"#);
+    }
+}

@@ -1,0 +1,304 @@
+//! The result schema D′ produced by the Result Schema Generator: a sub-graph
+//! G′ of the schema graph (paper §5.1, Figure 4).
+
+use precis_graph::{Path, SchemaGraph};
+use precis_storage::RelationId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-relation bookkeeping inside a [`ResultSchema`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationInfo {
+    /// Attribute positions projected in the answer (from accepted projection
+    /// paths) — the *visible* attributes.
+    pub visible_attrs: BTreeSet<usize>,
+    /// Origin relations (relations containing query tokens) whose accepted
+    /// paths pass through this relation. The paper's *in-degree* of the node
+    /// is the size of this set (MOVIE has in-degree 2 in Figure 4).
+    pub origins: BTreeSet<RelationId>,
+}
+
+/// A join edge of the schema graph that participates in the result schema,
+/// annotated with the origins whose paths use it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsedJoin {
+    /// Index into the schema graph's join-edge table.
+    pub edge: usize,
+    /// Origins whose accepted paths traverse this edge.
+    pub origins: BTreeSet<RelationId>,
+}
+
+/// The output of the Result Schema Generator: which relations appear in the
+/// answer, which of their attributes are projected, which join edges connect
+/// them, and the accepted projection paths `P_d`.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSchema {
+    relations: BTreeMap<RelationId, RelationInfo>,
+    joins: Vec<UsedJoin>,
+    origins: Vec<RelationId>,
+    paths: Vec<Path>,
+}
+
+impl ResultSchema {
+    pub(crate) fn new(origins: Vec<RelationId>) -> Self {
+        let mut rs = ResultSchema {
+            relations: BTreeMap::new(),
+            joins: Vec::new(),
+            origins: origins.clone(),
+            paths: Vec::new(),
+        };
+        // Origin relations are always part of the answer: they hold the
+        // matching tuples (shown "in color" in Figure 4).
+        for o in origins {
+            rs.relations.entry(o).or_default().origins.insert(o);
+        }
+        rs
+    }
+
+    /// Fold an accepted projection path into the sub-graph: insert its nodes
+    /// and edges, tag them with the path's origin, and record the projected
+    /// attribute.
+    pub(crate) fn accept_path(&mut self, graph: &SchemaGraph, path: &Path) {
+        let origin = path.origin();
+        for rel in path.visited() {
+            self.relations.entry(*rel).or_default().origins.insert(origin);
+        }
+        for &edge in path.join_edges() {
+            match self.joins.iter_mut().find(|u| u.edge == edge) {
+                Some(u) => {
+                    u.origins.insert(origin);
+                }
+                None => {
+                    let mut origins = BTreeSet::new();
+                    origins.insert(origin);
+                    self.joins.push(UsedJoin { edge, origins });
+                }
+            }
+        }
+        if let Some(pe) = path.projection_edge() {
+            let p = graph.projection_edge(pe);
+            self.relations
+                .entry(p.rel)
+                .or_default()
+                .visible_attrs
+                .insert(p.attr);
+        }
+        self.paths.push(path.clone());
+    }
+
+    /// Relations in the result schema, ascending by id.
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &RelationInfo)> {
+        self.relations.iter().map(|(&r, i)| (r, i))
+    }
+
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn contains(&self, rel: RelationId) -> bool {
+        self.relations.contains_key(&rel)
+    }
+
+    pub fn info(&self, rel: RelationId) -> Option<&RelationInfo> {
+        self.relations.get(&rel)
+    }
+
+    /// The paper's in-degree of a relation node: how many origins reach it.
+    pub fn in_degree(&self, rel: RelationId) -> usize {
+        self.relations.get(&rel).map_or(0, |i| i.origins.len())
+    }
+
+    /// Join edges participating in the result schema.
+    pub fn used_joins(&self) -> &[UsedJoin] {
+        &self.joins
+    }
+
+    /// Relations containing the query tokens (the traversal origins).
+    pub fn origins(&self) -> &[RelationId] {
+        &self.origins
+    }
+
+    /// The accepted projection paths `P_d`, in acceptance (priority) order.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Visible (projected) attribute positions of `rel`, ascending.
+    pub fn visible_attrs(&self, rel: RelationId) -> Vec<usize> {
+        self.relations
+            .get(&rel)
+            .map(|i| i.visible_attrs.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Attributes that must be physically stored for `rel` in the result
+    /// database: the visible attributes, plus the endpoints of used join
+    /// edges ("attributes required for joins have been also projected in the
+    /// result, but will not show in the final answer" — Figure 6), plus the
+    /// primary key so result relations keep their key constraint.
+    pub fn stored_attrs(&self, graph: &SchemaGraph, rel: RelationId) -> Vec<usize> {
+        let mut set: BTreeSet<usize> = match self.relations.get(&rel) {
+            Some(info) => info.visible_attrs.clone(),
+            None => return Vec::new(),
+        };
+        for u in &self.joins {
+            let e = graph.join_edge(u.edge);
+            if e.from == rel {
+                set.insert(e.from_attr);
+            }
+            if e.to == rel {
+                set.insert(e.to_attr);
+            }
+        }
+        if let Some(pk) = graph.schema().relation(rel).primary_key() {
+            set.insert(pk);
+        }
+        set.into_iter().collect()
+    }
+
+    /// Hidden attributes of `rel`: stored but not visible (join attributes
+    /// and primary keys pulled in for structural reasons).
+    pub fn hidden_attrs(&self, graph: &SchemaGraph, rel: RelationId) -> Vec<usize> {
+        let visible = self
+            .relations
+            .get(&rel)
+            .map(|i| i.visible_attrs.clone())
+            .unwrap_or_default();
+        self.stored_attrs(graph, rel)
+            .into_iter()
+            .filter(|a| !visible.contains(a))
+            .collect()
+    }
+
+    /// Total number of visible attributes across relations (a common
+    /// "degree" measure, used as the x-axis of Figure 7).
+    pub fn total_visible_attrs(&self) -> usize {
+        self.relations.values().map(|i| i.visible_attrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_graph::SchemaGraph;
+    use precis_storage::{DataType, DatabaseSchema, ForeignKey, RelationSchema};
+
+    fn graph() -> SchemaGraph {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("A")
+                .attr_not_null("id", DataType::Int)
+                .attr("x", DataType::Text)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("B")
+                .attr_not_null("id", DataType::Int)
+                .attr("a", DataType::Int)
+                .attr("y", DataType::Text)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id")).unwrap();
+        SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.7).unwrap()
+    }
+
+    #[test]
+    fn accept_path_updates_everything() {
+        let g = graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        let mut rs = ResultSchema::new(vec![a]);
+        assert!(rs.contains(a));
+        assert_eq!(rs.in_degree(a), 1);
+        assert!(!rs.contains(b));
+
+        let ab = g.find_join(a, b).unwrap();
+        let y = g.schema().relation(b).attr_position("y").unwrap();
+        let proj_y = g.find_projection(b, y).unwrap();
+        let p = Path::seed(a)
+            .extend_join(&g, ab)
+            .unwrap()
+            .extend_projection(&g, proj_y)
+            .unwrap();
+        rs.accept_path(&g, &p);
+
+        assert!(rs.contains(b));
+        assert_eq!(rs.visible_attrs(b), vec![y]);
+        assert_eq!(rs.used_joins().len(), 1);
+        assert_eq!(rs.used_joins()[0].edge, ab);
+        assert!(rs.used_joins()[0].origins.contains(&a));
+        assert_eq!(rs.paths().len(), 1);
+        assert_eq!(rs.total_visible_attrs(), 1);
+        assert_eq!(rs.relation_count(), 2);
+    }
+
+    #[test]
+    fn in_degree_counts_distinct_origins() {
+        let g = graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        let mut rs = ResultSchema::new(vec![a, b]);
+        let ab = g.find_join(a, b).unwrap();
+        let p = Path::seed(a).extend_join(&g, ab).unwrap();
+        let y = g.schema().relation(b).attr_position("y").unwrap();
+        let p = p
+            .extend_projection(&g, g.find_projection(b, y).unwrap())
+            .unwrap();
+        rs.accept_path(&g, &p);
+        // B is an origin itself and also reached from A.
+        assert_eq!(rs.in_degree(b), 2);
+        assert_eq!(rs.in_degree(a), 1);
+        assert_eq!(rs.origins(), &[a, b]);
+    }
+
+    #[test]
+    fn stored_attrs_include_join_endpoints_and_pk() {
+        let g = graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        let mut rs = ResultSchema::new(vec![a]);
+        let ab = g.find_join(a, b).unwrap();
+        let y = g.schema().relation(b).attr_position("y").unwrap();
+        let p = Path::seed(a)
+            .extend_join(&g, ab)
+            .unwrap()
+            .extend_projection(&g, g.find_projection(b, y).unwrap())
+            .unwrap();
+        rs.accept_path(&g, &p);
+        // B stores: id (pk), a (join endpoint), y (visible).
+        assert_eq!(rs.stored_attrs(&g, b), vec![0, 1, 2]);
+        assert_eq!(rs.hidden_attrs(&g, b), vec![0, 1]);
+        // A stores: id (pk + join endpoint) even with nothing visible.
+        assert_eq!(rs.stored_attrs(&g, a), vec![0]);
+        // Relations outside the result schema store nothing.
+        assert!(rs.stored_attrs(&g, precis_storage::RelationId(99)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edge_acceptance_merges_origins() {
+        let g = graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        let mut rs = ResultSchema::new(vec![a]);
+        let ab = g.find_join(a, b).unwrap();
+        let y = g.schema().relation(b).attr_position("y").unwrap();
+        let id = g.schema().relation(b).attr_position("id").unwrap();
+        let base = Path::seed(a).extend_join(&g, ab).unwrap();
+        let p1 = base
+            .extend_projection(&g, g.find_projection(b, y).unwrap())
+            .unwrap();
+        let p2 = base
+            .extend_projection(&g, g.find_projection(b, id).unwrap())
+            .unwrap();
+        rs.accept_path(&g, &p1);
+        rs.accept_path(&g, &p2);
+        assert_eq!(rs.used_joins().len(), 1, "same edge recorded once");
+        assert_eq!(rs.visible_attrs(b), vec![id, y]);
+        assert_eq!(rs.paths().len(), 2);
+    }
+}

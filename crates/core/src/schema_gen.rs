@@ -1,0 +1,454 @@
+//! The **Result Schema Generator** (paper §5.1, Figure 3).
+//!
+//! Best-first traversal of the database schema graph starting from the
+//! relations that contain the query tokens. Candidate paths are consumed in
+//! decreasing weight (ties: increasing length); projection paths that
+//! satisfy the degree constraint are folded into the result schema G′; join
+//! paths are expanded one adjacent edge at a time, with expansion pruned as
+//! soon as an extension fails the constraint (edges are pre-sorted by
+//! decreasing weight, so all later siblings would fail too).
+
+use crate::constraints::{DegreeConstraint, Verdict};
+use crate::result_schema::ResultSchema;
+use precis_graph::{Path, PathPriority, SchemaGraph};
+use precis_storage::RelationId;
+use std::collections::BinaryHeap;
+
+/// Statistics of one traversal, used by the pruning ablation bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Paths popped from the candidate queue.
+    pub popped: usize,
+    /// Paths pushed into the candidate queue.
+    pub pushed: usize,
+    /// Projection paths accepted into `P_d`.
+    pub accepted: usize,
+    /// Sibling expansions skipped thanks to the prune-on-first-violation
+    /// rule.
+    pub pruned_siblings: usize,
+}
+
+/// Run the Result Schema Generator: compute the result schema for a query
+/// whose tokens were found in `origins`, under degree constraint `degree`.
+///
+/// Duplicate origins are collapsed. An empty `origins` slice yields an empty
+/// result schema (the query matched nothing).
+pub fn generate_result_schema(
+    graph: &SchemaGraph,
+    origins: &[RelationId],
+    degree: &DegreeConstraint,
+) -> ResultSchema {
+    generate_result_schema_instrumented(graph, origins, degree, true).0
+}
+
+/// As [`generate_result_schema`], returning traversal statistics and
+/// optionally disabling the expansion-pruning optimization (for the
+/// ablation; results are identical either way).
+pub fn generate_result_schema_instrumented(
+    graph: &SchemaGraph,
+    origins: &[RelationId],
+    degree: &DegreeConstraint,
+    prune_expansion: bool,
+) -> (ResultSchema, TraversalStats) {
+    let mut unique_origins: Vec<RelationId> = Vec::new();
+    for &o in origins {
+        if !unique_origins.contains(&o) {
+            unique_origins.push(o);
+        }
+    }
+
+    let mut result = ResultSchema::new(unique_origins.clone());
+    let mut stats = TraversalStats::default();
+    let mut queue: BinaryHeap<PathPriority> = BinaryHeap::new();
+
+    // Step 1: QP ← every edge attached to an origin relation.
+    for &origin in &unique_origins {
+        let seed = Path::seed(origin);
+        for &pe in graph.projections_of(origin) {
+            if let Some(p) = seed.extend_projection(graph, pe) {
+                queue.push(PathPriority(p));
+                stats.pushed += 1;
+            }
+        }
+        for &je in graph.joins_from(origin) {
+            if let Some(p) = seed.extend_join(graph, je) {
+                queue.push(PathPriority(p));
+                stats.pushed += 1;
+            }
+        }
+    }
+
+    // Step 2: best-first consumption.
+    while let Some(PathPriority(path)) = queue.pop() {
+        stats.popped += 1;
+        match degree.check(stats.accepted, &path) {
+            Verdict::RejectTerminal => break,
+            Verdict::Reject => continue,
+            Verdict::Admit => {}
+        }
+        if path.is_projection() {
+            result.accept_path(graph, &path);
+            stats.accepted += 1;
+        } else {
+            expand_join_path(graph, degree, prune_expansion, &path, &mut queue, &mut stats);
+        }
+    }
+
+    (result, stats)
+}
+
+/// Expand a join path with every adjacent edge (projection edges of the end
+/// relation, then outgoing join edges), in decreasing weight order. When
+/// `prune_expansion` is set and an extension fails the degree constraint,
+/// the remaining (lighter) siblings are skipped — the paper's pruning rule.
+fn expand_join_path(
+    graph: &SchemaGraph,
+    degree: &DegreeConstraint,
+    prune_expansion: bool,
+    path: &Path,
+    queue: &mut BinaryHeap<PathPriority>,
+    stats: &mut TraversalStats,
+) {
+    let end = path.end_relation();
+    // Merge the two weight-descending edge lists into one descending stream.
+    let projs = graph.projections_of(end);
+    let joins = graph.joins_from(end);
+    let mut pi = 0;
+    let mut ji = 0;
+    let mut remaining = projs.len() + joins.len();
+    while pi < projs.len() || ji < joins.len() {
+        let take_projection = match (projs.get(pi), joins.get(ji)) {
+            (Some(&p), Some(&j)) => {
+                graph.projection_edge(p).weight >= graph.join_edge(j).weight
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("loop condition"),
+        };
+        let extended = if take_projection {
+            let p = projs[pi];
+            pi += 1;
+            path.extend_projection(graph, p)
+        } else {
+            let j = joins[ji];
+            ji += 1;
+            path.extend_join(graph, j)
+        };
+        remaining -= 1;
+        let Some(candidate) = extended else {
+            continue; // cyclic extension, skipped without affecting pruning
+        };
+        match degree.check(stats.accepted, &candidate) {
+            Verdict::Admit => {
+                queue.push(PathPriority(candidate));
+                stats.pushed += 1;
+            }
+            Verdict::Reject | Verdict::RejectTerminal => {
+                if prune_expansion {
+                    // Siblings are lighter; they would fail too.
+                    stats.pruned_siblings += remaining;
+                    break;
+                }
+                // Ablation mode: naive best-first pushes the candidate
+                // anyway and lets the consumption loop re-check and discard
+                // it — same results, more queue work.
+                queue.push(PathPriority(candidate));
+                stats.pushed += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::DegreeConstraint;
+    use precis_graph::SchemaGraph;
+    use precis_storage::{DataType, DatabaseSchema, ForeignKey, RelationSchema};
+
+    /// The paper's movies schema graph (Figure 1), with the published
+    /// weights.
+    fn movies_graph() -> SchemaGraph {
+        type RelSpec<'a> = (&'a str, &'a [(&'a str, DataType)], &'a str);
+        let mut s = DatabaseSchema::new("movies");
+        let rels: &[RelSpec] = &[
+            (
+                "THEATRE",
+                &[
+                    ("tid", DataType::Int),
+                    ("name", DataType::Text),
+                    ("phone", DataType::Text),
+                    ("region", DataType::Text),
+                ],
+                "tid",
+            ),
+            (
+                "PLAY",
+                &[
+                    ("pid", DataType::Int),
+                    ("tid", DataType::Int),
+                    ("mid", DataType::Int),
+                    ("date", DataType::Text),
+                ],
+                "pid",
+            ),
+            (
+                "MOVIE",
+                &[
+                    ("mid", DataType::Int),
+                    ("title", DataType::Text),
+                    ("year", DataType::Int),
+                    ("did", DataType::Int),
+                ],
+                "mid",
+            ),
+            (
+                "GENRE",
+                &[("gid", DataType::Int), ("mid", DataType::Int), ("genre", DataType::Text)],
+                "gid",
+            ),
+            (
+                "CAST",
+                &[
+                    ("cid", DataType::Int),
+                    ("mid", DataType::Int),
+                    ("aid", DataType::Int),
+                    ("role", DataType::Text),
+                ],
+                "cid",
+            ),
+            (
+                "ACTOR",
+                &[
+                    ("aid", DataType::Int),
+                    ("aname", DataType::Text),
+                    ("blocation", DataType::Text),
+                    ("bdate", DataType::Text),
+                ],
+                "aid",
+            ),
+            (
+                "DIRECTOR",
+                &[
+                    ("did", DataType::Int),
+                    ("dname", DataType::Text),
+                    ("blocation", DataType::Text),
+                    ("bdate", DataType::Text),
+                ],
+                "did",
+            ),
+        ];
+        for (name, attrs, pk) in rels {
+            let mut b = RelationSchema::builder(*name);
+            for (a, ty) in *attrs {
+                b = b.attr(*a, *ty);
+            }
+            s.add_relation(b.primary_key(*pk).build().unwrap()).unwrap();
+        }
+        for (rel, attr, to, to_attr) in [
+            ("PLAY", "tid", "THEATRE", "tid"),
+            ("PLAY", "mid", "MOVIE", "mid"),
+            ("GENRE", "mid", "MOVIE", "mid"),
+            ("CAST", "mid", "MOVIE", "mid"),
+            ("CAST", "aid", "ACTOR", "aid"),
+            ("MOVIE", "did", "DIRECTOR", "did"),
+        ] {
+            s.add_foreign_key(ForeignKey::new(rel, attr, to, to_attr))
+                .unwrap();
+        }
+        // Weights approximating Figure 1.
+        SchemaGraph::builder(s)
+            .projection("THEATRE", "name", 1.0).unwrap()
+            .projection("THEATRE", "phone", 0.8).unwrap()
+            .projection("THEATRE", "region", 0.7).unwrap()
+            .projection("PLAY", "date", 0.6).unwrap()
+            .projection("MOVIE", "title", 1.0).unwrap()
+            .projection("MOVIE", "year", 0.7).unwrap()
+            .projection("GENRE", "genre", 1.0).unwrap()
+            .projection("CAST", "role", 0.3).unwrap()
+            .projection("ACTOR", "aname", 1.0).unwrap()
+            .projection("ACTOR", "blocation", 0.7).unwrap()
+            .projection("ACTOR", "bdate", 0.6).unwrap()
+            .projection("DIRECTOR", "dname", 1.0).unwrap()
+            .projection("DIRECTOR", "blocation", 0.9).unwrap()
+            .projection("DIRECTOR", "bdate", 0.9).unwrap()
+            .join_both("PLAY", "tid", "THEATRE", "tid", 1.0, 0.3).unwrap()
+            .join_both("PLAY", "mid", "MOVIE", "mid", 1.0, 0.3).unwrap()
+            .join_both("GENRE", "mid", "MOVIE", "mid", 1.0, 0.9).unwrap()
+            .join_both("CAST", "mid", "MOVIE", "mid", 1.0, 0.7).unwrap()
+            .join_both("CAST", "aid", "ACTOR", "aid", 1.0, 0.95).unwrap()
+            .join_both("MOVIE", "did", "DIRECTOR", "did", 0.89, 1.0).unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn rel(g: &SchemaGraph, name: &str) -> RelationId {
+        g.schema().relation_id(name).unwrap()
+    }
+
+    /// The paper's running example: tokens found in DIRECTOR and ACTOR,
+    /// degree constraint "projections with weight ≥ 0.9". Figure 4 shows the
+    /// expected result schema.
+    #[test]
+    fn paper_running_example_matches_figure_4() {
+        let g = movies_graph();
+        let director = rel(&g, "DIRECTOR");
+        let actor = rel(&g, "ACTOR");
+        let movie = rel(&g, "MOVIE");
+        let genre = rel(&g, "GENRE");
+        let rs = generate_result_schema(
+            &g,
+            &[director, actor],
+            &DegreeConstraint::MinWeight(0.9),
+        );
+
+        // Relations: DIRECTOR, ACTOR, CAST (bridge), MOVIE, GENRE.
+        assert!(rs.contains(director));
+        assert!(rs.contains(actor));
+        assert!(rs.contains(movie));
+        assert!(rs.contains(genre));
+        assert!(rs.contains(rel(&g, "CAST")));
+        assert!(!rs.contains(rel(&g, "THEATRE")), "weight .3 path excluded");
+        assert!(!rs.contains(rel(&g, "PLAY")));
+
+        // MOVIE is reached from both origins: in-degree 2 (Figure 4).
+        assert_eq!(rs.in_degree(movie), 2);
+        assert_eq!(rs.in_degree(director), 1);
+
+        // Visible attributes per Figure 4.
+        let vis = |r: RelationId| -> Vec<String> {
+            rs.visible_attrs(r)
+                .into_iter()
+                .map(|a| g.schema().relation(r).attr_name(a).to_owned())
+                .collect()
+        };
+        assert_eq!(vis(director), vec!["dname", "blocation", "bdate"]);
+        assert_eq!(vis(actor), vec!["aname"]);
+        assert_eq!(vis(movie), vec!["title"]);
+        assert_eq!(vis(genre), vec!["genre"]);
+        // CAST.role (0.3) is below the threshold: CAST is a pure bridge.
+        assert!(rs.visible_attrs(rel(&g, "CAST")).is_empty());
+    }
+
+    #[test]
+    fn top_projections_takes_exactly_r() {
+        let g = movies_graph();
+        let director = rel(&g, "DIRECTOR");
+        for r in [0, 1, 3, 5, 10] {
+            let rs = generate_result_schema(
+                &g,
+                &[director],
+                &DegreeConstraint::TopProjections(r),
+            );
+            assert_eq!(rs.paths().len(), r.min(count_all_projections(&g, director)));
+        }
+    }
+
+    fn count_all_projections(g: &SchemaGraph, origin: RelationId) -> usize {
+        // Unbounded traversal accepts every acyclic projection path.
+        let rs = generate_result_schema(g, &[origin], &DegreeConstraint::MinWeight(0.0));
+        rs.paths().len()
+    }
+
+    #[test]
+    fn accepted_paths_have_non_increasing_weight() {
+        let g = movies_graph();
+        let rs = generate_result_schema(
+            &g,
+            &[rel(&g, "DIRECTOR"), rel(&g, "ACTOR")],
+            &DegreeConstraint::TopProjections(12),
+        );
+        let ws: Vec<f64> = rs.paths().iter().map(|p| p.weight()).collect();
+        assert!(
+            ws.windows(2).all(|w| w[0] >= w[1] - 1e-12),
+            "weights must be non-increasing: {ws:?}"
+        );
+    }
+
+    #[test]
+    fn max_path_length_bounds_every_accepted_path() {
+        let g = movies_graph();
+        let rs = generate_result_schema(
+            &g,
+            &[rel(&g, "GENRE")],
+            &DegreeConstraint::MaxPathLength(2),
+        );
+        assert!(!rs.paths().is_empty());
+        assert!(rs.paths().iter().all(|p| p.len() <= 2));
+        // Length 2 from GENRE reaches MOVIE's attributes but not DIRECTOR's.
+        assert!(!rs.visible_attrs(rel(&g, "MOVIE")).is_empty());
+        assert!(rs.visible_attrs(rel(&g, "DIRECTOR")).is_empty());
+    }
+
+    #[test]
+    fn min_weight_zero_explores_whole_connected_component() {
+        let g = movies_graph();
+        let rs = generate_result_schema(
+            &g,
+            &[rel(&g, "THEATRE")],
+            &DegreeConstraint::MinWeight(0.0),
+        );
+        assert_eq!(rs.relation_count(), 7, "all relations reachable");
+        // Every attribute with a projection edge becomes visible somewhere.
+        assert_eq!(rs.total_visible_attrs(), 14);
+    }
+
+    #[test]
+    fn empty_origins_yield_empty_schema() {
+        let g = movies_graph();
+        let rs = generate_result_schema(&g, &[], &DegreeConstraint::MinWeight(0.5));
+        assert_eq!(rs.relation_count(), 0);
+        assert!(rs.paths().is_empty());
+    }
+
+    #[test]
+    fn duplicate_origins_are_collapsed() {
+        let g = movies_graph();
+        let d = rel(&g, "DIRECTOR");
+        let rs1 = generate_result_schema(&g, &[d, d], &DegreeConstraint::MinWeight(0.9));
+        let rs2 = generate_result_schema(&g, &[d], &DegreeConstraint::MinWeight(0.9));
+        assert_eq!(rs1.paths().len(), rs2.paths().len());
+        assert_eq!(rs1.in_degree(d), 1);
+    }
+
+    #[test]
+    fn pruning_does_not_change_results() {
+        let g = movies_graph();
+        let origins = [rel(&g, "DIRECTOR"), rel(&g, "ACTOR")];
+        for d in [
+            DegreeConstraint::MinWeight(0.7),
+            DegreeConstraint::TopProjections(6),
+            DegreeConstraint::MaxPathLength(3),
+        ] {
+            let (with, s_with) =
+                generate_result_schema_instrumented(&g, &origins, &d, true);
+            let (without, s_without) =
+                generate_result_schema_instrumented(&g, &origins, &d, false);
+            assert_eq!(with.paths().len(), without.paths().len(), "{d:?}");
+            assert_eq!(
+                with.total_visible_attrs(),
+                without.total_visible_attrs(),
+                "{d:?}"
+            );
+            assert!(s_with.pushed <= s_without.pushed, "{d:?}");
+            assert_eq!(s_with.accepted, s_without.accepted);
+        }
+    }
+
+    #[test]
+    fn changing_weights_changes_the_answer() {
+        let g = movies_graph();
+        let genre = rel(&g, "GENRE");
+        let movie = rel(&g, "MOVIE");
+        // With Figure 1 weights, GENRE→MOVIE has weight 1.0: MOVIE appears.
+        let rs = generate_result_schema(&g, &[genre], &DegreeConstraint::MinWeight(0.95));
+        assert!(rs.contains(movie));
+        // Demote the edge and MOVIE falls out — the paper's interactive
+        // exploration story (§3.1).
+        let g2 = g
+            .with_profile(&precis_graph::WeightProfile::new("fan").set("GENRE->MOVIE", 0.2))
+            .unwrap();
+        let rs2 = generate_result_schema(&g2, &[genre], &DegreeConstraint::MinWeight(0.95));
+        assert!(!rs2.contains(movie));
+    }
+}

@@ -1,0 +1,399 @@
+//! The paper's movies database (Figure 1) and running example (§5).
+//!
+//! Schema (primary keys underlined in the paper; bridge relations get
+//! surrogate keys because the storage engine follows the paper's
+//! simplifying assumption of non-composite primary keys):
+//!
+//! ```text
+//! THEATRE(tid, name, phone, region)    PLAY(pid, tid, mid, date)
+//! MOVIE(mid, title, year, did)         GENRE(gid, mid, genre)
+//! CAST(cid, mid, aid, role)            ACTOR(aid, aname, blocation, bdate)
+//! DIRECTOR(did, dname, blocation, bdate)
+//! ```
+
+use precis_graph::SchemaGraph;
+use precis_nlg::Vocabulary;
+use precis_storage::{
+    DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value,
+};
+
+/// Build the movies database schema of Figure 1.
+pub fn movies_schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("movies");
+    let add = |s: &mut DatabaseSchema, r: RelationSchema| {
+        s.add_relation(r).expect("unique relation names");
+    };
+    add(
+        &mut s,
+        RelationSchema::builder("THEATRE")
+            .attr_not_null("tid", DataType::Int)
+            .attr("name", DataType::Text)
+            .attr("phone", DataType::Text)
+            .attr("region", DataType::Text)
+            .primary_key("tid")
+            .build()
+            .expect("valid THEATRE schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("PLAY")
+            .attr_not_null("pid", DataType::Int)
+            .attr("tid", DataType::Int)
+            .attr("mid", DataType::Int)
+            .attr("date", DataType::Text)
+            .primary_key("pid")
+            .build()
+            .expect("valid PLAY schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("MOVIE")
+            .attr_not_null("mid", DataType::Int)
+            .attr("title", DataType::Text)
+            .attr("year", DataType::Int)
+            .attr("did", DataType::Int)
+            .primary_key("mid")
+            .build()
+            .expect("valid MOVIE schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("GENRE")
+            .attr_not_null("gid", DataType::Int)
+            .attr("mid", DataType::Int)
+            .attr("genre", DataType::Text)
+            .primary_key("gid")
+            .build()
+            .expect("valid GENRE schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("CAST")
+            .attr_not_null("cid", DataType::Int)
+            .attr("mid", DataType::Int)
+            .attr("aid", DataType::Int)
+            .attr("role", DataType::Text)
+            .primary_key("cid")
+            .build()
+            .expect("valid CAST schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("ACTOR")
+            .attr_not_null("aid", DataType::Int)
+            .attr("aname", DataType::Text)
+            .attr("blocation", DataType::Text)
+            .attr("bdate", DataType::Text)
+            .primary_key("aid")
+            .build()
+            .expect("valid ACTOR schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("DIRECTOR")
+            .attr_not_null("did", DataType::Int)
+            .attr("dname", DataType::Text)
+            .attr("blocation", DataType::Text)
+            .attr("bdate", DataType::Text)
+            .primary_key("did")
+            .build()
+            .expect("valid DIRECTOR schema"),
+    );
+    for (rel, attr, to, to_attr) in [
+        ("PLAY", "tid", "THEATRE", "tid"),
+        ("PLAY", "mid", "MOVIE", "mid"),
+        ("GENRE", "mid", "MOVIE", "mid"),
+        ("CAST", "mid", "MOVIE", "mid"),
+        ("CAST", "aid", "ACTOR", "aid"),
+        ("MOVIE", "did", "DIRECTOR", "did"),
+    ] {
+        s.add_foreign_key(ForeignKey::new(rel, attr, to, to_attr))
+            .expect("valid foreign keys");
+    }
+    s
+}
+
+/// The weighted schema graph of Figure 1.
+///
+/// Weights follow the figure where legible (e.g. GENRE→MOVIE = 1, MOVIE→GENRE
+/// = 0.9, MOVIE→DIRECTOR = 0.89 per the §3.1 discussion) and sensible
+/// defaults elsewhere; DESIGN.md records the full assignment. Pure id
+/// attributes get no projection edges — they surface in results only as join
+/// attributes or primary keys.
+pub fn movies_graph() -> SchemaGraph {
+    SchemaGraph::builder(movies_schema())
+        .projection("THEATRE", "name", 1.0).expect("valid edge")
+        .projection("THEATRE", "phone", 0.8).expect("valid edge")
+        .projection("THEATRE", "region", 0.7).expect("valid edge")
+        .projection("PLAY", "date", 0.6).expect("valid edge")
+        .projection("MOVIE", "title", 1.0).expect("valid edge")
+        .projection("MOVIE", "year", 0.9).expect("valid edge")
+        .projection("GENRE", "genre", 1.0).expect("valid edge")
+        .projection("CAST", "role", 0.3).expect("valid edge")
+        .projection("ACTOR", "aname", 1.0).expect("valid edge")
+        .projection("ACTOR", "blocation", 0.9).expect("valid edge")
+        .projection("ACTOR", "bdate", 0.9).expect("valid edge")
+        .projection("DIRECTOR", "dname", 1.0).expect("valid edge")
+        .projection("DIRECTOR", "blocation", 0.9).expect("valid edge")
+        .projection("DIRECTOR", "bdate", 0.9).expect("valid edge")
+        .join_both("PLAY", "tid", "THEATRE", "tid", 1.0, 0.3).expect("valid edge")
+        .join_both("PLAY", "mid", "MOVIE", "mid", 1.0, 0.3).expect("valid edge")
+        .join_both("GENRE", "mid", "MOVIE", "mid", 1.0, 0.9).expect("valid edge")
+        .join_both("CAST", "mid", "MOVIE", "mid", 1.0, 0.7).expect("valid edge")
+        .join_both("CAST", "aid", "ACTOR", "aid", 1.0, 0.95).expect("valid edge")
+        .join_both("MOVIE", "did", "DIRECTOR", "did", 0.89, 1.0).expect("valid edge")
+        .build()
+        .expect("figure 1 graph is valid")
+}
+
+/// The hand-crafted instance behind the paper's running example: Woody Allen
+/// as a director of three films (with genres) and as an actor in two more.
+pub fn woody_allen_instance() -> Database {
+    let mut db = Database::new(movies_schema()).expect("valid schema");
+    let ins = |db: &mut Database, rel: &str, vals: Vec<Value>| {
+        db.insert(rel, vals).expect("valid example tuple");
+    };
+
+    ins(&mut db, "DIRECTOR", vec![
+        1.into(),
+        "Woody Allen".into(),
+        "Brooklyn, New York, USA".into(),
+        "December 1, 1935".into(),
+    ]);
+    ins(&mut db, "DIRECTOR", vec![
+        2.into(),
+        "Alfred Other".into(),
+        "London, UK".into(),
+        "March 2, 1940".into(),
+    ]);
+
+    // (mid, title, year, did) — the three directed films first, newest
+    // first, matching the paper's listing order.
+    for (mid, title, year, did) in [
+        (1, "Match Point", 2005, 1),
+        (2, "Melinda and Melinda", 2004, 1),
+        (3, "Anything Else", 2003, 1),
+        (4, "Hollywood Ending", 2002, 2),
+        (5, "The Curse of the Jade Scorpion", 2001, 2),
+    ] {
+        ins(&mut db, "MOVIE", vec![
+            mid.into(),
+            title.into(),
+            year.into(),
+            did.into(),
+        ]);
+    }
+
+    for (gid, mid, genre) in [
+        (1, 1, "Drama"),
+        (2, 1, "Thriller"),
+        (3, 2, "Comedy"),
+        (4, 2, "Drama"),
+        (5, 3, "Comedy"),
+        (6, 3, "Romance"),
+        (7, 4, "Comedy"),
+        (8, 5, "Comedy"),
+    ] {
+        ins(&mut db, "GENRE", vec![gid.into(), mid.into(), genre.into()]);
+    }
+
+    ins(&mut db, "ACTOR", vec![
+        1.into(),
+        "Woody Allen".into(),
+        "Brooklyn, New York, USA".into(),
+        "December 1, 1935".into(),
+    ]);
+    ins(&mut db, "ACTOR", vec![
+        2.into(),
+        "Scarlett Johansson".into(),
+        "New York, USA".into(),
+        "November 22, 1984".into(),
+    ]);
+
+    // Woody Allen acts in the two films he did not direct here.
+    for (cid, mid, aid, role) in [
+        (1, 4, 1, "Val Waxman"),
+        (2, 5, 1, "C.W. Briggs"),
+        (3, 1, 2, "Nola Rice"),
+    ] {
+        ins(&mut db, "CAST", vec![
+            cid.into(),
+            mid.into(),
+            aid.into(),
+            role.into(),
+        ]);
+    }
+
+    for (tid, name, phone, region) in [
+        (1, "Odeon", "210-1111", "Downtown"),
+        (2, "Rex", "210-2222", "Uptown"),
+    ] {
+        ins(&mut db, "THEATRE", vec![
+            tid.into(),
+            name.into(),
+            phone.into(),
+            region.into(),
+        ]);
+    }
+    for (pid, tid, mid, date) in [(1, 1, 1, "2026-07-01"), (2, 2, 4, "2026-07-02")] {
+        ins(&mut db, "PLAY", vec![
+            pid.into(),
+            tid.into(),
+            mid.into(),
+            date.into(),
+        ]);
+    }
+    debug_assert!(db.validate_foreign_keys().is_empty());
+    db
+}
+
+/// The designer vocabulary that renders the §5.3 narrative.
+///
+/// Heading attributes: THEATRE.name, MOVIE.title, GENRE.genre, ACTOR.aname,
+/// DIRECTOR.dname. PLAY and CAST have none — they are transparent bridges,
+/// and the labels of joins through them "signify the relationship between
+/// the previous and subsequent relations".
+pub fn movies_vocabulary(schema: &DatabaseSchema) -> Vocabulary {
+    let rel = |name: &str| schema.relation_id(name).expect("movies relation");
+    let attr = |name: &str, a: &str| {
+        schema
+            .relation(rel(name))
+            .attr_position(a)
+            .expect("movies attribute")
+    };
+    let theatre = rel("THEATRE");
+    let movie = rel("MOVIE");
+    let genre = rel("GENRE");
+    let cast = rel("CAST");
+    let actor = rel("ACTOR");
+    let director = rel("DIRECTOR");
+    let play = rel("PLAY");
+
+    let mut v = Vocabulary::new();
+    v.set_heading(theatre, attr("THEATRE", "name"));
+    v.set_heading(movie, attr("MOVIE", "title"));
+    v.set_heading(genre, attr("GENRE", "genre"));
+    v.set_heading(actor, attr("ACTOR", "aname"));
+    v.set_heading(director, attr("DIRECTOR", "dname"));
+
+    v.define_macro(
+        "MOVIE_LIST",
+        "[i<arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]), }[i=arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]).}",
+    )
+    .expect("valid macro");
+
+    v.set_relation_clause(director, "@DNAME was born on @BDATE in @BLOCATION.")
+        .expect("valid template");
+    v.set_relation_clause(actor, "@ANAME was born on @BDATE in @BLOCATION.")
+        .expect("valid template");
+    v.set_relation_clause(movie, "@TITLE (@YEAR) is a movie.")
+        .expect("valid template");
+    v.set_relation_clause(theatre, "@NAME is a theatre in the @REGION region (phone @PHONE).")
+        .expect("valid template");
+    v.set_relation_clause(genre, "@GENRE is a genre.")
+        .expect("valid template");
+
+    v.set_join_clause(director, movie, "As a director, @DNAME's work includes %MOVIE_LIST%")
+        .expect("valid template");
+    v.set_join_clause(cast, movie, "As an actor, @ANAME's work includes %MOVIE_LIST%")
+        .expect("valid template");
+    v.set_join_clause(movie, genre, "@TITLE is @GENRE[*].")
+        .expect("valid template");
+    v.set_join_clause(genre, movie, "@GENRE movies include %MOVIE_LIST%")
+        .expect("valid template");
+    v.set_join_clause(movie, director, "@TITLE was directed by @DNAME[*].")
+        .expect("valid template");
+    v.set_join_clause(cast, actor, "@TITLE stars @ANAME[*].")
+        .expect("valid template");
+    v.set_join_clause(play, movie, "@NAME is playing @TITLE[*].")
+        .expect("valid template");
+    v.set_join_clause(play, theatre, "@TITLE is playing at @NAME[*].")
+        .expect("valid template");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_seven_relations_and_six_fks() {
+        let s = movies_schema();
+        assert_eq!(s.relation_count(), 7);
+        assert_eq!(s.foreign_keys().len(), 6);
+        for name in ["THEATRE", "PLAY", "MOVIE", "GENRE", "CAST", "ACTOR", "DIRECTOR"] {
+            assert!(s.relation_id(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn graph_matches_figure_1_weights() {
+        let g = movies_graph();
+        let s = g.schema();
+        let genre = s.relation_id("GENRE").unwrap();
+        let movie = s.relation_id("MOVIE").unwrap();
+        let director = s.relation_id("DIRECTOR").unwrap();
+        // "the weight of the edge from GENRE to MOVIE is 1, while the weight
+        // of the edge from MOVIE to GENRE is .9" (§3.1).
+        assert_eq!(g.join_edge(g.find_join(genre, movie).unwrap()).weight, 1.0);
+        assert_eq!(g.join_edge(g.find_join(movie, genre).unwrap()).weight, 0.9);
+        assert_eq!(
+            g.join_edge(g.find_join(movie, director).unwrap()).weight,
+            0.89
+        );
+        assert_eq!(g.join_edges().len(), 12);
+        assert_eq!(g.projection_edges().len(), 14);
+    }
+
+    #[test]
+    fn instance_is_consistent_and_complete() {
+        let db = woody_allen_instance();
+        assert!(db.validate_foreign_keys().is_empty());
+        assert_eq!(db.total_tuples(), 2 + 5 + 8 + 2 + 3 + 2 + 2);
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        assert_eq!(db.len(movie), 5);
+    }
+
+    #[test]
+    fn weight_transfer_example_from_paper() {
+        // §3.2: "the weight of the projection of PHONE over THEATRE equals
+        // .8, while its weight with respect to MOVIE is .7 × 1 × .8 = .56"
+        // — MOVIE →(0.3) PLAY →(1.0) THEATRE ×(0.8) phone in our graph is
+        // .3 × 1 × .8 = .24 with the figure's legible weights; verify the
+        // multiplicative transfer itself.
+        use precis_graph::Path;
+        let g = movies_graph();
+        let s = g.schema();
+        let movie = s.relation_id("MOVIE").unwrap();
+        let play = s.relation_id("PLAY").unwrap();
+        let theatre = s.relation_id("THEATRE").unwrap();
+        let phone = s.relation(theatre).attr_position("phone").unwrap();
+        let p = Path::seed(movie)
+            .extend_join(&g, g.find_join(movie, play).unwrap())
+            .unwrap()
+            .extend_join(&g, g.find_join(play, theatre).unwrap())
+            .unwrap()
+            .extend_projection(&g, g.find_projection(theatre, phone).unwrap())
+            .unwrap();
+        let expected = g.join_edge(g.find_join(movie, play).unwrap()).weight
+            * g.join_edge(g.find_join(play, theatre).unwrap()).weight
+            * 0.8;
+        assert!((p.weight() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vocabulary_covers_the_narrative_relations() {
+        let s = movies_schema();
+        let v = movies_vocabulary(&s);
+        let director = s.relation_id("DIRECTOR").unwrap();
+        let cast = s.relation_id("CAST").unwrap();
+        let play = s.relation_id("PLAY").unwrap();
+        let movie = s.relation_id("MOVIE").unwrap();
+        assert!(v.heading(director).is_some());
+        assert!(v.heading(cast).is_none(), "CAST is a transparent bridge");
+        assert!(v.heading(play).is_none(), "PLAY is a transparent bridge");
+        assert!(v.relation_clause(director).is_some());
+        assert!(v.join_clause(director, movie).is_some());
+        assert!(v.macros().contains_key("MOVIE_LIST"));
+    }
+}

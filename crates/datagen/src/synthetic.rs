@@ -1,0 +1,341 @@
+//! Seeded synthetic population of the movies schema at configurable scale —
+//! the stand-in for the paper's IMDB dump ("over 34,000 films").
+
+use crate::movies::movies_schema;
+use crate::zipf::Zipf;
+use precis_storage::{Database, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GENRES: &[&str] = &[
+    "Comedy", "Drama", "Thriller", "Romance", "Action", "Horror", "Sci-Fi", "Documentary",
+    "Animation", "Crime", "Western", "Musical",
+];
+
+const CITIES: &[&str] = &[
+    "Brooklyn, New York, USA",
+    "London, UK",
+    "Paris, France",
+    "Athens, Greece",
+    "Rome, Italy",
+    "Berlin, Germany",
+    "Tokyo, Japan",
+    "Sydney, Australia",
+    "Toronto, Canada",
+    "Madrid, Spain",
+];
+
+const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+const SYLLABLES: &[&str] = &[
+    "an", "bel", "cor", "dan", "el", "far", "gol", "han", "il", "jor", "kal", "lor", "mar", "nor",
+    "or", "pal", "quin", "ros", "sel", "tor", "ul", "van", "wil", "xen", "yor", "zan",
+];
+
+const TITLE_ADJECTIVES: &[&str] = &[
+    "Silent", "Crimson", "Last", "Hidden", "Broken", "Golden", "Endless", "Midnight", "Lost",
+    "Burning", "Distant", "Frozen", "Savage", "Gentle", "Electric",
+];
+
+const TITLE_NOUNS: &[&str] = &[
+    "Point", "Garden", "Horizon", "Scorpion", "Ending", "Whisper", "Harbor", "Mirror", "Empire",
+    "River", "Shadow", "Letter", "Voyage", "Crown", "Paradox",
+];
+
+/// Scale and skew knobs for [`MoviesGenerator`].
+#[derive(Debug, Clone)]
+pub struct MoviesConfig {
+    pub movies: usize,
+    pub directors: usize,
+    pub actors: usize,
+    pub theatres: usize,
+    /// Genres drawn per movie (distinct, capped by the genre list).
+    pub genres_per_movie: usize,
+    /// Cast entries per movie.
+    pub cast_per_movie: usize,
+    /// Total screening rows.
+    pub plays: usize,
+    /// Skew of the director/actor/movie popularity distributions.
+    pub zipf_exponent: f64,
+    pub seed: u64,
+}
+
+impl Default for MoviesConfig {
+    fn default() -> Self {
+        MoviesConfig {
+            movies: 2_000,
+            directors: 300,
+            actors: 1_500,
+            theatres: 50,
+            genres_per_movie: 2,
+            cast_per_movie: 3,
+            plays: 3_000,
+            zipf_exponent: 1.05,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl MoviesConfig {
+    /// Roughly the paper's IMDB scale (34k films). Takes a few seconds to
+    /// generate; meant for benches, not unit tests.
+    pub fn imdb_scale() -> Self {
+        MoviesConfig {
+            movies: 34_000,
+            directors: 4_000,
+            actors: 20_000,
+            theatres: 500,
+            genres_per_movie: 2,
+            cast_per_movie: 4,
+            plays: 50_000,
+            ..MoviesConfig::default()
+        }
+    }
+}
+
+/// Deterministic generator of movies databases.
+#[derive(Debug)]
+pub struct MoviesGenerator {
+    config: MoviesConfig,
+    rng: StdRng,
+}
+
+impl MoviesGenerator {
+    pub fn new(config: MoviesConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        MoviesGenerator { config, rng }
+    }
+
+    /// Generate the database. Same config (incl. seed) → same database.
+    pub fn generate(mut self) -> Database {
+        let mut db = Database::new(movies_schema()).expect("valid schema");
+        let c = self.config.clone();
+
+        for did in 1..=c.directors {
+            let row = vec![
+                Value::from(did),
+                Value::from(self.person_name()),
+                Value::from(self.city()),
+                Value::from(self.birth_date()),
+            ];
+            db.insert("DIRECTOR", row).expect("unique did");
+        }
+        for aid in 1..=c.actors {
+            let row = vec![
+                Value::from(aid),
+                Value::from(self.person_name()),
+                Value::from(self.city()),
+                Value::from(self.birth_date()),
+            ];
+            db.insert("ACTOR", row).expect("unique aid");
+        }
+        for tid in 1..=c.theatres {
+            let row = vec![
+                Value::from(tid),
+                Value::from(format!("{} Theatre", self.capitalized_word())),
+                Value::from(format!(
+                    "210-{:04}",
+                    self.rng.gen_range(0..10_000)
+                )),
+                Value::from(self.city()),
+            ];
+            db.insert("THEATRE", row).expect("unique tid");
+        }
+
+        let director_zipf = Zipf::new(c.directors.max(1), c.zipf_exponent);
+        for mid in 1..=c.movies {
+            let row = vec![
+                Value::from(mid),
+                Value::from(self.movie_title(mid)),
+                Value::from(self.rng.gen_range(1950..=2026) as i64),
+                Value::from(director_zipf.sample(&mut self.rng)),
+            ];
+            db.insert("MOVIE", row).expect("unique mid");
+        }
+
+        let mut gid = 0usize;
+        for mid in 1..=c.movies {
+            let k = c.genres_per_movie.min(GENRES.len());
+            let mut chosen: Vec<usize> = Vec::with_capacity(k);
+            while chosen.len() < k {
+                let g = self.rng.gen_range(0..GENRES.len());
+                if !chosen.contains(&g) {
+                    chosen.push(g);
+                }
+            }
+            for g in chosen {
+                gid += 1;
+                db.insert(
+                    "GENRE",
+                    vec![Value::from(gid), Value::from(mid), Value::from(GENRES[g])],
+                )
+                .expect("unique gid");
+            }
+        }
+
+        let actor_zipf = Zipf::new(c.actors.max(1), c.zipf_exponent);
+        let mut cid = 0usize;
+        for mid in 1..=c.movies {
+            for _ in 0..c.cast_per_movie {
+                cid += 1;
+                let row = vec![
+                    Value::from(cid),
+                    Value::from(mid),
+                    Value::from(actor_zipf.sample(&mut self.rng)),
+                    Value::from(self.capitalized_word()),
+                ];
+                db.insert("CAST", row).expect("unique cid");
+            }
+        }
+
+        let movie_zipf = Zipf::new(c.movies.max(1), c.zipf_exponent);
+        for pid in 1..=c.plays {
+            let row = vec![
+                Value::from(pid),
+                Value::from(self.rng.gen_range(1..=c.theatres.max(1))),
+                Value::from(movie_zipf.sample(&mut self.rng)),
+                Value::from(format!(
+                    "2026-{:02}-{:02}",
+                    self.rng.gen_range(1..=12),
+                    self.rng.gen_range(1..=28)
+                )),
+            ];
+            db.insert("PLAY", row).expect("unique pid");
+        }
+
+        db
+    }
+
+    fn capitalized_word(&mut self) -> String {
+        let syllables = self.rng.gen_range(2..=3);
+        let mut s = String::new();
+        for _ in 0..syllables {
+            s.push_str(SYLLABLES[self.rng.gen_range(0..SYLLABLES.len())]);
+        }
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + chars.as_str(),
+            None => s,
+        }
+    }
+
+    fn person_name(&mut self) -> String {
+        format!("{} {}", self.capitalized_word(), self.capitalized_word())
+    }
+
+    fn city(&mut self) -> String {
+        CITIES[self.rng.gen_range(0..CITIES.len())].to_owned()
+    }
+
+    fn birth_date(&mut self) -> String {
+        format!(
+            "{} {}, {}",
+            MONTHS[self.rng.gen_range(0..12)],
+            self.rng.gen_range(1..=28),
+            self.rng.gen_range(1930..=2000)
+        )
+    }
+
+    /// Titles carry their id so every movie is findable by a unique token.
+    fn movie_title(&mut self, mid: usize) -> String {
+        format!(
+            "The {} {} {mid}",
+            TITLE_ADJECTIVES[self.rng.gen_range(0..TITLE_ADJECTIVES.len())],
+            TITLE_NOUNS[self.rng.gen_range(0..TITLE_NOUNS.len())],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MoviesConfig {
+        MoviesConfig {
+            movies: 100,
+            directors: 20,
+            actors: 60,
+            theatres: 5,
+            plays: 150,
+            seed: 11,
+            ..MoviesConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MoviesGenerator::new(small()).generate();
+        let b = MoviesGenerator::new(small()).generate();
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        let movie = a.schema().relation_id("MOVIE").unwrap();
+        for (tid, t) in a.table(movie).iter() {
+            assert_eq!(b.table(movie).get(tid).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MoviesGenerator::new(small()).generate();
+        let b = MoviesGenerator::new(MoviesConfig {
+            seed: 12,
+            ..small()
+        })
+        .generate();
+        let movie = a.schema().relation_id("MOVIE").unwrap();
+        let differs = a
+            .table(movie)
+            .iter()
+            .any(|(tid, t)| b.table(movie).get(tid) != Some(t));
+        assert!(differs);
+    }
+
+    #[test]
+    fn cardinalities_match_config() {
+        let db = MoviesGenerator::new(small()).generate();
+        let s = db.schema();
+        assert_eq!(db.len(s.relation_id("MOVIE").unwrap()), 100);
+        assert_eq!(db.len(s.relation_id("DIRECTOR").unwrap()), 20);
+        assert_eq!(db.len(s.relation_id("GENRE").unwrap()), 200);
+        assert_eq!(db.len(s.relation_id("CAST").unwrap()), 300);
+        assert_eq!(db.len(s.relation_id("PLAY").unwrap()), 150);
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        let db = MoviesGenerator::new(small()).generate();
+        assert!(db.validate_foreign_keys().is_empty());
+    }
+
+    #[test]
+    fn director_fanout_is_skewed() {
+        let db = MoviesGenerator::new(MoviesConfig {
+            movies: 1000,
+            directors: 100,
+            actors: 50,
+            theatres: 3,
+            plays: 10,
+            seed: 5,
+            ..MoviesConfig::default()
+        })
+        .generate();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let did = db.relation_schema(movie).attr_position("did").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for (_, t) in db.table(movie).iter() {
+            *counts.entry(t[did].as_int().unwrap()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max >= 30, "top director should dominate: {max}");
+    }
+
+    #[test]
+    fn titles_embed_unique_token() {
+        let db = MoviesGenerator::new(small()).generate();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let (_, t) = db.table(movie).iter().next().unwrap();
+        assert!(t[1].as_text().unwrap().ends_with(" 1"));
+    }
+}

@@ -1,0 +1,266 @@
+//! A second domain — a university database — demonstrating that the précis
+//! machinery (graph, constraints, generation, narration) is entirely
+//! schema-agnostic: nothing in the engine knows about movies.
+//!
+//! ```text
+//! DEPARTMENT(deptid, dname, building)
+//! PROFESSOR(profid, pname, title, deptid)
+//! COURSE(cid, cname, credits, deptid)
+//! TEACHES(tid, profid, cid, semester)     — bridge, no heading attribute
+//! STUDENT(sid, sname, year)
+//! ENROLLED(eid, sid, cid, grade)          — bridge, no heading attribute
+//! ```
+
+use precis_graph::SchemaGraph;
+use precis_nlg::Vocabulary;
+use precis_storage::{DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value};
+
+/// Build the university schema.
+pub fn university_schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("university");
+    let add = |s: &mut DatabaseSchema, r: RelationSchema| {
+        s.add_relation(r).expect("unique relation names");
+    };
+    add(
+        &mut s,
+        RelationSchema::builder("DEPARTMENT")
+            .attr_not_null("deptid", DataType::Int)
+            .attr("dname", DataType::Text)
+            .attr("building", DataType::Text)
+            .primary_key("deptid")
+            .build()
+            .expect("valid DEPARTMENT schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("PROFESSOR")
+            .attr_not_null("profid", DataType::Int)
+            .attr("pname", DataType::Text)
+            .attr("title", DataType::Text)
+            .attr("deptid", DataType::Int)
+            .primary_key("profid")
+            .build()
+            .expect("valid PROFESSOR schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("COURSE")
+            .attr_not_null("cid", DataType::Int)
+            .attr("cname", DataType::Text)
+            .attr("credits", DataType::Int)
+            .attr("deptid", DataType::Int)
+            .primary_key("cid")
+            .build()
+            .expect("valid COURSE schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("TEACHES")
+            .attr_not_null("tid", DataType::Int)
+            .attr("profid", DataType::Int)
+            .attr("cid", DataType::Int)
+            .attr("semester", DataType::Text)
+            .primary_key("tid")
+            .build()
+            .expect("valid TEACHES schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("STUDENT")
+            .attr_not_null("sid", DataType::Int)
+            .attr("sname", DataType::Text)
+            .attr("year", DataType::Int)
+            .primary_key("sid")
+            .build()
+            .expect("valid STUDENT schema"),
+    );
+    add(
+        &mut s,
+        RelationSchema::builder("ENROLLED")
+            .attr_not_null("eid", DataType::Int)
+            .attr("sid", DataType::Int)
+            .attr("cid", DataType::Int)
+            .attr("grade", DataType::Text)
+            .primary_key("eid")
+            .build()
+            .expect("valid ENROLLED schema"),
+    );
+    for (rel, attr, to, to_attr) in [
+        ("PROFESSOR", "deptid", "DEPARTMENT", "deptid"),
+        ("COURSE", "deptid", "DEPARTMENT", "deptid"),
+        ("TEACHES", "profid", "PROFESSOR", "profid"),
+        ("TEACHES", "cid", "COURSE", "cid"),
+        ("ENROLLED", "sid", "STUDENT", "sid"),
+        ("ENROLLED", "cid", "COURSE", "cid"),
+    ] {
+        s.add_foreign_key(ForeignKey::new(rel, attr, to, to_attr))
+            .expect("valid foreign keys");
+    }
+    s
+}
+
+/// A designer-weighted schema graph for the university domain.
+pub fn university_graph() -> SchemaGraph {
+    SchemaGraph::builder(university_schema())
+        .projection("DEPARTMENT", "dname", 1.0).expect("valid edge")
+        .projection("DEPARTMENT", "building", 0.7).expect("valid edge")
+        .projection("PROFESSOR", "pname", 1.0).expect("valid edge")
+        .projection("PROFESSOR", "title", 0.9).expect("valid edge")
+        .projection("COURSE", "cname", 1.0).expect("valid edge")
+        .projection("COURSE", "credits", 0.6).expect("valid edge")
+        .projection("TEACHES", "semester", 0.4).expect("valid edge")
+        .projection("STUDENT", "sname", 1.0).expect("valid edge")
+        .projection("STUDENT", "year", 0.6).expect("valid edge")
+        .projection("ENROLLED", "grade", 0.5).expect("valid edge")
+        .join_both("PROFESSOR", "deptid", "DEPARTMENT", "deptid", 0.9, 0.8).expect("valid edge")
+        .join_both("COURSE", "deptid", "DEPARTMENT", "deptid", 0.85, 0.8).expect("valid edge")
+        .join_both("TEACHES", "profid", "PROFESSOR", "profid", 1.0, 0.95).expect("valid edge")
+        .join_both("TEACHES", "cid", "COURSE", "cid", 1.0, 0.9).expect("valid edge")
+        .join_both("ENROLLED", "sid", "STUDENT", "sid", 1.0, 0.75).expect("valid edge")
+        .join_both("ENROLLED", "cid", "COURSE", "cid", 1.0, 0.7).expect("valid edge")
+        .build()
+        .expect("university graph is valid")
+}
+
+/// A small hand-crafted instance.
+pub fn university_instance() -> Database {
+    let mut db = Database::new(university_schema()).expect("valid schema");
+    let ins = |db: &mut Database, rel: &str, vals: Vec<Value>| {
+        db.insert(rel, vals).expect("valid example tuple");
+    };
+    for (id, name, building) in [
+        (1, "Computer Science", "Turing Hall"),
+        (2, "Mathematics", "Noether Hall"),
+    ] {
+        ins(&mut db, "DEPARTMENT", vec![id.into(), name.into(), building.into()]);
+    }
+    for (id, name, title, dept) in [
+        (1, "Ada Lovelace", "Professor", 1),
+        (2, "Kurt Godel", "Associate Professor", 2),
+    ] {
+        ins(&mut db, "PROFESSOR", vec![
+            id.into(),
+            name.into(),
+            title.into(),
+            dept.into(),
+        ]);
+    }
+    for (id, name, credits, dept) in [
+        (1, "Analytical Engines", 6, 1),
+        (2, "Incompleteness", 6, 2),
+        (3, "Query Processing", 4, 1),
+    ] {
+        ins(&mut db, "COURSE", vec![
+            id.into(),
+            name.into(),
+            Value::from(credits),
+            dept.into(),
+        ]);
+    }
+    for (id, prof, course, semester) in [
+        (1, 1, 1, "2026S"),
+        (2, 1, 3, "2026W"),
+        (3, 2, 2, "2026S"),
+    ] {
+        ins(&mut db, "TEACHES", vec![
+            id.into(),
+            prof.into(),
+            course.into(),
+            semester.into(),
+        ]);
+    }
+    for (id, name, year) in [(1, "Grace Hopper", 1928), (2, "Alan Turing", 1934)] {
+        ins(&mut db, "STUDENT", vec![id.into(), name.into(), Value::from(year)]);
+    }
+    for (id, student, course, grade) in [(1, 1, 1, "A"), (2, 2, 1, "A"), (3, 2, 2, "B")] {
+        ins(&mut db, "ENROLLED", vec![
+            id.into(),
+            student.into(),
+            course.into(),
+            grade.into(),
+        ]);
+    }
+    debug_assert!(db.validate_foreign_keys().is_empty());
+    db
+}
+
+/// Narrative vocabulary for the university domain. TEACHES and ENROLLED
+/// have no heading attributes — they are transparent bridges, like CAST in
+/// the movies schema.
+pub fn university_vocabulary(schema: &DatabaseSchema) -> Vocabulary {
+    let rel = |n: &str| schema.relation_id(n).expect("university relation");
+    let attr = |n: &str, a: &str| {
+        schema
+            .relation(rel(n))
+            .attr_position(a)
+            .expect("university attribute")
+    };
+    let department = rel("DEPARTMENT");
+    let professor = rel("PROFESSOR");
+    let course = rel("COURSE");
+    let teaches = rel("TEACHES");
+    let student = rel("STUDENT");
+    let enrolled = rel("ENROLLED");
+
+    let mut v = Vocabulary::new();
+    v.set_heading(department, attr("DEPARTMENT", "dname"));
+    v.set_heading(professor, attr("PROFESSOR", "pname"));
+    v.set_heading(course, attr("COURSE", "cname"));
+    v.set_heading(student, attr("STUDENT", "sname"));
+
+    v.define_macro(
+        "COURSE_LIST",
+        "[i<arityof(@CNAME)]{@CNAME[$i$], }[i=arityof(@CNAME)]{@CNAME[$i$].}",
+    )
+    .expect("valid macro");
+
+    v.set_relation_clause(professor, "@PNAME is a @TITLE.")
+        .expect("valid template");
+    v.set_relation_clause(student, "@SNAME is a student.")
+        .expect("valid template");
+    v.set_relation_clause(course, "@CNAME is a course.")
+        .expect("valid template");
+    v.set_relation_clause(department, "@DNAME is a department.")
+        .expect("valid template");
+
+    v.set_join_clause(professor, department, "@PNAME works in the @DNAME department.")
+        .expect("valid template");
+    v.set_join_clause(teaches, course, "@PNAME teaches %COURSE_LIST%")
+        .expect("valid template");
+    v.set_join_clause(teaches, professor, "@CNAME is taught by @PNAME[*].")
+        .expect("valid template");
+    v.set_join_clause(course, department, "@CNAME is offered by the @DNAME department.")
+        .expect("valid template");
+    v.set_join_clause(enrolled, course, "@SNAME is enrolled in %COURSE_LIST%")
+        .expect("valid template");
+    v.set_join_clause(enrolled, student, "@CNAME is taken by @SNAME[*].")
+        .expect("valid template");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_graph_and_instance_are_consistent() {
+        let s = university_schema();
+        assert_eq!(s.relation_count(), 6);
+        assert_eq!(s.foreign_keys().len(), 6);
+        let g = university_graph();
+        assert_eq!(g.join_edges().len(), 12);
+        assert_eq!(g.projection_edges().len(), 10);
+        let db = university_instance();
+        assert!(db.validate_foreign_keys().is_empty());
+        assert_eq!(db.total_tuples(), 2 + 2 + 3 + 3 + 2 + 3);
+    }
+
+    #[test]
+    fn vocabulary_marks_bridges() {
+        let s = university_schema();
+        let v = university_vocabulary(&s);
+        assert!(v.heading(s.relation_id("TEACHES").unwrap()).is_none());
+        assert!(v.heading(s.relation_id("ENROLLED").unwrap()).is_none());
+        assert!(v.heading(s.relation_id("PROFESSOR").unwrap()).is_some());
+    }
+}

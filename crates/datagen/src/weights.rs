@@ -1,0 +1,61 @@
+//! Seeded random weight sets over schema graphs — the paper's evaluation
+//! "used 20 randomly generated sets of weights for the edges of the database
+//! schema graph".
+
+use precis_graph::SchemaGraph;
+use rand::Rng;
+
+/// A copy of `base` with every edge weight drawn uniformly from
+/// `[0.05, 1.0]` (never 0, so no edge is structurally dead).
+pub fn random_weight_graph(base: &SchemaGraph, rng: &mut impl Rng) -> SchemaGraph {
+    base.map_weights(|_, _| rng.gen_range(0.05..=1.0))
+        .expect("weights drawn in range")
+}
+
+/// `count` independent random-weight variants of `base`.
+pub fn random_weight_graphs(
+    base: &SchemaGraph,
+    rng: &mut impl Rng,
+    count: usize,
+) -> Vec<SchemaGraph> {
+    (0..count).map(|_| random_weight_graph(base, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movies::movies_graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_randomized_in_range() {
+        let base = movies_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_weight_graph(&base, &mut rng);
+        let mut any_changed = false;
+        for (a, b) in base.join_edges().iter().zip(g.join_edges()) {
+            assert!((0.05..=1.0).contains(&b.weight));
+            if (a.weight - b.weight).abs() > 1e-9 {
+                any_changed = true;
+            }
+        }
+        assert!(any_changed);
+        // Same topology.
+        assert_eq!(base.join_edges().len(), g.join_edges().len());
+        assert_eq!(base.projection_edges().len(), g.projection_edges().len());
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let base = movies_graph();
+        let g1 = random_weight_graph(&base, &mut StdRng::seed_from_u64(9));
+        let g2 = random_weight_graph(&base, &mut StdRng::seed_from_u64(9));
+        for (a, b) in g1.join_edges().iter().zip(g2.join_edges()) {
+            assert_eq!(a.weight, b.weight);
+        }
+        let batch = random_weight_graphs(&base, &mut StdRng::seed_from_u64(9), 3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].join_edges()[0].weight, g1.join_edges()[0].weight);
+    }
+}

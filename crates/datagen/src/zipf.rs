@@ -1,0 +1,98 @@
+//! A small Zipf sampler for skewed fan-outs (real movie data is heavily
+//! skewed: a few directors with many films, a long tail with one).
+
+use rand::Rng;
+
+/// Zipf distribution over `1..=n` with exponent `s`: value `k` has
+/// probability proportional to `1 / k^s`. Sampling is O(log n) via binary
+/// search over precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `1..=n`. `n` must be ≥ 1; `s` ≥ 0 (s = 0 is
+    /// uniform).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one outcome");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a value in `1..=n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen_range(0.0..total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=10).contains(&v));
+        }
+        assert_eq!(z.n(), 10);
+    }
+
+    #[test]
+    fn skew_prefers_small_values() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) <= 10 {
+                low += 1;
+            }
+        }
+        // With s = 1.2, the first 10 of 100 values carry well over half the
+        // mass.
+        assert!(low > n / 2, "low-range mass: {low}/{n}");
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..=2400).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn zero_outcomes_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz DOT export of schema graphs — renders the paper's Figure 1.
+//!
+//! ```text
+//! dot -Tsvg figure1.dot -o figure1.svg
+//! ```
+
+use crate::graph::SchemaGraph;
+use std::fmt::Write as _;
+
+impl SchemaGraph {
+    /// Render the graph in Graphviz DOT: relation nodes as boxes, attribute
+    /// nodes as ellipses connected by (undirected-looking) projection edges,
+    /// and directed, weight-labelled join edges between relations.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let s = self.schema();
+        let _ = writeln!(out, "digraph schema {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [fontsize=10];");
+        for (rel, r) in s.relations() {
+            let _ = writeln!(
+                out,
+                "  r{} [label=\"{}\", shape=box, style=bold];",
+                rel.0,
+                escape(r.name())
+            );
+        }
+        for p in self.projection_edges() {
+            let attr_id = format!("a{}_{}", p.rel.0, p.attr);
+            let name = s.relation(p.rel).attr_name(p.attr);
+            let _ = writeln!(
+                out,
+                "  {attr_id} [label=\"{}\", shape=ellipse];",
+                escape(name)
+            );
+            let _ = writeln!(
+                out,
+                "  r{} -> {attr_id} [label=\"{:.2}\", dir=none, style=dashed];",
+                p.rel.0, p.weight
+            );
+        }
+        for j in self.join_edges() {
+            let tag = s.relation(j.from).attr_name(j.from_attr);
+            let _ = writeln!(
+                out,
+                "  r{} -> r{} [label=\"{:.2} ({})\"];",
+                j.from.0,
+                j.to.0,
+                j.weight,
+                escape(tag)
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_storage::{DataType, DatabaseSchema, ForeignKey, RelationSchema};
+
+    #[test]
+    fn dot_output_contains_every_element() {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("A\"quote")
+                .attr_not_null("id", DataType::Int)
+                .attr("x", DataType::Text)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("B")
+                .attr_not_null("id", DataType::Int)
+                .attr("a", DataType::Int)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(ForeignKey::new("B", "a", "A\"quote", "id"))
+            .unwrap();
+        let g = SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.7).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph schema {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("A\\\"quote"), "quotes escaped");
+        assert!(dot.contains("label=\"0.80 (a)\""));
+        assert!(dot.contains("label=\"0.50 (a)\"") || dot.contains("label=\"0.50 (id)\""));
+        assert!(dot.contains("shape=ellipse"));
+        // One box per relation, one ellipse per projection edge.
+        assert_eq!(dot.matches("shape=box").count(), 2);
+        assert_eq!(dot.matches("shape=ellipse").count(), g.projection_edges().len());
+    }
+}

@@ -1,0 +1,95 @@
+//! Edge and node reference types of the schema graph.
+
+use precis_storage::RelationId;
+use std::fmt;
+
+/// Reference to an attribute node: relation id + attribute position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef {
+    pub rel: RelationId,
+    pub attr: usize,
+}
+
+impl AttrRef {
+    pub fn new(rel: RelationId, attr: usize) -> Self {
+        AttrRef { rel, attr }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.rel, self.attr)
+    }
+}
+
+/// A projection edge Π: attribute node ↔ its container relation node, with a
+/// weight expressing how characteristic the attribute is for the relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionEdge {
+    pub rel: RelationId,
+    pub attr: usize,
+    pub weight: f64,
+}
+
+/// A directed join edge J between two relation nodes, over a pair of joining
+/// attributes. Direction expresses dependence of the *source* (already in
+/// the answer) on the *destination* (candidate for inclusion); the two
+/// directions of the same natural join may carry different weights (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinEdge {
+    pub from: RelationId,
+    pub from_attr: usize,
+    pub to: RelationId,
+    pub to_attr: usize,
+    pub weight: f64,
+}
+
+impl JoinEdge {
+    /// The reverse direction of this join (caller supplies its weight).
+    pub fn reversed(&self, weight: f64) -> JoinEdge {
+        JoinEdge {
+            from: self.to,
+            from_attr: self.to_attr,
+            to: self.from,
+            to_attr: self.from_attr,
+            weight,
+        }
+    }
+}
+
+/// Identifier of an edge within a [`crate::SchemaGraph`], used by weight
+/// profiles and by the result-schema bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeRef {
+    /// Index into the graph's projection-edge table.
+    Projection(usize),
+    /// Index into the graph's join-edge table.
+    Join(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let e = JoinEdge {
+            from: RelationId(0),
+            from_attr: 1,
+            to: RelationId(2),
+            to_attr: 3,
+            weight: 0.5,
+        };
+        let r = e.reversed(0.9);
+        assert_eq!(r.from, RelationId(2));
+        assert_eq!(r.from_attr, 3);
+        assert_eq!(r.to, RelationId(0));
+        assert_eq!(r.to_attr, 1);
+        assert_eq!(r.weight, 0.9);
+    }
+
+    #[test]
+    fn attr_ref_display() {
+        assert_eq!(AttrRef::new(RelationId(1), 2).to_string(), "r1#2");
+    }
+}

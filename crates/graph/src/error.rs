@@ -1,0 +1,64 @@
+//! Schema-graph error type.
+
+use std::fmt;
+
+/// Errors raised while building or manipulating a schema graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A weight was outside [0, 1].
+    WeightOutOfRange(f64),
+    /// A relation name was not found in the underlying database schema.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation.
+    UnknownAttribute { relation: String, attribute: String },
+    /// The paper allows at most one directed join edge between an ordered
+    /// pair of relation nodes (§3.1); a second was declared.
+    DuplicateJoinEdge { from: String, to: String },
+    /// A projection edge was declared twice for the same attribute.
+    DuplicateProjectionEdge { relation: String, attribute: String },
+    /// The joining attributes have incompatible types.
+    JoinTypeMismatch { from: String, to: String },
+    /// A weight-profile override referenced an edge absent from the graph.
+    NoSuchEdge(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::WeightOutOfRange(w) => write!(f, "weight {w} outside [0, 1]"),
+            GraphError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            GraphError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute {relation}.{attribute}"),
+            GraphError::DuplicateJoinEdge { from, to } => {
+                write!(f, "duplicate join edge {from} -> {to}")
+            }
+            GraphError::DuplicateProjectionEdge {
+                relation,
+                attribute,
+            } => write!(f, "duplicate projection edge {relation}.{attribute}"),
+            GraphError::JoinTypeMismatch { from, to } => {
+                write!(f, "join attribute types differ between {from} and {to}")
+            }
+            GraphError::NoSuchEdge(e) => write!(f, "no such edge: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offender() {
+        assert!(GraphError::WeightOutOfRange(1.5).to_string().contains("1.5"));
+        let e = GraphError::DuplicateJoinEdge {
+            from: "A".into(),
+            to: "B".into(),
+        };
+        assert!(e.to_string().contains("A -> B"));
+    }
+}

@@ -1,0 +1,507 @@
+//! The schema graph proper and its builder.
+
+use crate::edge::{EdgeRef, JoinEdge, ProjectionEdge};
+use crate::error::GraphError;
+use crate::profile::WeightProfile;
+use crate::Result;
+use precis_storage::{DatabaseSchema, RelationId};
+use std::collections::HashMap;
+
+/// The weighted database schema graph (paper §3.1, Figure 1).
+///
+/// Edge lists per relation are kept sorted by decreasing weight, which is the
+/// order the Result Schema Generator consumes them in ("edges are considered
+/// in order of decreasing weight — this helps pruning").
+///
+/// ```
+/// use precis_storage::{DatabaseSchema, RelationSchema, DataType, ForeignKey};
+/// use precis_graph::SchemaGraph;
+///
+/// let mut schema = DatabaseSchema::new("movies");
+/// schema.add_relation(RelationSchema::builder("MOVIE")
+///     .attr_not_null("mid", DataType::Int).attr("title", DataType::Text)
+///     .attr("did", DataType::Int).primary_key("mid").build()?)?;
+/// schema.add_relation(RelationSchema::builder("DIRECTOR")
+///     .attr_not_null("did", DataType::Int).attr("dname", DataType::Text)
+///     .primary_key("did").build()?)?;
+/// schema.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))?;
+///
+/// let graph = SchemaGraph::builder(schema)
+///     .projection("MOVIE", "title", 1.0)?
+///     .projection("DIRECTOR", "dname", 1.0)?
+///     // each join direction carries its own weight (§3.1)
+///     .join_both("MOVIE", "did", "DIRECTOR", "did", 0.89, 1.0)?
+///     .build()?;
+/// assert_eq!(graph.join_edges().len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchemaGraph {
+    schema: DatabaseSchema,
+    projections: Vec<ProjectionEdge>,
+    joins: Vec<JoinEdge>,
+    /// Per relation: projection-edge indices, weight-descending.
+    proj_by_rel: Vec<Vec<usize>>,
+    /// Per relation: outgoing join-edge indices, weight-descending.
+    joins_from: Vec<Vec<usize>>,
+    /// Per relation: incoming join-edge indices.
+    joins_into: Vec<Vec<usize>>,
+}
+
+impl SchemaGraph {
+    /// Start building a graph over `schema`.
+    pub fn builder(schema: DatabaseSchema) -> SchemaGraphBuilder {
+        SchemaGraphBuilder {
+            schema,
+            projections: Vec::new(),
+            joins: Vec::new(),
+        }
+    }
+
+    /// Build a graph directly from the schema's foreign keys: each FK yields
+    /// a forward edge (referencing → referenced) of weight `w_forward` and a
+    /// backward edge of weight `w_backward`; every attribute gets a
+    /// projection edge of weight `w_projection`. A quick default for tests
+    /// and for schemas without a domain expert.
+    pub fn from_foreign_keys(
+        schema: DatabaseSchema,
+        w_forward: f64,
+        w_backward: f64,
+        w_projection: f64,
+    ) -> Result<SchemaGraph> {
+        let fks: Vec<_> = schema.foreign_keys().to_vec();
+        let attrs: Vec<(String, String)> = schema
+            .relations()
+            .flat_map(|(_, rel)| {
+                rel.attributes()
+                    .iter()
+                    .map(|a| (rel.name().to_owned(), a.name.clone()))
+            })
+            .collect();
+        let mut b = SchemaGraph::builder(schema);
+        for (rel_name, attr) in &attrs {
+            b = b.projection(rel_name, attr, w_projection)?;
+        }
+        for fk in fks {
+            b = b.join(
+                &fk.relation,
+                &fk.attribute,
+                &fk.ref_relation,
+                &fk.ref_attribute,
+                w_forward,
+            )?;
+            b = b.join(
+                &fk.ref_relation,
+                &fk.ref_attribute,
+                &fk.relation,
+                &fk.attribute,
+                w_backward,
+            )?;
+        }
+        b.build()
+    }
+
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    pub fn projection_edges(&self) -> &[ProjectionEdge] {
+        &self.projections
+    }
+
+    pub fn join_edges(&self) -> &[JoinEdge] {
+        &self.joins
+    }
+
+    pub fn projection_edge(&self, idx: usize) -> &ProjectionEdge {
+        &self.projections[idx]
+    }
+
+    pub fn join_edge(&self, idx: usize) -> &JoinEdge {
+        &self.joins[idx]
+    }
+
+    /// Projection-edge indices of `rel`, weight-descending.
+    pub fn projections_of(&self, rel: RelationId) -> &[usize] {
+        &self.proj_by_rel[rel.0]
+    }
+
+    /// Outgoing join-edge indices of `rel`, weight-descending.
+    pub fn joins_from(&self, rel: RelationId) -> &[usize] {
+        &self.joins_from[rel.0]
+    }
+
+    /// Incoming join-edge indices of `rel`.
+    pub fn joins_into(&self, rel: RelationId) -> &[usize] {
+        &self.joins_into[rel.0]
+    }
+
+    /// The projection edge of `rel.attr`, if present.
+    pub fn find_projection(&self, rel: RelationId, attr: usize) -> Option<usize> {
+        self.proj_by_rel[rel.0]
+            .iter()
+            .copied()
+            .find(|&i| self.projections[i].attr == attr)
+    }
+
+    /// The join edge `from → to`, if present (at most one by construction).
+    pub fn find_join(&self, from: RelationId, to: RelationId) -> Option<usize> {
+        self.joins_from[from.0]
+            .iter()
+            .copied()
+            .find(|&i| self.joins[i].to == to)
+    }
+
+    /// Weight of an edge.
+    pub fn weight(&self, edge: EdgeRef) -> f64 {
+        match edge {
+            EdgeRef::Projection(i) => self.projections[i].weight,
+            EdgeRef::Join(i) => self.joins[i].weight,
+        }
+    }
+
+    /// A copy of this graph with the weight overrides of `profile` applied —
+    /// the personalization mechanism of §3.1 ("multiple sets of weights
+    /// corresponding to different user profiles may be stored in the
+    /// system").
+    pub fn with_profile(&self, profile: &WeightProfile) -> Result<SchemaGraph> {
+        let mut g = self.clone();
+        profile.apply(&mut g)?;
+        g.resort();
+        Ok(g)
+    }
+
+    /// A copy with every edge weight replaced via `f(edge_ref, old_weight)`;
+    /// used to generate the paper's "randomly generated sets of weights".
+    pub fn map_weights(&self, mut f: impl FnMut(EdgeRef, f64) -> f64) -> Result<SchemaGraph> {
+        let mut g = self.clone();
+        for (i, p) in g.projections.iter_mut().enumerate() {
+            p.weight = check_weight(f(EdgeRef::Projection(i), p.weight))?;
+        }
+        for (i, j) in g.joins.iter_mut().enumerate() {
+            j.weight = check_weight(f(EdgeRef::Join(i), j.weight))?;
+        }
+        g.resort();
+        Ok(g)
+    }
+
+    pub(crate) fn set_weight(&mut self, edge: EdgeRef, weight: f64) -> Result<()> {
+        let weight = check_weight(weight)?;
+        match edge {
+            EdgeRef::Projection(i) => {
+                self.projections
+                    .get_mut(i)
+                    .ok_or_else(|| GraphError::NoSuchEdge(format!("projection {i}")))?
+                    .weight = weight;
+            }
+            EdgeRef::Join(i) => {
+                self.joins
+                    .get_mut(i)
+                    .ok_or_else(|| GraphError::NoSuchEdge(format!("join {i}")))?
+                    .weight = weight;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-establish the weight-descending order of the per-relation lists
+    /// after weights changed.
+    fn resort(&mut self) {
+        for list in &mut self.proj_by_rel {
+            list.sort_by(|&a, &b| self.projections[b].weight.total_cmp(&self.projections[a].weight));
+        }
+        for list in &mut self.joins_from {
+            list.sort_by(|&a, &b| self.joins[b].weight.total_cmp(&self.joins[a].weight));
+        }
+    }
+}
+
+fn check_weight(w: f64) -> Result<f64> {
+    if (0.0..=1.0).contains(&w) {
+        Ok(w)
+    } else {
+        Err(GraphError::WeightOutOfRange(w))
+    }
+}
+
+/// Builder for [`SchemaGraph`]; validates names, types, weight ranges, and
+/// the at-most-one-edge-per-direction rule.
+pub struct SchemaGraphBuilder {
+    schema: DatabaseSchema,
+    projections: Vec<ProjectionEdge>,
+    joins: Vec<JoinEdge>,
+}
+
+impl SchemaGraphBuilder {
+    /// Declare a projection edge for `relation.attribute` with `weight`.
+    pub fn projection(mut self, relation: &str, attribute: &str, weight: f64) -> Result<Self> {
+        let weight = check_weight(weight)?;
+        let rel = self.require_relation(relation)?;
+        let attr = self.require_attr(rel, attribute)?;
+        if self
+            .projections
+            .iter()
+            .any(|p| p.rel == rel && p.attr == attr)
+        {
+            return Err(GraphError::DuplicateProjectionEdge {
+                relation: relation.to_owned(),
+                attribute: attribute.to_owned(),
+            });
+        }
+        self.projections.push(ProjectionEdge { rel, attr, weight });
+        Ok(self)
+    }
+
+    /// Declare a directed join edge `from.from_attr → to.to_attr` with
+    /// `weight`.
+    pub fn join(
+        mut self,
+        from: &str,
+        from_attr: &str,
+        to: &str,
+        to_attr: &str,
+        weight: f64,
+    ) -> Result<Self> {
+        let weight = check_weight(weight)?;
+        let from_rel = self.require_relation(from)?;
+        let to_rel = self.require_relation(to)?;
+        let from_pos = self.require_attr(from_rel, from_attr)?;
+        let to_pos = self.require_attr(to_rel, to_attr)?;
+        let from_ty = self.schema.relation(from_rel).attributes()[from_pos].ty;
+        let to_ty = self.schema.relation(to_rel).attributes()[to_pos].ty;
+        if from_ty != to_ty {
+            return Err(GraphError::JoinTypeMismatch {
+                from: format!("{from}.{from_attr}"),
+                to: format!("{to}.{to_attr}"),
+            });
+        }
+        // "There is at most one directed edge from one node to the same
+        // destination node" (§3.1).
+        if self
+            .joins
+            .iter()
+            .any(|j| j.from == from_rel && j.to == to_rel)
+        {
+            return Err(GraphError::DuplicateJoinEdge {
+                from: from.to_owned(),
+                to: to.to_owned(),
+            });
+        }
+        self.joins.push(JoinEdge {
+            from: from_rel,
+            from_attr: from_pos,
+            to: to_rel,
+            to_attr: to_pos,
+            weight,
+        });
+        Ok(self)
+    }
+
+    /// Declare both directions of a join in one call.
+    pub fn join_both(
+        self,
+        a: &str,
+        a_attr: &str,
+        b: &str,
+        b_attr: &str,
+        weight_a_to_b: f64,
+        weight_b_to_a: f64,
+    ) -> Result<Self> {
+        self.join(a, a_attr, b, b_attr, weight_a_to_b)?
+            .join(b, b_attr, a, a_attr, weight_b_to_a)
+    }
+
+    /// Finish: index the edges per relation, weight-descending.
+    pub fn build(self) -> Result<SchemaGraph> {
+        let n = self.schema.relation_count();
+        let mut proj_by_rel: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut joins_from: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut joins_into: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, p) in self.projections.iter().enumerate() {
+            proj_by_rel[p.rel.0].push(i);
+        }
+        for (i, j) in self.joins.iter().enumerate() {
+            joins_from[j.from.0].push(i);
+            joins_into[j.to.0].push(i);
+        }
+        let mut g = SchemaGraph {
+            schema: self.schema,
+            projections: self.projections,
+            joins: self.joins,
+            proj_by_rel,
+            joins_from,
+            joins_into,
+        };
+        g.resort();
+        Ok(g)
+    }
+
+    fn require_relation(&self, name: &str) -> Result<RelationId> {
+        self.schema
+            .relation_id(name)
+            .ok_or_else(|| GraphError::UnknownRelation(name.to_owned()))
+    }
+
+    fn require_attr(&self, rel: RelationId, name: &str) -> Result<usize> {
+        self.schema
+            .relation(rel)
+            .attr_position(name)
+            .ok_or_else(|| GraphError::UnknownAttribute {
+                relation: self.schema.relation(rel).name().to_owned(),
+                attribute: name.to_owned(),
+            })
+    }
+}
+
+/// Lookup table from edge names to [`EdgeRef`]s, used when parsing profiles
+/// or debugging. Keys: `"REL.attr"` for projections, `"FROM->TO"` for joins.
+pub(crate) fn edge_directory(g: &SchemaGraph) -> HashMap<String, EdgeRef> {
+    let mut map = HashMap::new();
+    for (i, p) in g.projections.iter().enumerate() {
+        let rel = g.schema.relation(p.rel);
+        map.insert(
+            format!("{}.{}", rel.name(), rel.attr_name(p.attr)),
+            EdgeRef::Projection(i),
+        );
+    }
+    for (i, j) in g.joins.iter().enumerate() {
+        map.insert(
+            format!(
+                "{}->{}",
+                g.schema.relation(j.from).name(),
+                g.schema.relation(j.to).name()
+            ),
+            EdgeRef::Join(i),
+        );
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_storage::{DataType, ForeignKey, RelationSchema};
+
+    fn two_rel_schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("MOVIE")
+                .attr_not_null("mid", DataType::Int)
+                .attr("title", DataType::Text)
+                .attr("did", DataType::Int)
+                .primary_key("mid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("DIRECTOR")
+                .attr_not_null("did", DataType::Int)
+                .attr("dname", DataType::Text)
+                .primary_key("did")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn builder_validates_everything() {
+        let s = two_rel_schema();
+        assert!(matches!(
+            SchemaGraph::builder(s.clone()).projection("MOVIE", "title", 1.5),
+            Err(GraphError::WeightOutOfRange(_))
+        ));
+        assert!(matches!(
+            SchemaGraph::builder(s.clone()).projection("NOPE", "x", 0.5),
+            Err(GraphError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            SchemaGraph::builder(s.clone()).projection("MOVIE", "nope", 0.5),
+            Err(GraphError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            SchemaGraph::builder(s.clone())
+                .projection("MOVIE", "title", 0.5)
+                .and_then(|b| b.projection("MOVIE", "title", 0.6)),
+            Err(GraphError::DuplicateProjectionEdge { .. })
+        ));
+        assert!(matches!(
+            SchemaGraph::builder(s.clone()).join("MOVIE", "title", "DIRECTOR", "did", 0.5),
+            Err(GraphError::JoinTypeMismatch { .. })
+        ));
+        assert!(matches!(
+            SchemaGraph::builder(s)
+                .join("MOVIE", "did", "DIRECTOR", "did", 0.5)
+                .and_then(|b| b.join("MOVIE", "did", "DIRECTOR", "did", 0.6)),
+            Err(GraphError::DuplicateJoinEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn edge_lists_sorted_by_weight_desc() {
+        let s = two_rel_schema();
+        let g = SchemaGraph::builder(s)
+            .projection("MOVIE", "title", 0.3)
+            .unwrap()
+            .projection("MOVIE", "mid", 0.9)
+            .unwrap()
+            .projection("MOVIE", "did", 0.6)
+            .unwrap()
+            .build()
+            .unwrap();
+        let movie = g.schema().relation_id("MOVIE").unwrap();
+        let ws: Vec<f64> = g
+            .projections_of(movie)
+            .iter()
+            .map(|&i| g.projection_edge(i).weight)
+            .collect();
+        assert_eq!(ws, vec![0.9, 0.6, 0.3]);
+    }
+
+    #[test]
+    fn from_foreign_keys_creates_both_directions() {
+        let g = SchemaGraph::from_foreign_keys(two_rel_schema(), 0.8, 0.5, 0.7).unwrap();
+        let movie = g.schema().relation_id("MOVIE").unwrap();
+        let director = g.schema().relation_id("DIRECTOR").unwrap();
+        let fwd = g.find_join(movie, director).unwrap();
+        let bwd = g.find_join(director, movie).unwrap();
+        assert_eq!(g.join_edge(fwd).weight, 0.8);
+        assert_eq!(g.join_edge(bwd).weight, 0.5);
+        assert_eq!(g.projection_edges().len(), 5);
+        assert_eq!(g.joins_into(director), &[fwd]);
+        assert!(g.find_projection(movie, 1).is_some());
+    }
+
+    #[test]
+    fn map_weights_resorts() {
+        let g = SchemaGraph::from_foreign_keys(two_rel_schema(), 0.8, 0.5, 0.7).unwrap();
+        // Invert every weight; order must flip accordingly.
+        let g2 = g.map_weights(|_, w| 1.0 - w).unwrap();
+        let movie = g2.schema().relation_id("MOVIE").unwrap();
+        let director = g2.schema().relation_id("DIRECTOR").unwrap();
+        assert_eq!(
+            g2.join_edge(g2.find_join(movie, director).unwrap()).weight,
+            1.0 - 0.8
+        );
+        for rel in [movie, director] {
+            let ws: Vec<f64> = g2
+                .joins_from(rel)
+                .iter()
+                .map(|&i| g2.join_edge(i).weight)
+                .collect();
+            assert!(ws.windows(2).all(|w| w[0] >= w[1]));
+        }
+        assert!(g.map_weights(|_, _| 2.0).is_err());
+    }
+
+    #[test]
+    fn weight_lookup_by_edge_ref() {
+        let g = SchemaGraph::from_foreign_keys(two_rel_schema(), 0.8, 0.5, 0.7).unwrap();
+        assert_eq!(g.weight(EdgeRef::Projection(0)), 0.7);
+        assert_eq!(g.weight(EdgeRef::Join(0)), 0.8);
+    }
+}

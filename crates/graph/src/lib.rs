@@ -1,0 +1,34 @@
+//! # precis-graph
+//!
+//! The **database schema graph** G(V, E) of the Précis paper (§3.1–3.2).
+//!
+//! Nodes are relations and attributes. Edges are:
+//!
+//! * **projection edges** Π — attribute node ↔ its container relation,
+//!   representing the possible projection of the attribute in an answer;
+//! * **join edges** J — directed relation → relation edges, one per
+//!   meaningful join direction (foreign keys naturally induce a pair, with
+//!   independent weights per direction).
+//!
+//! Every edge carries a weight w ∈ [0, 1] expressing the strength of the
+//! bond between its endpoints. Weight transfers over *transitive* join and
+//! projection paths multiplicatively (§3.2), so longer paths weigh less.
+//!
+//! [`WeightProfile`]s override edge weights without rebuilding the graph —
+//! the paper's mechanism for personalized and role-specific answers.
+
+mod dot;
+mod edge;
+mod error;
+mod graph;
+mod path;
+mod profile;
+
+pub use edge::{AttrRef, EdgeRef, JoinEdge, ProjectionEdge};
+pub use error::GraphError;
+pub use graph::{SchemaGraph, SchemaGraphBuilder};
+pub use path::{Path, PathPriority};
+pub use profile::WeightProfile;
+
+/// Result alias for graph construction and manipulation.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,255 @@
+//! Transitive join and projection paths (§3.2).
+//!
+//! A directed path of adjacent join edges between relation nodes is a
+//! *transitive join path*; with a projection edge appended it becomes a
+//! *transitive projection path*. The weight of a path is the product of its
+//! constituent edge weights, so it decreases with length.
+
+use crate::graph::SchemaGraph;
+use precis_storage::RelationId;
+use std::cmp::Ordering;
+
+/// A (transitive) path on the schema graph, anchored at an origin relation.
+///
+/// `joins` is the ordered list of join-edge indices; `projection` is the
+/// optional terminal projection-edge index. A path with `projection == None`
+/// is a join path awaiting expansion; otherwise it is a projection path
+/// ready to contribute an attribute to the result schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    origin: RelationId,
+    joins: Vec<usize>,
+    projection: Option<usize>,
+    weight: f64,
+    /// Relations visited, in order (origin first). Kept for O(len) acyclicity
+    /// checks during expansion.
+    visited: Vec<RelationId>,
+}
+
+impl Path {
+    /// The empty path sitting on `origin` with weight 1 — the seed the
+    /// traversal starts from.
+    pub fn seed(origin: RelationId) -> Path {
+        Path {
+            origin,
+            joins: Vec::new(),
+            projection: None,
+            weight: 1.0,
+            visited: vec![origin],
+        }
+    }
+
+    pub fn origin(&self) -> RelationId {
+        self.origin
+    }
+
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Number of edges (join edges plus the projection edge if present).
+    pub fn len(&self) -> usize {
+        self.joins.len() + usize::from(self.projection.is_some())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Join-edge indices along the path.
+    pub fn join_edges(&self) -> &[usize] {
+        &self.joins
+    }
+
+    /// Terminal projection edge index, if this is a projection path.
+    pub fn projection_edge(&self) -> Option<usize> {
+        self.projection
+    }
+
+    pub fn is_projection(&self) -> bool {
+        self.projection.is_some()
+    }
+
+    /// The relation the path currently ends on (where expansion continues).
+    pub fn end_relation(&self) -> RelationId {
+        *self.visited.last().expect("visited is never empty")
+    }
+
+    /// Relations visited so far, origin first.
+    pub fn visited(&self) -> &[RelationId] {
+        &self.visited
+    }
+
+    /// Extend with a join edge, if it departs from the end relation and does
+    /// not revisit a relation (paths must be acyclic, §5.1).
+    pub fn extend_join(&self, graph: &SchemaGraph, edge_idx: usize) -> Option<Path> {
+        debug_assert!(self.projection.is_none(), "projection paths are terminal");
+        let e = graph.join_edge(edge_idx);
+        if e.from != self.end_relation() || self.visited.contains(&e.to) {
+            return None;
+        }
+        let mut p = self.clone();
+        p.joins.push(edge_idx);
+        p.visited.push(e.to);
+        p.weight *= e.weight;
+        Some(p)
+    }
+
+    /// Terminate with a projection edge of the end relation.
+    pub fn extend_projection(&self, graph: &SchemaGraph, edge_idx: usize) -> Option<Path> {
+        debug_assert!(self.projection.is_none(), "projection paths are terminal");
+        let e = graph.projection_edge(edge_idx);
+        if e.rel != self.end_relation() {
+            return None;
+        }
+        let mut p = self.clone();
+        p.projection = Some(edge_idx);
+        p.weight *= e.weight;
+        Some(p)
+    }
+}
+
+/// Priority-queue ordering for paths: higher weight first; among equal
+/// weights, shorter first ("shorter paths are favoured among paths of equal
+/// weight", §5.1); remaining ties broken deterministically by edge indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPriority(pub Path);
+
+impl Eq for PathPriority {}
+
+impl PartialOrd for PathPriority {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PathPriority {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: `Greater` pops first.
+        self.0
+            .weight()
+            .total_cmp(&other.0.weight())
+            .then_with(|| other.0.len().cmp(&self.0.len()))
+            .then_with(|| other.0.joins.cmp(&self.0.joins))
+            .then_with(|| {
+                let a = self.0.projection.map(|i| i as i64).unwrap_or(-1);
+                let b = other.0.projection.map(|i| i as i64).unwrap_or(-1);
+                b.cmp(&a)
+            })
+            .then_with(|| other.0.origin.cmp(&self.0.origin))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SchemaGraph;
+    use precis_storage::{DataType, DatabaseSchema, ForeignKey, RelationSchema};
+    use std::collections::BinaryHeap;
+
+    /// A ↔ B ↔ C chain.
+    fn chain_graph() -> SchemaGraph {
+        let mut s = DatabaseSchema::new("d");
+        for (name, fk_attr) in [("A", None), ("B", Some("a")), ("C", Some("b"))] {
+            let mut b = RelationSchema::builder(name)
+                .attr_not_null("id", DataType::Int)
+                .attr("x", DataType::Text)
+                .primary_key("id");
+            if let Some(a) = fk_attr {
+                b = b.attr(a, DataType::Int);
+            }
+            s.add_relation(b.build().unwrap()).unwrap();
+        }
+        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id")).unwrap();
+        s.add_foreign_key(ForeignKey::new("C", "b", "B", "id")).unwrap();
+        SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.9).unwrap()
+    }
+
+    #[test]
+    fn weights_multiply_along_paths() {
+        let g = chain_graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        let c = g.schema().relation_id("C").unwrap();
+        let p = Path::seed(a);
+        assert_eq!(p.weight(), 1.0);
+        assert!(p.is_empty());
+        let ab = g.find_join(a, b).unwrap();
+        let bc = g.find_join(b, c).unwrap();
+        let p = p.extend_join(&g, ab).unwrap();
+        assert_eq!(p.weight(), 0.5); // backward edge weight
+        let p = p.extend_join(&g, bc).unwrap();
+        assert!((p.weight() - 0.25).abs() < 1e-12);
+        assert_eq!(p.end_relation(), c);
+        assert_eq!(p.len(), 2);
+        let proj = g.projections_of(c)[0];
+        let p = p.extend_projection(&g, proj).unwrap();
+        assert!(p.is_projection());
+        assert!((p.weight() - 0.225).abs() < 1e-12);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.origin(), a);
+        assert_eq!(p.visited(), &[a, b, c]);
+    }
+
+    #[test]
+    fn acyclicity_enforced() {
+        let g = chain_graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        let ab = g.find_join(a, b).unwrap();
+        let ba = g.find_join(b, a).unwrap();
+        let p = Path::seed(a).extend_join(&g, ab).unwrap();
+        assert!(p.extend_join(&g, ba).is_none(), "would revisit A");
+        // Edge not adjacent to the end relation is rejected too.
+        assert!(Path::seed(b).extend_join(&g, ab).is_none());
+    }
+
+    #[test]
+    fn projection_must_match_end_relation() {
+        let g = chain_graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let c = g.schema().relation_id("C").unwrap();
+        let proj_c = g.projections_of(c)[0];
+        assert!(Path::seed(a).extend_projection(&g, proj_c).is_none());
+    }
+
+    #[test]
+    fn priority_orders_weight_desc_then_length_asc() {
+        let g = chain_graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        let ab = g.find_join(a, b).unwrap();
+        let heavy_short = Path::seed(a)
+            .extend_projection(&g, g.projections_of(a)[0])
+            .unwrap(); // weight .9, len 1
+        let join_path = Path::seed(a).extend_join(&g, ab).unwrap(); // weight .5, len 1
+        let mut heap = BinaryHeap::new();
+        heap.push(PathPriority(join_path.clone()));
+        heap.push(PathPriority(heavy_short.clone()));
+        assert_eq!(heap.pop().unwrap().0, heavy_short);
+        assert_eq!(heap.pop().unwrap().0, join_path);
+    }
+
+    #[test]
+    fn equal_weight_prefers_shorter() {
+        let g = chain_graph();
+        let a = g.schema().relation_id("A").unwrap();
+        let b = g.schema().relation_id("B").unwrap();
+        // Construct two paths of equal weight, different length, via map_weights.
+        let g1 = g.map_weights(|_, _| 1.0).unwrap();
+        let ab = g1.find_join(a, b).unwrap();
+        let short = Path::seed(a)
+            .extend_projection(&g1, g1.projections_of(a)[0])
+            .unwrap();
+        let long = Path::seed(a)
+            .extend_join(&g1, ab)
+            .unwrap()
+            .extend_projection(&g1, g1.projections_of(b)[0])
+            .unwrap();
+        assert_eq!(short.weight(), long.weight());
+        let mut heap = BinaryHeap::new();
+        heap.push(PathPriority(long));
+        heap.push(PathPriority(short.clone()));
+        assert_eq!(heap.pop().unwrap().0, short);
+    }
+}

@@ -1,0 +1,124 @@
+//! Weight profiles: named sets of edge-weight overrides (§3.1).
+//!
+//! "Sets of weights may be created by a designer targeting different groups
+//! of users … multiple sets of weights corresponding to different user
+//! profiles may be stored in the system." A profile names edges with the
+//! human-readable syntax `"REL.attr"` (projection edges) and `"FROM->TO"`
+//! (join edges) and is resolved against a concrete graph when applied.
+
+use crate::graph::{edge_directory, SchemaGraph};
+use crate::GraphError;
+use crate::Result;
+
+/// A named set of weight overrides.
+#[derive(Debug, Clone, Default)]
+pub struct WeightProfile {
+    name: String,
+    overrides: Vec<(String, f64)>,
+}
+
+impl WeightProfile {
+    pub fn new(name: impl Into<String>) -> Self {
+        WeightProfile {
+            name: name.into(),
+            overrides: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Override a projection edge's weight: `set("THEATRE.phone", 0.2)`.
+    /// Or a join edge's: `set("MOVIE->GENRE", 0.9)`.
+    pub fn set(mut self, edge: impl Into<String>, weight: f64) -> Self {
+        self.overrides.push((edge.into(), weight));
+        self
+    }
+
+    pub fn overrides(&self) -> &[(String, f64)] {
+        &self.overrides
+    }
+
+    /// Resolve edge names against `graph` and write the new weights. Fails
+    /// on unknown edge names or out-of-range weights, leaving the graph in a
+    /// partially-updated state only on error (callers use
+    /// [`SchemaGraph::with_profile`], which applies to a copy).
+    pub(crate) fn apply(&self, graph: &mut SchemaGraph) -> Result<()> {
+        let dir = edge_directory(graph);
+        for (name, w) in &self.overrides {
+            let edge = *dir
+                .get(name)
+                .ok_or_else(|| GraphError::NoSuchEdge(name.clone()))?;
+            graph.set_weight(edge, *w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_storage::{DataType, DatabaseSchema, ForeignKey, RelationSchema};
+
+    fn graph() -> SchemaGraph {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("MOVIE")
+                .attr_not_null("mid", DataType::Int)
+                .attr("title", DataType::Text)
+                .attr("did", DataType::Int)
+                .primary_key("mid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("DIRECTOR")
+                .attr_not_null("did", DataType::Int)
+                .attr("dname", DataType::Text)
+                .primary_key("did")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))
+            .unwrap();
+        SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.7).unwrap()
+    }
+
+    #[test]
+    fn profile_overrides_both_edge_kinds() {
+        let g = graph();
+        let p = WeightProfile::new("reviewer")
+            .set("MOVIE.title", 1.0)
+            .set("DIRECTOR->MOVIE", 0.95);
+        let g2 = g.with_profile(&p).unwrap();
+        let movie = g2.schema().relation_id("MOVIE").unwrap();
+        let director = g2.schema().relation_id("DIRECTOR").unwrap();
+        let title = g2.schema().relation(movie).attr_position("title").unwrap();
+        let pe = g2.find_projection(movie, title).unwrap();
+        assert_eq!(g2.projection_edge(pe).weight, 1.0);
+        let je = g2.find_join(director, movie).unwrap();
+        assert_eq!(g2.join_edge(je).weight, 0.95);
+        // Original untouched.
+        assert_eq!(g.projection_edge(pe).weight, 0.7);
+        assert_eq!(p.name(), "reviewer");
+        assert_eq!(p.overrides().len(), 2);
+    }
+
+    #[test]
+    fn unknown_edge_and_bad_weight_rejected() {
+        let g = graph();
+        let p = WeightProfile::new("x").set("NOPE.attr", 0.4);
+        assert!(matches!(
+            g.with_profile(&p),
+            Err(GraphError::NoSuchEdge(_))
+        ));
+        let p = WeightProfile::new("x").set("MOVIE.title", -0.1);
+        assert!(matches!(
+            g.with_profile(&p),
+            Err(GraphError::WeightOutOfRange(_))
+        ));
+    }
+}

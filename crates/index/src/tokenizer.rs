@@ -1,0 +1,90 @@
+//! Word tokenizer: case-folded alphanumeric runs.
+
+/// Splits `text` into lowercase alphanumeric words. Punctuation and
+/// whitespace separate words; `"Brooklyn, New York"` → `["brooklyn", "new",
+/// "york"]`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::default().words(text)
+}
+
+/// Configurable tokenizer. The default lowercases and splits on
+/// non-alphanumeric characters; stopwords may be dropped for index
+/// compactness (they are kept by default so phrase queries stay exact).
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    stopwords: Vec<String>,
+}
+
+impl Tokenizer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop the given words (compared case-insensitively) from output.
+    pub fn with_stopwords<I, S>(stopwords: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Tokenizer {
+            stopwords: stopwords
+                .into_iter()
+                .map(|s| s.into().to_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Tokenize `text` into words.
+    pub fn words(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                current.extend(ch.to_lowercase());
+            } else if !current.is_empty() {
+                self.push_word(&mut out, std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            self.push_word(&mut out, current);
+        }
+        out
+    }
+
+    fn push_word(&self, out: &mut Vec<String>, word: String) {
+        if !self.stopwords.contains(&word) {
+            out.push(word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Woody Allen"),
+            vec!["woody".to_owned(), "allen".to_owned()]
+        );
+        assert_eq!(
+            tokenize("Brooklyn, New-York (USA)"),
+            vec!["brooklyn", "new", "york", "usa"]
+        );
+        assert_eq!(tokenize("  "), Vec::<String>::new());
+        assert_eq!(tokenize("Match Point 2005"), vec!["match", "point", "2005"]);
+    }
+
+    #[test]
+    fn unicode_case_folding() {
+        assert_eq!(tokenize("Mélinda"), vec!["mélinda"]);
+        assert_eq!(tokenize("ÎLE"), vec!["île"]);
+    }
+
+    #[test]
+    fn stopwords_are_dropped() {
+        let t = Tokenizer::with_stopwords(["the", "of"]);
+        assert_eq!(t.words("The Curse of the Jade Scorpion"), vec!["curse", "jade", "scorpion"]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # precis-nlg
+//!
+//! The **Translator** of the Précis system (paper §5.3): renders the
+//! relational output of a précis query into a narrative synthesis of
+//! results, "a proper structured management of individual results, according
+//! to certain rules and templates predefined by a designer".
+//!
+//! Ingredients:
+//!
+//! * every relation has a **heading attribute** — the attribute whose value
+//!   characterizes a tuple in prose (MOVIE's heading attribute is `title`);
+//! * every projection and join edge may carry a **template label** that
+//!   verbalizes the relationship between its endpoints;
+//! * a small **template language** supports variables (`@TITLE`), indexing
+//!   (`@TITLE[$i$]`), joining (`@GENRE[*]`), the `arityof` function, loop
+//!   sections (`[i<arityof(@TITLE)]{…}`), and named macros (`%MOVIE_LIST%`)
+//!   — mirroring the language sketched in the paper ("a simple language for
+//!   templates that supports variables, loops, functions, and macros").
+//!
+//! The [`Translator`] walks a précis answer from each token occurrence
+//! outward along the used join edges and emits one clause per template,
+//! reproducing the paper's Woody Allen narrative.
+
+mod error;
+mod template;
+mod translator;
+mod vocabulary;
+
+pub use error::NlgError;
+pub use template::{Bindings, Template};
+pub use translator::{Narrative, Translator};
+pub use vocabulary::Vocabulary;
+
+/// Result alias for translation.
+pub type Result<T> = std::result::Result<T, NlgError>;

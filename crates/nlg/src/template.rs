@@ -1,0 +1,632 @@
+//! The template language: parser and renderer.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! template  ::= item*
+//! item      ::= literal | variable | loop | macroref
+//! variable  ::= '@' IDENT index?
+//! index     ::= '[' '$' IDENT '$' ']'      -- loop-variable index (1-based)
+//!             | '[' '*' ']'                -- join all values with ", "
+//! loop      ::= '[' IDENT OP 'arityof(@' IDENT ')' ']' '{' template '}'
+//! OP        ::= '<' | '<=' | '='
+//! macroref  ::= '%' IDENT '%'
+//! ```
+//!
+//! A backslash escapes the next character (`\@` is a literal `@`). Loop
+//! variables count from 1, matching the paper's `[i<arityof(@TITLE)]` /
+//! `[i=arityof(@TITLE)]` idiom for "all but the last element" / "the last
+//! element".
+
+use crate::error::NlgError;
+use crate::Result;
+use std::collections::HashMap;
+
+const MACRO_DEPTH_LIMIT: usize = 16;
+
+/// How a variable occurrence is indexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum VarIndex {
+    /// `@X` — the first (or only) value.
+    First,
+    /// `@X[$i$]` — the value at 1-based loop-variable position.
+    Loop(String),
+    /// `@X[*]` — all values joined with `", "`.
+    JoinAll,
+}
+
+/// Comparison operator of a loop header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopOp {
+    Lt,
+    Le,
+    Eq,
+}
+
+/// One parsed template item.
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    Literal(String),
+    Var { name: String, index: VarIndex },
+    Loop {
+        var: String,
+        op: LoopOp,
+        arity_of: String,
+        body: Template,
+    },
+    MacroRef(String),
+}
+
+/// A parsed, reusable template.
+///
+/// ```
+/// use precis_nlg::{Template, Bindings};
+/// use std::collections::HashMap;
+///
+/// let mut b = Bindings::new();
+/// b.set_scalar("DNAME", "Woody Allen");
+/// b.set("TITLE", ["Match Point", "Anything Else"]);
+/// b.set("YEAR", ["2005", "2003"]);
+///
+/// let t = Template::parse(
+///     "@DNAME directed [i<arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]), }\
+///      [i=arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]).}",
+/// )?;
+/// assert_eq!(
+///     t.render(&b, &HashMap::new())?,
+///     "Woody Allen directed Match Point (2005), Anything Else (2003)."
+/// );
+/// # Ok::<(), precis_nlg::NlgError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Template {
+    items: Vec<Item>,
+}
+
+/// Variable bindings for rendering: each variable names a list of values
+/// (single-valued attributes bind one-element lists).
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    vars: HashMap<String, Vec<String>>,
+}
+
+impl Bindings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a variable to a list of values (replaces any previous binding).
+    pub fn set<I, S>(&mut self, name: impl Into<String>, values: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.vars
+            .insert(name.into(), values.into_iter().map(Into::into).collect());
+    }
+
+    /// Bind a single value.
+    pub fn set_scalar(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.set(name, [value.into()]);
+    }
+
+    /// Bind only if the name is still free.
+    pub fn set_if_absent(&mut self, name: &str, values: Vec<String>) {
+        self.vars.entry(name.to_owned()).or_insert(values);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&[String]> {
+        self.vars.get(name).map(Vec::as_slice)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+}
+
+impl Template {
+    /// Parse a template string.
+    pub fn parse(source: &str) -> Result<Template> {
+        let mut parser = Parser {
+            src: source,
+            chars: source.char_indices().peekable(),
+        };
+        let items = parser.parse_items(None)?;
+        Ok(Template { items })
+    }
+
+    /// Render with `bindings` and `macros` (name → template source; macros
+    /// are parsed lazily and may reference other macros).
+    pub fn render(&self, bindings: &Bindings, macros: &HashMap<String, Template>) -> Result<String> {
+        let mut out = String::new();
+        self.render_into(&mut out, bindings, macros, &mut HashMap::new(), 0)?;
+        Ok(out)
+    }
+
+    fn render_into(
+        &self,
+        out: &mut String,
+        bindings: &Bindings,
+        macros: &HashMap<String, Template>,
+        loop_vars: &mut HashMap<String, usize>,
+        depth: usize,
+    ) -> Result<()> {
+        for item in &self.items {
+            match item {
+                Item::Literal(s) => out.push_str(s),
+                Item::Var { name, index } => {
+                    let values = bindings
+                        .get(name)
+                        .ok_or_else(|| NlgError::UnknownVariable(name.clone()))?;
+                    match index {
+                        VarIndex::First => {
+                            if let Some(v) = values.first() {
+                                out.push_str(v);
+                            }
+                        }
+                        VarIndex::JoinAll => {
+                            for (i, v) in values.iter().enumerate() {
+                                if i > 0 {
+                                    out.push_str(", ");
+                                }
+                                out.push_str(v);
+                            }
+                        }
+                        VarIndex::Loop(lv) => {
+                            let i = *loop_vars
+                                .get(lv)
+                                .ok_or_else(|| NlgError::UnknownLoopVariable(lv.clone()))?;
+                            let v = values.get(i - 1).ok_or(NlgError::IndexOutOfRange {
+                                variable: name.clone(),
+                                index: i,
+                            })?;
+                            out.push_str(v);
+                        }
+                    }
+                }
+                Item::Loop {
+                    var,
+                    op,
+                    arity_of,
+                    body,
+                } => {
+                    let arity = bindings
+                        .get(arity_of)
+                        .ok_or_else(|| NlgError::UnknownVariable(arity_of.clone()))?
+                        .len();
+                    let range: Vec<usize> = match op {
+                        LoopOp::Lt => (1..arity).collect(),
+                        LoopOp::Le => (1..=arity).collect(),
+                        LoopOp::Eq => {
+                            if arity >= 1 {
+                                vec![arity]
+                            } else {
+                                vec![]
+                            }
+                        }
+                    };
+                    for i in range {
+                        let prev = loop_vars.insert(var.clone(), i);
+                        body.render_into(out, bindings, macros, loop_vars, depth)?;
+                        match prev {
+                            Some(p) => {
+                                loop_vars.insert(var.clone(), p);
+                            }
+                            None => {
+                                loop_vars.remove(var);
+                            }
+                        }
+                    }
+                }
+                Item::MacroRef(name) => {
+                    if depth >= MACRO_DEPTH_LIMIT {
+                        return Err(NlgError::MacroRecursion(name.clone()));
+                    }
+                    let m = macros
+                        .get(name)
+                        .ok_or_else(|| NlgError::UnknownMacro(name.clone()))?;
+                    m.render_into(out, bindings, macros, loop_vars, depth + 1)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Variables referenced by this template (not transitively through
+    /// macros).
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(items: &'a [Item], out: &mut Vec<&'a str>) {
+            for item in items {
+                match item {
+                    Item::Var { name, .. } => out.push(name),
+                    Item::Loop { arity_of, body, .. } => {
+                        out.push(arity_of);
+                        walk(&body.items, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.items, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> NlgError {
+        NlgError::Parse {
+            template: self.src.to_owned(),
+            message: message.into(),
+        }
+    }
+
+    /// Parse items until `stop` (a closing delimiter) or end of input.
+    fn parse_items(&mut self, stop: Option<char>) -> Result<Vec<Item>> {
+        let mut items = Vec::new();
+        let mut literal = String::new();
+        loop {
+            match self.chars.peek().copied() {
+                None => {
+                    if let Some(s) = stop {
+                        return Err(self.err(format!("expected {s:?} before end of template")));
+                    }
+                    break;
+                }
+                Some((_, c)) if Some(c) == stop => {
+                    self.chars.next();
+                    break;
+                }
+                Some((_, '\\')) => {
+                    self.chars.next();
+                    match self.chars.next() {
+                        Some((_, c)) => literal.push(c),
+                        None => return Err(self.err("dangling escape")),
+                    }
+                }
+                Some((_, '@')) => {
+                    flush(&mut literal, &mut items);
+                    self.chars.next();
+                    items.push(self.parse_var()?);
+                }
+                Some((_, '%')) => {
+                    self.chars.next();
+                    match self.try_parse_macro_ref() {
+                        Some(name) => {
+                            flush(&mut literal, &mut items);
+                            items.push(Item::MacroRef(name));
+                        }
+                        None => literal.push('%'),
+                    }
+                }
+                Some((pos, '[')) => {
+                    self.chars.next();
+                    match self.try_parse_loop(pos) {
+                        Some(l) => {
+                            flush(&mut literal, &mut items);
+                            items.push(l?);
+                        }
+                        None => literal.push('['),
+                    }
+                }
+                Some((_, c)) => {
+                    self.chars.next();
+                    literal.push(c);
+                }
+            }
+        }
+        flush(&mut literal, &mut items);
+        return Ok(items);
+
+        fn flush(literal: &mut String, items: &mut Vec<Item>) {
+            if !literal.is_empty() {
+                items.push(Item::Literal(std::mem::take(literal)));
+            }
+        }
+    }
+
+    fn parse_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(&(_, c)) = self.chars.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn parse_var(&mut self) -> Result<Item> {
+        let name = self.parse_ident();
+        if name.is_empty() {
+            return Err(self.err("expected identifier after '@'"));
+        }
+        // Optional index: [$i$] or [*] — anything else leaves the '['
+        // untouched (it may start a literal or a loop).
+        if let Some(&(pos, '[')) = self.chars.peek() {
+            let rest = &self.src[pos..];
+            if let Some(idx_end) = rest.find(']') {
+                let inner = &rest[1..idx_end];
+                if inner == "*" {
+                    self.skip(idx_end + 1);
+                    return Ok(Item::Var {
+                        name,
+                        index: VarIndex::JoinAll,
+                    });
+                }
+                if inner.len() >= 3 && inner.starts_with('$') && inner.ends_with('$') {
+                    let lv = &inner[1..inner.len() - 1];
+                    if lv.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                        self.skip(idx_end + 1);
+                        return Ok(Item::Var {
+                            name,
+                            index: VarIndex::Loop(lv.to_owned()),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Item::Var {
+            name,
+            index: VarIndex::First,
+        })
+    }
+
+    fn try_parse_macro_ref(&mut self) -> Option<String> {
+        // Already consumed the opening '%'. Look ahead for IDENT '%'.
+        let mut clone = self.chars.clone();
+        let mut name = String::new();
+        loop {
+            match clone.peek() {
+                Some(&(_, c)) if c.is_alphanumeric() || c == '_' => {
+                    name.push(c);
+                    clone.next();
+                }
+                Some(&(_, '%')) if !name.is_empty() => {
+                    clone.next();
+                    self.chars = clone;
+                    return Some(name);
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Called after consuming '['. Tries to parse a loop header; `None`
+    /// means "not a loop, treat '[' as literal". `pos` is the offset of the
+    /// consumed '['.
+    fn try_parse_loop(&mut self, pos: usize) -> Option<Result<Item>> {
+        let rest = &self.src[pos..];
+        let close = rest.find(']')?;
+        let header = &rest[1..close];
+        let (var, op, arity_of) = parse_loop_header(header)?;
+        // The header must be followed by '{'.
+        if !rest[close + 1..].starts_with('{') {
+            return None;
+        }
+        // Commit: skip the header and ']' (the '[' is already consumed, so
+        // the iterator sits one byte past `pos`), then consume '{' and parse
+        // the body to '}'.
+        self.skip(close);
+        self.chars.next(); // '{'
+        let body = match self.parse_items(Some('}')) {
+            Ok(items) => Template { items },
+            Err(e) => return Some(Err(e)),
+        };
+        Some(Ok(Item::Loop {
+            var,
+            op,
+            arity_of,
+            body,
+        }))
+    }
+
+    /// Advance the iterator `n` bytes past its current position start.
+    fn skip(&mut self, n: usize) {
+        let Some(&(start, _)) = self.chars.peek() else {
+            return;
+        };
+        let target = start + n;
+        while let Some(&(pos, _)) = self.chars.peek() {
+            if pos >= target {
+                break;
+            }
+            self.chars.next();
+        }
+    }
+}
+
+/// Parse `i<arityof(@X)` style headers.
+fn parse_loop_header(header: &str) -> Option<(String, LoopOp, String)> {
+    let header = header.trim();
+    let (var, rest, op) = if let Some(p) = header.find("<=") {
+        (&header[..p], &header[p + 2..], LoopOp::Le)
+    } else if let Some(p) = header.find('<') {
+        (&header[..p], &header[p + 1..], LoopOp::Lt)
+    } else if let Some(p) = header.find('=') {
+        (&header[..p], &header[p + 1..], LoopOp::Eq)
+    } else {
+        return None;
+    };
+    let var = var.trim();
+    if var.is_empty() || !var.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    let rest = rest.trim();
+    let inner = rest.strip_prefix("arityof(@")?.strip_suffix(')')?;
+    if inner.is_empty() || !inner.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some((var.to_owned(), op, inner.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render(src: &str, bind: &Bindings) -> Result<String> {
+        Template::parse(src)?.render(bind, &HashMap::new())
+    }
+
+    fn movie_bindings() -> Bindings {
+        let mut b = Bindings::new();
+        b.set("TITLE", ["Match Point", "Melinda and Melinda", "Anything Else"]);
+        b.set("YEAR", ["2005", "2004", "2003"]);
+        b.set_scalar("DNAME", "Woody Allen");
+        b
+    }
+
+    #[test]
+    fn literals_and_scalars() {
+        let b = movie_bindings();
+        assert_eq!(
+            render("@DNAME was born.", &b).unwrap(),
+            "Woody Allen was born."
+        );
+        assert_eq!(render("plain text", &b).unwrap(), "plain text");
+    }
+
+    #[test]
+    fn unindexed_multivalue_takes_first() {
+        let b = movie_bindings();
+        assert_eq!(render("@TITLE", &b).unwrap(), "Match Point");
+    }
+
+    #[test]
+    fn join_all_comma_separates() {
+        let b = movie_bindings();
+        assert_eq!(
+            render("@TITLE[*]", &b).unwrap(),
+            "Match Point, Melinda and Melinda, Anything Else"
+        );
+    }
+
+    #[test]
+    fn paper_movie_list_macro() {
+        // The MOVIE_LIST macro from §5.3.
+        let mut macros = HashMap::new();
+        macros.insert(
+            "MOVIE_LIST".to_owned(),
+            Template::parse(
+                "[i<arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]), }[i=arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]).}",
+            )
+            .unwrap(),
+        );
+        let t =
+            Template::parse("As a director, @DNAME's work includes %MOVIE_LIST%").unwrap();
+        let out = t.render(&movie_bindings(), &macros).unwrap();
+        assert_eq!(
+            out,
+            "As a director, Woody Allen's work includes Match Point (2005), \
+             Melinda and Melinda (2004), Anything Else (2003)."
+        );
+    }
+
+    #[test]
+    fn loop_le_covers_all_elements() {
+        let b = movie_bindings();
+        assert_eq!(
+            render("[i<=arityof(@YEAR)]{<@YEAR[$i$]>}", &b).unwrap(),
+            "<2005><2004><2003>"
+        );
+    }
+
+    #[test]
+    fn loop_over_empty_list_renders_nothing() {
+        let mut b = Bindings::new();
+        b.set("X", Vec::<String>::new());
+        assert_eq!(render("[i<=arityof(@X)]{@X[$i$]}", &b).unwrap(), "");
+        assert_eq!(render("[i=arityof(@X)]{@X[$i$]}", &b).unwrap(), "");
+        // Unindexed read of an empty list renders nothing rather than erroring.
+        assert_eq!(render("<@X>", &b).unwrap(), "<>");
+    }
+
+    #[test]
+    fn escapes_and_literal_brackets() {
+        let b = movie_bindings();
+        assert_eq!(render(r"100\% \@home", &b).unwrap(), "100% @home");
+        assert_eq!(render("a [not a loop] b", &b).unwrap(), "a [not a loop] b");
+        assert_eq!(render("50% off", &b).unwrap(), "50% off");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let b = movie_bindings();
+        assert!(matches!(
+            render("@MISSING", &b),
+            Err(NlgError::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            render("%NOPE%", &b),
+            Err(NlgError::UnknownMacro(_))
+        ));
+        assert!(matches!(
+            render("@TITLE[$i$]", &b),
+            Err(NlgError::UnknownLoopVariable(_))
+        ));
+        assert!(matches!(render(r"\", &b), Err(NlgError::Parse { .. })));
+        assert!(matches!(
+            render("[i<=arityof(@TITLE)]{unclosed", &b),
+            Err(NlgError::Parse { .. })
+        ));
+        assert!(matches!(render("@", &b), Err(NlgError::Parse { .. })));
+    }
+
+    #[test]
+    fn macro_recursion_is_detected() {
+        let mut macros = HashMap::new();
+        macros.insert("A".to_owned(), Template::parse("%B%").unwrap());
+        macros.insert("B".to_owned(), Template::parse("%A%").unwrap());
+        let t = Template::parse("%A%").unwrap();
+        assert!(matches!(
+            t.render(&Bindings::new(), &macros),
+            Err(NlgError::MacroRecursion(_))
+        ));
+    }
+
+    #[test]
+    fn nested_loops_shadow_and_restore() {
+        let mut b = Bindings::new();
+        b.set("X", ["a", "b"]);
+        b.set("Y", ["1", "2"]);
+        let out = render(
+            "[i<=arityof(@X)]{@X[$i$]([i<=arityof(@Y)]{@Y[$i$]})}",
+            &b,
+        )
+        .unwrap();
+        assert_eq!(out, "a(12)b(12)");
+        // Same loop var nested: inner shadows, outer restored.
+        let out = render(
+            "[i<=arityof(@X)]{[i<=arityof(@Y)]{@Y[$i$]}@X[$i$]}",
+            &b,
+        )
+        .unwrap();
+        assert_eq!(out, "12a12b");
+    }
+
+    #[test]
+    fn variables_lists_references() {
+        let t = Template::parse("@A [i<=arityof(@B)]{@C[$i$]}").unwrap();
+        assert_eq!(t.variables(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn bindings_api() {
+        let mut b = Bindings::new();
+        b.set_scalar("X", "1");
+        b.set_if_absent("X", vec!["2".into()]);
+        assert_eq!(b.get("X").unwrap(), &["1".to_owned()]);
+        b.set_if_absent("Y", vec!["3".into()]);
+        assert!(b.contains("Y"));
+        assert!(!b.contains("Z"));
+    }
+}

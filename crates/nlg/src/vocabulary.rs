@@ -1,0 +1,139 @@
+//! The designer-provided vocabulary: heading attributes, node labels,
+//! template labels and macros (paper §5.3).
+
+use crate::error::NlgError;
+use crate::template::Template;
+use crate::Result;
+use precis_storage::RelationId;
+use std::collections::HashMap;
+
+/// Everything the translator needs to verbalize a schema: which attribute
+/// *heads* each relation, how relation and join clauses are phrased, and the
+/// shared macro library.
+///
+/// Templates are registered as source strings and parsed eagerly so
+/// configuration errors surface at setup time, not at query time.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    heading: HashMap<RelationId, usize>,
+    relation_clause: HashMap<RelationId, Template>,
+    join_clause: HashMap<(RelationId, RelationId), Template>,
+    attr_label: HashMap<(RelationId, usize), String>,
+    macros: HashMap<String, Template>,
+}
+
+impl Vocabulary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare the heading attribute of a relation — "the value of at least
+    /// one of its attributes that characterizes tuples of this relation".
+    /// The edge connecting a heading attribute to its relation implicitly
+    /// has weight 1 and is always present in a précis answer.
+    pub fn set_heading(&mut self, rel: RelationId, attr: usize) -> &mut Self {
+        self.heading.insert(rel, attr);
+        self
+    }
+
+    pub fn heading(&self, rel: RelationId) -> Option<usize> {
+        self.heading.get(&rel).copied()
+    }
+
+    /// Set the clause template rendered once per matching tuple of `rel`
+    /// (e.g. `"@DNAME was born on @BDATE in @BLOCATION."`).
+    pub fn set_relation_clause(&mut self, rel: RelationId, template: &str) -> Result<&mut Self> {
+        self.relation_clause.insert(rel, Template::parse(template)?);
+        Ok(self)
+    }
+
+    pub fn relation_clause(&self, rel: RelationId) -> Option<&Template> {
+        self.relation_clause.get(&rel)
+    }
+
+    /// Set the clause template for the join edge `from → to`, rendered once
+    /// per source tuple with the joined destination tuples bound as lists.
+    pub fn set_join_clause(
+        &mut self,
+        from: RelationId,
+        to: RelationId,
+        template: &str,
+    ) -> Result<&mut Self> {
+        self.join_clause.insert((from, to), Template::parse(template)?);
+        Ok(self)
+    }
+
+    pub fn join_clause(&self, from: RelationId, to: RelationId) -> Option<&Template> {
+        self.join_clause.get(&(from, to))
+    }
+
+    /// Override the template-variable name of an attribute (default: the
+    /// attribute name upper-cased).
+    pub fn set_attr_label(
+        &mut self,
+        rel: RelationId,
+        attr: usize,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.attr_label.insert((rel, attr), label.into());
+        self
+    }
+
+    pub fn attr_label(&self, rel: RelationId, attr: usize, default_name: &str) -> String {
+        self.attr_label
+            .get(&(rel, attr))
+            .cloned()
+            .unwrap_or_else(|| default_name.to_uppercase())
+    }
+
+    /// Define a named macro usable from any template as `%NAME%`.
+    pub fn define_macro(&mut self, name: impl Into<String>, template: &str) -> Result<&mut Self> {
+        let name = name.into();
+        if !name.chars().all(|c| c.is_alphanumeric() || c == '_') || name.is_empty() {
+            return Err(NlgError::Parse {
+                template: template.to_owned(),
+                message: format!("invalid macro name {name:?}"),
+            });
+        }
+        self.macros.insert(name, Template::parse(template)?);
+        Ok(self)
+    }
+
+    pub fn macros(&self) -> &HashMap<String, Template> {
+        &self.macros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_and_lookup() {
+        let r0 = RelationId(0);
+        let r1 = RelationId(1);
+        let mut v = Vocabulary::new();
+        v.set_heading(r0, 1);
+        v.set_relation_clause(r0, "@DNAME was born.").unwrap();
+        v.set_join_clause(r0, r1, "work includes %LIST%").unwrap();
+        v.define_macro("LIST", "@TITLE[*]").unwrap();
+        v.set_attr_label(r0, 2, "BIRTHPLACE");
+
+        assert_eq!(v.heading(r0), Some(1));
+        assert!(v.relation_clause(r0).is_some());
+        assert!(v.relation_clause(r1).is_none());
+        assert!(v.join_clause(r0, r1).is_some());
+        assert!(v.join_clause(r1, r0).is_none());
+        assert_eq!(v.attr_label(r0, 2, "blocation"), "BIRTHPLACE");
+        assert_eq!(v.attr_label(r0, 3, "bdate"), "BDATE");
+        assert!(v.macros().contains_key("LIST"));
+    }
+
+    #[test]
+    fn bad_templates_fail_at_registration() {
+        let mut v = Vocabulary::new();
+        assert!(v.set_relation_clause(RelationId(0), r"\").is_err());
+        assert!(v.define_macro("bad name!", "x").is_err());
+        assert!(v.define_macro("", "x").is_err());
+    }
+}

@@ -1,0 +1,725 @@
+//! The database: schema + tables + indexes + constraint enforcement.
+
+use crate::error::StorageError;
+use crate::index::{HashIndex, UniqueIndex};
+use crate::schema::{DatabaseSchema, RelationId, RelationSchema};
+use crate::stats::AccessStats;
+use crate::table::Table;
+use crate::tuple::{Tuple, TupleId};
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// An in-memory relational database.
+///
+/// On construction it creates a [`UniqueIndex`] for every declared primary
+/// key and a [`HashIndex`] on every foreign-key endpoint — mirroring the
+/// paper's experimental setup, which "created indexes on all join
+/// attributes". Additional secondary indexes can be added with
+/// [`Database::create_index`].
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: DatabaseSchema,
+    tables: Vec<Table>,
+    /// (relation, attribute position) → secondary index.
+    value_indexes: HashMap<(RelationId, usize), HashIndex>,
+    /// relation → primary-key index.
+    pk_indexes: HashMap<RelationId, UniqueIndex>,
+    /// When true, `insert` verifies every FK value resolves (requires parents
+    /// inserted first). Off by default so loaders can insert in any order and
+    /// check once with [`Database::validate_foreign_keys`].
+    enforce_fk: bool,
+    stats: AccessStats,
+}
+
+impl Database {
+    /// Create an empty database for `schema`.
+    pub fn new(schema: DatabaseSchema) -> Result<Self> {
+        let tables = schema
+            .relations()
+            .map(|(_, r)| Table::new(r.clone()))
+            .collect::<Vec<_>>();
+        let mut db = Database {
+            schema,
+            tables,
+            value_indexes: HashMap::new(),
+            pk_indexes: HashMap::new(),
+            enforce_fk: false,
+            stats: AccessStats::new(),
+        };
+        for (id, rel) in db.schema.relations() {
+            if rel.primary_key().is_some() {
+                db.pk_indexes.insert(id, UniqueIndex::new());
+            }
+        }
+        // Index every foreign-key endpoint.
+        let endpoints: Vec<(RelationId, usize)> = db
+            .schema
+            .foreign_keys()
+            .iter()
+            .flat_map(|fk| {
+                let from = db.schema.relation_id(&fk.relation).unwrap();
+                let to = db.schema.relation_id(&fk.ref_relation).unwrap();
+                let from_pos = db.schema.relation(from).attr_position(&fk.attribute).unwrap();
+                let to_pos = db
+                    .schema
+                    .relation(to)
+                    .attr_position(&fk.ref_attribute)
+                    .unwrap();
+                [(from, from_pos), (to, to_pos)]
+            })
+            .collect();
+        for (rel, pos) in endpoints {
+            db.value_indexes.entry((rel, pos)).or_default();
+        }
+        Ok(db)
+    }
+
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    pub fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    /// Turn immediate foreign-key checking on or off.
+    pub fn set_enforce_foreign_keys(&mut self, on: bool) {
+        self.enforce_fk = on;
+    }
+
+    pub fn table(&self, rel: RelationId) -> &Table {
+        &self.tables[rel.0]
+    }
+
+    /// Schema of one relation (convenience passthrough).
+    pub fn relation_schema(&self, rel: RelationId) -> &RelationSchema {
+        self.schema.relation(rel)
+    }
+
+    /// Number of live tuples in one relation.
+    pub fn len(&self, rel: RelationId) -> usize {
+        self.tables[rel.0].len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.iter().all(Table::is_empty)
+    }
+
+    /// Total live tuples across all relations (the paper's `card(D')`).
+    pub fn total_tuples(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Insert a tuple by relation name. See [`Database::insert_into`].
+    pub fn insert(&mut self, relation: &str, values: Vec<Value>) -> Result<TupleId> {
+        let rel = self.schema.require_relation(relation)?;
+        self.insert_into(rel, values)
+    }
+
+    /// Insert a tuple, enforcing arity, types, NOT NULL, primary-key
+    /// uniqueness and (if enabled) foreign keys. Maintains all indexes.
+    pub fn insert_into(&mut self, rel: RelationId, values: Vec<Value>) -> Result<TupleId> {
+        let rel_schema = self.schema.relation(rel);
+        let rel_name = rel_schema.name().to_owned();
+        if values.len() != rel_schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: rel_name,
+                expected: rel_schema.arity(),
+                actual: values.len(),
+            });
+        }
+        for (pos, (v, a)) in values.iter().zip(rel_schema.attributes()).enumerate() {
+            if !v.conforms_to(a.ty) {
+                return Err(StorageError::TypeMismatch {
+                    relation: rel_name,
+                    attribute: rel_schema.attr_name(pos).to_owned(),
+                    expected: a.ty,
+                });
+            }
+            if v.is_null() && !a.nullable {
+                return Err(StorageError::TypeMismatch {
+                    relation: rel_name,
+                    attribute: rel_schema.attr_name(pos).to_owned(),
+                    expected: a.ty,
+                });
+            }
+        }
+        if let Some(pk) = rel_schema.primary_key() {
+            if values[pk].is_null() {
+                return Err(StorageError::NullPrimaryKey { relation: rel_name });
+            }
+            if self.pk_indexes[&rel].contains(&values[pk]) {
+                return Err(StorageError::PrimaryKeyViolation {
+                    relation: rel_name,
+                    key: values[pk].to_string(),
+                });
+            }
+        }
+        if self.enforce_fk {
+            self.check_foreign_keys(rel, &values)?;
+        }
+
+        let tuple = Tuple::new(values);
+        let pk = self.schema.relation(rel).primary_key();
+        let tid = self.tables[rel.0].append(tuple);
+        let stored = self.tables[rel.0].get(tid).expect("just inserted");
+        if let Some(pk) = pk {
+            let inserted = self
+                .pk_indexes
+                .get_mut(&rel)
+                .expect("pk index exists")
+                .insert(stored[pk].clone(), tid);
+            debug_assert!(inserted, "pk uniqueness checked above");
+        }
+        // Maintain secondary indexes.
+        let keys: Vec<(usize, Value)> = self
+            .value_indexes
+            .keys()
+            .filter(|(r, _)| *r == rel)
+            .map(|&(_, pos)| (pos, stored[pos].clone()))
+            .collect();
+        for (pos, v) in keys {
+            if !v.is_null() {
+                self.value_indexes
+                    .get_mut(&(rel, pos))
+                    .expect("key collected above")
+                    .insert(v, tid);
+            }
+        }
+        Ok(tid)
+    }
+
+    fn check_foreign_keys(&self, rel: RelationId, values: &[Value]) -> Result<()> {
+        for fk in self.schema.foreign_keys() {
+            let from = self.schema.relation_id(&fk.relation).unwrap();
+            if from != rel {
+                continue;
+            }
+            let from_pos = self
+                .schema
+                .relation(from)
+                .attr_position(&fk.attribute)
+                .unwrap();
+            let v = &values[from_pos];
+            if v.is_null() {
+                continue; // NULL FKs are vacuously valid.
+            }
+            if !self.fk_target_exists(fk, v)? {
+                return Err(StorageError::ForeignKeyViolation {
+                    relation: fk.relation.clone(),
+                    attribute: fk.attribute.clone(),
+                    referenced: fk.ref_relation.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn fk_target_exists(&self, fk: &crate::schema::ForeignKey, v: &Value) -> Result<bool> {
+        let to = self.schema.relation_id(&fk.ref_relation).unwrap();
+        let to_pos = self
+            .schema
+            .relation(to)
+            .attr_position(&fk.ref_attribute)
+            .unwrap();
+        if self.schema.relation(to).primary_key() == Some(to_pos) {
+            return Ok(self.pk_indexes[&to].contains(v));
+        }
+        if let Some(idx) = self.value_indexes.get(&(to, to_pos)) {
+            return Ok(!idx.get(v).is_empty());
+        }
+        // Fall back to a scan (no index on the referenced attribute).
+        Ok(self.tables[to.0].iter().any(|(_, t)| &t[to_pos] == v))
+    }
+
+    /// Check every foreign key of every live tuple; returns the list of
+    /// violations (empty means the instance is consistent). Used to verify
+    /// that précis result databases satisfy the original constraints.
+    pub fn validate_foreign_keys(&self) -> Vec<StorageError> {
+        let mut violations = Vec::new();
+        for fk in self.schema.foreign_keys() {
+            let from = self.schema.relation_id(&fk.relation).unwrap();
+            let from_pos = self
+                .schema
+                .relation(from)
+                .attr_position(&fk.attribute)
+                .unwrap();
+            for (_, t) in self.tables[from.0].iter() {
+                let v = &t[from_pos];
+                if v.is_null() {
+                    continue;
+                }
+                match self.fk_target_exists(fk, v) {
+                    Ok(true) => {}
+                    _ => violations.push(StorageError::ForeignKeyViolation {
+                        relation: fk.relation.clone(),
+                        attribute: fk.attribute.clone(),
+                        referenced: fk.ref_relation.clone(),
+                    }),
+                }
+            }
+        }
+        violations
+    }
+
+    /// Replace a tuple in place, keeping its tuple id stable and maintaining
+    /// every index. Enforces the same constraints as [`Database::insert_into`]
+    /// (primary-key uniqueness excludes the tuple itself, so updates that
+    /// keep the key are fine).
+    pub fn update(&mut self, rel: RelationId, tid: TupleId, values: Vec<Value>) -> Result<()> {
+        let rel_schema = self.schema.relation(rel);
+        let rel_name = rel_schema.name().to_owned();
+        if values.len() != rel_schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: rel_name,
+                expected: rel_schema.arity(),
+                actual: values.len(),
+            });
+        }
+        for (pos, (v, a)) in values.iter().zip(rel_schema.attributes()).enumerate() {
+            if !v.conforms_to(a.ty) || (v.is_null() && !a.nullable) {
+                return Err(StorageError::TypeMismatch {
+                    relation: rel_name,
+                    attribute: rel_schema.attr_name(pos).to_owned(),
+                    expected: a.ty,
+                });
+            }
+        }
+        let old = self.tables[rel.0]
+            .get(tid)
+            .ok_or_else(|| StorageError::NoSuchTuple {
+                relation: rel_name.clone(),
+                tid,
+            })?
+            .clone();
+        if let Some(pk) = rel_schema.primary_key() {
+            if values[pk].is_null() {
+                return Err(StorageError::NullPrimaryKey { relation: rel_name });
+            }
+            if values[pk] != old[pk] && self.pk_indexes[&rel].contains(&values[pk]) {
+                return Err(StorageError::PrimaryKeyViolation {
+                    relation: rel_name,
+                    key: values[pk].to_string(),
+                });
+            }
+        }
+        if self.enforce_fk {
+            self.check_foreign_keys(rel, &values)?;
+        }
+
+        // Point of no return: swap the tuple and fix up the indexes.
+        let pk = self.schema.relation(rel).primary_key();
+        self.tables[rel.0].remove(tid);
+        let new_tid = self.tables[rel.0].append_at(tid, Tuple::new(values));
+        debug_assert_eq!(new_tid, tid);
+        let stored = self.tables[rel.0].get(tid).expect("just replaced");
+        if let Some(pk) = pk {
+            if old[pk] != stored[pk] {
+                let idx = self.pk_indexes.get_mut(&rel).expect("pk index exists");
+                idx.remove(&old[pk]);
+                idx.insert(stored[pk].clone(), tid);
+            }
+        }
+        let positions: Vec<usize> = self
+            .value_indexes
+            .keys()
+            .filter(|(r, _)| *r == rel)
+            .map(|&(_, pos)| pos)
+            .collect();
+        for pos in positions {
+            if old[pos] == stored[pos] {
+                continue;
+            }
+            let (old_v, new_v) = (old[pos].clone(), stored[pos].clone());
+            let idx = self
+                .value_indexes
+                .get_mut(&(rel, pos))
+                .expect("position collected above");
+            if !old_v.is_null() {
+                idx.remove(&old_v, tid);
+            }
+            if !new_v.is_null() {
+                idx.insert(new_v, tid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a tuple, maintaining all indexes.
+    pub fn delete(&mut self, rel: RelationId, tid: TupleId) -> Result<()> {
+        let t = self.tables[rel.0]
+            .remove(tid)
+            .ok_or_else(|| StorageError::NoSuchTuple {
+                relation: self.schema.relation(rel).name().to_owned(),
+                tid,
+            })?;
+        if let Some(pk) = self.schema.relation(rel).primary_key() {
+            if let Some(idx) = self.pk_indexes.get_mut(&rel) {
+                idx.remove(&t[pk]);
+            }
+        }
+        let keys: Vec<usize> = self
+            .value_indexes
+            .keys()
+            .filter(|(r, _)| *r == rel)
+            .map(|&(_, pos)| pos)
+            .collect();
+        for pos in keys {
+            let v = t[pos].clone();
+            if !v.is_null() {
+                self.value_indexes
+                    .get_mut(&(rel, pos))
+                    .expect("key collected above")
+                    .remove(&v, tid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetch a tuple by id (counts one tuple read, the cost model's
+    /// `TupleTime` event).
+    pub fn fetch(&self, relation: &str, tid: TupleId) -> Result<&Tuple> {
+        let rel = self.schema.require_relation(relation)?;
+        self.fetch_from(rel, tid)
+    }
+
+    /// Fetch a tuple by id from a resolved relation.
+    pub fn fetch_from(&self, rel: RelationId, tid: TupleId) -> Result<&Tuple> {
+        self.stats.count_tuple_read();
+        self.tables[rel.0]
+            .get(tid)
+            .ok_or_else(|| StorageError::NoSuchTuple {
+                relation: self.schema.relation(rel).name().to_owned(),
+                tid,
+            })
+    }
+
+    /// Build (or rebuild) a secondary index on `rel.attr`.
+    pub fn create_index(&mut self, rel: RelationId, attr: usize) {
+        let mut idx = HashIndex::new();
+        for (tid, t) in self.tables[rel.0].iter() {
+            if !t[attr].is_null() {
+                idx.insert(t[attr].clone(), tid);
+            }
+        }
+        self.value_indexes.insert((rel, attr), idx);
+    }
+
+    pub fn has_index(&self, rel: RelationId, attr: usize) -> bool {
+        self.value_indexes.contains_key(&(rel, attr))
+    }
+
+    /// Indexed lookup: tuple ids where `rel.attr == value` (counts one index
+    /// probe, the cost model's `IndexTime` event).
+    pub fn lookup(&self, rel: RelationId, attr: usize, value: &Value) -> Result<&[TupleId]> {
+        let idx = self
+            .value_indexes
+            .get(&(rel, attr))
+            .ok_or_else(|| StorageError::NoIndex {
+                relation: self.schema.relation(rel).name().to_owned(),
+                attribute: self.schema.relation(rel).attr_name(attr).to_owned(),
+            })?;
+        self.stats.count_index_probe();
+        Ok(idx.get(value))
+    }
+
+    /// Primary-key point lookup (counts one index probe).
+    pub fn lookup_pk(&self, rel: RelationId, value: &Value) -> Option<TupleId> {
+        let idx = self.pk_indexes.get(&rel)?;
+        self.stats.count_index_probe();
+        idx.get(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ForeignKey;
+    use crate::value::DataType;
+
+    fn movies_db() -> Database {
+        let mut s = DatabaseSchema::new("movies");
+        s.add_relation(
+            RelationSchema::builder("DIRECTOR")
+                .attr_not_null("did", DataType::Int)
+                .attr("dname", DataType::Text)
+                .primary_key("did")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("MOVIE")
+                .attr_not_null("mid", DataType::Int)
+                .attr("title", DataType::Text)
+                .attr("did", DataType::Int)
+                .primary_key("mid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))
+            .unwrap();
+        Database::new(s).unwrap()
+    }
+
+    #[test]
+    fn insert_and_fetch() {
+        let mut db = movies_db();
+        let t = db
+            .insert("DIRECTOR", vec![Value::from(1), Value::from("Woody Allen")])
+            .unwrap();
+        let tup = db.fetch("DIRECTOR", t).unwrap();
+        assert_eq!(tup[1], Value::from("Woody Allen"));
+        assert_eq!(db.total_tuples(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn insert_validates_arity_type_and_nulls() {
+        let mut db = movies_db();
+        assert!(matches!(
+            db.insert("DIRECTOR", vec![Value::from(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.insert("DIRECTOR", vec![Value::from("x"), Value::from("y")]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.insert("DIRECTOR", vec![Value::Null, Value::from("y")]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(db.insert("nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn primary_key_uniqueness_enforced() {
+        let mut db = movies_db();
+        db.insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let err = db
+            .insert("DIRECTOR", vec![Value::from(1), Value::from("B")])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::PrimaryKeyViolation { .. }));
+    }
+
+    #[test]
+    fn fk_enforcement_is_optional_then_checked() {
+        let mut db = movies_db();
+        // Orphan insert allowed by default…
+        db.insert(
+            "MOVIE",
+            vec![Value::from(10), Value::from("Orphan"), Value::from(77)],
+        )
+        .unwrap();
+        assert_eq!(db.validate_foreign_keys().len(), 1);
+
+        // …but rejected when enforcement is on.
+        db.set_enforce_foreign_keys(true);
+        let err = db
+            .insert(
+                "MOVIE",
+                vec![Value::from(11), Value::from("Orphan2"), Value::from(98)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ForeignKeyViolation { .. }));
+
+        // Valid reference accepted.
+        db.insert("DIRECTOR", vec![Value::from(99), Value::from("D")])
+            .unwrap();
+        db.insert(
+            "MOVIE",
+            vec![Value::from(12), Value::from("Ok"), Value::from(99)],
+        )
+        .unwrap();
+        assert!(db
+            .validate_foreign_keys()
+            .iter()
+            .all(|e| matches!(e, StorageError::ForeignKeyViolation { .. })));
+        // Exactly the original orphan remains a violation.
+        assert_eq!(db.validate_foreign_keys().len(), 1);
+    }
+
+    #[test]
+    fn fk_endpoints_are_auto_indexed_and_lookup_counts_probe() {
+        let mut db = movies_db();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let did = db.relation_schema(movie).attr_position("did").unwrap();
+        assert!(db.has_index(movie, did));
+        db.insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let m = db
+            .insert(
+                "MOVIE",
+                vec![Value::from(10), Value::from("T"), Value::from(1)],
+            )
+            .unwrap();
+        let before = db.stats().snapshot();
+        let hits = db.lookup(movie, did, &Value::from(1)).unwrap();
+        assert_eq!(hits, &[m]);
+        assert_eq!(db.stats().snapshot().since(before).index_probes, 1);
+    }
+
+    #[test]
+    fn lookup_without_index_errors() {
+        let db = movies_db();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let title = db.relation_schema(movie).attr_position("title").unwrap();
+        assert!(matches!(
+            db.lookup(movie, title, &Value::from("x")),
+            Err(StorageError::NoIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn create_index_backfills_existing_rows() {
+        let mut db = movies_db();
+        db.insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        let dname = db.relation_schema(dir).attr_position("dname").unwrap();
+        db.create_index(dir, dname);
+        assert_eq!(db.lookup(dir, dname, &Value::from("A")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_maintains_indexes() {
+        let mut db = movies_db();
+        let t = db
+            .insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        db.delete(dir, t).unwrap();
+        assert_eq!(db.len(dir), 0);
+        assert_eq!(db.lookup_pk(dir, &Value::from(1)), None);
+        // PK value can be reused after delete.
+        db.insert("DIRECTOR", vec![Value::from(1), Value::from("B")])
+            .unwrap();
+        assert!(db.delete(dir, TupleId(77)).is_err());
+    }
+
+    #[test]
+    fn update_replaces_in_place_and_maintains_indexes() {
+        let mut db = movies_db();
+        db.insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let m = db
+            .insert(
+                "MOVIE",
+                vec![Value::from(10), Value::from("Old title"), Value::from(1)],
+            )
+            .unwrap();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let did = db.relation_schema(movie).attr_position("did").unwrap();
+
+        db.insert("DIRECTOR", vec![Value::from(2), Value::from("B")])
+            .unwrap();
+        db.update(
+            movie,
+            m,
+            vec![Value::from(10), Value::from("New title"), Value::from(2)],
+        )
+        .unwrap();
+
+        // Tid stable, values replaced.
+        let t = db.fetch("MOVIE", m).unwrap();
+        assert_eq!(t[1], Value::from("New title"));
+        // Secondary index moved to the new FK value.
+        assert!(db.lookup(movie, did, &Value::from(1)).unwrap().is_empty());
+        assert_eq!(db.lookup(movie, did, &Value::from(2)).unwrap(), &[m]);
+        assert_eq!(db.len(movie), 1);
+    }
+
+    #[test]
+    fn update_pk_change_maintains_pk_index() {
+        let mut db = movies_db();
+        let t = db
+            .insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        db.insert("DIRECTOR", vec![Value::from(2), Value::from("B")])
+            .unwrap();
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        // Changing to an occupied key fails…
+        assert!(matches!(
+            db.update(dir, t, vec![Value::from(2), Value::from("A")]),
+            Err(StorageError::PrimaryKeyViolation { .. })
+        ));
+        // …and the tuple is untouched by the failed attempt.
+        assert_eq!(db.fetch("DIRECTOR", t).unwrap()[0], Value::from(1));
+        // Changing to a fresh key moves the pk index entry.
+        db.update(dir, t, vec![Value::from(7), Value::from("A")])
+            .unwrap();
+        assert_eq!(db.lookup_pk(dir, &Value::from(7)), Some(t));
+        assert_eq!(db.lookup_pk(dir, &Value::from(1)), None);
+        // Keeping the same key is always allowed.
+        db.update(dir, t, vec![Value::from(7), Value::from("A2")])
+            .unwrap();
+    }
+
+    #[test]
+    fn update_validates_like_insert() {
+        let mut db = movies_db();
+        let t = db
+            .insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        assert!(matches!(
+            db.update(dir, t, vec![Value::from(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.update(dir, t, vec![Value::from("x"), Value::from("A")]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.update(dir, TupleId(99), vec![Value::from(3), Value::from("A")]),
+            Err(StorageError::NoSuchTuple { .. })
+        ));
+        // FK enforcement applies when enabled.
+        db.set_enforce_foreign_keys(true);
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let m = db
+            .insert(
+                "MOVIE",
+                vec![Value::from(10), Value::from("T"), Value::from(1)],
+            )
+            .unwrap();
+        assert!(matches!(
+            db.update(
+                movie,
+                m,
+                vec![Value::from(10), Value::from("T"), Value::from(42)]
+            ),
+            Err(StorageError::ForeignKeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_is_a_deep_independent_copy() {
+        let mut db = movies_db();
+        db.insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let mut copy = db.clone();
+        copy.insert("DIRECTOR", vec![Value::from(2), Value::from("B")])
+            .unwrap();
+        assert_eq!(db.total_tuples(), 1, "original untouched");
+        assert_eq!(copy.total_tuples(), 2);
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        // Indexes were cloned too: pk lookups work independently.
+        assert_eq!(copy.lookup_pk(dir, &Value::from(2)), Some(TupleId(1)));
+        assert_eq!(db.lookup_pk(dir, &Value::from(2)), None);
+    }
+
+    #[test]
+    fn pk_point_lookup() {
+        let mut db = movies_db();
+        let t = db
+            .insert("DIRECTOR", vec![Value::from(5), Value::from("A")])
+            .unwrap();
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        assert_eq!(db.lookup_pk(dir, &Value::from(5)), Some(t));
+        assert_eq!(db.lookup_pk(dir, &Value::from(6)), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! Storage engine error type.
+
+use crate::tuple::TupleId;
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A relation name was not found in the database schema.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation schema.
+    UnknownAttribute { relation: String, attribute: String },
+    /// Two relations (or two attributes of one relation) share a name.
+    DuplicateName(String),
+    /// A tuple's arity does not match its relation schema.
+    ArityMismatch {
+        relation: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A value does not conform to the declared attribute type.
+    TypeMismatch {
+        relation: String,
+        attribute: String,
+        expected: DataType,
+    },
+    /// Inserting would duplicate a primary-key value.
+    PrimaryKeyViolation { relation: String, key: String },
+    /// A primary-key attribute is NULL.
+    NullPrimaryKey { relation: String },
+    /// A foreign-key value has no matching referenced tuple.
+    ForeignKeyViolation {
+        relation: String,
+        attribute: String,
+        referenced: String,
+    },
+    /// A foreign key declaration is inconsistent with the schema.
+    InvalidForeignKey(String),
+    /// A tuple id does not name a live tuple.
+    NoSuchTuple { relation: String, tid: TupleId },
+    /// A requested secondary index does not exist.
+    NoIndex { relation: String, attribute: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            StorageError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute {relation}.{attribute}"),
+            StorageError::DuplicateName(n) => write!(f, "duplicate name {n:?}"),
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation {relation} expects {expected} values, got {actual}"
+            ),
+            StorageError::TypeMismatch {
+                relation,
+                attribute,
+                expected,
+            } => write!(
+                f,
+                "value for {relation}.{attribute} does not conform to {expected}"
+            ),
+            StorageError::PrimaryKeyViolation { relation, key } => {
+                write!(f, "duplicate primary key {key} in relation {relation}")
+            }
+            StorageError::NullPrimaryKey { relation } => {
+                write!(f, "NULL primary key in relation {relation}")
+            }
+            StorageError::ForeignKeyViolation {
+                relation,
+                attribute,
+                referenced,
+            } => write!(
+                f,
+                "foreign key {relation}.{attribute} has no match in {referenced}"
+            ),
+            StorageError::InvalidForeignKey(msg) => write!(f, "invalid foreign key: {msg}"),
+            StorageError::NoSuchTuple { relation, tid } => {
+                write!(f, "no tuple {tid} in relation {relation}")
+            }
+            StorageError::NoIndex {
+                relation,
+                attribute,
+            } => write!(f, "no index on {relation}.{attribute}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = StorageError::UnknownRelation("MOVIE".into());
+        assert!(e.to_string().contains("MOVIE"));
+        let e = StorageError::NoSuchTuple {
+            relation: "ACTOR".into(),
+            tid: TupleId(3),
+        };
+        assert!(e.to_string().contains("t3"));
+        let e = StorageError::TypeMismatch {
+            relation: "MOVIE".into(),
+            attribute: "year".into(),
+            expected: DataType::Int,
+        };
+        assert!(e.to_string().contains("INT"));
+    }
+}

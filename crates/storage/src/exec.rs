@@ -1,0 +1,402 @@
+//! The selection executor: the access paths the précis algorithms run on.
+//!
+//! The Result Database Generator never executes an actual join; it issues
+//! selection queries of two shapes (paper §5.2):
+//!
+//! * `σ_Tids(R)[π(R)]` — fetch a known tid list, project, optionally limit
+//!   ([`Database::select_by_tids`]);
+//! * `σ_Ids(R)[π(R)]` — fetch tuples whose join attribute is in a value
+//!   list, project, optionally limit. The limited variant is the paper's
+//!   **NaïveQ** (`ROWNUM`-style first-N) and is served by
+//!   [`Database::select_by_values`]; the per-value **Round-Robin** variant is
+//!   served by one [`ValueScan`] per join value.
+
+use crate::database::Database;
+use crate::schema::RelationId;
+use crate::tuple::TupleId;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashSet;
+
+/// One projected result row, tagged with the tuple id it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    pub tid: TupleId,
+    pub values: Vec<Value>,
+}
+
+/// A projected result set.
+pub type Projected = Vec<Row>;
+
+/// A predicate algebra for full scans (used by the baseline and by ad-hoc
+/// exploration). Comparisons use the total order of [`Value`]; NULLs compare
+/// like any other value (there is no three-valued logic in this engine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `attr = value`.
+    Eq(usize, Value),
+    /// `attr <> value`.
+    Ne(usize, Value),
+    /// `attr < value`.
+    Lt(usize, Value),
+    /// `attr <= value`.
+    Le(usize, Value),
+    /// `attr > value`.
+    Gt(usize, Value),
+    /// `attr >= value`.
+    Ge(usize, Value),
+    /// `attr IN values`.
+    In(usize, Vec<Value>),
+    /// Case-insensitive substring match on a text attribute (false for
+    /// non-text values).
+    Contains(usize, String),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against a tuple's values.
+    pub fn matches(&self, values: &[Value]) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(a, v) => &values[*a] == v,
+            Predicate::Ne(a, v) => &values[*a] != v,
+            Predicate::Lt(a, v) => &values[*a] < v,
+            Predicate::Le(a, v) => &values[*a] <= v,
+            Predicate::Gt(a, v) => &values[*a] > v,
+            Predicate::Ge(a, v) => &values[*a] >= v,
+            Predicate::In(a, vs) => vs.contains(&values[*a]),
+            Predicate::Contains(a, needle) => values[*a]
+                .as_text()
+                .is_some_and(|s| s.to_lowercase().contains(&needle.to_lowercase())),
+            Predicate::And(ps) => ps.iter().all(|p| p.matches(values)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches(values)),
+            Predicate::Not(p) => !p.matches(values),
+        }
+    }
+}
+
+impl Database {
+    /// `σ_Tids(R)[π(R)]`: fetch the tuples named by `tids`, project them on
+    /// `projection`, stopping after `limit` rows if given. Dead tids are
+    /// skipped. Each materialized row costs one tuple read.
+    pub fn select_by_tids(
+        &self,
+        rel: RelationId,
+        tids: impl IntoIterator<Item = TupleId>,
+        projection: &[usize],
+        limit: Option<usize>,
+    ) -> Projected {
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        for tid in tids {
+            if out.len() >= cap {
+                break;
+            }
+            if let Ok(t) = self.fetch_from(rel, tid) {
+                out.push(Row {
+                    tid,
+                    values: t.project(projection),
+                });
+            }
+        }
+        out
+    }
+
+    /// `σ_Ids(R)[π(R)]` with a `ROWNUM`-style cap — the paper's **NaïveQ**.
+    ///
+    /// Retrieves tuples of `rel` whose `attr` equals any of `values`, via the
+    /// index on `attr`, in value-list order, deduplicated by tid, stopping at
+    /// `limit`. As the paper notes, on a 1-to-n join this may exhaust the
+    /// budget on the first few values, starving later ones.
+    pub fn select_by_values(
+        &self,
+        rel: RelationId,
+        attr: usize,
+        values: &[Value],
+        projection: &[usize],
+        limit: Option<usize>,
+    ) -> Result<Projected> {
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        let mut seen: HashSet<TupleId> = HashSet::new();
+        'outer: for v in values {
+            let tids = self.lookup(rel, attr, v)?.to_vec();
+            for tid in tids {
+                if out.len() >= cap {
+                    break 'outer;
+                }
+                if !seen.insert(tid) {
+                    continue;
+                }
+                let t = self.fetch_from(rel, tid)?;
+                out.push(Row {
+                    tid,
+                    values: t.project(projection),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full scan with predicate and projection (baseline access path).
+    pub fn scan(
+        &self,
+        rel: RelationId,
+        predicate: &Predicate,
+        projection: &[usize],
+        limit: Option<usize>,
+    ) -> Projected {
+        let cap = limit.unwrap_or(usize::MAX);
+        let mut out = Vec::new();
+        for (tid, t) in self.table(rel).iter() {
+            if out.len() >= cap {
+                break;
+            }
+            self.stats().count_tuple_read();
+            if predicate.matches(t.values()) {
+                out.push(Row {
+                    tid,
+                    values: t.project(projection),
+                });
+            }
+        }
+        out
+    }
+}
+
+// `count_tuple_read` is pub(crate); re-open stats access for scan above.
+
+/// An open scan of the tuples joining to **one** value — the unit of the
+/// paper's Round-Robin retrieval ("for each tuple in R_i', a scan of joining
+/// tuples from R_j is opened; each time, only one joining tuple from a scan
+/// is retrieved as long as the cardinality constraint holds").
+#[derive(Debug)]
+pub struct ValueScan {
+    rel: RelationId,
+    tids: Vec<TupleId>,
+    pos: usize,
+}
+
+impl ValueScan {
+    /// Open a scan over the tuples of `rel` whose `attr` equals `value`
+    /// (one index probe).
+    pub fn open(db: &Database, rel: RelationId, attr: usize, value: &Value) -> Result<ValueScan> {
+        let tids = db.lookup(rel, attr, value)?.to_vec();
+        Ok(ValueScan { rel, tids, pos: 0 })
+    }
+
+    /// Whether the scan still has tuples to deliver.
+    pub fn is_open(&self) -> bool {
+        self.pos < self.tids.len()
+    }
+
+    /// Retrieve the next joining tuple, projected (one tuple read), or `None`
+    /// when the scan is exhausted.
+    pub fn next_row(&mut self, db: &Database, projection: &[usize]) -> Result<Option<Row>> {
+        while self.pos < self.tids.len() {
+            let tid = self.tids[self.pos];
+            self.pos += 1;
+            match db.fetch_from(self.rel, tid) {
+                Ok(t) => {
+                    return Ok(Some(Row {
+                        tid,
+                        values: t.project(projection),
+                    }))
+                }
+                Err(_) => continue, // tombstoned since the index was read
+            }
+        }
+        Ok(None)
+    }
+
+    /// Tuples remaining in the scan.
+    pub fn remaining(&self) -> usize {
+        self.tids.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DatabaseSchema, ForeignKey, RelationSchema};
+    use crate::value::DataType;
+
+    /// PLAY(tid, mid) referencing MOVIE(mid): a 1-to-n join.
+    fn db_with_plays() -> (Database, RelationId, usize) {
+        let mut s = DatabaseSchema::new("d");
+        s.add_relation(
+            RelationSchema::builder("MOVIE")
+                .attr_not_null("mid", DataType::Int)
+                .attr("title", DataType::Text)
+                .primary_key("mid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("PLAY")
+                .attr_not_null("pid", DataType::Int)
+                .attr("mid", DataType::Int)
+                .attr("date", DataType::Text)
+                .primary_key("pid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(ForeignKey::new("PLAY", "mid", "MOVIE", "mid"))
+            .unwrap();
+        let mut db = Database::new(s).unwrap();
+        for m in 0..3 {
+            db.insert("MOVIE", vec![Value::from(m), Value::from(format!("M{m}"))])
+                .unwrap();
+        }
+        // movie 0 has 4 plays, movie 1 has 2, movie 2 has 1.
+        let mut pid = 0;
+        for (m, n) in [(0, 4), (1, 2), (2, 1)] {
+            for _ in 0..n {
+                db.insert(
+                    "PLAY",
+                    vec![Value::from(pid), Value::from(m), Value::from("2026-01-01")],
+                )
+                .unwrap();
+                pid += 1;
+            }
+        }
+        let play = db.schema().relation_id("PLAY").unwrap();
+        let mid = db.relation_schema(play).attr_position("mid").unwrap();
+        (db, play, mid)
+    }
+
+    #[test]
+    fn select_by_tids_projects_and_limits() {
+        let (db, play, _) = db_with_plays();
+        let rows = db.select_by_tids(play, (0..7).map(TupleId), &[0], Some(3));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].values, vec![Value::from(0)]);
+        // Dead tids are skipped silently.
+        let rows = db.select_by_tids(play, [TupleId(100)], &[0], None);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn naiveq_skews_toward_first_values() {
+        let (db, play, mid) = db_with_plays();
+        let values = [Value::from(0), Value::from(1), Value::from(2)];
+        let rows = db
+            .select_by_values(play, mid, &values, &[0, 1], Some(5))
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        // All 4 plays of movie 0 are taken before movie 1 gets any — the skew
+        // the paper warns about.
+        let movie0 = rows
+            .iter()
+            .filter(|r| r.values[1] == Value::from(0))
+            .count();
+        assert_eq!(movie0, 4);
+        let movie2 = rows
+            .iter()
+            .filter(|r| r.values[1] == Value::from(2))
+            .count();
+        assert_eq!(movie2, 0);
+    }
+
+    #[test]
+    fn naiveq_dedupes_repeated_values() {
+        let (db, play, mid) = db_with_plays();
+        let values = [Value::from(2), Value::from(2)];
+        let rows = db
+            .select_by_values(play, mid, &values, &[0], None)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn round_robin_scans_balance_across_values() {
+        let (db, play, mid) = db_with_plays();
+        let mut scans: Vec<ValueScan> = [0, 1, 2]
+            .iter()
+            .map(|&m| ValueScan::open(&db, play, mid, &Value::from(m)).unwrap())
+            .collect();
+        let mut out = Vec::new();
+        // One round: one tuple per open scan.
+        for s in &mut scans {
+            if let Some(r) = s.next_row(&db, &[1]).unwrap() {
+                out.push(r.values[0].clone());
+            }
+        }
+        assert_eq!(out, vec![Value::from(0), Value::from(1), Value::from(2)]);
+        assert!(scans[2].next_row(&db, &[1]).unwrap().is_none());
+        assert!(!scans[2].is_open());
+        assert_eq!(scans[0].remaining(), 3);
+    }
+
+    #[test]
+    fn scan_applies_predicates() {
+        let (db, play, mid) = db_with_plays();
+        let p = Predicate::And(vec![
+            Predicate::In(mid, vec![Value::from(0), Value::from(1)]),
+            Predicate::Eq(2, Value::from("2026-01-01")),
+        ]);
+        let rows = db.scan(play, &p, &[0], None);
+        assert_eq!(rows.len(), 6);
+        let rows = db.scan(play, &Predicate::True, &[0], Some(2));
+        assert_eq!(rows.len(), 2);
+        assert!(!Predicate::Eq(0, Value::from(1)).matches(&[Value::from(2)]));
+    }
+
+    #[test]
+    fn predicate_algebra_comparisons() {
+        let row = &[Value::from(5), Value::from("Match Point")];
+        assert!(Predicate::Ne(0, Value::from(4)).matches(row));
+        assert!(Predicate::Lt(0, Value::from(6)).matches(row));
+        assert!(Predicate::Le(0, Value::from(5)).matches(row));
+        assert!(Predicate::Gt(0, Value::from(4)).matches(row));
+        assert!(Predicate::Ge(0, Value::from(5)).matches(row));
+        assert!(!Predicate::Gt(0, Value::from(5)).matches(row));
+        assert!(Predicate::Contains(1, "match".into()).matches(row));
+        assert!(Predicate::Contains(1, "POINT".into()).matches(row));
+        assert!(!Predicate::Contains(0, "5".into()).matches(row), "non-text");
+        assert!(Predicate::Or(vec![
+            Predicate::Eq(0, Value::from(9)),
+            Predicate::Contains(1, "point".into()),
+        ])
+        .matches(row));
+        assert!(Predicate::Not(Box::new(Predicate::Eq(0, Value::from(9)))).matches(row));
+        assert!(!Predicate::Or(vec![]).matches(row));
+        assert!(Predicate::And(vec![]).matches(row));
+    }
+
+    #[test]
+    fn range_scan_via_predicates() {
+        let (db, play, _) = db_with_plays();
+        // pids are 0..7; take the middle band.
+        let p = Predicate::And(vec![
+            Predicate::Ge(0, Value::from(2)),
+            Predicate::Lt(0, Value::from(5)),
+        ]);
+        let rows = db.scan(play, &p, &[0], None);
+        let pids: Vec<i64> = rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+        assert_eq!(pids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn value_scan_skips_tombstoned_tuples() {
+        let (mut db, play, mid) = db_with_plays();
+        // Find a play of movie 0 and delete it after reading the index.
+        let victim = db.lookup(play, mid, &Value::from(0)).unwrap()[0];
+        let mut scan = ValueScan::open(&db, play, mid, &Value::from(0)).unwrap();
+        db.delete(play, victim).unwrap();
+        let mut n = 0;
+        while scan.next_row(&db, &[0]).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

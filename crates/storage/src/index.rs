@@ -1,0 +1,133 @@
+//! Hash indexes on attributes.
+//!
+//! The paper assumes "indexes on all join attributes" (§6); `Database`
+//! maintains a [`HashIndex`] for every foreign-key endpoint automatically and
+//! a [`UniqueIndex`] for every primary key.
+
+use crate::tuple::TupleId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A non-unique hash index: value → ordered list of tuple ids.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<TupleId>>,
+}
+
+impl HashIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, value: Value, tid: TupleId) {
+        self.map.entry(value).or_default().push(tid);
+    }
+
+    pub fn remove(&mut self, value: &Value, tid: TupleId) {
+        if let Some(list) = self.map.get_mut(value) {
+            list.retain(|&t| t != tid);
+            if list.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Tuple ids whose indexed attribute equals `value`, in insertion order.
+    pub fn get(&self, value: &Value) -> &[TupleId] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of postings.
+    pub fn postings(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+}
+
+/// A unique hash index (primary keys): value → single tuple id.
+#[derive(Debug, Clone, Default)]
+pub struct UniqueIndex {
+    map: HashMap<Value, TupleId>,
+}
+
+impl UniqueIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a key; returns `false` (and leaves the index unchanged) if the
+    /// key is already present.
+    pub fn insert(&mut self, value: Value, tid: TupleId) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(value) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(tid);
+                true
+            }
+        }
+    }
+
+    pub fn remove(&mut self, value: &Value) -> Option<TupleId> {
+        self.map.remove(value)
+    }
+
+    pub fn get(&self, value: &Value) -> Option<TupleId> {
+        self.map.get(value).copied()
+    }
+
+    pub fn contains(&self, value: &Value) -> bool {
+        self.map.contains_key(value)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_multimap_semantics() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::from(1), TupleId(0));
+        idx.insert(Value::from(1), TupleId(2));
+        idx.insert(Value::from(2), TupleId(1));
+        assert_eq!(idx.get(&Value::from(1)), &[TupleId(0), TupleId(2)]);
+        assert_eq!(idx.get(&Value::from(3)), &[] as &[TupleId]);
+        assert_eq!(idx.distinct_values(), 2);
+        assert_eq!(idx.postings(), 3);
+    }
+
+    #[test]
+    fn hash_index_remove_cleans_empty_entries() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::from(1), TupleId(0));
+        idx.remove(&Value::from(1), TupleId(0));
+        assert_eq!(idx.distinct_values(), 0);
+        // Removing a missing posting is a no-op.
+        idx.remove(&Value::from(1), TupleId(9));
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut idx = UniqueIndex::new();
+        assert!(idx.insert(Value::from("k"), TupleId(0)));
+        assert!(!idx.insert(Value::from("k"), TupleId(1)));
+        assert_eq!(idx.get(&Value::from("k")), Some(TupleId(0)));
+        assert!(idx.contains(&Value::from("k")));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.remove(&Value::from("k")), Some(TupleId(0)));
+        assert!(idx.is_empty());
+    }
+}

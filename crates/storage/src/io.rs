@@ -1,0 +1,407 @@
+//! A plain-text dump/load format for databases (no external dependencies),
+//! so generated test databases and précis results can be saved and shared.
+//!
+//! ```text
+//! precisdb 1
+//! schema movies
+//! relation MOVIE
+//! attr mid INT notnull
+//! attr title TEXT null
+//! pk mid
+//! end
+//! fk MOVIE.did -> DIRECTOR.did
+//! data MOVIE
+//! 1<TAB>Match Point
+//! \N<TAB>...                 (NULL marker)
+//! end
+//! ```
+//!
+//! Values are tab-separated; `\t`, `\n`, `\r` and `\\` are escaped, NULL is
+//! `\N`. Loading re-inserts rows in dump order, so tuple ids are compacted
+//! (tombstones do not survive a round trip).
+
+use crate::database::Database;
+use crate::error::StorageError;
+use crate::schema::{DatabaseSchema, ForeignKey, RelationSchema};
+use crate::value::{DataType, Value};
+use crate::Result;
+use std::fmt::Write as _;
+
+const MAGIC: &str = "precisdb 1";
+
+/// Serialize a database (schema, constraints, live tuples) to the text
+/// format.
+pub fn dump_to_string(db: &Database) -> String {
+    let mut out = String::new();
+    let schema = db.schema();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "schema {}", escape(schema.name()));
+    for (_, rel) in schema.relations() {
+        let _ = writeln!(out, "relation {}", escape(rel.name()));
+        for a in rel.attributes() {
+            let _ = writeln!(
+                out,
+                "attr {} {} {}",
+                escape(&a.name),
+                a.ty,
+                if a.nullable { "null" } else { "notnull" }
+            );
+        }
+        if let Some(pk) = rel.primary_key() {
+            let _ = writeln!(out, "pk {}", escape(rel.attr_name(pk)));
+        }
+        let _ = writeln!(out, "end");
+    }
+    for fk in schema.foreign_keys() {
+        let _ = writeln!(
+            out,
+            "fk {}.{} -> {}.{}",
+            escape(&fk.relation),
+            escape(&fk.attribute),
+            escape(&fk.ref_relation),
+            escape(&fk.ref_attribute)
+        );
+    }
+    for (rel, rel_schema) in schema.relations() {
+        if db.table(rel).is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "data {}", escape(rel_schema.name()));
+        for (_, t) in db.table(rel).iter() {
+            let row: Vec<String> = t.values().iter().map(encode_value).collect();
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        let _ = writeln!(out, "end");
+    }
+    out
+}
+
+/// Parse the text format back into a database. Foreign keys are validated
+/// after loading; a violation fails the load.
+pub fn load_from_string(text: &str) -> Result<Database> {
+    let mut lines = text.lines().peekable();
+    let magic = lines.next().unwrap_or_default();
+    if magic != MAGIC {
+        return Err(corrupt(format!("bad header {magic:?}")));
+    }
+    let schema_line = lines.next().unwrap_or_default();
+    let name = schema_line
+        .strip_prefix("schema ")
+        .ok_or_else(|| corrupt("missing schema line"))?;
+    let mut schema = DatabaseSchema::new(unescape(name)?);
+
+    // Relations and foreign keys.
+    let mut pending_fks: Vec<ForeignKey> = Vec::new();
+    while let Some(line) = lines.peek() {
+        if let Some(rel_name) = line.strip_prefix("relation ") {
+            let rel_name = unescape(rel_name)?;
+            lines.next();
+            let mut b = RelationSchema::builder(rel_name);
+            loop {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| corrupt("unterminated relation block"))?;
+                if line == "end" {
+                    break;
+                }
+                if let Some(rest) = line.strip_prefix("attr ") {
+                    let mut parts = rest.split(' ');
+                    let (Some(aname), Some(ty), Some(nullable)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        return Err(corrupt(format!("bad attr line {line:?}")));
+                    };
+                    let ty = parse_type(ty)?;
+                    let aname = unescape(aname)?;
+                    b = match nullable {
+                        "null" => b.attr(aname, ty),
+                        "notnull" => b.attr_not_null(aname, ty),
+                        other => return Err(corrupt(format!("bad nullability {other:?}"))),
+                    };
+                } else if let Some(pk) = line.strip_prefix("pk ") {
+                    b = b.primary_key(unescape(pk)?);
+                } else {
+                    return Err(corrupt(format!("unexpected line {line:?}")));
+                }
+            }
+            schema.add_relation(b.build()?)?;
+        } else if let Some(rest) = line.strip_prefix("fk ") {
+            let (from, to) = rest
+                .split_once(" -> ")
+                .ok_or_else(|| corrupt(format!("bad fk line {rest:?}")))?;
+            let (fr, fa) = from
+                .split_once('.')
+                .ok_or_else(|| corrupt(format!("bad fk endpoint {from:?}")))?;
+            let (tr, ta) = to
+                .split_once('.')
+                .ok_or_else(|| corrupt(format!("bad fk endpoint {to:?}")))?;
+            pending_fks.push(ForeignKey::new(
+                unescape(fr)?,
+                unescape(fa)?,
+                unescape(tr)?,
+                unescape(ta)?,
+            ));
+            lines.next();
+        } else {
+            break;
+        }
+    }
+    for fk in pending_fks {
+        schema.add_foreign_key(fk)?;
+    }
+
+    let mut db = Database::new(schema)?;
+
+    // Data blocks.
+    while let Some(line) = lines.next() {
+        if line.is_empty() {
+            continue;
+        }
+        let rel_name = line
+            .strip_prefix("data ")
+            .ok_or_else(|| corrupt(format!("expected data block, got {line:?}")))?;
+        let rel_name = unescape(rel_name)?;
+        let rel = db.schema().require_relation(&rel_name)?;
+        let types: Vec<DataType> = db
+            .relation_schema(rel)
+            .attributes()
+            .iter()
+            .map(|a| a.ty)
+            .collect();
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| corrupt("unterminated data block"))?;
+            if line == "end" {
+                break;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != types.len() {
+                return Err(corrupt(format!(
+                    "row of {} fields for relation {rel_name} with {} attributes",
+                    fields.len(),
+                    types.len()
+                )));
+            }
+            let values = fields
+                .iter()
+                .zip(&types)
+                .map(|(f, ty)| decode_value(f, *ty))
+                .collect::<Result<Vec<Value>>>()?;
+            db.insert_into(rel, values)?;
+        }
+    }
+
+    let violations = db.validate_foreign_keys();
+    if let Some(v) = violations.into_iter().next() {
+        return Err(v);
+    }
+    Ok(db)
+}
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::InvalidForeignKey(format!("corrupt dump: {}", msg.into()))
+}
+
+fn parse_type(s: &str) -> Result<DataType> {
+    match s {
+        "INT" => Ok(DataType::Int),
+        "FLOAT" => Ok(DataType::Float),
+        "TEXT" => Ok(DataType::Text),
+        "BOOL" => Ok(DataType::Bool),
+        other => Err(corrupt(format!("unknown type {other:?}"))),
+    }
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => r"\N".to_owned(),
+        Value::Text(s) => escape(s),
+        Value::Float(f) => {
+            // Round-trippable float formatting.
+            format!("{f:?}")
+        }
+        other => other.to_string(),
+    }
+}
+
+fn decode_value(field: &str, ty: DataType) -> Result<Value> {
+    if field == r"\N" {
+        return Ok(Value::Null);
+    }
+    let bad = |w: &str| corrupt(format!("bad {ty} literal {w:?}"));
+    match ty {
+        DataType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| bad(field)),
+        DataType::Float => field
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| bad(field)),
+        DataType::Bool => match field {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(bad(field)),
+        },
+        DataType::Text => Ok(Value::Text(unescape(field)?)),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str(r"\\"),
+            '\t' => out.push_str(r"\t"),
+            '\n' => out.push_str(r"\n"),
+            '\r' => out.push_str(r"\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('N') => out.push_str(r"\N"), // literal "\N" inside text
+            other => return Err(corrupt(format!("bad escape \\{other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut s = DatabaseSchema::new("movies db");
+        s.add_relation(
+            RelationSchema::builder("DIRECTOR")
+                .attr_not_null("did", DataType::Int)
+                .attr("dname", DataType::Text)
+                .attr("rating", DataType::Float)
+                .attr("active", DataType::Bool)
+                .primary_key("did")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_relation(
+            RelationSchema::builder("MOVIE")
+                .attr_not_null("mid", DataType::Int)
+                .attr("title", DataType::Text)
+                .attr("did", DataType::Int)
+                .primary_key("mid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        s.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))
+            .unwrap();
+        let mut db = Database::new(s).unwrap();
+        db.insert(
+            "DIRECTOR",
+            vec![
+                Value::from(1),
+                Value::from("Woody\tAllen\nJr\\"),
+                Value::from(7.25),
+                Value::from(true),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "DIRECTOR",
+            vec![Value::from(2), Value::Null, Value::Null, Value::Null],
+        )
+        .unwrap();
+        db.insert(
+            "MOVIE",
+            vec![Value::from(10), Value::from("Match Point"), Value::from(1)],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let db = sample_db();
+        let text = dump_to_string(&db);
+        let loaded = load_from_string(&text).unwrap();
+        assert_eq!(loaded.schema().name(), "movies db");
+        assert_eq!(loaded.schema().relation_count(), 2);
+        assert_eq!(loaded.schema().foreign_keys().len(), 1);
+        assert_eq!(loaded.total_tuples(), db.total_tuples());
+        let dir = loaded.schema().relation_id("DIRECTOR").unwrap();
+        let t = loaded.table(dir).get(crate::TupleId(0)).unwrap();
+        assert_eq!(t[1], Value::from("Woody\tAllen\nJr\\"));
+        assert_eq!(t[2], Value::from(7.25));
+        assert_eq!(t[3], Value::from(true));
+        let t2 = loaded.table(dir).get(crate::TupleId(1)).unwrap();
+        assert!(t2[1].is_null());
+        // Indexes work after load (FK endpoints auto-indexed).
+        let movie = loaded.schema().relation_id("MOVIE").unwrap();
+        let did = loaded.relation_schema(movie).attr_position("did").unwrap();
+        assert_eq!(loaded.lookup(movie, did, &Value::from(1)).unwrap().len(), 1);
+        // Second round trip is byte-identical.
+        assert_eq!(dump_to_string(&loaded), text);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        let mut s = DatabaseSchema::new("f");
+        s.add_relation(
+            RelationSchema::builder("R")
+                .attr_not_null("id", DataType::Int)
+                .attr("x", DataType::Float)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(s).unwrap();
+        for (i, x) in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE].iter().enumerate() {
+            db.insert("R", vec![Value::from(i), Value::from(*x)]).unwrap();
+        }
+        let loaded = load_from_string(&dump_to_string(&db)).unwrap();
+        let r = loaded.schema().relation_id("R").unwrap();
+        for (tid, t) in db.table(r).iter() {
+            assert_eq!(loaded.table(r).get(tid).unwrap()[1], t[1]);
+        }
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(load_from_string("nonsense").is_err());
+        assert!(load_from_string("precisdb 1\n").is_err());
+        let good = dump_to_string(&sample_db());
+        // Break a data row's arity.
+        let broken = good.replace("10\tMatch Point\t1", "10\tMatch Point");
+        assert!(load_from_string(&broken).is_err());
+        // Break a type literal.
+        let broken = good.replace("10\tMatch Point\t1", "xx\tMatch Point\t1");
+        assert!(load_from_string(&broken).is_err());
+        // Violate the foreign key.
+        let broken = good.replace("10\tMatch Point\t1", "10\tMatch Point\t99");
+        assert!(load_from_string(&broken).is_err());
+    }
+
+    #[test]
+    fn dump_skips_tombstones() {
+        let mut db = sample_db();
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        db.delete(dir, crate::TupleId(1)).unwrap();
+        let loaded = load_from_string(&dump_to_string(&db)).unwrap();
+        let ldir = loaded.schema().relation_id("DIRECTOR").unwrap();
+        assert_eq!(loaded.len(ldir), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! # precis-storage
+//!
+//! An in-memory relational storage engine that plays the role Oracle 9i R2
+//! played in the Précis paper (Koutrika, Simitsis, Ioannidis — ICDE 2006).
+//!
+//! The précis query-processing algorithms only ever touch the database
+//! through a narrow access-path vocabulary:
+//!
+//! * fetch tuples by tuple id (the inverted index hands back tid lists),
+//! * indexed `attr IN (v1, v2, …)` selections with a `ROWNUM`-style limit
+//!   (the paper's *NaïveQ* retrieval),
+//! * one open scan of joining tuples per join value (the paper's
+//!   *Round-Robin* retrieval),
+//! * full scans with simple predicates (used by the keyword-search baseline).
+//!
+//! This crate implements exactly that vocabulary over typed tuples with
+//! primary-key and foreign-key constraints, plus [`AccessStats`] counters for
+//! the two primitives of the paper's cost model (Formula 2):
+//! `IndexTime` (index probes) and `TupleTime` (tuple reads).
+//!
+//! ```
+//! use precis_storage::{Database, DatabaseSchema, RelationSchema, DataType, Value};
+//!
+//! let mut schema = DatabaseSchema::new("demo");
+//! schema
+//!     .add_relation(
+//!         RelationSchema::builder("MOVIE")
+//!             .attr("mid", DataType::Int)
+//!             .attr("title", DataType::Text)
+//!             .primary_key("mid")
+//!             .build()
+//!             .unwrap(),
+//!     )
+//!     .unwrap();
+//! let mut db = Database::new(schema).unwrap();
+//! let tid = db
+//!     .insert("MOVIE", vec![Value::from(1), Value::from("Match Point")])
+//!     .unwrap();
+//! let movie = db.fetch("MOVIE", tid).unwrap();
+//! assert_eq!(movie[1], Value::from("Match Point"));
+//! ```
+
+mod database;
+mod error;
+mod exec;
+mod index;
+pub mod io;
+mod schema;
+mod stats;
+mod table;
+mod tuple;
+mod value;
+
+pub use database::Database;
+pub use error::StorageError;
+pub use exec::{Predicate, Projected, Row, ValueScan};
+pub use index::{HashIndex, UniqueIndex};
+pub use schema::{AttributeDef, DatabaseSchema, ForeignKey, RelationId, RelationSchema};
+pub use stats::{AccessStats, StatsSnapshot};
+pub use table::Table;
+pub use tuple::{Tuple, TupleId};
+pub use value::{DataType, Value};
+
+/// Convenience result alias used across the storage engine.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,377 @@
+//! Relation and database schemas with primary- and foreign-key constraints.
+//!
+//! Following the paper's simplifying assumptions (§3.1): primary keys are not
+//! composite, and a foreign key joins a single attribute of one relation to a
+//! single attribute of another.
+
+use crate::error::StorageError;
+use crate::value::DataType;
+use crate::Result;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a relation inside a [`DatabaseSchema`] (and of its table inside a
+/// `Database`). Cheap to copy and hash; resolved from names once at the edge
+/// of the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub usize);
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One attribute of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDef {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+}
+
+impl AttributeDef {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        AttributeDef {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// Schema of one relation: a name, an ordered attribute list, and an optional
+/// single-attribute primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<AttributeDef>,
+    primary_key: Option<usize>,
+}
+
+impl RelationSchema {
+    /// Start building a relation schema.
+    pub fn builder(name: impl Into<String>) -> RelationSchemaBuilder {
+        RelationSchemaBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+            primary_key: None,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn attributes(&self) -> &[AttributeDef] {
+        &self.attributes
+    }
+
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Position of the primary-key attribute, if declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    /// Resolve an attribute name to its position.
+    pub fn attr_position(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Resolve an attribute name or fail with a descriptive error.
+    pub fn require_attr(&self, name: &str) -> Result<usize> {
+        self.attr_position(name)
+            .ok_or_else(|| StorageError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_owned(),
+            })
+    }
+
+    pub fn attr_name(&self, position: usize) -> &str {
+        &self.attributes[position].name
+    }
+
+    /// Create a derived schema keeping only `positions` (in the given order),
+    /// used when materializing précis result relations. The primary key is
+    /// kept if its attribute survives the projection.
+    pub fn project(&self, positions: &[usize], new_name: Option<&str>) -> RelationSchema {
+        let attributes = positions
+            .iter()
+            .map(|&p| self.attributes[p].clone())
+            .collect::<Vec<_>>();
+        let primary_key = self
+            .primary_key
+            .and_then(|pk| positions.iter().position(|&p| p == pk));
+        RelationSchema {
+            name: new_name.unwrap_or(&self.name).to_owned(),
+            attributes,
+            primary_key,
+        }
+    }
+}
+
+/// Builder for [`RelationSchema`].
+pub struct RelationSchemaBuilder {
+    name: String,
+    attributes: Vec<AttributeDef>,
+    primary_key: Option<String>,
+}
+
+impl RelationSchemaBuilder {
+    /// Add a (nullable) attribute.
+    pub fn attr(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.attributes.push(AttributeDef::new(name, ty));
+        self
+    }
+
+    /// Add a NOT NULL attribute.
+    pub fn attr_not_null(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        let mut a = AttributeDef::new(name, ty);
+        a.nullable = false;
+        self.attributes.push(a);
+        self
+    }
+
+    /// Declare the (single-attribute) primary key.
+    pub fn primary_key(mut self, name: impl Into<String>) -> Self {
+        self.primary_key = Some(name.into());
+        self
+    }
+
+    /// Validate and build the schema.
+    pub fn build(self) -> Result<RelationSchema> {
+        let mut seen = HashMap::new();
+        for a in &self.attributes {
+            if seen.insert(a.name.clone(), ()).is_some() {
+                return Err(StorageError::DuplicateName(format!(
+                    "{}.{}",
+                    self.name, a.name
+                )));
+            }
+        }
+        let primary_key = match self.primary_key {
+            None => None,
+            Some(pk) => Some(
+                self.attributes
+                    .iter()
+                    .position(|a| a.name == pk)
+                    .ok_or_else(|| StorageError::UnknownAttribute {
+                        relation: self.name.clone(),
+                        attribute: pk,
+                    })?,
+            ),
+        };
+        Ok(RelationSchema {
+            name: self.name,
+            attributes: self.attributes,
+            primary_key,
+        })
+    }
+}
+
+/// A foreign-key (join) constraint: `relation.attribute` references
+/// `ref_relation.ref_attribute`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub relation: String,
+    pub attribute: String,
+    pub ref_relation: String,
+    pub ref_attribute: String,
+}
+
+impl ForeignKey {
+    pub fn new(
+        relation: impl Into<String>,
+        attribute: impl Into<String>,
+        ref_relation: impl Into<String>,
+        ref_attribute: impl Into<String>,
+    ) -> Self {
+        ForeignKey {
+            relation: relation.into(),
+            attribute: attribute.into(),
+            ref_relation: ref_relation.into(),
+            ref_attribute: ref_attribute.into(),
+        }
+    }
+}
+
+/// A database schema: a named set of relation schemas plus foreign keys.
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseSchema {
+    name: String,
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelationId>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl DatabaseSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        DatabaseSchema {
+            name: name.into(),
+            relations: Vec::new(),
+            by_name: HashMap::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a relation schema; fails on duplicate relation names.
+    pub fn add_relation(&mut self, relation: RelationSchema) -> Result<RelationId> {
+        if self.by_name.contains_key(relation.name()) {
+            return Err(StorageError::DuplicateName(relation.name().to_owned()));
+        }
+        let id = RelationId(self.relations.len());
+        self.by_name.insert(relation.name().to_owned(), id);
+        self.relations.push(relation);
+        Ok(id)
+    }
+
+    /// Add a foreign key; validates that both endpoints exist and that the
+    /// attribute types agree.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) -> Result<()> {
+        let from = self.require_relation(&fk.relation)?;
+        let to = self.require_relation(&fk.ref_relation)?;
+        let from_pos = self.relation(from).require_attr(&fk.attribute)?;
+        let to_pos = self.relation(to).require_attr(&fk.ref_attribute)?;
+        let from_ty = self.relation(from).attributes()[from_pos].ty;
+        let to_ty = self.relation(to).attributes()[to_pos].ty;
+        if from_ty != to_ty {
+            return Err(StorageError::InvalidForeignKey(format!(
+                "{}.{} ({from_ty}) vs {}.{} ({to_ty})",
+                fk.relation, fk.attribute, fk.ref_relation, fk.ref_attribute
+            )));
+        }
+        self.foreign_keys.push(fk);
+        Ok(())
+    }
+
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelationId(i), r))
+    }
+
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn relation(&self, id: RelationId) -> &RelationSchema {
+        &self.relations[id.0]
+    }
+
+    pub fn relation_id(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn require_relation(&self, name: &str) -> Result<RelationId> {
+        self.relation_id(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+    }
+
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movie_schema() -> RelationSchema {
+        RelationSchema::builder("MOVIE")
+            .attr_not_null("mid", DataType::Int)
+            .attr("title", DataType::Text)
+            .attr("year", DataType::Int)
+            .attr("did", DataType::Int)
+            .primary_key("mid")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_resolves_primary_key() {
+        let s = movie_schema();
+        assert_eq!(s.primary_key(), Some(0));
+        assert_eq!(s.attr_position("year"), Some(2));
+        assert_eq!(s.arity(), 4);
+        assert!(!s.attributes()[0].nullable);
+        assert!(s.attributes()[1].nullable);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_attributes() {
+        let err = RelationSchema::builder("R")
+            .attr("a", DataType::Int)
+            .attr("a", DataType::Text)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn builder_rejects_missing_pk_attribute() {
+        let err = RelationSchema::builder("R")
+            .attr("a", DataType::Int)
+            .primary_key("nope")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn projection_remaps_primary_key() {
+        let s = movie_schema();
+        let p = s.project(&[1, 0], None);
+        assert_eq!(p.attr_name(0), "title");
+        assert_eq!(p.primary_key(), Some(1));
+        let without_pk = s.project(&[1, 2], Some("MOVIE_VIEW"));
+        assert_eq!(without_pk.primary_key(), None);
+        assert_eq!(without_pk.name(), "MOVIE_VIEW");
+    }
+
+    #[test]
+    fn database_schema_rejects_duplicates_and_bad_fks() {
+        let mut db = DatabaseSchema::new("movies");
+        db.add_relation(movie_schema()).unwrap();
+        assert!(db.add_relation(movie_schema()).is_err());
+
+        let director = RelationSchema::builder("DIRECTOR")
+            .attr("did", DataType::Int)
+            .attr("dname", DataType::Text)
+            .primary_key("did")
+            .build()
+            .unwrap();
+        db.add_relation(director).unwrap();
+
+        db.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))
+            .unwrap();
+        // Type mismatch.
+        let err = db
+            .add_foreign_key(ForeignKey::new("MOVIE", "title", "DIRECTOR", "did"))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::InvalidForeignKey(_)));
+        // Unknown endpoint.
+        assert!(db
+            .add_foreign_key(ForeignKey::new("MOVIE", "did", "NOPE", "did"))
+            .is_err());
+        assert_eq!(db.foreign_keys().len(), 1);
+    }
+
+    #[test]
+    fn relation_lookup_by_name() {
+        let mut db = DatabaseSchema::new("movies");
+        let id = db.add_relation(movie_schema()).unwrap();
+        assert_eq!(db.relation_id("MOVIE"), Some(id));
+        assert_eq!(db.require_relation("MOVIE").unwrap(), id);
+        assert!(db.require_relation("nope").is_err());
+        assert_eq!(db.relation(id).name(), "MOVIE");
+        assert_eq!(db.relation_count(), 1);
+    }
+}

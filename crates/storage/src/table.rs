@@ -1,0 +1,138 @@
+//! Physical storage of one relation: a slotted tuple store with stable ids.
+
+use crate::schema::RelationSchema;
+use crate::tuple::{Tuple, TupleId};
+
+/// The tuple store of one relation. Tuple ids are slot positions and remain
+/// stable across deletions (slots are tombstoned, not reused), which keeps
+/// inverted-index postings valid.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: RelationSchema,
+    slots: Vec<Option<Tuple>>,
+    live: usize,
+}
+
+impl Table {
+    pub fn new(schema: RelationSchema) -> Self {
+        Table {
+            schema,
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Append a tuple (validation happens in `Database::insert`).
+    pub(crate) fn append(&mut self, tuple: Tuple) -> TupleId {
+        let tid = TupleId(self.slots.len() as u64);
+        self.slots.push(Some(tuple));
+        self.live += 1;
+        tid
+    }
+
+    /// Fetch a live tuple by id.
+    pub fn get(&self, tid: TupleId) -> Option<&Tuple> {
+        self.slots.get(tid.as_usize()).and_then(|s| s.as_ref())
+    }
+
+    /// Put a tuple into a specific (tombstoned or fresh) slot — used by
+    /// `Database::update` to replace a tuple while keeping its id.
+    pub(crate) fn append_at(&mut self, tid: TupleId, tuple: Tuple) -> TupleId {
+        let slot = tid.as_usize();
+        assert!(slot < self.slots.len(), "append_at targets existing slots");
+        debug_assert!(self.slots[slot].is_none(), "append_at requires a free slot");
+        self.slots[slot] = Some(tuple);
+        self.live += 1;
+        tid
+    }
+
+    /// Tombstone a tuple, returning it if it was live.
+    pub(crate) fn remove(&mut self, tid: TupleId) -> Option<Tuple> {
+        let slot = self.slots.get_mut(tid.as_usize())?;
+        let t = slot.take();
+        if t.is_some() {
+            self.live -= 1;
+        }
+        t
+    }
+
+    /// Iterate over live tuples in tid order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (TupleId(i as u64), t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn table() -> Table {
+        Table::new(
+            RelationSchema::builder("R")
+                .attr("a", DataType::Int)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn append_get_roundtrip() {
+        let mut t = table();
+        let t0 = t.append(Tuple::new(vec![Value::from(10)]));
+        let t1 = t.append(Tuple::new(vec![Value::from(20)]));
+        assert_eq!(t.get(t0).unwrap()[0], Value::from(10));
+        assert_eq!(t.get(t1).unwrap()[0], Value::from(20));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn delete_tombstones_without_shifting_ids() {
+        let mut t = table();
+        let t0 = t.append(Tuple::new(vec![Value::from(10)]));
+        let t1 = t.append(Tuple::new(vec![Value::from(20)]));
+        assert!(t.remove(t0).is_some());
+        assert!(t.remove(t0).is_none());
+        assert_eq!(t.len(), 1);
+        assert!(t.get(t0).is_none());
+        assert_eq!(t.get(t1).unwrap()[0], Value::from(20));
+        // New appends take fresh slots, not the tombstoned one.
+        let t2 = t.append(Tuple::new(vec![Value::from(30)]));
+        assert_ne!(t2, t0);
+    }
+
+    #[test]
+    fn iter_skips_tombstones_in_tid_order() {
+        let mut t = table();
+        let ids: Vec<_> = (0..5)
+            .map(|i| t.append(Tuple::new(vec![Value::from(i)])))
+            .collect();
+        t.remove(ids[1]);
+        t.remove(ids[3]);
+        let seen: Vec<i64> = t.iter().map(|(_, tup)| tup[0].as_int().unwrap()).collect();
+        assert_eq!(seen, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let t = table();
+        assert!(t.get(TupleId(99)).is_none());
+    }
+}

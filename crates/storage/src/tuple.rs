@@ -1,0 +1,82 @@
+//! Tuples and tuple identifiers.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// Identifier of a tuple within one relation, stable for the lifetime of the
+/// tuple (the paper's inverted index returns lists of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u64);
+
+impl TupleId {
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A stored tuple: one value per attribute of the owning relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    values: Box<[Value]>,
+}
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Project the tuple on a set of attribute positions.
+    pub fn project(&self, positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&p| self.values[p].clone()).collect()
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_selects_positions() {
+        let t = Tuple::new(vec![Value::from(1), Value::from("a"), Value::from(2.0)]);
+        assert_eq!(t.project(&[2, 0]), vec![Value::from(2.0), Value::from(1)]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[1], Value::from("a"));
+    }
+
+    #[test]
+    fn tuple_id_display() {
+        assert_eq!(TupleId(5).to_string(), "t5");
+        assert_eq!(TupleId(5).as_usize(), 5);
+    }
+}

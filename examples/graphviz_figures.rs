@@ -1,0 +1,41 @@
+//! Regenerate the paper's figures as Graphviz files: Figure 1 (the weighted
+//! movies schema graph) and Figure 4 (the result schema of the Woody Allen
+//! query). Render with `dot -Tsvg <file> -o <file>.svg`.
+//!
+//! ```text
+//! cargo run --example graphviz_figures
+//! ```
+
+use precis::core::{
+    explain, AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
+use precis::datagen::{movies_graph, woody_allen_instance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::temp_dir().join("precis_figures");
+    std::fs::create_dir_all(&out_dir)?;
+
+    // Figure 1: the database schema graph with its designer weights.
+    let graph = movies_graph();
+    let fig1 = out_dir.join("figure1.dot");
+    std::fs::write(&fig1, graph.to_dot())?;
+    println!("figure 1 (schema graph) -> {}", fig1.display());
+
+    // Figure 4: the result schema for Q = {"Woody Allen"}, weight >= 0.9.
+    let engine = PrecisEngine::new(woody_allen_instance(), movies_graph())?;
+    let answer = engine.answer(
+        &PrecisQuery::parse(r#""Woody Allen""#),
+        &AnswerSpec::new(
+            DegreeConstraint::MinWeight(0.9),
+            CardinalityConstraint::MaxTuplesPerRelation(10),
+        ),
+    )?;
+    let fig4 = out_dir.join("figure4.dot");
+    std::fs::write(&fig4, explain::schema_dot(engine.graph(), &answer.schema))?;
+    println!("figure 4 (result schema) -> {}", fig4.display());
+
+    println!("\npreview of figure4.dot:");
+    print!("{}", explain::schema_dot(engine.graph(), &answer.schema));
+    println!("render with: dot -Tsvg {} -o figure4.svg", fig4.display());
+    Ok(())
+}

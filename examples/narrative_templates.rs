@@ -1,0 +1,126 @@
+//! A tour of the translator's template language (§5.3): variables, indexed
+//! access, `arityof` loops, and macros — applied to a custom vocabulary over
+//! a small library schema, showing the machinery is schema-agnostic.
+//!
+//! ```text
+//! cargo run --example narrative_templates
+//! ```
+
+use precis::core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
+use precis::graph::SchemaGraph;
+use precis::nlg::{Bindings, Template, Translator, Vocabulary};
+use precis::storage::{DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value};
+use std::collections::HashMap;
+
+fn library_db() -> Database {
+    let mut s = DatabaseSchema::new("library");
+    s.add_relation(
+        RelationSchema::builder("AUTHOR")
+            .attr_not_null("aid", DataType::Int)
+            .attr("name", DataType::Text)
+            .attr("country", DataType::Text)
+            .primary_key("aid")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    s.add_relation(
+        RelationSchema::builder("BOOK")
+            .attr_not_null("bid", DataType::Int)
+            .attr("title", DataType::Text)
+            .attr("year", DataType::Int)
+            .attr("aid", DataType::Int)
+            .primary_key("bid")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    s.add_foreign_key(ForeignKey::new("BOOK", "aid", "AUTHOR", "aid"))
+        .unwrap();
+    let mut db = Database::new(s).unwrap();
+    db.insert(
+        "AUTHOR",
+        vec![1.into(), "Ursula K. Le Guin".into(), "USA".into()],
+    )
+    .unwrap();
+    for (bid, title, year) in [
+        (1, "The Dispossessed", 1974),
+        (2, "The Left Hand of Darkness", 1969),
+        (3, "A Wizard of Earthsea", 1968),
+    ] {
+        db.insert(
+            "BOOK",
+            vec![
+                bid.into(),
+                title.into(),
+                Value::from(year),
+                1.into(),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: the template language standalone -------------------------
+    println!("== template language ==");
+    let mut bindings = Bindings::new();
+    bindings.set_scalar("NAME", "Ursula K. Le Guin");
+    bindings.set(
+        "TITLE",
+        ["The Dispossessed", "The Left Hand of Darkness", "A Wizard of Earthsea"],
+    );
+    bindings.set("YEAR", ["1974", "1969", "1968"]);
+
+    let mut macros = HashMap::new();
+    macros.insert(
+        "BOOK_LIST".to_owned(),
+        Template::parse(
+            "[i<arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]); }[i=arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]).}",
+        )?,
+    );
+
+    for src in [
+        "@NAME wrote @TITLE[*].",
+        "The first listed work of @NAME is @TITLE.",
+        "Chronology: [i<=arityof(@YEAR)]{#$@YEAR[$i$] }",
+        "@NAME's bibliography: %BOOK_LIST%",
+    ] {
+        let rendered = Template::parse(src)?.render(&bindings, &macros)?;
+        println!("  {src}\n    -> {rendered}");
+    }
+
+    // --- Part 2: a vocabulary for a different domain ----------------------
+    println!("\n== custom vocabulary over a library schema ==");
+    let db = library_db();
+    let graph = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.9, 0.95, 0.92)?;
+    let author = db.schema().relation_id("AUTHOR").unwrap();
+    let book = db.schema().relation_id("BOOK").unwrap();
+    let name = db.schema().relation(author).attr_position("name").unwrap();
+    let title = db.schema().relation(book).attr_position("title").unwrap();
+
+    let mut vocab = Vocabulary::new();
+    vocab.set_heading(author, name);
+    vocab.set_heading(book, title);
+    vocab.set_relation_clause(author, "@NAME is an author from @COUNTRY.")?;
+    vocab.define_macro(
+        "BOOK_LIST",
+        "[i<arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]), }[i=arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]).}",
+    )?;
+    vocab.set_join_clause(author, book, "Notable works: %BOOK_LIST%")?;
+
+    let engine = PrecisEngine::new(db, graph)?;
+    let answer = engine.answer(
+        &PrecisQuery::parse("guin"),
+        &AnswerSpec::new(
+            DegreeConstraint::MinWeight(0.5),
+            CardinalityConstraint::MaxTuplesPerRelation(10),
+        ),
+    )?;
+    let translator = Translator::new(engine.database(), engine.graph(), &vocab);
+    for n in translator.translate(&answer)? {
+        println!("  {}", n.text);
+    }
+    Ok(())
+}

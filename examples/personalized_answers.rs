@@ -1,0 +1,80 @@
+//! Personalized answers (§3.1): the same query under different weight
+//! profiles — a movie reviewer who wants depth, a cinema fan who wants the
+//! essentials — yields different sub-databases.
+//!
+//! ```text
+//! cargo run --example personalized_answers
+//! ```
+
+use precis::core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
+use precis::datagen::{movies_graph, woody_allen_instance};
+use precis::graph::WeightProfile;
+
+fn print_answer(engine: &PrecisEngine, label: &str, spec: &AnswerSpec) {
+    let answer = engine
+        .answer(&PrecisQuery::parse(r#""Woody Allen""#), spec)
+        .expect("query answers");
+    println!("\n== {label} ==");
+    println!(
+        "  relations: {}, visible attributes: {}, tuples: {}",
+        answer.schema.relation_count(),
+        answer.schema.total_visible_attrs(),
+        answer.precis.total_tuples()
+    );
+    for (rel, _) in answer.schema.relations() {
+        let schema = engine.database().schema().relation(rel);
+        let attrs: Vec<&str> = answer
+            .schema
+            .visible_attrs(rel)
+            .into_iter()
+            .map(|a| schema.attr_name(a))
+            .collect();
+        println!("    {:<9} {:?}", schema.name(), attrs);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = PrecisEngine::new(woody_allen_instance(), movies_graph())?;
+
+    // A designer ships role-specific weight sets (§3.1): reviewers explore
+    // larger parts of the database around a single query…
+    engine.register_profile(
+        WeightProfile::new("reviewer")
+            .set("MOVIE->CAST", 0.95)
+            .set("CAST.role", 0.95)
+            .set("MOVIE->PLAY", 0.92)
+            .set("PLAY->THEATRE", 1.0)
+            .set("THEATRE.region", 0.95),
+    );
+    // …while fans prefer short answers containing only highly related
+    // objects.
+    engine.register_profile(
+        WeightProfile::new("fan")
+            .set("MOVIE->GENRE", 0.2)
+            .set("DIRECTOR.blocation", 0.2)
+            .set("DIRECTOR.bdate", 0.2),
+    );
+
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.9),
+        CardinalityConstraint::MaxTuplesPerRelation(5),
+    );
+
+    print_answer(&engine, "designer defaults", &spec);
+    print_answer(&engine, "reviewer profile", &spec.clone().with_profile("reviewer"));
+    print_answer(&engine, "fan profile", &spec.clone().with_profile("fan"));
+
+    // Query-time constraint changes explore different regions too:
+    // progressively relaxing the threshold expands outwards from the topic.
+    for w in [1.0, 0.9, 0.7, 0.5] {
+        print_answer(
+            &engine,
+            &format!("default profile, weight threshold {w}"),
+            &AnswerSpec::new(
+                DegreeConstraint::MinWeight(w),
+                CardinalityConstraint::MaxTuplesPerRelation(5),
+            ),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: ask the movies database about Woody Allen and get a précis —
+//! the paper's running example, end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use precis::core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
+use precis::datagen::{movies_graph, movies_vocabulary, woody_allen_instance};
+use precis::nlg::Translator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A database, its weighted schema graph (Figure 1), and the engine.
+    let db = woody_allen_instance();
+    let graph = movies_graph();
+    let engine = PrecisEngine::new(db, graph)?;
+
+    // 2. A free-form query plus the two constraints of the paper's example:
+    //    keep projections of weight ≥ 0.9, and at most ten tuples per
+    //    relation.
+    let query = PrecisQuery::parse(r#""Woody Allen""#);
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.9),
+        CardinalityConstraint::MaxTuplesPerRelation(10),
+    );
+    let answer = engine.answer(&query, &spec)?;
+
+    // 3. The answer is a whole new database.
+    println!("précis query {query}");
+    println!("\n== result schema (G') ==");
+    for (rel, info) in answer.schema.relations() {
+        let schema = engine.database().schema().relation(rel);
+        let attrs: Vec<&str> = answer
+            .schema
+            .visible_attrs(rel)
+            .into_iter()
+            .map(|a| schema.attr_name(a))
+            .collect();
+        println!(
+            "  {:<9} in-degree {}  visible attrs: {:?}",
+            schema.name(),
+            info.origins.len(),
+            attrs
+        );
+    }
+
+    println!("\n== result database (D') ==");
+    for (orig_rel, tids) in &answer.precis.collected {
+        let schema = engine.database().schema().relation(*orig_rel);
+        println!("  {} ({} tuples)", schema.name(), tids.len());
+        for tid in tids {
+            let t = engine.database().table(*orig_rel).get(*tid).unwrap();
+            let visible = &answer.precis.visible[orig_rel];
+            let row: Vec<String> = visible.iter().map(|&a| t[a].to_string()).collect();
+            println!("    {}", row.join(" | "));
+        }
+    }
+
+    // 4. …and can be rendered as a narrative.
+    let vocab = movies_vocabulary(engine.database().schema());
+    let translator = Translator::new(engine.database(), engine.graph(), &vocab);
+    println!("\n== narrative ==");
+    for n in translator.translate(&answer)? {
+        println!("\n[{} as found in {}]", n.token, n.relation);
+        println!("{}", n.text);
+    }
+    Ok(())
+}

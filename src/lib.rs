@@ -1,0 +1,30 @@
+//! # precis — umbrella crate
+//!
+//! Re-exports the whole Précis stack behind one dependency. See the README
+//! for the architecture and [`precis_core::PrecisEngine`] for the main entry
+//! point.
+//!
+//! The workspace reproduces *Précis: The Essence of a Query Answer*
+//! (Koutrika, Simitsis, Ioannidis — ICDE 2006): free-form keyword queries
+//! over a relational database answered with an entire sub-database (schema +
+//! constraints + data) plus an optional natural-language narrative.
+
+pub use precis_baseline as baseline;
+pub use precis_core as core;
+pub use precis_datagen as datagen;
+pub use precis_graph as graph;
+pub use precis_index as index;
+pub use precis_nlg as nlg;
+pub use precis_storage as storage;
+
+/// Commonly used items, for `use precis::prelude::*`.
+pub mod prelude {
+    pub use precis_core::{
+        CardinalityConstraint, DegreeConstraint, PrecisAnswer, PrecisEngine, PrecisQuery,
+        RetrievalStrategy,
+    };
+    pub use precis_graph::{SchemaGraph, WeightProfile};
+    pub use precis_index::InvertedIndex;
+    pub use precis_nlg::{Translator, Vocabulary};
+    pub use precis_storage::{Database, DatabaseSchema, DataType, RelationSchema, Value};
+}

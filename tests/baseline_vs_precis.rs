@@ -1,0 +1,91 @@
+//! The Related Work contrast (§2): keyword search returns flattened joined
+//! rows; a précis returns a whole sub-database with surrounding information.
+
+use precis::baseline::KeywordSearch;
+use precis::core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
+use precis::datagen::{movies_graph, woody_allen_instance};
+use precis::index::InvertedIndex;
+
+#[test]
+fn baseline_returns_flattened_rows_precis_returns_a_database() {
+    let db = woody_allen_instance();
+    let graph = movies_graph();
+    let index = InvertedIndex::build(&db);
+
+    // Baseline: "woody allen" alone — one relation per occurrence, zero
+    // joins, a flat row per matching tuple.
+    let ks = KeywordSearch::new(&db, &graph, &index);
+    let answers = ks.search(&["woody allen"], 4, 100);
+    assert!(!answers.is_empty());
+    assert!(answers.iter().all(|a| a.score() == 0));
+    // "The answer provided by existing approaches for Woody Allen would be
+    // in the form of relation-attribute pair" — no movies appear anywhere.
+    let baseline_text: Vec<String> = answers
+        .iter()
+        .flat_map(|a| a.rows.iter())
+        .flat_map(|r| r.values.iter().map(|v| v.to_string()))
+        .collect();
+    assert!(!baseline_text.iter().any(|v| v.contains("Match Point")));
+
+    // Précis: the same token yields a multi-relation database including the
+    // movies and genres.
+    let engine = PrecisEngine::new(db, graph).unwrap();
+    let answer = engine
+        .answer(
+            &PrecisQuery::parse(r#""woody allen""#),
+            &AnswerSpec::new(
+                DegreeConstraint::MinWeight(0.9),
+                CardinalityConstraint::MaxTuplesPerRelation(10),
+            ),
+        )
+        .unwrap();
+    assert!(answer.precis.database.schema().relation_count() >= 4);
+    let s = engine.database().schema();
+    let movie = s.relation_id("MOVIE").unwrap();
+    let titles: Vec<String> = answer.precis.collected[&movie]
+        .iter()
+        .map(|tid| engine.database().table(movie).get(*tid).unwrap()[1].to_string())
+        .collect();
+    assert!(titles.contains(&"Match Point".to_owned()));
+}
+
+#[test]
+fn baseline_needs_two_keywords_to_reach_the_join() {
+    let db = woody_allen_instance();
+    let graph = movies_graph();
+    let index = InvertedIndex::build(&db);
+    let ks = KeywordSearch::new(&db, &graph, &index);
+
+    let answers = ks.search(&["woody", "match point"], 4, 100);
+    assert!(!answers.is_empty());
+    let best = &answers[0];
+    // DIRECTOR ⋈ MOVIE: one join.
+    assert_eq!(best.score(), 1);
+    let text: Vec<String> = best.rows[0].values.iter().map(|v| v.to_string()).collect();
+    assert!(text.iter().any(|v| v == "Woody Allen"));
+    assert!(text.iter().any(|v| v == "Match Point"));
+}
+
+#[test]
+fn baseline_trees_respect_all_keywords() {
+    let db = woody_allen_instance();
+    let graph = movies_graph();
+    let index = InvertedIndex::build(&db);
+    let ks = KeywordSearch::new(&db, &graph, &index);
+
+    // "scarlett" (ACTOR) + "drama" (GENRE): connected through CAST, MOVIE.
+    let answers = ks.search(&["scarlett", "drama"], 5, 100);
+    assert!(!answers.is_empty());
+    for a in &answers {
+        for row in &a.rows {
+            let text: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+            assert!(text.iter().any(|v| v.contains("Scarlett")));
+            assert!(text.iter().any(|v| v == "Drama"));
+        }
+    }
+    // Scarlett Johansson played in Match Point (Drama): a valid tuple tree
+    // exists.
+    assert!(answers.iter().any(|a| !a.rows.is_empty()));
+}

@@ -1,0 +1,90 @@
+//! Concurrency: the engine is shareable across threads for read queries
+//! (the storage stats use relaxed atomics, everything else is immutable at
+//! query time). Plus an ignored paper-scale (34k films) smoke test.
+
+use precis::core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
+use precis::datagen::{movies_graph, MoviesConfig, MoviesGenerator};
+
+fn engine(movies: usize, seed: u64) -> PrecisEngine {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies,
+        directors: (movies / 8).max(1),
+        actors: (movies / 2).max(1),
+        theatres: (movies / 50).max(1),
+        plays: movies * 2,
+        seed,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    PrecisEngine::new(db, movies_graph()).unwrap()
+}
+
+#[test]
+fn engine_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PrecisEngine>();
+}
+
+#[test]
+fn parallel_queries_agree_with_serial_ones() {
+    let e = engine(400, 99);
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.7),
+        CardinalityConstraint::MaxTuplesPerRelation(15),
+    );
+    let tokens = ["comedy", "drama", "thriller", "action"];
+    let serial: Vec<usize> = tokens
+        .iter()
+        .map(|t| {
+            e.answer(&PrecisQuery::new([*t]), &spec)
+                .unwrap()
+                .precis
+                .total_tuples()
+        })
+        .collect();
+
+    let parallel: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = tokens
+            .iter()
+            .map(|t| {
+                let e = &e;
+                let spec = &spec;
+                s.spawn(move || {
+                    e.answer(&PrecisQuery::new([*t]), spec)
+                        .unwrap()
+                        .precis
+                        .total_tuples()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(serial, parallel);
+}
+
+/// Paper-scale smoke test: the IMDB dump had 34k+ films. Run with
+/// `cargo test --release -- --ignored imdb_scale`.
+#[test]
+#[ignore = "multi-second paper-scale run; invoke explicitly"]
+fn imdb_scale_answers_in_bounded_time() {
+    let e = engine(34_000, 7);
+    assert!(e.database().total_tuples() > 250_000);
+    let t0 = std::time::Instant::now();
+    let a = e
+        .answer(
+            &PrecisQuery::new(["comedy"]),
+            &AnswerSpec::new(
+                DegreeConstraint::MinWeight(0.7),
+                CardinalityConstraint::MaxTuplesPerRelation(50),
+            ),
+        )
+        .unwrap();
+    let elapsed = t0.elapsed();
+    assert!(a.precis.total_tuples() > 0);
+    assert!(
+        elapsed.as_secs() < 30,
+        "paper-scale query took {elapsed:?}"
+    );
+}

@@ -1,0 +1,128 @@
+//! Personalization (§3.1): weight profiles and query-time constraints
+//! produce different answers to the same query.
+
+use precis::core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
+use precis::datagen::{movies_graph, woody_allen_instance};
+use precis::graph::WeightProfile;
+
+fn engine_with_profiles() -> PrecisEngine {
+    let mut e = PrecisEngine::new(woody_allen_instance(), movies_graph()).unwrap();
+    // "Reviewers may be typically interested in in-depth, detailed answers"
+    // — boost the weakly-weighted regions so more of the database qualifies.
+    e.register_profile(
+        WeightProfile::new("reviewer")
+            .set("MOVIE->CAST", 0.95)
+            .set("CAST.role", 0.95)
+            .set("MOVIE->PLAY", 0.92)
+            .set("PLAY->THEATRE", 1.0)
+            .set("THEATRE.name", 1.0),
+    );
+    // "Cinema fans usually prefer shorter answers" — demote everything but
+    // the essentials.
+    e.register_profile(
+        WeightProfile::new("fan")
+            .set("MOVIE->GENRE", 0.2)
+            .set("DIRECTOR.blocation", 0.2)
+            .set("DIRECTOR.bdate", 0.2),
+    );
+    e
+}
+
+fn q() -> PrecisQuery {
+    PrecisQuery::parse(r#""Woody Allen""#)
+}
+
+#[test]
+fn profiles_change_the_explored_region() {
+    let e = engine_with_profiles();
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.9),
+        CardinalityConstraint::MaxTuplesPerRelation(10),
+    );
+    let base = e.answer(&q(), &spec).unwrap();
+    let reviewer = e
+        .answer(&q(), &spec.clone().with_profile("reviewer"))
+        .unwrap();
+    let fan = e.answer(&q(), &spec.with_profile("fan")).unwrap();
+
+    let s = e.database().schema();
+    let theatre = s.relation_id("THEATRE").unwrap();
+    let genre = s.relation_id("GENRE").unwrap();
+
+    // The reviewer profile pulls THEATRE into the answer; the default
+    // weights do not.
+    assert!(!base.schema.contains(theatre));
+    assert!(reviewer.schema.contains(theatre));
+
+    // The fan profile drops GENRE and the director's biographical details.
+    assert!(base.schema.contains(genre));
+    assert!(!fan.schema.contains(genre));
+    assert!(
+        fan.schema.total_visible_attrs() < base.schema.total_visible_attrs(),
+        "fan answers are shorter"
+    );
+}
+
+#[test]
+fn profiles_do_not_leak_into_the_base_graph() {
+    let e = engine_with_profiles();
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.9),
+        CardinalityConstraint::MaxTuplesPerRelation(10),
+    );
+    let before = e.answer(&q(), &spec).unwrap();
+    let _ = e.answer(&q(), &spec.clone().with_profile("reviewer")).unwrap();
+    let after = e.answer(&q(), &spec).unwrap();
+    assert_eq!(
+        before.schema.total_visible_attrs(),
+        after.schema.total_visible_attrs()
+    );
+    assert_eq!(before.precis.total_tuples(), after.precis.total_tuples());
+}
+
+#[test]
+fn registered_profiles_are_retrievable() {
+    let e = engine_with_profiles();
+    assert!(e.profile("reviewer").is_some());
+    assert!(e.profile("fan").is_some());
+    assert!(e.profile("nobody").is_none());
+}
+
+#[test]
+fn degree_constraints_trade_detail_for_brevity() {
+    let e = engine_with_profiles();
+    let card = CardinalityConstraint::MaxTuplesPerRelation(10);
+    let mut prev = 0;
+    // Loosening the weight threshold monotonically grows the answer.
+    for w in [1.0, 0.9, 0.6, 0.3, 0.0] {
+        let a = e
+            .answer(
+                &q(),
+                &AnswerSpec::new(DegreeConstraint::MinWeight(w), card.clone()),
+            )
+            .unwrap();
+        let vis = a.schema.total_visible_attrs();
+        assert!(vis >= prev, "w={w}: {vis} < {prev}");
+        prev = vis;
+    }
+}
+
+#[test]
+fn top_r_progressively_reveals_the_database() {
+    let e = engine_with_profiles();
+    let card = CardinalityConstraint::MaxTuplesPerRelation(10);
+    let mut prev_rels = 0;
+    for r in [1, 3, 6, 10, 20] {
+        let a = e
+            .answer(
+                &q(),
+                &AnswerSpec::new(DegreeConstraint::TopProjections(r), card.clone()),
+            )
+            .unwrap();
+        assert!(a.schema.paths().len() <= r);
+        assert!(a.schema.relation_count() >= prev_rels);
+        prev_rels = a.schema.relation_count();
+    }
+}

@@ -1,0 +1,47 @@
+//! The CLI session must be total: arbitrary command lines never panic, and
+//! arbitrary query/settings sequences keep the session usable.
+
+use precis_cli::{Session, SessionOutcome, Source};
+use proptest::prelude::*;
+
+fn command_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Arbitrary junk.
+        "[ -~]{0,40}",
+        // Almost-valid commands with arbitrary arguments.
+        "(query|set|weight|weights|schema|settings|save|help) [ -~]{0,30}",
+        // Valid settings with random numbers.
+        (0.0f64..2.0).prop_map(|w| format!("set degree minweight {w}")),
+        (0usize..30).prop_map(|r| format!("set degree top {r}")),
+        (0usize..30).prop_map(|n| format!("set cardinality perrel {n}")),
+        Just("set strategy naive".to_owned()),
+        Just("set strategy roundrobin".to_owned()),
+        Just("query woody".to_owned()),
+        Just("query \"match point\" comedy".to_owned()),
+        Just("weight MOVIE->GENRE 0.4".to_owned()),
+        Just("weights reset".to_owned()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No command sequence crashes the session or wedges it: after any
+    /// sequence, a plain demo query still succeeds.
+    #[test]
+    fn sessions_survive_arbitrary_command_sequences(
+        commands in proptest::collection::vec(command_strategy(), 0..12),
+    ) {
+        let mut s = Session::open(Source::Demo).expect("demo opens");
+        for c in &commands {
+            if c.trim() == "quit" || c.trim() == "exit" {
+                continue;
+            }
+            let _ = s.execute(c); // output or error, never a panic
+        }
+        match s.execute("query woody") {
+            SessionOutcome::Output(text) => prop_assert!(text.contains("result schema")),
+            other => prop_assert!(false, "query failed after {commands:?}: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! The full pipeline on a second domain (university), proving nothing in
+//! the engine is movies-specific: index → result schema → result database →
+//! narrative, plus personalization.
+
+use precis::core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
+use precis::datagen::{university_graph, university_instance, university_vocabulary};
+use precis::graph::WeightProfile;
+use precis::nlg::Translator;
+
+fn engine() -> PrecisEngine {
+    PrecisEngine::new(university_instance(), university_graph()).unwrap()
+}
+
+fn spec() -> AnswerSpec {
+    AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.8),
+        CardinalityConstraint::MaxTuplesPerRelation(10),
+    )
+}
+
+#[test]
+fn professor_query_builds_a_teaching_subdatabase() {
+    let e = engine();
+    let a = e
+        .answer(&PrecisQuery::parse(r#""Ada Lovelace""#), &spec())
+        .unwrap();
+    let s = e.database().schema();
+    let rel = |n: &str| s.relation_id(n).unwrap();
+    assert!(a.schema.contains(rel("PROFESSOR")));
+    assert!(a.schema.contains(rel("TEACHES")), "bridge included");
+    assert!(a.schema.contains(rel("COURSE")));
+    assert!(a.schema.contains(rel("DEPARTMENT")));
+    // Ada teaches two courses.
+    assert_eq!(a.precis.collected[&rel("COURSE")].len(), 2);
+    assert!(a.precis.database.validate_foreign_keys().is_empty());
+}
+
+#[test]
+fn professor_narrative_reads_naturally() {
+    let e = engine();
+    let a = e
+        .answer(&PrecisQuery::parse(r#""Ada Lovelace""#), &spec())
+        .unwrap();
+    let vocab = university_vocabulary(e.database().schema());
+    let translator = Translator::new(e.database(), e.graph(), &vocab);
+    let narratives = translator.translate(&a).unwrap();
+    assert_eq!(narratives.len(), 1);
+    let text = &narratives[0].text;
+    assert!(text.starts_with("Ada Lovelace is a Professor."), "{text}");
+    assert!(
+        text.contains("Ada Lovelace teaches Analytical Engines, Query Processing."),
+        "{text}"
+    );
+    assert!(
+        text.contains("Ada Lovelace works in the Computer Science department."),
+        "{text}"
+    );
+}
+
+#[test]
+fn course_query_walks_the_other_direction() {
+    let e = engine();
+    let a = e
+        .answer(&PrecisQuery::parse(r#""Analytical Engines""#), &spec())
+        .unwrap();
+    let vocab = university_vocabulary(e.database().schema());
+    let translator = Translator::new(e.database(), e.graph(), &vocab);
+    let narratives = translator.translate(&a).unwrap();
+    assert_eq!(narratives.len(), 1);
+    let text = &narratives[0].text;
+    assert!(text.contains("Analytical Engines is a course."), "{text}");
+    assert!(text.contains("is taught by Ada Lovelace."), "{text}");
+}
+
+#[test]
+fn student_view_profile_reshapes_the_answer() {
+    let mut e = engine();
+    // A student-facing profile: de-emphasize the teaching staff entirely.
+    e.register_profile(
+        WeightProfile::new("student-view")
+            .set("TEACHES->PROFESSOR", 0.1)
+            .set("COURSE->DEPARTMENT", 0.1),
+    );
+    let base = e
+        .answer(&PrecisQuery::parse("incompleteness"), &spec())
+        .unwrap();
+    let slim = e
+        .answer(
+            &PrecisQuery::parse("incompleteness"),
+            &spec().with_profile("student-view"),
+        )
+        .unwrap();
+    let professor = e.database().schema().relation_id("PROFESSOR").unwrap();
+    assert!(base.schema.contains(professor));
+    assert!(!slim.schema.contains(professor));
+}
