@@ -141,8 +141,10 @@ mod tests {
             }
             s.add_relation(b.build().unwrap()).unwrap();
         }
-        s.add_foreign_key(ForeignKey::new("B", "a_id", "A", "id")).unwrap();
-        s.add_foreign_key(ForeignKey::new("C", "b_id", "B", "id")).unwrap();
+        s.add_foreign_key(ForeignKey::new("B", "a_id", "A", "id"))
+            .unwrap();
+        s.add_foreign_key(ForeignKey::new("C", "b_id", "B", "id"))
+            .unwrap();
         SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.9).unwrap()
     }
 

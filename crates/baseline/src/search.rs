@@ -35,12 +35,7 @@ use precis_index::tokenize;
 /// "IR-style answer-relevance ranking"): for every token matched by a tuple
 /// of the row, add `idf(token) / words(matching value)` — rare tokens in
 /// short fields score highest.
-fn row_relevance(
-    db: &Database,
-    index: &InvertedIndex,
-    row: &FlatRow,
-    tokens: &[&str],
-) -> f64 {
+fn row_relevance(db: &Database, index: &InvertedIndex, row: &FlatRow, tokens: &[&str]) -> f64 {
     let mut score = 0.0;
     for token in tokens {
         let words = tokenize(token);
@@ -253,51 +248,47 @@ impl<'a> KeywordSearch<'a> {
             .neighbors(self.graph, rel)
             .into_iter()
             .filter_map(|(other, edge)| {
-                partial
-                    .iter()
-                    .find(|&&(r, _)| r == other)
-                    .map(|&(_, tid)| {
-                        let e = self.graph.join_edge(edge);
-                        // true ⇔ `rel` is the edge's `from` side.
-                        (edge, tid, e.from == rel)
-                    })
+                partial.iter().find(|&&(r, _)| r == other).map(|&(_, tid)| {
+                    let e = self.graph.join_edge(edge);
+                    // true ⇔ `rel` is the edge's `from` side.
+                    (edge, tid, e.from == rel)
+                })
             })
             .collect();
 
-        let candidates: Vec<TupleId> = if let Some((edge, anchor_tid, rel_is_from)) =
-            neighbor_filters.first().copied()
-        {
-            let e = self.graph.join_edge(edge);
-            let (anchor_rel, anchor_attr, own_attr) = if rel_is_from {
-                (e.to, e.to_attr, e.from_attr)
+        let candidates: Vec<TupleId> =
+            if let Some((edge, anchor_tid, rel_is_from)) = neighbor_filters.first().copied() {
+                let e = self.graph.join_edge(edge);
+                let (anchor_rel, anchor_attr, own_attr) = if rel_is_from {
+                    (e.to, e.to_attr, e.from_attr)
+                } else {
+                    (e.from, e.from_attr, e.to_attr)
+                };
+                let Some(anchor) = self.db.table(anchor_rel).get(anchor_tid) else {
+                    return;
+                };
+                let v = anchor[anchor_attr].clone();
+                if v.is_null() {
+                    return;
+                }
+                match self.db.lookup(rel, own_attr, &v) {
+                    Ok(tids) => tids.to_vec(),
+                    Err(_) => self
+                        .db
+                        .table(rel)
+                        .iter()
+                        .filter(|(_, t)| t[own_attr] == v)
+                        .map(|(tid, _)| tid)
+                        .collect(),
+                }
             } else {
-                (e.from, e.from_attr, e.to_attr)
+                // First relation of the tree: start from its constrained tids,
+                // or scan if unconstrained (non-terminal roots are rare).
+                match constraint.get(&rel) {
+                    Some(tids) => tids.iter().copied().collect(),
+                    None => self.db.table(rel).iter().map(|(tid, _)| tid).collect(),
+                }
             };
-            let Some(anchor) = self.db.table(anchor_rel).get(anchor_tid) else {
-                return;
-            };
-            let v = anchor[anchor_attr].clone();
-            if v.is_null() {
-                return;
-            }
-            match self.db.lookup(rel, own_attr, &v) {
-                Ok(tids) => tids.to_vec(),
-                Err(_) => self
-                    .db
-                    .table(rel)
-                    .iter()
-                    .filter(|(_, t)| t[own_attr] == v)
-                    .map(|(tid, _)| tid)
-                    .collect(),
-            }
-        } else {
-            // First relation of the tree: start from its constrained tids,
-            // or scan if unconstrained (non-terminal roots are rare).
-            match constraint.get(&rel) {
-                Some(tids) => tids.iter().copied().collect(),
-                None => self.db.table(rel).iter().map(|(tid, _)| tid).collect(),
-            }
-        };
 
         'cand: for tid in candidates {
             if let Some(allowed) = constraint.get(&rel) {
@@ -371,8 +362,11 @@ mod tests {
             .unwrap();
         db.insert("MOVIE", vec![2.into(), "Anything Else".into(), 1.into()])
             .unwrap();
-        db.insert("MOVIE", vec![3.into(), "Lost in Translation".into(), 2.into()])
-            .unwrap();
+        db.insert(
+            "MOVIE",
+            vec![3.into(), "Lost in Translation".into(), 2.into()],
+        )
+        .unwrap();
         let g = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.8, 0.5, 0.9).unwrap();
         let idx = InvertedIndex::build(&db);
         (db, g, idx)

@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use precis_baseline::KeywordSearch;
 use precis_bench::workloads::bench_movies_db;
-use precis_core::{
-    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
-};
+use precis_core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
 use precis_datagen::movies_graph;
 use precis_index::InvertedIndex;
 use std::hint::black_box;

@@ -18,7 +18,9 @@ fn bench_primitives(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 7) % 10_000;
-            db.lookup(r1, fk, black_box(&Value::from(i as i64))).unwrap().len()
+            db.lookup(r1, fk, black_box(&Value::from(i as i64)))
+                .unwrap()
+                .len()
         })
     });
 

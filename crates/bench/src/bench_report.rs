@@ -1,0 +1,390 @@
+//! PR-trajectory benchmark snapshot: a compact JSON report of the answer
+//! pipeline's wall-clock medians, throughput, cache behavior, and thread
+//! count, committed as `BENCH_PR1.json` so successive PRs can track the
+//! trajectory of the same workloads over time.
+//!
+//! The workloads mirror the paper's evaluation (§6): a Figure-7-style
+//! schema-generator sweep, a Figure-8-style database-generator run, a
+//! Figure-9 NaïveQ vs Round-Robin pair, plus an end-to-end multi-token
+//! [`PrecisEngine`] workload that exercises the parallel index-lookup path
+//! and the answer caches.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p precis-bench --bin bench_report -- BENCH_PR1.json
+//! ```
+
+use crate::workloads::{
+    bench_movies_graph, connected_relation_sets, full_result_schema, random_seed_tids,
+    random_seed_tids_in_range, restrict_graph, run_db_generation,
+};
+use precis_core::{
+    generate_result_schema, AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine,
+    PrecisQuery, RetrievalStrategy,
+};
+use precis_datagen::{chain_db_fanout, movies_graph, MoviesConfig, MoviesGenerator};
+use precis_storage::RelationId;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Scale knob: `quick` keeps every workload under a second for tests;
+/// `full` is the committed-report configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+/// One benchmarked workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadStat {
+    pub name: &'static str,
+    /// Timed runs contributing samples.
+    pub runs: usize,
+    /// Median per-run wall time, seconds.
+    pub median_secs: f64,
+    /// Tuples retrieved across all runs divided by total wall time;
+    /// `None` for workloads that do not retrieve tuples (schema generation).
+    pub tuples_per_sec: Option<f64>,
+    /// Final schema-cache hit rate, for engine workloads.
+    pub schema_hit_rate: Option<f64>,
+    /// Final token-cache hit rate, for engine workloads.
+    pub token_hit_rate: Option<f64>,
+}
+
+/// The full report: thread count plus one entry per workload.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Worker threads the parallel paths fan out over
+    /// ([`rayon::current_num_threads`]).
+    pub threads: usize,
+    pub workloads: Vec<WorkloadStat>,
+}
+
+/// Median of the samples (mean of the middle pair for even counts).
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing samples"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn stat_from_samples(
+    name: &'static str,
+    mut samples: Vec<f64>,
+    tuples: Option<usize>,
+) -> WorkloadStat {
+    let total: f64 = samples.iter().sum();
+    let tuples_per_sec = tuples.map(|t| if total > 0.0 { t as f64 / total } else { 0.0 });
+    WorkloadStat {
+        name,
+        runs: samples.len(),
+        median_secs: median(&mut samples),
+        tuples_per_sec,
+        schema_hit_rate: None,
+        token_hit_rate: None,
+    }
+}
+
+/// Figure-7-style workload: schema generation over every origin of the
+/// movies graph under a top-projections degree constraint.
+fn schema_generator_workload(scale: Scale) -> WorkloadStat {
+    let graph = bench_movies_graph();
+    let repeats = match scale {
+        Scale::Quick => 3,
+        Scale::Full => 50,
+    };
+    let origins: Vec<RelationId> = graph.schema().relations().map(|(id, _)| id).collect();
+    let constraint = DegreeConstraint::TopProjections(8);
+    let mut samples = Vec::new();
+    for _ in 0..repeats {
+        for &r0 in &origins {
+            let t0 = Instant::now();
+            let rs = generate_result_schema(&graph, &[r0], &constraint);
+            samples.push(t0.elapsed().as_secs_f64());
+            assert!(rs.relation_count() > 0);
+        }
+    }
+    stat_from_samples("fig7_schema_generator", samples, None)
+}
+
+/// Figure-8-style workload: database generation over connected 4-relation
+/// sets of a synthetic movies database, NaïveQ, `c_R = 50`.
+fn db_generator_workload(scale: Scale) -> WorkloadStat {
+    let (movies, max_sets, seed_sets) = match scale {
+        Scale::Quick => (300, 2, 1),
+        Scale::Full => (5_000, 10, 5),
+    };
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies,
+        directors: (movies / 12).max(1),
+        actors: (movies / 2).max(1),
+        theatres: (movies / 60).max(1),
+        plays: movies * 2,
+        seed: 0xF168,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let graph = bench_movies_graph();
+    let c_r = 50;
+    let mut samples = Vec::new();
+    let mut tuples = 0usize;
+    for (i, set) in connected_relation_sets(&graph, 4)
+        .into_iter()
+        .take(max_sets)
+        .enumerate()
+    {
+        let g = restrict_graph(&graph, &set);
+        for &origin in &set {
+            let schema = full_result_schema(&g, origin);
+            for s in 0..seed_sets {
+                let seeds = random_seed_tids(&db, origin, c_r, (i * 31 + s) as u64);
+                let t0 = Instant::now();
+                let p = run_db_generation(
+                    &db,
+                    &g,
+                    &schema,
+                    origin,
+                    &seeds,
+                    c_r,
+                    RetrievalStrategy::NaiveQ,
+                    true,
+                );
+                samples.push(t0.elapsed().as_secs_f64());
+                tuples += p.total_tuples();
+            }
+        }
+    }
+    stat_from_samples("fig8_database_generator", samples, Some(tuples))
+}
+
+/// Figure-9-style workload: one strategy on a chain database with fan-out,
+/// fixed `c_R`, exact control of `n_R`.
+fn chain_workload(strategy: RetrievalStrategy, scale: Scale) -> WorkloadStat {
+    let (rows, repeats) = match scale {
+        Scale::Quick => (300, 3),
+        Scale::Full => (2_000, 50),
+    };
+    let (n, c_r, fanout) = (6, 50, 4);
+    let (db, graph) = chain_db_fanout(n, rows, fanout, 9 ^ n as u64);
+    let r0 = graph.schema().relation_id("R0").expect("chain root");
+    let schema = full_result_schema(&graph, r0);
+    let seed_range = (rows / fanout).max(1);
+    // Untimed warmup faults in caches and allocator arenas.
+    let warmup = random_seed_tids_in_range(&db, r0, seed_range, c_r, 9);
+    let _ = run_db_generation(&db, &graph, &schema, r0, &warmup, c_r, strategy, true);
+    let mut samples = Vec::new();
+    let mut tuples = 0usize;
+    for rep in 0..repeats {
+        let seeds = random_seed_tids_in_range(&db, r0, seed_range, c_r, 9 + rep as u64);
+        let t0 = Instant::now();
+        let p = run_db_generation(&db, &graph, &schema, r0, &seeds, c_r, strategy, true);
+        samples.push(t0.elapsed().as_secs_f64());
+        tuples += p.total_tuples();
+    }
+    let name = match strategy {
+        RetrievalStrategy::NaiveQ => "fig9_chain_naiveq",
+        RetrievalStrategy::RoundRobin => "fig9_chain_round_robin",
+        RetrievalStrategy::TopWeight => "fig9_chain_top_weight",
+    };
+    stat_from_samples(name, samples, Some(tuples))
+}
+
+/// End-to-end engine workload: multi-token précis queries answered
+/// repeatedly, so index lookups fan out across threads on cold tokens and
+/// the schema/token caches absorb the repeats.
+fn engine_workload(scale: Scale) -> WorkloadStat {
+    let (movies, rounds) = match scale {
+        Scale::Quick => (300, 12),
+        Scale::Full => (2_000, 25),
+    };
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies,
+        directors: (movies / 12).max(1),
+        actors: (movies / 2).max(1),
+        theatres: (movies / 60).max(1),
+        plays: movies * 2,
+        seed: 0xE26,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let engine = PrecisEngine::new(db, movies_graph()).expect("engine builds");
+    let spec = AnswerSpec::new(
+        DegreeConstraint::MinWeight(0.5),
+        CardinalityConstraint::MaxTuplesPerRelation(20),
+    );
+    let queries = [
+        PrecisQuery::new(["comedy", "drama", "thriller"]),
+        PrecisQuery::new(["romance", "action", "horror"]),
+        PrecisQuery::new(["sci-fi", "documentary", "comedy"]),
+    ];
+    let mut samples = Vec::new();
+    let mut tuples = 0usize;
+    for _ in 0..rounds {
+        for q in &queries {
+            let t0 = Instant::now();
+            let a = engine.answer(q, &spec).expect("query answers");
+            samples.push(t0.elapsed().as_secs_f64());
+            tuples += a.precis.total_tuples();
+        }
+    }
+    let stats = engine.cache_stats();
+    let mut stat = stat_from_samples("multi_token_engine", samples, Some(tuples));
+    stat.schema_hit_rate = Some(stats.schema_hit_rate());
+    stat.token_hit_rate = Some(stats.token_hit_rate());
+    stat
+}
+
+/// Run every workload at the given scale.
+pub fn run_report(scale: Scale) -> BenchReport {
+    BenchReport {
+        threads: rayon::current_num_threads(),
+        workloads: vec![
+            schema_generator_workload(scale),
+            db_generator_workload(scale),
+            chain_workload(RetrievalStrategy::NaiveQ, scale),
+            chain_workload(RetrievalStrategy::RoundRobin, scale),
+            engine_workload(scale),
+        ],
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => json_f64(v),
+        None => "null".to_owned(),
+    }
+}
+
+impl BenchReport {
+    /// Serialize as pretty-printed JSON (hand-rolled; the workspace carries
+    /// no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"report\": \"BENCH_PR1\",");
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
+            let _ = writeln!(out, "      \"runs\": {},", w.runs);
+            let _ = writeln!(
+                out,
+                "      \"median_wall_secs\": {},",
+                json_f64(w.median_secs)
+            );
+            let _ = writeln!(
+                out,
+                "      \"tuples_per_sec\": {},",
+                json_opt(w.tuples_per_sec)
+            );
+            let _ = writeln!(
+                out,
+                "      \"schema_cache_hit_rate\": {},",
+                json_opt(w.schema_hit_rate)
+            );
+            let _ = writeln!(
+                out,
+                "      \"token_cache_hit_rate\": {}",
+                json_opt(w.token_hit_rate)
+            );
+            let comma = if i + 1 < self.workloads.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_and_even_counts() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn quick_report_covers_every_workload_and_caches_pay_off() {
+        let report = run_report(Scale::Quick);
+        assert!(report.threads >= 1);
+        let names: Vec<&str> = report.workloads.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "fig7_schema_generator",
+                "fig8_database_generator",
+                "fig9_chain_naiveq",
+                "fig9_chain_round_robin",
+                "multi_token_engine",
+            ]
+        );
+        for w in &report.workloads {
+            assert!(w.runs > 0, "{}", w.name);
+            assert!(w.median_secs >= 0.0, "{}", w.name);
+        }
+        let engine = report.workloads.last().unwrap();
+        assert!(
+            engine.schema_hit_rate.unwrap() > 0.9,
+            "repeated queries must hit the schema cache: {:?}",
+            engine.schema_hit_rate
+        );
+        assert!(engine.token_hit_rate.unwrap() > 0.9);
+    }
+
+    #[test]
+    fn report_serializes_to_well_formed_json() {
+        let report = BenchReport {
+            threads: 4,
+            workloads: vec![
+                WorkloadStat {
+                    name: "a",
+                    runs: 2,
+                    median_secs: 0.5,
+                    tuples_per_sec: Some(10.0),
+                    schema_hit_rate: None,
+                    token_hit_rate: None,
+                },
+                WorkloadStat {
+                    name: "b",
+                    runs: 1,
+                    median_secs: 0.25,
+                    tuples_per_sec: None,
+                    schema_hit_rate: Some(0.96),
+                    token_hit_rate: Some(0.97),
+                },
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"tuples_per_sec\": null"));
+        assert!(json.contains("\"schema_cache_hit_rate\": 0.960000000"));
+        // Crude balance check: every brace and bracket closes.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"), "no trailing comma:\n{json}");
+    }
+}

@@ -52,7 +52,10 @@ fn main() {
 fn run_fig7() {
     println!("\n## Figure 7 — Result Schema Generator time vs degree d");
     println!("## movies schema graph, 20 random weight sets x 7 origin relations per point");
-    println!("{:>4}  {:>12}  {:>10}  {:>5}", "d", "mean (µs)", "accepted", "runs");
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>5}",
+        "d", "mean (µs)", "accepted", "runs"
+    );
     for p in fig7(&fig7_movies_graph(), &[1, 2, 4, 6, 8, 10, 12, 14], 20, 42) {
         println!(
             "{:>4}  {:>12.2}  {:>10.1}  {:>5}",
@@ -66,7 +69,10 @@ fn run_fig7() {
 
 fn run_fig7_large() {
     println!("\n## Figure 7 (extended) — 15-relation tree schema, 89 projection edges");
-    println!("{:>4}  {:>12}  {:>10}  {:>5}", "d", "mean (µs)", "accepted", "runs");
+    println!(
+        "{:>4}  {:>12}  {:>10}  {:>5}",
+        "d", "mean (µs)", "accepted", "runs"
+    );
     for p in fig7(&fig7_large_graph(), &[5, 10, 20, 30, 40, 50, 60], 20, 43) {
         println!(
             "{:>4}  {:>12.2}  {:>10.1}  {:>5}",
@@ -125,7 +131,9 @@ fn run_fig9() {
 }
 
 fn run_cost_model() {
-    println!("\n## Formula 2 — cost model validation: Cost(D') = c_R * n_R * (IndexTime + TupleTime)");
+    println!(
+        "\n## Formula 2 — cost model validation: Cost(D') = c_R * n_R * (IndexTime + TupleTime)"
+    );
     let (model, pts) = cost_model_validation(&[10, 30, 50, 70, 90], &[2, 4, 6, 8], 2_000, 20, 11);
     println!(
         "## calibrated IndexTime = {:.1} ns, TupleTime = {:.1} ns",
@@ -231,7 +239,10 @@ fn run_baseline() {
         .expect("query answers");
     let precis_secs = t1.elapsed().as_secs_f64();
 
-    println!("{:<22} {:>12} {:>10} {:>12}", "system", "time (ms)", "rows", "relations");
+    println!(
+        "{:<22} {:>12} {:>10} {:>12}",
+        "system", "time (ms)", "rows", "relations"
+    );
     println!(
         "{:<22} {:>12.2} {:>10} {:>12}",
         "keyword search",

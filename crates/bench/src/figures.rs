@@ -33,7 +33,12 @@ pub struct Fig7Point {
 /// degree `d` (max number of projected attributes), averaged over
 /// `weight_sets` random weight assignments × every relation as the single
 /// token relation R₀ (the paper averaged 200 runs per point).
-pub fn fig7(base: &SchemaGraph, d_values: &[usize], weight_sets: usize, seed: u64) -> Vec<Fig7Point> {
+pub fn fig7(
+    base: &SchemaGraph,
+    d_values: &[usize],
+    weight_sets: usize,
+    seed: u64,
+) -> Vec<Fig7Point> {
     let mut rng = StdRng::seed_from_u64(seed);
     let graphs: Vec<SchemaGraph> = (0..weight_sets)
         .map(|_| random_weight_graph(base, &mut rng))
@@ -74,8 +79,7 @@ pub fn fig7_movies_graph() -> SchemaGraph {
 /// each; with key/fk attributes, 89 projection edges) for sweeping `d`
 /// beyond the movies schema.
 pub fn fig7_large_graph() -> SchemaGraph {
-    SchemaGraph::from_foreign_keys(tree_schema(15, 2, 4), 0.9, 0.8, 0.9)
-        .expect("valid tree graph")
+    SchemaGraph::from_foreign_keys(tree_schema(15, 2, 4), 0.9, 0.8, 0.9).expect("valid tree graph")
 }
 
 /// One point of the Figure 8/9 series.
@@ -187,8 +191,7 @@ pub fn fig9(
             let warmup = random_seed_tids_in_range(&db, r0, seed_range, c_r, seed);
             let _ = run_db_generation(&db, &graph, &schema, r0, &warmup, c_r, strategy, true);
             for rep in 0..repeats {
-                let seeds =
-                    random_seed_tids_in_range(&db, r0, seed_range, c_r, seed + rep as u64);
+                let seeds = random_seed_tids_in_range(&db, r0, seed_range, c_r, seed + rep as u64);
                 let t0 = Instant::now();
                 let p = run_db_generation(&db, &graph, &schema, r0, &seeds, c_r, strategy, true);
                 total += t0.elapsed().as_secs_f64();
@@ -242,7 +245,9 @@ pub fn cost_model_validation(
         .relation(r1)
         .attr_position("r0_id")
         .expect("chain fk");
-    let samples: Vec<Value> = (0..64).map(|i| Value::from(i % rows_per_relation)).collect();
+    let samples: Vec<Value> = (0..64)
+        .map(|i| Value::from(i % rows_per_relation))
+        .collect();
     let model = CostModel::calibrate(&db, r1, fk_attr, &samples, 16).expect("calibration");
 
     let mut points = Vec::new();

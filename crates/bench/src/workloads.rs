@@ -118,12 +118,7 @@ pub fn restrict_graph(graph: &SchemaGraph, rels: &[RelationId]) -> SchemaGraph {
 }
 
 /// `count` random live tuple ids of `rel`.
-pub fn random_seed_tids(
-    db: &Database,
-    rel: RelationId,
-    count: usize,
-    seed: u64,
-) -> Vec<TupleId> {
+pub fn random_seed_tids(db: &Database, rel: RelationId, count: usize, seed: u64) -> Vec<TupleId> {
     let mut tids: Vec<TupleId> = db.table(rel).iter().map(|(tid, _)| tid).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     tids.shuffle(&mut rng);
@@ -152,8 +147,7 @@ pub fn run_db_generation(
     strategy: RetrievalStrategy,
     postpone_by_in_degree: bool,
 ) -> PrecisDatabase {
-    let seeds: HashMap<RelationId, Vec<TupleId>> =
-        HashMap::from([(origin, seed_tids.to_vec())]);
+    let seeds: HashMap<RelationId, Vec<TupleId>> = HashMap::from([(origin, seed_tids.to_vec())]);
     generate_result_database(
         db,
         graph,

@@ -80,7 +80,12 @@ impl Session {
                 Source::Demo => {
                     let db = woody_allen_instance();
                     let vocab = movies_vocabulary(db.schema());
-                    (db, movies_graph(), Some(vocab), "demo movies database".into())
+                    (
+                        db,
+                        movies_graph(),
+                        Some(vocab),
+                        "demo movies database".into(),
+                    )
                 }
                 Source::Synthetic { movies } => {
                     let db = MoviesGenerator::new(MoviesConfig {
@@ -216,6 +221,11 @@ impl Session {
             out,
             "{}",
             explain::explain_precis(self.engine.database(), &answer.precis)
+        );
+        let _ = write!(
+            out,
+            "{}",
+            explain::explain_cache(&self.engine.cache_stats())
         );
         // Narrate with the designer vocabulary when we have one; otherwise
         // fall back to generic mechanical clauses so loaded databases still
@@ -393,9 +403,8 @@ impl Session {
             RetrievalStrategy::RoundRobin => "Round-Robin",
             RetrievalStrategy::TopWeight => "TopWeight",
         };
-        let mut out = format!(
-            "degree:      {degree}\ncardinality: {cardinality}\nstrategy:    {strategy}"
-        );
+        let mut out =
+            format!("degree:      {degree}\ncardinality: {cardinality}\nstrategy:    {strategy}");
         if !self.overrides.is_empty() {
             out.push_str("\noverrides:");
             for (e, w) in &self.overrides {
@@ -437,6 +446,21 @@ mod tests {
         assert!(out.contains("result schema"), "{out}");
         assert!(out.contains("précis database"));
         assert!(out.contains("As a director, Woody Allen's work includes"));
+    }
+
+    #[test]
+    fn repeated_queries_report_cache_hits() {
+        let mut s = demo();
+        let first = output(s.execute(r#"query "Woody Allen""#));
+        assert!(
+            first.contains("cache: schema 0/1 hits (0.0%), tokens 0/1 hits (0.0%)"),
+            "{first}"
+        );
+        let second = output(s.execute(r#"query "Woody Allen""#));
+        assert!(
+            second.contains("cache: schema 1/2 hits (50.0%), tokens 1/2 hits (50.0%)"),
+            "{second}"
+        );
     }
 
     #[test]

@@ -30,12 +30,19 @@ fn main() {
             }
             "--load" => {
                 i += 1;
-                let path = args.get(i).cloned().unwrap_or_else(|| usage("--load needs a path"));
+                let path = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--load needs a path"));
                 source = Some(precis_cli::Source::File(path));
             }
             "--exec" => {
                 i += 1;
-                exec = Some(args.get(i).cloned().unwrap_or_else(|| usage("--exec needs commands")));
+                exec = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--exec needs commands")),
+                );
             }
             "--help" | "-h" => {
                 println!("{}", precis_cli::HELP);

@@ -108,6 +108,22 @@ pub enum CardinalityConstraint {
 }
 
 impl CardinalityConstraint {
+    /// Whether allowances for different relations are independent — charging
+    /// tuples to one relation can never shrink another relation's allowance.
+    /// Holds for per-relation and unbounded constraints but not for a total
+    /// cap, which couples every relation through the shared budget. The
+    /// result database generator only batches sibling joins for concurrent
+    /// execution under an independent constraint.
+    pub fn per_relation_independent(&self) -> bool {
+        match self {
+            CardinalityConstraint::MaxTuplesPerRelation(_) | CardinalityConstraint::Unbounded => {
+                true
+            }
+            CardinalityConstraint::MaxTotalTuples(_) => false,
+            CardinalityConstraint::All(cs) => cs.iter().all(Self::per_relation_independent),
+        }
+    }
+
     /// How many more tuples may be added to `rel` given the current
     /// per-relation and total counts.
     fn allowance(&self, rel_count: usize, total_count: usize) -> usize {
@@ -140,6 +156,11 @@ impl CardinalityBudget {
             per_relation: HashMap::new(),
             total: 0,
         }
+    }
+
+    /// The constraint this budget enforces.
+    pub fn constraint(&self) -> &CardinalityConstraint {
+        &self.constraint
     }
 
     /// Tuples that may still be added to `rel`.
@@ -191,7 +212,8 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id")).unwrap();
+        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id"))
+            .unwrap();
         SchemaGraph::from_foreign_keys(s, 0.8, 0.4, 0.6).unwrap()
     }
 
@@ -281,5 +303,15 @@ mod tests {
     fn unbounded_budget_never_exhausts() {
         let b = CardinalityBudget::new(CardinalityConstraint::Unbounded);
         assert_eq!(b.allowance(RelationId(0)), usize::MAX);
+    }
+
+    #[test]
+    fn per_relation_independence_classification() {
+        use CardinalityConstraint::*;
+        assert!(MaxTuplesPerRelation(3).per_relation_independent());
+        assert!(Unbounded.per_relation_independent());
+        assert!(!MaxTotalTuples(10).per_relation_independent());
+        assert!(All(vec![MaxTuplesPerRelation(3), Unbounded]).per_relation_independent());
+        assert!(!All(vec![MaxTuplesPerRelation(3), MaxTotalTuples(10)]).per_relation_independent());
     }
 }

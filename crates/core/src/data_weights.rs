@@ -83,9 +83,11 @@ impl TupleWeights {
             .iter()
             .filter_map(|(tid, t)| numeric(&t[attr]).map(|x| (tid, x)))
             .collect();
-        let (min, max) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, x)| {
-            (lo.min(x), hi.max(x))
-        });
+        let (min, max) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, x)| {
+                (lo.min(x), hi.max(x))
+            });
         if values.is_empty() {
             return Ok(0);
         }
@@ -108,9 +110,9 @@ fn check(w: f64) -> Result<()> {
     if (0.0..=1.0).contains(&w) {
         Ok(())
     } else {
-        Err(CoreError::Graph(precis_graph::GraphError::WeightOutOfRange(
-            w,
-        )))
+        Err(CoreError::Graph(
+            precis_graph::GraphError::WeightOutOfRange(w),
+        ))
     }
 }
 
@@ -132,7 +134,8 @@ mod tests {
         .unwrap();
         let mut db = Database::new(s).unwrap();
         for (id, r) in [(1, 2.0), (2, 8.0), (3, 5.0)] {
-            db.insert("M", vec![Value::from(id), Value::from(r)]).unwrap();
+            db.insert("M", vec![Value::from(id), Value::from(r)])
+                .unwrap();
         }
         db.insert("M", vec![Value::from(4), Value::Null]).unwrap();
         db

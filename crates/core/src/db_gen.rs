@@ -21,6 +21,7 @@ use crate::result_schema::ResultSchema;
 use crate::Result;
 use precis_graph::SchemaGraph;
 use precis_storage::{Database, DatabaseSchema, RelationId, TupleId, Value, ValueScan};
+use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// How the generator retrieves a bounded subset of joining tuples (§5.2).
@@ -55,6 +56,13 @@ pub struct DbGenOptions {
     /// Data-value weights used by [`RetrievalStrategy::TopWeight`] and for
     /// ordering seed tuples under a tight budget.
     pub tuple_weights: Option<std::sync::Arc<TupleWeights>>,
+    /// Execute independent sibling joins (pairwise-distinct destination
+    /// relations within one frontier batch) concurrently. Only engages when
+    /// the cardinality constraint is per-relation independent
+    /// ([`CardinalityConstraint::per_relation_independent`]); the collected
+    /// tuples, run report, and storage cost counters are identical to
+    /// sequential execution either way.
+    pub parallel_joins: bool,
 }
 
 impl Default for DbGenOptions {
@@ -63,6 +71,7 @@ impl Default for DbGenOptions {
             repair_foreign_keys: true,
             postpone_by_in_degree: true,
             tuple_weights: None,
+            parallel_joins: true,
         }
     }
 }
@@ -221,7 +230,27 @@ pub fn generate_result_database(
     materialize(db, graph, schema, collected, kept_seeds, report)
 }
 
+/// One executable join step, detached from the shared `collected` map so a
+/// batch of these can run on worker threads. The destination's working state
+/// is *moved* in (destinations within a batch are pairwise distinct) and
+/// moved back once the step completes.
+struct JoinTask<'a> {
+    to: RelationId,
+    to_attr: usize,
+    values: Vec<Value>,
+    allowance: usize,
+    origins: &'a BTreeSet<RelationId>,
+    dest: Collected,
+}
+
 /// The join-processing loop of Figure 5.
+///
+/// Sequentially this executes one used edge per iteration, highest weight
+/// first. When the cardinality constraint is per-relation independent and
+/// [`DbGenOptions::parallel_joins`] is set, each iteration instead executes
+/// a *batch* of sibling edges concurrently — see [`pick_batch`] for the
+/// conditions under which a batch is provably equivalent to running its
+/// members sequentially.
 #[allow(clippy::too_many_arguments)]
 fn execute_joins(
     db: &Database,
@@ -241,85 +270,253 @@ fn execute_joins(
         *pending_in.entry(graph.join_edge(u.edge).to).or_insert(0) += 1;
     }
 
+    let batching = options.parallel_joins && budget.constraint().per_relation_independent();
+    let default_weights = TupleWeights::default();
+    let weights = options.tuple_weights.as_deref().unwrap_or(&default_weights);
+
     loop {
-        let (idx, broke_deadlock) =
-            match pick_edge(graph, used, &executed, collected, &pending_in, options, false) {
-                Some(i) => (i, false),
-                None => match pick_edge(
-                    graph,
-                    used,
-                    &executed,
-                    collected,
-                    &pending_in,
-                    options,
-                    true,
-                ) {
-                    Some(i) => (i, true),
-                    None => break, // nothing has a populated source: done
-                },
-            };
-        if broke_deadlock {
-            report.deadlocks_broken += 1;
-        }
-
-        let u = &used[idx];
-        let e = graph.join_edge(u.edge);
-        executed[idx] = true;
-        if let Some(p) = pending_in.get_mut(&e.to) {
-            *p = p.saturating_sub(1);
-        }
-
-        // Tuples of the source relation reached from the origins whose paths
-        // use this edge ("which of the tuples collected in a relation are
-        // used for subsequently joining depends on the paths stored in P_d").
-        let source = collected.get(&e.from).expect("picked populated source");
-        let mut values: Vec<Value> = Vec::new();
-        let mut seen_values: BTreeSet<Value> = BTreeSet::new();
-        for tid in &source.order {
-            let tags = &source.tags[tid];
-            if tags.iter().any(|o| u.origins.contains(o)) {
-                // Re-reading a tuple already in D′: no new storage cost.
-                if let Some(t) = db.table(e.from).get(*tid) {
-                    let v = t[e.from_attr].clone();
-                    if !v.is_null() && seen_values.insert(v.clone()) {
-                        values.push(v);
-                    }
-                }
-            }
-        }
-        if values.is_empty() {
-            report.joins_skipped += 1;
-            continue;
-        }
-
-        let allowance = budget.allowance(e.to);
-        let dest = collected.entry(e.to).or_default();
-        let added = match strategy {
-            RetrievalStrategy::NaiveQ => {
-                naive_q(db, e.to, e.to_attr, &values, allowance, dest, &u.origins)?
-            }
-            RetrievalStrategy::RoundRobin => {
-                round_robin(db, e.to, e.to_attr, &values, allowance, dest, &u.origins)?
-            }
-            RetrievalStrategy::TopWeight => {
-                let default_weights = TupleWeights::default();
-                let weights = options
-                    .tuple_weights
-                    .as_deref()
-                    .unwrap_or(&default_weights);
-                top_weight(
-                    db, e.to, e.to_attr, &values, allowance, dest, &u.origins, weights,
-                )?
-            }
+        let mut batch: Vec<usize> = if batching {
+            pick_batch(graph, used, &executed, collected, &pending_in, options)
+        } else {
+            pick_edge(
+                graph,
+                used,
+                &executed,
+                collected,
+                &pending_in,
+                options,
+                false,
+            )
+            .into_iter()
+            .collect()
         };
-        budget.charge(e.to, added);
-        report.retrieved_tuples += added;
-        report.joins_executed += 1;
+        if batch.is_empty() {
+            // Nothing strictly eligible: break one deadlock sequentially.
+            match pick_edge(
+                graph,
+                used,
+                &executed,
+                collected,
+                &pending_in,
+                options,
+                true,
+            ) {
+                Some(i) => {
+                    report.deadlocks_broken += 1;
+                    batch = vec![i];
+                }
+                None => break, // nothing has a populated source: done
+            }
+        }
+
+        // Detach each member's inputs while every source is still intact
+        // (batch members never write a relation another member reads).
+        let mut tasks: Vec<JoinTask> = Vec::with_capacity(batch.len());
+        for &idx in &batch {
+            let u = &used[idx];
+            let e = graph.join_edge(u.edge);
+            executed[idx] = true;
+            if let Some(p) = pending_in.get_mut(&e.to) {
+                *p = p.saturating_sub(1);
+            }
+
+            let source = collected.get(&e.from).expect("picked populated source");
+            let values = join_values(db, graph, source, u);
+            if values.is_empty() {
+                report.joins_skipped += 1;
+                continue;
+            }
+            let allowance = budget.allowance(e.to);
+            let dest = collected.remove(&e.to).unwrap_or_default();
+            tasks.push(JoinTask {
+                to: e.to,
+                to_attr: e.to_attr,
+                values,
+                allowance,
+                origins: &u.origins,
+                dest,
+            });
+        }
+
+        let outcomes: Vec<Result<(JoinTask, usize)>> = if tasks.len() > 1 {
+            tasks
+                .into_par_iter()
+                .map(|t| run_task(db, strategy, weights, t))
+                .collect()
+        } else {
+            tasks
+                .into_iter()
+                .map(|t| run_task(db, strategy, weights, t))
+                .collect()
+        };
+        for outcome in outcomes {
+            let (t, added) = outcome?;
+            collected.insert(t.to, t.dest);
+            budget.charge(t.to, added);
+            report.retrieved_tuples += added;
+            report.joins_executed += 1;
+        }
     }
 
     // Any edge never executed had an unpopulatable source.
     report.joins_skipped += executed.iter().filter(|&&x| !x).count();
     Ok(())
+}
+
+/// Join values of one executable edge: the distinct, non-null values of the
+/// source join attribute over the source tuples reached from the origins
+/// whose paths use this edge ("which of the tuples collected in a relation
+/// are used for subsequently joining depends on the paths stored in P_d").
+fn join_values(
+    db: &Database,
+    graph: &SchemaGraph,
+    source: &Collected,
+    u: &crate::result_schema::UsedJoin,
+) -> Vec<Value> {
+    let e = graph.join_edge(u.edge);
+    let mut values: Vec<Value> = Vec::new();
+    let mut seen_values: BTreeSet<Value> = BTreeSet::new();
+    for tid in &source.order {
+        let tags = &source.tags[tid];
+        if tags.iter().any(|o| u.origins.contains(o)) {
+            // Re-reading a tuple already in D′: no new storage cost.
+            if let Some(t) = db.table(e.from).get(*tid) {
+                let v = t[e.from_attr].clone();
+                if !v.is_null() && seen_values.insert(v.clone()) {
+                    values.push(v);
+                }
+            }
+        }
+    }
+    values
+}
+
+/// Run one detached join step to completion, handing the destination state
+/// back together with the number of tuples added.
+fn run_task<'a>(
+    db: &Database,
+    strategy: RetrievalStrategy,
+    weights: &TupleWeights,
+    mut t: JoinTask<'a>,
+) -> Result<(JoinTask<'a>, usize)> {
+    let added = run_strategy(db, strategy, weights, &mut t)?;
+    Ok((t, added))
+}
+
+/// Dispatch one detached join step to the configured retrieval strategy.
+fn run_strategy(
+    db: &Database,
+    strategy: RetrievalStrategy,
+    weights: &TupleWeights,
+    t: &mut JoinTask<'_>,
+) -> Result<usize> {
+    match strategy {
+        RetrievalStrategy::NaiveQ => naive_q(
+            db,
+            t.to,
+            t.to_attr,
+            &t.values,
+            t.allowance,
+            &mut t.dest,
+            t.origins,
+        ),
+        RetrievalStrategy::RoundRobin => round_robin(
+            db,
+            t.to,
+            t.to_attr,
+            &t.values,
+            t.allowance,
+            &mut t.dest,
+            t.origins,
+        ),
+        RetrievalStrategy::TopWeight => top_weight(
+            db,
+            t.to,
+            t.to_attr,
+            &t.values,
+            t.allowance,
+            &mut t.dest,
+            t.origins,
+            weights,
+        ),
+    }
+}
+
+/// Collect a weight-ordered prefix of strictly-eligible edges that can run
+/// concurrently with results identical to executing them one by one:
+///
+/// * destination relations are pairwise distinct (each worker owns its
+///   destination exclusively, and per-relation budgets stay independent);
+/// * no member writes a relation another member reads or writes (sources
+///   are frozen for the whole batch), which also keeps self-joins solo;
+/// * no unexecuted edge departing from an earlier member's destination is
+///   at least as heavy as a later member — executing the earlier member
+///   could make such an edge eligible, and sequential order would then run
+///   it first (ties go to the lower edge index, so `>=` is the safe test).
+///
+/// Only called under a per-relation-independent cardinality constraint;
+/// under a total cap, charging one member changes the next allowance, so
+/// batches degenerate to size one (the sequential path).
+fn pick_batch(
+    graph: &SchemaGraph,
+    used: &[crate::result_schema::UsedJoin],
+    executed: &[bool],
+    collected: &BTreeMap<RelationId, Collected>,
+    pending_in: &HashMap<RelationId, usize>,
+    options: &DbGenOptions,
+) -> Vec<usize> {
+    let mut eligible: Vec<(f64, usize)> = used
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !executed[*i])
+        .filter_map(|(i, u)| {
+            let e = graph.join_edge(u.edge);
+            if !collected.contains_key(&e.from) {
+                return None;
+            }
+            let postponed =
+                options.postpone_by_in_degree && pending_in.get(&e.from).copied().unwrap_or(0) > 0;
+            (!postponed).then_some((e.weight, i))
+        })
+        .collect();
+    // Sequential pick order: weight descending, ties to the lowest index.
+    eligible.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+
+    let mut batch: Vec<usize> = Vec::new();
+    let mut dests: BTreeSet<RelationId> = BTreeSet::new();
+    let mut sources: BTreeSet<RelationId> = BTreeSet::new();
+    for &(w, i) in &eligible {
+        let e = graph.join_edge(used[i].edge);
+        if !batch.is_empty() {
+            if e.from == e.to
+                || dests.contains(&e.to)
+                || dests.contains(&e.from)
+                || sources.contains(&e.to)
+            {
+                break;
+            }
+            let heavier_follow_up = used.iter().enumerate().any(|(j, uj)| {
+                !executed[j] && !batch.contains(&j) && j != i && {
+                    let ej = graph.join_edge(uj.edge);
+                    dests.contains(&ej.from) && ej.weight >= w
+                }
+            });
+            if heavier_follow_up {
+                break;
+            }
+        }
+        batch.push(i);
+        dests.insert(e.to);
+        sources.insert(e.from);
+        if e.from == e.to {
+            break; // self-join: runs alone
+        }
+    }
+    batch
 }
 
 /// Choose the next executable join edge: source populated, and (unless
@@ -369,8 +566,10 @@ fn naive_q(
 ) -> Result<usize> {
     let mut added = 0;
     'outer: for v in values {
-        let tids = db.lookup(rel, attr, v)?.to_vec();
-        for tid in tids {
+        // `lookup` and `fetch_from` both borrow `db` shared, so the posting
+        // list is iterated in place — no `to_vec` copy per join value.
+        let tids = db.lookup(rel, attr, v)?;
+        for &tid in tids {
             if added >= allowance {
                 break 'outer;
             }
@@ -568,7 +767,9 @@ fn materialize(
             continue;
         }
         let projected = orig.relation(rel).project(&stored, None);
-        let new_id = out_schema.add_relation(projected).map_err(CoreError::from)?;
+        let new_id = out_schema
+            .add_relation(projected)
+            .map_err(CoreError::from)?;
         rel_map.insert(rel, new_id);
         attr_map.insert(rel, stored);
         visible.insert(rel, schema.visible_attrs(rel));
@@ -979,6 +1180,140 @@ mod tests {
             vec![TupleId(1)],
             "the heavier seed wins the single slot"
         );
+    }
+
+    /// CENTER with four sibling children (B, C, D, E) at distinct weights —
+    /// the shape where frontier batching actually forms multi-edge batches.
+    fn star_db() -> (Database, SchemaGraph) {
+        let mut s = DatabaseSchema::new("star");
+        s.add_relation(
+            RelationSchema::builder("CENTER")
+                .attr_not_null("id", DataType::Int)
+                .attr("name", DataType::Text)
+                .primary_key("id")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for child in ["B", "C", "D", "E"] {
+            s.add_relation(
+                RelationSchema::builder(child)
+                    .attr_not_null("id", DataType::Int)
+                    .attr("cid", DataType::Int)
+                    .attr("note", DataType::Text)
+                    .primary_key("id")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            s.add_foreign_key(precis_storage::ForeignKey::new(
+                child, "cid", "CENTER", "id",
+            ))
+            .unwrap();
+        }
+        let mut db = Database::new(s).unwrap();
+        for cid in 1..=3 {
+            db.insert(
+                "CENTER",
+                vec![Value::from(cid), Value::from(format!("hub {cid}"))],
+            )
+            .unwrap();
+        }
+        let mut id = 0;
+        for child in ["B", "C", "D", "E"] {
+            for cid in 1..=3 {
+                for k in 0..4 {
+                    id += 1;
+                    db.insert(
+                        child,
+                        vec![
+                            Value::from(id),
+                            Value::from(cid),
+                            Value::from(format!("{child}-{cid}-{k}")),
+                        ],
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        let g = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.9, 0.95, 0.92).unwrap();
+        (db, g)
+    }
+
+    #[test]
+    fn parallel_batches_match_sequential_results_and_costs() {
+        let (db, g) = star_db();
+        let center = db.schema().relation_id("CENTER").unwrap();
+        let schema = generate_result_schema(&g, &[center], &DegreeConstraint::MinWeight(0.5));
+        assert!(
+            schema.used_joins().len() >= 4,
+            "star fans out to every child"
+        );
+        let seeds = HashMap::from([(center, vec![TupleId(0), TupleId(2)])]);
+        for strategy in [
+            RetrievalStrategy::NaiveQ,
+            RetrievalStrategy::RoundRobin,
+            RetrievalStrategy::TopWeight,
+        ] {
+            for cardinality in [
+                CardinalityConstraint::Unbounded,
+                CardinalityConstraint::MaxTuplesPerRelation(3),
+            ] {
+                let run = |parallel: bool| {
+                    db.stats().reset();
+                    let p = generate_result_database(
+                        &db,
+                        &g,
+                        &schema,
+                        &seeds,
+                        &cardinality,
+                        strategy,
+                        &DbGenOptions {
+                            repair_foreign_keys: false,
+                            parallel_joins: parallel,
+                            ..DbGenOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    (p, db.stats().snapshot())
+                };
+                let (seq, seq_costs) = run(false);
+                let (par, par_costs) = run(true);
+                assert_eq!(seq.collected, par.collected, "{strategy:?}/{cardinality:?}");
+                assert_eq!(seq.seeds, par.seeds);
+                assert_eq!(seq.report, par.report, "{strategy:?}/{cardinality:?}");
+                assert_eq!(
+                    seq_costs, par_costs,
+                    "cost counters must be identical: {strategy:?}/{cardinality:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_cap_keeps_the_sequential_path_and_its_semantics() {
+        // MaxTotalTuples couples relations through one budget, so batching
+        // must not engage; the observable behavior stays exactly the
+        // pre-parallelism one.
+        let (db, g) = star_db();
+        let center = db.schema().relation_id("CENTER").unwrap();
+        let schema = generate_result_schema(&g, &[center], &DegreeConstraint::MinWeight(0.5));
+        let seeds = HashMap::from([(center, vec![TupleId(0)])]);
+        let p = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::MaxTotalTuples(6),
+            RetrievalStrategy::NaiveQ,
+            &DbGenOptions {
+                repair_foreign_keys: false,
+                ..DbGenOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(p.total_tuples() <= 6, "{}", p.total_tuples());
+        assert_eq!(p.report.seed_tuples, 1);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! The précis engine: wires the inverted index, the Result Schema Generator
 //! and the Result Database Generator into the pipeline of Figure 2.
 
+use crate::cache::{AnswerCache, AnswerCacheStats};
 use crate::constraints::{CardinalityConstraint, DegreeConstraint};
-use crate::db_gen::{
-    generate_result_database, DbGenOptions, PrecisDatabase, RetrievalStrategy,
-};
+use crate::db_gen::{generate_result_database, DbGenOptions, PrecisDatabase, RetrievalStrategy};
 use crate::error::CoreError;
 use crate::query::PrecisQuery;
 use crate::result_schema::ResultSchema;
@@ -13,7 +12,9 @@ use crate::Result;
 use precis_graph::{SchemaGraph, WeightProfile};
 use precis_index::{InvertedIndex, Occurrence};
 use precis_storage::{Database, RelationId, TupleId};
-use std::collections::HashMap;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// How one query token matched the database: the paper's
 /// `k_i → {(R_j, A_lj, Tids_lj)}` entry.
@@ -130,6 +131,7 @@ pub struct PrecisEngine {
     graph: SchemaGraph,
     index: InvertedIndex,
     profiles: HashMap<String, WeightProfile>,
+    cache: AnswerCache,
 }
 
 impl PrecisEngine {
@@ -147,6 +149,7 @@ impl PrecisEngine {
             graph,
             index,
             profiles: HashMap::new(),
+            cache: AnswerCache::default(),
         })
     }
 
@@ -159,21 +162,31 @@ impl PrecisEngine {
             graph,
             index,
             profiles: HashMap::new(),
+            cache: AnswerCache::default(),
         }
     }
 
     /// Insert a tuple into the underlying database, keeping the inverted
-    /// index in sync.
-    pub fn insert(&mut self, relation: &str, values: Vec<precis_storage::Value>) -> Result<precis_storage::TupleId> {
+    /// index in sync and invalidating the answer caches.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        values: Vec<precis_storage::Value>,
+    ) -> Result<precis_storage::TupleId> {
         let rel = self.db.schema().require_relation(relation)?;
         let tid = self.db.insert_into(rel, values)?;
         self.index.add_tuple(&self.db, rel, tid);
+        self.cache.bump_generation();
         Ok(tid)
     }
 
-    /// Delete a tuple, keeping the inverted index in sync.
+    /// Delete a tuple, keeping the inverted index in sync and invalidating
+    /// the answer caches.
     pub fn delete(&mut self, rel: RelationId, tid: TupleId) -> Result<()> {
         self.index.remove_tuple(&self.db, rel, tid);
+        // The index is already mutated, so invalidate even if the row delete
+        // below fails.
+        self.cache.bump_generation();
         self.db.delete(rel, tid)?;
         Ok(())
     }
@@ -200,6 +213,16 @@ impl PrecisEngine {
         self.profiles.get(name)
     }
 
+    /// Counters of the answer caches (schema + token layers).
+    pub fn cache_stats(&self) -> AnswerCacheStats {
+        self.cache.stats()
+    }
+
+    /// The answer caches themselves (for capacity tuning or direct probing).
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
     /// Answer a précis query end to end: index lookup → result schema →
     /// result database.
     pub fn answer(&self, query: &PrecisQuery, spec: &AnswerSpec) -> Result<PrecisAnswer> {
@@ -218,29 +241,73 @@ impl PrecisEngine {
         };
         let graph = graph.as_ref().unwrap_or(&self.graph);
 
-        // Stage 1: inverted index.
-        let matches: Vec<TokenMatch> = query
-            .tokens()
-            .iter()
-            .map(|t| TokenMatch {
-                token: t.clone(),
-                occurrences: self.index.lookup(&self.db, t),
-            })
-            .collect();
+        let matches = self.lookup_tokens(query);
+        self.answer_with_matches(graph, matches, spec)
+    }
 
-        let mut origins: Vec<RelationId> = Vec::new();
-        let mut seeds: HashMap<RelationId, Vec<TupleId>> = HashMap::new();
-        for m in &matches {
-            for occ in &m.occurrences {
-                if !origins.contains(&occ.rel) {
-                    origins.push(occ.rel);
-                }
-                seeds.entry(occ.rel).or_default().extend(&occ.tids);
+    /// Stage 1 with the token cache in front: cached tokens are served
+    /// directly, the distinct misses are looked up in parallel (the
+    /// inverted index and database read paths are `&self`), and every
+    /// fresh occurrence list is published back to the cache.
+    fn lookup_tokens(&self, query: &PrecisQuery) -> Vec<TokenMatch> {
+        let tokens = query.tokens();
+        let mut slots: Vec<Option<Arc<Vec<Occurrence>>>> =
+            tokens.iter().map(|t| self.cache.get_token(t)).collect();
+        let mut missing: Vec<&str> = Vec::new();
+        for (t, s) in tokens.iter().zip(&slots) {
+            if s.is_none() && !missing.contains(&t.as_str()) {
+                missing.push(t.as_str());
             }
         }
+        if !missing.is_empty() {
+            let fresh: Vec<Arc<Vec<Occurrence>>> = missing
+                .par_iter()
+                .map(|t| Arc::new(self.index.lookup(&self.db, t)))
+                .collect();
+            let by_token: HashMap<&str, Arc<Vec<Occurrence>>> =
+                missing.iter().copied().zip(fresh).collect();
+            for (t, occurrences) in &by_token {
+                self.cache.put_token((*t).to_owned(), occurrences.clone());
+            }
+            for (t, s) in tokens.iter().zip(slots.iter_mut()) {
+                if s.is_none() {
+                    *s = Some(by_token[t.as_str()].clone());
+                }
+            }
+        }
+        tokens
+            .iter()
+            .zip(slots)
+            .map(|(t, s)| TokenMatch {
+                token: t.clone(),
+                occurrences: s.expect("every slot filled").as_ref().clone(),
+            })
+            .collect()
+    }
 
-        // Stage 2: result schema generation.
-        let schema = generate_result_schema(graph, &origins, &spec.degree);
+    /// Stages 2 and 3 over already-resolved index matches, with the schema
+    /// cache in front of Stage 2. Shared by [`PrecisEngine::answer`] and
+    /// [`PrecisEngine::answer_within`] so the index is consulted exactly
+    /// once per query.
+    fn answer_with_matches(
+        &self,
+        graph: &SchemaGraph,
+        matches: Vec<TokenMatch>,
+        spec: &AnswerSpec,
+    ) -> Result<PrecisAnswer> {
+        let (origins, seeds) = origins_and_seeds(&matches);
+
+        // Stage 2: result schema generation, memoized per (origins, degree,
+        // profile).
+        let key = AnswerCache::schema_key(&origins, &spec.degree, spec.profile.as_deref());
+        let schema = match self.cache.get_schema(&key) {
+            Some(cached) => cached.as_ref().clone(),
+            None => {
+                let s = generate_result_schema(graph, &origins, &spec.degree);
+                self.cache.put_schema(key, Arc::new(s.clone()));
+                s
+            }
+        };
 
         // Stage 3: result database generation.
         let precis = generate_result_database(
@@ -275,25 +342,45 @@ impl PrecisEngine {
         if query.is_empty() {
             return Err(CoreError::EmptyQuery);
         }
-        // Cheap pre-pass: find the origins and the result schema so n_R is
-        // known, then answer with the derived constraint.
-        let origins: Vec<RelationId> = query
-            .tokens()
-            .iter()
-            .flat_map(|t| self.index.lookup(&self.db, t))
-            .map(|o| o.rel)
-            .fold(Vec::new(), |mut acc, r| {
-                if !acc.contains(&r) {
-                    acc.push(r);
-                }
-                acc
-            });
-        let schema = generate_result_schema(&self.graph, &origins, &degree);
+        // One index pass, reused for both the n_R pre-pass and the answer
+        // itself; the pre-pass schema lands in the cache, so Stage 2 also
+        // runs once.
+        let matches = self.lookup_tokens(query);
+        let (origins, _) = origins_and_seeds(&matches);
+        let key = AnswerCache::schema_key(&origins, &degree, None);
+        let schema = match self.cache.get_schema(&key) {
+            Some(cached) => cached.as_ref().clone(),
+            None => {
+                let s = generate_result_schema(&self.graph, &origins, &degree);
+                self.cache.put_schema(key, Arc::new(s.clone()));
+                s
+            }
+        };
         let n_r = schema.relation_count().max(1);
         let c_r = model.cardinality_for_budget(budget_secs, n_r);
         let spec = AnswerSpec::new(degree, CardinalityConstraint::MaxTuplesPerRelation(c_r));
-        self.answer(query, &spec)
+        self.answer_with_matches(&self.graph, matches, &spec)
     }
+}
+
+/// Fold index matches into the origin relations (first-match order,
+/// deduplicated through a set rather than a quadratic `contains` scan) and
+/// the per-relation seed tuples.
+fn origins_and_seeds(
+    matches: &[TokenMatch],
+) -> (Vec<RelationId>, HashMap<RelationId, Vec<TupleId>>) {
+    let mut origins: Vec<RelationId> = Vec::new();
+    let mut seen: HashSet<RelationId> = HashSet::new();
+    let mut seeds: HashMap<RelationId, Vec<TupleId>> = HashMap::new();
+    for m in matches {
+        for occ in &m.occurrences {
+            if seen.insert(occ.rel) {
+                origins.push(occ.rel);
+            }
+            seeds.entry(occ.rel).or_default().extend(&occ.tids);
+        }
+    }
+    (origins, seeds)
 }
 
 /// Verify the graph talks about the same relations (names, arities, order)
@@ -465,5 +552,90 @@ mod tests {
         engine.delete(person, tid).unwrap();
         let a = engine.answer(&PrecisQuery::parse("grace"), &spec).unwrap();
         assert!(a.matches[0].occurrences.is_empty());
+    }
+
+    #[test]
+    fn repeated_answers_hit_the_schema_and_token_caches() {
+        let (db, graph) = expert_join_setup();
+        let engine = PrecisEngine::new(db, graph).unwrap();
+        let spec = AnswerSpec::new(
+            crate::DegreeConstraint::MinWeight(0.5),
+            CardinalityConstraint::Unbounded,
+        );
+        let q = PrecisQuery::parse("ada");
+        let first = engine.answer(&q, &spec).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.token_hits, s.token_misses), (0, 1));
+        assert_eq!((s.schema_hits, s.schema_misses), (0, 1));
+
+        let second = engine.answer(&q, &spec).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.token_hits, s.token_misses), (1, 1));
+        assert_eq!((s.schema_hits, s.schema_misses), (1, 1));
+        // Cached answers are identical to computed ones.
+        assert_eq!(first.matches, second.matches);
+        assert_eq!(first.precis.collected, second.precis.collected);
+        assert_eq!(
+            first.schema.relation_count(),
+            second.schema.relation_count()
+        );
+    }
+
+    #[test]
+    fn mutations_invalidate_the_answer_caches() {
+        let (db, graph) = expert_join_setup();
+        let mut engine = PrecisEngine::new(db, graph).unwrap();
+        let spec = AnswerSpec::new(
+            crate::DegreeConstraint::MinWeight(0.5),
+            CardinalityConstraint::Unbounded,
+        );
+        let q = PrecisQuery::parse("grace");
+        assert!(engine.answer(&q, &spec).unwrap().matches[0]
+            .occurrences
+            .is_empty());
+
+        // The insert bumps the generation: the cached empty occurrence list
+        // for "grace" must not be served.
+        let tid = engine
+            .insert(
+                "PERSON",
+                vec![Value::from(2), Value::from("Grace"), Value::from("Rome")],
+            )
+            .unwrap();
+        let a = engine.answer(&q, &spec).unwrap();
+        assert_eq!(a.precis.report.seed_tuples, 1, "fresh lookup after insert");
+
+        // Same again for delete.
+        let person = engine.database().schema().relation_id("PERSON").unwrap();
+        engine.delete(person, tid).unwrap();
+        assert!(engine.answer(&q, &spec).unwrap().matches[0]
+            .occurrences
+            .is_empty());
+
+        // Every probe ran against a bumped generation: no stale hits.
+        let s = engine.cache_stats();
+        assert_eq!(s.token_hits, 0);
+        assert_eq!(s.token_misses, 3);
+    }
+
+    #[test]
+    fn answer_within_consults_the_index_once_per_token() {
+        let (db, graph) = expert_join_setup();
+        let engine = PrecisEngine::new(db, graph).unwrap();
+        let model = crate::cost::CostModel::new(1e-6, 1e-6);
+        let a = engine
+            .answer_within(
+                &PrecisQuery::parse("ada"),
+                crate::DegreeConstraint::MinWeight(0.5),
+                &model,
+                10.0,
+            )
+            .unwrap();
+        assert_eq!(a.precis.report.seed_tuples, 1);
+        let s = engine.cache_stats();
+        // Previously every lookup ran twice (pre-pass + answer); now the one
+        // token is resolved exactly once and the pre-pass schema is reused.
+        assert_eq!((s.token_hits, s.token_misses), (0, 1));
+        assert_eq!((s.schema_hits, s.schema_misses), (1, 1));
     }
 }

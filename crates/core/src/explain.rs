@@ -2,6 +2,7 @@
 //! the textual analogue of the paper's Figure 4 (result schema graph) and
 //! Figure 6 (result database instance).
 
+use crate::cache::AnswerCacheStats;
 use crate::db_gen::PrecisDatabase;
 use crate::result_schema::ResultSchema;
 use precis_graph::SchemaGraph;
@@ -34,11 +35,7 @@ pub fn explain_schema(graph: &SchemaGraph, schema: &ResultSchema) -> String {
                 .map(|pe| graph.projection_edge(pe).weight);
             match w {
                 Some(w) => {
-                    let _ = writeln!(
-                        out,
-                        "    . {} (w={w:.2})",
-                        s.relation(rel).attr_name(*attr)
-                    );
+                    let _ = writeln!(out, "    . {} (w={w:.2})", s.relation(rel).attr_name(*attr));
                 }
                 None => {
                     let _ = writeln!(out, "    . {}", s.relation(rel).attr_name(*attr));
@@ -50,11 +47,7 @@ pub fn explain_schema(graph: &SchemaGraph, schema: &ResultSchema) -> String {
         let _ = writeln!(out, "  joins:");
         for u in schema.used_joins() {
             let e = graph.join_edge(u.edge);
-            let origins: Vec<&str> = u
-                .origins
-                .iter()
-                .map(|o| s.relation(*o).name())
-                .collect();
+            let origins: Vec<&str> = u.origins.iter().map(|o| s.relation(*o).name()).collect();
             let _ = writeln!(
                 out,
                 "    {} -> {} (w={:.2}, via {})",
@@ -99,6 +92,21 @@ pub fn explain_precis(original: &Database, precis: &PrecisDatabase) -> String {
         }
     }
     out
+}
+
+/// Render the engine's answer-cache counters as a one-line summary, e.g.
+/// `cache: schema 3/4 hits (75.0%), tokens 5/8 hits (62.5%)`.
+pub fn explain_cache(stats: &AnswerCacheStats) -> String {
+    let pct = |r: f64| r * 100.0;
+    format!(
+        "cache: schema {}/{} hits ({:.1}%), tokens {}/{} hits ({:.1}%)\n",
+        stats.schema_hits,
+        stats.schema_hits + stats.schema_misses,
+        pct(stats.schema_hit_rate()),
+        stats.token_hits,
+        stats.token_hits + stats.token_misses,
+        pct(stats.token_hit_rate()),
+    )
 }
 
 /// Render a result schema as Graphviz DOT — the paper's Figure 4 as a
@@ -234,6 +242,25 @@ mod tests {
         assert!(dot.contains("fillcolor=lightblue"), "origin highlighted");
         assert!(dot.contains("r0 -> r1 [label=\"0.80\"]"));
         assert!(dot.contains("shape=ellipse"));
+    }
+
+    #[test]
+    fn cache_stats_render_counts_and_rates() {
+        let stats = AnswerCacheStats {
+            schema_hits: 3,
+            schema_misses: 1,
+            token_hits: 5,
+            token_misses: 3,
+            ..AnswerCacheStats::default()
+        };
+        let line = explain_cache(&stats);
+        assert_eq!(
+            line,
+            "cache: schema 3/4 hits (75.0%), tokens 5/8 hits (62.5%)\n"
+        );
+        // An untouched cache renders zero rates rather than NaN.
+        let line = explain_cache(&AnswerCacheStats::default());
+        assert!(line.contains("schema 0/0 hits (0.0%)"), "{line}");
     }
 
     #[test]

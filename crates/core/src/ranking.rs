@@ -151,14 +151,21 @@ mod tests {
         s.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))
             .unwrap();
         let mut db = Database::new(s).unwrap();
-        db.insert("DIRECTOR", vec![Value::from(1), Value::from("Prolific Smith")])
-            .unwrap();
+        db.insert(
+            "DIRECTOR",
+            vec![Value::from(1), Value::from("Prolific Smith")],
+        )
+        .unwrap();
         db.insert("DIRECTOR", vec![Value::from(2), Value::from("Quiet Smith")])
             .unwrap();
         for (mid, did) in [(1, 1), (2, 1), (3, 1), (4, 2)] {
             db.insert(
                 "MOVIE",
-                vec![Value::from(mid), Value::from(format!("M{mid}")), Value::from(did)],
+                vec![
+                    Value::from(mid),
+                    Value::from(format!("M{mid}")),
+                    Value::from(did),
+                ],
             )
             .unwrap();
         }

@@ -60,7 +60,11 @@ impl ResultSchema {
     pub(crate) fn accept_path(&mut self, graph: &SchemaGraph, path: &Path) {
         let origin = path.origin();
         for rel in path.visited() {
-            self.relations.entry(*rel).or_default().origins.insert(origin);
+            self.relations
+                .entry(*rel)
+                .or_default()
+                .origins
+                .insert(origin);
         }
         for &edge in path.join_edges() {
             match self.joins.iter_mut().find(|u| u.edge == edge) {
@@ -203,7 +207,8 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id")).unwrap();
+        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id"))
+            .unwrap();
         SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.7).unwrap()
     }
 
@@ -276,7 +281,9 @@ mod tests {
         // A stores: id (pk + join endpoint) even with nothing visible.
         assert_eq!(rs.stored_attrs(&g, a), vec![0]);
         // Relations outside the result schema store nothing.
-        assert!(rs.stored_attrs(&g, precis_storage::RelationId(99)).is_empty());
+        assert!(rs
+            .stored_attrs(&g, precis_storage::RelationId(99))
+            .is_empty());
     }
 
     #[test]

@@ -90,7 +90,14 @@ pub fn generate_result_schema_instrumented(
             result.accept_path(graph, &path);
             stats.accepted += 1;
         } else {
-            expand_join_path(graph, degree, prune_expansion, &path, &mut queue, &mut stats);
+            expand_join_path(
+                graph,
+                degree,
+                prune_expansion,
+                &path,
+                &mut queue,
+                &mut stats,
+            );
         }
     }
 
@@ -118,9 +125,7 @@ fn expand_join_path(
     let mut remaining = projs.len() + joins.len();
     while pi < projs.len() || ji < joins.len() {
         let take_projection = match (projs.get(pi), joins.get(ji)) {
-            (Some(&p), Some(&j)) => {
-                graph.projection_edge(p).weight >= graph.join_edge(j).weight
-            }
+            (Some(&p), Some(&j)) => graph.projection_edge(p).weight >= graph.join_edge(j).weight,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => unreachable!("loop condition"),
@@ -204,7 +209,11 @@ mod tests {
             ),
             (
                 "GENRE",
-                &[("gid", DataType::Int), ("mid", DataType::Int), ("genre", DataType::Text)],
+                &[
+                    ("gid", DataType::Int),
+                    ("mid", DataType::Int),
+                    ("genre", DataType::Text),
+                ],
                 "gid",
             ),
             (
@@ -258,26 +267,46 @@ mod tests {
         }
         // Weights approximating Figure 1.
         SchemaGraph::builder(s)
-            .projection("THEATRE", "name", 1.0).unwrap()
-            .projection("THEATRE", "phone", 0.8).unwrap()
-            .projection("THEATRE", "region", 0.7).unwrap()
-            .projection("PLAY", "date", 0.6).unwrap()
-            .projection("MOVIE", "title", 1.0).unwrap()
-            .projection("MOVIE", "year", 0.7).unwrap()
-            .projection("GENRE", "genre", 1.0).unwrap()
-            .projection("CAST", "role", 0.3).unwrap()
-            .projection("ACTOR", "aname", 1.0).unwrap()
-            .projection("ACTOR", "blocation", 0.7).unwrap()
-            .projection("ACTOR", "bdate", 0.6).unwrap()
-            .projection("DIRECTOR", "dname", 1.0).unwrap()
-            .projection("DIRECTOR", "blocation", 0.9).unwrap()
-            .projection("DIRECTOR", "bdate", 0.9).unwrap()
-            .join_both("PLAY", "tid", "THEATRE", "tid", 1.0, 0.3).unwrap()
-            .join_both("PLAY", "mid", "MOVIE", "mid", 1.0, 0.3).unwrap()
-            .join_both("GENRE", "mid", "MOVIE", "mid", 1.0, 0.9).unwrap()
-            .join_both("CAST", "mid", "MOVIE", "mid", 1.0, 0.7).unwrap()
-            .join_both("CAST", "aid", "ACTOR", "aid", 1.0, 0.95).unwrap()
-            .join_both("MOVIE", "did", "DIRECTOR", "did", 0.89, 1.0).unwrap()
+            .projection("THEATRE", "name", 1.0)
+            .unwrap()
+            .projection("THEATRE", "phone", 0.8)
+            .unwrap()
+            .projection("THEATRE", "region", 0.7)
+            .unwrap()
+            .projection("PLAY", "date", 0.6)
+            .unwrap()
+            .projection("MOVIE", "title", 1.0)
+            .unwrap()
+            .projection("MOVIE", "year", 0.7)
+            .unwrap()
+            .projection("GENRE", "genre", 1.0)
+            .unwrap()
+            .projection("CAST", "role", 0.3)
+            .unwrap()
+            .projection("ACTOR", "aname", 1.0)
+            .unwrap()
+            .projection("ACTOR", "blocation", 0.7)
+            .unwrap()
+            .projection("ACTOR", "bdate", 0.6)
+            .unwrap()
+            .projection("DIRECTOR", "dname", 1.0)
+            .unwrap()
+            .projection("DIRECTOR", "blocation", 0.9)
+            .unwrap()
+            .projection("DIRECTOR", "bdate", 0.9)
+            .unwrap()
+            .join_both("PLAY", "tid", "THEATRE", "tid", 1.0, 0.3)
+            .unwrap()
+            .join_both("PLAY", "mid", "MOVIE", "mid", 1.0, 0.3)
+            .unwrap()
+            .join_both("GENRE", "mid", "MOVIE", "mid", 1.0, 0.9)
+            .unwrap()
+            .join_both("CAST", "mid", "MOVIE", "mid", 1.0, 0.7)
+            .unwrap()
+            .join_both("CAST", "aid", "ACTOR", "aid", 1.0, 0.95)
+            .unwrap()
+            .join_both("MOVIE", "did", "DIRECTOR", "did", 0.89, 1.0)
+            .unwrap()
             .build()
             .unwrap()
     }
@@ -296,11 +325,7 @@ mod tests {
         let actor = rel(&g, "ACTOR");
         let movie = rel(&g, "MOVIE");
         let genre = rel(&g, "GENRE");
-        let rs = generate_result_schema(
-            &g,
-            &[director, actor],
-            &DegreeConstraint::MinWeight(0.9),
-        );
+        let rs = generate_result_schema(&g, &[director, actor], &DegreeConstraint::MinWeight(0.9));
 
         // Relations: DIRECTOR, ACTOR, CAST (bridge), MOVIE, GENRE.
         assert!(rs.contains(director));
@@ -335,11 +360,7 @@ mod tests {
         let g = movies_graph();
         let director = rel(&g, "DIRECTOR");
         for r in [0, 1, 3, 5, 10] {
-            let rs = generate_result_schema(
-                &g,
-                &[director],
-                &DegreeConstraint::TopProjections(r),
-            );
+            let rs = generate_result_schema(&g, &[director], &DegreeConstraint::TopProjections(r));
             assert_eq!(rs.paths().len(), r.min(count_all_projections(&g, director)));
         }
     }
@@ -368,11 +389,8 @@ mod tests {
     #[test]
     fn max_path_length_bounds_every_accepted_path() {
         let g = movies_graph();
-        let rs = generate_result_schema(
-            &g,
-            &[rel(&g, "GENRE")],
-            &DegreeConstraint::MaxPathLength(2),
-        );
+        let rs =
+            generate_result_schema(&g, &[rel(&g, "GENRE")], &DegreeConstraint::MaxPathLength(2));
         assert!(!rs.paths().is_empty());
         assert!(rs.paths().iter().all(|p| p.len() <= 2));
         // Length 2 from GENRE reaches MOVIE's attributes but not DIRECTOR's.
@@ -383,11 +401,8 @@ mod tests {
     #[test]
     fn min_weight_zero_explores_whole_connected_component() {
         let g = movies_graph();
-        let rs = generate_result_schema(
-            &g,
-            &[rel(&g, "THEATRE")],
-            &DegreeConstraint::MinWeight(0.0),
-        );
+        let rs =
+            generate_result_schema(&g, &[rel(&g, "THEATRE")], &DegreeConstraint::MinWeight(0.0));
         assert_eq!(rs.relation_count(), 7, "all relations reachable");
         // Every attribute with a projection edge becomes visible somewhere.
         assert_eq!(rs.total_visible_attrs(), 14);
@@ -420,10 +435,8 @@ mod tests {
             DegreeConstraint::TopProjections(6),
             DegreeConstraint::MaxPathLength(3),
         ] {
-            let (with, s_with) =
-                generate_result_schema_instrumented(&g, &origins, &d, true);
-            let (without, s_without) =
-                generate_result_schema_instrumented(&g, &origins, &d, false);
+            let (with, s_with) = generate_result_schema_instrumented(&g, &origins, &d, true);
+            let (without, s_without) = generate_result_schema_instrumented(&g, &origins, &d, false);
             assert_eq!(with.paths().len(), without.paths().len(), "{d:?}");
             assert_eq!(
                 with.total_visible_attrs(),

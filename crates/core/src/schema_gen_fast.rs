@@ -144,8 +144,7 @@ fn dijkstra(graph: &SchemaGraph, origin: RelationId) -> Vec<Option<Best>> {
     });
     while let Some(f) = heap.pop() {
         let settled = best[f.rel.0].expect("pushed implies recorded");
-        if f.weight < settled.weight || (f.weight == settled.weight && f.length > settled.length)
-        {
+        if f.weight < settled.weight || (f.weight == settled.weight && f.length > settled.length) {
             continue; // stale entry
         }
         for &je in graph.joins_from(f.rel) {
@@ -232,9 +231,12 @@ mod tests {
                 }
                 s.add_relation(b.build().unwrap()).unwrap();
             }
-            s.add_foreign_key(ForeignKey::new("B", "a_id", "A", "id")).unwrap();
-            s.add_foreign_key(ForeignKey::new("C", "b_id", "B", "id")).unwrap();
-            s.add_foreign_key(ForeignKey::new("D", "b_id", "B", "id")).unwrap();
+            s.add_foreign_key(ForeignKey::new("B", "a_id", "A", "id"))
+                .unwrap();
+            s.add_foreign_key(ForeignKey::new("C", "b_id", "B", "id"))
+                .unwrap();
+            s.add_foreign_key(ForeignKey::new("D", "b_id", "B", "id"))
+                .unwrap();
             SchemaGraph::from_foreign_keys(s, 0.9, 0.8, 0.85).unwrap()
         }
     }
@@ -245,8 +247,7 @@ mod tests {
         for w0 in [0.0, 0.3, 0.5, 0.7, 0.9, 1.0] {
             for origin in 0..4 {
                 let origin = RelationId(origin);
-                let slow =
-                    generate_result_schema(&g, &[origin], &DegreeConstraint::MinWeight(w0));
+                let slow = generate_result_schema(&g, &[origin], &DegreeConstraint::MinWeight(w0));
                 let fast =
                     generate_result_schema_fast(&g, &[origin], &DegreeConstraint::MinWeight(w0));
                 for rel in 0..4 {
@@ -293,8 +294,7 @@ mod tests {
         let g = movies_like_graph();
         let c = RelationId(2);
         let d = RelationId(3);
-        let fast =
-            generate_result_schema_fast(&g, &[c, d], &DegreeConstraint::MinWeight(0.0));
+        let fast = generate_result_schema_fast(&g, &[c, d], &DegreeConstraint::MinWeight(0.0));
         // B is reached from both C and D.
         assert_eq!(fast.in_degree(RelationId(1)), 2);
         assert!(fast.contains(RelationId(0)));

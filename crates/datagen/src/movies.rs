@@ -13,9 +13,7 @@
 
 use precis_graph::SchemaGraph;
 use precis_nlg::Vocabulary;
-use precis_storage::{
-    DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value,
-};
+use precis_storage::{DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value};
 
 /// Build the movies database schema of Figure 1.
 pub fn movies_schema() -> DatabaseSchema {
@@ -122,26 +120,46 @@ pub fn movies_schema() -> DatabaseSchema {
 /// attributes or primary keys.
 pub fn movies_graph() -> SchemaGraph {
     SchemaGraph::builder(movies_schema())
-        .projection("THEATRE", "name", 1.0).expect("valid edge")
-        .projection("THEATRE", "phone", 0.8).expect("valid edge")
-        .projection("THEATRE", "region", 0.7).expect("valid edge")
-        .projection("PLAY", "date", 0.6).expect("valid edge")
-        .projection("MOVIE", "title", 1.0).expect("valid edge")
-        .projection("MOVIE", "year", 0.9).expect("valid edge")
-        .projection("GENRE", "genre", 1.0).expect("valid edge")
-        .projection("CAST", "role", 0.3).expect("valid edge")
-        .projection("ACTOR", "aname", 1.0).expect("valid edge")
-        .projection("ACTOR", "blocation", 0.9).expect("valid edge")
-        .projection("ACTOR", "bdate", 0.9).expect("valid edge")
-        .projection("DIRECTOR", "dname", 1.0).expect("valid edge")
-        .projection("DIRECTOR", "blocation", 0.9).expect("valid edge")
-        .projection("DIRECTOR", "bdate", 0.9).expect("valid edge")
-        .join_both("PLAY", "tid", "THEATRE", "tid", 1.0, 0.3).expect("valid edge")
-        .join_both("PLAY", "mid", "MOVIE", "mid", 1.0, 0.3).expect("valid edge")
-        .join_both("GENRE", "mid", "MOVIE", "mid", 1.0, 0.9).expect("valid edge")
-        .join_both("CAST", "mid", "MOVIE", "mid", 1.0, 0.7).expect("valid edge")
-        .join_both("CAST", "aid", "ACTOR", "aid", 1.0, 0.95).expect("valid edge")
-        .join_both("MOVIE", "did", "DIRECTOR", "did", 0.89, 1.0).expect("valid edge")
+        .projection("THEATRE", "name", 1.0)
+        .expect("valid edge")
+        .projection("THEATRE", "phone", 0.8)
+        .expect("valid edge")
+        .projection("THEATRE", "region", 0.7)
+        .expect("valid edge")
+        .projection("PLAY", "date", 0.6)
+        .expect("valid edge")
+        .projection("MOVIE", "title", 1.0)
+        .expect("valid edge")
+        .projection("MOVIE", "year", 0.9)
+        .expect("valid edge")
+        .projection("GENRE", "genre", 1.0)
+        .expect("valid edge")
+        .projection("CAST", "role", 0.3)
+        .expect("valid edge")
+        .projection("ACTOR", "aname", 1.0)
+        .expect("valid edge")
+        .projection("ACTOR", "blocation", 0.9)
+        .expect("valid edge")
+        .projection("ACTOR", "bdate", 0.9)
+        .expect("valid edge")
+        .projection("DIRECTOR", "dname", 1.0)
+        .expect("valid edge")
+        .projection("DIRECTOR", "blocation", 0.9)
+        .expect("valid edge")
+        .projection("DIRECTOR", "bdate", 0.9)
+        .expect("valid edge")
+        .join_both("PLAY", "tid", "THEATRE", "tid", 1.0, 0.3)
+        .expect("valid edge")
+        .join_both("PLAY", "mid", "MOVIE", "mid", 1.0, 0.3)
+        .expect("valid edge")
+        .join_both("GENRE", "mid", "MOVIE", "mid", 1.0, 0.9)
+        .expect("valid edge")
+        .join_both("CAST", "mid", "MOVIE", "mid", 1.0, 0.7)
+        .expect("valid edge")
+        .join_both("CAST", "aid", "ACTOR", "aid", 1.0, 0.95)
+        .expect("valid edge")
+        .join_both("MOVIE", "did", "DIRECTOR", "did", 0.89, 1.0)
+        .expect("valid edge")
         .build()
         .expect("figure 1 graph is valid")
 }
@@ -154,18 +172,26 @@ pub fn woody_allen_instance() -> Database {
         db.insert(rel, vals).expect("valid example tuple");
     };
 
-    ins(&mut db, "DIRECTOR", vec![
-        1.into(),
-        "Woody Allen".into(),
-        "Brooklyn, New York, USA".into(),
-        "December 1, 1935".into(),
-    ]);
-    ins(&mut db, "DIRECTOR", vec![
-        2.into(),
-        "Alfred Other".into(),
-        "London, UK".into(),
-        "March 2, 1940".into(),
-    ]);
+    ins(
+        &mut db,
+        "DIRECTOR",
+        vec![
+            1.into(),
+            "Woody Allen".into(),
+            "Brooklyn, New York, USA".into(),
+            "December 1, 1935".into(),
+        ],
+    );
+    ins(
+        &mut db,
+        "DIRECTOR",
+        vec![
+            2.into(),
+            "Alfred Other".into(),
+            "London, UK".into(),
+            "March 2, 1940".into(),
+        ],
+    );
 
     // (mid, title, year, did) — the three directed films first, newest
     // first, matching the paper's listing order.
@@ -176,12 +202,11 @@ pub fn woody_allen_instance() -> Database {
         (4, "Hollywood Ending", 2002, 2),
         (5, "The Curse of the Jade Scorpion", 2001, 2),
     ] {
-        ins(&mut db, "MOVIE", vec![
-            mid.into(),
-            title.into(),
-            year.into(),
-            did.into(),
-        ]);
+        ins(
+            &mut db,
+            "MOVIE",
+            vec![mid.into(), title.into(), year.into(), did.into()],
+        );
     }
 
     for (gid, mid, genre) in [
@@ -197,18 +222,26 @@ pub fn woody_allen_instance() -> Database {
         ins(&mut db, "GENRE", vec![gid.into(), mid.into(), genre.into()]);
     }
 
-    ins(&mut db, "ACTOR", vec![
-        1.into(),
-        "Woody Allen".into(),
-        "Brooklyn, New York, USA".into(),
-        "December 1, 1935".into(),
-    ]);
-    ins(&mut db, "ACTOR", vec![
-        2.into(),
-        "Scarlett Johansson".into(),
-        "New York, USA".into(),
-        "November 22, 1984".into(),
-    ]);
+    ins(
+        &mut db,
+        "ACTOR",
+        vec![
+            1.into(),
+            "Woody Allen".into(),
+            "Brooklyn, New York, USA".into(),
+            "December 1, 1935".into(),
+        ],
+    );
+    ins(
+        &mut db,
+        "ACTOR",
+        vec![
+            2.into(),
+            "Scarlett Johansson".into(),
+            "New York, USA".into(),
+            "November 22, 1984".into(),
+        ],
+    );
 
     // Woody Allen acts in the two films he did not direct here.
     for (cid, mid, aid, role) in [
@@ -216,32 +249,29 @@ pub fn woody_allen_instance() -> Database {
         (2, 5, 1, "C.W. Briggs"),
         (3, 1, 2, "Nola Rice"),
     ] {
-        ins(&mut db, "CAST", vec![
-            cid.into(),
-            mid.into(),
-            aid.into(),
-            role.into(),
-        ]);
+        ins(
+            &mut db,
+            "CAST",
+            vec![cid.into(), mid.into(), aid.into(), role.into()],
+        );
     }
 
     for (tid, name, phone, region) in [
         (1, "Odeon", "210-1111", "Downtown"),
         (2, "Rex", "210-2222", "Uptown"),
     ] {
-        ins(&mut db, "THEATRE", vec![
-            tid.into(),
-            name.into(),
-            phone.into(),
-            region.into(),
-        ]);
+        ins(
+            &mut db,
+            "THEATRE",
+            vec![tid.into(), name.into(), phone.into(), region.into()],
+        );
     }
     for (pid, tid, mid, date) in [(1, 1, 1, "2026-07-01"), (2, 2, 4, "2026-07-02")] {
-        ins(&mut db, "PLAY", vec![
-            pid.into(),
-            tid.into(),
-            mid.into(),
-            date.into(),
-        ]);
+        ins(
+            &mut db,
+            "PLAY",
+            vec![pid.into(), tid.into(), mid.into(), date.into()],
+        );
     }
     debug_assert!(db.validate_foreign_keys().is_empty());
     db
@@ -288,15 +318,26 @@ pub fn movies_vocabulary(schema: &DatabaseSchema) -> Vocabulary {
         .expect("valid template");
     v.set_relation_clause(movie, "@TITLE (@YEAR) is a movie.")
         .expect("valid template");
-    v.set_relation_clause(theatre, "@NAME is a theatre in the @REGION region (phone @PHONE).")
-        .expect("valid template");
+    v.set_relation_clause(
+        theatre,
+        "@NAME is a theatre in the @REGION region (phone @PHONE).",
+    )
+    .expect("valid template");
     v.set_relation_clause(genre, "@GENRE is a genre.")
         .expect("valid template");
 
-    v.set_join_clause(director, movie, "As a director, @DNAME's work includes %MOVIE_LIST%")
-        .expect("valid template");
-    v.set_join_clause(cast, movie, "As an actor, @ANAME's work includes %MOVIE_LIST%")
-        .expect("valid template");
+    v.set_join_clause(
+        director,
+        movie,
+        "As a director, @DNAME's work includes %MOVIE_LIST%",
+    )
+    .expect("valid template");
+    v.set_join_clause(
+        cast,
+        movie,
+        "As an actor, @ANAME's work includes %MOVIE_LIST%",
+    )
+    .expect("valid template");
     v.set_join_clause(movie, genre, "@TITLE is @GENRE[*].")
         .expect("valid template");
     v.set_join_clause(genre, movie, "@GENRE movies include %MOVIE_LIST%")
@@ -321,7 +362,9 @@ mod tests {
         let s = movies_schema();
         assert_eq!(s.relation_count(), 7);
         assert_eq!(s.foreign_keys().len(), 6);
-        for name in ["THEATRE", "PLAY", "MOVIE", "GENRE", "CAST", "ACTOR", "DIRECTOR"] {
+        for name in [
+            "THEATRE", "PLAY", "MOVIE", "GENRE", "CAST", "ACTOR", "DIRECTOR",
+        ] {
             assert!(s.relation_id(name).is_some(), "{name} missing");
         }
     }

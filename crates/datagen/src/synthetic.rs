@@ -8,8 +8,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const GENRES: &[&str] = &[
-    "Comedy", "Drama", "Thriller", "Romance", "Action", "Horror", "Sci-Fi", "Documentary",
-    "Animation", "Crime", "Western", "Musical",
+    "Comedy",
+    "Drama",
+    "Thriller",
+    "Romance",
+    "Action",
+    "Horror",
+    "Sci-Fi",
+    "Documentary",
+    "Animation",
+    "Crime",
+    "Western",
+    "Musical",
 ];
 
 const CITIES: &[&str] = &[
@@ -26,8 +36,18 @@ const CITIES: &[&str] = &[
 ];
 
 const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 const SYLLABLES: &[&str] = &[
@@ -136,10 +156,7 @@ impl MoviesGenerator {
             let row = vec![
                 Value::from(tid),
                 Value::from(format!("{} Theatre", self.capitalized_word())),
-                Value::from(format!(
-                    "210-{:04}",
-                    self.rng.gen_range(0..10_000)
-                )),
+                Value::from(format!("210-{:04}", self.rng.gen_range(0..10_000))),
                 Value::from(self.city()),
             ];
             db.insert("THEATRE", row).expect("unique tid");
@@ -233,7 +250,7 @@ impl MoviesGenerator {
     fn birth_date(&mut self) -> String {
         format!(
             "{} {}, {}",
-            MONTHS[self.rng.gen_range(0..12)],
+            MONTHS[self.rng.gen_range(0..MONTHS.len())],
             self.rng.gen_range(1..=28),
             self.rng.gen_range(1930..=2000)
         )

@@ -102,22 +102,38 @@ pub fn university_schema() -> DatabaseSchema {
 /// A designer-weighted schema graph for the university domain.
 pub fn university_graph() -> SchemaGraph {
     SchemaGraph::builder(university_schema())
-        .projection("DEPARTMENT", "dname", 1.0).expect("valid edge")
-        .projection("DEPARTMENT", "building", 0.7).expect("valid edge")
-        .projection("PROFESSOR", "pname", 1.0).expect("valid edge")
-        .projection("PROFESSOR", "title", 0.9).expect("valid edge")
-        .projection("COURSE", "cname", 1.0).expect("valid edge")
-        .projection("COURSE", "credits", 0.6).expect("valid edge")
-        .projection("TEACHES", "semester", 0.4).expect("valid edge")
-        .projection("STUDENT", "sname", 1.0).expect("valid edge")
-        .projection("STUDENT", "year", 0.6).expect("valid edge")
-        .projection("ENROLLED", "grade", 0.5).expect("valid edge")
-        .join_both("PROFESSOR", "deptid", "DEPARTMENT", "deptid", 0.9, 0.8).expect("valid edge")
-        .join_both("COURSE", "deptid", "DEPARTMENT", "deptid", 0.85, 0.8).expect("valid edge")
-        .join_both("TEACHES", "profid", "PROFESSOR", "profid", 1.0, 0.95).expect("valid edge")
-        .join_both("TEACHES", "cid", "COURSE", "cid", 1.0, 0.9).expect("valid edge")
-        .join_both("ENROLLED", "sid", "STUDENT", "sid", 1.0, 0.75).expect("valid edge")
-        .join_both("ENROLLED", "cid", "COURSE", "cid", 1.0, 0.7).expect("valid edge")
+        .projection("DEPARTMENT", "dname", 1.0)
+        .expect("valid edge")
+        .projection("DEPARTMENT", "building", 0.7)
+        .expect("valid edge")
+        .projection("PROFESSOR", "pname", 1.0)
+        .expect("valid edge")
+        .projection("PROFESSOR", "title", 0.9)
+        .expect("valid edge")
+        .projection("COURSE", "cname", 1.0)
+        .expect("valid edge")
+        .projection("COURSE", "credits", 0.6)
+        .expect("valid edge")
+        .projection("TEACHES", "semester", 0.4)
+        .expect("valid edge")
+        .projection("STUDENT", "sname", 1.0)
+        .expect("valid edge")
+        .projection("STUDENT", "year", 0.6)
+        .expect("valid edge")
+        .projection("ENROLLED", "grade", 0.5)
+        .expect("valid edge")
+        .join_both("PROFESSOR", "deptid", "DEPARTMENT", "deptid", 0.9, 0.8)
+        .expect("valid edge")
+        .join_both("COURSE", "deptid", "DEPARTMENT", "deptid", 0.85, 0.8)
+        .expect("valid edge")
+        .join_both("TEACHES", "profid", "PROFESSOR", "profid", 1.0, 0.95)
+        .expect("valid edge")
+        .join_both("TEACHES", "cid", "COURSE", "cid", 1.0, 0.9)
+        .expect("valid edge")
+        .join_both("ENROLLED", "sid", "STUDENT", "sid", 1.0, 0.75)
+        .expect("valid edge")
+        .join_both("ENROLLED", "cid", "COURSE", "cid", 1.0, 0.7)
+        .expect("valid edge")
         .build()
         .expect("university graph is valid")
 }
@@ -132,53 +148,54 @@ pub fn university_instance() -> Database {
         (1, "Computer Science", "Turing Hall"),
         (2, "Mathematics", "Noether Hall"),
     ] {
-        ins(&mut db, "DEPARTMENT", vec![id.into(), name.into(), building.into()]);
+        ins(
+            &mut db,
+            "DEPARTMENT",
+            vec![id.into(), name.into(), building.into()],
+        );
     }
     for (id, name, title, dept) in [
         (1, "Ada Lovelace", "Professor", 1),
         (2, "Kurt Godel", "Associate Professor", 2),
     ] {
-        ins(&mut db, "PROFESSOR", vec![
-            id.into(),
-            name.into(),
-            title.into(),
-            dept.into(),
-        ]);
+        ins(
+            &mut db,
+            "PROFESSOR",
+            vec![id.into(), name.into(), title.into(), dept.into()],
+        );
     }
     for (id, name, credits, dept) in [
         (1, "Analytical Engines", 6, 1),
         (2, "Incompleteness", 6, 2),
         (3, "Query Processing", 4, 1),
     ] {
-        ins(&mut db, "COURSE", vec![
-            id.into(),
-            name.into(),
-            Value::from(credits),
-            dept.into(),
-        ]);
+        ins(
+            &mut db,
+            "COURSE",
+            vec![id.into(), name.into(), Value::from(credits), dept.into()],
+        );
     }
-    for (id, prof, course, semester) in [
-        (1, 1, 1, "2026S"),
-        (2, 1, 3, "2026W"),
-        (3, 2, 2, "2026S"),
-    ] {
-        ins(&mut db, "TEACHES", vec![
-            id.into(),
-            prof.into(),
-            course.into(),
-            semester.into(),
-        ]);
+    for (id, prof, course, semester) in [(1, 1, 1, "2026S"), (2, 1, 3, "2026W"), (3, 2, 2, "2026S")]
+    {
+        ins(
+            &mut db,
+            "TEACHES",
+            vec![id.into(), prof.into(), course.into(), semester.into()],
+        );
     }
     for (id, name, year) in [(1, "Grace Hopper", 1928), (2, "Alan Turing", 1934)] {
-        ins(&mut db, "STUDENT", vec![id.into(), name.into(), Value::from(year)]);
+        ins(
+            &mut db,
+            "STUDENT",
+            vec![id.into(), name.into(), Value::from(year)],
+        );
     }
     for (id, student, course, grade) in [(1, 1, 1, "A"), (2, 2, 1, "A"), (3, 2, 2, "B")] {
-        ins(&mut db, "ENROLLED", vec![
-            id.into(),
-            student.into(),
-            course.into(),
-            grade.into(),
-        ]);
+        ins(
+            &mut db,
+            "ENROLLED",
+            vec![id.into(), student.into(), course.into(), grade.into()],
+        );
     }
     debug_assert!(db.validate_foreign_keys().is_empty());
     db
@@ -223,14 +240,22 @@ pub fn university_vocabulary(schema: &DatabaseSchema) -> Vocabulary {
     v.set_relation_clause(department, "@DNAME is a department.")
         .expect("valid template");
 
-    v.set_join_clause(professor, department, "@PNAME works in the @DNAME department.")
-        .expect("valid template");
+    v.set_join_clause(
+        professor,
+        department,
+        "@PNAME works in the @DNAME department.",
+    )
+    .expect("valid template");
     v.set_join_clause(teaches, course, "@PNAME teaches %COURSE_LIST%")
         .expect("valid template");
     v.set_join_clause(teaches, professor, "@CNAME is taught by @PNAME[*].")
         .expect("valid template");
-    v.set_join_clause(course, department, "@CNAME is offered by the @DNAME department.")
-        .expect("valid template");
+    v.set_join_clause(
+        course,
+        department,
+        "@CNAME is offered by the @DNAME department.",
+    )
+    .expect("valid template");
     v.set_join_clause(enrolled, course, "@SNAME is enrolled in %COURSE_LIST%")
         .expect("valid template");
     v.set_join_clause(enrolled, student, "@CNAME is taken by @SNAME[*].")

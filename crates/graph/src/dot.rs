@@ -97,6 +97,9 @@ mod tests {
         assert!(dot.contains("shape=ellipse"));
         // One box per relation, one ellipse per projection edge.
         assert_eq!(dot.matches("shape=box").count(), 2);
-        assert_eq!(dot.matches("shape=ellipse").count(), g.projection_edges().len());
+        assert_eq!(
+            dot.matches("shape=ellipse").count(),
+            g.projection_edges().len()
+        );
     }
 }

@@ -54,7 +54,9 @@ mod tests {
 
     #[test]
     fn display_mentions_offender() {
-        assert!(GraphError::WeightOutOfRange(1.5).to_string().contains("1.5"));
+        assert!(GraphError::WeightOutOfRange(1.5)
+            .to_string()
+            .contains("1.5"));
         let e = GraphError::DuplicateJoinEdge {
             from: "A".into(),
             to: "B".into(),

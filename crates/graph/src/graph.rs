@@ -208,7 +208,11 @@ impl SchemaGraph {
     /// after weights changed.
     fn resort(&mut self) {
         for list in &mut self.proj_by_rel {
-            list.sort_by(|&a, &b| self.projections[b].weight.total_cmp(&self.projections[a].weight));
+            list.sort_by(|&a, &b| {
+                self.projections[b]
+                    .weight
+                    .total_cmp(&self.projections[a].weight)
+            });
         }
         for list in &mut self.joins_from {
             list.sort_by(|&a, &b| self.joins[b].weight.total_cmp(&self.joins[a].weight));

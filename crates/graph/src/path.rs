@@ -160,8 +160,10 @@ mod tests {
             }
             s.add_relation(b.build().unwrap()).unwrap();
         }
-        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id")).unwrap();
-        s.add_foreign_key(ForeignKey::new("C", "b", "B", "id")).unwrap();
+        s.add_foreign_key(ForeignKey::new("B", "a", "A", "id"))
+            .unwrap();
+        s.add_foreign_key(ForeignKey::new("C", "b", "B", "id"))
+            .unwrap();
         SchemaGraph::from_foreign_keys(s, 0.8, 0.5, 0.9).unwrap()
     }
 

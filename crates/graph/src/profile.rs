@@ -111,10 +111,7 @@ mod tests {
     fn unknown_edge_and_bad_weight_rejected() {
         let g = graph();
         let p = WeightProfile::new("x").set("NOPE.attr", 0.4);
-        assert!(matches!(
-            g.with_profile(&p),
-            Err(GraphError::NoSuchEdge(_))
-        ));
+        assert!(matches!(g.with_profile(&p), Err(GraphError::NoSuchEdge(_))));
         let p = WeightProfile::new("x").set("MOVIE.title", -0.1);
         assert!(matches!(
             g.with_profile(&p),

@@ -174,9 +174,7 @@ impl InvertedIndex {
             return false;
         };
         let value_words = self.tokenizer.words(text);
-        value_words
-            .windows(words.len())
-            .any(|w| w == words)
+        value_words.windows(words.len()).any(|w| w == words)
     }
 
     /// Number of distinct indexed words.
@@ -322,18 +320,30 @@ mod tests {
     fn incremental_add_and_remove() {
         let mut db = sample_db();
         let mut idx = InvertedIndex::build(&db);
-        let before = idx.lookup(&db, "allen").iter().map(|o| o.tids.len()).sum::<usize>();
+        let before = idx
+            .lookup(&db, "allen")
+            .iter()
+            .map(|o| o.tids.len())
+            .sum::<usize>();
         let tid = db
             .insert("ACTOR", vec![Value::from(11), Value::from("Tim Allen")])
             .unwrap();
         let actor = db.schema().relation_id("ACTOR").unwrap();
         idx.add_tuple(&db, actor, tid);
-        let after = idx.lookup(&db, "allen").iter().map(|o| o.tids.len()).sum::<usize>();
+        let after = idx
+            .lookup(&db, "allen")
+            .iter()
+            .map(|o| o.tids.len())
+            .sum::<usize>();
         assert_eq!(after, before + 1);
 
         idx.remove_tuple(&db, actor, tid);
         db.delete(actor, tid).unwrap();
-        let restored = idx.lookup(&db, "allen").iter().map(|o| o.tids.len()).sum::<usize>();
+        let restored = idx
+            .lookup(&db, "allen")
+            .iter()
+            .map(|o| o.tids.len())
+            .sum::<usize>();
         assert_eq!(restored, before);
     }
 
@@ -365,7 +375,10 @@ mod tests {
     fn repeated_word_in_one_value_indexes_once_per_tuple() {
         let mut db = sample_db();
         let tid = db
-            .insert("ACTOR", vec![Value::from(12), Value::from("Boutros Boutros")])
+            .insert(
+                "ACTOR",
+                vec![Value::from(12), Value::from("Boutros Boutros")],
+            )
             .unwrap();
         let actor = db.schema().relation_id("ACTOR").unwrap();
         let mut idx = InvertedIndex::build(&db);

@@ -85,6 +85,9 @@ mod tests {
     #[test]
     fn stopwords_are_dropped() {
         let t = Tokenizer::with_stopwords(["the", "of"]);
-        assert_eq!(t.words("The Curse of the Jade Scorpion"), vec!["curse", "jade", "scorpion"]);
+        assert_eq!(
+            t.words("The Curse of the Jade Scorpion"),
+            vec!["curse", "jade", "scorpion"]
+        );
     }
 }

@@ -47,7 +47,9 @@ mod tests {
         assert!(NlgError::UnknownVariable("TITLE".into())
             .to_string()
             .contains("@TITLE"));
-        assert!(NlgError::UnknownMacro("M".into()).to_string().contains("%M%"));
+        assert!(NlgError::UnknownMacro("M".into())
+            .to_string()
+            .contains("%M%"));
         let e = NlgError::IndexOutOfRange {
             variable: "X".into(),
             index: 4,

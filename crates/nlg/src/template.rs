@@ -47,7 +47,10 @@ enum LoopOp {
 #[derive(Debug, Clone, PartialEq)]
 enum Item {
     Literal(String),
-    Var { name: String, index: VarIndex },
+    Var {
+        name: String,
+        index: VarIndex,
+    },
     Loop {
         var: String,
         op: LoopOp,
@@ -137,7 +140,11 @@ impl Template {
 
     /// Render with `bindings` and `macros` (name → template source; macros
     /// are parsed lazily and may reference other macros).
-    pub fn render(&self, bindings: &Bindings, macros: &HashMap<String, Template>) -> Result<String> {
+    pub fn render(
+        &self,
+        bindings: &Bindings,
+        macros: &HashMap<String, Template>,
+    ) -> Result<String> {
         let mut out = String::new();
         self.render_into(&mut out, bindings, macros, &mut HashMap::new(), 0)?;
         Ok(out)
@@ -479,7 +486,10 @@ mod tests {
 
     fn movie_bindings() -> Bindings {
         let mut b = Bindings::new();
-        b.set("TITLE", ["Match Point", "Melinda and Melinda", "Anything Else"]);
+        b.set(
+            "TITLE",
+            ["Match Point", "Melinda and Melinda", "Anything Else"],
+        );
         b.set("YEAR", ["2005", "2004", "2003"]);
         b.set_scalar("DNAME", "Woody Allen");
         b
@@ -521,8 +531,7 @@ mod tests {
             )
             .unwrap(),
         );
-        let t =
-            Template::parse("As a director, @DNAME's work includes %MOVIE_LIST%").unwrap();
+        let t = Template::parse("As a director, @DNAME's work includes %MOVIE_LIST%").unwrap();
         let out = t.render(&movie_bindings(), &macros).unwrap();
         assert_eq!(
             out,
@@ -598,18 +607,10 @@ mod tests {
         let mut b = Bindings::new();
         b.set("X", ["a", "b"]);
         b.set("Y", ["1", "2"]);
-        let out = render(
-            "[i<=arityof(@X)]{@X[$i$]([i<=arityof(@Y)]{@Y[$i$]})}",
-            &b,
-        )
-        .unwrap();
+        let out = render("[i<=arityof(@X)]{@X[$i$]([i<=arityof(@Y)]{@Y[$i$]})}", &b).unwrap();
         assert_eq!(out, "a(12)b(12)");
         // Same loop var nested: inner shadows, outer restored.
-        let out = render(
-            "[i<=arityof(@X)]{[i<=arityof(@Y)]{@Y[$i$]}@X[$i$]}",
-            &b,
-        )
-        .unwrap();
+        let out = render("[i<=arityof(@X)]{[i<=arityof(@Y)]{@Y[$i$]}@X[$i$]}", &b).unwrap();
         assert_eq!(out, "12a12b");
     }
 

@@ -86,8 +86,7 @@ impl<'a> Translator<'a> {
     /// seeds with more (weighted) connected information in the answer rank
     /// higher — see [`precis_core::rank_seeds`].
     pub fn translate_ranked(&self, answer: &PrecisAnswer) -> Result<Vec<Narrative>> {
-        let ranked =
-            precis_core::rank_seeds(self.db, self.graph, &answer.schema, &answer.precis);
+        let ranked = precis_core::rank_seeds(self.db, self.graph, &answer.schema, &answer.precis);
         let mut occurrences = surviving_occurrences(answer);
         occurrences.sort_by_key(|&(_, rel, tid)| {
             ranked
@@ -197,8 +196,8 @@ impl<'a> Translator<'a> {
                         dest_groups.push((joined, ctx.clone()));
                     } else {
                         for &src in tuples {
-                            let joined = self
-                                .joined_tuples(precis, rel, src, e.to, e.to_attr, e.from_attr);
+                            let joined =
+                                self.joined_tuples(precis, rel, src, e.to, e.to_attr, e.from_attr);
                             if joined.is_empty() {
                                 continue;
                             }
@@ -447,7 +446,11 @@ mod tests {
             .unwrap();
         db.insert(
             "BOOK",
-            vec![Value::from(1), Value::from("The Dispossessed"), Value::from(1)],
+            vec![
+                Value::from(1),
+                Value::from("The Dispossessed"),
+                Value::from(1),
+            ],
         )
         .unwrap();
         db.insert(
@@ -484,12 +487,19 @@ mod tests {
         let mut vocab = Vocabulary::new();
         vocab.set_heading(author, 1);
         vocab.set_heading(book, 1);
-        vocab.set_relation_clause(author, "@NAME writes books.").unwrap();
-        vocab.set_join_clause(author, book, "Works: @TITLE[*].").unwrap();
+        vocab
+            .set_relation_clause(author, "@NAME writes books.")
+            .unwrap();
+        vocab
+            .set_join_clause(author, book, "Works: @TITLE[*].")
+            .unwrap();
         let (schema, precis) = precis_for(&db, &g);
         let t = Translator::new(&db, &g, &vocab);
         let text = t.narrate(&schema, &precis, author, TupleId(0)).unwrap();
-        assert_eq!(text, "Le Guin writes books. Works: The Dispossessed, Earthsea.");
+        assert_eq!(
+            text,
+            "Le Guin writes books. Works: The Dispossessed, Earthsea."
+        );
     }
 
     #[test]
@@ -502,7 +512,9 @@ mod tests {
         // Without fallback: silence.
         let silent = Translator::new(&db, &g, &vocab);
         assert_eq!(
-            silent.narrate(&schema, &precis, author, TupleId(0)).unwrap(),
+            silent
+                .narrate(&schema, &precis, author, TupleId(0))
+                .unwrap(),
             ""
         );
 
@@ -529,8 +541,7 @@ mod tests {
                 ),
             )
             .unwrap();
-        let t = Translator::new(engine.database(), engine.graph(), &vocab)
-            .with_generic_fallback();
+        let t = Translator::new(engine.database(), engine.graph(), &vocab).with_generic_fallback();
         let narratives = t.translate(&answer).unwrap();
         assert_eq!(narratives.len(), 1);
         assert_eq!(narratives[0].relation, "AUTHOR");

@@ -59,7 +59,8 @@ impl Vocabulary {
         to: RelationId,
         template: &str,
     ) -> Result<&mut Self> {
-        self.join_clause.insert((from, to), Template::parse(template)?);
+        self.join_clause
+            .insert((from, to), Template::parse(template)?);
         Ok(self)
     }
 

@@ -60,7 +60,11 @@ impl Database {
             .flat_map(|fk| {
                 let from = db.schema.relation_id(&fk.relation).unwrap();
                 let to = db.schema.relation_id(&fk.ref_relation).unwrap();
-                let from_pos = db.schema.relation(from).attr_position(&fk.attribute).unwrap();
+                let from_pos = db
+                    .schema
+                    .relation(from)
+                    .attr_position(&fk.attribute)
+                    .unwrap();
                 let to_pos = db
                     .schema
                     .relation(to)
@@ -422,6 +426,27 @@ impl Database {
             })?;
         self.stats.count_index_probe();
         Ok(idx.get(value))
+    }
+
+    /// Indexed lookup returning a refcounted snapshot of the tid list
+    /// (counts one index probe). Unlike [`Database::lookup`], the result
+    /// stays valid across later inserts/deletes — the index copy-on-writes
+    /// under live snapshots — so scans can hold it without cloning the list.
+    pub fn lookup_tids(
+        &self,
+        rel: RelationId,
+        attr: usize,
+        value: &Value,
+    ) -> Result<std::sync::Arc<Vec<TupleId>>> {
+        let idx = self
+            .value_indexes
+            .get(&(rel, attr))
+            .ok_or_else(|| StorageError::NoIndex {
+                relation: self.schema.relation(rel).name().to_owned(),
+                attribute: self.schema.relation(rel).attr_name(attr).to_owned(),
+            })?;
+        self.stats.count_index_probe();
+        Ok(idx.get_shared(value))
     }
 
     /// Primary-key point lookup (counts one index probe).

@@ -50,7 +50,9 @@ pub enum Predicate {
     /// `attr IN values`.
     In(usize, Vec<Value>),
     /// Case-insensitive substring match on a text attribute (false for
-    /// non-text values).
+    /// non-text values). The needle **must already be lowercase**; build this
+    /// through [`Predicate::contains`], which lowercases once at construction
+    /// instead of once per tuple on the scan hot path.
     Contains(usize, String),
     /// Conjunction.
     And(Vec<Predicate>),
@@ -61,6 +63,13 @@ pub enum Predicate {
 }
 
 impl Predicate {
+    /// Build a case-insensitive substring predicate on `attr`. The needle is
+    /// lowercased here, once, so [`Predicate::matches`] does no per-tuple
+    /// needle work.
+    pub fn contains(attr: usize, needle: impl AsRef<str>) -> Predicate {
+        Predicate::Contains(attr, needle.as_ref().to_lowercase())
+    }
+
     /// Evaluate against a tuple's values.
     pub fn matches(&self, values: &[Value]) -> bool {
         match self {
@@ -74,11 +83,29 @@ impl Predicate {
             Predicate::In(a, vs) => vs.contains(&values[*a]),
             Predicate::Contains(a, needle) => values[*a]
                 .as_text()
-                .is_some_and(|s| s.to_lowercase().contains(&needle.to_lowercase())),
+                .is_some_and(|s| contains_case_insensitive(s, needle)),
             Predicate::And(ps) => ps.iter().all(|p| p.matches(values)),
             Predicate::Or(ps) => ps.iter().any(|p| p.matches(values)),
             Predicate::Not(p) => !p.matches(values),
         }
+    }
+}
+
+/// Does `haystack` contain `lowered_needle` ignoring case? The needle is
+/// pre-lowercased by [`Predicate::contains`]; the all-ASCII fast path scans
+/// without allocating, the Unicode path falls back to a full lowercase.
+fn contains_case_insensitive(haystack: &str, lowered_needle: &str) -> bool {
+    if lowered_needle.is_empty() {
+        return true;
+    }
+    if haystack.is_ascii() && lowered_needle.is_ascii() {
+        let needle = lowered_needle.as_bytes();
+        haystack
+            .as_bytes()
+            .windows(needle.len())
+            .any(|w| w.eq_ignore_ascii_case(needle))
+    } else {
+        haystack.to_lowercase().contains(lowered_needle)
     }
 }
 
@@ -127,8 +154,10 @@ impl Database {
         let mut out = Vec::new();
         let mut seen: HashSet<TupleId> = HashSet::new();
         'outer: for v in values {
-            let tids = self.lookup(rel, attr, v)?.to_vec();
-            for tid in tids {
+            // Two shared borrows of `self` (index slice + tuple fetch)
+            // coexist fine — no need to clone the tid list.
+            let tids = self.lookup(rel, attr, v)?;
+            for &tid in tids {
                 if out.len() >= cap {
                     break 'outer;
                 }
@@ -180,7 +209,10 @@ impl Database {
 #[derive(Debug)]
 pub struct ValueScan {
     rel: RelationId,
-    tids: Vec<TupleId>,
+    /// Refcounted snapshot of the index posting list — opening a scan no
+    /// longer copies the tid list; the index copy-on-writes if mutated while
+    /// this scan is open.
+    tids: std::sync::Arc<Vec<TupleId>>,
     pos: usize,
 }
 
@@ -188,7 +220,7 @@ impl ValueScan {
     /// Open a scan over the tuples of `rel` whose `attr` equals `value`
     /// (one index probe).
     pub fn open(db: &Database, rel: RelationId, attr: usize, value: &Value) -> Result<ValueScan> {
-        let tids = db.lookup(rel, attr, value)?.to_vec();
+        let tids = db.lookup_tids(rel, attr, value)?;
         Ok(ValueScan { rel, tids, pos: 0 })
     }
 
@@ -311,9 +343,7 @@ mod tests {
     fn naiveq_dedupes_repeated_values() {
         let (db, play, mid) = db_with_plays();
         let values = [Value::from(2), Value::from(2)];
-        let rows = db
-            .select_by_values(play, mid, &values, &[0], None)
-            .unwrap();
+        let rows = db.select_by_values(play, mid, &values, &[0], None).unwrap();
         assert_eq!(rows.len(), 1);
     }
 
@@ -360,12 +390,12 @@ mod tests {
         assert!(Predicate::Gt(0, Value::from(4)).matches(row));
         assert!(Predicate::Ge(0, Value::from(5)).matches(row));
         assert!(!Predicate::Gt(0, Value::from(5)).matches(row));
-        assert!(Predicate::Contains(1, "match".into()).matches(row));
-        assert!(Predicate::Contains(1, "POINT".into()).matches(row));
-        assert!(!Predicate::Contains(0, "5".into()).matches(row), "non-text");
+        assert!(Predicate::contains(1, "match").matches(row));
+        assert!(Predicate::contains(1, "POINT").matches(row));
+        assert!(!Predicate::contains(0, "5").matches(row), "non-text");
         assert!(Predicate::Or(vec![
             Predicate::Eq(0, Value::from(9)),
-            Predicate::Contains(1, "point".into()),
+            Predicate::contains(1, "point"),
         ])
         .matches(row));
         assert!(Predicate::Not(Box::new(Predicate::Eq(0, Value::from(9)))).matches(row));
@@ -384,6 +414,49 @@ mod tests {
         let rows = db.scan(play, &p, &[0], None);
         let pids: Vec<i64> = rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
         assert_eq!(pids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn contains_constructor_lowercases_once_and_matches_all_cases() {
+        // Regression for the per-tuple `to_lowercase` hoist: the constructor
+        // stores the lowered needle, matching stays case-insensitive both
+        // ways, and the stored needle is observably pre-lowered.
+        let p = Predicate::contains(0, "MiXeD CaSe");
+        match &p {
+            Predicate::Contains(_, needle) => assert_eq!(needle, "mixed case"),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+        assert!(p.matches(&[Value::from("prefix MIXED case suffix")]));
+        assert!(p.matches(&[Value::from("mixed case")]));
+        assert!(!p.matches(&[Value::from("mixed-case")]));
+        // Unicode path (non-ASCII haystack) still works.
+        let p = Predicate::contains(0, "CRÈME");
+        assert!(p.matches(&[Value::from("crème brûlée")]));
+        // Empty needle matches any text.
+        assert!(Predicate::contains(0, "").matches(&[Value::from("x")]));
+    }
+
+    #[test]
+    fn value_scan_holds_snapshot_without_copying() {
+        // Regression for the tid-list clone elimination: an open scan shares
+        // the index's posting list (no copy), and later inserts to the same
+        // value don't leak into the open scan.
+        let (mut db, play, mid) = db_with_plays();
+        let mut scan = ValueScan::open(&db, play, mid, &Value::from(0)).unwrap();
+        assert_eq!(scan.remaining(), 4);
+        db.insert(
+            "PLAY",
+            vec![Value::from(99), Value::from(0), Value::from("2026-02-02")],
+        )
+        .unwrap();
+        let mut n = 0;
+        while scan.next_row(&db, &[0]).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4, "snapshot semantics: insert after open is invisible");
+        // A fresh scan sees the new tuple.
+        let fresh = ValueScan::open(&db, play, mid, &Value::from(0)).unwrap();
+        assert_eq!(fresh.remaining(), 5);
     }
 
     #[test]

@@ -7,11 +7,24 @@
 use crate::tuple::TupleId;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// The shared empty posting list handed out for misses by
+/// [`HashIndex::get_shared`], so misses never allocate.
+fn empty_postings() -> Arc<Vec<TupleId>> {
+    static EMPTY: OnceLock<Arc<Vec<TupleId>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
 
 /// A non-unique hash index: value → ordered list of tuple ids.
+///
+/// Posting lists are `Arc`-shared so readers (e.g. an open
+/// [`crate::ValueScan`]) can hold a snapshot without copying; mutations are
+/// copy-on-write via [`Arc::make_mut`], which only clones a list while a
+/// snapshot of it is still alive.
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
-    map: HashMap<Value, Vec<TupleId>>,
+    map: HashMap<Value, Arc<Vec<TupleId>>>,
 }
 
 impl HashIndex {
@@ -20,12 +33,12 @@ impl HashIndex {
     }
 
     pub fn insert(&mut self, value: Value, tid: TupleId) {
-        self.map.entry(value).or_default().push(tid);
+        Arc::make_mut(self.map.entry(value).or_default()).push(tid);
     }
 
     pub fn remove(&mut self, value: &Value, tid: TupleId) {
         if let Some(list) = self.map.get_mut(value) {
-            list.retain(|&t| t != tid);
+            Arc::make_mut(list).retain(|&t| t != tid);
             if list.is_empty() {
                 self.map.remove(value);
             }
@@ -34,7 +47,13 @@ impl HashIndex {
 
     /// Tuple ids whose indexed attribute equals `value`, in insertion order.
     pub fn get(&self, value: &Value) -> &[TupleId] {
-        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+        self.map.get(value).map(|l| l.as_slice()).unwrap_or(&[])
+    }
+
+    /// Like [`HashIndex::get`], but returns a refcounted snapshot of the
+    /// posting list — no copy, and valid across later index mutations.
+    pub fn get_shared(&self, value: &Value) -> Arc<Vec<TupleId>> {
+        self.map.get(value).cloned().unwrap_or_else(empty_postings)
     }
 
     /// Number of distinct indexed values.
@@ -44,7 +63,7 @@ impl HashIndex {
 
     /// Total number of postings.
     pub fn postings(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        self.map.values().map(|l| l.len()).sum()
     }
 }
 
@@ -117,6 +136,23 @@ mod tests {
         assert_eq!(idx.distinct_values(), 0);
         // Removing a missing posting is a no-op.
         idx.remove(&Value::from(1), TupleId(9));
+    }
+
+    #[test]
+    fn shared_posting_lists_are_stable_snapshots() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::from(1), TupleId(0));
+        idx.insert(Value::from(1), TupleId(2));
+        let snapshot = idx.get_shared(&Value::from(1));
+        // Mutations after the snapshot copy-on-write; the snapshot is frozen.
+        idx.insert(Value::from(1), TupleId(5));
+        idx.remove(&Value::from(1), TupleId(0));
+        assert_eq!(snapshot.as_slice(), &[TupleId(0), TupleId(2)]);
+        assert_eq!(idx.get(&Value::from(1)), &[TupleId(2), TupleId(5)]);
+        // Misses share one static empty list — no allocation per miss.
+        let a = idx.get_shared(&Value::from(9));
+        let b = idx.get_shared(&Value::from(8));
+        assert!(a.is_empty() && std::sync::Arc::ptr_eq(&a, &b));
     }
 
     #[test]

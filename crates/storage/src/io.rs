@@ -369,8 +369,12 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(s).unwrap();
-        for (i, x) in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE].iter().enumerate() {
-            db.insert("R", vec![Value::from(i), Value::from(*x)]).unwrap();
+        for (i, x) in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE]
+            .iter()
+            .enumerate()
+        {
+            db.insert("R", vec![Value::from(i), Value::from(*x)])
+                .unwrap();
         }
         let loaded = load_from_string(&dump_to_string(&db)).unwrap();
         let r = loaded.schema().relation_id("R").unwrap();

@@ -6,7 +6,9 @@
 //! cargo run --example narrative_templates
 //! ```
 
-use precis::core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
+use precis::core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
 use precis::graph::SchemaGraph;
 use precis::nlg::{Bindings, Template, Translator, Vocabulary};
 use precis::storage::{DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value};
@@ -50,12 +52,7 @@ fn library_db() -> Database {
     ] {
         db.insert(
             "BOOK",
-            vec![
-                bid.into(),
-                title.into(),
-                Value::from(year),
-                1.into(),
-            ],
+            vec![bid.into(), title.into(), Value::from(year), 1.into()],
         )
         .unwrap();
     }
@@ -69,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bindings.set_scalar("NAME", "Ursula K. Le Guin");
     bindings.set(
         "TITLE",
-        ["The Dispossessed", "The Left Hand of Darkness", "A Wizard of Earthsea"],
+        [
+            "The Dispossessed",
+            "The Left Hand of Darkness",
+            "A Wizard of Earthsea",
+        ],
     );
     bindings.set("YEAR", ["1974", "1969", "1968"]);
 

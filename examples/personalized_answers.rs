@@ -6,7 +6,9 @@
 //! cargo run --example personalized_answers
 //! ```
 
-use precis::core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
+use precis::core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
 use precis::datagen::{movies_graph, woody_allen_instance};
 use precis::graph::WeightProfile;
 
@@ -61,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     print_answer(&engine, "designer defaults", &spec);
-    print_answer(&engine, "reviewer profile", &spec.clone().with_profile("reviewer"));
+    print_answer(
+        &engine,
+        "reviewer profile",
+        &spec.clone().with_profile("reviewer"),
+    );
     print_answer(&engine, "fan profile", &spec.clone().with_profile("fan"));
 
     // Query-time constraint changes explore different regions too:

@@ -5,7 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use precis::core::{AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery};
+use precis::core::{
+    AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisEngine, PrecisQuery,
+};
 use precis::datagen::{movies_graph, movies_vocabulary, woody_allen_instance};
 use precis::nlg::Translator;
 

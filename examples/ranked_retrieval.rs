@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         });
         let answer = engine.answer(&query, &spec)?;
         println!("\n== {label}, budget 2 tuples/relation ==");
-        print!("{}", explain::explain_precis(engine.database(), &answer.precis));
+        print!(
+            "{}",
+            explain::explain_precis(engine.database(), &answer.precis)
+        );
     }
 
     // Persist the weighted answer and reload it.

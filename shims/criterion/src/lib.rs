@@ -1,0 +1,272 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so the workspace wires
+//! `criterion = { path = "shims/criterion" }`. This is a small wall-clock
+//! harness exposing the API shape the bench targets use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_with_input, sample_size, finish}`,
+//! `BenchmarkId::{new, from_parameter}`, `Bencher::iter`, and `black_box`.
+//! It reports the median and minimum per-iteration time to stdout. It does
+//! not do statistical outlier analysis or HTML reports; for trajectory
+//! numbers the repo records `BENCH_PR1.json` via `precis-bench` instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Number of timed samples (each sample is one batch of iterations).
+    samples: usize,
+    /// Target wall-clock spent measuring one benchmark.
+    measurement_time: Duration,
+    /// Target wall-clock spent warming up one benchmark.
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            samples: 20,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &self.settings, &mut f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _parent: self,
+        }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+}
+
+/// A named cluster of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, &self.settings, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, &self.settings, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run in the current timed batch.
+    iters: u64,
+    /// Wall-clock of the most recent timed batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`, keeping results alive via
+    /// `black_box` so the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, settings: &Settings, f: &mut F) {
+    // Warm-up: also estimates per-iteration cost to size timed batches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        f(&mut b);
+        warm_iters += b.iters;
+        b.iters = (b.iters * 2).min(1 << 20);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+    let per_sample_budget = settings.measurement_time.as_secs_f64() / settings.samples as f64;
+    let iters_per_sample = ((per_sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.samples);
+    for _ in 0..settings.samples {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!(
+        "bench: {name:<48} median {:>12} min {:>12} ({} samples x {} iters)",
+        fmt_time(median),
+        fmt_time(min),
+        settings.samples,
+        iters_per_sample
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Defines a function that runs every listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3).measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(1u64 + 1)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        let mut total = 0u64;
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| {
+                    total += n;
+                    black_box(n * 2)
+                })
+            });
+        }
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

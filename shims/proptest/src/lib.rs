@@ -1,0 +1,846 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so the workspace wires
+//! `proptest = { path = "shims/proptest" }`. This shim keeps the parts the
+//! repository's property tests rely on: the `proptest!` macro (with
+//! `#![proptest_config(...)]`), `Strategy` values built from regex-subset
+//! string literals, numeric ranges, `any::<T>()`, `Just`, tuples,
+//! `collection::vec`, `option::of`, `prop_oneof!`, `prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` result macros. Inputs are
+//! generated from a deterministic per-test RNG, so failures reproduce across
+//! runs. There is no shrinking: a failing case reports its case number, seed,
+//! and assertion message instead of a minimized input.
+
+// Let code inside this crate (including macro expansions in the test module
+// below) refer to it by its public name, as downstream users do.
+extern crate self as proptest;
+
+use rand::prelude::*;
+
+/// RNG handed to strategies. Deterministic per (test name, case index).
+pub type TestRng = StdRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — not counted as a failure.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Runner settings, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of one type. The shim's analogue of
+/// `proptest::strategy::Strategy` — `generate` plays the role of
+/// `new_tree` + `current`, with no shrinking machinery.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Object-safe carrier so heterogeneous strategies unify in `prop_oneof!`.
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<Value = V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a whole-domain default strategy (`any::<T>()`).
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite floats across a wide magnitude span; no NaN/inf, matching
+        // how the tests use any::<f64>-like inputs.
+        let mag = rng.gen_range(-300i32..300) as f64;
+        let mantissa = rng.gen_range(-1.0f64..1.0);
+        mantissa * 10f64.powi(mag as i32 / 10)
+    }
+}
+
+/// Strategy for [`Arbitrary`] types.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// String literals are regex-subset strategies, as in real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        strings::generate_matching(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `proptest::collection::vec`: a vector with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `proptest::option::of`: `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+mod strings {
+    //! Generator for the regex subset the repository's patterns use:
+    //! literals, `.`, escapes, character classes with ranges, groups with
+    //! alternation, and `{m}`/`{m,n}`/`*`/`+`/`?` quantifiers.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    #[derive(Debug)]
+    enum Node {
+        Lit(char),
+        Dot,
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<(Node, Rep)>>),
+    }
+
+    #[derive(Debug, Clone, Copy)]
+    struct Rep {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        fn expect(&mut self, want: char, pattern: &str) {
+            match self.bump() {
+                Some(c) if c == want => {}
+                other => panic!(
+                    "proptest shim: expected {want:?}, found {other:?} in pattern {pattern:?}"
+                ),
+            }
+        }
+
+        fn parse_alternatives(&mut self, pattern: &str) -> Vec<Vec<(Node, Rep)>> {
+            let mut alts = vec![self.parse_sequence(pattern)];
+            while self.peek() == Some('|') {
+                self.bump();
+                alts.push(self.parse_sequence(pattern));
+            }
+            alts
+        }
+
+        fn parse_sequence(&mut self, pattern: &str) -> Vec<(Node, Rep)> {
+            let mut seq = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let node = self.parse_atom(pattern);
+                let rep = self.parse_quantifier(pattern);
+                seq.push((node, rep));
+            }
+            seq
+        }
+
+        fn parse_atom(&mut self, pattern: &str) -> Node {
+            match self.bump().expect("non-empty atom") {
+                '.' => Node::Dot,
+                '[' => self.parse_class(pattern),
+                '(' => {
+                    let alts = self.parse_alternatives(pattern);
+                    self.expect(')', pattern);
+                    Node::Group(alts)
+                }
+                '\\' => Node::Lit(unescape(
+                    self.bump()
+                        .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                )),
+                c => Node::Lit(c),
+            }
+        }
+
+        fn parse_class(&mut self, pattern: &str) -> Node {
+            let mut ranges = Vec::new();
+            loop {
+                let c = match self.bump() {
+                    Some(']') => break,
+                    Some('\\') => unescape(
+                        self.bump()
+                            .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                    ),
+                    Some(c) => c,
+                    None => panic!("unterminated class in {pattern:?}"),
+                };
+                // `a-z` is a range unless `-` is the final member.
+                if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                    self.bump(); // '-'
+                    let hi = match self.bump() {
+                        Some('\\') => unescape(
+                            self.bump()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+                        ),
+                        Some(hi) => hi,
+                        None => panic!("unterminated range in {pattern:?}"),
+                    };
+                    assert!(c <= hi, "inverted range {c:?}-{hi:?} in {pattern:?}");
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            assert!(!ranges.is_empty(), "empty class in {pattern:?}");
+            Node::Class(ranges)
+        }
+
+        fn parse_quantifier(&mut self, pattern: &str) -> Rep {
+            match self.peek() {
+                Some('{') => {
+                    self.bump();
+                    let min = self.parse_number(pattern);
+                    let rep = match self.bump() {
+                        Some('}') => Rep { min, max: min },
+                        Some(',') => {
+                            if self.peek() == Some('}') {
+                                Rep { min, max: min + 8 }
+                            } else {
+                                let max = self.parse_number(pattern);
+                                Rep { min, max }
+                            }
+                        }
+                        other => panic!("bad quantifier {other:?} in {pattern:?}"),
+                    };
+                    if self.peek() == Some('}') {
+                        self.bump();
+                    }
+                    assert!(rep.min <= rep.max, "inverted quantifier in {pattern:?}");
+                    rep
+                }
+                Some('*') => {
+                    self.bump();
+                    Rep { min: 0, max: 8 }
+                }
+                Some('+') => {
+                    self.bump();
+                    Rep { min: 1, max: 8 }
+                }
+                Some('?') => {
+                    self.bump();
+                    Rep { min: 0, max: 1 }
+                }
+                _ => Rep { min: 1, max: 1 },
+            }
+        }
+
+        fn parse_number(&mut self, pattern: &str) -> usize {
+            let mut n = String::new();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                n.push(self.bump().unwrap());
+            }
+            n.parse()
+                .unwrap_or_else(|_| panic!("bad number in quantifier of {pattern:?}"))
+        }
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            't' => '\t',
+            'n' => '\n',
+            'r' => '\r',
+            '0' => '\0',
+            other => other, // \\ \. \- \[ \] \( \) \{ \} \| \' \" etc.
+        }
+    }
+
+    fn gen_seq(seq: &[(Node, Rep)], rng: &mut TestRng, out: &mut String) {
+        for (node, rep) in seq {
+            let n = rng.gen_range(rep.min..=rep.max);
+            for _ in 0..n {
+                gen_node(node, rng, out);
+            }
+        }
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Dot => out.push(gen_dot(rng)),
+            Node::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick).expect("valid scalar"));
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("weighted pick within total");
+            }
+            Node::Group(alts) => {
+                let i = rng.gen_range(0..alts.len());
+                gen_seq(&alts[i], rng, out);
+            }
+        }
+    }
+
+    /// `.` matches anything but `\n`: mostly printable ASCII, with a dash of
+    /// tabs and non-ASCII scalars to keep parsers honest about Unicode.
+    fn gen_dot(rng: &mut TestRng) -> char {
+        const EXOTIC: [char; 8] = ['\t', 'é', 'ß', 'α', '世', '🦀', '\u{fffd}', '\u{200b}'];
+        if rng.gen_bool(0.9) {
+            char::from_u32(rng.gen_range(0x20u32..0x7f)).expect("printable ascii")
+        } else {
+            EXOTIC[rng.gen_range(0..EXOTIC.len())]
+        }
+    }
+
+    /// Generate a string matching `pattern` (the supported regex subset).
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut p = Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+        };
+        let alts = p.parse_alternatives(pattern);
+        assert!(
+            p.pos == p.chars.len(),
+            "trailing junk at {} in pattern {pattern:?}",
+            p.pos
+        );
+        let mut out = String::new();
+        let i = rng.gen_range(0..alts.len());
+        gen_seq(&alts[i], rng, &mut out);
+        out
+    }
+}
+
+/// Drives one property: generates inputs, runs the body, panics on failure.
+/// Called by the expansion of [`proptest!`]; not part of the public proptest
+/// API surface.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut accepted: u32 = 0;
+    let mut attempts: u64 = 0;
+    let max_attempts = config.cases as u64 * 20 + 100;
+    while accepted < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest {name}: gave up after {attempts} attempts \
+                 ({accepted}/{} cases accepted) — prop_assume! rejects too much",
+                config.cases
+            );
+        }
+        let seed = base ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        attempts += 1;
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject)) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest {name}: case {accepted} failed (seed {seed:#x}): {msg}");
+            }
+            Err(payload) => {
+                eprintln!("proptest {name}: case {accepted} panicked (seed {seed:#x})");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(&config, stringify!($name), |proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), proptest_rng);)+
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!`: fail the current case without panicking the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: equality assertion reported through the runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!`: discard the current case when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::strings::generate_matching;
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_patterns_stay_in_alphabet() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        let mut rng = rng();
+        let allowed: Vec<char> =
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,;:!?'-"
+                .chars()
+                .collect();
+        for _ in 0..300 {
+            let s = generate_matching("[a-zA-Z0-9 .,;:!?'-]{0,80}", &mut rng);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_range_class() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[ -~\\t\\n]{0,24}", &mut rng);
+            assert!(
+                s.chars()
+                    .all(|c| (' '..='~').contains(&c) || c == '\t' || c == '\n'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn groups_repeat_and_alternate() {
+        let mut rng = rng();
+        let mut saw_multiword = false;
+        for _ in 0..300 {
+            let s = generate_matching("[a-zA-Z]{1,12}( [a-zA-Z]{1,12}){0,2}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            for w in &words {
+                assert!(
+                    !w.is_empty() && w.chars().all(|c| c.is_ascii_alphabetic()),
+                    "{s:?}"
+                );
+            }
+            saw_multiword |= words.len() > 1;
+        }
+        assert!(saw_multiword);
+        let mut saw = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let s = generate_matching("(query|set|weight|weights)", &mut rng);
+            assert!(
+                ["query", "set", "weight", "weights"].contains(&s.as_str()),
+                "{s:?}"
+            );
+            saw.insert(s);
+        }
+        assert_eq!(saw.len(), 4, "all alternatives reachable");
+    }
+
+    #[test]
+    fn dot_never_generates_newline() {
+        let mut rng = rng();
+        for _ in 0..300 {
+            let s = generate_matching(".{0,120}", &mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(!s.contains('\n'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_and_counts_cases() {
+        let mut seen_a = Vec::new();
+        let cfg = ProptestConfig::with_cases(16);
+        super::run_proptest(&cfg, "det", |rng| {
+            seen_a.push((0u64..1000).generate(rng));
+            Ok(())
+        });
+        let mut seen_b = Vec::new();
+        super::run_proptest(&cfg, "det", |rng| {
+            seen_b.push((0u64..1000).generate(rng));
+            Ok(())
+        });
+        assert_eq!(seen_a, seen_b);
+        assert_eq!(seen_a.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn runner_reports_failures() {
+        super::run_proptest(&ProptestConfig::with_cases(4), "fails", |_rng| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rejects too much")]
+    fn runner_gives_up_on_heavy_rejection() {
+        super::run_proptest(&ProptestConfig::with_cases(4), "rejects", |_rng| {
+            Err(TestCaseError::Reject)
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: multiple args, trailing comma, strategies of
+        /// different kinds, and all three result macros.
+        #[test]
+        fn macro_smoke(
+            n in 1usize..10,
+            word in "[a-z]{1,4}",
+            pair in (0u32..5, any::<bool>()),
+            choice in prop_oneof![Just(1i32), Just(2i32), 10i32..20],
+        ) {
+            prop_assume!(n != 9);
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(!word.is_empty() && word.len() <= 4);
+            prop_assert_eq!(pair.0 as usize + n, n + pair.0 as usize);
+            prop_assert!(choice == 1 || choice == 2 || (10..20).contains(&choice), "choice={}", choice);
+        }
+
+        #[test]
+        fn collections_and_options(
+            xs in proptest::collection::vec("[a-z]{0,3}", 0..6),
+            maybe in proptest::option::of(-10i64..10),
+        ) {
+            prop_assert!(xs.len() < 6);
+            if let Some(v) = maybe {
+                prop_assert!((-10..10).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so the workspace wires
+//! `rayon = { path = "shims/rayon" }`. This shim provides real parallelism —
+//! `std::thread::scope` fan-out, not a sequential fake — for the subset of
+//! the rayon API the engine uses: `join`, `current_num_threads`, and
+//! `slice.par_iter().map(f).collect()` (order-preserving). Unlike real rayon
+//! there is no work-stealing pool; each `collect` spawns scoped OS threads,
+//! one per chunk, capped at the hardware parallelism. That keeps semantics
+//! identical (same inputs → same ordered outputs) while still overlapping
+//! work on multi-core hosts.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use at most.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = max_threads_override() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn max_threads_override() -> Option<usize> {
+    // Honors RAYON_NUM_THREADS like the real crate (0 / unset → default).
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon shim: joined task panicked");
+        (ra, rb)
+    })
+}
+
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Entry point mirroring `rayon::iter::IntoParallelRefIterator` for
+    /// slices and `Vec`s.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Sync + 'a;
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            F: Fn(&'a T) -> R + Sync,
+            R: Send,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    /// Entry point mirroring `rayon::iter::IntoParallelIterator` for owned
+    /// `Vec`s — items are moved into the worker threads.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> IntoParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    /// Owning parallel iterator over a `Vec`.
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParIter<T> {
+        pub fn map<R, F>(self, f: F) -> IntoParMap<T, F>
+        where
+            F: Fn(T) -> R + Sync,
+            R: Send,
+        {
+            IntoParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    /// Mapped owning parallel iterator; terminal ops fan out over scoped
+    /// threads, preserving input order.
+    pub struct IntoParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> IntoParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Order-preserving parallel map-collect over owned items.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            self.run().into_iter().collect()
+        }
+
+        fn run(self) -> Vec<R> {
+            let n = self.items.len();
+            let workers = current_num_threads().min(n);
+            if workers <= 1 {
+                let f = self.f;
+                return self.items.into_iter().map(f).collect();
+            }
+            let chunk = n.div_ceil(workers);
+            let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+            let mut iter = self.items.into_iter();
+            loop {
+                let c: Vec<T> = iter.by_ref().take(chunk).collect();
+                if c.is_empty() {
+                    break;
+                }
+                chunks.push(c);
+            }
+            let f = &self.f;
+            let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                for h in handles {
+                    out.push(h.join().expect("rayon shim: worker panicked"));
+                }
+            });
+            out.into_iter().flatten().collect()
+        }
+    }
+
+    /// Mapped parallel iterator; terminal ops fan out over scoped threads.
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T, R, F> ParMap<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        /// Order-preserving parallel map-collect.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            self.run().into_iter().collect()
+        }
+
+        fn run(self) -> Vec<R> {
+            let n = self.items.len();
+            let workers = current_num_threads().min(n);
+            if workers <= 1 {
+                return self.items.iter().map(&self.f).collect();
+            }
+            let chunk = n.div_ceil(workers);
+            let f = &self.f;
+            let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk)
+                    .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                for h in handles {
+                    out.push(h.join().expect("rayon shim: worker panicked"));
+                }
+            });
+            out.into_iter().flatten().collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParIter, IntoParMap, IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_on_empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn into_par_map_moves_items_and_preserves_order() {
+        let xs: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let ys: Vec<usize> = xs.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(
+            ys,
+            (0..100).map(|i| i.to_string().len()).collect::<Vec<_>>()
+        );
+        let none: Vec<String> = Vec::new();
+        let out: Vec<usize> = none.into_par_iter().map(|s| s.len()).collect();
+        assert!(out.is_empty());
+    }
+}

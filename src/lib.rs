@@ -26,5 +26,5 @@ pub mod prelude {
     pub use precis_graph::{SchemaGraph, WeightProfile};
     pub use precis_index::InvertedIndex;
     pub use precis_nlg::{Translator, Vocabulary};
-    pub use precis_storage::{Database, DatabaseSchema, DataType, RelationSchema, Value};
+    pub use precis_storage::{DataType, Database, DatabaseSchema, RelationSchema, Value};
 }

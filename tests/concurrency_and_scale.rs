@@ -83,8 +83,5 @@ fn imdb_scale_answers_in_bounded_time() {
         .unwrap();
     let elapsed = t0.elapsed();
     assert!(a.precis.total_tuples() > 0);
-    assert!(
-        elapsed.as_secs() < 30,
-        "paper-scale query took {elapsed:?}"
-    );
+    assert!(elapsed.as_secs() < 30, "paper-scale query took {elapsed:?}");
 }

@@ -39,7 +39,9 @@ fn data_value_weights_bias_retrieval_toward_recent_movies() {
         tuple_weights: Some(Arc::new(w)),
         ..Default::default()
     });
-    let a = e.answer(&PrecisQuery::parse(r#""Woody Allen""#), &spec).unwrap();
+    let a = e
+        .answer(&PrecisQuery::parse(r#""Woody Allen""#), &spec)
+        .unwrap();
     let titles: Vec<String> = a.precis.collected[&movie]
         .iter()
         .map(|tid| e.database().table(movie).get(*tid).unwrap()[1].to_string())

@@ -73,7 +73,9 @@ fn profiles_do_not_leak_into_the_base_graph() {
         CardinalityConstraint::MaxTuplesPerRelation(10),
     );
     let before = e.answer(&q(), &spec).unwrap();
-    let _ = e.answer(&q(), &spec.clone().with_profile("reviewer")).unwrap();
+    let _ = e
+        .answer(&q(), &spec.clone().with_profile("reviewer"))
+        .unwrap();
     let after = e.answer(&q(), &spec).unwrap();
     assert_eq!(
         before.schema.total_visible_attrs(),

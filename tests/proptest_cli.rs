@@ -37,7 +37,19 @@ proptest! {
             if c.trim() == "quit" || c.trim() == "exit" {
                 continue;
             }
-            let _ = s.execute(c); // output or error, never a panic
+            // Redirect saves into the temp dir so fuzzed paths never land in
+            // the working directory.
+            let c = match c.trim().strip_prefix("save ") {
+                Some(rest) => {
+                    let name: String = rest.chars().filter(|ch| ch.is_ascii_alphanumeric()).collect();
+                    format!(
+                        "save {}",
+                        std::env::temp_dir().join(format!("precis_fuzz_{name}")).display()
+                    )
+                }
+                None => c.clone(),
+            };
+            let _ = s.execute(&c); // output or error, never a panic
         }
         match s.execute("query woody") {
             SessionOutcome::Output(text) => prop_assert!(text.contains("result schema")),

@@ -6,9 +6,7 @@ use precis::core::PrecisQuery;
 use precis::index::{tokenize, InvertedIndex};
 use precis::nlg::{Bindings, Template};
 use precis::storage::io::{dump_to_string, load_from_string};
-use precis::storage::{
-    DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value,
-};
+use precis::storage::{DataType, Database, DatabaseSchema, ForeignKey, RelationSchema, Value};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
