@@ -1,0 +1,67 @@
+//! Drive an in-process `precis-server` over loopback and write the serving
+//! benchmark snapshot.
+//!
+//! ```text
+//! cargo run --release -p precis-bench --bin load_gen -- BENCH_PR2.json
+//! cargo run --release -p precis-bench --bin load_gen -- --quick out.json
+//! cargo run --release -p precis-bench --bin load_gen -- --clients 32 --workers 4
+//! ```
+//!
+//! With no path, the JSON is printed to stdout only.
+
+use precis_bench::load_report::{run_load, LoadConfig};
+
+fn main() {
+    let mut config = LoadConfig::default();
+    let mut path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let numeric = |i: &mut usize, name: &str| -> usize {
+            *i += 1;
+            args.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a number");
+                    std::process::exit(2);
+                })
+        };
+        match args[i].as_str() {
+            "--quick" => config = LoadConfig::quick(),
+            "--movies" => config.movies = numeric(&mut i, "--movies"),
+            "--workers" => config.workers = numeric(&mut i, "--workers"),
+            "--queue" => config.queue_capacity = numeric(&mut i, "--queue"),
+            "--clients" => config.clients = numeric(&mut i, "--clients"),
+            "--requests" => config.requests_per_client = numeric(&mut i, "--requests"),
+            "--deadline-ms" => config.deadline_ms = numeric(&mut i, "--deadline-ms") as u64,
+            other if other.starts_with('-') => {
+                eprintln!(
+                    "unknown flag {other:?} (expected --quick | --movies | --workers | \
+                     --queue | --clients | --requests | --deadline-ms)"
+                );
+                std::process::exit(2);
+            }
+            other => path = Some(other.to_owned()),
+        }
+        i += 1;
+    }
+
+    let report = run_load(config);
+    let json = report.to_json();
+    print!("{json}");
+    if let Some(path) = path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+    eprintln!(
+        "({} ok / {} rejected / {} deadline-exceeded in {:.1}s, {:.0} req/s)",
+        report.ok,
+        report.rejected,
+        report.deadline_exceeded,
+        report.wall_secs,
+        report.throughput_rps
+    );
+}

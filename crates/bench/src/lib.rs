@@ -16,4 +16,5 @@
 
 pub mod bench_report;
 pub mod figures;
+pub mod load_report;
 pub mod workloads;

@@ -1,0 +1,314 @@
+//! Closed-loop load generation against an in-process `precis-server` over
+//! loopback: N client threads each issue a stream of `/query` requests and
+//! time every response. The summary — throughput, p50/p95/p99 latency, and
+//! the rejection rate under admission control — is committed as
+//! `BENCH_PR2.json` so successive PRs track the serving path the same way
+//! `BENCH_PR1.json` tracks the answer pipeline.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p precis-bench --bin load_gen -- BENCH_PR2.json
+//! ```
+
+use precis_core::PrecisEngine;
+use precis_datagen::{movies_graph, movies_vocabulary, MoviesConfig, MoviesGenerator};
+use precis_server::{Server, ServerConfig};
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-run shape. The defaults deliberately offer the server *more*
+/// concurrency than it has workers and queue slots, so admission control is
+/// exercised and the rejection rate is non-zero.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Synthetic movies database size.
+    pub movies: usize,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Concurrent client threads (keep > workers + queue to see rejections).
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Server default deadline, milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            movies: 1_000,
+            workers: 2,
+            queue_capacity: 4,
+            clients: 16,
+            requests_per_client: 50,
+            deadline_ms: 5_000,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// A seconds-scale configuration for tests and CI smoke runs.
+    pub fn quick() -> Self {
+        LoadConfig {
+            movies: 200,
+            workers: 1,
+            queue_capacity: 1,
+            clients: 8,
+            requests_per_client: 20,
+            deadline_ms: 5_000,
+        }
+    }
+}
+
+/// Outcome counts and latency summary of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub config: LoadConfig,
+    pub wall_secs: f64,
+    pub requests_total: usize,
+    pub ok: usize,
+    pub rejected: usize,
+    pub deadline_exceeded: usize,
+    pub other: usize,
+    /// Successful (200) responses per second of wall time.
+    pub throughput_rps: f64,
+    /// 503s as a fraction of all requests.
+    pub rejection_rate: f64,
+    /// Latency of successful responses, seconds.
+    pub p50_secs: f64,
+    pub p95_secs: f64,
+    pub p99_secs: f64,
+    pub mean_secs: f64,
+    /// Server-side counters at the end of the run, for cross-checking.
+    pub server_rejected_total: u64,
+    pub server_deadline_exceeded_total: u64,
+    pub server_queue_depth_final: u64,
+}
+
+/// Exact percentile of a sorted sample set (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Rotating request bodies: mixed strategies and constraints so the run
+/// exercises cached and uncached answer paths.
+const BODIES: [&str; 4] = [
+    r#"{"tokens": "comedy", "degree": {"minweight": 0.5}}"#,
+    r#"{"tokens": ["drama", "thriller"], "cardinality": {"perrel": 20}}"#,
+    r#"{"tokens": "action", "strategy": "naive", "degree": {"minweight": 0.3}}"#,
+    r#"{"tokens": "romance", "strategy": "topweight", "cardinality": {"total": 40}}"#,
+];
+
+fn one_request(addr: SocketAddr, body: &str) -> Option<(u16, Duration)> {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .ok()?;
+    // Collect whatever arrives. A 503 is written by the acceptor without
+    // draining our request, so the close can RST the connection after the
+    // response bytes — a read error past the status line still counts.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let response = String::from_utf8_lossy(&buf);
+    let status: u16 = response.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, t0.elapsed()))
+}
+
+/// Run the closed loop: start a server, hammer it, summarize.
+pub fn run_load(config: LoadConfig) -> LoadReport {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies: config.movies,
+        directors: (config.movies / 12).max(1),
+        actors: (config.movies / 2).max(1),
+        theatres: (config.movies / 60).max(1),
+        plays: config.movies * 2,
+        seed: 0x10AD,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let vocab = movies_vocabulary(db.schema());
+    let engine = Arc::new(PrecisEngine::new(db, movies_graph()).expect("engine builds"));
+    let handle = Server::start(
+        engine,
+        Some(vocab),
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+            default_deadline: Some(Duration::from_millis(config.deadline_ms)),
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..config.clients)
+        .map(|c| {
+            let requests = config.requests_per_client;
+            std::thread::spawn(move || {
+                let mut outcomes: Vec<(u16, Duration)> = Vec::with_capacity(requests);
+                for r in 0..requests {
+                    let body = BODIES[(c + r) % BODIES.len()];
+                    if let Some(outcome) = one_request(addr, body) {
+                        outcomes.push(outcome);
+                    }
+                }
+                outcomes
+            })
+        })
+        .collect();
+
+    let mut ok_latencies: Vec<f64> = Vec::new();
+    let (mut ok, mut rejected, mut deadline_exceeded, mut other) = (0usize, 0usize, 0usize, 0usize);
+    for client in clients {
+        for (status, latency) in client.join().expect("client thread") {
+            match status {
+                200 => {
+                    ok += 1;
+                    ok_latencies.push(latency.as_secs_f64());
+                }
+                503 => rejected += 1,
+                504 => deadline_exceeded += 1,
+                _ => other += 1,
+            }
+        }
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let metrics = handle.metrics();
+    let report = LoadReport {
+        requests_total: config.clients * config.requests_per_client,
+        ok,
+        rejected,
+        deadline_exceeded,
+        other,
+        throughput_rps: if wall_secs > 0.0 {
+            ok as f64 / wall_secs
+        } else {
+            0.0
+        },
+        rejection_rate: rejected as f64
+            / (config.clients * config.requests_per_client).max(1) as f64,
+        p50_secs: {
+            ok_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            percentile(&ok_latencies, 0.50)
+        },
+        p95_secs: percentile(&ok_latencies, 0.95),
+        p99_secs: percentile(&ok_latencies, 0.99),
+        mean_secs: if ok_latencies.is_empty() {
+            0.0
+        } else {
+            ok_latencies.iter().sum::<f64>() / ok_latencies.len() as f64
+        },
+        server_rejected_total: metrics.rejected_total(),
+        server_deadline_exceeded_total: metrics.deadline_exceeded_total(),
+        server_queue_depth_final: metrics.queue_depth(),
+        wall_secs,
+        config,
+    };
+    handle.join();
+    report
+}
+
+impl LoadReport {
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"report\": \"BENCH_PR2\",\n");
+        let _ = writeln!(
+            out,
+            "  \"config\": {{\"movies\": {}, \"workers\": {}, \"queue_capacity\": {}, \
+             \"clients\": {}, \"requests_per_client\": {}, \"deadline_ms\": {}}},",
+            self.config.movies,
+            self.config.workers,
+            self.config.queue_capacity,
+            self.config.clients,
+            self.config.requests_per_client,
+            self.config.deadline_ms
+        );
+        let _ = writeln!(out, "  \"wall_secs\": {:.6},", self.wall_secs);
+        let _ = writeln!(out, "  \"requests_total\": {},", self.requests_total);
+        let _ = writeln!(
+            out,
+            "  \"responses\": {{\"ok\": {}, \"rejected\": {}, \"deadline_exceeded\": {}, \
+             \"other\": {}}},",
+            self.ok, self.rejected, self.deadline_exceeded, self.other
+        );
+        let _ = writeln!(out, "  \"throughput_rps\": {:.3},", self.throughput_rps);
+        let _ = writeln!(out, "  \"rejection_rate\": {:.6},", self.rejection_rate);
+        let _ = writeln!(
+            out,
+            "  \"latency_secs\": {{\"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \
+             \"mean\": {:.6}}},",
+            self.p50_secs, self.p95_secs, self.p99_secs, self.mean_secs
+        );
+        let _ = writeln!(
+            out,
+            "  \"server\": {{\"rejected_total\": {}, \"deadline_exceeded_total\": {}, \
+             \"queue_depth_final\": {}}}",
+            self.server_rejected_total,
+            self.server_deadline_exceeded_total,
+            self.server_queue_depth_final
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_load_run_exercises_admission_control() {
+        let report = run_load(LoadConfig::quick());
+        assert_eq!(
+            report.ok + report.rejected + report.deadline_exceeded + report.other,
+            report.requests_total,
+            "every issued request is accounted for"
+        );
+        assert!(report.ok > 0, "some requests succeed");
+        assert!(
+            report.rejected > 0,
+            "8 clients against 1 worker + 1 queue slot must see 503s"
+        );
+        assert_eq!(report.rejected as u64, report.server_rejected_total);
+        assert!(report.p50_secs <= report.p95_secs && report.p95_secs <= report.p99_secs);
+        assert!(report.throughput_rps > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"report\": \"BENCH_PR2\""));
+        assert!(json.contains("\"throughput_rps\""));
+        assert!(json.contains("\"p99\""));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&samples, 0.50), 5.0);
+        assert_eq!(percentile(&samples, 0.95), 10.0);
+        assert_eq!(percentile(&samples, 0.99), 10.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

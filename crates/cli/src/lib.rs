@@ -13,7 +13,7 @@ use precis_datagen::{
 };
 use precis_graph::{SchemaGraph, WeightProfile};
 use precis_nlg::{Translator, Vocabulary};
-use precis_storage::io::{dump_to_string, load_from_string};
+use precis_storage::io::{dump_to_string, load_from_file};
 use precis_storage::Database;
 use std::fmt::Write as _;
 
@@ -25,6 +25,9 @@ precis — interactive précis query explorer
   precis --synthetic <movies>    seeded synthetic movies database
   precis --load <file>           a database saved with `save`
   precis ... --exec 'cmd; cmd'   run commands non-interactively
+  precis ... serve [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
+                                 run the HTTP query service over the chosen
+                                 database (POST /shutdown stops it)
 
 commands:
   query <tokens>                 answer a précis query (quotes group phrases)
@@ -72,48 +75,96 @@ pub struct Session {
     source_label: String,
 }
 
+/// Materialize a [`Source`]: the database, its schema graph, the designer
+/// vocabulary when one exists, and a human-readable label. Shared by the
+/// interactive session and the `serve` subcommand.
+pub fn open_source(
+    source: Source,
+) -> Result<(Database, SchemaGraph, Option<Vocabulary>, String), String> {
+    match source {
+        Source::Demo => {
+            let db = woody_allen_instance();
+            let vocab = movies_vocabulary(db.schema());
+            Ok((
+                db,
+                movies_graph(),
+                Some(vocab),
+                "demo movies database".into(),
+            ))
+        }
+        Source::Synthetic { movies } => {
+            let db = MoviesGenerator::new(MoviesConfig {
+                movies,
+                directors: (movies / 8).max(1),
+                actors: (movies / 2).max(1),
+                theatres: (movies / 50).max(1),
+                plays: movies * 2,
+                ..MoviesConfig::default()
+            })
+            .generate();
+            let vocab = movies_vocabulary(db.schema());
+            Ok((
+                db,
+                movies_graph(),
+                Some(vocab),
+                format!("synthetic movies database ({movies} movies)"),
+            ))
+        }
+        Source::File(path) => {
+            let db = load_from_file(&path).map_err(|e| e.to_string())?;
+            let graph = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.9, 0.8, 0.9)
+                .map_err(|e| e.to_string())?;
+            Ok((db, graph, None, format!("database loaded from {path}")))
+        }
+    }
+}
+
+/// Tuning for the `serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    pub addr: String,
+    pub workers: usize,
+    pub queue: usize,
+    /// Default per-query deadline, milliseconds; 0 disables deadlines.
+    pub deadline_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:8617".to_owned(),
+            workers: 4,
+            queue: 64,
+            deadline_ms: 10_000,
+        }
+    }
+}
+
+/// Build the engine for `source` and start the HTTP service. The returned
+/// handle serves until `POST /shutdown` (or `trigger_shutdown`); call
+/// `wait()` to block until then.
+pub fn start_server(
+    source: Source,
+    options: &ServeOptions,
+) -> Result<(precis_server::ServerHandle, String), String> {
+    let (db, graph, vocabulary, label) = open_source(source)?;
+    let engine = std::sync::Arc::new(PrecisEngine::new(db, graph).map_err(|e| e.to_string())?);
+    let config = precis_server::ServerConfig {
+        addr: options.addr.clone(),
+        workers: options.workers,
+        queue_capacity: options.queue,
+        default_deadline: (options.deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(options.deadline_ms)),
+    };
+    let handle = precis_server::Server::start(engine, vocabulary, config)
+        .map_err(|e| format!("cannot start server on {}: {e}", options.addr))?;
+    Ok((handle, label))
+}
+
 impl Session {
     /// Open a session over the given source.
     pub fn open(source: Source) -> Result<Session, String> {
-        let (db, graph, vocabulary, label): (Database, SchemaGraph, Option<Vocabulary>, String) =
-            match source {
-                Source::Demo => {
-                    let db = woody_allen_instance();
-                    let vocab = movies_vocabulary(db.schema());
-                    (
-                        db,
-                        movies_graph(),
-                        Some(vocab),
-                        "demo movies database".into(),
-                    )
-                }
-                Source::Synthetic { movies } => {
-                    let db = MoviesGenerator::new(MoviesConfig {
-                        movies,
-                        directors: (movies / 8).max(1),
-                        actors: (movies / 2).max(1),
-                        theatres: (movies / 50).max(1),
-                        plays: movies * 2,
-                        ..MoviesConfig::default()
-                    })
-                    .generate();
-                    let vocab = movies_vocabulary(db.schema());
-                    (
-                        db,
-                        movies_graph(),
-                        Some(vocab),
-                        format!("synthetic movies database ({movies} movies)"),
-                    )
-                }
-                Source::File(path) => {
-                    let text = std::fs::read_to_string(&path)
-                        .map_err(|e| format!("cannot read {path}: {e}"))?;
-                    let db = load_from_string(&text).map_err(|e| e.to_string())?;
-                    let graph = SchemaGraph::from_foreign_keys(db.schema().clone(), 0.9, 0.8, 0.9)
-                        .map_err(|e| e.to_string())?;
-                    (db, graph, None, format!("database loaded from {path}"))
-                }
-            };
+        let (db, graph, vocabulary, label) = open_source(source)?;
         let base_graph = graph.clone();
         let engine = PrecisEngine::new(db, graph).map_err(|e| e.to_string())?;
         Ok(Session {
@@ -537,6 +588,27 @@ mod tests {
         assert!(out.contains("DIRECTOR:"), "{out}");
         assert!(out.contains("dname = Woody Allen"), "{out}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serve_starts_answers_and_shuts_down() {
+        let options = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue: 2,
+            deadline_ms: 2_000,
+        };
+        let (handle, label) = start_server(Source::Demo, &options).unwrap();
+        assert!(label.contains("demo movies database"));
+        use std::io::{Read as _, Write as _};
+        let mut conn = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        handle.trigger_shutdown();
+        handle.wait();
     }
 
     #[test]

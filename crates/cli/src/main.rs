@@ -16,9 +16,51 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut source = None;
     let mut exec: Option<String> = None;
+    let mut serve: Option<precis_cli::ServeOptions> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "serve" => serve = Some(precis_cli::ServeOptions::default()),
+            "--addr" => {
+                i += 1;
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--addr needs `serve`"));
+                opts.addr = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--addr needs an address"));
+            }
+            "--workers" => {
+                i += 1;
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--workers needs `serve`"));
+                opts.workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a thread count"));
+            }
+            "--queue" => {
+                i += 1;
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--queue needs `serve`"));
+                opts.queue = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--queue needs a capacity"));
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--deadline-ms needs `serve`"));
+                opts.deadline_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--deadline-ms needs milliseconds (0 = none)"));
+            }
             "--demo" => source = Some(precis_cli::Source::Demo),
             "--synthetic" => {
                 i += 1;
@@ -54,6 +96,28 @@ fn main() {
     }
 
     let source = source.unwrap_or(precis_cli::Source::Demo);
+
+    if let Some(options) = serve {
+        match precis_cli::start_server(source, &options) {
+            Ok((handle, label)) => {
+                println!(
+                    "precis-server listening on http://{} — {label} \
+                     ({} workers, queue {}, POST /shutdown to stop)",
+                    handle.local_addr(),
+                    options.workers,
+                    options.queue
+                );
+                handle.wait();
+                println!("precis-server stopped");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let mut session = match Session::open(source) {
         Ok(s) => s,
         Err(e) => {

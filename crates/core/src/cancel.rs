@@ -1,0 +1,103 @@
+//! Cooperative cancellation for long-running précis generation.
+//!
+//! A serving layer needs to abort answers that outlive their caller: a
+//! request deadline passes, a client disconnects, the process drains for
+//! shutdown. [`CancelToken`] is the hook the Result Database Generator polls
+//! between retrieval steps — checks are cheap (one atomic load, plus a
+//! monotonic clock read when a deadline is set), so the generator can poll
+//! at every join step and retrieval round without measurable overhead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation handle, optionally carrying a deadline.
+///
+/// Cloning shares the underlying flag: cancelling any clone cancels them
+/// all. The deadline is immutable per token and combines with the flag —
+/// the token reports cancelled as soon as either fires.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that auto-cancels `budget` from now.
+    pub fn with_timeout(budget: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// A token that auto-cancels at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Cancel this token (and every clone sharing its flag).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token been cancelled or its deadline passed?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Error-or-continue form used at generator checkpoints.
+    pub fn check(&self) -> crate::Result<()> {
+        if self.is_cancelled() {
+            Err(crate::CoreError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert!(t.remaining().is_none());
+    }
+
+    #[test]
+    fn cancel_propagates_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        assert!(matches!(c.check(), Err(crate::CoreError::Cancelled)));
+    }
+
+    #[test]
+    fn elapsed_deadline_cancels() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+        let far = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+        assert!(far.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

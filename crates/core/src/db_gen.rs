@@ -14,6 +14,7 @@
 //! * [`RetrievalStrategy::RoundRobin`] — one open scan per join value,
 //!   retrieving one tuple per scan per round, spreading the budget evenly.
 
+use crate::cancel::CancelToken;
 use crate::constraints::{CardinalityBudget, CardinalityConstraint};
 use crate::data_weights::TupleWeights;
 use crate::error::CoreError;
@@ -63,6 +64,11 @@ pub struct DbGenOptions {
     /// tuples, run report, and storage cost counters are identical to
     /// sequential execution either way.
     pub parallel_joins: bool,
+    /// Cooperative cancellation hook polled between retrieval steps. When
+    /// the token fires (explicit cancel or deadline), generation stops with
+    /// [`CoreError::Cancelled`] instead of running to completion — the abort
+    /// path a serving layer needs for per-request deadlines.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for DbGenOptions {
@@ -72,6 +78,7 @@ impl Default for DbGenOptions {
             postpone_by_in_degree: true,
             tuple_weights: None,
             parallel_joins: true,
+            cancel: None,
         }
     }
 }
@@ -170,6 +177,8 @@ pub fn generate_result_database(
     strategy: RetrievalStrategy,
     options: &DbGenOptions,
 ) -> Result<PrecisDatabase> {
+    let cancel = options.cancel.clone().unwrap_or_default();
+    cancel.check()?;
     let mut budget = CardinalityBudget::new(cardinality.clone());
     let mut collected: BTreeMap<RelationId, Collected> = BTreeMap::new();
     let mut report = GenReport::default();
@@ -179,6 +188,7 @@ pub fn generate_result_database(
     let mut seed_rels: Vec<RelationId> = seeds.keys().copied().collect();
     seed_rels.sort_unstable();
     for rel in seed_rels {
+        cancel.check()?;
         if !schema.contains(rel) {
             continue;
         }
@@ -224,7 +234,7 @@ pub fn generate_result_database(
 
     // Step 3: optional foreign-key repair for structural consistency.
     if options.repair_foreign_keys {
-        repair_foreign_keys(db, graph, schema, &mut collected, &mut report)?;
+        repair_foreign_keys(db, graph, schema, &mut collected, &mut report, &cancel)?;
     }
 
     materialize(db, graph, schema, collected, kept_seeds, report)
@@ -273,8 +283,10 @@ fn execute_joins(
     let batching = options.parallel_joins && budget.constraint().per_relation_independent();
     let default_weights = TupleWeights::default();
     let weights = options.tuple_weights.as_deref().unwrap_or(&default_weights);
+    let cancel = options.cancel.clone().unwrap_or_default();
 
     loop {
+        cancel.check()?;
         let mut batch: Vec<usize> = if batching {
             pick_batch(graph, used, &executed, collected, &pending_in, options)
         } else {
@@ -341,12 +353,12 @@ fn execute_joins(
         let outcomes: Vec<Result<(JoinTask, usize)>> = if tasks.len() > 1 {
             tasks
                 .into_par_iter()
-                .map(|t| run_task(db, strategy, weights, t))
+                .map(|t| run_task(db, strategy, weights, &cancel, t))
                 .collect()
         } else {
             tasks
                 .into_iter()
-                .map(|t| run_task(db, strategy, weights, t))
+                .map(|t| run_task(db, strategy, weights, &cancel, t))
                 .collect()
         };
         for outcome in outcomes {
@@ -397,9 +409,10 @@ fn run_task<'a>(
     db: &Database,
     strategy: RetrievalStrategy,
     weights: &TupleWeights,
+    cancel: &CancelToken,
     mut t: JoinTask<'a>,
 ) -> Result<(JoinTask<'a>, usize)> {
-    let added = run_strategy(db, strategy, weights, &mut t)?;
+    let added = run_strategy(db, strategy, weights, cancel, &mut t)?;
     Ok((t, added))
 }
 
@@ -408,6 +421,7 @@ fn run_strategy(
     db: &Database,
     strategy: RetrievalStrategy,
     weights: &TupleWeights,
+    cancel: &CancelToken,
     t: &mut JoinTask<'_>,
 ) -> Result<usize> {
     match strategy {
@@ -419,6 +433,7 @@ fn run_strategy(
             t.allowance,
             &mut t.dest,
             t.origins,
+            cancel,
         ),
         RetrievalStrategy::RoundRobin => round_robin(
             db,
@@ -428,6 +443,7 @@ fn run_strategy(
             t.allowance,
             &mut t.dest,
             t.origins,
+            cancel,
         ),
         RetrievalStrategy::TopWeight => top_weight(
             db,
@@ -438,6 +454,7 @@ fn run_strategy(
             &mut t.dest,
             t.origins,
             weights,
+            cancel,
         ),
     }
 }
@@ -555,6 +572,7 @@ fn pick_edge(
 }
 
 /// NaïveQ: first-N tuples in value-list order (paper's `RowNum` selection).
+#[allow(clippy::too_many_arguments)]
 fn naive_q(
     db: &Database,
     rel: RelationId,
@@ -563,9 +581,11 @@ fn naive_q(
     allowance: usize,
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
+    cancel: &CancelToken,
 ) -> Result<usize> {
     let mut added = 0;
     'outer: for v in values {
+        cancel.check()?;
         // `lookup` and `fetch_from` both borrow `db` shared, so the posting
         // list is iterated in place — no `to_vec` copy per join value.
         let tids = db.lookup(rel, attr, v)?;
@@ -586,6 +606,7 @@ fn naive_q(
 }
 
 /// Round-Robin: one scan per join value, one tuple per scan per round.
+#[allow(clippy::too_many_arguments)]
 fn round_robin(
     db: &Database,
     rel: RelationId,
@@ -594,6 +615,7 @@ fn round_robin(
     allowance: usize,
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
+    cancel: &CancelToken,
 ) -> Result<usize> {
     let mut scans: Vec<ValueScan> = Vec::with_capacity(values.len());
     for v in values {
@@ -601,6 +623,7 @@ fn round_robin(
     }
     let mut added = 0;
     while added < allowance && scans.iter().any(ValueScan::is_open) {
+        cancel.check()?;
         for scan in &mut scans {
             if added >= allowance {
                 break;
@@ -633,10 +656,12 @@ fn top_weight(
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
     weights: &TupleWeights,
+    cancel: &CancelToken,
 ) -> Result<usize> {
     let mut candidates: Vec<TupleId> = Vec::new();
     let mut seen: BTreeSet<TupleId> = BTreeSet::new();
     for v in values {
+        cancel.check()?;
         for tid in db.lookup(rel, attr, v)? {
             if seen.insert(*tid) {
                 candidates.push(*tid);
@@ -668,9 +693,11 @@ fn repair_foreign_keys(
     schema: &ResultSchema,
     collected: &mut BTreeMap<RelationId, Collected>,
     report: &mut GenReport,
+    cancel: &CancelToken,
 ) -> Result<()> {
     let applicable = applicable_foreign_keys(db.schema(), graph, schema);
     loop {
+        cancel.check()?;
         let mut additions: Vec<(RelationId, TupleId)> = Vec::new();
         for &(child, child_attr, parent, parent_attr) in &applicable {
             let Some(children) = collected.get(&child) else {
@@ -1314,6 +1341,39 @@ mod tests {
         .unwrap();
         assert!(p.total_tuples() <= 6, "{}", p.total_tuples());
         assert_eq!(p.report.seed_tuples, 1);
+    }
+
+    #[test]
+    fn cancelled_tokens_abort_generation_cleanly() {
+        use crate::cancel::CancelToken;
+        let (db, g) = tiny_movies();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        let schema = generate_result_schema(&g, &[director], &DegreeConstraint::MinWeight(0.7));
+        let seeds = HashMap::from([(director, vec![TupleId(0)])]);
+        let run = |cancel: CancelToken| {
+            generate_result_database(
+                &db,
+                &g,
+                &schema,
+                &seeds,
+                &CardinalityConstraint::Unbounded,
+                RetrievalStrategy::NaiveQ,
+                &DbGenOptions {
+                    cancel: Some(cancel),
+                    ..DbGenOptions::default()
+                },
+            )
+        };
+        // An explicitly cancelled token aborts before any retrieval.
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(matches!(run(token), Err(CoreError::Cancelled)));
+        // An already-expired deadline aborts the same way.
+        let expired = CancelToken::with_timeout(std::time::Duration::ZERO);
+        assert!(matches!(run(expired), Err(CoreError::Cancelled)));
+        // A live token leaves generation untouched.
+        let p = run(CancelToken::new()).unwrap();
+        assert_eq!(p.total_tuples(), 16);
     }
 
     #[test]

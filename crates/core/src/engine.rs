@@ -295,6 +295,9 @@ impl PrecisEngine {
         matches: Vec<TokenMatch>,
         spec: &AnswerSpec,
     ) -> Result<PrecisAnswer> {
+        if let Some(cancel) = &spec.options.cancel {
+            cancel.check()?;
+        }
         let (origins, seeds) = origins_and_seeds(&matches);
 
         // Stage 2: result schema generation, memoized per (origins, degree,

@@ -16,6 +16,8 @@ pub enum CoreError {
     SchemaMismatch(String),
     /// The query contained no tokens.
     EmptyQuery,
+    /// Answer generation was cancelled (deadline exceeded or caller abort).
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -26,6 +28,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownProfile(p) => write!(f, "unknown weight profile {p:?}"),
             CoreError::SchemaMismatch(msg) => write!(f, "graph/database schema mismatch: {msg}"),
             CoreError::EmptyQuery => f.write_str("précis query has no tokens"),
+            CoreError::Cancelled => f.write_str("answer generation cancelled (deadline exceeded)"),
         }
     }
 }

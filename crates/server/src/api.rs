@@ -1,0 +1,323 @@
+//! The `/query` API: request decoding, answer execution under a deadline,
+//! and deterministic JSON rendering of the précis (result sub-database +
+//! narratives).
+//!
+//! Rendering lives here — public and pure — so the integration tests can
+//! compute the expected body for a query with a direct [`PrecisEngine`]
+//! call and assert the served bytes are identical under concurrency.
+
+use crate::json::{self, Json};
+use precis_core::{
+    AnswerSpec, CancelToken, CardinalityConstraint, CoreError, DegreeConstraint, PrecisAnswer,
+    PrecisEngine, PrecisQuery, RetrievalStrategy,
+};
+use precis_nlg::{Translator, Vocabulary};
+use precis_storage::Value;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A decoded `/query` request body.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    pub query: PrecisQuery,
+    pub degree: DegreeConstraint,
+    pub cardinality: CardinalityConstraint,
+    pub strategy: RetrievalStrategy,
+    /// Per-request deadline override, milliseconds. Capped by the server's
+    /// configured default.
+    pub deadline_ms: Option<u64>,
+}
+
+/// Decode a request body. Only `tokens` is required:
+///
+/// ```json
+/// {
+///   "tokens": "woody allen",            // or ["woody", "allen"]
+///   "degree": {"minweight": 0.9},       // or {"top": 3} or {"maxlen": 2}
+///   "cardinality": {"perrel": 10},      // or {"total": 50} or "unbounded"
+///   "strategy": "roundrobin",           // or "naive" / "topweight"
+///   "deadline_ms": 2000
+/// }
+/// ```
+pub fn parse_query_request(body: &str) -> Result<QueryRequest, String> {
+    let doc = json::parse(body)?;
+    let query = match doc.get("tokens") {
+        Some(Json::String(s)) => PrecisQuery::parse(s),
+        Some(Json::Array(items)) => {
+            let tokens: Vec<&str> = items
+                .iter()
+                .map(|t| t.as_str().ok_or("tokens array must hold strings"))
+                .collect::<Result<_, _>>()?;
+            PrecisQuery::new(tokens)
+        }
+        Some(_) => return Err("\"tokens\" must be a string or an array of strings".to_owned()),
+        None => return Err("missing required field \"tokens\"".to_owned()),
+    };
+
+    let degree = match doc.get("degree") {
+        None => DegreeConstraint::MinWeight(0.9),
+        Some(d) => {
+            if let Some(w) = d.get("minweight").and_then(Json::as_f64) {
+                if !(0.0..=1.0).contains(&w) {
+                    return Err("degree.minweight must be in [0, 1]".to_owned());
+                }
+                DegreeConstraint::MinWeight(w)
+            } else if let Some(r) = d.get("top").and_then(Json::as_usize) {
+                DegreeConstraint::TopProjections(r)
+            } else if let Some(l) = d.get("maxlen").and_then(Json::as_usize) {
+                DegreeConstraint::MaxPathLength(l)
+            } else {
+                return Err(
+                    "degree must be {\"minweight\": w} | {\"top\": r} | {\"maxlen\": l}".to_owned(),
+                );
+            }
+        }
+    };
+
+    let cardinality = match doc.get("cardinality") {
+        None => CardinalityConstraint::MaxTuplesPerRelation(10),
+        Some(Json::String(s)) if s == "unbounded" => CardinalityConstraint::Unbounded,
+        Some(c) => {
+            if let Some(n) = c.get("perrel").and_then(Json::as_usize) {
+                CardinalityConstraint::MaxTuplesPerRelation(n)
+            } else if let Some(n) = c.get("total").and_then(Json::as_usize) {
+                CardinalityConstraint::MaxTotalTuples(n)
+            } else {
+                return Err(
+                    "cardinality must be {\"perrel\": n} | {\"total\": n} | \"unbounded\""
+                        .to_owned(),
+                );
+            }
+        }
+    };
+
+    let strategy = match doc.get("strategy") {
+        None => RetrievalStrategy::RoundRobin,
+        Some(Json::String(s)) => match s.as_str() {
+            "naive" => RetrievalStrategy::NaiveQ,
+            "roundrobin" => RetrievalStrategy::RoundRobin,
+            "topweight" => RetrievalStrategy::TopWeight,
+            other => return Err(format!("unknown strategy {other:?}")),
+        },
+        Some(_) => return Err("strategy must be a string".to_owned()),
+    };
+
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_usize()
+                .ok_or("deadline_ms must be a non-negative integer")? as u64,
+        ),
+    };
+
+    Ok(QueryRequest {
+        query,
+        degree,
+        cardinality,
+        strategy,
+        deadline_ms,
+    })
+}
+
+/// Execute a decoded request against the engine under a deadline and render
+/// the success body. `Err(CoreError::Cancelled)` means the deadline fired.
+pub fn answer_query(
+    engine: &PrecisEngine,
+    vocabulary: Option<&Vocabulary>,
+    request: &QueryRequest,
+    default_deadline: Option<Duration>,
+) -> Result<String, CoreError> {
+    let budget = match (request.deadline_ms, default_deadline) {
+        (Some(ms), Some(cap)) => Some(Duration::from_millis(ms).min(cap)),
+        (Some(ms), None) => Some(Duration::from_millis(ms)),
+        (None, cap) => cap,
+    };
+    let mut options = precis_core::DbGenOptions::default();
+    let cancel = budget.map(CancelToken::with_timeout);
+    options.cancel = cancel.clone();
+    let spec = AnswerSpec::new(request.degree.clone(), request.cardinality.clone())
+        .with_strategy(request.strategy)
+        .with_options(options);
+    let answer = engine.answer(&request.query, &spec)?;
+    // The deadline also covers narrative synthesis: bail before rendering a
+    // large answer the caller will never wait for.
+    if let Some(c) = &cancel {
+        c.check()?;
+    }
+    Ok(render_answer(engine, vocabulary, &answer))
+}
+
+/// Render one answered query as the deterministic response body.
+pub fn render_answer(
+    engine: &PrecisEngine,
+    vocabulary: Option<&Vocabulary>,
+    answer: &PrecisAnswer,
+) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"tokens\": [");
+    for (i, m) in answer.matches.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json::write_str(&mut out, &m.token);
+    }
+    out.push_str("], \"unmatched\": [");
+    for (i, t) in answer.unmatched_tokens().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json::write_str(&mut out, t);
+    }
+    out.push_str("], \"database\": {");
+
+    let precis_db = &answer.precis.database;
+    let mut first_rel = true;
+    for (rel, rel_schema) in precis_db.schema().relations() {
+        if !first_rel {
+            out.push_str(", ");
+        }
+        first_rel = false;
+        json::write_str(&mut out, rel_schema.name());
+        out.push_str(": {\"attributes\": [");
+        for (i, a) in rel_schema.attributes().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::write_str(&mut out, &a.name);
+        }
+        out.push_str("], \"tuples\": [");
+        let mut first_tuple = true;
+        for (_, tuple) in precis_db.table(rel).iter() {
+            if !first_tuple {
+                out.push_str(", ");
+            }
+            first_tuple = false;
+            out.push('[');
+            for (i, v) in tuple.values().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(&mut out, v);
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+
+    let report = &answer.precis.report;
+    let _ = write!(
+        out,
+        "}}, \"report\": {{\"total_tuples\": {}, \"seed_tuples\": {}, \"retrieved_tuples\": {}, \
+         \"joins_executed\": {}, \"joins_skipped\": {}, \"repaired_tuples\": {}}}",
+        answer.precis.total_tuples(),
+        report.seed_tuples,
+        report.retrieved_tuples,
+        report.joins_executed,
+        report.joins_skipped,
+        report.repaired_tuples
+    );
+
+    out.push_str(", \"narratives\": [");
+    let fallback = Vocabulary::new();
+    let translator = match vocabulary {
+        Some(v) => Translator::new(engine.database(), engine.graph(), v),
+        None => {
+            Translator::new(engine.database(), engine.graph(), &fallback).with_generic_fallback()
+        }
+    };
+    match translator.translate_ranked(answer) {
+        Ok(narratives) => {
+            for (i, n) in narratives.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"token\": ");
+                json::write_str(&mut out, &n.token);
+                out.push_str(", \"relation\": ");
+                json::write_str(&mut out, &n.relation);
+                out.push_str(", \"text\": ");
+                json::write_str(&mut out, &n.text);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        Err(e) => {
+            out.push_str("], \"narrative_error\": ");
+            json::write_str(&mut out, &e.to_string());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => json::write_f64(out, *f),
+        Value::Text(s) => json::write_str(out, s),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = parse_query_request(
+            r#"{"tokens": ["woody", "allen"], "degree": {"top": 3},
+               "cardinality": {"total": 50}, "strategy": "naive", "deadline_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.query.tokens(), ["woody", "allen"]);
+        assert_eq!(r.degree, DegreeConstraint::TopProjections(3));
+        assert_eq!(r.cardinality, CardinalityConstraint::MaxTotalTuples(50));
+        assert_eq!(r.strategy, RetrievalStrategy::NaiveQ);
+        assert_eq!(r.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn string_tokens_use_the_cli_parser_and_defaults_apply() {
+        let r = parse_query_request(r#"{"tokens": "\"woody allen\" comedy"}"#).unwrap();
+        assert_eq!(r.query.tokens(), ["woody allen", "comedy"]);
+        assert_eq!(r.degree, DegreeConstraint::MinWeight(0.9));
+        assert_eq!(
+            r.cardinality,
+            CardinalityConstraint::MaxTuplesPerRelation(10)
+        );
+        assert_eq!(r.strategy, RetrievalStrategy::RoundRobin);
+        assert_eq!(r.deadline_ms, None);
+    }
+
+    #[test]
+    fn bad_requests_are_described() {
+        for (body, needle) in [
+            ("{}", "tokens"),
+            (r#"{"tokens": 5}"#, "tokens"),
+            (r#"{"tokens": "x", "degree": {"minweight": 2.0}}"#, "[0, 1]"),
+            (r#"{"tokens": "x", "degree": {"nope": 1}}"#, "degree"),
+            (
+                r#"{"tokens": "x", "cardinality": {"nope": 1}}"#,
+                "cardinality",
+            ),
+            (r#"{"tokens": "x", "strategy": "bogus"}"#, "strategy"),
+            (r#"{"tokens": "x", "deadline_ms": -4}"#, "deadline_ms"),
+            ("not json", "bad literal"),
+        ] {
+            let err = parse_query_request(body).unwrap_err();
+            assert!(err.contains(needle), "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn unbounded_cardinality_parses() {
+        let r = parse_query_request(r#"{"tokens": "x", "cardinality": "unbounded"}"#).unwrap();
+        assert_eq!(r.cardinality, CardinalityConstraint::Unbounded);
+    }
+}

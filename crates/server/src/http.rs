@@ -1,0 +1,295 @@
+//! A deliberately small HTTP/1.1 subset over `std::net`: parse one request
+//! (request line, headers, `Content-Length` body), write one response, close
+//! the connection. Every response carries `Connection: close`, so a client
+//! issues one request per connection — which keeps the admission queue an
+//! honest model of outstanding work (a kept-alive idle connection can never
+//! pin a worker).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Caps keeping a hostile peer from ballooning worker memory.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Header names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. The variants map to the status code the
+/// server answers before closing.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line/headers/length → 400.
+    Bad(String),
+    /// Body or headers exceed the caps → 413.
+    TooLarge,
+    /// The peer vanished mid-request; nothing to answer.
+    Disconnected,
+}
+
+/// Read one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut header_bytes = 0usize;
+
+    read_line(&mut reader, &mut line, &mut header_bytes)?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Bad(format!("bad request line {line:?}")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported version {version:?}")));
+    }
+    let method = method.to_owned();
+    let path = target.split('?').next().unwrap_or("").to_owned();
+
+    let mut headers = Vec::new();
+    loop {
+        read_line(&mut reader, &mut line, &mut header_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad(format!("bad header {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ParseError::Bad(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| ParseError::Disconnected)?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Read one CRLF- (or LF-) terminated line into `line`, charging the header
+/// byte budget.
+fn read_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+    budget_used: &mut usize,
+) -> Result<(), ParseError> {
+    line.clear();
+    let n = reader
+        .read_line(line)
+        .map_err(|_| ParseError::Disconnected)?;
+    if n == 0 {
+        return Err(ParseError::Disconnected);
+    }
+    *budget_used += n;
+    if *budget_used > MAX_HEADER_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(())
+}
+
+/// One response to be written.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Retry-After`), already formatted as `Name: value`.
+    pub extra_headers: Vec<String>,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A JSON error payload: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\": ");
+        crate::json::write_str(&mut body, message);
+        body.push_str("}\n");
+        Response::json(status, body)
+    }
+
+    pub fn with_header(mut self, header: impl Into<String>) -> Self {
+        self.extra_headers.push(header.into());
+        self
+    }
+}
+
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write the response; errors are ignored by callers (the peer may already
+/// be gone, which is its problem, not the server's).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for h in &response.extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Run the parser against raw bytes through a real socket pair.
+    fn parse_raw(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse_raw(b"POST /query?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(parse_raw(b"\r\n\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(
+            parse_raw(b"GET / SPDY/9\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        assert!(matches!(parse_raw(b""), Err(ParseError::Disconnected)));
+        // Declared body never arrives.
+        assert!(matches!(
+            parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi"),
+            Err(ParseError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn oversized_declarations_are_refused_up_front() {
+        let huge = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_raw(huge.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..2000 {
+            many_headers.push_str(&format!("X-Pad-{i}: {}\r\n", "y".repeat(64)));
+        }
+        many_headers.push_str("\r\n");
+        assert!(matches!(
+            parse_raw(many_headers.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let resp = Response::error(503, "overloaded").with_header("Retry-After: 1");
+        write_response(&mut server_side, &resp).unwrap();
+        drop(server_side);
+        let mut text = String::new();
+        let mut client = client;
+        client.read_to_string(&mut text).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("{\"error\": \"overloaded\"}\n"));
+    }
+}

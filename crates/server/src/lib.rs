@@ -1,0 +1,28 @@
+//! `precis-server`: a concurrent network front-end for the précis engine.
+//!
+//! A deliberately dependency-free HTTP/1.1 service over `std::net`: a fixed
+//! worker pool fed by a bounded admission queue (overload → `503` +
+//! `Retry-After`, never unbounded buffering), per-request deadlines that
+//! abort précis generation cooperatively (→ `504`), and a Prometheus-format
+//! `/metrics` endpoint covering request counts, latency histograms, queue
+//! depth, rejections, and the engine's answer-cache statistics.
+//!
+//! Endpoints:
+//!
+//! | Method | Path        | Purpose                                         |
+//! |--------|-------------|-------------------------------------------------|
+//! | POST   | `/query`    | Answer a précis query (JSON in, JSON out)       |
+//! | GET    | `/healthz`  | Liveness probe                                  |
+//! | GET    | `/metrics`  | Prometheus text exposition                      |
+//! | POST   | `/shutdown` | Graceful shutdown (drains in-flight requests)   |
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+mod server;
+
+pub use api::{answer_query, parse_query_request, render_answer, QueryRequest};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig, ServerHandle};

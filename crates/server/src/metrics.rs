@@ -1,0 +1,299 @@
+//! Lock-free request metrics with a Prometheus text-format exposition.
+//!
+//! Everything is an atomic counter so the hot path never takes a lock:
+//! per-endpoint/status request counts, a fixed-bucket latency histogram,
+//! live queue depth, and admission/deadline rejection totals. The answer
+//! caches' [`precis_core::AnswerCacheStats`] are folded into the exposition
+//! at scrape time.
+
+use precis_core::AnswerCacheStats;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, seconds. Chosen to straddle both cached
+/// sub-millisecond answers and multi-second deadline-bounded ones.
+pub const LATENCY_BUCKETS: [f64; 12] = [
+    0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0,
+];
+
+/// Statuses tracked per endpoint.
+const STATUSES: [u16; 6] = [200, 400, 404, 500, 503, 504];
+
+/// Endpoints tracked individually; anything else lands in `other`.
+const ENDPOINTS: [&str; 4] = ["query", "healthz", "metrics", "other"];
+
+/// One cumulative latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS.len()],
+    count: AtomicU64,
+    /// Sum in nanoseconds (u64 holds ~584 years of request time).
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            if secs <= *le {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile from the cumulative buckets (upper bound of the
+    /// first bucket covering the rank; `None` with no observations).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = (q * count as f64).ceil().max(1.0) as u64;
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            if self.buckets[i].load(Ordering::Relaxed) >= rank {
+                return Some(*le);
+            }
+        }
+        // Above the last bound: report the mean of the overflow as a stand-in.
+        Some(self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9 / count as f64)
+    }
+}
+
+/// All serving metrics, shared across acceptor and workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// requests[endpoint][status] counters.
+    requests: [[AtomicU64; STATUSES.len()]; ENDPOINTS.len()],
+    /// Latency histogram over all handled requests.
+    pub latency: Histogram,
+    /// Connections currently queued for a worker.
+    queue_depth: AtomicU64,
+    /// Connections refused at admission (queue full → 503).
+    rejected_total: AtomicU64,
+    /// Requests aborted by their deadline (→ 504).
+    deadline_exceeded_total: AtomicU64,
+    /// Handler panics converted to 500s.
+    panics_total: AtomicU64,
+}
+
+fn endpoint_slot(endpoint: &str) -> usize {
+    ENDPOINTS
+        .iter()
+        .position(|e| *e == endpoint)
+        .unwrap_or(ENDPOINTS.len() - 1)
+}
+
+fn status_slot(status: u16) -> usize {
+    STATUSES
+        .iter()
+        .position(|s| *s == status)
+        .unwrap_or_else(|| status_slot(500))
+}
+
+impl Metrics {
+    pub fn record_request(&self, endpoint: &str, status: u16, latency: Duration) {
+        self.requests[endpoint_slot(endpoint)][status_slot(status)].fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(latency);
+        if status == 504 {
+            self.deadline_exceeded_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_rejection(&self) {
+        self.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_panic(&self) {
+        self.panics_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected_total.load(Ordering::Relaxed)
+    }
+
+    pub fn deadline_exceeded_total(&self) -> u64 {
+        self.deadline_exceeded_total.load(Ordering::Relaxed)
+    }
+
+    pub fn requests_total(&self) -> u64 {
+        self.requests
+            .iter()
+            .flat_map(|by_status| by_status.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn requests_for(&self, endpoint: &str, status: u16) -> u64 {
+        self.requests[endpoint_slot(endpoint)][status_slot(status)].load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus text exposition format (v0.0.4).
+    pub fn render_prometheus(&self, cache: &AnswerCacheStats) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP precis_requests_total Handled requests by endpoint and status.\n");
+        out.push_str("# TYPE precis_requests_total counter\n");
+        for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+            for (si, status) in STATUSES.iter().enumerate() {
+                let n = self.requests[ei][si].load(Ordering::Relaxed);
+                if n > 0 {
+                    let _ = writeln!(
+                        out,
+                        "precis_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}"
+                    );
+                }
+            }
+        }
+
+        out.push_str(
+            "# HELP precis_request_duration_seconds Request handling latency histogram.\n",
+        );
+        out.push_str("# TYPE precis_request_duration_seconds histogram\n");
+        for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "precis_request_duration_seconds_bucket{{le=\"{le}\"}} {}",
+                self.latency.buckets[i].load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "precis_request_duration_seconds_bucket{{le=\"+Inf\"}} {}",
+            self.latency.count()
+        );
+        let _ = writeln!(
+            out,
+            "precis_request_duration_seconds_sum {}",
+            self.latency.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "precis_request_duration_seconds_count {}",
+            self.latency.count()
+        );
+
+        let singles: [(&str, &str, u64); 4] = [
+            (
+                "precis_queue_depth",
+                "Connections waiting for a worker (gauge).",
+                self.queue_depth(),
+            ),
+            (
+                "precis_rejected_total",
+                "Connections refused at admission with 503.",
+                self.rejected_total(),
+            ),
+            (
+                "precis_deadline_exceeded_total",
+                "Requests aborted by their deadline with 504.",
+                self.deadline_exceeded_total(),
+            ),
+            (
+                "precis_handler_panics_total",
+                "Handler panics converted to 500 responses.",
+                self.panics_total.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in singles {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let kind = if name == "precis_queue_depth" {
+                "gauge"
+            } else {
+                "counter"
+            };
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        out.push_str("# HELP precis_cache_events_total Answer-cache events by layer and kind.\n");
+        out.push_str("# TYPE precis_cache_events_total counter\n");
+        for (layer, kind, value) in [
+            ("schema", "hit", cache.schema_hits),
+            ("schema", "miss", cache.schema_misses),
+            ("token", "hit", cache.token_hits),
+            ("token", "miss", cache.token_misses),
+        ] {
+            let _ = writeln!(
+                out,
+                "precis_cache_events_total{{layer=\"{layer}\",kind=\"{kind}\"}} {value}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_quantiles_bound() {
+        let h = Histogram::default();
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 200] {
+            h.observe(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 10);
+        // p50 lands in the 2.5ms bucket that covers 1ms observations.
+        assert!(h.quantile(0.5).unwrap() <= 0.0025);
+        // p99 covers the slow outlier.
+        assert!(h.quantile(0.99).unwrap() >= 0.2);
+        assert_eq!(Histogram::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn exposition_contains_all_families() {
+        let m = Metrics::default();
+        m.record_request("query", 200, Duration::from_millis(2));
+        m.record_request("query", 504, Duration::from_millis(5));
+        m.record_rejection();
+        m.enqueued();
+        let cache = AnswerCacheStats {
+            schema_hits: 3,
+            schema_misses: 1,
+            token_hits: 5,
+            token_misses: 2,
+            schema_evictions: 0,
+            token_evictions: 0,
+        };
+        let text = m.render_prometheus(&cache);
+        assert!(text.contains("precis_requests_total{endpoint=\"query\",status=\"200\"} 1"));
+        assert!(text.contains("precis_requests_total{endpoint=\"query\",status=\"504\"} 1"));
+        assert!(text.contains("precis_request_duration_seconds_count 2"));
+        assert!(text.contains("precis_request_duration_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("precis_queue_depth 1"));
+        assert!(text.contains("precis_rejected_total 1"));
+        assert!(text.contains("precis_deadline_exceeded_total 1"));
+        assert!(text.contains("precis_cache_events_total{layer=\"schema\",kind=\"hit\"} 3"));
+        assert_eq!(m.deadline_exceeded_total(), 1);
+        assert_eq!(m.requests_for("query", 200), 1);
+    }
+
+    #[test]
+    fn unknown_endpoints_and_statuses_fold_into_catchalls() {
+        let m = Metrics::default();
+        m.record_request("bogus", 418, Duration::ZERO);
+        assert!(m
+            .render_prometheus(&AnswerCacheStats::default())
+            .contains("precis_requests_total{endpoint=\"other\",status=\"500\"} 1"));
+    }
+}

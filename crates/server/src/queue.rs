@@ -1,0 +1,174 @@
+//! A bounded MPMC queue with *admission control*: producers never block —
+//! when the queue is full the item comes straight back so the caller can
+//! reject the work instead of buffering it without bound. Consumers block
+//! until an item arrives or the queue is closed and drained, which is
+//! exactly the graceful-shutdown contract the worker pool needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded queue shared between the acceptor (producer) and the worker pool
+/// (consumers).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue held `capacity` items; the item is handed back.
+    Full(T),
+    /// The queue is closed to new work; the item is handed back.
+    Closed(T),
+}
+
+impl<T> BoundedQueue<T> {
+    /// `capacity` of 0 is promoted to 1 — a queue that can hold nothing
+    /// would deadlock the acceptor against the workers.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking push: admission control happens here.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` only once the queue is closed *and*
+    /// empty, so a closed queue still drains every admitted item.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).expect("queue lock");
+        }
+    }
+
+    /// Close the queue: no further pushes are admitted; blocked consumers
+    /// wake and drain the remainder.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_releases_consumers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+
+        // A consumer blocked on an empty queue wakes on close.
+        let q2: Arc<BoundedQueue<i32>> = Arc::new(BoundedQueue::new(1));
+        let waiter = {
+            let q2 = q2.clone();
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_items() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0u32;
+        let mut rejected = 0u32;
+        for i in 0..1000u32 {
+            match q.try_push(i) {
+                Ok(()) => pushed += 1,
+                Err(PushError::Full(_)) => rejected += 1,
+                Err(PushError::Closed(_)) => unreachable!("not closed yet"),
+            }
+        }
+        q.close();
+        let drained: usize = consumers.into_iter().map(|c| c.join().unwrap().len()).sum();
+        assert_eq!(drained as u32, pushed);
+        assert_eq!(pushed + rejected, 1000);
+    }
+
+    #[test]
+    fn zero_capacity_is_promoted() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! The serving loop: an acceptor thread feeding a bounded queue, a fixed
+//! worker pool draining it, and a handle for graceful shutdown.
+//!
+//! Admission control happens at the acceptor: when the queue is full the
+//! connection is answered `503` with `Retry-After` and closed immediately —
+//! the server never buffers unbounded work. Each admitted connection carries
+//! exactly one request; its deadline is armed the moment a worker picks it
+//! up, so time spent queued does not silently eat the caller's budget.
+
+use crate::api;
+use crate::http::{self, ParseError, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use precis_core::{CoreError, PrecisEngine};
+use precis_nlg::Vocabulary;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker before admission control
+    /// starts answering 503.
+    pub queue_capacity: usize,
+    /// Deadline applied to every `/query`; a request's own `deadline_ms`
+    /// may only tighten it. `None` disables deadlines by default.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            default_deadline: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    engine: Arc<PrecisEngine>,
+    vocabulary: Option<Vocabulary>,
+    metrics: Arc<Metrics>,
+    queue: BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+    default_deadline: Option<Duration>,
+    local_addr: SocketAddr,
+}
+
+/// A running server. Dropping the handle without calling [`join`] leaves the
+/// threads serving until the process exits.
+///
+/// [`join`]: ServerHandle::join
+pub struct Server;
+
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    pub fn start(
+        engine: Arc<PrecisEngine>,
+        vocabulary: Option<Vocabulary>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let shared = Arc::new(Shared {
+            engine,
+            vocabulary,
+            metrics: Arc::new(Metrics::default()),
+            queue: BoundedQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            default_deadline: config.default_deadline,
+            local_addr: listener.local_addr()?,
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("precis-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("precis-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// Begin shutdown without blocking: stop admitting connections and wake
+    /// the acceptor. Admitted requests keep draining. Safe to call from any
+    /// thread (including a worker handling `POST /shutdown`).
+    pub fn trigger_shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Graceful shutdown: stop admitting, drain in-flight requests, join
+    /// every thread.
+    pub fn join(self) {
+        self.trigger_shutdown();
+        self.wait();
+    }
+
+    /// Block until the server shuts down — via [`trigger_shutdown`] from
+    /// another thread or a `POST /shutdown` — then reap every thread. This
+    /// is the serve-forever mode: it does not initiate shutdown itself.
+    ///
+    /// [`trigger_shutdown`]: ServerHandle::trigger_shutdown
+    pub fn wait(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    // The acceptor blocks in accept(); a throwaway connection wakes it so it
+    // can observe the flag and exit.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        match shared.queue.try_push(stream) {
+            Ok(()) => shared.metrics.enqueued(),
+            Err(PushError::Full(mut stream)) => {
+                shared.metrics.record_rejection();
+                let resp = Response::error(503, "server overloaded, retry shortly")
+                    .with_header("Retry-After: 1");
+                let _ = http::write_response(&mut stream, &resp);
+            }
+            Err(PushError::Closed(mut stream)) => {
+                let resp =
+                    Response::error(503, "server shutting down").with_header("Retry-After: 1");
+                let _ = http::write_response(&mut stream, &resp);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.queue.pop() {
+        shared.metrics.dequeued();
+        serve_connection(shared, &mut stream);
+    }
+}
+
+/// Read one request off the connection, handle it, answer it, close.
+fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
+    let started = Instant::now();
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(ParseError::Disconnected) => return,
+        Err(ParseError::Bad(msg)) => {
+            let resp = Response::error(400, &msg);
+            shared
+                .metrics
+                .record_request("other", 400, started.elapsed());
+            let _ = http::write_response(stream, &resp);
+            return;
+        }
+        Err(ParseError::TooLarge) => {
+            let resp = Response::error(413, "request too large");
+            shared
+                .metrics
+                .record_request("other", 413, started.elapsed());
+            let _ = http::write_response(stream, &resp);
+            return;
+        }
+    };
+
+    let (endpoint, response, shutdown_after) = route(shared, &request);
+    shared
+        .metrics
+        .record_request(endpoint, response.status, started.elapsed());
+    let _ = http::write_response(stream, &response);
+    if shutdown_after {
+        trigger_shutdown(shared);
+    }
+}
+
+/// Dispatch one request. Returns the metrics endpoint label, the response,
+/// and whether to begin shutdown after answering.
+fn route(shared: &Shared, request: &Request) -> (&'static str, Response, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/query") => ("query", handle_query(shared, &request.body), false),
+        ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n"), false),
+        ("GET", "/metrics") => {
+            let cache = shared.engine.cache_stats();
+            let body = shared.metrics.render_prometheus(&cache);
+            ("metrics", Response::text(200, body), false)
+        }
+        ("POST", "/shutdown") => (
+            "other",
+            Response::json(200, "{\"shutting_down\": true}\n".to_owned()),
+            true,
+        ),
+        (_, "/query" | "/healthz" | "/metrics" | "/shutdown") => {
+            ("other", Response::error(405, "method not allowed"), false)
+        }
+        _ => ("other", Response::error(404, "no such endpoint"), false),
+    }
+}
+
+fn handle_query(shared: &Shared, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "body must be UTF-8");
+    };
+    let request = match api::parse_query_request(text) {
+        Ok(r) => r,
+        Err(msg) => return Response::error(400, &msg),
+    };
+
+    // A panic in answer generation must cost one request, not a worker: the
+    // engine's state is all behind Arcs and internally lock-guarded, so a
+    // unwound handler leaves nothing half-mutated.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        api::answer_query(
+            &shared.engine,
+            shared.vocabulary.as_ref(),
+            &request,
+            shared.default_deadline,
+        )
+    }));
+    match outcome {
+        Ok(Ok(body)) => Response::json(200, body),
+        Ok(Err(CoreError::Cancelled)) => Response::error(504, "deadline exceeded"),
+        Ok(Err(CoreError::EmptyQuery)) => Response::error(400, "query has no tokens"),
+        Ok(Err(e)) => Response::error(500, &e.to_string()),
+        Err(_) => {
+            shared.metrics.record_panic();
+            Response::error(500, "internal error answering query")
+        }
+    }
+}

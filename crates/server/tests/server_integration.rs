@@ -1,0 +1,248 @@
+//! End-to-end tests against a live server on an ephemeral loopback port:
+//! concurrent responses must be byte-identical to direct engine answers,
+//! overload must answer 503 at admission, deadline-exceeded must answer 504
+//! without poisoning the worker pool, and shutdown must drain cleanly.
+
+use precis_core::PrecisEngine;
+use precis_datagen::{movies_graph, movies_vocabulary, MoviesConfig, MoviesGenerator};
+use precis_server::{api, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_engine() -> Arc<PrecisEngine> {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies: 200,
+        directors: 20,
+        actors: 100,
+        theatres: 4,
+        plays: 400,
+        seed: 0x5E21,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    Arc::new(PrecisEngine::new(db, movies_graph()).expect("engine builds"))
+}
+
+/// Issue one raw HTTP request and return (status, raw header block, body).
+fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    // Tolerate a read error after the response bytes: a 503 written at
+    // admission closes the socket without draining the request, which can
+    // RST the connection behind the response on loopback.
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let response = String::from_utf8(buf).expect("utf-8 response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_owned(), body.to_owned())
+}
+
+fn post_query(addr: SocketAddr, body: &str) -> (u16, String, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn concurrent_responses_are_byte_identical_to_direct_answers() {
+    let engine = test_engine();
+    let vocab = movies_vocabulary(engine.database().schema());
+    let handle = Server::start(
+        engine.clone(),
+        Some(vocab.clone()),
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 32,
+            default_deadline: None,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let bodies = [
+        r#"{"tokens": "comedy"}"#,
+        r#"{"tokens": ["drama", "thriller"], "degree": {"minweight": 0.5}}"#,
+        r#"{"tokens": "action", "cardinality": {"perrel": 3}, "strategy": "naive"}"#,
+        r#"{"tokens": "romance", "strategy": "topweight", "cardinality": {"total": 20}}"#,
+    ];
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|b| {
+            let req = api::parse_query_request(b).expect("request parses");
+            api::answer_query(&engine, Some(&vocab), &req, None).expect("direct answer")
+        })
+        .collect();
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for round in 0..3 {
+                    let pick = (i + round) % bodies.len();
+                    let (status, _, got) = post_query(addr, bodies[pick]);
+                    assert_eq!(status, 200, "{got}");
+                    assert_eq!(got, expected[pick], "served body diverged from engine");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    assert!(handle.metrics().requests_for("query", 200) >= 24);
+    handle.join();
+}
+
+#[test]
+fn overload_answers_503_with_retry_after_and_bounded_queue() {
+    let handle = Server::start(
+        test_engine(),
+        None,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            default_deadline: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // Occupy the single worker with a connection that never sends its
+    // request, then fill the one queue slot the same way. Each connect gets
+    // a settling pause so the acceptor/worker observably consume it.
+    let busy = TcpStream::connect(addr).expect("busy conn");
+    std::thread::sleep(Duration::from_millis(150));
+    let queued = TcpStream::connect(addr).expect("queued conn");
+    std::thread::sleep(Duration::from_millis(150));
+    assert!(
+        handle.metrics().queue_depth() <= 1,
+        "queue depth is bounded"
+    );
+
+    // Admission control now rejects instead of buffering.
+    let (status, head, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 503, "{body}");
+    assert!(head.contains("Retry-After:"), "{head}");
+    assert!(handle.metrics().rejected_total() >= 1);
+
+    // Release the held connections; the pool drains and serves again.
+    drop(busy);
+    drop(queued);
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, _, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    handle.join();
+}
+
+#[test]
+fn deadline_zero_answers_504_without_poisoning_the_pool() {
+    let handle = Server::start(
+        test_engine(),
+        None,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            default_deadline: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    for _ in 0..4 {
+        let (status, _, body) = post_query(addr, r#"{"tokens": "comedy", "deadline_ms": 0}"#);
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains("deadline"), "{body}");
+    }
+    assert!(handle.metrics().deadline_exceeded_total() >= 4);
+
+    // The same workers still answer ordinary queries afterwards.
+    let (status, _, body) = post_query(addr, r#"{"tokens": "comedy"}"#);
+    assert_eq!(status, 200, "{body}");
+    handle.join();
+}
+
+#[test]
+fn healthz_metrics_and_errors_round_trip() {
+    let handle =
+        Server::start(test_engine(), None, ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, _, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+
+    let (status, _, body) = post_query(addr, r#"{"tokens": "comedy"}"#);
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = post_query(addr, r#"{"tokens": 42}"#);
+    assert_eq!(status, 400, "{body}");
+    let (status, _, _) = roundtrip(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 404);
+    let (status, _, _) = roundtrip(addr, "DELETE /query HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+
+    let (status, _, metrics) = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    for family in [
+        "precis_requests_total{endpoint=\"query\",status=\"200\"} 1",
+        "precis_requests_total{endpoint=\"query\",status=\"400\"} 1",
+        "precis_request_duration_seconds_bucket",
+        "precis_queue_depth",
+        "precis_rejected_total",
+        "precis_cache_events_total{layer=\"token\",kind=\"miss\"}",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+    handle.join();
+}
+
+#[test]
+fn shutdown_endpoint_drains_and_joins() {
+    let handle =
+        Server::start(test_engine(), None, ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, _, body) = roundtrip(addr, "POST /shutdown HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting_down"), "{body}");
+
+    // join() must return: acceptor wakes, workers drain, threads exit.
+    handle.join();
+
+    // The listener is gone; a fresh connect must fail or be answered with a
+    // shutdown 503 (the acceptor may answer a last straggler while exiting).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut out = String::new();
+            let _ = s.read_to_string(&mut out);
+            assert!(
+                out.is_empty() || out.starts_with("HTTP/1.1 503"),
+                "served after shutdown: {out}"
+            );
+        }
+    }
+}

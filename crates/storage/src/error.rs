@@ -41,6 +41,10 @@ pub enum StorageError {
     NoSuchTuple { relation: String, tid: TupleId },
     /// A requested secondary index does not exist.
     NoIndex { relation: String, attribute: String },
+    /// A database dump is malformed or truncated.
+    Corrupt(String),
+    /// An I/O failure reading or writing a dump file.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -90,6 +94,8 @@ impl fmt::Display for StorageError {
                 relation,
                 attribute,
             } => write!(f, "no index on {relation}.{attribute}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt database dump: {msg}"),
+            StorageError::Io(msg) => write!(f, "dump i/o error: {msg}"),
         }
     }
 }

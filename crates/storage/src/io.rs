@@ -200,7 +200,26 @@ pub fn load_from_string(text: &str) -> Result<Database> {
 }
 
 fn corrupt(msg: impl Into<String>) -> StorageError {
-    StorageError::InvalidForeignKey(format!("corrupt dump: {}", msg.into()))
+    StorageError::Corrupt(msg.into())
+}
+
+/// Write the dump to `path`, propagating I/O failures as
+/// [`StorageError::Io`] instead of panicking.
+pub fn dump_to_file(db: &Database, path: impl AsRef<std::path::Path>) -> Result<()> {
+    let path = path.as_ref();
+    std::fs::write(path, dump_to_string(db))
+        .map_err(|e| StorageError::Io(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Load a dump from `path`. A missing or unreadable file is
+/// [`StorageError::Io`]; a malformed dump is [`StorageError::Corrupt`].
+/// Neither panics — a serving process handed a bad save file must refuse it
+/// and keep running.
+pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Database> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| StorageError::Io(format!("cannot read {}: {e}", path.display())))?;
+    load_from_string(&text)
 }
 
 fn parse_type(s: &str) -> Result<DataType> {
@@ -397,6 +416,70 @@ mod tests {
         // Violate the foreign key.
         let broken = good.replace("10\tMatch Point\t1", "10\tMatch Point\t99");
         assert!(load_from_string(&broken).is_err());
+    }
+
+    #[test]
+    fn corruption_is_classified_not_conflated_with_fk_errors() {
+        let err = load_from_string("nonsense").unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("corrupt database dump"));
+        // A genuine FK violation keeps its own variant.
+        let good = dump_to_string(&sample_db());
+        let broken = good.replace("10\tMatch Point\t1", "10\tMatch Point\t99");
+        let err = load_from_string(&broken).unwrap_err();
+        assert!(
+            matches!(err, StorageError::ForeignKeyViolation { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_handled_cleanly() {
+        // A serving process may be handed a dump cut off at any byte. Most
+        // prefixes are errors; a few are a smaller valid database (e.g. cut
+        // right after the schema header) — but none may panic, and none may
+        // conjure tuples the original did not have.
+        let db = sample_db();
+        let good = dump_to_string(&db);
+        for end in 0..good.len() {
+            match load_from_string(&good[..end]) {
+                Err(_) => {}
+                Ok(partial) => assert!(
+                    partial.total_tuples() <= db.total_tuples(),
+                    "prefix of {end} bytes produced extra tuples"
+                ),
+            }
+        }
+        // Cuts inside a relation or data block are always errors.
+        let mid_relation = &good[..good.find("attr dname").unwrap()];
+        assert!(matches!(
+            load_from_string(mid_relation),
+            Err(StorageError::Corrupt(_))
+        ));
+        let mid_data = &good[..good.find("Match Point").unwrap()];
+        assert!(matches!(
+            load_from_string(mid_data),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(load_from_string(&good).is_ok());
+    }
+
+    #[test]
+    fn file_helpers_propagate_errors() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("precis_io_helper_test.precisdb");
+        dump_to_file(&sample_db(), &path).unwrap();
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(loaded.total_tuples(), sample_db().total_tuples());
+        std::fs::remove_file(&path).unwrap();
+
+        let missing = load_from_file(dir.join("precis_io_no_such_file.precisdb"));
+        assert!(matches!(missing, Err(StorageError::Io(_))), "{missing:?}");
+        let unwritable = dump_to_file(&sample_db(), dir.join("no_dir/x.precisdb"));
+        assert!(
+            matches!(unwritable, Err(StorageError::Io(_))),
+            "{unwritable:?}"
+        );
     }
 
     #[test]
