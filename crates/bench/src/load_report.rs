@@ -159,6 +159,7 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             default_deadline: Some(Duration::from_millis(config.deadline_ms)),
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");

@@ -27,7 +27,10 @@ precis — interactive précis query explorer
   precis ... --exec 'cmd; cmd'   run commands non-interactively
   precis ... serve [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
                                  run the HTTP query service over the chosen
-                                 database (POST /shutdown stops it)
+                                 database (POST /shutdown stops it; honored
+                                 from loopback peers only — note the API has
+                                 no auth, so think before binding --addr to
+                                 a non-loopback address)
 
 commands:
   query <tokens>                 answer a précis query (quotes group phrases)
@@ -122,6 +125,9 @@ pub fn open_source(
 /// Tuning for the `serve` subcommand.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
+    /// Bind address. The API is unauthenticated: binding a non-loopback
+    /// address exposes `/query` and `/metrics` to every peer that can reach
+    /// the port (`POST /shutdown` stays loopback-only regardless).
     pub addr: String,
     pub workers: usize,
     pub queue: usize,
@@ -155,6 +161,7 @@ pub fn start_server(
         queue_capacity: options.queue,
         default_deadline: (options.deadline_ms > 0)
             .then(|| std::time::Duration::from_millis(options.deadline_ms)),
+        ..precis_server::ServerConfig::default()
     };
     let handle = precis_server::Server::start(engine, vocabulary, config)
         .map_err(|e| format!("cannot start server on {}: {e}", options.addr))?;

@@ -2,8 +2,9 @@
 //! (request line, headers, `Content-Length` body), write one response, close
 //! the connection. Every response carries `Connection: close`, so a client
 //! issues one request per connection — which keeps the admission queue an
-//! honest model of outstanding work (a kept-alive idle connection can never
-//! pin a worker).
+//! honest model of outstanding work. A connection that goes silent mid-read
+//! can still pin a worker, which is why the server arms per-socket I/O
+//! timeouts before parsing and answers a stalled read with `408`.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -40,8 +41,22 @@ pub enum ParseError {
     Bad(String),
     /// Body or headers exceed the caps → 413.
     TooLarge,
+    /// The socket's read timeout fired before a full request arrived → 408.
+    TimedOut,
     /// The peer vanished mid-request; nothing to answer.
     Disconnected,
+}
+
+/// Classify an io error from a socket read. A timeout surfaces as
+/// `WouldBlock` (unix) or `TimedOut` (windows); non-UTF-8 header bytes
+/// surface as `InvalidData` and deserve a 400, not a silent drop.
+fn classify_io(err: &std::io::Error) -> ParseError {
+    use std::io::ErrorKind;
+    match err.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => ParseError::TimedOut,
+        ErrorKind::InvalidData => ParseError::Bad("request is not valid UTF-8".to_owned()),
+        _ => ParseError::Disconnected,
+    }
 }
 
 /// Read one request from the stream.
@@ -87,9 +102,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         return Err(ParseError::TooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|_| ParseError::Disconnected)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if matches!(classify_io(&e), ParseError::TimedOut) {
+            ParseError::TimedOut
+        } else {
+            ParseError::Disconnected
+        }
+    })?;
 
     Ok(Request {
         method,
@@ -107,9 +126,7 @@ fn read_line(
     budget_used: &mut usize,
 ) -> Result<(), ParseError> {
     line.clear();
-    let n = reader
-        .read_line(line)
-        .map_err(|_| ParseError::Disconnected)?;
+    let n = reader.read_line(line).map_err(|e| classify_io(&e))?;
     if n == 0 {
         return Err(ParseError::Disconnected);
     }
@@ -170,6 +187,7 @@ pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
@@ -244,6 +262,11 @@ mod tests {
             Err(ParseError::Bad(_))
         ));
         assert!(matches!(parse_raw(b""), Err(ParseError::Disconnected)));
+        // Non-UTF-8 header bytes are malformed input, not a disconnect.
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\nX-Bad: \xff\xfe\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
         // Declared body never arrives.
         assert!(matches!(
             parse_raw(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi"),

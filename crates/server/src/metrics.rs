@@ -17,8 +17,13 @@ pub const LATENCY_BUCKETS: [f64; 12] = [
     0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0, 5.0,
 ];
 
-/// Statuses tracked per endpoint.
-const STATUSES: [u16; 6] = [200, 400, 404, 500, 503, 504];
+/// Statuses tracked per endpoint — every code the server emits. Anything
+/// else lands in a dedicated `other` label rather than masquerading as a
+/// tracked status.
+const STATUSES: [u16; 10] = [200, 400, 403, 404, 405, 408, 413, 500, 503, 504];
+
+/// Index of the catch-all slot for statuses outside [`STATUSES`].
+const STATUS_OTHER: usize = STATUSES.len();
 
 /// Endpoints tracked individually; anything else lands in `other`.
 const ENDPOINTS: [&str; 4] = ["query", "healthz", "metrics", "other"];
@@ -30,6 +35,10 @@ pub struct Histogram {
     count: AtomicU64,
     /// Sum in nanoseconds (u64 holds ~584 years of request time).
     sum_nanos: AtomicU64,
+    /// Observations above the last bucket bound, tracked separately so the
+    /// quantile fallback reflects the tail and not the overall mean.
+    overflow_count: AtomicU64,
+    overflow_sum_nanos: AtomicU64,
 }
 
 impl Histogram {
@@ -40,9 +49,13 @@ impl Histogram {
                 self.buckets[i].fetch_add(1, Ordering::Relaxed);
             }
         }
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos
-            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if secs > LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1] {
+            self.overflow_count.fetch_add(1, Ordering::Relaxed);
+            self.overflow_sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -62,16 +75,25 @@ impl Histogram {
                 return Some(*le);
             }
         }
-        // Above the last bound: report the mean of the overflow as a stand-in.
-        Some(self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9 / count as f64)
+        // Above the last bound: report the mean of the overflow observations,
+        // floored at the last bucket bound so the quantile never understates
+        // the bucketed range it already exceeded.
+        let last = LATENCY_BUCKETS[LATENCY_BUCKETS.len() - 1];
+        let n = self.overflow_count.load(Ordering::Relaxed);
+        if n == 0 {
+            return Some(last);
+        }
+        let mean = self.overflow_sum_nanos.load(Ordering::Relaxed) as f64 / 1e9 / n as f64;
+        Some(mean.max(last))
     }
 }
 
 /// All serving metrics, shared across acceptor and workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// requests[endpoint][status] counters.
-    requests: [[AtomicU64; STATUSES.len()]; ENDPOINTS.len()],
+    /// requests[endpoint][status] counters; the final status slot is the
+    /// `other` catch-all.
+    requests: [[AtomicU64; STATUSES.len() + 1]; ENDPOINTS.len()],
     /// Latency histogram over all handled requests.
     pub latency: Histogram,
     /// Connections currently queued for a worker.
@@ -95,7 +117,16 @@ fn status_slot(status: u16) -> usize {
     STATUSES
         .iter()
         .position(|s| *s == status)
-        .unwrap_or_else(|| status_slot(500))
+        .unwrap_or(STATUS_OTHER)
+}
+
+/// Exposition label for a status slot.
+fn status_label(slot: usize) -> String {
+    if slot == STATUS_OTHER {
+        "other".to_owned()
+    } else {
+        STATUSES[slot].to_string()
+    }
 }
 
 impl Metrics {
@@ -154,12 +185,13 @@ impl Metrics {
         out.push_str("# HELP precis_requests_total Handled requests by endpoint and status.\n");
         out.push_str("# TYPE precis_requests_total counter\n");
         for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
-            for (si, status) in STATUSES.iter().enumerate() {
-                let n = self.requests[ei][si].load(Ordering::Relaxed);
+            for (si, counter) in self.requests[ei].iter().enumerate() {
+                let n = counter.load(Ordering::Relaxed);
                 if n > 0 {
                     let _ = writeln!(
                         out,
-                        "precis_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {n}"
+                        "precis_requests_total{{endpoint=\"{endpoint}\",status=\"{}\"}} {n}",
+                        status_label(si)
                     );
                 }
             }
@@ -292,8 +324,46 @@ mod tests {
     fn unknown_endpoints_and_statuses_fold_into_catchalls() {
         let m = Metrics::default();
         m.record_request("bogus", 418, Duration::ZERO);
-        assert!(m
-            .render_prometheus(&AnswerCacheStats::default())
-            .contains("precis_requests_total{endpoint=\"other\",status=\"500\"} 1"));
+        let text = m.render_prometheus(&AnswerCacheStats::default());
+        // An unknown status must not masquerade as a 500 server error.
+        assert!(
+            text.contains("precis_requests_total{endpoint=\"other\",status=\"other\"} 1"),
+            "{text}"
+        );
+        assert!(!text.contains("status=\"500\""), "{text}");
+    }
+
+    #[test]
+    fn request_policing_statuses_export_under_their_own_labels() {
+        let m = Metrics::default();
+        m.record_request("other", 405, Duration::ZERO);
+        m.record_request("other", 408, Duration::ZERO);
+        m.record_request("other", 413, Duration::ZERO);
+        let text = m.render_prometheus(&AnswerCacheStats::default());
+        for status in ["405", "408", "413"] {
+            assert!(
+                text.contains(&format!(
+                    "precis_requests_total{{endpoint=\"other\",status=\"{status}\"}} 1"
+                )),
+                "missing status {status} in:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_quantile_reports_the_overflow_mean_not_the_overall_mean() {
+        let h = Histogram::default();
+        // 9 fast observations drag the overall mean down; the one 60s
+        // outlier must still dominate p99.
+        for _ in 0..9 {
+            h.observe(Duration::from_millis(1));
+        }
+        h.observe(Duration::from_secs(60));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 60.0, "p99 {p99} understates the 60s tail");
+        // All observations inside the buckets: the fallback never triggers.
+        let h2 = Histogram::default();
+        h2.observe(Duration::from_secs(2));
+        assert_eq!(h2.quantile(0.99), Some(5.0));
     }
 }

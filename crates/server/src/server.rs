@@ -5,7 +5,9 @@
 //! connection is answered `503` with `Retry-After` and closed immediately —
 //! the server never buffers unbounded work. Each admitted connection carries
 //! exactly one request; its deadline is armed the moment a worker picks it
-//! up, so time spent queued does not silently eat the caller's budget.
+//! up, so time spent queued does not silently eat the caller's budget, and
+//! the socket's I/O timeouts are armed at the same moment, so a silent peer
+//! can pin a worker for at most [`ServerConfig::io_timeout`].
 
 use crate::api;
 use crate::http::{self, ParseError, Request, Response};
@@ -34,6 +36,14 @@ pub struct ServerConfig {
     /// Deadline applied to every `/query`; a request's own `deadline_ms`
     /// may only tighten it. `None` disables deadlines by default.
     pub default_deadline: Option<Duration>,
+    /// Per-socket read/write timeout armed before a worker touches the
+    /// connection. A peer that connects and then goes silent (or stops
+    /// reading the response) can pin its worker for at most this long: a
+    /// stalled read is answered `408` and the connection closed, so the
+    /// worker always returns to the queue — and graceful shutdown completes
+    /// within one timeout even with connections mid-read. `None` disables
+    /// the timeout, restoring the pinning hazard; leave it set in production.
+    pub io_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -43,6 +53,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             default_deadline: Some(Duration::from_secs(10)),
+            io_timeout: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -55,6 +66,7 @@ struct Shared {
     queue: BoundedQueue<TcpStream>,
     shutdown: AtomicBool,
     default_deadline: Option<Duration>,
+    io_timeout: Option<Duration>,
     local_addr: SocketAddr,
 }
 
@@ -85,6 +97,7 @@ impl Server {
             queue: BoundedQueue::new(config.queue_capacity),
             shutdown: AtomicBool::new(false),
             default_deadline: config.default_deadline,
+            io_timeout: config.io_timeout,
             local_addr: listener.local_addr()?,
         });
 
@@ -191,8 +204,16 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Read one request off the connection, handle it, answer it, close.
+///
+/// The socket's read/write timeouts are armed first, so a silent or
+/// non-reading peer costs the worker at most `io_timeout` before it is
+/// answered (`408` on a stalled read) and released back to the queue.
 fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
     let started = Instant::now();
+    if shared.io_timeout.is_some() {
+        let _ = stream.set_read_timeout(shared.io_timeout);
+        let _ = stream.set_write_timeout(shared.io_timeout);
+    }
     let request = match http::read_request(stream) {
         Ok(r) => r,
         Err(ParseError::Disconnected) => return,
@@ -212,9 +233,21 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
             let _ = http::write_response(stream, &resp);
             return;
         }
+        Err(ParseError::TimedOut) => {
+            let resp = Response::error(408, "timed out waiting for request");
+            shared
+                .metrics
+                .record_request("other", 408, started.elapsed());
+            let _ = http::write_response(stream, &resp);
+            return;
+        }
     };
 
-    let (endpoint, response, shutdown_after) = route(shared, &request);
+    let peer_is_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
+    let (endpoint, response, shutdown_after) = route(shared, &request, peer_is_loopback);
     shared
         .metrics
         .record_request(endpoint, response.status, started.elapsed());
@@ -226,7 +259,7 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
 
 /// Dispatch one request. Returns the metrics endpoint label, the response,
 /// and whether to begin shutdown after answering.
-fn route(shared: &Shared, request: &Request) -> (&'static str, Response, bool) {
+fn route(shared: &Shared, request: &Request, peer_is_loopback: bool) -> (&'static str, Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/query") => ("query", handle_query(shared, &request.body), false),
         ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n"), false),
@@ -235,6 +268,14 @@ fn route(shared: &Shared, request: &Request) -> (&'static str, Response, bool) {
             let body = shared.metrics.render_prometheus(&cache);
             ("metrics", Response::text(200, body), false)
         }
+        // Shutdown is unauthenticated, so it is only honored from loopback
+        // peers; binding a public address must not hand remote process
+        // termination to every peer that can reach the port.
+        ("POST", "/shutdown") if !peer_is_loopback => (
+            "other",
+            Response::error(403, "shutdown is only honored from loopback"),
+            false,
+        ),
         ("POST", "/shutdown") => (
             "other",
             Response::json(200, "{\"shutting_down\": true}\n".to_owned()),

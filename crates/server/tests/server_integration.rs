@@ -185,6 +185,38 @@ fn deadline_zero_answers_504_without_poisoning_the_pool() {
 }
 
 #[test]
+fn idle_connection_times_out_with_408_and_frees_its_worker() {
+    let handle = Server::start(
+        test_engine(),
+        None,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 4,
+            io_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // A connection that never sends its request must be answered 408 once
+    // the io timeout fires, not hold the lone worker hostage.
+    let mut idle = TcpStream::connect(addr).expect("idle conn");
+    let mut out = String::new();
+    idle.read_to_string(&mut out).expect("server answers");
+    assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+
+    // The worker it briefly pinned is back: an ordinary request succeeds.
+    let (status, _, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    assert!(handle.metrics().requests_for("other", 408) >= 1);
+
+    // Shutdown completes even with a fresh connection mid-read.
+    let _lingering = TcpStream::connect(addr).expect("lingering conn");
+    handle.join();
+}
+
+#[test]
 fn healthz_metrics_and_errors_round_trip() {
     let handle =
         Server::start(test_engine(), None, ServerConfig::default()).expect("server starts");
