@@ -20,9 +20,13 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Load-run shape. The defaults deliberately offer the server *more*
-/// concurrency than it has workers and queue slots, so admission control is
-/// exercised and the rejection rate is non-zero.
+/// Load-run shape. The defaults model a sanely provisioned server — client
+/// concurrency below `workers + queue_capacity` — so the committed
+/// `BENCH_PR2.json` tracks real serving throughput and latency rather than
+/// a wall of 503s (an earlier default rejected 91% of requests, which made
+/// every other number in the report meaningless). [`LoadConfig::quick`]
+/// stays deliberately overloaded so admission control is still exercised in
+/// tests.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
     /// Synthetic movies database size.
@@ -31,7 +35,8 @@ pub struct LoadConfig {
     pub workers: usize,
     /// Server admission-queue capacity.
     pub queue_capacity: usize,
-    /// Concurrent client threads (keep > workers + queue to see rejections).
+    /// Concurrent client threads (keep below workers + queue for a
+    /// representative run; push above it to stress admission control).
     pub clients: usize,
     /// Requests each client issues.
     pub requests_per_client: usize,
@@ -43,9 +48,9 @@ impl Default for LoadConfig {
     fn default() -> Self {
         LoadConfig {
             movies: 1_000,
-            workers: 2,
-            queue_capacity: 4,
-            clients: 16,
+            workers: 4,
+            queue_capacity: 16,
+            clients: 12,
             requests_per_client: 50,
             deadline_ms: 5_000,
         }
@@ -259,6 +264,15 @@ impl LoadReport {
         );
         let _ = writeln!(out, "  \"throughput_rps\": {:.3},", self.throughput_rps);
         let _ = writeln!(out, "  \"rejection_rate\": {:.6},", self.rejection_rate);
+        if self.rejection_rate > 0.5 {
+            let _ = writeln!(
+                out,
+                "  \"warning\": \"rejection_rate {:.2} — most requests were refused at \
+                 admission; throughput and latency figures describe the surviving \
+                 minority, not the configured load\",",
+                self.rejection_rate
+            );
+        }
         let _ = writeln!(
             out,
             "  \"latency_secs\": {{\"p50\": {:.6}, \"p95\": {:.6}, \"p99\": {:.6}, \
@@ -302,6 +316,36 @@ mod tests {
         assert!(json.contains("\"report\": \"BENCH_PR2\""));
         assert!(json.contains("\"throughput_rps\""));
         assert!(json.contains("\"p99\""));
+    }
+
+    #[test]
+    fn default_config_is_provisioned_for_its_offered_load() {
+        let c = LoadConfig::default();
+        assert!(
+            c.clients <= c.workers + c.queue_capacity,
+            "default closed-loop concurrency ({} clients) must fit within \
+             workers + queue ({} + {}) so the committed report measures \
+             serving, not mass rejection",
+            c.clients,
+            c.workers,
+            c.queue_capacity
+        );
+    }
+
+    #[test]
+    fn json_carries_a_warning_when_rejections_dominate() {
+        let mut report = run_load(LoadConfig {
+            movies: 50,
+            workers: 1,
+            queue_capacity: 1,
+            clients: 4,
+            requests_per_client: 5,
+            deadline_ms: 5_000,
+        });
+        report.rejection_rate = 0.91;
+        assert!(report.to_json().contains("\"warning\""));
+        report.rejection_rate = 0.05;
+        assert!(!report.to_json().contains("\"warning\""));
     }
 
     #[test]

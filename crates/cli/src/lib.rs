@@ -31,6 +31,11 @@ precis — interactive précis query explorer
                                  from loopback peers only — note the API has
                                  no auth, so think before binding --addr to
                                  a non-loopback address)
+  precis testkit [--seed N] [--cases N] [--profile quick|soak]
+                 [--repro-out FILE]
+                                 run the differential oracle + fault-injection
+                                 harness; exits non-zero on any mismatch and
+                                 writes a shrunk JSON reproduction to FILE
 
 commands:
   query <tokens>                 answer a précis query (quotes group phrases)
@@ -144,6 +149,49 @@ impl Default for ServeOptions {
             deadline_ms: 10_000,
         }
     }
+}
+
+/// Tuning for the `testkit` subcommand.
+#[derive(Debug, Clone)]
+pub struct TestkitOptions {
+    pub seed: u64,
+    /// Overrides the profile's default case count when set.
+    pub cases: Option<usize>,
+    pub profile: precis_testkit::Profile,
+    /// Where to write the JSON reproduction artifact when the run fails.
+    pub repro_out: Option<String>,
+}
+
+impl Default for TestkitOptions {
+    fn default() -> Self {
+        TestkitOptions {
+            seed: 42,
+            cases: None,
+            profile: precis_testkit::Profile::Quick,
+            repro_out: None,
+        }
+    }
+}
+
+/// Run the differential oracle + fault-injection harness, print the report,
+/// and write the repro artifact on failure. Returns whether the run passed.
+pub fn run_testkit(options: &TestkitOptions) -> bool {
+    let mut config = precis_testkit::TestkitConfig::new(options.profile);
+    config.seed = options.seed;
+    if let Some(cases) = options.cases {
+        config.cases = cases;
+    }
+    let report = precis_testkit::run(&config);
+    print!("{}", report.render_text());
+    if !report.ok() {
+        if let Some(path) = &options.repro_out {
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => eprintln!("reproduction artifact written to {path}"),
+                Err(e) => eprintln!("cannot write reproduction artifact {path}: {e}"),
+            }
+        }
+    }
+    report.ok()
 }
 
 /// Build the engine for `source` and start the HTTP service. The returned

@@ -17,10 +17,54 @@ fn main() {
     let mut source = None;
     let mut exec: Option<String> = None;
     let mut serve: Option<precis_cli::ServeOptions> = None;
+    let mut testkit: Option<precis_cli::TestkitOptions> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "serve" => serve = Some(precis_cli::ServeOptions::default()),
+            "testkit" => testkit = Some(precis_cli::TestkitOptions::default()),
+            "--seed" => {
+                i += 1;
+                let opts = testkit
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--seed needs `testkit`"));
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--cases" => {
+                i += 1;
+                let opts = testkit
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--cases needs `testkit`"));
+                opts.cases = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--cases needs a count")),
+                );
+            }
+            "--profile" => {
+                i += 1;
+                let opts = testkit
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--profile needs `testkit`"));
+                opts.profile = args
+                    .get(i)
+                    .and_then(|s| precis_testkit::Profile::parse(s))
+                    .unwrap_or_else(|| usage("--profile needs `quick` or `soak`"));
+            }
+            "--repro-out" => {
+                i += 1;
+                let opts = testkit
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--repro-out needs `testkit`"));
+                opts.repro_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--repro-out needs a path")),
+                );
+            }
             "--addr" => {
                 i += 1;
                 let opts = serve
@@ -96,6 +140,11 @@ fn main() {
     }
 
     let source = source.unwrap_or(precis_cli::Source::Demo);
+
+    if let Some(options) = testkit {
+        let ok = precis_cli::run_testkit(&options);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     if let Some(options) = serve {
         match precis_cli::start_server(source, &options) {

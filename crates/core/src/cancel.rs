@@ -7,7 +7,7 @@
 //! monotonic clock read when a deadline is set), so the generator can poll
 //! at every join step and retrieval round without measurable overhead.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -20,6 +20,12 @@ use std::time::{Duration, Instant};
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
     deadline: Option<Instant>,
+    /// Deterministic fault-injection mode: a countdown of observations left
+    /// before the token reports cancelled (shared across clones). Wall-clock
+    /// deadlines land at a nondeterministic checkpoint; this fires at
+    /// exactly the N-th poll, so a harness can reproduce a cancellation at
+    /// the same generator step on every run.
+    checks_left: Option<Arc<AtomicU64>>,
 }
 
 impl CancelToken {
@@ -33,6 +39,7 @@ impl CancelToken {
         CancelToken {
             flag: Arc::new(AtomicBool::new(false)),
             deadline: Instant::now().checked_add(budget),
+            checks_left: None,
         }
     }
 
@@ -41,6 +48,20 @@ impl CancelToken {
         CancelToken {
             flag: Arc::new(AtomicBool::new(false)),
             deadline: Some(deadline),
+            checks_left: None,
+        }
+    }
+
+    /// A token that allows exactly `n` cancellation observations
+    /// ([`CancelToken::is_cancelled`] or [`CancelToken::check`]) and then
+    /// reports cancelled forever after. `after_checks(0)` is cancelled from
+    /// the first poll. Used by the testkit to fire a cancellation at a
+    /// deterministic generator checkpoint.
+    pub fn after_checks(n: u64) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+            checks_left: Some(Arc::new(AtomicU64::new(n))),
         }
     }
 
@@ -49,9 +70,28 @@ impl CancelToken {
         self.flag.store(true, Ordering::Relaxed);
     }
 
-    /// Has the token been cancelled or its deadline passed?
+    /// Has the token been cancelled, its deadline passed, or its check
+    /// budget run out?
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return true;
+        }
+        if let Some(checks) = &self.checks_left {
+            // Consume one observation; once the countdown is exhausted the
+            // token is cancelled for good (the flag latches it so clones
+            // agree even after the counter bottoms out).
+            let exhausted = checks
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_err();
+            if exhausted {
+                self.flag.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
     }
 
     /// Time left until the deadline (`None` when no deadline is set).
@@ -89,6 +129,31 @@ mod tests {
         t.cancel();
         assert!(c.is_cancelled());
         assert!(matches!(c.check(), Err(crate::CoreError::Cancelled)));
+    }
+
+    #[test]
+    fn after_checks_fires_at_exactly_the_nth_poll() {
+        let t = CancelToken::after_checks(3);
+        assert!(!t.is_cancelled());
+        assert!(!t.is_cancelled());
+        assert!(!t.is_cancelled());
+        assert!(t.is_cancelled());
+        // Latched: stays cancelled, and clones made before exhaustion agree.
+        assert!(t.is_cancelled());
+        assert!(matches!(t.check(), Err(crate::CoreError::Cancelled)));
+
+        let zero = CancelToken::after_checks(0);
+        assert!(matches!(zero.check(), Err(crate::CoreError::Cancelled)));
+    }
+
+    #[test]
+    fn after_checks_budget_is_shared_across_clones() {
+        let t = CancelToken::after_checks(2);
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!c.is_cancelled());
+        assert!(t.is_cancelled());
+        assert!(c.is_cancelled());
     }
 
     #[test]

@@ -211,8 +211,17 @@ pub fn generate_result_database(
         let mut added = 0;
         for tid in &tids {
             // Count the tuple read (σ_Tids retrieval) and validate liveness.
-            if db.fetch_from(rel, *tid).is_ok() && entry.add(*tid, &tag) {
-                added += 1;
+            // Only a stale posting (tuple deleted since indexing) may be
+            // skipped; any other storage failure must surface, not silently
+            // shrink the answer.
+            match db.fetch_from(rel, *tid) {
+                Ok(_) => {
+                    if entry.add(*tid, &tag) {
+                        added += 1;
+                    }
+                }
+                Err(precis_storage::StorageError::NoSuchTuple { .. }) => {}
+                Err(e) => return Err(e.into()),
             }
         }
         budget.charge(rel, added);

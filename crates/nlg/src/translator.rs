@@ -551,4 +551,92 @@ mod tests {
         assert_eq!(ranked.len(), 1);
         assert_eq!(ranked[0].text, narratives[0].text);
     }
+
+    #[test]
+    fn empty_result_database_yields_no_narratives() {
+        let (db, g) = setup();
+        let vocab = Vocabulary::new();
+        let engine = PrecisEngine::new(db, g).unwrap();
+        let answer = engine
+            .answer(
+                &PrecisQuery::parse("zzznothing"),
+                &precis_core::AnswerSpec::new(
+                    DegreeConstraint::MinWeight(0.5),
+                    CardinalityConstraint::Unbounded,
+                ),
+            )
+            .unwrap();
+        assert_eq!(answer.precis.database.total_tuples(), 0);
+        assert_eq!(answer.unmatched_tokens(), vec!["zzznothing"]);
+        let t = Translator::new(engine.database(), engine.graph(), &vocab).with_generic_fallback();
+        assert!(t.translate(&answer).unwrap().is_empty());
+        assert!(t.translate_ranked(&answer).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_vocabulary_entries_silence_only_their_own_clauses() {
+        let (db, g) = setup();
+        let author = db.schema().relation_id("AUTHOR").unwrap();
+        let book = db.schema().relation_id("BOOK").unwrap();
+        let (schema, precis) = precis_for(&db, &g);
+
+        // Relation clause present, join clause missing: the books go
+        // unmentioned, but the author clause still renders.
+        let mut partial = Vocabulary::new();
+        partial.set_heading(author, 1);
+        partial
+            .set_relation_clause(author, "@NAME writes books.")
+            .unwrap();
+        let t = Translator::new(&db, &g, &partial);
+        let text = t.narrate(&schema, &precis, author, TupleId(0)).unwrap();
+        assert_eq!(text, "Le Guin writes books.");
+
+        // Join clause present, relation clause missing: the narrative opens
+        // directly with the join sentence.
+        let mut joins_only = Vocabulary::new();
+        joins_only.set_heading(author, 1);
+        joins_only.set_heading(book, 1);
+        joins_only
+            .set_join_clause(author, book, "Works: @TITLE[*].")
+            .unwrap();
+        let t = Translator::new(&db, &g, &joins_only);
+        let text = t.narrate(&schema, &precis, author, TupleId(0)).unwrap();
+        assert_eq!(text, "Works: The Dispossessed, Earthsea.");
+    }
+
+    #[test]
+    fn template_referencing_attribute_absent_from_result_errors_cleanly() {
+        let (db, g) = setup();
+        let author = db.schema().relation_id("AUTHOR").unwrap();
+        // Degree 0.95 drops every 0.8-weight attribute projection, so the
+        // result carries AUTHOR without its `name` attribute...
+        let schema = generate_result_schema(&g, &[author], &DegreeConstraint::MinWeight(0.95));
+        let seeds = HashMap::from([(author, vec![TupleId(0)])]);
+        let precis = generate_result_database(
+            &db,
+            &g,
+            &schema,
+            &seeds,
+            &CardinalityConstraint::Unbounded,
+            RetrievalStrategy::NaiveQ,
+            &DbGenOptions::default(),
+        )
+        .unwrap();
+        assert!(!precis
+            .visible
+            .get(&author)
+            .map_or(false, |v| v.contains(&1)));
+
+        // ...and a designer template that verbalizes @NAME anyway must fail
+        // with the template error naming the variable, not panic or render
+        // a hole.
+        let mut vocab = Vocabulary::new();
+        vocab
+            .set_relation_clause(author, "@NAME writes books.")
+            .unwrap();
+        let err = Translator::new(&db, &g, &vocab)
+            .narrate(&schema, &precis, author, TupleId(0))
+            .unwrap_err();
+        assert_eq!(err, crate::NlgError::UnknownVariable("NAME".to_owned()));
+    }
 }

@@ -290,6 +290,46 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Render a value back to JSON text. Deterministic: object keys come out in
+/// `BTreeMap` order, numbers use Rust's shortest round-tripping float form,
+/// so `parse(render(v)) == v` for every finite value.
+pub fn render(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v);
+    out
+}
+
+fn write_value(out: &mut String, v: &Json) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Number(n) => write_f64(out, *n),
+        Json::String(s) => write_str(out, s),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Object(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_str(out, k);
+                out.push_str(": ");
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +391,112 @@ mod tests {
         // Raw UTF-8 and a \u escape decode to the same text.
         assert_eq!(parse("\"\u{e9}A\"").unwrap().as_str(), Some("\u{e9}A"));
         assert_eq!(parse("\"\\u00e9A\"").unwrap().as_str(), Some("\u{e9}A"));
+    }
+
+    /// Seeded generator of arbitrary finite JSON values for the round-trip
+    /// property (the proptest shim has no recursive strategies).
+    fn arbitrary_json(rng: &mut rand::rngs::StdRng, depth: usize) -> Json {
+        use rand::Rng;
+        let choice = if depth >= 4 {
+            rng.gen_range(0..4u32) // leaves only
+        } else {
+            rng.gen_range(0..6u32)
+        };
+        match choice {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            2 => {
+                // Mix of integers, fractions, negatives and extremes.
+                let n = match rng.gen_range(0..4u32) {
+                    0 => rng.gen_range(-1_000_000..=1_000_000i64) as f64,
+                    1 => rng.gen_range(-1000..=1000i64) as f64 / 8.0,
+                    2 => f64::MAX,
+                    _ => 5e-324, // smallest positive subnormal
+                };
+                Json::Number(n)
+            }
+            3 => {
+                let len = rng.gen_range(0..12usize);
+                let s: String = (0..len)
+                    .map(|_| match rng.gen_range(0..6u32) {
+                        0 => '"',
+                        1 => '\\',
+                        2 => '\n',
+                        3 => '\u{1}',
+                        4 => '\u{e9}',
+                        _ => char::from(rng.gen_range(b'a'..=b'z')),
+                    })
+                    .collect();
+                Json::String(s)
+            }
+            4 => {
+                let len = rng.gen_range(0..4usize);
+                Json::Array((0..len).map(|_| arbitrary_json(rng, depth + 1)).collect())
+            }
+            _ => {
+                let len = rng.gen_range(0..4usize);
+                Json::Object(
+                    (0..len)
+                        .map(|i| (format!("k{i}"), arbitrary_json(rng, depth + 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    #[test]
+    fn render_then_parse_is_identity() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x150_15f0);
+        for case in 0..500 {
+            let v = arbitrary_json(&mut rng, 0);
+            let text = render(&v);
+            let back = parse(&text).unwrap_or_else(|e| panic!("case {case}: {text:?}: {e}"));
+            assert_eq!(back, v, "case {case}: {text:?}");
+            // Rendering is canonical: a second trip is byte-stable.
+            assert_eq!(render(&back), text, "case {case}");
+        }
+    }
+
+    #[test]
+    fn every_proper_prefix_of_a_document_is_rejected() {
+        // Object-rooted: no proper prefix of the document is valid JSON, so
+        // truncated bodies (dropped connections, bad Content-Length) can
+        // never silently parse as a smaller request.
+        let doc = r#"{"tokens": ["comedy", "drama"], "degree": {"minweight": 0.75}, "deep": [[1, -2.5e3, true, null, "a\nb\u0001c"]]}"#;
+        for end in 0..doc.len() {
+            assert!(
+                parse(&doc[..end]).is_err(),
+                "prefix of length {end} unexpectedly parsed: {:?}",
+                &doc[..end]
+            );
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn bad_escapes_are_rejected() {
+        for bad in [
+            r#""\x""#,     // unknown escape letter
+            r#""\"#,       // backslash then EOF
+            r#""\u00""#,   // truncated \u escape
+            r#""\u00zz""#, // non-hex \u escape
+            r#""\u""#,     // \u then EOF
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn nesting_depth_is_capped_not_stack_dependent() {
+        // Well within the cap: fine.
+        let ok = "[".repeat(10) + "1" + &"]".repeat(10);
+        assert!(parse(&ok).is_ok());
+        // Past the cap: a clean error even though the document is valid
+        // JSON, for both arrays and objects.
+        let deep_array = "[".repeat(80) + "1" + &"]".repeat(80);
+        assert!(parse(&deep_array).is_err());
+        let deep_object = "{\"k\":".repeat(80) + "1" + &"}".repeat(80);
+        assert!(parse(&deep_object).is_err());
     }
 }

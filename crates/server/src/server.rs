@@ -259,7 +259,11 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
 
 /// Dispatch one request. Returns the metrics endpoint label, the response,
 /// and whether to begin shutdown after answering.
-fn route(shared: &Shared, request: &Request, peer_is_loopback: bool) -> (&'static str, Response, bool) {
+fn route(
+    shared: &Shared,
+    request: &Request,
+    peer_is_loopback: bool,
+) -> (&'static str, Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/query") => ("query", handle_query(shared, &request.body), false),
         ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n"), false),

@@ -124,6 +124,7 @@ impl Database {
     /// Insert a tuple, enforcing arity, types, NOT NULL, primary-key
     /// uniqueness and (if enabled) foreign keys. Maintains all indexes.
     pub fn insert_into(&mut self, rel: RelationId, values: Vec<Value>) -> Result<TupleId> {
+        crate::failpoint::check("insert_into")?;
         let rel_schema = self.schema.relation(rel);
         let rel_name = rel_schema.name().to_owned();
         if values.len() != rel_schema.arity() {
@@ -390,6 +391,7 @@ impl Database {
 
     /// Fetch a tuple by id from a resolved relation.
     pub fn fetch_from(&self, rel: RelationId, tid: TupleId) -> Result<&Tuple> {
+        crate::failpoint::check("fetch_from")?;
         self.stats.count_tuple_read();
         self.tables[rel.0]
             .get(tid)
@@ -417,6 +419,7 @@ impl Database {
     /// Indexed lookup: tuple ids where `rel.attr == value` (counts one index
     /// probe, the cost model's `IndexTime` event).
     pub fn lookup(&self, rel: RelationId, attr: usize, value: &Value) -> Result<&[TupleId]> {
+        crate::failpoint::check("lookup")?;
         let idx = self
             .value_indexes
             .get(&(rel, attr))
@@ -438,6 +441,7 @@ impl Database {
         attr: usize,
         value: &Value,
     ) -> Result<std::sync::Arc<Vec<TupleId>>> {
+        crate::failpoint::check("lookup_tids")?;
         let idx = self
             .value_indexes
             .get(&(rel, attr))

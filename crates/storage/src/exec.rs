@@ -150,6 +150,7 @@ impl Database {
         projection: &[usize],
         limit: Option<usize>,
     ) -> Result<Projected> {
+        crate::failpoint::check("select_by_values")?;
         let cap = limit.unwrap_or(usize::MAX);
         let mut out = Vec::new();
         let mut seen: HashSet<TupleId> = HashSet::new();
@@ -220,6 +221,7 @@ impl ValueScan {
     /// Open a scan over the tuples of `rel` whose `attr` equals `value`
     /// (one index probe).
     pub fn open(db: &Database, rel: RelationId, attr: usize, value: &Value) -> Result<ValueScan> {
+        crate::failpoint::check("value_scan_open")?;
         let tids = db.lookup_tids(rel, attr, value)?;
         Ok(ValueScan { rel, tids, pos: 0 })
     }
@@ -232,6 +234,7 @@ impl ValueScan {
     /// Retrieve the next joining tuple, projected (one tuple read), or `None`
     /// when the scan is exhausted.
     pub fn next_row(&mut self, db: &Database, projection: &[usize]) -> Result<Option<Row>> {
+        crate::failpoint::check("value_scan_next")?;
         while self.pos < self.tids.len() {
             let tid = self.tids[self.pos];
             self.pos += 1;

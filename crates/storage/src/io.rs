@@ -79,6 +79,7 @@ pub fn dump_to_string(db: &Database) -> String {
 /// Parse the text format back into a database. Foreign keys are validated
 /// after loading; a violation fails the load.
 pub fn load_from_string(text: &str) -> Result<Database> {
+    crate::failpoint::check("load_from_string")?;
     let mut lines = text.lines().peekable();
     let magic = lines.next().unwrap_or_default();
     if magic != MAGIC {
@@ -206,6 +207,7 @@ fn corrupt(msg: impl Into<String>) -> StorageError {
 /// Write the dump to `path`, propagating I/O failures as
 /// [`StorageError::Io`] instead of panicking.
 pub fn dump_to_file(db: &Database, path: impl AsRef<std::path::Path>) -> Result<()> {
+    crate::failpoint::check("dump_to_file")?;
     let path = path.as_ref();
     std::fs::write(path, dump_to_string(db))
         .map_err(|e| StorageError::Io(format!("cannot write {}: {e}", path.display())))
@@ -216,6 +218,7 @@ pub fn dump_to_file(db: &Database, path: impl AsRef<std::path::Path>) -> Result<
 /// Neither panics — a serving process handed a bad save file must refuse it
 /// and keep running.
 pub fn load_from_file(path: impl AsRef<std::path::Path>) -> Result<Database> {
+    crate::failpoint::check("load_from_file")?;
     let path = path.as_ref();
     let text = std::fs::read_to_string(path)
         .map_err(|e| StorageError::Io(format!("cannot read {}: {e}", path.display())))?;

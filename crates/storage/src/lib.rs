@@ -43,6 +43,7 @@
 mod database;
 mod error;
 mod exec;
+pub mod failpoint;
 mod index;
 pub mod io;
 mod schema;

@@ -1,0 +1,298 @@
+//! Seeded case generation and shrinking.
+//!
+//! A [`CaseSpec`] names everything that determines a précis answer: the
+//! dataset, the token query, the degree and cardinality constraints, and the
+//! retrieval strategy. Specs are derived deterministically from a per-case
+//! seed, so `--seed N` reproduces the exact case sequence, and a failing
+//! case can be re-derived and re-shrunk on any machine.
+//!
+//! The proptest shim in this workspace has no shrinking, so the testkit
+//! carries its own: [`CaseSpec::shrink_candidates`] proposes strictly
+//! smaller variants (fewer tokens, smaller dataset, tighter constraints) and
+//! the runner greedily adopts any candidate that still fails.
+
+use precis_core::{CardinalityConstraint, DegreeConstraint, RetrievalStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which dataset a case runs against. The generator draws from a small
+/// fixed pool so dataset contexts (engine + loopback server) can be built
+/// once and shared across cases; shrinking may produce smaller off-pool
+/// variants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DatasetSpec {
+    /// The paper's hand-built Woody Allen instance.
+    Demo,
+    /// Zipf-skewed synthetic movies instance (same schema as the demo).
+    Movies { movies: usize, seed: u64 },
+    /// Synthetic chain schema R0 ← R1 ← … with `rows` tuples per relation.
+    Chain {
+        relations: usize,
+        rows: usize,
+        fanout: usize,
+    },
+}
+
+/// One differential-oracle case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSpec {
+    pub dataset: DatasetSpec,
+    pub tokens: Vec<String>,
+    pub degree: DegreeConstraint,
+    pub cardinality: CardinalityConstraint,
+    pub strategy: RetrievalStrategy,
+}
+
+/// SplitMix64 — used to derive independent per-case seeds from the master
+/// seed, so case `i` can be regenerated without replaying cases `0..i`.
+pub fn mix_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const MOVIE_TOKENS: &[&str] = &[
+    "comedy", "drama", "thriller", "romance", "action", "crime", "western",
+];
+const DEMO_TOKENS: &[&str] = &[
+    "allen", "woody", "comedy", "match", "point", "drama", "crime", "paris",
+];
+
+impl CaseSpec {
+    /// Derive a case deterministically from its seed.
+    pub fn generate(case_seed: u64) -> CaseSpec {
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let dataset = match rng.gen_range(0..6u32) {
+            0 => DatasetSpec::Demo,
+            1 => DatasetSpec::Movies {
+                movies: 40,
+                seed: 0xC0FFEE,
+            },
+            2 => DatasetSpec::Movies {
+                movies: 100,
+                seed: 0xBEEF,
+            },
+            3 => DatasetSpec::Chain {
+                relations: 3,
+                rows: 40,
+                fanout: 1,
+            },
+            4 => DatasetSpec::Chain {
+                relations: 4,
+                rows: 24,
+                fanout: 2,
+            },
+            _ => DatasetSpec::Chain {
+                relations: 2,
+                rows: 16,
+                fanout: 1,
+            },
+        };
+
+        let n_tokens = rng.gen_range(1..=3usize);
+        let tokens = (0..n_tokens)
+            .map(|_| Self::pick_token(&dataset, &mut rng))
+            .collect();
+
+        let degree = match rng.gen_range(0..5u32) {
+            0 => DegreeConstraint::MinWeight(0.5),
+            1 => DegreeConstraint::MinWeight(0.7),
+            2 => DegreeConstraint::MinWeight(0.9),
+            3 => DegreeConstraint::TopProjections(rng.gen_range(1..=6usize)),
+            _ => DegreeConstraint::MaxPathLength(rng.gen_range(1..=4usize)),
+        };
+
+        let cardinality = match rng.gen_range(0..4u32) {
+            0 | 1 => CardinalityConstraint::MaxTuplesPerRelation(rng.gen_range(1..=12usize)),
+            2 => CardinalityConstraint::MaxTotalTuples(rng.gen_range(5..=40usize)),
+            _ => CardinalityConstraint::Unbounded,
+        };
+
+        let strategy = match rng.gen_range(0..3u32) {
+            0 => RetrievalStrategy::NaiveQ,
+            1 => RetrievalStrategy::RoundRobin,
+            _ => RetrievalStrategy::TopWeight,
+        };
+
+        CaseSpec {
+            dataset,
+            tokens,
+            degree,
+            cardinality,
+            strategy,
+        }
+    }
+
+    /// A token that (usually) occurs in the dataset; a slice of draws are
+    /// deliberate misses to exercise the unmatched-token path.
+    fn pick_token(dataset: &DatasetSpec, rng: &mut StdRng) -> String {
+        if rng.gen_bool(0.1) {
+            return "zzznothing".to_owned();
+        }
+        match dataset {
+            DatasetSpec::Demo => DEMO_TOKENS[rng.gen_range(0..DEMO_TOKENS.len())].to_owned(),
+            DatasetSpec::Movies { movies, .. } => {
+                if rng.gen_bool(0.4) {
+                    // Every synthetic movie title embeds its mid as a word.
+                    format!("{}", rng.gen_range(0..*movies))
+                } else {
+                    MOVIE_TOKENS[rng.gen_range(0..MOVIE_TOKENS.len())].to_owned()
+                }
+            }
+            DatasetSpec::Chain { rows, .. } => {
+                if rng.gen_bool(0.5) {
+                    format!("seed{}", rng.gen_range(0..*rows))
+                } else {
+                    "payload".to_owned()
+                }
+            }
+        }
+    }
+
+    /// Strictly smaller/simpler variants of this case, most aggressive
+    /// first. The shrink loop adopts the first candidate that still fails.
+    pub fn shrink_candidates(&self) -> Vec<CaseSpec> {
+        let mut out = Vec::new();
+
+        // Smaller dataset.
+        match &self.dataset {
+            DatasetSpec::Demo => {}
+            DatasetSpec::Movies { movies, seed } => {
+                if *movies >= 10 {
+                    out.push(CaseSpec {
+                        dataset: DatasetSpec::Movies {
+                            movies: movies / 2,
+                            seed: *seed,
+                        },
+                        ..self.clone()
+                    });
+                }
+            }
+            DatasetSpec::Chain {
+                relations,
+                rows,
+                fanout,
+            } => {
+                if *rows >= 4 {
+                    out.push(CaseSpec {
+                        dataset: DatasetSpec::Chain {
+                            relations: *relations,
+                            rows: rows / 2,
+                            fanout: *fanout,
+                        },
+                        ..self.clone()
+                    });
+                }
+                if *relations > 1 {
+                    out.push(CaseSpec {
+                        dataset: DatasetSpec::Chain {
+                            relations: relations - 1,
+                            rows: *rows,
+                            fanout: *fanout,
+                        },
+                        ..self.clone()
+                    });
+                }
+                if *fanout > 1 {
+                    out.push(CaseSpec {
+                        dataset: DatasetSpec::Chain {
+                            relations: *relations,
+                            rows: *rows,
+                            fanout: 1,
+                        },
+                        ..self.clone()
+                    });
+                }
+            }
+        }
+
+        // Fewer tokens.
+        if self.tokens.len() > 1 {
+            for i in 0..self.tokens.len() {
+                let mut tokens = self.tokens.clone();
+                tokens.remove(i);
+                out.push(CaseSpec {
+                    tokens,
+                    ..self.clone()
+                });
+            }
+        }
+
+        // Tighter degree (smaller result schema).
+        if self.degree != DegreeConstraint::MinWeight(0.9) {
+            out.push(CaseSpec {
+                degree: DegreeConstraint::MinWeight(0.9),
+                ..self.clone()
+            });
+        }
+
+        // Smaller, per-relation-independent cardinality.
+        if self.cardinality != CardinalityConstraint::MaxTuplesPerRelation(2) {
+            out.push(CaseSpec {
+                cardinality: CardinalityConstraint::MaxTuplesPerRelation(2),
+                ..self.clone()
+            });
+        }
+
+        // Canonical strategy.
+        if self.strategy != RetrievalStrategy::RoundRobin {
+            out.push(CaseSpec {
+                strategy: RetrievalStrategy::RoundRobin,
+                ..self.clone()
+            });
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for i in 0..50u64 {
+            let s = mix_seed(42, i);
+            assert_eq!(CaseSpec::generate(s), CaseSpec::generate(s));
+        }
+        assert_ne!(
+            CaseSpec::generate(mix_seed(42, 0)),
+            CaseSpec::generate(mix_seed(42, 1)),
+            "different case indexes should (almost surely) differ"
+        );
+    }
+
+    #[test]
+    fn every_case_has_at_least_one_token() {
+        for i in 0..200u64 {
+            let spec = CaseSpec::generate(mix_seed(7, i));
+            assert!(!spec.tokens.is_empty());
+            assert!(spec.tokens.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_different() {
+        for i in 0..100u64 {
+            let spec = CaseSpec::generate(mix_seed(1, i));
+            for cand in spec.shrink_candidates() {
+                assert_ne!(cand, spec);
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_terminates() {
+        // Greedy adoption of the first candidate must hit a fixpoint: follow
+        // the first-candidate chain and assert it ends.
+        let mut spec = CaseSpec::generate(mix_seed(3, 9));
+        let mut steps = 0;
+        while let Some(first) = spec.shrink_candidates().into_iter().next() {
+            spec = first;
+            steps += 1;
+            assert!(steps < 100, "shrink chain did not terminate: {spec:?}");
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The differential oracle: one case, four execution paths, one answer.
+//!
+//! For a given [`CaseSpec`] the oracle asserts:
+//!
+//! * **Strategy leg** — under an unbounded cardinality constraint, NaïveQ
+//!   and Round-Robin must retrieve identical tuple sets from identical
+//!   seeds (the paper's claim that strategies differ in cost, not in the
+//!   logical answer). Tuple *order* is legitimately strategy-dependent, so
+//!   this leg compares canonicalized (sorted) result rows, plus seeds,
+//!   unmatched tokens, and foreign-key validity of the result database.
+//! * **Parallel leg** — `parallel_joins` on vs off must produce
+//!   byte-identical rendered answers (sub-database, report, narratives).
+//! * **Cache leg** — a repeated answer (warm token/schema caches) must be
+//!   byte-identical to the first, and an answer after a cache-invalidating
+//!   insert+delete pair (net no-op on the data) must be byte-identical to
+//!   the answer before the mutation.
+//! * **Server leg** — a loopback `precis-server` round-trip must return
+//!   exactly the bytes of [`precis_server::render_answer`] applied to the
+//!   in-process answer.
+
+use crate::gen::{CaseSpec, DatasetSpec};
+use precis_core::{
+    AnswerSpec, CardinalityConstraint, DbGenOptions, PrecisAnswer, PrecisEngine, PrecisQuery,
+    RetrievalStrategy,
+};
+use precis_datagen::{
+    chain_db_fanout, movies_graph, movies_vocabulary, woody_allen_instance, MoviesConfig,
+    MoviesGenerator,
+};
+use precis_nlg::Vocabulary;
+use precis_server::{render_answer, Server, ServerConfig, ServerHandle};
+use precis_storage::{Database, Value};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which differential leg a mismatch came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leg {
+    Strategy,
+    Parallel,
+    Cache,
+    Server,
+}
+
+impl std::fmt::Display for Leg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Leg::Strategy => "strategy",
+            Leg::Parallel => "parallel",
+            Leg::Cache => "cache",
+            Leg::Server => "server",
+        })
+    }
+}
+
+/// One structured diff entry.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    pub leg: Leg,
+    pub detail: String,
+}
+
+/// Everything a dataset needs to serve all four legs: a shared read-only
+/// engine fronted by a loopback server, and a private mutable engine for
+/// the cache-invalidation leg.
+pub struct DatasetCtx {
+    engine: Arc<PrecisEngine>,
+    mut_engine: PrecisEngine,
+    vocab: Option<Vocabulary>,
+    server: Option<ServerHandle>,
+    addr: SocketAddr,
+    /// Next primary-key value for cache-invalidation filler rows.
+    filler_next: i64,
+}
+
+impl DatasetCtx {
+    /// Build the database, graph, vocabulary, engines and loopback server
+    /// for one dataset spec. Fully deterministic per spec.
+    pub fn build(spec: &DatasetSpec) -> Result<DatasetCtx, String> {
+        let (db, graph, vocab) = match spec {
+            DatasetSpec::Demo => {
+                let db = woody_allen_instance();
+                let vocab = movies_vocabulary(db.schema());
+                (db, movies_graph(), Some(vocab))
+            }
+            DatasetSpec::Movies { movies, seed } => {
+                let db = MoviesGenerator::new(MoviesConfig {
+                    movies: *movies,
+                    directors: (movies / 8).max(1),
+                    actors: (movies / 2).max(1),
+                    theatres: (movies / 50).max(1),
+                    plays: movies * 2,
+                    seed: *seed,
+                    ..MoviesConfig::default()
+                })
+                .generate();
+                let vocab = movies_vocabulary(db.schema());
+                (db, movies_graph(), Some(vocab))
+            }
+            DatasetSpec::Chain {
+                relations,
+                rows,
+                fanout,
+            } => {
+                let (db, graph) = chain_db_fanout(*relations, *rows, *fanout, 0);
+                (db, graph, None)
+            }
+        };
+
+        let engine =
+            Arc::new(PrecisEngine::new(db.clone(), graph.clone()).map_err(|e| e.to_string())?);
+        let mut_engine = PrecisEngine::new(db, graph).map_err(|e| e.to_string())?;
+        let server = Server::start(
+            Arc::clone(&engine),
+            vocab.clone(),
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: 2,
+                queue_capacity: 16,
+                // No server-side deadline: the direct leg runs without a
+                // cancel token, so the served leg must too.
+                default_deadline: None,
+                io_timeout: Some(Duration::from_secs(5)),
+            },
+        )
+        .map_err(|e| format!("cannot start loopback server: {e}"))?;
+        let addr = server.local_addr();
+        Ok(DatasetCtx {
+            engine,
+            mut_engine,
+            vocab,
+            server: Some(server),
+            addr,
+            filler_next: 1_000_000,
+        })
+    }
+
+    /// Shut the loopback server down (idempotent).
+    pub fn shutdown(mut self) {
+        if let Some(server) = self.server.take() {
+            server.trigger_shutdown();
+            server.join();
+        }
+    }
+
+    /// A valid filler row for the cache-invalidation leg: inserted then
+    /// deleted, leaving the logical database unchanged but bumping the
+    /// cache generation. Returns `(relation, values)` with a fresh primary
+    /// key; the FK value is copied from an existing row so the pair is
+    /// valid even under enforcement.
+    fn filler_row(&mut self) -> Option<(&'static str, Vec<Value>)> {
+        let db = self.mut_engine.database();
+        let schema = db.schema();
+        self.filler_next += 1;
+        let key = self.filler_next;
+        if let Some(movie) = schema.relation_id("MOVIE") {
+            // Demo / synthetic movies schema: GENRE(gid, mid, genre).
+            let (_, first) = db.table(movie).iter().next()?;
+            let mid = first[0].clone();
+            return Some((
+                "GENRE",
+                vec![Value::from(key), mid, Value::from("testkitfiller")],
+            ));
+        }
+        if schema.relation_id("R0").is_some() {
+            // Chain schema: R0(id, payload) has no outgoing FK.
+            return Some((
+                "R0",
+                vec![Value::from(key), Value::from("testkitfiller row")],
+            ));
+        }
+        None
+    }
+}
+
+fn base_spec(case: &CaseSpec) -> AnswerSpec {
+    AnswerSpec {
+        degree: case.degree.clone(),
+        cardinality: case.cardinality.clone(),
+        strategy: case.strategy,
+        profile: None,
+        options: DbGenOptions::default(),
+    }
+}
+
+fn query(case: &CaseSpec) -> PrecisQuery {
+    PrecisQuery::new(case.tokens.iter().map(String::as_str))
+}
+
+/// Sorted rows per relation of a result database — the strategy-independent
+/// canonical form (tuple order is strategy-dependent by design).
+fn canonical_rows(db: &Database) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    for (rel, rs) in db.schema().relations() {
+        let mut rows: Vec<String> = db
+            .table(rel)
+            .iter()
+            .map(|(_, t)| {
+                t.values()
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\t")
+            })
+            .collect();
+        rows.sort();
+        out.insert(rs.name().to_owned(), rows);
+    }
+    out
+}
+
+/// Point at the first divergence of two byte-identical-expected strings.
+fn first_diff(a: &str, b: &str) -> String {
+    let pos = a
+        .bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    let ctx = |s: &str| -> String {
+        let start = pos.saturating_sub(30);
+        let end = (pos + 30).min(s.len());
+        // Snap to char boundaries.
+        let start = (0..=start)
+            .rev()
+            .find(|&i| s.is_char_boundary(i))
+            .unwrap_or(0);
+        let end = (end..=s.len())
+            .find(|&i| s.is_char_boundary(i))
+            .unwrap_or(s.len());
+        s[start..end].to_owned()
+    };
+    format!(
+        "lengths {}/{} first divergence at byte {pos}: {:?} vs {:?}",
+        a.len(),
+        b.len(),
+        ctx(a),
+        ctx(b)
+    )
+}
+
+fn render(engine: &PrecisEngine, vocab: Option<&Vocabulary>, answer: &PrecisAnswer) -> String {
+    render_answer(engine, vocab, answer)
+}
+
+/// Run all four legs of one case. Empty result = the case passes.
+pub fn run_case(ctx: &mut DatasetCtx, case: &CaseSpec) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    strategy_leg(ctx, case, &mut out);
+    parallel_leg(ctx, case, &mut out);
+    cache_leg(ctx, case, &mut out);
+    server_leg(ctx, case, &mut out);
+    out
+}
+
+fn strategy_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
+    let q = query(case);
+    let mut spec = base_spec(case);
+    spec.cardinality = CardinalityConstraint::Unbounded;
+    spec.strategy = RetrievalStrategy::NaiveQ;
+    let naive = match ctx.engine.answer(&q, &spec) {
+        Ok(a) => a,
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Strategy,
+                detail: format!("NaiveQ answer errored: {e}"),
+            });
+            return;
+        }
+    };
+    spec.strategy = RetrievalStrategy::RoundRobin;
+    let rr = match ctx.engine.answer(&q, &spec) {
+        Ok(a) => a,
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Strategy,
+                detail: format!("RoundRobin answer errored: {e}"),
+            });
+            return;
+        }
+    };
+
+    if naive.precis.seeds != rr.precis.seeds {
+        out.push(Mismatch {
+            leg: Leg::Strategy,
+            detail: format!(
+                "seed tuples differ: NaiveQ {:?} vs RoundRobin {:?}",
+                naive.precis.seeds, rr.precis.seeds
+            ),
+        });
+    }
+    let rows_n = canonical_rows(&naive.precis.database);
+    let rows_r = canonical_rows(&rr.precis.database);
+    if rows_n != rows_r {
+        for (rel, rn) in &rows_n {
+            let rr_rows = rows_r.get(rel);
+            if Some(rn) != rr_rows {
+                out.push(Mismatch {
+                    leg: Leg::Strategy,
+                    detail: format!(
+                        "relation {rel}: NaiveQ retrieved {} tuples, RoundRobin {} (sets differ under Unbounded)",
+                        rn.len(),
+                        rr_rows.map_or(0, Vec::len)
+                    ),
+                });
+            }
+        }
+    }
+    if naive.unmatched_tokens() != rr.unmatched_tokens() {
+        out.push(Mismatch {
+            leg: Leg::Strategy,
+            detail: "unmatched token sets differ between strategies".to_owned(),
+        });
+    }
+    for (name, answer) in [("NaiveQ", &naive), ("RoundRobin", &rr)] {
+        let violations = answer.precis.database.validate_foreign_keys();
+        if !violations.is_empty() {
+            out.push(Mismatch {
+                leg: Leg::Strategy,
+                detail: format!(
+                    "{name} result database violates {} foreign keys: {:?}",
+                    violations.len(),
+                    violations.first()
+                ),
+            });
+        }
+    }
+}
+
+fn parallel_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
+    let q = query(case);
+    let mut spec = base_spec(case);
+    spec.options.parallel_joins = false;
+    let sequential = ctx.engine.answer(&q, &spec);
+    spec.options.parallel_joins = true;
+    let parallel = ctx.engine.answer(&q, &spec);
+    match (sequential, parallel) {
+        (Ok(s), Ok(p)) => {
+            let vocab = ctx.vocab.as_ref();
+            let sb = render(&ctx.engine, vocab, &s);
+            let pb = render(&ctx.engine, vocab, &p);
+            if sb != pb {
+                out.push(Mismatch {
+                    leg: Leg::Parallel,
+                    detail: first_diff(&sb, &pb),
+                });
+            }
+        }
+        (s, p) => out.push(Mismatch {
+            leg: Leg::Parallel,
+            detail: format!(
+                "sequential vs parallel outcome mismatch: {:?} vs {:?}",
+                s.map(|_| "ok").map_err(|e| e.to_string()),
+                p.map(|_| "ok").map_err(|e| e.to_string())
+            ),
+        }),
+    }
+}
+
+fn cache_leg(ctx: &mut DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
+    let q = query(case);
+    let spec = base_spec(case);
+
+    // Cold vs warm on the shared engine.
+    let cold = ctx.engine.answer(&q, &spec);
+    let warm = ctx.engine.answer(&q, &spec);
+    match (cold, warm) {
+        (Ok(c), Ok(w)) => {
+            let vocab = ctx.vocab.as_ref();
+            let cb = render(&ctx.engine, vocab, &c);
+            let wb = render(&ctx.engine, vocab, &w);
+            if cb != wb {
+                out.push(Mismatch {
+                    leg: Leg::Cache,
+                    detail: format!("cold vs warm: {}", first_diff(&cb, &wb)),
+                });
+            }
+        }
+        (c, w) => {
+            out.push(Mismatch {
+                leg: Leg::Cache,
+                detail: format!(
+                    "cold vs warm outcome mismatch: {:?} vs {:?}",
+                    c.map(|_| "ok").map_err(|e| e.to_string()),
+                    w.map(|_| "ok").map_err(|e| e.to_string())
+                ),
+            });
+            return;
+        }
+    }
+
+    // Invalidation: answer, then a net-no-op insert+delete (bumps the cache
+    // generation twice), then answer again — must be byte-identical.
+    let before = match ctx.mut_engine.answer(&q, &spec) {
+        Ok(a) => render(&ctx.mut_engine, ctx.vocab.as_ref(), &a),
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Cache,
+                detail: format!("pre-invalidation answer errored: {e}"),
+            });
+            return;
+        }
+    };
+    let Some((relation, values)) = ctx.filler_row() else {
+        return;
+    };
+    let tid = match ctx.mut_engine.insert(relation, values) {
+        Ok(tid) => tid,
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Cache,
+                detail: format!("filler insert into {relation} failed: {e}"),
+            });
+            return;
+        }
+    };
+    let rel = ctx
+        .mut_engine
+        .database()
+        .schema()
+        .relation_id(relation)
+        .expect("filler relation exists");
+    if let Err(e) = ctx.mut_engine.delete(rel, tid) {
+        out.push(Mismatch {
+            leg: Leg::Cache,
+            detail: format!("filler delete from {relation} failed: {e}"),
+        });
+        return;
+    }
+    match ctx.mut_engine.answer(&q, &spec) {
+        Ok(a) => {
+            let after = render(&ctx.mut_engine, ctx.vocab.as_ref(), &a);
+            if before != after {
+                out.push(Mismatch {
+                    leg: Leg::Cache,
+                    detail: format!("post-invalidation: {}", first_diff(&before, &after)),
+                });
+            }
+        }
+        Err(e) => out.push(Mismatch {
+            leg: Leg::Cache,
+            detail: format!("post-invalidation answer errored: {e}"),
+        }),
+    }
+}
+
+fn server_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
+    let q = query(case);
+    let spec = base_spec(case);
+    let expected = match ctx.engine.answer(&q, &spec) {
+        Ok(a) => render(&ctx.engine, ctx.vocab.as_ref(), &a),
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Server,
+                detail: format!("direct answer errored: {e}"),
+            });
+            return;
+        }
+    };
+    let body = request_body(case);
+    match http_request(ctx.addr, "POST", "/query", Some(&body)) {
+        Ok((200, served)) => {
+            if served != expected {
+                out.push(Mismatch {
+                    leg: Leg::Server,
+                    detail: first_diff(&expected, &served),
+                });
+            }
+        }
+        Ok((status, served)) => out.push(Mismatch {
+            leg: Leg::Server,
+            detail: format!("expected 200, got {status}: {}", served.trim()),
+        }),
+        Err(e) => out.push(Mismatch {
+            leg: Leg::Server,
+            detail: format!("loopback request failed: {e}"),
+        }),
+    }
+}
+
+/// JSON request body for the served leg. Token alphabet is `[a-z0-9]`, so
+/// no escaping is needed.
+fn request_body(case: &CaseSpec) -> String {
+    let tokens: Vec<String> = case.tokens.iter().map(|t| format!("{t:?}")).collect();
+    let degree = match &case.degree {
+        precis_core::DegreeConstraint::MinWeight(w) => format!("{{\"minweight\": {w}}}"),
+        precis_core::DegreeConstraint::TopProjections(r) => format!("{{\"top\": {r}}}"),
+        precis_core::DegreeConstraint::MaxPathLength(l) => format!("{{\"maxlen\": {l}}}"),
+        precis_core::DegreeConstraint::All(_) => unreachable!("generator never emits All"),
+    };
+    let cardinality = match &case.cardinality {
+        CardinalityConstraint::MaxTuplesPerRelation(n) => format!("{{\"perrel\": {n}}}"),
+        CardinalityConstraint::MaxTotalTuples(n) => format!("{{\"total\": {n}}}"),
+        CardinalityConstraint::Unbounded => "\"unbounded\"".to_owned(),
+        CardinalityConstraint::All(_) => unreachable!("generator never emits All"),
+    };
+    let strategy = match case.strategy {
+        RetrievalStrategy::NaiveQ => "naive",
+        RetrievalStrategy::RoundRobin => "roundrobin",
+        RetrievalStrategy::TopWeight => "topweight",
+    };
+    format!(
+        "{{\"tokens\": [{}], \"degree\": {degree}, \"cardinality\": {cardinality}, \"strategy\": \"{strategy}\"}}",
+        tokens.join(", ")
+    )
+}
+
+/// Minimal HTTP/1.1 client for the loopback legs.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut req = format!("{method} {path} HTTP/1.1\r\nHost: testkit\r\nConnection: close\r\n");
+    match body {
+        Some(b) => {
+            req.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
+                b.len()
+            ));
+        }
+        None => req.push_str("\r\n"),
+    }
+    stream.write_all(req.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
