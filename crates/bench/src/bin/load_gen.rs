@@ -5,15 +5,22 @@
 //! cargo run --release -p precis-bench --bin load_gen -- BENCH_PR2.json
 //! cargo run --release -p precis-bench --bin load_gen -- --quick out.json
 //! cargo run --release -p precis-bench --bin load_gen -- --clients 32 --workers 4
+//! cargo run --release -p precis-bench --bin load_gen -- --pr5 BENCH_PR5.json
 //! ```
 //!
-//! With no path, the JSON is printed to stdout only.
+//! `--pr5` labels the report `BENCH_PR5` and prepends the tracing-overhead
+//! measurement (armed vs disarmed medians over the PR 1 pipeline workload),
+//! so the queue-wait/service-time split and the observability cost land in
+//! one snapshot. With no path, the JSON is printed to stdout only.
 
+use precis_bench::bench_report::{tracing_overhead, Scale};
 use precis_bench::load_report::{run_load, LoadConfig};
 
 fn main() {
     let mut config = LoadConfig::default();
     let mut path: Option<String> = None;
+    let mut pr5 = false;
+    let mut quick = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -27,7 +34,11 @@ fn main() {
                 })
         };
         match args[i].as_str() {
-            "--quick" => config = LoadConfig::quick(),
+            "--quick" => {
+                config = LoadConfig::quick();
+                quick = true;
+            }
+            "--pr5" => pr5 = true,
             "--movies" => config.movies = numeric(&mut i, "--movies"),
             "--workers" => config.workers = numeric(&mut i, "--workers"),
             "--queue" => config.queue_capacity = numeric(&mut i, "--queue"),
@@ -36,7 +47,7 @@ fn main() {
             "--deadline-ms" => config.deadline_ms = numeric(&mut i, "--deadline-ms") as u64,
             other if other.starts_with('-') => {
                 eprintln!(
-                    "unknown flag {other:?} (expected --quick | --movies | --workers | \
+                    "unknown flag {other:?} (expected --quick | --pr5 | --movies | --workers | \
                      --queue | --clients | --requests | --deadline-ms)"
                 );
                 std::process::exit(2);
@@ -46,8 +57,26 @@ fn main() {
         i += 1;
     }
 
+    let tracing = pr5.then(|| {
+        eprintln!("measuring tracing overhead...");
+        tracing_overhead(if quick { Scale::Quick } else { Scale::Full })
+    });
     let report = run_load(config);
-    let json = report.to_json();
+    let mut json = if pr5 {
+        report.to_json_labeled("BENCH_PR5")
+    } else {
+        report.to_json()
+    };
+    if let Some(tracing) = &tracing {
+        json = json.replacen(
+            "\"report\": \"BENCH_PR5\",",
+            &format!(
+                "\"report\": \"BENCH_PR5\",\n  \"tracing_overhead\": {},",
+                tracing.to_json_object()
+            ),
+            1,
+        );
+    }
     print!("{json}");
     if let Some(path) = path {
         std::fs::write(&path, &json).unwrap_or_else(|e| {

@@ -94,6 +94,40 @@ pub struct LoadReport {
     pub server_rejected_total: u64,
     pub server_deadline_exceeded_total: u64,
     pub server_queue_depth_final: u64,
+    /// Server-side admission-queue wait, from `precis_queue_wait_seconds`.
+    pub queue_wait: HistSummary,
+    /// Server-side `/query` service time (worker pickup → response written;
+    /// queue wait excluded), from
+    /// `precis_request_duration_seconds{endpoint="query"}`.
+    pub service_time: HistSummary,
+}
+
+/// Summary of one server-side histogram. Quantiles are bucket upper bounds
+/// (the same resolution a Prometheus query would see); the mean is exact.
+#[derive(Debug, Clone)]
+pub struct HistSummary {
+    pub count: u64,
+    pub p50_secs: f64,
+    pub p95_secs: f64,
+    pub mean_secs: f64,
+}
+
+impl HistSummary {
+    fn from(h: &precis_server::metrics::Histogram) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            p50_secs: h.quantile(0.50).unwrap_or(0.0),
+            p95_secs: h.quantile(0.95).unwrap_or(0.0),
+            mean_secs: h.mean_secs().unwrap_or(0.0),
+        }
+    }
+
+    fn to_json_inline(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50\": {:.6}, \"p95\": {:.6}, \"mean\": {:.6}}}",
+            self.count, self.p50_secs, self.p95_secs, self.mean_secs
+        )
+    }
 }
 
 /// Exact percentile of a sorted sample set (nearest-rank).
@@ -232,6 +266,8 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
         server_rejected_total: metrics.rejected_total(),
         server_deadline_exceeded_total: metrics.deadline_exceeded_total(),
         server_queue_depth_final: metrics.queue_depth(),
+        queue_wait: HistSummary::from(&metrics.queue_wait),
+        service_time: HistSummary::from(metrics.duration("query")),
         wall_secs,
         config,
     };
@@ -241,8 +277,12 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
 
 impl LoadReport {
     pub fn to_json(&self) -> String {
+        self.to_json_labeled("BENCH_PR2")
+    }
+
+    pub fn to_json_labeled(&self, label: &str) -> String {
         let mut out = String::with_capacity(1024);
-        out.push_str("{\n  \"report\": \"BENCH_PR2\",\n");
+        let _ = writeln!(out, "{{\n  \"report\": \"{label}\",");
         let _ = writeln!(
             out,
             "  \"config\": {{\"movies\": {}, \"workers\": {}, \"queue_capacity\": {}, \
@@ -282,10 +322,20 @@ impl LoadReport {
         let _ = writeln!(
             out,
             "  \"server\": {{\"rejected_total\": {}, \"deadline_exceeded_total\": {}, \
-             \"queue_depth_final\": {}}}",
+             \"queue_depth_final\": {}}},",
             self.server_rejected_total,
             self.server_deadline_exceeded_total,
             self.server_queue_depth_final
+        );
+        let _ = writeln!(
+            out,
+            "  \"queue_wait_secs\": {},",
+            self.queue_wait.to_json_inline()
+        );
+        let _ = writeln!(
+            out,
+            "  \"service_time_secs\": {}",
+            self.service_time.to_json_inline()
         );
         out.push_str("}\n");
         out
@@ -312,10 +362,21 @@ mod tests {
         assert_eq!(report.rejected as u64, report.server_rejected_total);
         assert!(report.p50_secs <= report.p95_secs && report.p95_secs <= report.p99_secs);
         assert!(report.throughput_rps > 0.0);
+        // Queue wait and service time are recorded separately server-side;
+        // every 200 contributes one service-time observation, and every
+        // admitted connection one queue-wait observation.
+        assert!(report.service_time.count >= report.ok as u64);
+        assert!(report.queue_wait.count >= report.service_time.count);
+        assert!(report.service_time.mean_secs > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"report\": \"BENCH_PR2\""));
         assert!(json.contains("\"throughput_rps\""));
         assert!(json.contains("\"p99\""));
+        assert!(json.contains("\"queue_wait_secs\""));
+        assert!(json.contains("\"service_time_secs\""));
+        assert!(report
+            .to_json_labeled("BENCH_PR5")
+            .contains("\"report\": \"BENCH_PR5\""));
     }
 
     #[test]

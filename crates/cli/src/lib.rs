@@ -5,17 +5,20 @@
 //! unit-testable without a terminal.
 
 use precis_core::{
-    explain, AnswerSpec, CardinalityConstraint, DegreeConstraint, PrecisAnswer, PrecisEngine,
-    PrecisQuery, RetrievalStrategy,
+    explain, AnswerSpec, CardinalityConstraint, CostModel, DegreeConstraint, PrecisAnswer,
+    PrecisEngine, PrecisQuery, RetrievalStrategy,
 };
 use precis_datagen::{
     movies_graph, movies_vocabulary, woody_allen_instance, MoviesConfig, MoviesGenerator,
 };
 use precis_graph::{SchemaGraph, WeightProfile};
 use precis_nlg::{Translator, Vocabulary};
+use precis_obs::{Phase, QueryProfile};
 use precis_storage::io::{dump_to_string, load_from_file};
-use precis_storage::Database;
+use precis_storage::{Database, Value};
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// CLI help text (also shown by `help`).
 pub const HELP: &str = "\
@@ -39,6 +42,12 @@ precis — interactive précis query explorer
 
 commands:
   query <tokens>                 answer a précis query (quotes group phrases)
+  explain [--profile] [--trace-out FILE] <tokens>
+                                 answer a query and show per-phase timings and
+                                 per-relation traversal counts; --profile adds
+                                 the cost model's predicted-vs-measured columns
+                                 (calibrated on first use); --trace-out writes
+                                 Chrome trace_event JSON for chrome://tracing
   set degree minweight <w> | top <r> | maxlen <l>
   set cardinality perrel <n> | total <n> | unbounded
   set strategy naive | roundrobin | topweight
@@ -127,6 +136,33 @@ pub fn open_source(
     }
 }
 
+/// Calibrate the paper's cost-model micro-costs (`IndexTime`, `TupleTime`)
+/// against a live database: the first indexed attribute with data behind it
+/// is probed with real stored values. Returns `None` when the database has
+/// no indexed, populated attribute to measure against.
+pub fn calibrate_cost_model(db: &Database) -> Option<CostModel> {
+    for (rel, schema) in db.schema().relations() {
+        if db.len(rel) == 0 {
+            continue;
+        }
+        for attr in 0..schema.arity() {
+            if !db.has_index(rel, attr) {
+                continue;
+            }
+            let samples: Vec<Value> = db
+                .table(rel)
+                .iter()
+                .take(32)
+                .map(|(_, t)| t.values()[attr].clone())
+                .collect();
+            if let Some(model) = CostModel::calibrate(db, rel, attr, &samples, 8) {
+                return Some(model);
+            }
+        }
+    }
+    None
+}
+
 /// Tuning for the `serve` subcommand.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -202,7 +238,13 @@ pub fn start_server(
     options: &ServeOptions,
 ) -> Result<(precis_server::ServerHandle, String), String> {
     let (db, graph, vocabulary, label) = open_source(source)?;
-    let engine = std::sync::Arc::new(PrecisEngine::new(db, graph).map_err(|e| e.to_string())?);
+    let mut engine = PrecisEngine::new(db, graph).map_err(|e| e.to_string())?;
+    // Calibrate micro-costs up front so served query profiles carry the
+    // cost model's predicted times next to the measured wall times.
+    if let Some(model) = calibrate_cost_model(engine.database()) {
+        engine.set_cost_model(model);
+    }
+    let engine = std::sync::Arc::new(engine);
     let config = precis_server::ServerConfig {
         addr: options.addr.clone(),
         workers: options.workers,
@@ -259,6 +301,7 @@ impl Session {
             "help" => SessionOutcome::Output(HELP.to_owned()),
             "quit" | "exit" => SessionOutcome::Quit,
             "query" | "q" => self.run_query(rest),
+            "explain" => self.run_explain(rest),
             "set" => self.run_set(rest),
             "weight" => self.run_weight(rest),
             "weights" if rest == "reset" => {
@@ -350,6 +393,137 @@ impl Session {
             }
             Err(e) => {
                 let _ = writeln!(out, "(narrative unavailable: {e})");
+            }
+        }
+        self.last_answer = Some(answer);
+        SessionOutcome::Output(out)
+    }
+
+    /// `explain [--profile] [--trace-out FILE] <tokens>`: answer a query
+    /// with a [`QueryProfile`] attached and print the per-phase /
+    /// per-relation table instead of the narrative.
+    fn run_explain(&mut self, rest: &str) -> SessionOutcome {
+        let mut want_predictions = false;
+        let mut trace_out: Option<String> = None;
+        let mut tokens = rest.trim();
+        loop {
+            if let Some(r) = tokens.strip_prefix("--profile") {
+                if !r.is_empty() && !r.starts_with(char::is_whitespace) {
+                    break;
+                }
+                want_predictions = true;
+                tokens = r.trim_start();
+            } else if let Some(r) = tokens.strip_prefix("--trace-out") {
+                let r = r.trim_start();
+                let (path, rem) = match r.find(char::is_whitespace) {
+                    Some(p) => (&r[..p], r[p..].trim_start()),
+                    None => (r, ""),
+                };
+                if path.is_empty() {
+                    return SessionOutcome::Error("--trace-out needs a file path".into());
+                }
+                trace_out = Some(path.to_owned());
+                tokens = rem;
+            } else {
+                break;
+            }
+        }
+        if tokens.is_empty() {
+            return SessionOutcome::Error(
+                "usage: explain [--profile] [--trace-out FILE] <tokens>".into(),
+            );
+        }
+        if want_predictions && self.engine.cost_model().is_none() {
+            // Calibrate once per session; the model sticks to the engine.
+            match calibrate_cost_model(self.engine.database()) {
+                Some(model) => self.engine.set_cost_model(model),
+                None => {
+                    return SessionOutcome::Error(
+                        "cannot calibrate the cost model: no indexed attribute with data".into(),
+                    )
+                }
+            }
+        }
+
+        let profile = Arc::new(QueryProfile::new());
+        let mut spec = AnswerSpec::new(self.degree.clone(), self.cardinality.clone())
+            .with_strategy(self.strategy);
+        spec.options.profile = Some(profile.clone());
+        if !self.overrides.is_empty() {
+            let mut weights = WeightProfile::new("__session");
+            for (edge, w) in &self.overrides {
+                weights = weights.set(edge.clone(), *w);
+            }
+            self.engine.register_profile(weights);
+            spec = spec.with_profile("__session");
+        }
+
+        // Arm the span tracer only when a trace file was requested; the
+        // drain below then sees exactly this query's spans.
+        let arm = trace_out.as_ref().map(|_| {
+            let gate = precis_obs::exclusive();
+            let guard = precis_obs::arm();
+            precis_obs::drain();
+            (gate, guard)
+        });
+        let t0 = Instant::now();
+        let query = PrecisQuery::parse(tokens);
+        profile.add_phase(Phase::Parse, t0.elapsed());
+        let answer = match self.engine.answer(&query, &spec) {
+            Ok(a) => a,
+            Err(e) => return SessionOutcome::Error(e.to_string()),
+        };
+        // Narrate under the same trace id so NLG spans join the query's
+        // trace, and so the profile's nlg phase matches the served path.
+        let narrated = precis_obs::with_trace(profile.trace(), || {
+            let nlg_span = precis_obs::span("nlg.translate");
+            let t1 = Instant::now();
+            let fallback_vocab = Vocabulary::new();
+            let translator = match &self.vocabulary {
+                Some(vocab) => Translator::new(self.engine.database(), self.engine.graph(), vocab),
+                None => {
+                    Translator::new(self.engine.database(), self.engine.graph(), &fallback_vocab)
+                        .with_generic_fallback()
+                }
+            };
+            let narrated = translator
+                .translate_ranked(&answer)
+                .map(|n| n.len())
+                .unwrap_or(0);
+            drop(nlg_span);
+            profile.add_phase(Phase::Nlg, t1.elapsed());
+            narrated
+        });
+        profile.finish();
+        let snap = profile.snapshot();
+
+        let mut out = String::new();
+        let unmatched = answer.unmatched_tokens();
+        if !unmatched.is_empty() {
+            let _ = writeln!(out, "(no matches for: {})", unmatched.join(", "));
+        }
+        let _ = writeln!(
+            out,
+            "answer: {} tuples across {} relations, {} narrative(s)",
+            answer.precis.total_tuples(),
+            answer.precis.database.schema().relation_count(),
+            narrated
+        );
+        out.push_str(&precis_obs::render_profile_text(&snap));
+        if let Some(path) = trace_out {
+            let drained = precis_obs::drain();
+            drop(arm);
+            let json = precis_obs::chrome_trace(&drained.spans, drained.dropped);
+            match std::fs::write(&path, &json) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        out,
+                        "trace: {} spans ({} dropped) written to {path} — load in chrome://tracing",
+                        drained.spans.len(),
+                        drained.dropped
+                    );
+                }
+                Err(e) => return SessionOutcome::Error(format!("cannot write {path}: {e}")),
             }
         }
         self.last_answer = Some(answer);
@@ -643,6 +817,60 @@ mod tests {
         assert!(out.contains("DIRECTOR:"), "{out}");
         assert!(out.contains("dname = Woody Allen"), "{out}");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn explain_shows_phase_and_relation_profile() {
+        let mut s = demo();
+        let out = output(s.execute(r#"explain "Woody Allen""#));
+        assert!(out.contains("query profile for \"Woody Allen\""), "{out}");
+        assert!(out.contains("token_lookup"), "{out}");
+        assert!(out.contains("db_gen"), "{out}");
+        assert!(out.contains("nlg"), "{out}");
+        assert!(out.contains("measured (ms)"), "{out}");
+        // No cost model without --profile: predicted column shows dashes.
+        assert!(!out.contains("cost model: predicted"), "{out}");
+    }
+
+    #[test]
+    fn explain_profile_calibrates_and_predicts() {
+        let mut s = demo();
+        let out = output(s.execute(r#"explain --profile "Woody Allen""#));
+        assert!(out.contains("cost model: predicted"), "{out}");
+        assert!(out.contains("IndexTime"), "{out}");
+        // The calibrated model sticks to the session engine.
+        let again = output(s.execute(r#"explain woody"#));
+        assert!(again.contains("cost model: predicted"), "{again}");
+    }
+
+    #[test]
+    fn explain_trace_out_writes_chrome_trace_json() {
+        let path = std::env::temp_dir().join("precis_cli_trace.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let mut s = demo();
+        let out = output(s.execute(&format!("explain --trace-out {path_str} woody")));
+        assert!(out.contains("trace:"), "{out}");
+        assert!(out.contains("chrome://tracing"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("engine.answer"), "{json}");
+        assert!(json.contains("db_gen.generate"), "{json}");
+        assert!(json.contains("nlg.translate"), "{json}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn explain_rejects_bad_usage() {
+        let mut s = demo();
+        assert!(matches!(s.execute("explain"), SessionOutcome::Error(_)));
+        assert!(matches!(
+            s.execute("explain --profile"),
+            SessionOutcome::Error(_)
+        ));
+        assert!(matches!(
+            s.execute("explain --trace-out"),
+            SessionOutcome::Error(_)
+        ));
     }
 
     #[test]

@@ -21,9 +21,13 @@ use crate::error::CoreError;
 use crate::result_schema::ResultSchema;
 use crate::Result;
 use precis_graph::SchemaGraph;
-use precis_storage::{Database, DatabaseSchema, RelationId, TupleId, Value, ValueScan};
+use precis_obs::{QueryProfile, RelationDelta};
+use precis_storage::{
+    Database, DatabaseSchema, RelationId, ThreadMeter, TupleId, Value, ValueScan,
+};
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
 
 /// How the generator retrieves a bounded subset of joining tuples (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +73,13 @@ pub struct DbGenOptions {
     /// [`CoreError::Cancelled`] instead of running to completion — the abort
     /// path a serving layer needs for per-request deadlines.
     pub cancel: Option<CancelToken>,
+    /// Per-query profile collector. When set, the generator attributes wall
+    /// time, index probes, tuple reads, and dedup hits to each relation it
+    /// traverses (via thread-scoped storage meters, so concurrent queries on
+    /// the same database never cross-contaminate). `None` keeps the
+    /// generator on its unmetered path — the answer itself is identical
+    /// either way.
+    pub profile: Option<std::sync::Arc<QueryProfile>>,
 }
 
 impl Default for DbGenOptions {
@@ -79,6 +90,7 @@ impl Default for DbGenOptions {
             tuple_weights: None,
             parallel_joins: true,
             cancel: None,
+            profile: None,
         }
     }
 }
@@ -179,6 +191,8 @@ pub fn generate_result_database(
 ) -> Result<PrecisDatabase> {
     let cancel = options.cancel.clone().unwrap_or_default();
     cancel.check()?;
+    let profile = options.profile.as_deref();
+    let _gen_span = precis_obs::span("db_gen.generate");
     let mut budget = CardinalityBudget::new(cardinality.clone());
     let mut collected: BTreeMap<RelationId, Collected> = BTreeMap::new();
     let mut report = GenReport::default();
@@ -205,6 +219,10 @@ pub fn generate_result_database(
         if tids.is_empty() {
             continue;
         }
+        let seed_span = precis_obs::span("db_gen.seed");
+        let meter = profile.map(|_| ThreadMeter::new());
+        let seed_start = profile.map(|_| Instant::now());
+        let mut dedup_hits = 0u64;
         let mut tag = BTreeSet::new();
         tag.insert(rel);
         let entry = collected.entry(rel).or_default();
@@ -218,6 +236,8 @@ pub fn generate_result_database(
                 Ok(_) => {
                     if entry.add(*tid, &tag) {
                         added += 1;
+                    } else {
+                        dedup_hits += 1;
                     }
                 }
                 Err(precis_storage::StorageError::NoSuchTuple { .. }) => {}
@@ -227,6 +247,22 @@ pub fn generate_result_database(
         budget.charge(rel, added);
         report.seed_tuples += added;
         kept_seeds.insert(rel, entry.order.clone());
+        if let (Some(p), Some(m), Some(t0)) = (profile, &meter, seed_start) {
+            let name = db.schema().relation(rel).name();
+            let events = m.events();
+            seed_span.label(name);
+            seed_span.field("tuples", added as u64);
+            p.record_relation(
+                name,
+                RelationDelta {
+                    tuples: added as u64,
+                    index_probes: events.index_probes,
+                    tuple_reads: events.tuple_reads,
+                    cache_hits: dedup_hits,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                },
+            );
+        }
     }
 
     // Step 2: walk the used join edges.
@@ -243,7 +279,15 @@ pub fn generate_result_database(
 
     // Step 3: optional foreign-key repair for structural consistency.
     if options.repair_foreign_keys {
-        repair_foreign_keys(db, graph, schema, &mut collected, &mut report, &cancel)?;
+        repair_foreign_keys(
+            db,
+            graph,
+            schema,
+            &mut collected,
+            &mut report,
+            &cancel,
+            profile,
+        )?;
     }
 
     materialize(db, graph, schema, collected, kept_seeds, report)
@@ -359,15 +403,16 @@ fn execute_joins(
             });
         }
 
+        let profile = options.profile.as_deref();
         let outcomes: Vec<Result<(JoinTask, usize)>> = if tasks.len() > 1 {
             tasks
                 .into_par_iter()
-                .map(|t| run_task(db, strategy, weights, &cancel, t))
+                .map(|t| run_task(db, strategy, weights, &cancel, profile, t))
                 .collect()
         } else {
             tasks
                 .into_iter()
-                .map(|t| run_task(db, strategy, weights, &cancel, t))
+                .map(|t| run_task(db, strategy, weights, &cancel, profile, t))
                 .collect()
         };
         for outcome in outcomes {
@@ -412,17 +457,54 @@ fn join_values(
     values
 }
 
+/// What one retrieval step did: tuples newly added to the destination (the
+/// paper's charged retrievals) and joining tuples that were already in D′
+/// (tag-merged at zero storage cost — the profile's "cache hits").
+#[derive(Debug, Default, Clone, Copy)]
+struct StepOutcome {
+    added: usize,
+    dedup_hits: u64,
+}
+
 /// Run one detached join step to completion, handing the destination state
-/// back together with the number of tuples added.
+/// back together with the number of tuples added. When a profile collector
+/// is attached, the step runs under the profile's trace id (so spans from
+/// rayon workers join the query's span tree) and meters its own thread's
+/// storage events into a per-relation row.
 fn run_task<'a>(
     db: &Database,
     strategy: RetrievalStrategy,
     weights: &TupleWeights,
     cancel: &CancelToken,
+    profile: Option<&QueryProfile>,
     mut t: JoinTask<'a>,
 ) -> Result<(JoinTask<'a>, usize)> {
-    let added = run_strategy(db, strategy, weights, cancel, &mut t)?;
-    Ok((t, added))
+    let trace = profile.map_or(0, |p| p.trace());
+    precis_obs::with_trace(trace, move || {
+        let span = precis_obs::span("db_gen.join");
+        let meter = profile.map(|_| ThreadMeter::new());
+        let start = profile.map(|_| Instant::now());
+        let outcome = run_strategy(db, strategy, weights, cancel, &mut t)?;
+        if let (Some(p), Some(m), Some(t0)) = (profile, &meter, start) {
+            let name = db.schema().relation(t.to).name();
+            let events = m.events();
+            span.label(name);
+            span.field("tuples", outcome.added as u64);
+            span.field("index_probes", events.index_probes);
+            span.field("tuple_reads", events.tuple_reads);
+            p.record_relation(
+                name,
+                RelationDelta {
+                    tuples: outcome.added as u64,
+                    index_probes: events.index_probes,
+                    tuple_reads: events.tuple_reads,
+                    cache_hits: outcome.dedup_hits,
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                },
+            );
+        }
+        Ok((t, outcome.added))
+    })
 }
 
 /// Dispatch one detached join step to the configured retrieval strategy.
@@ -432,7 +514,7 @@ fn run_strategy(
     weights: &TupleWeights,
     cancel: &CancelToken,
     t: &mut JoinTask<'_>,
-) -> Result<usize> {
+) -> Result<StepOutcome> {
     match strategy {
         RetrievalStrategy::NaiveQ => naive_q(
             db,
@@ -591,27 +673,28 @@ fn naive_q(
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
     cancel: &CancelToken,
-) -> Result<usize> {
-    let mut added = 0;
+) -> Result<StepOutcome> {
+    let mut outcome = StepOutcome::default();
     'outer: for v in values {
         cancel.check()?;
         // `lookup` and `fetch_from` both borrow `db` shared, so the posting
         // list is iterated in place — no `to_vec` copy per join value.
         let tids = db.lookup(rel, attr, v)?;
         for &tid in tids {
-            if added >= allowance {
+            if outcome.added >= allowance {
                 break 'outer;
             }
             if dest.contains(tid) {
                 dest.add(tid, origins); // merge tags, no charge
+                outcome.dedup_hits += 1;
                 continue;
             }
             db.fetch_from(rel, tid)?; // the TupleTime event
             dest.add(tid, origins);
-            added += 1;
+            outcome.added += 1;
         }
     }
-    Ok(added)
+    Ok(outcome)
 }
 
 /// Round-Robin: one scan per join value, one tuple per scan per round.
@@ -625,32 +708,33 @@ fn round_robin(
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
     cancel: &CancelToken,
-) -> Result<usize> {
+) -> Result<StepOutcome> {
     let mut scans: Vec<ValueScan> = Vec::with_capacity(values.len());
     for v in values {
         scans.push(ValueScan::open(db, rel, attr, v)?);
     }
-    let mut added = 0;
-    while added < allowance && scans.iter().any(ValueScan::is_open) {
+    let mut outcome = StepOutcome::default();
+    while outcome.added < allowance && scans.iter().any(ValueScan::is_open) {
         cancel.check()?;
         for scan in &mut scans {
-            if added >= allowance {
+            if outcome.added >= allowance {
                 break;
             }
             match scan.next_row(db, &[])? {
                 Some(row) => {
                     if dest.contains(row.tid) {
                         dest.add(row.tid, origins);
+                        outcome.dedup_hits += 1;
                     } else {
                         dest.add(row.tid, origins);
-                        added += 1;
+                        outcome.added += 1;
                     }
                 }
                 None => continue,
             }
         }
     }
-    Ok(added)
+    Ok(outcome)
 }
 
 /// TopWeight: gather every joining tuple, keep the highest-weighted ones
@@ -666,7 +750,7 @@ fn top_weight(
     origins: &BTreeSet<RelationId>,
     weights: &TupleWeights,
     cancel: &CancelToken,
-) -> Result<usize> {
+) -> Result<StepOutcome> {
     let mut candidates: Vec<TupleId> = Vec::new();
     let mut seen: BTreeSet<TupleId> = BTreeSet::new();
     for v in values {
@@ -678,24 +762,28 @@ fn top_weight(
         }
     }
     weights.order_desc(rel, &mut candidates);
-    let mut added = 0;
+    let mut outcome = StepOutcome::default();
     for tid in candidates {
-        if added >= allowance {
+        if outcome.added >= allowance {
             break;
         }
         if dest.contains(tid) {
             dest.add(tid, origins);
+            outcome.dedup_hits += 1;
             continue;
         }
         db.fetch_from(rel, tid)?; // the TupleTime event
         dest.add(tid, origins);
-        added += 1;
+        outcome.added += 1;
     }
-    Ok(added)
+    Ok(outcome)
 }
 
 /// Pull in missing parents for every foreign key that will be copied into
-/// the result schema, until a fixpoint.
+/// the result schema, until a fixpoint. Repair runs on the query thread, so
+/// a single [`ThreadMeter`] with before/after snapshots around each storage
+/// call attributes probes and reads to the parent relation exactly.
+#[allow(clippy::too_many_arguments)]
 fn repair_foreign_keys(
     db: &Database,
     graph: &SchemaGraph,
@@ -703,12 +791,20 @@ fn repair_foreign_keys(
     collected: &mut BTreeMap<RelationId, Collected>,
     report: &mut GenReport,
     cancel: &CancelToken,
+    profile: Option<&QueryProfile>,
 ) -> Result<()> {
+    let span = precis_obs::span("db_gen.repair");
+    let meter = profile.map(|_| ThreadMeter::new());
+    let mut deltas: BTreeMap<RelationId, RelationDelta> = BTreeMap::new();
+    let mut repaired_here = 0u64;
     let applicable = applicable_foreign_keys(db.schema(), graph, schema);
-    loop {
-        cancel.check()?;
+    let result = loop {
+        if let Err(e) = cancel.check() {
+            break Err(e);
+        }
         let mut additions: Vec<(RelationId, TupleId)> = Vec::new();
-        for &(child, child_attr, parent, parent_attr) in &applicable {
+        let mut failed = None;
+        'scan: for &(child, child_attr, parent, parent_attr) in &applicable {
             let Some(children) = collected.get(&child) else {
                 continue;
             };
@@ -733,24 +829,71 @@ fn repair_foreign_keys(
                 if present {
                     continue;
                 }
-                for ptid in db.lookup(parent, parent_attr, v)?.iter().take(1) {
-                    additions.push((parent, *ptid));
+                let before = meter.as_ref().map(|m| m.events());
+                let looked_up = db.lookup(parent, parent_attr, v);
+                if let (Some(m), Some(b)) = (&meter, before) {
+                    let d = deltas.entry(parent).or_default();
+                    let e = m.events().since(b);
+                    d.index_probes += e.index_probes;
+                    d.tuple_reads += e.tuple_reads;
+                }
+                match looked_up {
+                    Ok(tids) => {
+                        for ptid in tids.iter().take(1) {
+                            additions.push((parent, *ptid));
+                        }
+                    }
+                    Err(e) => {
+                        failed = Some(e.into());
+                        break 'scan;
+                    }
                 }
             }
         }
+        if let Some(e) = failed {
+            break Err(e);
+        }
         if additions.is_empty() {
-            return Ok(());
+            break Ok(());
         }
         let tags = BTreeSet::new();
+        let mut failed = None;
         for (rel, tid) in additions {
             let entry = collected.entry(rel).or_default();
             if !entry.contains(tid) {
-                db.fetch_from(rel, tid)?;
+                let before = meter.as_ref().map(|m| m.events());
+                let fetched = db.fetch_from(rel, tid);
+                if let (Some(m), Some(b)) = (&meter, before) {
+                    let d = deltas.entry(rel).or_default();
+                    let e = m.events().since(b);
+                    d.index_probes += e.index_probes;
+                    d.tuple_reads += e.tuple_reads;
+                }
+                if let Err(e) = fetched {
+                    failed = Some(e.into());
+                    break;
+                }
                 entry.add(tid, &tags);
                 report.repaired_tuples += 1;
+                repaired_here += 1;
+                if meter.is_some() {
+                    deltas.entry(rel).or_default().tuples += 1;
+                }
             }
         }
+        if let Some(e) = failed {
+            break Err(e);
+        }
+    };
+    if let Some(p) = profile {
+        span.field("repaired", repaired_here);
+        for (rel, delta) in deltas {
+            // Repair interleaves relations, so wall time stays on the rows
+            // of the steps that produced it; repair rows carry counts only.
+            p.record_relation(db.schema().relation(rel).name(), delta);
+        }
     }
+    result
 }
 
 /// Original-schema foreign keys that survive into the result schema: both

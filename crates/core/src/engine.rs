@@ -3,6 +3,7 @@
 
 use crate::cache::{AnswerCache, AnswerCacheStats};
 use crate::constraints::{CardinalityConstraint, DegreeConstraint};
+use crate::cost::CostModel;
 use crate::db_gen::{generate_result_database, DbGenOptions, PrecisDatabase, RetrievalStrategy};
 use crate::error::CoreError;
 use crate::query::PrecisQuery;
@@ -11,10 +12,12 @@ use crate::schema_gen::generate_result_schema;
 use crate::Result;
 use precis_graph::{SchemaGraph, WeightProfile};
 use precis_index::{InvertedIndex, Occurrence};
+use precis_obs::{CostParams, Phase};
 use precis_storage::{Database, RelationId, TupleId};
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How one query token matched the database: the paper's
 /// `k_i → {(R_j, A_lj, Tids_lj)}` entry.
@@ -132,6 +135,9 @@ pub struct PrecisEngine {
     index: InvertedIndex,
     profiles: HashMap<String, WeightProfile>,
     cache: AnswerCache,
+    /// Calibrated micro-costs used to annotate query profiles with the
+    /// paper's Formula (2) prediction next to measured wall time.
+    cost_model: Option<CostModel>,
 }
 
 impl PrecisEngine {
@@ -150,6 +156,7 @@ impl PrecisEngine {
             index,
             profiles: HashMap::new(),
             cache: AnswerCache::default(),
+            cost_model: None,
         })
     }
 
@@ -163,7 +170,20 @@ impl PrecisEngine {
             index,
             profiles: HashMap::new(),
             cache: AnswerCache::default(),
+            cost_model: None,
         }
+    }
+
+    /// Attach a calibrated cost model; subsequent profiled answers report
+    /// Formula (2) predicted seconds per relation next to measured wall
+    /// time.
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.cost_model = Some(model);
+    }
+
+    /// The attached cost model, if any.
+    pub fn cost_model(&self) -> Option<&CostModel> {
+        self.cost_model.as_ref()
     }
 
     /// Insert a tuple into the underlying database, keeping the inverted
@@ -229,20 +249,39 @@ impl PrecisEngine {
         if query.is_empty() {
             return Err(CoreError::EmptyQuery);
         }
-        let graph = match &spec.profile {
-            None => None,
-            Some(name) => {
-                let p = self
-                    .profiles
-                    .get(name)
-                    .ok_or_else(|| CoreError::UnknownProfile(name.clone()))?;
-                Some(self.graph.with_profile(p)?)
+        if let Some(p) = &spec.options.profile {
+            p.set_query(&query.tokens().join(" "));
+            if let Some(m) = &self.cost_model {
+                p.set_cost_params(CostParams {
+                    index_time_secs: m.index_time,
+                    tuple_time_secs: m.tuple_time,
+                });
             }
-        };
-        let graph = graph.as_ref().unwrap_or(&self.graph);
+        }
+        let trace = spec.options.profile.as_ref().map_or(0, |p| p.trace());
+        precis_obs::with_trace(trace, || {
+            let _answer_span = precis_obs::span("engine.answer");
+            let graph = match &spec.profile {
+                None => None,
+                Some(name) => {
+                    let p = self
+                        .profiles
+                        .get(name)
+                        .ok_or_else(|| CoreError::UnknownProfile(name.clone()))?;
+                    Some(self.graph.with_profile(p)?)
+                }
+            };
+            let graph = graph.as_ref().unwrap_or(&self.graph);
 
-        let matches = self.lookup_tokens(query);
-        self.answer_with_matches(graph, matches, spec)
+            let lookup_span = precis_obs::span("engine.token_lookup");
+            let t0 = Instant::now();
+            let matches = self.lookup_tokens(query);
+            drop(lookup_span);
+            if let Some(p) = &spec.options.profile {
+                p.add_phase(Phase::TokenLookup, t0.elapsed());
+            }
+            self.answer_with_matches(graph, matches, spec)
+        })
     }
 
     /// Stage 1 with the token cache in front: cached tokens are served
@@ -302,6 +341,8 @@ impl PrecisEngine {
 
         // Stage 2: result schema generation, memoized per (origins, degree,
         // profile).
+        let schema_span = precis_obs::span("engine.schema_gen");
+        let t0 = Instant::now();
         let key = AnswerCache::schema_key(&origins, &spec.degree, spec.profile.as_deref());
         let schema = match self.cache.get_schema(&key) {
             Some(cached) => cached.as_ref().clone(),
@@ -311,8 +352,14 @@ impl PrecisEngine {
                 s
             }
         };
+        drop(schema_span);
+        if let Some(p) = &spec.options.profile {
+            p.add_phase(Phase::SchemaGen, t0.elapsed());
+        }
 
         // Stage 3: result database generation.
+        let db_gen_span = precis_obs::span("engine.db_gen");
+        let t0 = Instant::now();
         let precis = generate_result_database(
             &self.db,
             graph,
@@ -322,6 +369,10 @@ impl PrecisEngine {
             spec.strategy,
             &spec.options,
         )?;
+        drop(db_gen_span);
+        if let Some(p) = &spec.options.profile {
+            p.add_phase(Phase::DbGen, t0.elapsed());
+        }
 
         Ok(PrecisAnswer {
             matches,
@@ -619,6 +670,53 @@ mod tests {
         let s = engine.cache_stats();
         assert_eq!(s.token_hits, 0);
         assert_eq!(s.token_misses, 3);
+    }
+
+    #[test]
+    fn profiled_answer_fills_phases_relations_and_predictions() {
+        let (db, graph) = expert_join_setup();
+        let mut engine = PrecisEngine::new(db, graph).unwrap();
+        engine.set_cost_model(CostModel::new(1e-6, 2e-6));
+        let profile = Arc::new(precis_obs::QueryProfile::new());
+        let options = DbGenOptions {
+            profile: Some(profile.clone()),
+            ..Default::default()
+        };
+        let spec = AnswerSpec::new(
+            crate::DegreeConstraint::MinWeight(0.5),
+            CardinalityConstraint::Unbounded,
+        )
+        .with_options(options);
+        let unprofiled_spec = AnswerSpec::new(
+            crate::DegreeConstraint::MinWeight(0.5),
+            CardinalityConstraint::Unbounded,
+        );
+
+        let a = engine.answer(&PrecisQuery::parse("ada"), &spec).unwrap();
+        profile.finish();
+        let snap = profile.snapshot();
+
+        assert_eq!(snap.query, "ada");
+        assert!(snap.phase(Phase::TokenLookup) > 0);
+        assert!(snap.phase(Phase::SchemaGen) > 0);
+        assert!(snap.phase(Phase::DbGen) > 0);
+        // Seed relation and the joined relation both get traversal rows.
+        let rels: Vec<&str> = snap.relations.iter().map(|r| r.relation.as_str()).collect();
+        assert_eq!(rels, vec!["PERSON", "VENUE"]);
+        for r in &snap.relations {
+            assert!(r.tuples > 0, "{r:?}");
+            assert!(r.wall_ns > 0, "{r:?}");
+            // Formula (2): tuples × (IndexTime + TupleTime).
+            assert_eq!(r.predicted_secs, Some(r.tuples as f64 * 3e-6), "{r:?}");
+        }
+        assert!(snap.predicted_total_secs.is_some());
+
+        // Profiling never changes the answer itself.
+        let b = engine
+            .answer(&PrecisQuery::parse("ada"), &unprofiled_spec)
+            .unwrap();
+        assert_eq!(a.precis.collected, b.precis.collected);
+        assert_eq!(a.precis.report, b.precis.report);
     }
 
     #[test]

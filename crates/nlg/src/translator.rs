@@ -622,10 +622,7 @@ mod tests {
             &DbGenOptions::default(),
         )
         .unwrap();
-        assert!(!precis
-            .visible
-            .get(&author)
-            .map_or(false, |v| v.contains(&1)));
+        assert!(!precis.visible.get(&author).is_some_and(|v| v.contains(&1)));
 
         // ...and a designer template that verbalizes @NAME anyway must fail
         // with the template error naming the variable, not panic or render

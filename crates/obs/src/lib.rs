@@ -1,0 +1,42 @@
+//! precis-obs — dependency-free tracing and per-query profiling for the
+//! précis answer pipeline.
+//!
+//! Two cooperating layers, both designed around the same disarmed-fast-path
+//! discipline as `precis_storage::failpoint` (one relaxed atomic load when
+//! nothing is listening):
+//!
+//! 1. **Spans** ([`tracer`]): lightweight RAII spans with structured fields,
+//!    monotonic timestamps, and parent ids. Closed spans land in a
+//!    per-thread buffer that drains into a bounded process-wide ring; when
+//!    the ring is full the *oldest* spans are dropped (and counted) so a
+//!    long-lived process never grows without bound. Spans exist only while
+//!    at least one [`tracer::arm`] guard is live — disarmed, `tracer::span`
+//!    is a single `Ordering::Relaxed` load.
+//! 2. **Profiles** ([`profile`]): an explicit per-query [`QueryProfile`]
+//!    collector threaded through `DbGenOptions`, accumulating per-phase wall
+//!    time (queue wait, parse, token lookup, schema generation, result
+//!    database generation, NLG, rendering) and per-relation traversal counts
+//!    (tuples fetched, index probes, tuple reads, dedup cache hits). When a
+//!    calibrated cost model is attached, each relation also carries the
+//!    paper's Formula 2 *predicted* time next to the *measured* wall time.
+//!
+//! Exporters ([`export`]): a human-readable profile table, Chrome
+//! `trace_event` JSON for `chrome://tracing`, and [`PhaseAgg`] which folds
+//! finished profiles into a Prometheus text exposition fragment. The
+//! [`promfmt`] module validates Prometheus text expositions (CI pipes live
+//! `/metrics` scrapes through it).
+
+pub mod export;
+pub mod profile;
+pub mod promfmt;
+pub mod tracer;
+
+pub use export::{chrome_trace, render_profile_text};
+pub use profile::{
+    CostParams, Phase, PhaseAgg, ProfileSnapshot, QueryProfile, RelationDelta, RelationProfile,
+};
+pub use promfmt::validate_exposition;
+pub use tracer::{
+    arm, armed, drain, exclusive, flush_thread, new_trace_id, now_ns, ring_capacity, span,
+    with_trace, ArmGuard, DrainedSpans, SpanGuard, SpanRecord,
+};

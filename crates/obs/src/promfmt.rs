@@ -1,0 +1,364 @@
+//! A small validator for the Prometheus text exposition format (v0.0.4).
+//!
+//! Covers the properties the précis exposition promises rather than the
+//! whole spec: every sample's metric family is declared with `# TYPE`
+//! before its first sample, histogram bucket counts are cumulative in
+//! `le` order and end with an `le="+Inf"` bucket equal to the family's
+//! `_count`, and no family is declared twice. CI pipes a live `/metrics`
+//! scrape through this (see the `promcheck` binary in `precis-server`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One parsed histogram series group, keyed by its non-`le` labels.
+#[derive(Debug, Default)]
+struct HistogramGroup {
+    /// (le, count) in source order; `le="+Inf"` is stored as `f64::INFINITY`.
+    buckets: Vec<(f64, u64)>,
+    count: Option<u64>,
+}
+
+/// Validate a Prometheus text exposition. Returns the number of samples
+/// checked, or a description of the first violation.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    // (family, labels-without-le) → group
+    let mut histograms: BTreeMap<(String, String), HistogramGroup> = BTreeMap::new();
+    let mut seen_families: BTreeSet<String> = BTreeSet::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: # TYPE without a metric name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: # TYPE {family} without a type"))?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {n}: unknown type {kind:?} for {family}"));
+            }
+            if types.insert(family.to_owned(), kind.to_owned()).is_some() {
+                return Err(format!("line {n}: duplicate # TYPE for {family}"));
+            }
+            if seen_families.contains(family) {
+                return Err(format!(
+                    "line {n}: # TYPE for {family} appears after its samples"
+                ));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // # HELP or comment
+        }
+
+        let (name, labels, value) = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        samples += 1;
+        // A name that is itself declared is its own family (a counter could
+        // legitimately end in `_count`); otherwise strip structural suffixes.
+        let family = if types.contains_key(&name) {
+            name.clone()
+        } else {
+            base_family(&name)
+        };
+        seen_families.insert(family.clone());
+        let declared = types
+            .get(&family)
+            .ok_or_else(|| format!("line {n}: sample {name} before any # TYPE {family}"))?;
+
+        if declared == "histogram" {
+            let suffix = &name[family.len()..];
+            match suffix {
+                "_bucket" => {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| format!("line {n}: {name} without an le label"))?;
+                    let bound = if le.1 == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.1.parse::<f64>()
+                            .map_err(|_| format!("line {n}: bad le bound {:?}", le.1))?
+                    };
+                    let count = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("line {n}: bucket count {value:?} not a u64"))?;
+                    let key = (family, labels_without_le(&labels));
+                    histograms
+                        .entry(key)
+                        .or_default()
+                        .buckets
+                        .push((bound, count));
+                }
+                "_count" => {
+                    let count = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("line {n}: count {value:?} not a u64"))?;
+                    let key = (family, labels_key(&labels));
+                    histograms.entry(key).or_default().count = Some(count);
+                }
+                "_sum" => {}
+                other => {
+                    return Err(format!(
+                        "line {n}: histogram {family} has unexpected sample suffix {other:?}"
+                    ))
+                }
+            }
+        } else if value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: value {value:?} is not a number"));
+        }
+    }
+
+    for ((family, labels), group) in &histograms {
+        let what = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        if group.buckets.is_empty() {
+            return Err(format!("histogram {what} has a _count but no buckets"));
+        }
+        let mut prev: Option<(f64, u64)> = None;
+        for &(le, count) in &group.buckets {
+            if let Some((ple, pcount)) = prev {
+                if le <= ple {
+                    return Err(format!("histogram {what}: le bounds not increasing"));
+                }
+                if count < pcount {
+                    return Err(format!(
+                        "histogram {what}: bucket counts not cumulative at le=\"{le}\""
+                    ));
+                }
+            }
+            prev = Some((le, count));
+        }
+        let (last_le, last_count) = *group.buckets.last().expect("non-empty");
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {what} is missing an le=\"+Inf\" bucket"));
+        }
+        match group.count {
+            None => return Err(format!("histogram {what} has buckets but no _count")),
+            Some(c) if c != last_count => {
+                return Err(format!(
+                    "histogram {what}: _count {c} != +Inf bucket {last_count}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(samples)
+}
+
+/// The family a sample belongs to: histogram/summary suffixes stripped.
+fn base_family(name: &str) -> String {
+    for suffix in ["_bucket", "_count", "_sum"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            // Only treat the suffix as structural when the stem is a
+            // declared family; `requests_total_count` as a counter name
+            // would be its own family. The caller handles the lookup; here
+            // we just strip greedily — non-histogram stems simply won't be
+            // declared as histograms.
+            if !stem.is_empty() {
+                return stem.to_owned();
+            }
+        }
+    }
+    name.to_owned()
+}
+
+fn labels_without_le(labels: &[(String, String)]) -> String {
+    let kept: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    kept.join(",")
+}
+
+fn labels_key(labels: &[(String, String)]) -> String {
+    labels_without_le(labels)
+}
+
+/// Parse `name{k="v",...} value` | `name value`.
+#[allow(clippy::type_complexity)]
+fn parse_sample(line: &str) -> Result<(String, Vec<(String, String)>, String), String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| "unclosed label block".to_owned())?;
+            if close < brace {
+                return Err("mismatched label braces".to_owned());
+            }
+            (&line[..brace], &line[close + 1..])
+        }
+        None => {
+            let sp = line
+                .find(' ')
+                .ok_or_else(|| "sample without a value".to_owned())?;
+            (&line[..sp], &line[sp..])
+        }
+    };
+    let name = name_part.trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    if let Some(brace) = line.find('{') {
+        let close = line.rfind('}').expect("checked above");
+        let body = &line[brace + 1..close];
+        for pair in split_label_pairs(body)? {
+            labels.push(pair);
+        }
+    }
+    let value = rest.trim();
+    if value.is_empty() {
+        return Err("sample without a value".to_owned());
+    }
+    Ok((name.to_owned(), labels, value.to_owned()))
+}
+
+/// Split `k="v",k2="v2"` respecting quotes (values may contain commas).
+fn split_label_pairs(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut pairs = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = rest[..eq].trim().to_owned();
+        let after = rest[eq + 1..].trim_start();
+        let mut chars = after.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label value for {key} not quoted")),
+        }
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key}"))?;
+        let value = after[1..end].to_owned();
+        pairs.push((key, value));
+        rest = after[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("trailing garbage after label in {body:?}"));
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_well_formed_exposition_passes() {
+        let text = "\
+# HELP precis_requests_total Requests.
+# TYPE precis_requests_total counter
+precis_requests_total{endpoint=\"query\",status=\"200\"} 3
+# HELP precis_request_duration_seconds Latency.
+# TYPE precis_request_duration_seconds histogram
+precis_request_duration_seconds_bucket{endpoint=\"query\",le=\"0.01\"} 1
+precis_request_duration_seconds_bucket{endpoint=\"query\",le=\"0.1\"} 2
+precis_request_duration_seconds_bucket{endpoint=\"query\",le=\"+Inf\"} 3
+precis_request_duration_seconds_sum{endpoint=\"query\"} 0.25
+precis_request_duration_seconds_count{endpoint=\"query\"} 3
+# TYPE precis_queue_depth gauge
+precis_queue_depth 0
+";
+        assert_eq!(validate_exposition(text), Ok(7));
+    }
+
+    #[test]
+    fn sample_before_type_is_rejected() {
+        let text = "precis_requests_total 1\n# TYPE precis_requests_total counter\n";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("before any # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn non_cumulative_buckets_are_rejected() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"0.1\"} 5
+h_bucket{le=\"1\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 5
+";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn missing_inf_bucket_is_rejected() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"0.1\"} 5
+h_sum 1
+h_count 5
+";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("+Inf"), "{err}");
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let text = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 5
+h_sum 1
+h_count 4
+";
+        let err = validate_exposition(text).unwrap_err();
+        assert!(err.contains("_count 4 != +Inf bucket 5"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_type_and_bad_values_are_rejected() {
+        let dup = "# TYPE a counter\n# TYPE a counter\na 1\n";
+        assert!(validate_exposition(dup).unwrap_err().contains("duplicate"));
+        let bad = "# TYPE a counter\na not_a_number\n";
+        assert!(validate_exposition(bad)
+            .unwrap_err()
+            .contains("not a number"));
+    }
+
+    #[test]
+    fn histogram_groups_are_keyed_per_label_set() {
+        // Two endpoints interleaved: each group must validate independently.
+        let text = "\
+# TYPE h histogram
+h_bucket{endpoint=\"a\",le=\"1\"} 1
+h_bucket{endpoint=\"a\",le=\"+Inf\"} 2
+h_bucket{endpoint=\"b\",le=\"1\"} 9
+h_bucket{endpoint=\"b\",le=\"+Inf\"} 9
+h_sum{endpoint=\"a\"} 0.5
+h_count{endpoint=\"a\"} 2
+h_sum{endpoint=\"b\"} 3.5
+h_count{endpoint=\"b\"} 9
+";
+        assert_eq!(validate_exposition(text), Ok(8));
+    }
+}

@@ -1,0 +1,452 @@
+//! Span collection: RAII guards, per-thread buffers, and the bounded ring.
+//!
+//! The fast path is the whole design: `span()` while disarmed performs one
+//! `Ordering::Relaxed` load and returns an inert guard — no clock read, no
+//! allocation, no thread-local borrow. Arming is a process-wide counter of
+//! live [`ArmGuard`]s (mirroring `precis_storage::failpoint::ARMED_SITES`),
+//! so nested harnesses compose and the last guard out turns the lights off.
+//!
+//! Closed spans are buffered per thread and drained into the process-wide
+//! ring either when the buffer reaches [`FLUSH_THRESHOLD`] records or when
+//! the thread's span stack empties (a root span closed — the natural end of
+//! a unit of work). [`with_trace`] also flushes on exit so spans recorded on
+//! a pool worker are visible to whoever drains the ring after the join. The
+//! ring is bounded at [`RING_CAPACITY`]: overflow evicts the *oldest*
+//! records and counts them, so wrapping is silent-but-accounted rather than
+//! a panic or an unbounded queue.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Bound on buffered spans process-wide. Oldest records are evicted (and
+/// counted in [`DrainedSpans::dropped`]) once the ring is full.
+pub const RING_CAPACITY: usize = 8192;
+
+/// Per-thread buffered spans before a drain into the ring.
+const FLUSH_THRESHOLD: usize = 64;
+
+/// Number of live [`ArmGuard`]s. Zero means every `span()` call returns an
+/// inert guard after a single relaxed load.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+/// Global span/trace id allocator. Ids are only consumed while armed, so
+/// the fetch_add never shows up in disarmed profiles. Starts at 1 — id 0 is
+/// reserved to mean "no parent" / "no trace".
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process tracing epoch (monotonic).
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// A closed span as stored in the ring and handed to exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Trace (query) this span belongs to; 0 when recorded outside any
+    /// [`with_trace`] scope.
+    pub trace: u64,
+    pub id: u64,
+    /// Id of the enclosing span on the same thread; 0 for roots.
+    pub parent: u64,
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Small dense per-process thread number (not the OS tid).
+    pub thread: u64,
+    /// Structured counters attached via [`SpanGuard::field`].
+    pub fields: Vec<(&'static str, u64)>,
+    /// Optional dynamic annotation (e.g. a relation name).
+    pub label: Option<String>,
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    fields: Vec<(&'static str, u64)>,
+    label: Option<String>,
+}
+
+struct ThreadCtx {
+    trace: u64,
+    thread: u64,
+    stack: Vec<OpenSpan>,
+    buf: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static CTX: RefCell<ThreadCtx> = RefCell::new(ThreadCtx {
+        trace: 0,
+        thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        buf: Vec::new(),
+    });
+}
+
+struct Ring {
+    buf: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            buf: VecDeque::new(),
+            dropped: 0,
+        })
+    })
+}
+
+pub fn ring_capacity() -> usize {
+    RING_CAPACITY
+}
+
+/// Is at least one [`ArmGuard`] live?
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0
+}
+
+/// Turn span recording on for the lifetime of the returned guard. Guards
+/// nest; recording stops when the last one drops.
+pub fn arm() -> ArmGuard {
+    ARMED.fetch_add(1, Ordering::SeqCst);
+    ArmGuard(())
+}
+
+#[must_use = "spans are recorded only while the guard is live"]
+pub struct ArmGuard(());
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        ARMED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Serialises harnesses that arm the process-wide tracer (the ring is
+/// shared state, exactly like failpoints). Same discipline as
+/// `precis_storage::failpoint::exclusive`.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    match GATE.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Allocate a fresh trace id for one query.
+pub fn new_trace_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Open a span. Disarmed cost: one relaxed atomic load.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return SpanGuard { depth: usize::MAX };
+    }
+    span_slow(name)
+}
+
+#[cold]
+fn span_slow(name: &'static str) -> SpanGuard {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = c.stack.last().map(|s| s.id).unwrap_or(0);
+        let depth = c.stack.len();
+        c.stack.push(OpenSpan {
+            id,
+            parent,
+            name,
+            start_ns: now_ns(),
+            fields: Vec::new(),
+            label: None,
+        });
+        SpanGuard { depth }
+    })
+}
+
+/// RAII span handle. Dropping it closes the span (and, defensively, any
+/// deeper spans left open by a panic unwind that skipped their guards).
+pub struct SpanGuard {
+    /// Index of this span in the thread stack; `usize::MAX` marks the inert
+    /// disarmed guard.
+    depth: usize,
+}
+
+impl SpanGuard {
+    /// Attach a structured counter to the span. No-op when inert.
+    pub fn field(&self, key: &'static str, value: u64) {
+        if self.depth == usize::MAX {
+            return;
+        }
+        CTX.with(|c| {
+            let mut c = c.borrow_mut();
+            let depth = self.depth;
+            if let Some(open) = c.stack.get_mut(depth) {
+                open.fields.push((key, value));
+            }
+        });
+    }
+
+    /// Attach a dynamic annotation (e.g. a relation name). No-op when inert.
+    pub fn label(&self, label: &str) {
+        if self.depth == usize::MAX {
+            return;
+        }
+        CTX.with(|c| {
+            let mut c = c.borrow_mut();
+            let depth = self.depth;
+            if let Some(open) = c.stack.get_mut(depth) {
+                open.label = Some(label.to_owned());
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.depth == usize::MAX {
+            return;
+        }
+        close_to_depth(self.depth);
+    }
+}
+
+/// Close every span at `depth` or deeper. Closing deeper spans too keeps
+/// the tree well-formed when an unwind drops an outer guard while inner
+/// guards were leaked/forgotten: every opened span still gets an end time.
+fn close_to_depth(depth: usize) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        let end_ns = now_ns();
+        while c.stack.len() > depth {
+            let open = c.stack.pop().expect("stack len checked");
+            let rec = SpanRecord {
+                trace: c.trace,
+                id: open.id,
+                parent: open.parent,
+                name: open.name,
+                start_ns: open.start_ns,
+                end_ns,
+                thread: c.thread,
+                fields: open.fields,
+                label: open.label,
+            };
+            c.buf.push(rec);
+        }
+        if c.buf.len() >= FLUSH_THRESHOLD || c.stack.is_empty() {
+            flush_locked(&mut c);
+        }
+    });
+}
+
+fn flush_locked(c: &mut ThreadCtx) {
+    if c.buf.is_empty() {
+        return;
+    }
+    let mut r = match ring().lock() {
+        Ok(r) => r,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    for rec in c.buf.drain(..) {
+        if r.buf.len() >= RING_CAPACITY {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        r.buf.push_back(rec);
+    }
+}
+
+/// Push this thread's buffered spans into the ring.
+pub fn flush_thread() {
+    CTX.with(|c| flush_locked(&mut c.borrow_mut()));
+}
+
+/// Run `f` with the thread's current trace id set to `trace`, restoring the
+/// previous id (and flushing the thread buffer) on exit — including via
+/// panic unwind, so pool workers never leak a stale trace id. Disarmed cost:
+/// one relaxed load.
+pub fn with_trace<R>(trace: u64, f: impl FnOnce() -> R) -> R {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return f();
+    }
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CTX.with(|c| {
+                let mut c = c.borrow_mut();
+                c.trace = self.0;
+                flush_locked(&mut c);
+            });
+        }
+    }
+    let prev = CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        std::mem::replace(&mut c.trace, trace)
+    });
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Everything the ring held, sorted so that within a trace parents precede
+/// children (parents start no later, and ids grow in open order).
+#[derive(Debug)]
+pub struct DrainedSpans {
+    pub spans: Vec<SpanRecord>,
+    /// Records evicted by ring overflow since the last drain.
+    pub dropped: u64,
+}
+
+/// Flush the calling thread and take the ring contents.
+pub fn drain() -> DrainedSpans {
+    flush_thread();
+    let (mut spans, dropped) = {
+        let mut r = match ring().lock() {
+            Ok(r) => r,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let spans: Vec<SpanRecord> = r.buf.drain(..).collect();
+        (spans, std::mem::take(&mut r.dropped))
+    };
+    spans.sort_by_key(|s| (s.trace, s.start_ns, s.id));
+    DrainedSpans { spans, dropped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_spans_record_nothing() {
+        let _gate = exclusive();
+        drain();
+        {
+            let g = span("never.recorded");
+            g.field("n", 3);
+        }
+        let d = drain();
+        assert!(d.spans.is_empty());
+        assert_eq!(d.dropped, 0);
+        assert!(!armed());
+    }
+
+    #[test]
+    fn nested_spans_form_a_tree_with_parents_first() {
+        let _gate = exclusive();
+        drain();
+        let _arm = arm();
+        let trace = new_trace_id();
+        with_trace(trace, || {
+            let root = span("root");
+            root.field("answers", 2);
+            {
+                let child = span("child");
+                child.label("movies");
+                let _grand = span("grandchild");
+            }
+            let _sibling = span("sibling");
+        });
+        let d = drain();
+        assert_eq!(d.spans.len(), 4);
+        assert!(d.spans.iter().all(|s| s.trace == trace));
+        assert!(d.spans.iter().all(|s| s.end_ns >= s.start_ns));
+        let root = &d.spans[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.fields, vec![("answers", 2)]);
+        // Parents precede children in drain order.
+        for s in &d.spans {
+            if s.parent != 0 {
+                let parent_pos = d.spans.iter().position(|p| p.id == s.parent);
+                let own_pos = d.spans.iter().position(|p| p.id == s.id);
+                assert!(parent_pos.expect("parent present") < own_pos.unwrap());
+            }
+        }
+        let child = d.spans.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(child.parent, root.id);
+        assert_eq!(child.label.as_deref(), Some("movies"));
+        let grand = d.spans.iter().find(|s| s.name == "grandchild").unwrap();
+        assert_eq!(grand.parent, child.id);
+        let sib = d.spans.iter().find(|s| s.name == "sibling").unwrap();
+        assert_eq!(sib.parent, root.id);
+    }
+
+    #[test]
+    fn ring_overflow_evicts_oldest_and_counts() {
+        let _gate = exclusive();
+        drain();
+        let _arm = arm();
+        let extra = 16u64;
+        for i in 0..(RING_CAPACITY as u64 + extra) {
+            let g = span("wrap");
+            g.field("i", i);
+        }
+        let d = drain();
+        assert_eq!(d.spans.len(), RING_CAPACITY);
+        assert_eq!(d.dropped, extra);
+        // The survivors are the *newest* records.
+        let min_i = d
+            .spans
+            .iter()
+            .map(|s| s.fields[0].1)
+            .min()
+            .expect("non-empty");
+        assert_eq!(min_i, extra);
+    }
+
+    #[test]
+    fn with_trace_restores_previous_trace_and_flushes() {
+        let _gate = exclusive();
+        drain();
+        let _arm = arm();
+        let outer = new_trace_id();
+        let inner = new_trace_id();
+        with_trace(outer, || {
+            let _a = span("outer.work");
+            with_trace(inner, || {
+                let _b = span("inner.work");
+            });
+            let _c = span("outer.again");
+        });
+        let d = drain();
+        let traces: Vec<u64> = d.spans.iter().map(|s| s.trace).collect();
+        assert_eq!(d.spans.len(), 3);
+        assert!(traces.contains(&outer));
+        assert!(traces.contains(&inner));
+        assert_eq!(
+            d.spans.iter().filter(|s| s.trace == outer).count(),
+            2,
+            "outer trace restored after nested scope: {traces:?}"
+        );
+    }
+
+    #[test]
+    fn spans_survive_unwind_with_end_times() {
+        let _gate = exclusive();
+        drain();
+        let _arm = arm();
+        let caught = std::panic::catch_unwind(|| {
+            let _root = span("panicking.root");
+            let _child = span("panicking.child");
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        let d = drain();
+        assert_eq!(d.spans.len(), 2);
+        assert!(d.spans.iter().all(|s| s.end_ns >= s.start_ns));
+    }
+}

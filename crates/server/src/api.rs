@@ -12,9 +12,11 @@ use precis_core::{
     PrecisEngine, PrecisQuery, RetrievalStrategy,
 };
 use precis_nlg::{Translator, Vocabulary};
+use precis_obs::{Phase, ProfileSnapshot, QueryProfile};
 use precis_storage::Value;
 use std::fmt::Write as _;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A decoded `/query` request body.
 #[derive(Debug, Clone)]
@@ -26,6 +28,12 @@ pub struct QueryRequest {
     /// Per-request deadline override, milliseconds. Capped by the server's
     /// configured default.
     pub deadline_ms: Option<u64>,
+    /// Whether the response should carry a `"profile"` object with per-phase
+    /// and per-relation timings. The server profiles every query internally
+    /// either way (for the slow-query log and `/metrics` aggregates); this
+    /// flag only controls the response body, so default responses stay
+    /// byte-identical.
+    pub profile: bool,
 }
 
 /// Decode a request body. Only `tokens` is required:
@@ -110,12 +118,19 @@ pub fn parse_query_request(body: &str) -> Result<QueryRequest, String> {
         ),
     };
 
+    let profile = match doc.get("profile") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("profile must be a boolean".to_owned()),
+    };
+
     Ok(QueryRequest {
         query,
         degree,
         cardinality,
         strategy,
         deadline_ms,
+        profile,
     })
 }
 
@@ -127,6 +142,27 @@ pub fn answer_query(
     request: &QueryRequest,
     default_deadline: Option<Duration>,
 ) -> Result<String, CoreError> {
+    answer_query_profiled(
+        engine,
+        vocabulary,
+        request,
+        default_deadline,
+        &Arc::new(QueryProfile::new()),
+    )
+}
+
+/// [`answer_query`] with a caller-owned profile collector. The caller may
+/// pre-seed phases measured outside this function (queue wait, request
+/// parsing); this function fills in the pipeline and rendering phases,
+/// finishes the profile, and — when the request asked for it — appends the
+/// profile object to the response body.
+pub fn answer_query_profiled(
+    engine: &PrecisEngine,
+    vocabulary: Option<&Vocabulary>,
+    request: &QueryRequest,
+    default_deadline: Option<Duration>,
+    profile: &Arc<QueryProfile>,
+) -> Result<String, CoreError> {
     let budget = match (request.deadline_ms, default_deadline) {
         (Some(ms), Some(cap)) => Some(Duration::from_millis(ms).min(cap)),
         (Some(ms), None) => Some(Duration::from_millis(ms)),
@@ -135,6 +171,7 @@ pub fn answer_query(
     let mut options = precis_core::DbGenOptions::default();
     let cancel = budget.map(CancelToken::with_timeout);
     options.cancel = cancel.clone();
+    options.profile = Some(profile.clone());
     let spec = AnswerSpec::new(request.degree.clone(), request.cardinality.clone())
         .with_strategy(request.strategy)
         .with_options(options);
@@ -144,7 +181,70 @@ pub fn answer_query(
     if let Some(c) = &cancel {
         c.check()?;
     }
-    Ok(render_answer(engine, vocabulary, &answer))
+    let mut body = render_answer_with(engine, vocabulary, &answer, Some(profile));
+    profile.finish();
+    if request.profile {
+        // Splice the profile object in before the closing brace, keeping the
+        // rest of the body byte-identical to an unprofiled response.
+        let trimmed = body
+            .strip_suffix("}\n")
+            .expect("render_answer bodies end with }\\n")
+            .len();
+        body.truncate(trimmed);
+        body.push_str(", \"profile\": ");
+        write_profile_json(&mut body, &profile.snapshot());
+        body.push_str("}\n");
+    }
+    Ok(body)
+}
+
+/// Append one [`ProfileSnapshot`] as a deterministic JSON object: phases in
+/// [`Phase::ALL`] order, relations in name order (as the snapshot stores
+/// them), times in fractional milliseconds.
+pub fn write_profile_json(out: &mut String, snap: &ProfileSnapshot) {
+    let _ = write!(out, "{{\"trace\": {}, \"total_ms\": ", snap.trace);
+    json::write_f64(out, snap.total_ns as f64 / 1e6);
+    out.push_str(", \"phases\": {");
+    let mut first = true;
+    for phase in Phase::ALL {
+        let ns = snap.phase(phase);
+        if ns == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{}\": ", phase.name());
+        json::write_f64(out, ns as f64 / 1e6);
+    }
+    out.push_str("}, \"relations\": [");
+    for (i, r) in snap.relations.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"relation\": ");
+        json::write_str(out, &r.relation);
+        let _ = write!(
+            out,
+            ", \"tuples\": {}, \"index_probes\": {}, \"tuple_reads\": {}, \"cache_hits\": {}, \
+             \"measured_ms\": ",
+            r.tuples, r.index_probes, r.tuple_reads, r.cache_hits
+        );
+        json::write_f64(out, r.wall_ns as f64 / 1e6);
+        out.push_str(", \"predicted_ms\": ");
+        match r.predicted_secs {
+            Some(s) => json::write_f64(out, s * 1e3),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("], \"predicted_total_ms\": ");
+    match snap.predicted_total_secs {
+        Some(s) => json::write_f64(out, s * 1e3),
+        None => out.push_str("null"),
+    }
+    out.push('}');
 }
 
 /// Render one answered query as the deterministic response body.
@@ -153,6 +253,19 @@ pub fn render_answer(
     vocabulary: Option<&Vocabulary>,
     answer: &PrecisAnswer,
 ) -> String {
+    render_answer_with(engine, vocabulary, answer, None)
+}
+
+/// [`render_answer`], optionally attributing narrative synthesis to the
+/// `nlg` phase and the rest of serialization to `render`.
+fn render_answer_with(
+    engine: &PrecisEngine,
+    vocabulary: Option<&Vocabulary>,
+    answer: &PrecisAnswer,
+    profile: Option<&Arc<QueryProfile>>,
+) -> String {
+    let render_span = precis_obs::span("api.render");
+    let render_start = profile.map(|_| Instant::now());
     let mut out = String::with_capacity(1024);
     out.push_str("{\"tokens\": [");
     for (i, m) in answer.matches.iter().enumerate() {
@@ -225,7 +338,15 @@ pub fn render_answer(
             Translator::new(engine.database(), engine.graph(), &fallback).with_generic_fallback()
         }
     };
-    match translator.translate_ranked(answer) {
+    let nlg_span = precis_obs::span("nlg.translate");
+    let nlg_start = profile.map(|_| Instant::now());
+    let translated = translator.translate_ranked(answer);
+    drop(nlg_span);
+    let nlg_elapsed = nlg_start.map(|t| t.elapsed()).unwrap_or_default();
+    if let Some(p) = profile {
+        p.add_phase(Phase::Nlg, nlg_elapsed);
+    }
+    match translated {
         Ok(narratives) => {
             for (i, n) in narratives.iter().enumerate() {
                 if i > 0 {
@@ -247,6 +368,12 @@ pub fn render_answer(
         }
     }
     out.push_str("}\n");
+    drop(render_span);
+    if let (Some(p), Some(t0)) = (profile, render_start) {
+        // Render time excludes the narrative synthesis charged to `nlg`.
+        let spent = t0.elapsed().checked_sub(nlg_elapsed).unwrap_or_default();
+        p.add_phase(Phase::Render, spent);
+    }
     out
 }
 

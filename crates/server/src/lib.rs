@@ -9,12 +9,19 @@
 //!
 //! Endpoints:
 //!
-//! | Method | Path        | Purpose                                         |
-//! |--------|-------------|-------------------------------------------------|
-//! | POST   | `/query`    | Answer a précis query (JSON in, JSON out)       |
-//! | GET    | `/healthz`  | Liveness probe                                  |
-//! | GET    | `/metrics`  | Prometheus text exposition                      |
-//! | POST   | `/shutdown` | Graceful shutdown (drains in-flight requests)   |
+//! | Method | Path          | Purpose                                        |
+//! |--------|---------------|------------------------------------------------|
+//! | POST   | `/query`      | Answer a précis query (JSON in, JSON out; set  |
+//! |        |               | `"profile": true` for per-phase timings)       |
+//! | GET    | `/healthz`    | Liveness probe                                 |
+//! | GET    | `/metrics`    | Prometheus text exposition                     |
+//! | GET    | `/debug/slow` | The N slowest query profiles (loopback only)   |
+//! | POST   | `/shutdown`   | Graceful shutdown (drains in-flight requests)  |
+//!
+//! Every `/query` is profiled end to end (queue wait, parse, token lookup,
+//! schema generation, per-relation db_gen traversal, NLG, render) via
+//! `precis-obs`; profiles feed the slow-query log and the per-phase
+//! Prometheus aggregates.
 
 pub mod api;
 pub mod http;
@@ -22,7 +29,12 @@ pub mod json;
 pub mod metrics;
 pub mod queue;
 mod server;
+pub mod slowlog;
 
-pub use api::{answer_query, parse_query_request, render_answer, QueryRequest};
+pub use api::{
+    answer_query, answer_query_profiled, parse_query_request, render_answer, write_profile_json,
+    QueryRequest,
+};
 pub use metrics::Metrics;
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use slowlog::SlowLog;

@@ -1,12 +1,18 @@
 //! Lock-free request metrics with a Prometheus text-format exposition.
 //!
 //! Everything is an atomic counter so the hot path never takes a lock:
-//! per-endpoint/status request counts, a fixed-bucket latency histogram,
-//! live queue depth, and admission/deadline rejection totals. The answer
-//! caches' [`precis_core::AnswerCacheStats`] are folded into the exposition
-//! at scrape time.
+//! per-endpoint/status request counts, fixed-bucket latency histograms
+//! split into queue-wait and per-endpoint service time, live queue depth,
+//! and admission/deadline rejection totals. The answer caches'
+//! [`precis_core::AnswerCacheStats`] and the per-phase profile aggregates
+//! ([`precis_obs::PhaseAgg`]) are folded into the exposition at scrape
+//! time. Scrape handling appends into one output `String` through
+//! `fmt::Write` with pre-interned labels, so serving `/metrics` performs
+//! no per-series allocation — a scrape observes itself only under the
+//! `metrics` endpoint label.
 
 use precis_core::AnswerCacheStats;
+use precis_obs::PhaseAgg;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -24,6 +30,13 @@ const STATUSES: [u16; 10] = [200, 400, 403, 404, 405, 408, 413, 500, 503, 504];
 
 /// Index of the catch-all slot for statuses outside [`STATUSES`].
 const STATUS_OTHER: usize = STATUSES.len();
+
+/// Pre-interned exposition labels for every status slot (the [`STATUSES`]
+/// codes plus the `other` catch-all) — rendering a scrape must not allocate
+/// a label string per series.
+const STATUS_LABELS: [&str; STATUSES.len() + 1] = [
+    "200", "400", "403", "404", "405", "408", "413", "500", "503", "504", "other",
+];
 
 /// Endpoints tracked individually; anything else lands in `other`.
 const ENDPOINTS: [&str; 4] = ["query", "healthz", "metrics", "other"];
@@ -62,6 +75,12 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Mean of all observations in seconds; `None` with no observations.
+    pub fn mean_secs(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9 / count as f64)
+    }
+
     /// Approximate quantile from the cumulative buckets (upper bound of the
     /// first bucket covering the rank; `None` with no observations).
     pub fn quantile(&self, q: f64) -> Option<f64> {
@@ -94,8 +113,13 @@ pub struct Metrics {
     /// requests[endpoint][status] counters; the final status slot is the
     /// `other` catch-all.
     requests: [[AtomicU64; STATUSES.len() + 1]; ENDPOINTS.len()],
-    /// Latency histogram over all handled requests.
-    pub latency: Histogram,
+    /// Service-time histograms, one per endpoint label: the clock starts
+    /// when a worker picks the connection up, so queue time is excluded —
+    /// and a `/metrics` scrape only ever observes itself under the
+    /// `metrics` label, never inflating `/query` latency.
+    durations: [Histogram; ENDPOINTS.len()],
+    /// Time connections spent waiting in the admission queue, server-wide.
+    pub queue_wait: Histogram,
     /// Connections currently queued for a worker.
     queue_depth: AtomicU64,
     /// Connections refused at admission (queue full → 503).
@@ -104,6 +128,8 @@ pub struct Metrics {
     deadline_exceeded_total: AtomicU64,
     /// Handler panics converted to 500s.
     panics_total: AtomicU64,
+    /// Per-phase / cost-model aggregates accumulated from query profiles.
+    pub phases: PhaseAgg,
 }
 
 fn endpoint_slot(endpoint: &str) -> usize {
@@ -120,22 +146,24 @@ fn status_slot(status: u16) -> usize {
         .unwrap_or(STATUS_OTHER)
 }
 
-/// Exposition label for a status slot.
-fn status_label(slot: usize) -> String {
-    if slot == STATUS_OTHER {
-        "other".to_owned()
-    } else {
-        STATUSES[slot].to_string()
-    }
-}
-
 impl Metrics {
     pub fn record_request(&self, endpoint: &str, status: u16, latency: Duration) {
-        self.requests[endpoint_slot(endpoint)][status_slot(status)].fetch_add(1, Ordering::Relaxed);
-        self.latency.observe(latency);
+        let slot = endpoint_slot(endpoint);
+        self.requests[slot][status_slot(status)].fetch_add(1, Ordering::Relaxed);
+        self.durations[slot].observe(latency);
         if status == 504 {
             self.deadline_exceeded_total.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Record how long a connection waited between admission and pickup.
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.observe(wait);
+    }
+
+    /// The service-time histogram for one endpoint label.
+    pub fn duration(&self, endpoint: &str) -> &Histogram {
+        &self.durations[endpoint_slot(endpoint)]
     }
 
     pub fn record_rejection(&self) {
@@ -178,9 +206,10 @@ impl Metrics {
         self.requests[endpoint_slot(endpoint)][status_slot(status)].load(Ordering::Relaxed)
     }
 
-    /// Render the Prometheus text exposition format (v0.0.4).
+    /// Render the Prometheus text exposition format (v0.0.4). Appends into
+    /// one pre-sized `String` via `fmt::Write`; no per-series allocations.
     pub fn render_prometheus(&self, cache: &AnswerCacheStats) -> String {
-        let mut out = String::with_capacity(4096);
+        let mut out = String::with_capacity(8192);
 
         out.push_str("# HELP precis_requests_total Handled requests by endpoint and status.\n");
         out.push_str("# TYPE precis_requests_total counter\n");
@@ -191,37 +220,72 @@ impl Metrics {
                     let _ = writeln!(
                         out,
                         "precis_requests_total{{endpoint=\"{endpoint}\",status=\"{}\"}} {n}",
-                        status_label(si)
+                        STATUS_LABELS[si]
                     );
                 }
             }
         }
 
         out.push_str(
-            "# HELP precis_request_duration_seconds Request handling latency histogram.\n",
+            "# HELP precis_request_duration_seconds Request service time by endpoint \
+             (queue wait excluded).\n",
         );
         out.push_str("# TYPE precis_request_duration_seconds histogram\n");
+        for (ei, endpoint) in ENDPOINTS.iter().enumerate() {
+            let h = &self.durations[ei];
+            if h.count() == 0 {
+                continue;
+            }
+            for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "precis_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{le}\"}} {}",
+                    h.buckets[i].load(Ordering::Relaxed)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "precis_request_duration_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}",
+                h.count()
+            );
+            let _ = writeln!(
+                out,
+                "precis_request_duration_seconds_sum{{endpoint=\"{endpoint}\"}} {}",
+                h.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "precis_request_duration_seconds_count{{endpoint=\"{endpoint}\"}} {}",
+                h.count()
+            );
+        }
+
+        out.push_str(
+            "# HELP precis_queue_wait_seconds Time connections waited in the \
+             admission queue before a worker picked them up.\n",
+        );
+        out.push_str("# TYPE precis_queue_wait_seconds histogram\n");
         for (i, le) in LATENCY_BUCKETS.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "precis_request_duration_seconds_bucket{{le=\"{le}\"}} {}",
-                self.latency.buckets[i].load(Ordering::Relaxed)
+                "precis_queue_wait_seconds_bucket{{le=\"{le}\"}} {}",
+                self.queue_wait.buckets[i].load(Ordering::Relaxed)
             );
         }
         let _ = writeln!(
             out,
-            "precis_request_duration_seconds_bucket{{le=\"+Inf\"}} {}",
-            self.latency.count()
+            "precis_queue_wait_seconds_bucket{{le=\"+Inf\"}} {}",
+            self.queue_wait.count()
         );
         let _ = writeln!(
             out,
-            "precis_request_duration_seconds_sum {}",
-            self.latency.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+            "precis_queue_wait_seconds_sum {}",
+            self.queue_wait.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
         );
         let _ = writeln!(
             out,
-            "precis_request_duration_seconds_count {}",
-            self.latency.count()
+            "precis_queue_wait_seconds_count {}",
+            self.queue_wait.count()
         );
 
         let singles: [(&str, &str, u64); 4] = [
@@ -270,6 +334,8 @@ impl Metrics {
                 "precis_cache_events_total{{layer=\"{layer}\",kind=\"{kind}\"}} {value}"
             );
         }
+
+        self.phases.write_exposition(&mut out);
         out
     }
 }
@@ -310,14 +376,46 @@ mod tests {
         let text = m.render_prometheus(&cache);
         assert!(text.contains("precis_requests_total{endpoint=\"query\",status=\"200\"} 1"));
         assert!(text.contains("precis_requests_total{endpoint=\"query\",status=\"504\"} 1"));
-        assert!(text.contains("precis_request_duration_seconds_count 2"));
-        assert!(text.contains("precis_request_duration_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("precis_request_duration_seconds_count{endpoint=\"query\"} 2"));
+        assert!(text
+            .contains("precis_request_duration_seconds_bucket{endpoint=\"query\",le=\"+Inf\"} 2"));
+        assert!(text.contains("precis_queue_wait_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("precis_queue_wait_seconds_count 0"));
         assert!(text.contains("precis_queue_depth 1"));
         assert!(text.contains("precis_rejected_total 1"));
         assert!(text.contains("precis_deadline_exceeded_total 1"));
         assert!(text.contains("precis_cache_events_total{layer=\"schema\",kind=\"hit\"} 3"));
         assert_eq!(m.deadline_exceeded_total(), 1);
         assert_eq!(m.requests_for("query", 200), 1);
+    }
+
+    #[test]
+    fn scrape_latency_lands_only_under_the_metrics_label() {
+        let m = Metrics::default();
+        m.record_request("query", 200, Duration::from_millis(2));
+        m.record_request("metrics", 200, Duration::from_millis(1));
+        m.record_request("metrics", 200, Duration::from_millis(1));
+        assert_eq!(m.duration("query").count(), 1);
+        assert_eq!(m.duration("metrics").count(), 2);
+        let text = m.render_prometheus(&AnswerCacheStats::default());
+        assert!(text.contains("precis_request_duration_seconds_count{endpoint=\"query\"} 1"));
+        assert!(text.contains("precis_request_duration_seconds_count{endpoint=\"metrics\"} 2"));
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_separately_from_service_time() {
+        let m = Metrics::default();
+        m.record_queue_wait(Duration::from_millis(3));
+        m.record_queue_wait(Duration::from_millis(40));
+        m.record_request("query", 200, Duration::from_millis(1));
+        assert_eq!(m.queue_wait.count(), 2);
+        assert_eq!(m.duration("query").count(), 1);
+        let text = m.render_prometheus(&AnswerCacheStats::default());
+        assert!(text.contains("precis_queue_wait_seconds_count 2"), "{text}");
+        assert!(
+            text.contains("precis_queue_wait_seconds_bucket{le=\"0.005\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

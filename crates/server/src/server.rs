@@ -13,8 +13,10 @@ use crate::api;
 use crate::http::{self, ParseError, Request, Response};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
+use crate::slowlog::SlowLog;
 use precis_core::{CoreError, PrecisEngine};
 use precis_nlg::Vocabulary;
+use precis_obs::{Phase, QueryProfile};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -44,6 +46,9 @@ pub struct ServerConfig {
     /// within one timeout even with connections mid-read. `None` disables
     /// the timeout, restoring the pinning hazard; leave it set in production.
     pub io_timeout: Option<Duration>,
+    /// How many of the worst query profiles `GET /debug/slow` retains.
+    /// Zero disables the slow-query log.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +59,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             default_deadline: Some(Duration::from_secs(10)),
             io_timeout: Some(Duration::from_secs(5)),
+            slow_log_capacity: 8,
         }
     }
 }
@@ -63,7 +69,10 @@ struct Shared {
     engine: Arc<PrecisEngine>,
     vocabulary: Option<Vocabulary>,
     metrics: Arc<Metrics>,
-    queue: BoundedQueue<TcpStream>,
+    /// Admitted connections, stamped with their admission instant so the
+    /// picking worker can attribute queue wait separately from service time.
+    queue: BoundedQueue<(Instant, TcpStream)>,
+    slow_log: Arc<SlowLog>,
     shutdown: AtomicBool,
     default_deadline: Option<Duration>,
     io_timeout: Option<Duration>,
@@ -95,6 +104,7 @@ impl Server {
             vocabulary,
             metrics: Arc::new(Metrics::default()),
             queue: BoundedQueue::new(config.queue_capacity),
+            slow_log: Arc::new(SlowLog::new(config.slow_log_capacity)),
             shutdown: AtomicBool::new(false),
             default_deadline: config.default_deadline,
             io_timeout: config.io_timeout,
@@ -132,6 +142,11 @@ impl ServerHandle {
 
     pub fn metrics(&self) -> Arc<Metrics> {
         self.shared.metrics.clone()
+    }
+
+    /// The bounded slow-query log served by `GET /debug/slow`.
+    pub fn slow_log(&self) -> Arc<SlowLog> {
+        self.shared.slow_log.clone()
     }
 
     /// Begin shutdown without blocking: stop admitting connections and wake
@@ -179,15 +194,15 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        match shared.queue.try_push(stream) {
+        match shared.queue.try_push((Instant::now(), stream)) {
             Ok(()) => shared.metrics.enqueued(),
-            Err(PushError::Full(mut stream)) => {
+            Err(PushError::Full((_, mut stream))) => {
                 shared.metrics.record_rejection();
                 let resp = Response::error(503, "server overloaded, retry shortly")
                     .with_header("Retry-After: 1");
                 let _ = http::write_response(&mut stream, &resp);
             }
-            Err(PushError::Closed(mut stream)) => {
+            Err(PushError::Closed((_, mut stream))) => {
                 let resp =
                     Response::error(503, "server shutting down").with_header("Retry-After: 1");
                 let _ = http::write_response(&mut stream, &resp);
@@ -197,9 +212,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(mut stream) = shared.queue.pop() {
+    while let Some((admitted, mut stream)) = shared.queue.pop() {
         shared.metrics.dequeued();
-        serve_connection(shared, &mut stream);
+        let queue_wait = admitted.elapsed();
+        shared.metrics.record_queue_wait(queue_wait);
+        serve_connection(shared, &mut stream, queue_wait);
     }
 }
 
@@ -208,7 +225,7 @@ fn worker_loop(shared: &Shared) {
 /// The socket's read/write timeouts are armed first, so a silent or
 /// non-reading peer costs the worker at most `io_timeout` before it is
 /// answered (`408` on a stalled read) and released back to the queue.
-fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
+fn serve_connection(shared: &Shared, stream: &mut TcpStream, queue_wait: Duration) {
     let started = Instant::now();
     if shared.io_timeout.is_some() {
         let _ = stream.set_read_timeout(shared.io_timeout);
@@ -247,7 +264,8 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream) {
         .peer_addr()
         .map(|a| a.ip().is_loopback())
         .unwrap_or(false);
-    let (endpoint, response, shutdown_after) = route(shared, &request, peer_is_loopback);
+    let (endpoint, response, shutdown_after) =
+        route(shared, &request, peer_is_loopback, queue_wait);
     shared
         .metrics
         .record_request(endpoint, response.status, started.elapsed());
@@ -263,15 +281,32 @@ fn route(
     shared: &Shared,
     request: &Request,
     peer_is_loopback: bool,
+    queue_wait: Duration,
 ) -> (&'static str, Response, bool) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/query") => ("query", handle_query(shared, &request.body), false),
+        ("POST", "/query") => (
+            "query",
+            handle_query(shared, &request.body, queue_wait),
+            false,
+        ),
         ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n"), false),
         ("GET", "/metrics") => {
             let cache = shared.engine.cache_stats();
             let body = shared.metrics.render_prometheus(&cache);
             ("metrics", Response::text(200, body), false)
         }
+        // The slow-query log exposes query text, so like /shutdown it is
+        // only honored from loopback peers.
+        ("GET", "/debug/slow") if !peer_is_loopback => (
+            "other",
+            Response::error(403, "debug endpoints are only honored from loopback"),
+            false,
+        ),
+        ("GET", "/debug/slow") => (
+            "other",
+            Response::json(200, shared.slow_log.render_json()),
+            false,
+        ),
         // Shutdown is unauthenticated, so it is only honored from loopback
         // peers; binding a public address must not hand remote process
         // termination to every peer that can reach the port.
@@ -285,35 +320,50 @@ fn route(
             Response::json(200, "{\"shutting_down\": true}\n".to_owned()),
             true,
         ),
-        (_, "/query" | "/healthz" | "/metrics" | "/shutdown") => {
+        (_, "/query" | "/healthz" | "/metrics" | "/shutdown" | "/debug/slow") => {
             ("other", Response::error(405, "method not allowed"), false)
         }
         _ => ("other", Response::error(404, "no such endpoint"), false),
     }
 }
 
-fn handle_query(shared: &Shared, body: &[u8]) -> Response {
+fn handle_query(shared: &Shared, body: &[u8], queue_wait: Duration) -> Response {
     let Ok(text) = std::str::from_utf8(body) else {
         return Response::error(400, "body must be UTF-8");
     };
+    // Every query is profiled internally — the slow log and the per-phase
+    // /metrics aggregates need it — but the response only carries the
+    // profile when the request opted in, so default responses stay
+    // byte-identical to an unprofiled server.
+    let profile = Arc::new(QueryProfile::new());
+    profile.add_phase(Phase::QueueWait, queue_wait);
+    let parse_started = Instant::now();
     let request = match api::parse_query_request(text) {
         Ok(r) => r,
         Err(msg) => return Response::error(400, &msg),
     };
+    profile.add_phase(Phase::Parse, parse_started.elapsed());
 
     // A panic in answer generation must cost one request, not a worker: the
     // engine's state is all behind Arcs and internally lock-guarded, so a
     // unwound handler leaves nothing half-mutated.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        api::answer_query(
+        api::answer_query_profiled(
             &shared.engine,
             shared.vocabulary.as_ref(),
             &request,
             shared.default_deadline,
+            &profile,
         )
     }));
     match outcome {
-        Ok(Ok(body)) => Response::json(200, body),
+        Ok(Ok(body)) => {
+            profile.finish();
+            let snap = profile.snapshot();
+            shared.metrics.phases.accumulate(&snap);
+            shared.slow_log.offer(snap);
+            Response::json(200, body)
+        }
         Ok(Err(CoreError::Cancelled)) => Response::error(504, "deadline exceeded"),
         Ok(Err(CoreError::EmptyQuery)) => Response::error(400, "query has no tokens"),
         Ok(Err(e)) => Response::error(500, &e.to_string()),

@@ -1,0 +1,132 @@
+//! Bounded slow-query log: the N worst profiles seen since startup.
+//!
+//! Every `/query` is profiled internally; after each answer the worker
+//! offers the finished snapshot here. The log keeps the top `capacity`
+//! profiles by total wall time — a bounded, allocation-light ranking, not a
+//! sliding window, so a burst of fast queries can never evict the outliers
+//! an operator is hunting. Served by `GET /debug/slow` (loopback only, the
+//! same policy as `POST /shutdown`).
+
+use crate::api::write_profile_json;
+use crate::json::write_str;
+use precis_obs::ProfileSnapshot;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    /// Sorted by `total_ns` descending; length ≤ `capacity`.
+    entries: Mutex<Vec<ProfileSnapshot>>,
+}
+
+impl SlowLog {
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offer one finished profile; it is retained only if it ranks among
+    /// the `capacity` slowest seen so far.
+    pub fn offer(&self, snap: ProfileSnapshot) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow log lock");
+        if entries.len() == self.capacity
+            && entries
+                .last()
+                .is_some_and(|worst| worst.total_ns >= snap.total_ns)
+        {
+            return;
+        }
+        let at = entries.partition_point(|e| e.total_ns >= snap.total_ns);
+        entries.insert(at, snap);
+        entries.truncate(self.capacity);
+    }
+
+    /// Current entries, slowest first.
+    pub fn snapshots(&self) -> Vec<ProfileSnapshot> {
+        self.entries.lock().expect("slow log lock").clone()
+    }
+
+    /// Render the log as deterministic JSON (the `GET /debug/slow` body).
+    pub fn render_json(&self) -> String {
+        let entries = self.snapshots();
+        let mut out = String::with_capacity(256 + entries.len() * 512);
+        let _ = write!(out, "{{\"capacity\": {}", self.capacity);
+        out.push_str(", \"slow_queries\": [");
+        for (i, snap) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"query\": ");
+            write_str(&mut out, &snap.query);
+            out.push_str(", \"profile\": ");
+            write_profile_json(&mut out, snap);
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_obs::QueryProfile;
+
+    fn snap_with_total(query: &str, busy_ns: u64) -> ProfileSnapshot {
+        let p = QueryProfile::new();
+        p.set_query(query);
+        p.finish();
+        let mut s = p.snapshot();
+        s.total_ns = busy_ns;
+        s
+    }
+
+    #[test]
+    fn keeps_only_the_worst_profiles_sorted() {
+        let log = SlowLog::new(2);
+        log.offer(snap_with_total("fast", 10));
+        log.offer(snap_with_total("slow", 1000));
+        log.offer(snap_with_total("medium", 100));
+        log.offer(snap_with_total("fastest", 1));
+        let entries = log.snapshots();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].query, "slow");
+        assert_eq!(entries[1].query, "medium");
+    }
+
+    #[test]
+    fn renders_parseable_canonical_json() {
+        let log = SlowLog::new(4);
+        log.offer(snap_with_total("woody \"allen\"", 500));
+        log.offer(snap_with_total("comedy", 700));
+        let body = log.render_json();
+        let doc = crate::json::parse(&body).expect("slow log body parses");
+        let list = match doc.get("slow_queries") {
+            Some(crate::json::Json::Array(items)) => items,
+            other => panic!("slow_queries not an array: {other:?}"),
+        };
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].get("query").unwrap().as_str(), Some("comedy"));
+        // Canonical-JSON round trip: parse(render(parse(body))) == parse(body).
+        let rendered = crate::json::render(&doc);
+        assert_eq!(crate::json::parse(&rendered).unwrap(), doc);
+    }
+
+    #[test]
+    fn zero_capacity_accepts_nothing() {
+        let log = SlowLog::new(0);
+        log.offer(snap_with_total("x", 5));
+        assert!(log.snapshots().is_empty());
+        assert!(log.render_json().contains("\"slow_queries\": []"));
+    }
+}

@@ -3,9 +3,9 @@
 //! overload must answer 503 at admission, deadline-exceeded must answer 504
 //! without poisoning the worker pool, and shutdown must drain cleanly.
 
-use precis_core::PrecisEngine;
+use precis_core::{CostModel, PrecisEngine};
 use precis_datagen::{movies_graph, movies_vocabulary, MoviesConfig, MoviesGenerator};
-use precis_server::{api, Server, ServerConfig};
+use precis_server::{api, json, Server, ServerConfig};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -247,6 +247,94 @@ fn healthz_metrics_and_errors_round_trip() {
     ] {
         assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
     }
+    handle.join();
+}
+
+#[test]
+fn profiled_queries_feed_the_response_slow_log_and_phase_metrics() {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies: 200,
+        directors: 20,
+        actors: 100,
+        theatres: 4,
+        plays: 400,
+        seed: 0x5E21,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let mut engine = PrecisEngine::new(db, movies_graph()).expect("engine builds");
+    engine.set_cost_model(CostModel::new(1e-6, 2e-6));
+    let handle =
+        Server::start(Arc::new(engine), None, ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    // Default responses carry no profile object (byte-compat with PR 2).
+    let (status, _, plain) = post_query(addr, r#"{"tokens": "comedy"}"#);
+    assert_eq!(status, 200, "{plain}");
+    assert!(!plain.contains("\"profile\""), "{plain}");
+
+    // Opting in appends the profile while leaving the answer bytes intact.
+    let (status, _, profiled) = post_query(addr, r#"{"tokens": "comedy", "profile": true}"#);
+    assert_eq!(status, 200, "{profiled}");
+    let stem = plain.strip_suffix("}\n").unwrap();
+    assert!(profiled.starts_with(stem), "profiled body diverged");
+    let doc = json::parse(&profiled).expect("profiled body parses");
+    let profile = doc.get("profile").expect("profile object present");
+    let phases = profile.get("phases").expect("phases present");
+    for phase in [
+        "queue_wait",
+        "parse",
+        "token_lookup",
+        "schema_gen",
+        "db_gen",
+    ] {
+        assert!(
+            phases.get(phase).and_then(json::Json::as_f64).is_some(),
+            "missing phase {phase} in {profiled}"
+        );
+    }
+    let relations = match profile.get("relations") {
+        Some(json::Json::Array(items)) => items,
+        other => panic!("relations not an array: {other:?}"),
+    };
+    assert!(!relations.is_empty(), "{profiled}");
+    for r in relations {
+        // Cost model attached → measured and predicted both populated.
+        assert!(r.get("measured_ms").and_then(json::Json::as_f64).is_some());
+        assert!(r.get("predicted_ms").and_then(json::Json::as_f64).is_some());
+        assert!(r.get("tuples").and_then(json::Json::as_usize).is_some());
+        assert!(r.get("index_probes").is_some() && r.get("tuple_reads").is_some());
+    }
+    assert!(
+        profile
+            .get("predicted_total_ms")
+            .and_then(json::Json::as_f64)
+            .is_some(),
+        "{profiled}"
+    );
+
+    // The slow log saw both queries and serves canonical JSON on loopback.
+    let (status, _, slow) = roundtrip(addr, "GET /debug/slow HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{slow}");
+    assert!(slow.contains("\"query\": \"comedy\""), "{slow}");
+    let slow_doc = json::parse(&slow).expect("slow log parses");
+    let rendered = json::render(&slow_doc);
+    assert_eq!(json::parse(&rendered).unwrap(), slow_doc, "round trip");
+
+    // Phase aggregates and the queue-wait histogram surface in /metrics,
+    // and the whole exposition passes the format checker.
+    let (status, _, metrics) = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    for family in [
+        "precis_phase_seconds_total{phase=\"db_gen\"}",
+        "precis_profiled_queries_total 2",
+        "precis_cost_model_predicted_seconds_total",
+        "precis_queue_wait_seconds_count",
+        "precis_request_duration_seconds_count{endpoint=\"query\"} 2",
+    ] {
+        assert!(metrics.contains(family), "missing {family} in:\n{metrics}");
+    }
+    precis_obs::validate_exposition(&metrics).expect("exposition well-formed");
     handle.join();
 }
 

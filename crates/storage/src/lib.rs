@@ -57,7 +57,7 @@ pub use error::StorageError;
 pub use exec::{Predicate, Projected, Row, ValueScan};
 pub use index::{HashIndex, UniqueIndex};
 pub use schema::{AttributeDef, DatabaseSchema, ForeignKey, RelationId, RelationSchema};
-pub use stats::{AccessStats, StatsSnapshot};
+pub use stats::{AccessStats, StatsSnapshot, ThreadMeter};
 pub use table::Table;
 pub use tuple::{Tuple, TupleId};
 pub use value::{DataType, Value};

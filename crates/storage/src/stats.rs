@@ -6,7 +6,64 @@
 //! fetched from its table by id. Benches calibrate the per-event micro-costs
 //! and validate Formula (2) against measured wall time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of live [`ThreadMeter`]s process-wide. Zero keeps the metering
+/// branch in the count paths down to one relaxed load (the same disarmed
+/// fast-path discipline as [`crate::failpoint`]).
+static METERS_ARMED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// (index_probes, tuple_reads) seen by *this thread* while any meter is
+    /// armed. Monotonic within a thread; meters diff it like a snapshot.
+    static THREAD_EVENTS: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+#[cold]
+fn thread_count(probe: bool) {
+    THREAD_EVENTS.with(|c| {
+        let (p, r) = c.get();
+        c.set(if probe { (p + 1, r) } else { (p, r + 1) });
+    });
+}
+
+/// Meters the storage events performed by the *calling thread* while the
+/// meter is live. Unlike the process-global [`AccessStats`] (shared by every
+/// concurrent query on a `Database`), a thread meter attributes events to
+/// exactly one unit of work — the observability layer uses one per join
+/// task to fill per-relation profile rows. Disarmed cost on the storage
+/// count paths: a single relaxed atomic load.
+#[derive(Debug)]
+pub struct ThreadMeter {
+    start: (u64, u64),
+}
+
+impl ThreadMeter {
+    /// Arm thread-scoped counting and snapshot this thread's position.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> ThreadMeter {
+        METERS_ARMED.fetch_add(1, Ordering::SeqCst);
+        ThreadMeter {
+            start: THREAD_EVENTS.with(|c| c.get()),
+        }
+    }
+
+    /// Events this thread performed since the meter was created.
+    pub fn events(&self) -> StatsSnapshot {
+        let (p, r) = THREAD_EVENTS.with(|c| c.get());
+        StatsSnapshot {
+            index_probes: p - self.start.0,
+            tuple_reads: r - self.start.1,
+        }
+    }
+}
+
+impl Drop for ThreadMeter {
+    fn drop(&mut self) {
+        METERS_ARMED.fetch_sub(1, Ordering::SeqCst);
+    }
+}
 
 /// Monotonic counters of storage access events. Uses relaxed atomics so a
 /// `Database` stays `Sync` while read paths take `&self`.
@@ -35,11 +92,17 @@ impl AccessStats {
     #[inline]
     pub(crate) fn count_index_probe(&self) {
         self.index_probes.fetch_add(1, Ordering::Relaxed);
+        if METERS_ARMED.load(Ordering::Relaxed) != 0 {
+            thread_count(true);
+        }
     }
 
     #[inline]
     pub(crate) fn count_tuple_read(&self) {
         self.tuple_reads.fetch_add(1, Ordering::Relaxed);
+        if METERS_ARMED.load(Ordering::Relaxed) != 0 {
+            thread_count(false);
+        }
     }
 
     /// Current counter values.
@@ -78,6 +141,37 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_meter_counts_only_this_thread_while_armed() {
+        let s = AccessStats::new();
+        // Events before the meter exists are invisible to it.
+        s.count_index_probe();
+        let meter = ThreadMeter::new();
+        s.count_index_probe();
+        s.count_tuple_read();
+        s.count_tuple_read();
+        // Another thread's events never land in this thread's meter.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                s.count_index_probe();
+                s.count_tuple_read();
+            });
+        });
+        let d = meter.events();
+        assert_eq!(d.index_probes, 1);
+        assert_eq!(d.tuple_reads, 2);
+        // The global stats saw everything.
+        assert_eq!(s.snapshot().index_probes, 3);
+        assert_eq!(s.snapshot().tuple_reads, 3);
+        // Nested meters diff independently.
+        let inner = ThreadMeter::new();
+        s.count_tuple_read();
+        assert_eq!(inner.events().tuple_reads, 1);
+        assert_eq!(meter.events().tuple_reads, 3);
+        drop(inner);
+        drop(meter);
+    }
 
     #[test]
     fn counters_accumulate_and_diff() {

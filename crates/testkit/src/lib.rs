@@ -21,10 +21,12 @@
 
 pub mod faults;
 pub mod gen;
+pub mod obs;
 pub mod oracle;
 
 pub use faults::{run_fault_suite, FaultReport};
 pub use gen::{mix_seed, CaseSpec, DatasetSpec};
+pub use obs::{run_obs_suite, ObsReport};
 pub use oracle::{run_case, DatasetCtx, Leg, Mismatch};
 
 use std::collections::HashMap;
@@ -112,27 +114,32 @@ pub struct TestkitReport {
     pub failures: Vec<CaseFailure>,
     pub fault_checks: usize,
     pub fault_failures: Vec<String>,
+    pub obs_checks: usize,
+    pub obs_failures: Vec<String>,
     pub elapsed_ms: u128,
 }
 
 impl TestkitReport {
     pub fn ok(&self) -> bool {
-        self.failures.is_empty() && self.fault_failures.is_empty()
+        self.failures.is_empty() && self.fault_failures.is_empty() && self.obs_failures.is_empty()
     }
 
     /// Human-readable summary for the CLI.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "testkit: profile {} seed {} — {} oracle cases, {} fault checks in {} ms\n",
+            "testkit: profile {} seed {} — {} oracle cases, {} fault checks, {} obs checks in {} ms\n",
             self.profile.name(),
             self.seed,
             self.cases_run,
             self.fault_checks,
+            self.obs_checks,
             self.elapsed_ms
         ));
         if self.ok() {
-            out.push_str("all legs agree; all faults mapped to contract errors. PASS\n");
+            out.push_str(
+                "all legs agree; all faults mapped to contract errors; tracing is inert. PASS\n",
+            );
             return out;
         }
         for f in &self.failures {
@@ -147,10 +154,14 @@ impl TestkitReport {
         for f in &self.fault_failures {
             out.push_str(&format!("\nFAULT-SUITE FAIL: {f}\n"));
         }
+        for f in &self.obs_failures {
+            out.push_str(&format!("\nOBS-SUITE FAIL: {f}\n"));
+        }
         out.push_str(&format!(
-            "\n{} oracle failure(s), {} fault-suite failure(s). FAIL\n",
+            "\n{} oracle failure(s), {} fault-suite failure(s), {} obs-suite failure(s). FAIL\n",
             self.failures.len(),
-            self.fault_failures.len()
+            self.fault_failures.len(),
+            self.obs_failures.len()
         ));
         out
     }
@@ -159,11 +170,12 @@ impl TestkitReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!(
-            "\"seed\": {}, \"profile\": \"{}\", \"cases_run\": {}, \"fault_checks\": {}, \"elapsed_ms\": {}, \"ok\": {}",
+            "\"seed\": {}, \"profile\": \"{}\", \"cases_run\": {}, \"fault_checks\": {}, \"obs_checks\": {}, \"elapsed_ms\": {}, \"ok\": {}",
             self.seed,
             self.profile.name(),
             self.cases_run,
             self.fault_checks,
+            self.obs_checks,
             self.elapsed_ms,
             self.ok()
         ));
@@ -193,6 +205,13 @@ impl TestkitReport {
         }
         out.push_str("], \"fault_failures\": [");
         for (i, f) in self.fault_failures.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(f));
+        }
+        out.push_str("], \"obs_failures\": [");
+        for (i, f) in self.obs_failures.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
@@ -329,6 +348,11 @@ pub fn run(config: &TestkitConfig) -> TestkitReport {
     pool.shutdown();
 
     let fault_report = run_fault_suite();
+    // The obs leg replays a slice of the same seeded cases with tracing
+    // armed; its cost is one extra answer per case, so keep it a fraction
+    // of the oracle budget.
+    let obs_cases = (config.cases / 8).clamp(4, 48);
+    let obs_report = run_obs_suite(config.seed, obs_cases);
     TestkitReport {
         seed: config.seed,
         profile: config.profile,
@@ -336,6 +360,8 @@ pub fn run(config: &TestkitConfig) -> TestkitReport {
         failures,
         fault_checks: fault_report.checks,
         fault_failures: fault_report.failures,
+        obs_checks: obs_report.checks,
+        obs_failures: obs_report.failures,
         elapsed_ms: start.elapsed().as_millis(),
     }
 }
@@ -357,6 +383,7 @@ mod tests {
         assert!(report.ok(), "{}", report.render_text());
         assert_eq!(report.cases_run, 12);
         assert!(report.fault_checks >= 10, "fault suite barely ran");
+        assert!(report.obs_checks >= 10, "obs suite barely ran");
     }
 
     #[test]
@@ -377,6 +404,8 @@ mod tests {
             }],
             fault_checks: 0,
             fault_failures: vec!["tab\there".to_owned()],
+            obs_checks: 2,
+            obs_failures: vec!["armed answer diverged \"quoted\"".to_owned()],
             elapsed_ms: 3,
         };
         let parsed = precis_server::json::parse(&report.to_json()).expect("repro JSON parses");
@@ -385,6 +414,7 @@ mod tests {
         let passing = TestkitReport {
             failures: Vec::new(),
             fault_failures: Vec::new(),
+            obs_failures: Vec::new(),
             ..report
         };
         assert!(passing.ok());

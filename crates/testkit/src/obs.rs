@@ -1,0 +1,288 @@
+//! Observability leg: tracing must never change an answer, and the span
+//! stream must stay structurally sound — including when the ring wraps.
+//!
+//! For a slice of the oracle's seeded cases this suite answers each query
+//! twice — tracer disarmed, then armed with a [`QueryProfile`] attached —
+//! and asserts:
+//!
+//! * **Answer invariance** — the rendered answers are byte-identical.
+//!   Profiling hooks live on the hot path; any observable difference means
+//!   instrumentation leaked into semantics.
+//! * **Span-tree well-formedness** — every drained span is closed with
+//!   `end_ns >= start_ns`, ids are unique, and (when nothing was dropped)
+//!   every non-root parent exists, started no later than its child, and
+//!   ended no earlier.
+//! * **Profile sanity** — the finished profile's phase times fit inside the
+//!   total and relation counters are self-consistent.
+//! * **Ring wrap** — overflowing the bounded ring drops the *oldest* spans
+//!   and counts them; a traced query straight after a wrap still works and
+//!   nothing panics.
+
+use crate::gen::{mix_seed, CaseSpec};
+use crate::oracle::build_dataset;
+use precis_core::{AnswerSpec, DbGenOptions, PrecisEngine, PrecisQuery};
+use precis_nlg::Vocabulary;
+use precis_obs::{QueryProfile, SpanRecord};
+use precis_server::render_answer;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Outcome of the observability suite.
+#[derive(Debug)]
+pub struct ObsReport {
+    pub checks: usize,
+    pub failures: Vec<String>,
+}
+
+impl ObsReport {
+    fn check(&mut self, ok: bool, detail: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.failures.push(detail());
+        }
+    }
+}
+
+fn spec_for(case: &CaseSpec) -> AnswerSpec {
+    AnswerSpec {
+        degree: case.degree.clone(),
+        cardinality: case.cardinality.clone(),
+        strategy: case.strategy,
+        profile: None,
+        options: DbGenOptions::default(),
+    }
+}
+
+/// Validate one drained span set. `complete` is false when the ring dropped
+/// records, in which case parent links may legitimately dangle.
+fn check_spans(report: &mut ObsReport, label: &str, spans: &[SpanRecord], complete: bool) {
+    let mut by_id: BTreeMap<u64, &SpanRecord> = BTreeMap::new();
+    for s in spans {
+        report.check(s.end_ns >= s.start_ns, || {
+            format!("{label}: span {} ({}) ends before it starts", s.id, s.name)
+        });
+        report.check(by_id.insert(s.id, s).is_none(), || {
+            format!("{label}: duplicate span id {}", s.id)
+        });
+    }
+    if !complete {
+        return;
+    }
+    for s in spans {
+        if s.parent == 0 {
+            continue;
+        }
+        match by_id.get(&s.parent) {
+            None => report.check(false, || {
+                format!(
+                    "{label}: span {} ({}) has missing parent {}",
+                    s.id, s.name, s.parent
+                )
+            }),
+            Some(p) => {
+                report.check(p.start_ns <= s.start_ns && p.end_ns >= s.end_ns, || {
+                    format!(
+                        "{label}: parent {} [{}, {}] does not enclose child {} [{}, {}]",
+                        p.name, p.start_ns, p.end_ns, s.name, s.start_ns, s.end_ns
+                    )
+                });
+                report.check(p.id < s.id, || {
+                    format!("{label}: parent {} opened after child {}", p.id, s.id)
+                });
+            }
+        }
+    }
+}
+
+fn run_case_traced(
+    report: &mut ObsReport,
+    engine: &PrecisEngine,
+    vocab: Option<&Vocabulary>,
+    case: &CaseSpec,
+    label: &str,
+) {
+    let q = PrecisQuery::new(case.tokens.iter().map(String::as_str));
+
+    // Leg 1: tracer disarmed, no profile — the baseline bytes.
+    let baseline = match engine.answer(&q, &spec_for(case)) {
+        Ok(a) => render_answer(engine, vocab, &a),
+        Err(e) => {
+            report.check(false, || format!("{label}: disarmed answer errored: {e}"));
+            return;
+        }
+    };
+
+    // Leg 2: tracer armed AND a profile attached — the fully observed path.
+    let profile = Arc::new(QueryProfile::new());
+    let mut spec = spec_for(case);
+    spec.options.profile = Some(Arc::clone(&profile));
+    let armed_guard = precis_obs::arm();
+    precis_obs::drain();
+    let traced = engine.answer(&q, &spec);
+    let drained = precis_obs::drain();
+    drop(armed_guard);
+    let traced = match traced {
+        Ok(a) => render_answer(engine, vocab, &a),
+        Err(e) => {
+            report.check(false, || format!("{label}: armed answer errored: {e}"));
+            return;
+        }
+    };
+
+    report.check(baseline == traced, || {
+        format!(
+            "{label}: armed answer diverged from disarmed (lengths {} vs {})",
+            baseline.len(),
+            traced.len()
+        )
+    });
+
+    report.check(!drained.spans.is_empty(), || {
+        format!("{label}: armed answer recorded no spans")
+    });
+    check_spans(report, label, &drained.spans, drained.dropped == 0);
+
+    profile.finish();
+    let snap = profile.snapshot();
+    let phase_sum: u64 = precis_obs::Phase::ALL.iter().map(|&p| snap.phase(p)).sum();
+    report.check(phase_sum <= snap.total_ns, || {
+        format!(
+            "{label}: phase sum {} exceeds total {}",
+            phase_sum, snap.total_ns
+        )
+    });
+    for r in &snap.relations {
+        report.check(r.tuple_reads >= r.tuples || r.tuples == 0, || {
+            format!(
+                "{label}: relation {} read {} tuples but retained {}",
+                r.relation, r.tuple_reads, r.tuples
+            )
+        });
+    }
+}
+
+/// Overflow the bounded ring on purpose: the drain must report drops, keep
+/// at most `ring_capacity` records, and a traced query immediately after
+/// the wrap must still behave.
+fn ring_wrap_check(
+    report: &mut ObsReport,
+    engine: &PrecisEngine,
+    vocab: Option<&Vocabulary>,
+    case: &CaseSpec,
+) {
+    let armed_guard = precis_obs::arm();
+    precis_obs::drain();
+    let fill = precis_obs::ring_capacity() + 512;
+    for _ in 0..fill {
+        let s = precis_obs::span("obs.wrap_filler");
+        s.field("filler", 1);
+    }
+    run_case_traced(report, engine, vocab, case, "ring-wrap case");
+    // run_case_traced drained between the fill and its own query, so the
+    // wrap shows up in that drain; verify the counters here with a fresh
+    // overflow in one go.
+    for _ in 0..fill {
+        let _s = precis_obs::span("obs.wrap_filler");
+    }
+    let drained = precis_obs::drain();
+    drop(armed_guard);
+    report.check(drained.dropped > 0, || {
+        format!(
+            "ring wrap: {} spans recorded but none reported dropped",
+            fill
+        )
+    });
+    report.check(drained.spans.len() <= precis_obs::ring_capacity(), || {
+        format!(
+            "ring wrap: drain returned {} spans, over the {} capacity",
+            drained.spans.len(),
+            precis_obs::ring_capacity()
+        )
+    });
+}
+
+/// Run the observability suite over `cases` seeded cases derived from
+/// `seed` (the same derivation as the oracle, so any failure names a case
+/// reproducible via `CaseSpec::generate(mix_seed(seed, index))`).
+pub fn run_obs_suite(seed: u64, cases: usize) -> ObsReport {
+    let mut report = ObsReport {
+        checks: 0,
+        failures: Vec::new(),
+    };
+    // Real answers must not see faults armed by concurrent tests, and the
+    // span ring is process-global; take both harness gates (failpoints
+    // first — the fault suite composes the same way).
+    let _fp_gate = precis_storage::failpoint::exclusive();
+    precis_storage::failpoint::disarm_all();
+    let _obs_gate = precis_obs::exclusive();
+
+    let mut engines: BTreeMap<String, (PrecisEngine, Option<Vocabulary>)> = BTreeMap::new();
+    let mut wrap_checked = false;
+    for index in 0..cases as u64 {
+        let case = CaseSpec::generate(mix_seed(seed, index));
+        let key = format!("{:?}", case.dataset);
+        if !engines.contains_key(&key) {
+            let (db, graph, vocab) = build_dataset(&case.dataset);
+            match PrecisEngine::new(db, graph) {
+                Ok(engine) => {
+                    engines.insert(key.clone(), (engine, vocab));
+                }
+                Err(e) => {
+                    report.check(false, || {
+                        format!("case #{index}: engine build failed for {key}: {e}")
+                    });
+                    continue;
+                }
+            }
+        }
+        let (engine, vocab) = &engines[&key];
+        let label = format!("case #{index} ({key})");
+        run_case_traced(&mut report, engine, vocab.as_ref(), &case, &label);
+        if !wrap_checked {
+            ring_wrap_check(&mut report, engine, vocab.as_ref(), &case);
+            wrap_checked = true;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_checker_flags_malformed_trees() {
+        let mut report = ObsReport {
+            checks: 0,
+            failures: Vec::new(),
+        };
+        let spans = vec![SpanRecord {
+            trace: 1,
+            id: 2,
+            parent: 9,
+            name: "orphan",
+            start_ns: 5,
+            end_ns: 3,
+            thread: 1,
+            fields: Vec::new(),
+            label: None,
+        }];
+        check_spans(&mut report, "synthetic", &spans, true);
+        // Ends-before-start and the dangling parent both fire.
+        assert_eq!(report.failures.len(), 2, "{:?}", report.failures);
+        // With an incomplete drain the dangling parent is forgiven.
+        let mut lenient = ObsReport {
+            checks: 0,
+            failures: Vec::new(),
+        };
+        check_spans(&mut lenient, "synthetic", &spans, false);
+        assert_eq!(lenient.failures.len(), 1, "{:?}", lenient.failures);
+    }
+
+    #[test]
+    fn suite_passes_on_a_seeded_slice() {
+        let report = run_obs_suite(7, 4);
+        assert!(report.failures.is_empty(), "{:?}", report.failures);
+        assert!(report.checks >= 20, "only {} checks ran", report.checks);
+    }
+}

@@ -76,39 +76,47 @@ pub struct DatasetCtx {
     filler_next: i64,
 }
 
+/// Materialize one dataset spec: database, schema graph, and designer
+/// vocabulary when the schema has one. Fully deterministic per spec.
+pub(crate) fn build_dataset(
+    spec: &DatasetSpec,
+) -> (Database, precis_graph::SchemaGraph, Option<Vocabulary>) {
+    match spec {
+        DatasetSpec::Demo => {
+            let db = woody_allen_instance();
+            let vocab = movies_vocabulary(db.schema());
+            (db, movies_graph(), Some(vocab))
+        }
+        DatasetSpec::Movies { movies, seed } => {
+            let db = MoviesGenerator::new(MoviesConfig {
+                movies: *movies,
+                directors: (movies / 8).max(1),
+                actors: (movies / 2).max(1),
+                theatres: (movies / 50).max(1),
+                plays: movies * 2,
+                seed: *seed,
+                ..MoviesConfig::default()
+            })
+            .generate();
+            let vocab = movies_vocabulary(db.schema());
+            (db, movies_graph(), Some(vocab))
+        }
+        DatasetSpec::Chain {
+            relations,
+            rows,
+            fanout,
+        } => {
+            let (db, graph) = chain_db_fanout(*relations, *rows, *fanout, 0);
+            (db, graph, None)
+        }
+    }
+}
+
 impl DatasetCtx {
     /// Build the database, graph, vocabulary, engines and loopback server
     /// for one dataset spec. Fully deterministic per spec.
     pub fn build(spec: &DatasetSpec) -> Result<DatasetCtx, String> {
-        let (db, graph, vocab) = match spec {
-            DatasetSpec::Demo => {
-                let db = woody_allen_instance();
-                let vocab = movies_vocabulary(db.schema());
-                (db, movies_graph(), Some(vocab))
-            }
-            DatasetSpec::Movies { movies, seed } => {
-                let db = MoviesGenerator::new(MoviesConfig {
-                    movies: *movies,
-                    directors: (movies / 8).max(1),
-                    actors: (movies / 2).max(1),
-                    theatres: (movies / 50).max(1),
-                    plays: movies * 2,
-                    seed: *seed,
-                    ..MoviesConfig::default()
-                })
-                .generate();
-                let vocab = movies_vocabulary(db.schema());
-                (db, movies_graph(), Some(vocab))
-            }
-            DatasetSpec::Chain {
-                relations,
-                rows,
-                fanout,
-            } => {
-                let (db, graph) = chain_db_fanout(*relations, *rows, *fanout, 0);
-                (db, graph, None)
-            }
-        };
+        let (db, graph, vocab) = build_dataset(spec);
 
         let engine =
             Arc::new(PrecisEngine::new(db.clone(), graph.clone()).map_err(|e| e.to_string())?);
@@ -124,6 +132,7 @@ impl DatasetCtx {
                 // cancel token, so the served leg must too.
                 default_deadline: None,
                 io_timeout: Some(Duration::from_secs(5)),
+                ..ServerConfig::default()
             },
         )
         .map_err(|e| format!("cannot start loopback server: {e}"))?;
