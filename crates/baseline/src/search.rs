@@ -97,7 +97,7 @@ impl<'a> KeywordSearch<'a> {
         for t in tokens {
             let mut by_rel: HashMap<RelationId, BTreeSet<TupleId>> = HashMap::new();
             for occ in self.index.lookup(self.db, t) {
-                by_rel.entry(occ.rel).or_default().extend(occ.tids);
+                by_rel.entry(occ.rel).or_default().extend(occ.tids.iter());
             }
             if by_rel.is_empty() {
                 return Vec::new();
@@ -267,17 +267,17 @@ impl<'a> KeywordSearch<'a> {
                 let Some(anchor) = self.db.table(anchor_rel).get(anchor_tid) else {
                     return;
                 };
-                let v = anchor[anchor_attr].clone();
+                let v = anchor.datum(anchor_attr);
                 if v.is_null() {
                     return;
                 }
-                match self.db.lookup(rel, own_attr, &v) {
+                match self.db.lookup_datum(rel, own_attr, v) {
                     Ok(tids) => tids.to_vec(),
                     Err(_) => self
                         .db
                         .table(rel)
                         .iter()
-                        .filter(|(_, t)| t[own_attr] == v)
+                        .filter(|(_, t)| t.datum(own_attr) == v)
                         .map(|(tid, _)| tid)
                         .collect(),
                 }
@@ -310,7 +310,7 @@ impl<'a> KeywordSearch<'a> {
                 ) else {
                     continue 'cand;
                 };
-                if a[anchor_attr] != b[own_attr] {
+                if a.datum(anchor_attr) != b.datum(own_attr) {
                     continue 'cand;
                 }
             }

@@ -1,6 +1,6 @@
 //! PR-trajectory benchmark snapshot: a compact JSON report of the answer
 //! pipeline's wall-clock medians, throughput, cache behavior, and thread
-//! count, committed as `BENCH_PR1.json` so successive PRs can track the
+//! count, committed as `BENCH_PR6.json` so successive PRs can track the
 //! trajectory of the same workloads over time.
 //!
 //! The workloads mirror the paper's evaluation (§6): a Figure-7-style
@@ -12,7 +12,7 @@
 //! Regenerate with:
 //!
 //! ```text
-//! cargo run --release -p precis-bench --bin bench_report -- BENCH_PR1.json
+//! cargo run --release -p precis-bench --bin bench_report -- BENCH_PR6.json
 //! ```
 
 use crate::workloads::{
@@ -27,6 +27,10 @@ use precis_datagen::{chain_db_fanout, movies_graph, MoviesConfig, MoviesGenerato
 use precis_storage::RelationId;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Label stamped into the JSON snapshot; bumped when a PR regenerates the
+/// committed report.
+pub const REPORT_LABEL: &str = "BENCH_PR6";
 
 /// Scale knob: `quick` keeps every workload under a second for tests;
 /// `full` is the committed-report configuration.
@@ -195,6 +199,74 @@ fn chain_workload(strategy: RetrievalStrategy, scale: Scale) -> WorkloadStat {
         RetrievalStrategy::TopWeight => "fig9_chain_top_weight",
     };
     stat_from_samples(name, samples, Some(tuples))
+}
+
+/// Postings microbench: galloping intersection over skewed sorted posting
+/// lists — the primitive behind multi-word phrase lookups and the
+/// generator's join probes. Stride-generated lists give controlled
+/// selectivity and wildly unequal lengths, the regime galloping wins in.
+fn postings_intersection_workload(scale: Scale) -> WorkloadStat {
+    use precis_index::{intersect, intersect_many};
+    let (universe, repeats) = match scale {
+        Scale::Quick => (60_000u32, 3),
+        Scale::Full => (2_000_000u32, 40),
+    };
+    let strides = [3usize, 7, 61, 509];
+    let lists: Vec<Vec<u32>> = strides
+        .iter()
+        .map(|&s| (0..universe).step_by(s).collect())
+        .collect();
+    let slices: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+    let mut samples = Vec::new();
+    let mut produced = 0usize;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        // A skewed pair (densest vs sparsest), a balanced pair, and the
+        // full k-way intersection.
+        produced += intersect(&lists[0], &lists[3]).len();
+        produced += intersect(&lists[1], &lists[2]).len();
+        produced += intersect_many(&slices).len();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    stat_from_samples("postings_intersection", samples, Some(produced))
+}
+
+/// Columnar-scan microbench: full passes over the synthetic movies
+/// relations, reading one datum per row — the arena-slab read path every
+/// scan-shaped operation (value scans, FK repair, NLG binding) sits on.
+fn tuple_scan_workload(scale: Scale) -> WorkloadStat {
+    let (movies, repeats) = match scale {
+        Scale::Quick => (300, 3),
+        Scale::Full => (20_000, 40),
+    };
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies,
+        directors: (movies / 12).max(1),
+        actors: (movies / 2).max(1),
+        theatres: (movies / 60).max(1),
+        plays: movies * 2,
+        seed: 0x5CA4,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let rels: Vec<RelationId> = db.schema().relations().map(|(id, _)| id).collect();
+    let mut samples = Vec::new();
+    let mut scanned = 0usize;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let mut checksum = 0i64;
+        for &rel in &rels {
+            for (_, t) in db.table(rel).iter() {
+                if let Some(x) = t.datum(0).as_int() {
+                    checksum = checksum.wrapping_add(x);
+                }
+                scanned += 1;
+            }
+        }
+        std::hint::black_box(checksum);
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    stat_from_samples("tuple_scan", samples, Some(scanned))
 }
 
 /// The PR 1 pipeline fixture: a synthetic movies engine plus the rotating
@@ -446,6 +518,8 @@ pub fn run_report(scale: Scale) -> BenchReport {
             db_generator_workload(scale),
             chain_workload(RetrievalStrategy::NaiveQ, scale),
             chain_workload(RetrievalStrategy::RoundRobin, scale),
+            postings_intersection_workload(scale),
+            tuple_scan_workload(scale),
             engine_workload(scale),
         ],
         tracing: Some(tracing_overhead(scale)),
@@ -473,7 +547,7 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
-        let _ = writeln!(out, "  \"report\": \"BENCH_PR1\",");
+        let _ = writeln!(out, "  \"report\": \"{REPORT_LABEL}\",");
         let _ = writeln!(out, "  \"threads\": {},", self.threads);
         if let Some(tracing) = &self.tracing {
             let _ = writeln!(out, "  \"tracing_overhead\": {},", tracing.to_json_object());
@@ -539,6 +613,8 @@ mod tests {
                 "fig8_database_generator",
                 "fig9_chain_naiveq",
                 "fig9_chain_round_robin",
+                "postings_intersection",
+                "tuple_scan",
                 "multi_token_engine",
             ]
         );

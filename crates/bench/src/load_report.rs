@@ -3,7 +3,7 @@
 //! time every response. The summary — throughput, p50/p95/p99 latency, and
 //! the rejection rate under admission control — is committed as
 //! `BENCH_PR2.json` so successive PRs track the serving path the same way
-//! `BENCH_PR1.json` tracks the answer pipeline.
+//! `BENCH_PR6.json` tracks the answer pipeline.
 //!
 //! Regenerate with:
 //!

@@ -286,7 +286,7 @@ mod tests {
         Arc::new(vec![Occurrence {
             rel: RelationId(rel),
             attr: 0,
-            tids: vec![TupleId(0)],
+            tids: std::sync::Arc::new(vec![TupleId(0)]),
         }])
     }
 

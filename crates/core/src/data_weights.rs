@@ -9,7 +9,7 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use precis_storage::{Database, RelationId, TupleId, Value};
+use precis_storage::{Database, RelationId, TupleId};
 use std::collections::HashMap;
 
 /// Per-tuple importance weights, defaulting to `default_weight` for tuples
@@ -71,17 +71,17 @@ impl TupleWeights {
         rel: RelationId,
         attr: usize,
     ) -> Result<usize> {
-        let numeric = |v: &Value| -> Option<f64> {
+        let numeric = |v: precis_storage::ValueRef<'_>| -> Option<f64> {
             match v {
-                Value::Int(i) => Some(*i as f64),
-                Value::Float(f) => Some(*f),
+                precis_storage::ValueRef::Int(i) => Some(i as f64),
+                precis_storage::ValueRef::Float(f) => Some(f),
                 _ => None,
             }
         };
         let values: Vec<(TupleId, f64)> = db
             .table(rel)
             .iter()
-            .filter_map(|(tid, t)| numeric(&t[attr]).map(|x| (tid, x)))
+            .filter_map(|(tid, t)| numeric(t.get(attr)).map(|x| (tid, x)))
             .collect();
         let (min, max) = values
             .iter()
@@ -119,6 +119,7 @@ fn check(w: f64) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use precis_storage::Value;
     use precis_storage::{DataType, DatabaseSchema, RelationSchema};
 
     fn db_with_ratings() -> Database {

@@ -23,7 +23,8 @@ use crate::Result;
 use precis_graph::SchemaGraph;
 use precis_obs::{QueryProfile, RelationDelta};
 use precis_storage::{
-    Database, DatabaseSchema, RelationId, ThreadMeter, TupleId, Value, ValueScan,
+    Database, DatabaseSchema, Datum, FxHashMap, FxHashSet, RelationId, ThreadMeter, TupleId,
+    ValueScan,
 };
 use rayon::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -130,7 +131,7 @@ pub struct PrecisDatabase {
     /// primary keys the translator must not verbalize.
     pub visible: HashMap<RelationId, Vec<usize>>,
     /// (original relation, original tid) → result tid.
-    pub provenance: HashMap<(RelationId, TupleId), TupleId>,
+    pub provenance: FxHashMap<(RelationId, TupleId), TupleId>,
     /// Original relation id → collected original tids, in retrieval order.
     pub collected: BTreeMap<RelationId, Vec<TupleId>>,
     /// Seed tuples per origin relation (original tids that matched tokens),
@@ -147,31 +148,67 @@ impl PrecisDatabase {
     }
 }
 
-/// Working state per collected relation.
+/// Working state per collected relation. Origin-relation tag sets are
+/// interned into a per-relation pool: every tuple stores a `u32` handle
+/// instead of its own `BTreeSet`, so after interning a step's origin set
+/// once, each tuple add is a single hash probe with no set clone (most
+/// tuples of a relation share one of a handful of distinct origin sets).
 #[derive(Debug, Default)]
 struct Collected {
     order: Vec<TupleId>,
-    tags: HashMap<TupleId, BTreeSet<RelationId>>,
+    /// Tuple id → position in `order` (and `tag_of`).
+    pos: FxHashMap<TupleId, u32>,
+    /// Interned origin-set id per collected tuple, parallel to `order`, so
+    /// sequential passes (join-value extraction) read tags with zero
+    /// hashing.
+    tag_of: Vec<u32>,
+    /// The interned origin sets; `tag_of` values index into this pool.
+    sets: Vec<BTreeSet<RelationId>>,
+    set_ids: HashMap<BTreeSet<RelationId>, u32>,
 }
 
 impl Collected {
     fn contains(&self, tid: TupleId) -> bool {
-        self.tags.contains_key(&tid)
+        self.pos.contains_key(&tid)
+    }
+
+    fn intern(&mut self, set: &BTreeSet<RelationId>) -> u32 {
+        if let Some(&id) = self.set_ids.get(set) {
+            return id;
+        }
+        let id = self.sets.len() as u32;
+        self.sets.push(set.clone());
+        self.set_ids.insert(set.clone(), id);
+        id
+    }
+
+    /// Add a tuple whose origin set was interned once for the whole step
+    /// (every tuple of one retrieval step shares the step's origin set), so
+    /// the hot path is a single `pos` probe — no set hash, no set clone.
+    /// Returns `true` if the tuple is new to this relation.
+    fn add_interned(&mut self, tid: TupleId, id: u32) -> bool {
+        use std::collections::hash_map::Entry;
+        let at = match self.pos.entry(tid) {
+            Entry::Vacant(v) => {
+                v.insert(self.order.len() as u32);
+                self.order.push(tid);
+                self.tag_of.push(id);
+                return true;
+            }
+            Entry::Occupied(o) => *o.get() as usize,
+        };
+        let cur = self.tag_of[at];
+        if cur != id && !self.sets[id as usize].is_subset(&self.sets[cur as usize]) {
+            let mut merged = self.sets[cur as usize].clone();
+            merged.extend(self.sets[id as usize].iter().copied());
+            self.tag_of[at] = self.intern(&merged);
+        }
+        false
     }
 
     fn add(&mut self, tid: TupleId, origins: &BTreeSet<RelationId>) -> bool {
-        use std::collections::hash_map::Entry;
-        match self.tags.entry(tid) {
-            Entry::Occupied(mut e) => {
-                e.get_mut().extend(origins.iter().copied());
-                false
-            }
-            Entry::Vacant(v) => {
-                v.insert(origins.clone());
-                self.order.push(tid);
-                true
-            }
-        }
+        let id = self.intern(origins);
+        self.add_interned(tid, id)
     }
 }
 
@@ -223,9 +260,8 @@ pub fn generate_result_database(
         let meter = profile.map(|_| ThreadMeter::new());
         let seed_start = profile.map(|_| Instant::now());
         let mut dedup_hits = 0u64;
-        let mut tag = BTreeSet::new();
-        tag.insert(rel);
         let entry = collected.entry(rel).or_default();
+        let tag_id = entry.intern(&BTreeSet::from([rel]));
         let mut added = 0;
         for tid in &tids {
             // Count the tuple read (σ_Tids retrieval) and validate liveness.
@@ -234,7 +270,7 @@ pub fn generate_result_database(
             // shrink the answer.
             match db.fetch_from(rel, *tid) {
                 Ok(_) => {
-                    if entry.add(*tid, &tag) {
+                    if entry.add_interned(*tid, tag_id) {
                         added += 1;
                     } else {
                         dedup_hits += 1;
@@ -300,7 +336,7 @@ pub fn generate_result_database(
 struct JoinTask<'a> {
     to: RelationId,
     to_attr: usize,
-    values: Vec<Value>,
+    values: Vec<Datum>,
     allowance: usize,
     origins: &'a BTreeSet<RelationId>,
     dest: Collected,
@@ -438,17 +474,27 @@ fn join_values(
     graph: &SchemaGraph,
     source: &Collected,
     u: &crate::result_schema::UsedJoin,
-) -> Vec<Value> {
+) -> Vec<Datum> {
     let e = graph.join_edge(u.edge);
-    let mut values: Vec<Value> = Vec::new();
-    let mut seen_values: BTreeSet<Value> = BTreeSet::new();
-    for tid in &source.order {
-        let tags = &source.tags[tid];
-        if tags.iter().any(|o| u.origins.contains(o)) {
-            // Re-reading a tuple already in D′: no new storage cost.
-            if let Some(t) = db.table(e.from).get(*tid) {
-                let v = t[e.from_attr].clone();
-                if !v.is_null() && seen_values.insert(v.clone()) {
+    let mut values: Vec<Datum> = Vec::new();
+    let mut seen_values: FxHashSet<Datum> = FxHashSet::default();
+    // Tuples carry interned origin-set ids, and a relation only ever has a
+    // handful of distinct sets — decide "does this tag set touch the edge's
+    // origins" once per set instead of walking a `BTreeSet` per tuple.
+    let relevant: Vec<bool> = source
+        .sets
+        .iter()
+        .map(|tags| tags.iter().any(|o| u.origins.contains(o)))
+        .collect();
+    let table = db.table(e.from);
+    for (tid, &tag) in source.order.iter().zip(&source.tag_of) {
+        if relevant[tag as usize] {
+            // Re-reading a tuple already in D′: no new storage cost. The
+            // join value stays in stored (interned) form — probing the
+            // destination index never touches string bytes.
+            if let Some(t) = table.get(*tid) {
+                let v = t.datum(e.from_attr);
+                if !v.is_null() && seen_values.insert(v) {
                     values.push(v);
                 }
             }
@@ -668,30 +714,29 @@ fn naive_q(
     db: &Database,
     rel: RelationId,
     attr: usize,
-    values: &[Value],
+    values: &[Datum],
     allowance: usize,
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
     cancel: &CancelToken,
 ) -> Result<StepOutcome> {
     let mut outcome = StepOutcome::default();
+    let origin_id = dest.intern(origins);
     'outer: for v in values {
         cancel.check()?;
-        // `lookup` and `fetch_from` both borrow `db` shared, so the posting
-        // list is iterated in place — no `to_vec` copy per join value.
-        let tids = db.lookup(rel, attr, v)?;
+        // `lookup_datum` and `fetch_from` both borrow `db` shared, so the
+        // posting list is iterated in place — no `to_vec` copy per value.
+        let tids = db.lookup_datum(rel, attr, *v)?;
         for &tid in tids {
             if outcome.added >= allowance {
                 break 'outer;
             }
-            if dest.contains(tid) {
-                dest.add(tid, origins); // merge tags, no charge
-                outcome.dedup_hits += 1;
-                continue;
+            if dest.add_interned(tid, origin_id) {
+                db.fetch_from(rel, tid)?; // the TupleTime event
+                outcome.added += 1;
+            } else {
+                outcome.dedup_hits += 1; // merge tags, no charge
             }
-            db.fetch_from(rel, tid)?; // the TupleTime event
-            dest.add(tid, origins);
-            outcome.added += 1;
         }
     }
     Ok(outcome)
@@ -703,7 +748,7 @@ fn round_robin(
     db: &Database,
     rel: RelationId,
     attr: usize,
-    values: &[Value],
+    values: &[Datum],
     allowance: usize,
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
@@ -711,9 +756,10 @@ fn round_robin(
 ) -> Result<StepOutcome> {
     let mut scans: Vec<ValueScan> = Vec::with_capacity(values.len());
     for v in values {
-        scans.push(ValueScan::open(db, rel, attr, v)?);
+        scans.push(ValueScan::open_datum(db, rel, attr, *v)?);
     }
     let mut outcome = StepOutcome::default();
+    let origin_id = dest.intern(origins);
     while outcome.added < allowance && scans.iter().any(ValueScan::is_open) {
         cancel.check()?;
         for scan in &mut scans {
@@ -722,12 +768,10 @@ fn round_robin(
             }
             match scan.next_row(db, &[])? {
                 Some(row) => {
-                    if dest.contains(row.tid) {
-                        dest.add(row.tid, origins);
-                        outcome.dedup_hits += 1;
-                    } else {
-                        dest.add(row.tid, origins);
+                    if dest.add_interned(row.tid, origin_id) {
                         outcome.added += 1;
+                    } else {
+                        outcome.dedup_hits += 1;
                     }
                 }
                 None => continue,
@@ -744,7 +788,7 @@ fn top_weight(
     db: &Database,
     rel: RelationId,
     attr: usize,
-    values: &[Value],
+    values: &[Datum],
     allowance: usize,
     dest: &mut Collected,
     origins: &BTreeSet<RelationId>,
@@ -755,7 +799,7 @@ fn top_weight(
     let mut seen: BTreeSet<TupleId> = BTreeSet::new();
     for v in values {
         cancel.check()?;
-        for tid in db.lookup(rel, attr, v)? {
+        for tid in db.lookup_datum(rel, attr, *v)? {
             if seen.insert(*tid) {
                 candidates.push(*tid);
             }
@@ -763,18 +807,17 @@ fn top_weight(
     }
     weights.order_desc(rel, &mut candidates);
     let mut outcome = StepOutcome::default();
+    let origin_id = dest.intern(origins);
     for tid in candidates {
         if outcome.added >= allowance {
             break;
         }
-        if dest.contains(tid) {
-            dest.add(tid, origins);
+        if dest.add_interned(tid, origin_id) {
+            db.fetch_from(rel, tid)?; // the TupleTime event
+            outcome.added += 1;
+        } else {
             outcome.dedup_hits += 1;
-            continue;
         }
-        db.fetch_from(rel, tid)?; // the TupleTime event
-        dest.add(tid, origins);
-        outcome.added += 1;
     }
     Ok(outcome)
 }
@@ -804,6 +847,30 @@ fn repair_foreign_keys(
         }
         let mut additions: Vec<(RelationId, TupleId)> = Vec::new();
         let mut failed = None;
+        // Collected parent values per referenced endpoint, hashed once per
+        // round — the present-check is an unmetered in-memory scan either
+        // way, but a set probe per child beats rescanning the parent's
+        // collected list per child. `collected` is stable during the scan
+        // (additions apply after it), so one snapshot per round is exact.
+        let mut present_vals: HashMap<(RelationId, usize), FxHashSet<Datum>> = HashMap::new();
+        for &(_, _, parent, parent_attr) in &applicable {
+            present_vals
+                .entry((parent, parent_attr))
+                .or_insert_with(|| {
+                    collected
+                        .get(&parent)
+                        .map(|c| {
+                            let table = db.table(parent);
+                            c.order
+                                .iter()
+                                .filter_map(|pt| table.get(*pt))
+                                .map(|p| p.datum(parent_attr))
+                                .filter(|d| !d.is_null())
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                });
+        }
         'scan: for &(child, child_attr, parent, parent_attr) in &applicable {
             let Some(children) = collected.get(&child) else {
                 continue;
@@ -812,25 +879,15 @@ fn repair_foreign_keys(
                 let Some(t) = db.table(child).get(*tid) else {
                     continue;
                 };
-                let v = &t[child_attr];
+                let v = t.datum(child_attr);
                 if v.is_null() {
                     continue;
                 }
-                let present = collected
-                    .get(&parent)
-                    .map(|c| {
-                        c.order.iter().any(|pt| {
-                            db.table(parent)
-                                .get(*pt)
-                                .is_some_and(|p| &p[parent_attr] == v)
-                        })
-                    })
-                    .unwrap_or(false);
-                if present {
+                if present_vals[&(parent, parent_attr)].contains(&v) {
                     continue;
                 }
                 let before = meter.as_ref().map(|m| m.events());
-                let looked_up = db.lookup(parent, parent_attr, v);
+                let looked_up = db.lookup_datum(parent, parent_attr, v);
                 if let (Some(m), Some(b)) = (&meter, before) {
                     let d = deltas.entry(parent).or_default();
                     let e = m.events().since(b);
@@ -978,20 +1035,29 @@ fn materialize(
     }
 
     let mut out_db = Database::new(out_schema).map_err(CoreError::from)?;
-    let mut provenance: HashMap<(RelationId, TupleId), TupleId> = HashMap::new();
+    let total: usize = collected.values().map(|c| c.order.len()).sum();
+    let mut provenance: FxHashMap<(RelationId, TupleId), TupleId> = FxHashMap::default();
+    provenance.reserve(total);
     let mut collected_tids: BTreeMap<RelationId, Vec<TupleId>> = BTreeMap::new();
 
+    let mut buf: Vec<Datum> = Vec::new();
     for (rel, c) in &collected {
         let Some(&new_rel) = rel_map.get(rel) else {
             continue;
         };
         let stored = &attr_map[rel];
+        let table = db.table(*rel);
+        out_db.reserve(new_rel, c.order.len());
         for tid in &c.order {
-            let Some(t) = db.table(*rel).get(*tid) else {
+            let Some(t) = table.get(*tid) else {
                 continue;
             };
+            // Interned symbols copy as 16-byte datums — materialization
+            // never re-hashes or clones string bytes, and `buf` is the one
+            // projection allocation for the whole loop.
+            t.project_datums_into(stored, &mut buf);
             let new_tid = out_db
-                .insert_into(new_rel, t.project(stored))
+                .insert_datums_from(new_rel, &buf)
                 .map_err(CoreError::from)?;
             provenance.insert((*rel, *tid), new_tid);
         }
@@ -1015,7 +1081,7 @@ mod tests {
     use super::*;
     use crate::constraints::DegreeConstraint;
     use crate::schema_gen::generate_result_schema;
-    use precis_storage::{DataType, RelationSchema};
+    use precis_storage::{DataType, RelationSchema, Value};
 
     /// DIRECTOR ←(did) MOVIE ←(mid) GENRE, with one director of 5 movies,
     /// each movie having 2 genres.
@@ -1167,7 +1233,7 @@ mod tests {
         // 5 genre tuples across 5 movies: round robin gives one per movie.
         let mids: BTreeSet<i64> = p.collected[&genre]
             .iter()
-            .map(|tid| db.table(genre).get(*tid).unwrap()[1].as_int().unwrap())
+            .map(|tid| db.table(genre).get(*tid).unwrap().get(1).as_int().unwrap())
             .collect();
         assert_eq!(mids.len(), 5, "one genre from each movie");
     }
@@ -1186,7 +1252,7 @@ mod tests {
         let genre = db.schema().relation_id("GENRE").unwrap();
         let mids: BTreeSet<i64> = p.collected[&genre]
             .iter()
-            .map(|tid| db.table(genre).get(*tid).unwrap()[1].as_int().unwrap())
+            .map(|tid| db.table(genre).get(*tid).unwrap().get(1).as_int().unwrap())
             .collect();
         assert!(mids.len() <= 3, "first movies exhaust the budget: {mids:?}");
     }
@@ -1243,7 +1309,7 @@ mod tests {
             let orig = db.table(movie).get(*orig_tid).unwrap();
             let stored = &p.attr_map[&movie];
             let new = p.database.table(new_movie).get(new_tid).unwrap();
-            assert_eq!(new.values(), orig.project(stored).as_slice());
+            assert_eq!(new.values(), orig.project(stored));
         }
     }
 

@@ -431,7 +431,7 @@ fn origins_and_seeds(
             if seen.insert(occ.rel) {
                 origins.push(occ.rel);
             }
-            seeds.entry(occ.rel).or_default().extend(&occ.tids);
+            seeds.entry(occ.rel).or_default().extend(occ.tids.iter());
         }
     }
     (origins, seeds)
@@ -550,7 +550,15 @@ mod tests {
         let venue = engine.database().schema().relation_id("VENUE").unwrap();
         let names: Vec<String> = answer.precis.collected[&venue]
             .iter()
-            .map(|tid| engine.database().table(venue).get(*tid).unwrap()[1].to_string())
+            .map(|tid| {
+                engine
+                    .database()
+                    .table(venue)
+                    .get(*tid)
+                    .unwrap()
+                    .get(1)
+                    .to_string()
+            })
             .collect();
         assert_eq!(names, vec!["Odeon"], "joined through the shared city");
     }

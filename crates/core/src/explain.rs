@@ -86,7 +86,7 @@ pub fn explain_precis(original: &Database, precis: &PrecisDatabase) -> String {
         );
         for tid in tids {
             if let Some(t) = original.table(*orig_rel).get(*tid) {
-                let row: Vec<String> = visible.iter().map(|&a| t[a].to_string()).collect();
+                let row: Vec<String> = visible.iter().map(|&a| t.get(a).to_string()).collect();
                 let _ = writeln!(out, "    {}", row.join(" | "));
             }
         }

@@ -88,7 +88,7 @@ pub fn seed_score(
                 let Some(t) = db.table(rel).get(src) else {
                     continue;
                 };
-                let v = &t[e.from_attr];
+                let v = t.datum(e.from_attr);
                 if v.is_null() {
                     continue;
                 }
@@ -99,7 +99,7 @@ pub fn seed_score(
                     if db
                         .table(e.to)
                         .get(cand)
-                        .is_some_and(|ct| &ct[e.to_attr] == v)
+                        .is_some_and(|ct| ct.datum(e.to_attr) == v)
                     {
                         joined.push(cand);
                     }

@@ -342,7 +342,7 @@ mod tests {
         let did = db.relation_schema(movie).attr_position("did").unwrap();
         let mut counts = std::collections::HashMap::new();
         for (_, t) in db.table(movie).iter() {
-            *counts.entry(t[did].as_int().unwrap()).or_insert(0usize) += 1;
+            *counts.entry(t.get(did).as_int().unwrap()).or_insert(0usize) += 1;
         }
         let max = counts.values().copied().max().unwrap();
         assert!(max >= 30, "top director should dominate: {max}");
@@ -353,6 +353,6 @@ mod tests {
         let db = MoviesGenerator::new(small()).generate();
         let movie = db.schema().relation_id("MOVIE").unwrap();
         let (_, t) = db.table(movie).iter().next().unwrap();
-        assert!(t[1].as_text().unwrap().ends_with(" 1"));
+        assert!(t.get(1).as_text().unwrap().ends_with(" 1"));
     }
 }

@@ -1,16 +1,33 @@
 //! The inverted index proper.
+//!
+//! Postings are keyed by interned symbol id ([`Sym`]) rather than owned
+//! strings, each `(relation, attribute)` location holds a **sorted,
+//! deduplicated** tid list behind an [`Arc`], and multi-word phrase lookups
+//! prefilter candidates with galloping intersection before verifying
+//! contiguity against the stored value. Single-word lookups hand back
+//! `Arc` clones of the stored lists, so warm lookups allocate nothing per
+//! posting.
 
+use crate::postings::intersect_many;
 use crate::tokenizer::Tokenizer;
-use precis_storage::{DataType, Database, RelationId, TupleId, Value};
+use precis_storage::{DataType, Database, RelationId, Sym, SymbolTable, TupleId, ValueRef};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An index location: one `(relation, attribute)` pair.
+type Loc = (RelationId, usize);
+
+/// The per-word posting list: one sorted, shared tid list per location.
+type LocPostings = Vec<(Loc, Arc<Vec<TupleId>>)>;
 
 /// One occurrence entry of a token: the `(R_j, A_lj, Tids_lj)` triple the
-/// paper's index returns.
+/// paper's index returns. The tid list is sorted, deduplicated, and shared
+/// with the index itself (no copy on lookup).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Occurrence {
     pub rel: RelationId,
     pub attr: usize,
-    pub tids: Vec<TupleId>,
+    pub tids: Arc<Vec<TupleId>>,
 }
 
 /// Word-level inverted index over the `Text` attributes of a database.
@@ -35,9 +52,9 @@ pub struct Occurrence {
 #[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     tokenizer: Tokenizer,
-    /// word → (relation, attribute) → tid list (insertion-ordered,
-    /// deduplicated).
-    postings: HashMap<String, HashMap<(RelationId, usize), Vec<TupleId>>>,
+    /// word symbol → locations (sorted by `(relation, attribute)`), each
+    /// with its sorted tid list.
+    postings: HashMap<Sym, LocPostings>,
     words: u64,
 }
 
@@ -70,23 +87,37 @@ impl InvertedIndex {
             return;
         };
         let schema = db.relation_schema(rel);
+        let table = SymbolTable::global();
         for (attr, def) in schema.attributes().iter().enumerate() {
             if def.ty != DataType::Text {
                 continue;
             }
-            let Value::Text(text) = &tuple[attr] else {
+            let ValueRef::Text(text) = tuple.get(attr) else {
                 continue;
             };
             for word in self.tokenizer.words(text) {
                 self.words += 1;
-                let list = self
-                    .postings
-                    .entry(word)
-                    .or_default()
-                    .entry((rel, attr))
-                    .or_default();
-                if list.last() != Some(&tid) {
-                    list.push(tid);
+                let by_loc = self.postings.entry(table.intern(&word)).or_default();
+                let slot = match by_loc.binary_search_by_key(&(rel, attr), |(loc, _)| *loc) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        by_loc.insert(i, ((rel, attr), Arc::new(Vec::new())));
+                        i
+                    }
+                };
+                let list = Arc::make_mut(&mut by_loc[slot].1);
+                // Keep the list sorted and deduplicated; appends dominate
+                // because tuple ids grow monotonically.
+                match list.last() {
+                    Some(&last) if last >= tid => {
+                        if last > tid {
+                            let at = list.partition_point(|&t| t < tid);
+                            if list.get(at) != Some(&tid) {
+                                list.insert(at, tid);
+                            }
+                        }
+                    }
+                    _ => list.push(tid),
                 }
             }
         }
@@ -98,23 +129,30 @@ impl InvertedIndex {
             return;
         };
         let schema = db.relation_schema(rel);
+        let table = SymbolTable::global();
         for (attr, def) in schema.attributes().iter().enumerate() {
             if def.ty != DataType::Text {
                 continue;
             }
-            let Value::Text(text) = &tuple[attr] else {
+            let ValueRef::Text(text) = tuple.get(attr) else {
                 continue;
             };
             for word in self.tokenizer.words(text) {
-                if let Some(by_loc) = self.postings.get_mut(&word) {
-                    if let Some(list) = by_loc.get_mut(&(rel, attr)) {
-                        list.retain(|&t| t != tid);
+                let Some(sym) = table.lookup(&word) else {
+                    continue;
+                };
+                if let Some(by_loc) = self.postings.get_mut(&sym) {
+                    if let Ok(i) = by_loc.binary_search_by_key(&(rel, attr), |(loc, _)| *loc) {
+                        let list = Arc::make_mut(&mut by_loc[i].1);
+                        if let Ok(at) = list.binary_search(&tid) {
+                            list.remove(at);
+                        }
                         if list.is_empty() {
-                            by_loc.remove(&(rel, attr));
+                            by_loc.remove(i);
                         }
                     }
                     if by_loc.is_empty() {
-                        self.postings.remove(&word);
+                        self.postings.remove(&sym);
                     }
                 }
             }
@@ -127,34 +165,66 @@ impl InvertedIndex {
     /// phrase's words contiguously and in order.
     ///
     /// Occurrences are sorted by (relation, attribute) and tid lists are
-    /// sorted, so results are deterministic.
+    /// sorted, so results are deterministic. Single-word lookups share the
+    /// index's own posting lists (`Arc` clone, no per-tid copying); phrase
+    /// lookups intersect the words' postings with galloping search and only
+    /// then verify contiguity tuple by tuple.
     pub fn lookup(&self, db: &Database, token: &str) -> Vec<Occurrence> {
         let words = self.tokenizer.words(token);
-        let Some((first, rest)) = words.split_first() else {
+        if words.is_empty() {
             return Vec::new();
-        };
-        let Some(first_postings) = self.postings.get(first) else {
-            return Vec::new();
-        };
+        }
+        let table = SymbolTable::global();
+        let mut word_postings: Vec<&LocPostings> = Vec::with_capacity(words.len());
+        for w in &words {
+            // A word the symbol table has never seen is stored nowhere, so
+            // the whole phrase misses (and we avoid interning query noise).
+            let Some(sym) = table.lookup(w) else {
+                return Vec::new();
+            };
+            let Some(by_loc) = self.postings.get(&sym) else {
+                return Vec::new();
+            };
+            word_postings.push(by_loc);
+        }
+
+        let (first, rest) = word_postings.split_first().expect("words is non-empty");
+        if rest.is_empty() {
+            // Allocation-free warm path: hand out the stored lists.
+            return first
+                .iter()
+                .map(|(loc, tids)| Occurrence {
+                    rel: loc.0,
+                    attr: loc.1,
+                    tids: Arc::clone(tids),
+                })
+                .collect();
+        }
+
         let mut out: Vec<Occurrence> = Vec::new();
-        for (&(rel, attr), tids) in first_postings {
-            let mut hits: Vec<TupleId> = Vec::new();
-            for &tid in tids {
-                if rest.is_empty() || self.phrase_matches(db, rel, attr, tid, &words) {
-                    hits.push(tid);
+        'locs: for ((rel, attr), first_tids) in first.iter() {
+            // Every word of the phrase must occur at this same location.
+            let mut lists: Vec<&[TupleId]> = Vec::with_capacity(words.len());
+            lists.push(first_tids);
+            for by_loc in rest {
+                match by_loc.binary_search_by_key(&(*rel, *attr), |(loc, _)| *loc) {
+                    Ok(i) => lists.push(&by_loc[i].1),
+                    Err(_) => continue 'locs,
                 }
             }
+            let candidates = intersect_many(&lists);
+            let hits: Vec<TupleId> = candidates
+                .into_iter()
+                .filter(|&tid| self.phrase_matches(db, *rel, *attr, tid, &words))
+                .collect();
             if !hits.is_empty() {
-                hits.sort_unstable();
-                hits.dedup();
                 out.push(Occurrence {
-                    rel,
-                    attr,
-                    tids: hits,
+                    rel: *rel,
+                    attr: *attr,
+                    tids: Arc::new(hits),
                 });
             }
         }
-        out.sort_by_key(|o| (o.rel, o.attr));
         out
     }
 
@@ -170,7 +240,7 @@ impl InvertedIndex {
         let Some(tuple) = db.table(rel).get(tid) else {
             return false;
         };
-        let Value::Text(text) = &tuple[attr] else {
+        let ValueRef::Text(text) = tuple.get(attr) else {
             return false;
         };
         let value_words = self.tokenizer.words(text);
@@ -191,13 +261,15 @@ impl InvertedIndex {
     /// (relation, attribute, tuple) postings containing it. Phrases return
     /// the df of their rarest word (an upper bound on the phrase's own df).
     pub fn document_frequency(&self, token: &str) -> usize {
+        let table = SymbolTable::global();
         let words = self.tokenizer.words(token);
         words
             .iter()
             .map(|w| {
-                self.postings
-                    .get(w)
-                    .map(|by_loc| by_loc.values().map(Vec::len).sum())
+                table
+                    .lookup(w)
+                    .and_then(|sym| self.postings.get(&sym))
+                    .map(|by_loc| by_loc.iter().map(|(_, tids)| tids.len()).sum())
                     .unwrap_or(0)
             })
             .min()
@@ -219,7 +291,7 @@ impl InvertedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use precis_storage::{DatabaseSchema, RelationSchema};
+    use precis_storage::{DatabaseSchema, RelationSchema, Value};
 
     fn sample_db() -> Database {
         let mut s = DatabaseSchema::new("d");
@@ -280,6 +352,18 @@ mod tests {
         assert_eq!(occs.len(), 2);
         let total: usize = occs.iter().map(|o| o.tids.len()).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn single_word_lookup_shares_postings_without_copying() {
+        let db = sample_db();
+        let idx = InvertedIndex::build(&db);
+        let a = idx.lookup(&db, "allen");
+        let b = idx.lookup(&db, "allen");
+        for (x, y) in a.iter().zip(&b) {
+            // Same Arc, not merely equal contents.
+            assert!(Arc::ptr_eq(&x.tids, &y.tids));
+        }
     }
 
     #[test]
@@ -348,6 +432,24 @@ mod tests {
     }
 
     #[test]
+    fn incremental_add_survives_outstanding_lookup_handles() {
+        // A held lookup result must not observe later index mutations
+        // (copy-on-write via Arc::make_mut).
+        let mut db = sample_db();
+        let mut idx = InvertedIndex::build(&db);
+        let held = idx.lookup(&db, "allen");
+        let held_total: usize = held.iter().map(|o| o.tids.len()).sum();
+        let tid = db
+            .insert("ACTOR", vec![Value::from(11), Value::from("Tim Allen")])
+            .unwrap();
+        let actor = db.schema().relation_id("ACTOR").unwrap();
+        idx.add_tuple(&db, actor, tid);
+        let fresh_total: usize = idx.lookup(&db, "allen").iter().map(|o| o.tids.len()).sum();
+        assert_eq!(held.iter().map(|o| o.tids.len()).sum::<usize>(), held_total);
+        assert_eq!(fresh_total, held_total + 1);
+    }
+
+    #[test]
     fn stats_reflect_content() {
         let db = sample_db();
         let idx = InvertedIndex::build(&db);
@@ -384,9 +486,29 @@ mod tests {
         let mut idx = InvertedIndex::build(&db);
         let occs = idx.lookup(&db, "boutros");
         assert_eq!(occs.len(), 1);
-        assert_eq!(occs[0].tids, vec![tid]);
+        assert_eq!(*occs[0].tids, vec![tid]);
         // And removal clears it fully.
         idx.remove_tuple(&db, actor, tid);
         assert!(idx.lookup(&db, "boutros").is_empty());
+    }
+
+    #[test]
+    fn out_of_order_adds_keep_postings_sorted() {
+        let mut db = sample_db();
+        let t1 = db
+            .insert("ACTOR", vec![Value::from(21), Value::from("Zed Allen")])
+            .unwrap();
+        let t2 = db
+            .insert("ACTOR", vec![Value::from(22), Value::from("Ada Allen")])
+            .unwrap();
+        let actor = db.schema().relation_id("ACTOR").unwrap();
+        let mut idx = InvertedIndex::default();
+        // Index the later tuple first; the list must still come out sorted.
+        idx.add_tuple(&db, actor, t2);
+        idx.add_tuple(&db, actor, t1);
+        idx.add_tuple(&db, actor, t1); // duplicate add is a no-op
+        let occs = idx.lookup(&db, "allen");
+        assert_eq!(occs.len(), 1);
+        assert_eq!(*occs[0].tids, vec![t1, t2]);
     }
 }

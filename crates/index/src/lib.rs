@@ -12,9 +12,11 @@
 //! value.
 
 mod inverted;
+pub mod postings;
 mod synonyms;
 mod tokenizer;
 
 pub use inverted::{InvertedIndex, Occurrence};
+pub use postings::{gallop, intersect, intersect_many, merge_k};
 pub use synonyms::SynonymMap;
 pub use tokenizer::{tokenize, Tokenizer};

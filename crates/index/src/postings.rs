@@ -1,0 +1,205 @@
+//! Sorted-postings primitives: exponential ("galloping") search, galloping
+//! list intersection, and k-way sorted-merge union.
+//!
+//! Postings lists are sorted and deduplicated, so intersection can skip
+//! ahead exponentially instead of scanning linearly — the classic trick for
+//! skewed list sizes, where the short list drives probes into the long one
+//! in `O(short · log(long/short))` comparisons.
+
+/// First index `i` in sorted `list` with `list[i] >= target`, found by
+/// exponential probing followed by a binary search of the bracketed range.
+/// Returns `list.len()` when every element is smaller.
+pub fn gallop<T: Ord>(list: &[T], target: &T) -> usize {
+    if list.first().is_none_or(|x| x >= target) {
+        return 0;
+    }
+    // Invariant: list[lo] < target.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < list.len() && list[lo + step] < *target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(list.len());
+    lo + 1 + list[lo + 1..hi].partition_point(|x| x < target)
+}
+
+/// Intersection of two sorted, deduplicated lists. The shorter list drives
+/// galloping probes into the longer one; output is sorted and deduplicated.
+pub fn intersect<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    let mut base = 0usize;
+    for x in small {
+        if base >= large.len() {
+            break;
+        }
+        let idx = base + gallop(&large[base..], x);
+        if large.get(idx) == Some(x) {
+            out.push(*x);
+            base = idx + 1;
+        } else {
+            base = idx;
+        }
+    }
+    out
+}
+
+/// Intersection of any number of sorted, deduplicated lists, smallest-first
+/// so the intermediate result shrinks as fast as possible. No lists
+/// intersect to the empty list; one list copies through.
+pub fn intersect_many<T: Ord + Copy>(lists: &[&[T]]) -> Vec<T> {
+    match lists {
+        [] => Vec::new(),
+        [only] => only.to_vec(),
+        _ => {
+            let mut order: Vec<&[T]> = lists.to_vec();
+            order.sort_by_key(|l| l.len());
+            let mut acc = intersect(order[0], order[1]);
+            for l in &order[2..] {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = intersect(&acc, l);
+            }
+            acc
+        }
+    }
+}
+
+/// Sorted, deduplicated union of any number of sorted, deduplicated lists
+/// (a k-way heap merge).
+pub fn merge_k<T: Ord + Copy>(lists: &[&[T]]) -> Vec<T> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut cursors = vec![1usize; lists.len()];
+    let mut heap: BinaryHeap<Reverse<(T, usize)>> = lists
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.first().map(|&x| Reverse((x, i))))
+        .collect();
+    let mut out = Vec::with_capacity(lists.iter().map(|l| l.len()).max().unwrap_or(0));
+    while let Some(Reverse((x, i))) = heap.pop() {
+        if out.last() != Some(&x) {
+            out.push(x);
+        }
+        if let Some(&y) = lists[i].get(cursors[i]) {
+            cursors[i] += 1;
+            heap.push(Reverse((y, i)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference implementation: two-pointer linear intersection.
+    fn naive_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    fn sorted_dedup(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn gallop_finds_lower_bound() {
+        let list = [2u32, 4, 4, 8, 16, 32];
+        assert_eq!(gallop(&list, &0), 0);
+        assert_eq!(gallop(&list, &2), 0);
+        assert_eq!(gallop(&list, &3), 1);
+        assert_eq!(gallop(&list, &16), 4);
+        assert_eq!(gallop(&list, &33), 6);
+        assert_eq!(gallop(&[] as &[u32], &5), 0);
+    }
+
+    #[test]
+    fn intersect_edge_cases() {
+        assert_eq!(intersect(&[1u32, 2, 3], &[]), Vec::<u32>::new());
+        assert_eq!(intersect(&[], &[1u32, 2, 3]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1u32, 5, 9], &[2, 6, 10]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1u32, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+        // Highly skewed sizes exercise the galloping path.
+        let long: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        assert_eq!(
+            intersect(&[2997u32, 9998, 29_994], &long),
+            vec![2997, 29_994]
+        );
+    }
+
+    #[test]
+    fn intersect_many_and_merge_k() {
+        let a = [1u32, 3, 5, 7, 9];
+        let b = [3u32, 4, 5, 9];
+        let c = [5u32, 9, 11];
+        assert_eq!(intersect_many(&[&a, &b, &c]), vec![5, 9]);
+        assert_eq!(intersect_many::<u32>(&[]), Vec::<u32>::new());
+        assert_eq!(intersect_many(&[&a as &[u32]]), a.to_vec());
+        assert_eq!(merge_k(&[&a, &b, &c]), vec![1, 3, 4, 5, 7, 9, 11]);
+        assert_eq!(merge_k::<u32>(&[]), Vec::<u32>::new());
+        assert_eq!(merge_k(&[&[] as &[u32], &b]), b.to_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn galloping_matches_naive_intersection(
+            a in proptest::collection::vec(0u32..500, 0..200),
+            b in proptest::collection::vec(0u32..500, 0..200),
+        ) {
+            let a = sorted_dedup(a);
+            let b = sorted_dedup(b);
+            prop_assert_eq!(intersect(&a, &b), naive_intersect(&a, &b));
+            prop_assert_eq!(intersect(&b, &a), naive_intersect(&a, &b));
+        }
+
+        #[test]
+        fn merge_k_matches_set_union(
+            lists in proptest::collection::vec(
+                proptest::collection::vec(0u32..300, 0..60), 0..6),
+        ) {
+            let lists: Vec<Vec<u32>> = lists.into_iter().map(sorted_dedup).collect();
+            let slices: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+            let expect: Vec<u32> = lists
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            prop_assert_eq!(merge_k(&slices), expect);
+        }
+
+        #[test]
+        fn intersect_many_matches_folded_naive(
+            lists in proptest::collection::vec(
+                proptest::collection::vec(0u32..200, 0..80), 1..5),
+        ) {
+            let lists: Vec<Vec<u32>> = lists.into_iter().map(sorted_dedup).collect();
+            let slices: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+            let mut expect = lists[0].clone();
+            for l in &lists[1..] {
+                expect = naive_intersect(&expect, l);
+            }
+            prop_assert_eq!(intersect_many(&slices), expect);
+        }
+    }
+}

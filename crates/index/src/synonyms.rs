@@ -6,9 +6,11 @@
 //! lookup time.
 
 use crate::inverted::{InvertedIndex, Occurrence};
+use crate::postings::merge_k;
 use crate::tokenizer::Tokenizer;
-use precis_storage::Database;
+use precis_storage::{Database, TupleId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Groups of phrases that denote the same object. Matching is
 /// tokenizer-normalized (case- and punctuation-insensitive).
@@ -83,25 +85,29 @@ impl InvertedIndex {
         token: &str,
         synonyms: &SynonymMap,
     ) -> Vec<Occurrence> {
-        let mut merged: HashMap<(precis_storage::RelationId, usize), Occurrence> = HashMap::new();
+        let mut merged: HashMap<(precis_storage::RelationId, usize), Vec<Arc<Vec<TupleId>>>> =
+            HashMap::new();
         for variant in synonyms.expand(token) {
             for occ in self.lookup(db, &variant) {
                 merged
                     .entry((occ.rel, occ.attr))
-                    .and_modify(|m| {
-                        for tid in &occ.tids {
-                            if !m.tids.contains(tid) {
-                                m.tids.push(*tid);
-                            }
-                        }
-                    })
-                    .or_insert(occ);
+                    .or_default()
+                    .push(occ.tids);
             }
         }
-        let mut out: Vec<Occurrence> = merged.into_values().collect();
-        for o in &mut out {
-            o.tids.sort_unstable();
-        }
+        let mut out: Vec<Occurrence> = merged
+            .into_iter()
+            .map(|((rel, attr), mut lists)| {
+                let tids = if lists.len() == 1 {
+                    // Single variant hit: share its postings untouched.
+                    lists.pop().expect("one list")
+                } else {
+                    let slices: Vec<&[TupleId]> = lists.iter().map(|l| l.as_slice()).collect();
+                    Arc::new(merge_k(&slices))
+                };
+                Occurrence { rel, attr, tids }
+            })
+            .collect();
         out.sort_by_key(|o| (o.rel, o.attr));
         out
     }

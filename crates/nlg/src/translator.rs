@@ -268,7 +268,7 @@ impl<'a> Translator<'a> {
         let schema = self.db.schema().relation(rel);
         let parts: Vec<String> = attrs
             .iter()
-            .map(|&a| format!("{} = {}", schema.attr_name(a), t[a]))
+            .map(|&a| format!("{} = {}", schema.attr_name(a), t.get(a)))
             .collect();
         Some(format!("{}: {}.", schema.name(), parts.join("; ")))
     }
@@ -292,7 +292,7 @@ impl<'a> Translator<'a> {
             .map(|t| {
                 attrs
                     .iter()
-                    .map(|&a| t[a].to_string())
+                    .map(|&a| t.get(a).to_string())
                     .collect::<Vec<_>>()
                     .join(" ")
             })
@@ -313,7 +313,7 @@ impl<'a> Translator<'a> {
         let Some(source_tuple) = self.db.table(src_rel).get(src) else {
             return Vec::new();
         };
-        let v = &source_tuple[src_attr];
+        let v = source_tuple.datum(src_attr);
         if v.is_null() {
             return Vec::new();
         }
@@ -327,7 +327,7 @@ impl<'a> Translator<'a> {
                 self.db
                     .table(dest)
                     .get(*tid)
-                    .is_some_and(|t| &t[dest_attr] == v)
+                    .is_some_and(|t| t.datum(dest_attr) == v)
             })
             .collect()
     }
@@ -346,7 +346,7 @@ impl<'a> Translator<'a> {
         };
         for attr in self.narratable_attrs(precis, rel) {
             let label = self.attr_label(rel, attr);
-            b.set_scalar(label, t[attr].to_string());
+            b.set_scalar(label, t.get(attr).to_string());
         }
     }
 
@@ -363,7 +363,7 @@ impl<'a> Translator<'a> {
             let values: Vec<String> = tids
                 .iter()
                 .filter_map(|tid| self.db.table(rel).get(*tid))
-                .map(|t| t[attr].to_string())
+                .map(|t| t.get(attr).to_string())
                 .collect();
             b.set(label, values);
         }
@@ -397,7 +397,7 @@ fn surviving_occurrences(answer: &PrecisAnswer) -> Vec<(&str, RelationId, TupleI
             let Some(collected) = answer.precis.collected.get(&occ.rel) else {
                 continue;
             };
-            for tid in &occ.tids {
+            for tid in occ.tids.iter() {
                 if collected.contains(tid) {
                     out.push((m.token.as_str(), occ.rel, *tid));
                 }

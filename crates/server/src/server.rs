@@ -14,7 +14,7 @@ use crate::http::{self, ParseError, Request, Response};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::slowlog::SlowLog;
-use precis_core::{CoreError, PrecisEngine};
+use precis_core::{CoreError, PrecisEngine, SnapshotCell};
 use precis_nlg::Vocabulary;
 use precis_obs::{Phase, QueryProfile};
 use std::io;
@@ -66,7 +66,13 @@ impl Default for ServerConfig {
 
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
-    engine: Arc<PrecisEngine>,
+    /// The engine behind a lock-free snapshot cell: workers take wait-free
+    /// `Arc` snapshots per request (no reader lock, no contention), and
+    /// [`ServerHandle::swap_engine`] publishes a replacement atomically.
+    /// A request keeps the snapshot it started with, so its answer — and
+    /// the generation-stamped caches inside the engine — stay consistent
+    /// even if a swap lands mid-query.
+    engine: SnapshotCell<PrecisEngine>,
     vocabulary: Option<Vocabulary>,
     metrics: Arc<Metrics>,
     /// Admitted connections, stamped with their admission instant so the
@@ -100,7 +106,7 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let shared = Arc::new(Shared {
-            engine,
+            engine: SnapshotCell::new(engine),
             vocabulary,
             metrics: Arc::new(Metrics::default()),
             queue: BoundedQueue::new(config.queue_capacity),
@@ -147,6 +153,18 @@ impl ServerHandle {
     /// The bounded slow-query log served by `GET /debug/slow`.
     pub fn slow_log(&self) -> Arc<SlowLog> {
         self.shared.slow_log.clone()
+    }
+
+    /// The engine snapshot new requests will be served from.
+    pub fn engine(&self) -> Arc<PrecisEngine> {
+        self.shared.engine.load()
+    }
+
+    /// Atomically replace the engine serving new requests. In-flight
+    /// requests finish on the snapshot they took; the old engine is
+    /// released once the last of them completes. Workers never block.
+    pub fn swap_engine(&self, engine: Arc<PrecisEngine>) {
+        self.shared.engine.store(engine);
     }
 
     /// Begin shutdown without blocking: stop admitting connections and wake
@@ -291,7 +309,7 @@ fn route(
         ),
         ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n"), false),
         ("GET", "/metrics") => {
-            let cache = shared.engine.cache_stats();
+            let cache = shared.engine.load().cache_stats();
             let body = shared.metrics.render_prometheus(&cache);
             ("metrics", Response::text(200, body), false)
         }
@@ -344,12 +362,15 @@ fn handle_query(shared: &Shared, body: &[u8], queue_wait: Duration) -> Response 
     };
     profile.add_phase(Phase::Parse, parse_started.elapsed());
 
+    // One wait-free snapshot per request: the query runs against exactly
+    // this engine even if `swap_engine` publishes a replacement mid-flight.
+    let engine = shared.engine.load();
     // A panic in answer generation must cost one request, not a worker: the
     // engine's state is all behind Arcs and internally lock-guarded, so a
     // unwound handler leaves nothing half-mutated.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         api::answer_query_profiled(
-            &shared.engine,
+            &engine,
             shared.vocabulary.as_ref(),
             &request,
             shared.default_deadline,

@@ -4,11 +4,35 @@ use crate::error::StorageError;
 use crate::index::{HashIndex, UniqueIndex};
 use crate::schema::{DatabaseSchema, RelationId, RelationSchema};
 use crate::stats::AccessStats;
-use crate::table::Table;
-use crate::tuple::{Tuple, TupleId};
-use crate::value::Value;
+use crate::table::{StorageLayout, Table};
+use crate::tuple::{TupleId, TupleRef};
+use crate::value::{Datum, Value};
 use crate::Result;
-use std::collections::HashMap;
+
+/// Everything insert/update/delete need to know about one relation,
+/// resolved once at schema install instead of per call: the primary-key
+/// slot, the secondary indexes by attribute position, and the outgoing
+/// foreign keys with both endpoints pre-resolved.
+#[derive(Debug, Clone, Default)]
+struct RelMeta {
+    pk: Option<usize>,
+    pk_index: Option<UniqueIndex>,
+    /// Secondary indexes, sorted by attribute position.
+    secondary: Vec<(usize, HashIndex)>,
+    /// Foreign keys where this relation is the child.
+    fks: Vec<FkMeta>,
+}
+
+#[derive(Debug, Clone)]
+struct FkMeta {
+    /// Index into `schema.foreign_keys()` (for error construction).
+    fk_no: usize,
+    from_pos: usize,
+    to: RelationId,
+    to_pos: usize,
+    /// Whether the referenced attribute is its relation's primary key.
+    to_is_pk: bool,
+}
 
 /// An in-memory relational database.
 ///
@@ -21,62 +45,71 @@ use std::collections::HashMap;
 pub struct Database {
     schema: DatabaseSchema,
     tables: Vec<Table>,
-    /// (relation, attribute position) → secondary index.
-    value_indexes: HashMap<(RelationId, usize), HashIndex>,
-    /// relation → primary-key index.
-    pk_indexes: HashMap<RelationId, UniqueIndex>,
+    rel_meta: Vec<RelMeta>,
     /// When true, `insert` verifies every FK value resolves (requires parents
     /// inserted first). Off by default so loaders can insert in any order and
     /// check once with [`Database::validate_foreign_keys`].
     enforce_fk: bool,
+    layout: StorageLayout,
     stats: AccessStats,
 }
 
 impl Database {
-    /// Create an empty database for `schema`.
+    /// Create an empty database for `schema` in the default (columnar)
+    /// layout.
     pub fn new(schema: DatabaseSchema) -> Result<Self> {
+        Database::with_layout(schema, StorageLayout::default())
+    }
+
+    /// Create an empty database with an explicit physical layout.
+    pub fn with_layout(schema: DatabaseSchema, layout: StorageLayout) -> Result<Self> {
         let tables = schema
             .relations()
-            .map(|(_, r)| Table::new(r.clone()))
+            .map(|(_, r)| Table::with_layout(r.clone(), layout))
             .collect::<Vec<_>>();
-        let mut db = Database {
-            schema,
-            tables,
-            value_indexes: HashMap::new(),
-            pk_indexes: HashMap::new(),
-            enforce_fk: false,
-            stats: AccessStats::new(),
-        };
-        for (id, rel) in db.schema.relations() {
-            if rel.primary_key().is_some() {
-                db.pk_indexes.insert(id, UniqueIndex::new());
-            }
-        }
-        // Index every foreign-key endpoint.
-        let endpoints: Vec<(RelationId, usize)> = db
-            .schema
-            .foreign_keys()
-            .iter()
-            .flat_map(|fk| {
-                let from = db.schema.relation_id(&fk.relation).unwrap();
-                let to = db.schema.relation_id(&fk.ref_relation).unwrap();
-                let from_pos = db
-                    .schema
-                    .relation(from)
-                    .attr_position(&fk.attribute)
-                    .unwrap();
-                let to_pos = db
-                    .schema
-                    .relation(to)
-                    .attr_position(&fk.ref_attribute)
-                    .unwrap();
-                [(from, from_pos), (to, to_pos)]
+        let mut rel_meta: Vec<RelMeta> = schema
+            .relations()
+            .map(|(_, r)| RelMeta {
+                pk: r.primary_key(),
+                pk_index: r.primary_key().map(|_| UniqueIndex::new()),
+                secondary: Vec::new(),
+                fks: Vec::new(),
             })
             .collect();
-        for (rel, pos) in endpoints {
-            db.value_indexes.entry((rel, pos)).or_default();
+        for (fk_no, fk) in schema.foreign_keys().iter().enumerate() {
+            let from = schema.relation_id(&fk.relation).unwrap();
+            let to = schema.relation_id(&fk.ref_relation).unwrap();
+            let from_pos = schema.relation(from).attr_position(&fk.attribute).unwrap();
+            let to_pos = schema
+                .relation(to)
+                .attr_position(&fk.ref_attribute)
+                .unwrap();
+            rel_meta[from.0].fks.push(FkMeta {
+                fk_no,
+                from_pos,
+                to,
+                to_pos,
+                to_is_pk: schema.relation(to).primary_key() == Some(to_pos),
+            });
+            // Index every foreign-key endpoint.
+            for (rel, pos) in [(from, from_pos), (to, to_pos)] {
+                let meta = &mut rel_meta[rel.0];
+                if !meta.secondary.iter().any(|(p, _)| *p == pos) {
+                    meta.secondary.push((pos, HashIndex::new()));
+                }
+            }
         }
-        Ok(db)
+        for meta in &mut rel_meta {
+            meta.secondary.sort_by_key(|(p, _)| *p);
+        }
+        Ok(Database {
+            schema,
+            tables,
+            rel_meta,
+            enforce_fk: false,
+            layout,
+            stats: AccessStats::new(),
+        })
     }
 
     pub fn schema(&self) -> &DatabaseSchema {
@@ -87,6 +120,11 @@ impl Database {
         &self.stats
     }
 
+    /// The physical layout every table of this database uses.
+    pub fn layout(&self) -> StorageLayout {
+        self.layout
+    }
+
     /// Turn immediate foreign-key checking on or off.
     pub fn set_enforce_foreign_keys(&mut self, on: bool) {
         self.enforce_fk = on;
@@ -94,6 +132,21 @@ impl Database {
 
     pub fn table(&self, rel: RelationId) -> &Table {
         &self.tables[rel.0]
+    }
+
+    /// Pre-size one relation's table and indexes for `additional` more
+    /// tuples. Purely an optimization for bulk loads of known size — the
+    /// reservation over-estimates index key counts (distinct keys ≤ tuples),
+    /// which costs a little memory, never correctness.
+    pub fn reserve(&mut self, rel: RelationId, additional: usize) {
+        self.tables[rel.0].reserve(additional);
+        let meta = &mut self.rel_meta[rel.0];
+        if let Some(idx) = meta.pk_index.as_mut() {
+            idx.reserve(additional);
+        }
+        for (_, idx) in meta.secondary.iter_mut() {
+            idx.reserve(additional);
+        }
     }
 
     /// Schema of one relation (convenience passthrough).
@@ -125,117 +178,206 @@ impl Database {
     /// uniqueness and (if enabled) foreign keys. Maintains all indexes.
     pub fn insert_into(&mut self, rel: RelationId, values: Vec<Value>) -> Result<TupleId> {
         crate::failpoint::check("insert_into")?;
-        let rel_schema = self.schema.relation(rel);
-        let rel_name = rel_schema.name().to_owned();
-        if values.len() != rel_schema.arity() {
-            return Err(StorageError::ArityMismatch {
-                relation: rel_name,
-                expected: rel_schema.arity(),
-                actual: values.len(),
-            });
-        }
-        for (pos, (v, a)) in values.iter().zip(rel_schema.attributes()).enumerate() {
-            if !v.conforms_to(a.ty) {
-                return Err(StorageError::TypeMismatch {
-                    relation: rel_name,
-                    attribute: rel_schema.attr_name(pos).to_owned(),
-                    expected: a.ty,
-                });
-            }
-            if v.is_null() && !a.nullable {
-                return Err(StorageError::TypeMismatch {
-                    relation: rel_name,
-                    attribute: rel_schema.attr_name(pos).to_owned(),
-                    expected: a.ty,
-                });
-            }
-        }
-        if let Some(pk) = rel_schema.primary_key() {
+        self.validate_values(rel, &values)?;
+        if let Some(pk) = self.rel_meta[rel.0].pk {
             if values[pk].is_null() {
-                return Err(StorageError::NullPrimaryKey { relation: rel_name });
-            }
-            if self.pk_indexes[&rel].contains(&values[pk]) {
-                return Err(StorageError::PrimaryKeyViolation {
-                    relation: rel_name,
-                    key: values[pk].to_string(),
+                return Err(StorageError::NullPrimaryKey {
+                    relation: self.schema.relation(rel).name().to_owned(),
                 });
             }
         }
         if self.enforce_fk {
             self.check_foreign_keys(rel, &values)?;
         }
+        let datums = values.iter().map(Datum::from_value).collect();
+        self.apply_insert(rel, datums)
+    }
 
-        let tuple = Tuple::new(values);
-        let pk = self.schema.relation(rel).primary_key();
-        let tid = self.tables[rel.0].append(tuple);
-        let stored = self.tables[rel.0].get(tid).expect("just inserted");
-        if let Some(pk) = pk {
-            let inserted = self
-                .pk_indexes
-                .get_mut(&rel)
-                .expect("pk index exists")
-                .insert(stored[pk].clone(), tid);
-            debug_assert!(inserted, "pk uniqueness checked above");
-        }
-        // Maintain secondary indexes.
-        let keys: Vec<(usize, Value)> = self
-            .value_indexes
-            .keys()
-            .filter(|(r, _)| *r == rel)
-            .map(|&(_, pos)| (pos, stored[pos].clone()))
-            .collect();
-        for (pos, v) in keys {
-            if !v.is_null() {
-                self.value_indexes
-                    .get_mut(&(rel, pos))
-                    .expect("key collected above")
-                    .insert(v, tid);
+    /// Insert a tuple already in stored form — the allocation-light path
+    /// used when copying tuples between databases of the same schema (e.g.
+    /// materializing a result database): symbols transfer without touching
+    /// a single string. Enforces the same constraints as
+    /// [`Database::insert_into`].
+    pub fn insert_datums_into(&mut self, rel: RelationId, datums: Vec<Datum>) -> Result<TupleId> {
+        crate::failpoint::check("insert_into")?;
+        self.validate_datums(rel, &datums)?;
+        if let Some(pk) = self.rel_meta[rel.0].pk {
+            if datums[pk].is_null() {
+                return Err(StorageError::NullPrimaryKey {
+                    relation: self.schema.relation(rel).name().to_owned(),
+                });
             }
         }
+        if self.enforce_fk {
+            self.check_foreign_keys_datums(rel, &datums)?;
+        }
+        self.apply_insert(rel, datums)
+    }
+
+    /// [`Database::insert_datums_into`] from a borrowed slice: bulk copy
+    /// loops keep one scratch buffer alive instead of allocating a `Vec` per
+    /// tuple. Same constraints, same result.
+    pub fn insert_datums_from(&mut self, rel: RelationId, datums: &[Datum]) -> Result<TupleId> {
+        crate::failpoint::check("insert_into")?;
+        self.validate_datums(rel, datums)?;
+        if let Some(pk) = self.rel_meta[rel.0].pk {
+            if datums[pk].is_null() {
+                return Err(StorageError::NullPrimaryKey {
+                    relation: self.schema.relation(rel).name().to_owned(),
+                });
+            }
+        }
+        if self.enforce_fk {
+            self.check_foreign_keys_datums(rel, datums)?;
+        }
+        let tid = TupleId(self.tables[rel.0].slot_count() as u64);
+        self.apply_insert_indexes(rel, datums, tid)?;
+        let appended = self.tables[rel.0].append_datums_from(datums);
+        debug_assert_eq!(appended, tid);
         Ok(tid)
     }
 
-    fn check_foreign_keys(&self, rel: RelationId, values: &[Value]) -> Result<()> {
-        for fk in self.schema.foreign_keys() {
-            let from = self.schema.relation_id(&fk.relation).unwrap();
-            if from != rel {
-                continue;
-            }
-            let from_pos = self
-                .schema
-                .relation(from)
-                .attr_position(&fk.attribute)
-                .unwrap();
-            let v = &values[from_pos];
-            if v.is_null() {
-                continue; // NULL FKs are vacuously valid.
-            }
-            if !self.fk_target_exists(fk, v)? {
-                return Err(StorageError::ForeignKeyViolation {
-                    relation: fk.relation.clone(),
-                    attribute: fk.attribute.clone(),
-                    referenced: fk.ref_relation.clone(),
+    /// Arity/type/NOT NULL validation against the relation schema.
+    fn validate_values(&self, rel: RelationId, values: &[Value]) -> Result<()> {
+        let rel_schema = self.schema.relation(rel);
+        if values.len() != rel_schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: rel_schema.name().to_owned(),
+                expected: rel_schema.arity(),
+                actual: values.len(),
+            });
+        }
+        for (pos, (v, a)) in values.iter().zip(rel_schema.attributes()).enumerate() {
+            if !v.conforms_to(a.ty) || (v.is_null() && !a.nullable) {
+                return Err(StorageError::TypeMismatch {
+                    relation: rel_schema.name().to_owned(),
+                    attribute: rel_schema.attr_name(pos).to_owned(),
+                    expected: a.ty,
                 });
             }
         }
         Ok(())
     }
 
-    fn fk_target_exists(&self, fk: &crate::schema::ForeignKey, v: &Value) -> Result<bool> {
-        let to = self.schema.relation_id(&fk.ref_relation).unwrap();
-        let to_pos = self
-            .schema
-            .relation(to)
-            .attr_position(&fk.ref_attribute)
-            .unwrap();
-        if self.schema.relation(to).primary_key() == Some(to_pos) {
-            return Ok(self.pk_indexes[&to].contains(v));
+    fn validate_datums(&self, rel: RelationId, datums: &[Datum]) -> Result<()> {
+        let rel_schema = self.schema.relation(rel);
+        if datums.len() != rel_schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: rel_schema.name().to_owned(),
+                expected: rel_schema.arity(),
+                actual: datums.len(),
+            });
         }
-        if let Some(idx) = self.value_indexes.get(&(to, to_pos)) {
-            return Ok(!idx.get(v).is_empty());
+        for (pos, (d, a)) in datums.iter().zip(rel_schema.attributes()).enumerate() {
+            if !d.conforms_to(a.ty) || (d.is_null() && !a.nullable) {
+                return Err(StorageError::TypeMismatch {
+                    relation: rel_schema.name().to_owned(),
+                    attribute: rel_schema.attr_name(pos).to_owned(),
+                    expected: a.ty,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Arity/type/null-PK constraints hold: update the indexes and append.
+    /// Primary-key uniqueness is enforced here by the key insert itself (one
+    /// probe finds the slot or the duplicate — callers don't pre-check), and
+    /// a duplicate fails before anything is modified. Index updates read
+    /// straight from `datums` before it moves into the table, so no
+    /// per-insert key list is materialized.
+    fn apply_insert(&mut self, rel: RelationId, datums: Vec<Datum>) -> Result<TupleId> {
+        let tid = TupleId(self.tables[rel.0].slot_count() as u64);
+        self.apply_insert_indexes(rel, &datums, tid)?;
+        let appended = self.tables[rel.0].append_datums(datums);
+        debug_assert_eq!(appended, tid);
+        Ok(tid)
+    }
+
+    /// The index half of an insert: claim the primary-key slot (failing
+    /// cleanly on a duplicate) and add every secondary posting.
+    fn apply_insert_indexes(
+        &mut self,
+        rel: RelationId,
+        datums: &[Datum],
+        tid: TupleId,
+    ) -> Result<()> {
+        let meta = &mut self.rel_meta[rel.0];
+        if let Some(pk) = meta.pk {
+            if let Some(idx) = meta.pk_index.as_mut() {
+                if !idx.insert_datum(datums[pk], tid) {
+                    return Err(StorageError::PrimaryKeyViolation {
+                        relation: self.schema.relation(rel).name().to_owned(),
+                        key: datums[pk].to_string(),
+                    });
+                }
+            }
+        }
+        for (pos, idx) in meta.secondary.iter_mut() {
+            let d = datums[*pos];
+            if !d.is_null() {
+                idx.insert_datum(d, tid);
+            }
+        }
+        Ok(())
+    }
+
+    fn fk_violation(&self, fk_no: usize) -> StorageError {
+        let fk = &self.schema.foreign_keys()[fk_no];
+        StorageError::ForeignKeyViolation {
+            relation: fk.relation.clone(),
+            attribute: fk.attribute.clone(),
+            referenced: fk.ref_relation.clone(),
+        }
+    }
+
+    fn check_foreign_keys(&self, rel: RelationId, values: &[Value]) -> Result<()> {
+        for f in &self.rel_meta[rel.0].fks {
+            let v = &values[f.from_pos];
+            if v.is_null() {
+                continue; // NULL FKs are vacuously valid.
+            }
+            // An un-interned text value cannot be stored anywhere, so a
+            // probe miss is a definitive "referenced tuple does not exist".
+            let ok = match Datum::probe_value(v) {
+                Some(d) => self.fk_datum_exists(f, d),
+                None => false,
+            };
+            if !ok {
+                return Err(self.fk_violation(f.fk_no));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_foreign_keys_datums(&self, rel: RelationId, datums: &[Datum]) -> Result<()> {
+        for f in &self.rel_meta[rel.0].fks {
+            let d = datums[f.from_pos];
+            if d.is_null() {
+                continue;
+            }
+            if !self.fk_datum_exists(f, d) {
+                return Err(self.fk_violation(f.fk_no));
+            }
+        }
+        Ok(())
+    }
+
+    fn fk_datum_exists(&self, f: &FkMeta, d: Datum) -> bool {
+        let to_meta = &self.rel_meta[f.to.0];
+        if f.to_is_pk {
+            return to_meta
+                .pk_index
+                .as_ref()
+                .is_some_and(|i| i.contains_datum(d));
+        }
+        if let Some((_, idx)) = to_meta.secondary.iter().find(|(p, _)| *p == f.to_pos) {
+            return !idx.get_datum(d).is_empty();
         }
         // Fall back to a scan (no index on the referenced attribute).
-        Ok(self.tables[to.0].iter().any(|(_, t)| &t[to_pos] == v))
+        self.tables[f.to.0]
+            .iter()
+            .any(|(_, t)| t.datum(f.to_pos) == d)
     }
 
     /// Check every foreign key of every live tuple; returns the list of
@@ -243,25 +385,20 @@ impl Database {
     /// that précis result databases satisfy the original constraints.
     pub fn validate_foreign_keys(&self) -> Vec<StorageError> {
         let mut violations = Vec::new();
-        for fk in self.schema.foreign_keys() {
+        for (fk_no, fk) in self.schema.foreign_keys().iter().enumerate() {
             let from = self.schema.relation_id(&fk.relation).unwrap();
-            let from_pos = self
-                .schema
-                .relation(from)
-                .attr_position(&fk.attribute)
-                .unwrap();
+            let f = self.rel_meta[from.0]
+                .fks
+                .iter()
+                .find(|f| f.fk_no == fk_no)
+                .expect("fk meta built at install");
             for (_, t) in self.tables[from.0].iter() {
-                let v = &t[from_pos];
-                if v.is_null() {
+                let d = t.datum(f.from_pos);
+                if d.is_null() {
                     continue;
                 }
-                match self.fk_target_exists(fk, v) {
-                    Ok(true) => {}
-                    _ => violations.push(StorageError::ForeignKeyViolation {
-                        relation: fk.relation.clone(),
-                        attribute: fk.attribute.clone(),
-                        referenced: fk.ref_relation.clone(),
-                    }),
+                if !self.fk_datum_exists(f, d) {
+                    violations.push(self.fk_violation(fk_no));
                 }
             }
         }
@@ -273,38 +410,29 @@ impl Database {
     /// (primary-key uniqueness excludes the tuple itself, so updates that
     /// keep the key are fine).
     pub fn update(&mut self, rel: RelationId, tid: TupleId, values: Vec<Value>) -> Result<()> {
-        let rel_schema = self.schema.relation(rel);
-        let rel_name = rel_schema.name().to_owned();
-        if values.len() != rel_schema.arity() {
-            return Err(StorageError::ArityMismatch {
-                relation: rel_name,
-                expected: rel_schema.arity(),
-                actual: values.len(),
-            });
-        }
-        for (pos, (v, a)) in values.iter().zip(rel_schema.attributes()).enumerate() {
-            if !v.conforms_to(a.ty) || (v.is_null() && !a.nullable) {
-                return Err(StorageError::TypeMismatch {
-                    relation: rel_name,
-                    attribute: rel_schema.attr_name(pos).to_owned(),
-                    expected: a.ty,
-                });
-            }
-        }
-        let old = self.tables[rel.0]
+        self.validate_values(rel, &values)?;
+        let old: Vec<Datum> = self.tables[rel.0]
             .get(tid)
             .ok_or_else(|| StorageError::NoSuchTuple {
-                relation: rel_name.clone(),
+                relation: self.schema.relation(rel).name().to_owned(),
                 tid,
             })?
-            .clone();
-        if let Some(pk) = rel_schema.primary_key() {
+            .datums();
+        let meta = &self.rel_meta[rel.0];
+        if let Some(pk) = meta.pk {
             if values[pk].is_null() {
-                return Err(StorageError::NullPrimaryKey { relation: rel_name });
+                return Err(StorageError::NullPrimaryKey {
+                    relation: self.schema.relation(rel).name().to_owned(),
+                });
             }
-            if values[pk] != old[pk] && self.pk_indexes[&rel].contains(&values[pk]) {
+            if old[pk] != values[pk]
+                && meta
+                    .pk_index
+                    .as_ref()
+                    .is_some_and(|i| i.contains(&values[pk]))
+            {
                 return Err(StorageError::PrimaryKeyViolation {
-                    relation: rel_name,
+                    relation: self.schema.relation(rel).name().to_owned(),
                     key: values[pk].to_string(),
                 });
             }
@@ -313,70 +441,53 @@ impl Database {
             self.check_foreign_keys(rel, &values)?;
         }
 
-        // Point of no return: swap the tuple and fix up the indexes.
-        let pk = self.schema.relation(rel).primary_key();
-        self.tables[rel.0].remove(tid);
-        let new_tid = self.tables[rel.0].append_at(tid, Tuple::new(values));
-        debug_assert_eq!(new_tid, tid);
-        let stored = self.tables[rel.0].get(tid).expect("just replaced");
-        if let Some(pk) = pk {
-            if old[pk] != stored[pk] {
-                let idx = self.pk_indexes.get_mut(&rel).expect("pk index exists");
-                idx.remove(&old[pk]);
-                idx.insert(stored[pk].clone(), tid);
+        // Point of no return: fix up the indexes and swap the tuple.
+        let new: Vec<Datum> = values.iter().map(Datum::from_value).collect();
+        let meta = &mut self.rel_meta[rel.0];
+        if let Some(pk) = meta.pk {
+            if old[pk] != new[pk] {
+                if let Some(idx) = meta.pk_index.as_mut() {
+                    idx.remove_datum(old[pk]);
+                    idx.insert_datum(new[pk], tid);
+                }
             }
         }
-        let positions: Vec<usize> = self
-            .value_indexes
-            .keys()
-            .filter(|(r, _)| *r == rel)
-            .map(|&(_, pos)| pos)
-            .collect();
-        for pos in positions {
-            if old[pos] == stored[pos] {
+        for (pos, idx) in meta.secondary.iter_mut() {
+            let (o, n) = (old[*pos], new[*pos]);
+            if o == n {
                 continue;
             }
-            let (old_v, new_v) = (old[pos].clone(), stored[pos].clone());
-            let idx = self
-                .value_indexes
-                .get_mut(&(rel, pos))
-                .expect("position collected above");
-            if !old_v.is_null() {
-                idx.remove(&old_v, tid);
+            if !o.is_null() {
+                idx.remove_datum(o, tid);
             }
-            if !new_v.is_null() {
-                idx.insert(new_v, tid);
+            if !n.is_null() {
+                idx.insert_datum(n, tid);
             }
         }
+        self.tables[rel.0].remove(tid);
+        let new_tid = self.tables[rel.0].append_datums_at(tid, new);
+        debug_assert_eq!(new_tid, tid);
         Ok(())
     }
 
     /// Delete a tuple, maintaining all indexes.
     pub fn delete(&mut self, rel: RelationId, tid: TupleId) -> Result<()> {
-        let t = self.tables[rel.0]
+        let old = self.tables[rel.0]
             .remove(tid)
             .ok_or_else(|| StorageError::NoSuchTuple {
                 relation: self.schema.relation(rel).name().to_owned(),
                 tid,
             })?;
-        if let Some(pk) = self.schema.relation(rel).primary_key() {
-            if let Some(idx) = self.pk_indexes.get_mut(&rel) {
-                idx.remove(&t[pk]);
+        let meta = &mut self.rel_meta[rel.0];
+        if let Some(pk) = meta.pk {
+            if let Some(idx) = meta.pk_index.as_mut() {
+                idx.remove_datum(old[pk]);
             }
         }
-        let keys: Vec<usize> = self
-            .value_indexes
-            .keys()
-            .filter(|(r, _)| *r == rel)
-            .map(|&(_, pos)| pos)
-            .collect();
-        for pos in keys {
-            let v = t[pos].clone();
-            if !v.is_null() {
-                self.value_indexes
-                    .get_mut(&(rel, pos))
-                    .expect("key collected above")
-                    .remove(&v, tid);
+        for (pos, idx) in meta.secondary.iter_mut() {
+            let d = old[*pos];
+            if !d.is_null() {
+                idx.remove_datum(d, tid);
             }
         }
         Ok(())
@@ -384,13 +495,13 @@ impl Database {
 
     /// Fetch a tuple by id (counts one tuple read, the cost model's
     /// `TupleTime` event).
-    pub fn fetch(&self, relation: &str, tid: TupleId) -> Result<&Tuple> {
+    pub fn fetch(&self, relation: &str, tid: TupleId) -> Result<TupleRef<'_>> {
         let rel = self.schema.require_relation(relation)?;
         self.fetch_from(rel, tid)
     }
 
     /// Fetch a tuple by id from a resolved relation.
-    pub fn fetch_from(&self, rel: RelationId, tid: TupleId) -> Result<&Tuple> {
+    pub fn fetch_from(&self, rel: RelationId, tid: TupleId) -> Result<TupleRef<'_>> {
         crate::failpoint::check("fetch_from")?;
         self.stats.count_tuple_read();
         self.tables[rel.0]
@@ -405,30 +516,57 @@ impl Database {
     pub fn create_index(&mut self, rel: RelationId, attr: usize) {
         let mut idx = HashIndex::new();
         for (tid, t) in self.tables[rel.0].iter() {
-            if !t[attr].is_null() {
-                idx.insert(t[attr].clone(), tid);
+            let d = t.datum(attr);
+            if !d.is_null() {
+                idx.insert_datum(d, tid);
             }
         }
-        self.value_indexes.insert((rel, attr), idx);
+        let meta = &mut self.rel_meta[rel.0];
+        match meta.secondary.iter_mut().find(|(p, _)| *p == attr) {
+            Some((_, existing)) => *existing = idx,
+            None => {
+                meta.secondary.push((attr, idx));
+                meta.secondary.sort_by_key(|(p, _)| *p);
+            }
+        }
     }
 
     pub fn has_index(&self, rel: RelationId, attr: usize) -> bool {
-        self.value_indexes.contains_key(&(rel, attr))
+        self.secondary_index(rel, attr).is_some()
+    }
+
+    fn secondary_index(&self, rel: RelationId, attr: usize) -> Option<&HashIndex> {
+        self.rel_meta[rel.0]
+            .secondary
+            .iter()
+            .find(|(p, _)| *p == attr)
+            .map(|(_, idx)| idx)
+    }
+
+    fn require_index(&self, rel: RelationId, attr: usize) -> Result<&HashIndex> {
+        self.secondary_index(rel, attr)
+            .ok_or_else(|| StorageError::NoIndex {
+                relation: self.schema.relation(rel).name().to_owned(),
+                attribute: self.schema.relation(rel).attr_name(attr).to_owned(),
+            })
     }
 
     /// Indexed lookup: tuple ids where `rel.attr == value` (counts one index
     /// probe, the cost model's `IndexTime` event).
     pub fn lookup(&self, rel: RelationId, attr: usize, value: &Value) -> Result<&[TupleId]> {
         crate::failpoint::check("lookup")?;
-        let idx = self
-            .value_indexes
-            .get(&(rel, attr))
-            .ok_or_else(|| StorageError::NoIndex {
-                relation: self.schema.relation(rel).name().to_owned(),
-                attribute: self.schema.relation(rel).attr_name(attr).to_owned(),
-            })?;
+        let idx = self.require_index(rel, attr)?;
         self.stats.count_index_probe();
         Ok(idx.get(value))
+    }
+
+    /// [`Database::lookup`] keyed by stored datum — the join-probe hot path,
+    /// which never touches string bytes.
+    pub fn lookup_datum(&self, rel: RelationId, attr: usize, datum: Datum) -> Result<&[TupleId]> {
+        crate::failpoint::check("lookup")?;
+        let idx = self.require_index(rel, attr)?;
+        self.stats.count_index_probe();
+        Ok(idx.get_datum(datum))
     }
 
     /// Indexed lookup returning a refcounted snapshot of the tid list
@@ -442,20 +580,27 @@ impl Database {
         value: &Value,
     ) -> Result<std::sync::Arc<Vec<TupleId>>> {
         crate::failpoint::check("lookup_tids")?;
-        let idx = self
-            .value_indexes
-            .get(&(rel, attr))
-            .ok_or_else(|| StorageError::NoIndex {
-                relation: self.schema.relation(rel).name().to_owned(),
-                attribute: self.schema.relation(rel).attr_name(attr).to_owned(),
-            })?;
+        let idx = self.require_index(rel, attr)?;
         self.stats.count_index_probe();
         Ok(idx.get_shared(value))
     }
 
+    /// [`Database::lookup_tids`] keyed by stored datum.
+    pub fn lookup_tids_datum(
+        &self,
+        rel: RelationId,
+        attr: usize,
+        datum: Datum,
+    ) -> Result<std::sync::Arc<Vec<TupleId>>> {
+        crate::failpoint::check("lookup_tids")?;
+        let idx = self.require_index(rel, attr)?;
+        self.stats.count_index_probe();
+        Ok(idx.get_shared_datum(datum))
+    }
+
     /// Primary-key point lookup (counts one index probe).
     pub fn lookup_pk(&self, rel: RelationId, value: &Value) -> Option<TupleId> {
-        let idx = self.pk_indexes.get(&rel)?;
+        let idx = self.rel_meta[rel.0].pk_index.as_ref()?;
         self.stats.count_index_probe();
         idx.get(value)
     }
@@ -467,7 +612,7 @@ mod tests {
     use crate::schema::ForeignKey;
     use crate::value::DataType;
 
-    fn movies_db() -> Database {
+    fn movies_schema() -> DatabaseSchema {
         let mut s = DatabaseSchema::new("movies");
         s.add_relation(
             RelationSchema::builder("DIRECTOR")
@@ -490,7 +635,11 @@ mod tests {
         .unwrap();
         s.add_foreign_key(ForeignKey::new("MOVIE", "did", "DIRECTOR", "did"))
             .unwrap();
-        Database::new(s).unwrap()
+        s
+    }
+
+    fn movies_db() -> Database {
+        Database::new(movies_schema()).unwrap()
     }
 
     #[test]
@@ -500,7 +649,7 @@ mod tests {
             .insert("DIRECTOR", vec![Value::from(1), Value::from("Woody Allen")])
             .unwrap();
         let tup = db.fetch("DIRECTOR", t).unwrap();
-        assert_eq!(tup[1], Value::from("Woody Allen"));
+        assert_eq!(tup.get(1), Value::from("Woody Allen"));
         assert_eq!(db.total_tuples(), 1);
         assert!(!db.is_empty());
     }
@@ -654,7 +803,7 @@ mod tests {
 
         // Tid stable, values replaced.
         let t = db.fetch("MOVIE", m).unwrap();
-        assert_eq!(t[1], Value::from("New title"));
+        assert_eq!(t.get(1), Value::from("New title"));
         // Secondary index moved to the new FK value.
         assert!(db.lookup(movie, did, &Value::from(1)).unwrap().is_empty());
         assert_eq!(db.lookup(movie, did, &Value::from(2)).unwrap(), &[m]);
@@ -676,7 +825,7 @@ mod tests {
             Err(StorageError::PrimaryKeyViolation { .. })
         ));
         // …and the tuple is untouched by the failed attempt.
-        assert_eq!(db.fetch("DIRECTOR", t).unwrap()[0], Value::from(1));
+        assert_eq!(db.fetch("DIRECTOR", t).unwrap().get(0), Value::from(1));
         // Changing to a fresh key moves the pk index entry.
         db.update(dir, t, vec![Value::from(7), Value::from("A")])
             .unwrap();
@@ -750,5 +899,42 @@ mod tests {
         let dir = db.schema().relation_id("DIRECTOR").unwrap();
         assert_eq!(db.lookup_pk(dir, &Value::from(5)), Some(t));
         assert_eq!(db.lookup_pk(dir, &Value::from(6)), None);
+    }
+
+    #[test]
+    fn datum_inserts_match_value_inserts_across_layouts() {
+        // The same rows, inserted as values into a columnar db, as datums
+        // into a second columnar db, and as values into a rows-layout db,
+        // produce identical contents, tids and index behavior.
+        let rows = [
+            vec![Value::from(1), Value::from("A")],
+            vec![Value::from(2), Value::Null],
+        ];
+        let mut by_value = movies_db();
+        let mut by_datum = movies_db();
+        let mut legacy = Database::with_layout(movies_schema(), StorageLayout::Rows).unwrap();
+        assert_eq!(legacy.layout(), StorageLayout::Rows);
+        assert_eq!(by_value.layout(), StorageLayout::Columnar);
+        let dir = by_value.schema().relation_id("DIRECTOR").unwrap();
+        for r in &rows {
+            let a = by_value.insert_into(dir, r.clone()).unwrap();
+            let datums = r.iter().map(Datum::from_value).collect();
+            let b = by_datum.insert_datums_into(dir, datums).unwrap();
+            let c = legacy.insert_into(dir, r.clone()).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+        for db in [&by_value, &by_datum, &legacy] {
+            assert_eq!(db.len(dir), 2);
+            assert_eq!(db.lookup_pk(dir, &Value::from(2)), Some(TupleId(1)));
+            let t = db.fetch_from(dir, TupleId(0)).unwrap();
+            assert_eq!(t.values(), rows[0]);
+        }
+        // Datum inserts enforce pk uniqueness too.
+        let dup = rows[0].iter().map(Datum::from_value).collect();
+        assert!(matches!(
+            by_datum.insert_datums_into(dir, dup),
+            Err(StorageError::PrimaryKeyViolation { .. })
+        ));
     }
 }

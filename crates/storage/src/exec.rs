@@ -13,8 +13,8 @@
 
 use crate::database::Database;
 use crate::schema::RelationId;
-use crate::tuple::TupleId;
-use crate::value::Value;
+use crate::tuple::{TupleId, TupleRef};
+use crate::value::{Datum, Value, ValueRef};
 use crate::Result;
 use std::collections::HashSet;
 
@@ -87,6 +87,31 @@ impl Predicate {
             Predicate::And(ps) => ps.iter().all(|p| p.matches(values)),
             Predicate::Or(ps) => ps.iter().any(|p| p.matches(values)),
             Predicate::Not(p) => !p.matches(values),
+        }
+    }
+
+    /// Evaluate against a stored tuple without materializing its values —
+    /// the scan hot path reads column slabs in place.
+    pub fn matches_ref(&self, t: &TupleRef<'_>) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(a, v) => t.get(*a) == *v,
+            Predicate::Ne(a, v) => t.get(*a) != *v,
+            Predicate::Lt(a, v) => t.get(*a) < ValueRef::from(v),
+            Predicate::Le(a, v) => t.get(*a) <= ValueRef::from(v),
+            Predicate::Gt(a, v) => t.get(*a) > ValueRef::from(v),
+            Predicate::Ge(a, v) => t.get(*a) >= ValueRef::from(v),
+            Predicate::In(a, vs) => {
+                let x = t.get(*a);
+                vs.iter().any(|v| x == *v)
+            }
+            Predicate::Contains(a, needle) => t
+                .get(*a)
+                .as_text()
+                .is_some_and(|s| contains_case_insensitive(s, needle)),
+            Predicate::And(ps) => ps.iter().all(|p| p.matches_ref(t)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.matches_ref(t)),
+            Predicate::Not(p) => !p.matches_ref(t),
         }
     }
 }
@@ -190,7 +215,7 @@ impl Database {
                 break;
             }
             self.stats().count_tuple_read();
-            if predicate.matches(t.values()) {
+            if predicate.matches_ref(&t) {
                 out.push(Row {
                     tid,
                     values: t.project(projection),
@@ -223,6 +248,18 @@ impl ValueScan {
     pub fn open(db: &Database, rel: RelationId, attr: usize, value: &Value) -> Result<ValueScan> {
         crate::failpoint::check("value_scan_open")?;
         let tids = db.lookup_tids(rel, attr, value)?;
+        Ok(ValueScan { rel, tids, pos: 0 })
+    }
+
+    /// [`ValueScan::open`] keyed by stored datum — the join hot path.
+    pub fn open_datum(
+        db: &Database,
+        rel: RelationId,
+        attr: usize,
+        datum: Datum,
+    ) -> Result<ValueScan> {
+        crate::failpoint::check("value_scan_open")?;
+        let tids = db.lookup_tids_datum(rel, attr, datum)?;
         Ok(ValueScan { rel, tids, pos: 0 })
     }
 

@@ -1,0 +1,126 @@
+//! A fast, non-cryptographic hasher for the engine's internal hash maps.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! HashDoS-resistant, which the hot read path does not need: every map in
+//! the storage and generation layers is keyed by machine-word values the
+//! engine itself produced (tuple ids, interned symbols, fixed-width index
+//! keys), never by attacker-chosen byte strings. The multiply-rotate-xor
+//! scheme below (the widely used "Fx" hash from the Firefox/rustc
+//! compilers) hashes a word in a few cycles, which matters when a single
+//! generated answer performs hundreds of thousands of map operations.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the Fx hash: a 64-bit constant close to 2⁶⁴ / φ, which
+/// spreads consecutive integers across the full hash range.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A word-at-a-time multiplicative hasher. Not keyed, not DoS-resistant —
+/// internal-key maps only.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_and_distinguishes() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i, i as usize * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1_000u64 {
+            assert_eq!(m.get(&i), Some(&(i as usize * 2)));
+        }
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.insert((2, 1)));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        use std::hash::Hash;
+        let h = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            b.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(b"hello world"), h(b"hello world"));
+        assert_ne!(h(b"hello world"), h(b"hello worle"));
+        assert_ne!(h(b""), h(b"\0"));
+    }
+}

@@ -365,11 +365,11 @@ mod tests {
         assert_eq!(loaded.total_tuples(), db.total_tuples());
         let dir = loaded.schema().relation_id("DIRECTOR").unwrap();
         let t = loaded.table(dir).get(crate::TupleId(0)).unwrap();
-        assert_eq!(t[1], Value::from("Woody\tAllen\nJr\\"));
-        assert_eq!(t[2], Value::from(7.25));
-        assert_eq!(t[3], Value::from(true));
+        assert_eq!(t.get(1), Value::from("Woody\tAllen\nJr\\"));
+        assert_eq!(t.get(2), Value::from(7.25));
+        assert_eq!(t.get(3), Value::from(true));
         let t2 = loaded.table(dir).get(crate::TupleId(1)).unwrap();
-        assert!(t2[1].is_null());
+        assert!(t2.get(1).is_null());
         // Indexes work after load (FK endpoints auto-indexed).
         let movie = loaded.schema().relation_id("MOVIE").unwrap();
         let did = loaded.relation_schema(movie).attr_position("did").unwrap();
@@ -401,7 +401,7 @@ mod tests {
         let loaded = load_from_string(&dump_to_string(&db)).unwrap();
         let r = loaded.schema().relation_id("R").unwrap();
         for (tid, t) in db.table(r).iter() {
-            assert_eq!(loaded.table(r).get(tid).unwrap()[1], t[1]);
+            assert_eq!(loaded.table(r).get(tid).unwrap().get(1), t.get(1));
         }
     }
 

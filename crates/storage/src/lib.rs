@@ -37,17 +37,28 @@
 //!     .insert("MOVIE", vec![Value::from(1), Value::from("Match Point")])
 //!     .unwrap();
 //! let movie = db.fetch("MOVIE", tid).unwrap();
-//! assert_eq!(movie[1], Value::from("Match Point"));
+//! assert_eq!(movie.get(1), Value::from("Match Point"));
 //! ```
+//!
+//! ## Memory layout
+//!
+//! Tables default to a columnar layout: one contiguous `Vec<Datum>` slab per
+//! attribute, with text attributes interned in the process-wide
+//! [`SymbolTable`] so a stored value is always 16 bytes. Reads hand out
+//! [`TupleRef`]/[`ValueRef`] views instead of owned tuples. The legacy
+//! row-store layout is kept behind [`StorageLayout::Rows`] as a
+//! differential-testing reference.
 
 mod database;
 mod error;
 mod exec;
 pub mod failpoint;
+pub mod fasthash;
 mod index;
 pub mod io;
 mod schema;
 mod stats;
+pub mod sym;
 mod table;
 mod tuple;
 mod value;
@@ -55,12 +66,14 @@ mod value;
 pub use database::Database;
 pub use error::StorageError;
 pub use exec::{Predicate, Projected, Row, ValueScan};
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use index::{HashIndex, UniqueIndex};
 pub use schema::{AttributeDef, DatabaseSchema, ForeignKey, RelationId, RelationSchema};
 pub use stats::{AccessStats, StatsSnapshot, ThreadMeter};
-pub use table::Table;
-pub use tuple::{Tuple, TupleId};
-pub use value::{DataType, Value};
+pub use sym::{Sym, SymbolTable};
+pub use table::{StorageLayout, Table, TableIter};
+pub use tuple::{Tuple, TupleId, TupleRef};
+pub use value::{DataType, Datum, Value, ValueRef};
 
 /// Convenience result alias used across the storage engine.
 pub type Result<T> = std::result::Result<T, StorageError>;

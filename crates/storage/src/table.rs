@@ -1,29 +1,93 @@
-//! Physical storage of one relation: a slotted tuple store with stable ids.
+//! Physical storage of one relation.
+//!
+//! Two layouts sit behind one API; tuple ids are slot positions in both and
+//! remain stable across deletions (slots are tombstoned, not reused), which
+//! keeps inverted-index postings valid.
+//!
+//! * [`StorageLayout::Columnar`] (default): one contiguous `Vec<Datum>` slab
+//!   per attribute plus a liveness vector. Scans walk contiguous memory and
+//!   fetches copy nothing — reads hand out [`TupleRef`] views.
+//! * [`StorageLayout::Rows`]: the legacy `Vec<Option<Tuple>>` slot store,
+//!   kept as the differential-testing reference for the columnar path.
 
 use crate::schema::RelationSchema;
-use crate::tuple::{Tuple, TupleId};
+use crate::tuple::{Tuple, TupleId, TupleRef};
+use crate::value::Datum;
 
-/// The tuple store of one relation. Tuple ids are slot positions and remain
-/// stable across deletions (slots are tombstoned, not reused), which keeps
-/// inverted-index postings valid.
+/// Which physical layout a table (or whole database) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageLayout {
+    /// Per-attribute column slabs of interned datums.
+    #[default]
+    Columnar,
+    /// The legacy row store of owned tuples.
+    Rows,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Columnar {
+        /// One slab per attribute; all slabs have `live.len()` rows.
+        cols: Vec<Vec<Datum>>,
+        /// Liveness per slot (false = tombstoned).
+        live: Vec<bool>,
+    },
+    Rows {
+        slots: Vec<Option<Tuple>>,
+    },
+}
+
+/// The tuple store of one relation.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: RelationSchema,
-    slots: Vec<Option<Tuple>>,
+    repr: Repr,
     live: usize,
 }
 
 impl Table {
     pub fn new(schema: RelationSchema) -> Self {
+        Table::with_layout(schema, StorageLayout::default())
+    }
+
+    pub fn with_layout(schema: RelationSchema, layout: StorageLayout) -> Self {
+        let repr = match layout {
+            StorageLayout::Columnar => Repr::Columnar {
+                cols: (0..schema.arity()).map(|_| Vec::new()).collect(),
+                live: Vec::new(),
+            },
+            StorageLayout::Rows => Repr::Rows { slots: Vec::new() },
+        };
         Table {
             schema,
-            slots: Vec::new(),
+            repr,
             live: 0,
         }
     }
 
     pub fn schema(&self) -> &RelationSchema {
         &self.schema
+    }
+
+    /// Pre-size every column (or the slot list) for `additional` more
+    /// tuples, so a bulk load appends without intermediate regrowth.
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.repr {
+            Repr::Columnar { cols, live } => {
+                for col in cols {
+                    col.reserve(additional);
+                }
+                live.reserve(additional);
+            }
+            Repr::Rows { slots } => slots.reserve(additional),
+        }
+    }
+
+    pub fn layout(&self) -> StorageLayout {
+        match self.repr {
+            Repr::Columnar { .. } => StorageLayout::Columnar,
+            Repr::Rows { .. } => StorageLayout::Rows,
+        }
     }
 
     /// Number of live tuples.
@@ -35,46 +99,170 @@ impl Table {
         self.live == 0
     }
 
+    /// Number of physical slots (live + tombstoned); the next append gets
+    /// this as its tuple id.
+    pub fn slot_count(&self) -> usize {
+        match &self.repr {
+            Repr::Columnar { live, .. } => live.len(),
+            Repr::Rows { slots } => slots.len(),
+        }
+    }
+
     /// Append a tuple (validation happens in `Database::insert`).
+    #[cfg(test)]
     pub(crate) fn append(&mut self, tuple: Tuple) -> TupleId {
-        let tid = TupleId(self.slots.len() as u64);
-        self.slots.push(Some(tuple));
+        match &self.repr {
+            Repr::Columnar { .. } => {
+                let datums = tuple.values().iter().map(Datum::from_value).collect();
+                self.append_datums(datums)
+            }
+            Repr::Rows { .. } => {
+                let tid = TupleId(self.slot_count() as u64);
+                let Repr::Rows { slots } = &mut self.repr else {
+                    unreachable!()
+                };
+                slots.push(Some(tuple));
+                self.live += 1;
+                tid
+            }
+        }
+    }
+
+    /// Append a tuple already in stored form — the allocation-free path.
+    pub(crate) fn append_datums(&mut self, datums: Vec<Datum>) -> TupleId {
+        self.append_datums_from(&datums)
+    }
+
+    /// [`Table::append_datums`] from a borrowed slice ([`Datum`] is `Copy`),
+    /// so bulk loaders can reuse one scratch buffer across appends.
+    pub(crate) fn append_datums_from(&mut self, datums: &[Datum]) -> TupleId {
+        debug_assert_eq!(datums.len(), self.schema.arity());
+        let tid = TupleId(self.slot_count() as u64);
+        match &mut self.repr {
+            Repr::Columnar { cols, live } => {
+                for (col, d) in cols.iter_mut().zip(datums) {
+                    col.push(*d);
+                }
+                live.push(true);
+            }
+            Repr::Rows { slots } => {
+                let values = datums.iter().map(|d| d.to_value()).collect();
+                slots.push(Some(Tuple::new(values)));
+            }
+        }
         self.live += 1;
         tid
     }
 
     /// Fetch a live tuple by id.
-    pub fn get(&self, tid: TupleId) -> Option<&Tuple> {
-        self.slots.get(tid.as_usize()).and_then(|s| s.as_ref())
+    pub fn get(&self, tid: TupleId) -> Option<TupleRef<'_>> {
+        let slot = tid.as_usize();
+        match &self.repr {
+            Repr::Columnar { cols, live } => {
+                if *live.get(slot)? {
+                    Some(TupleRef::Col { cols, row: slot })
+                } else {
+                    None
+                }
+            }
+            Repr::Rows { slots } => slots.get(slot)?.as_ref().map(TupleRef::Row),
+        }
     }
 
-    /// Put a tuple into a specific (tombstoned or fresh) slot — used by
+    /// One attribute of a live tuple, in stored form.
+    pub fn datum(&self, tid: TupleId, attr: usize) -> Option<Datum> {
+        Some(self.get(tid)?.datum(attr))
+    }
+
+    /// The full column slab for one attribute (columnar layout only); pair
+    /// with [`Table::live_mask`] to skip tombstones.
+    pub fn column(&self, attr: usize) -> Option<&[Datum]> {
+        match &self.repr {
+            Repr::Columnar { cols, .. } => cols.get(attr).map(Vec::as_slice),
+            Repr::Rows { .. } => None,
+        }
+    }
+
+    /// Per-slot liveness (columnar layout only).
+    pub fn live_mask(&self) -> Option<&[bool]> {
+        match &self.repr {
+            Repr::Columnar { live, .. } => Some(live),
+            Repr::Rows { .. } => None,
+        }
+    }
+
+    /// Put a tuple into a specific (tombstoned) slot — used by
     /// `Database::update` to replace a tuple while keeping its id.
-    pub(crate) fn append_at(&mut self, tid: TupleId, tuple: Tuple) -> TupleId {
+    pub(crate) fn append_datums_at(&mut self, tid: TupleId, datums: Vec<Datum>) -> TupleId {
         let slot = tid.as_usize();
-        assert!(slot < self.slots.len(), "append_at targets existing slots");
-        debug_assert!(self.slots[slot].is_none(), "append_at requires a free slot");
-        self.slots[slot] = Some(tuple);
+        assert!(slot < self.slot_count(), "append_at targets existing slots");
+        match &mut self.repr {
+            Repr::Columnar { cols, live } => {
+                debug_assert!(!live[slot], "append_at requires a free slot");
+                for (col, d) in cols.iter_mut().zip(&datums) {
+                    col[slot] = *d;
+                }
+                live[slot] = true;
+            }
+            Repr::Rows { slots } => {
+                debug_assert!(slots[slot].is_none(), "append_at requires a free slot");
+                let values = datums.iter().map(|d| d.to_value()).collect();
+                slots[slot] = Some(Tuple::new(values));
+            }
+        }
         self.live += 1;
         tid
     }
 
-    /// Tombstone a tuple, returning it if it was live.
-    pub(crate) fn remove(&mut self, tid: TupleId) -> Option<Tuple> {
-        let slot = self.slots.get_mut(tid.as_usize())?;
-        let t = slot.take();
-        if t.is_some() {
+    /// Tombstone a tuple, returning its stored form if it was live.
+    pub(crate) fn remove(&mut self, tid: TupleId) -> Option<Vec<Datum>> {
+        let slot = tid.as_usize();
+        let removed = match &mut self.repr {
+            Repr::Columnar { cols, live } => {
+                if !*live.get(slot)? {
+                    return None;
+                }
+                live[slot] = false;
+                Some(cols.iter().map(|c| c[slot]).collect())
+            }
+            Repr::Rows { slots } => {
+                let t = slots.get_mut(slot)?.take()?;
+                Some(t.values().iter().map(Datum::from_value).collect())
+            }
+        };
+        if removed.is_some() {
             self.live -= 1;
         }
-        t
+        removed
     }
 
     /// Iterate over live tuples in tid order.
-    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|t| (TupleId(i as u64), t)))
+    pub fn iter(&self) -> TableIter<'_> {
+        TableIter {
+            table: self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over a table's live tuples — see [`Table::iter`].
+pub struct TableIter<'a> {
+    table: &'a Table,
+    next: usize,
+}
+
+impl<'a> Iterator for TableIter<'a> {
+    type Item = (TupleId, TupleRef<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.next < self.table.slot_count() {
+            let tid = TupleId(self.next as u64);
+            self.next += 1;
+            if let Some(t) = self.table.get(tid) {
+                return Some((tid, t));
+            }
+        }
+        None
     }
 }
 
@@ -83,13 +271,18 @@ mod tests {
     use super::*;
     use crate::value::{DataType, Value};
 
-    fn table() -> Table {
-        Table::new(
+    fn table_with(layout: StorageLayout) -> Table {
+        Table::with_layout(
             RelationSchema::builder("R")
                 .attr("a", DataType::Int)
                 .build()
                 .unwrap(),
+            layout,
         )
+    }
+
+    fn table() -> Table {
+        table_with(StorageLayout::Columnar)
     }
 
     #[test]
@@ -97,42 +290,87 @@ mod tests {
         let mut t = table();
         let t0 = t.append(Tuple::new(vec![Value::from(10)]));
         let t1 = t.append(Tuple::new(vec![Value::from(20)]));
-        assert_eq!(t.get(t0).unwrap()[0], Value::from(10));
-        assert_eq!(t.get(t1).unwrap()[0], Value::from(20));
+        assert_eq!(t.get(t0).unwrap().get(0), Value::from(10));
+        assert_eq!(t.get(t1).unwrap().get(0), Value::from(20));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
     }
 
     #[test]
     fn delete_tombstones_without_shifting_ids() {
-        let mut t = table();
-        let t0 = t.append(Tuple::new(vec![Value::from(10)]));
-        let t1 = t.append(Tuple::new(vec![Value::from(20)]));
-        assert!(t.remove(t0).is_some());
-        assert!(t.remove(t0).is_none());
-        assert_eq!(t.len(), 1);
-        assert!(t.get(t0).is_none());
-        assert_eq!(t.get(t1).unwrap()[0], Value::from(20));
-        // New appends take fresh slots, not the tombstoned one.
-        let t2 = t.append(Tuple::new(vec![Value::from(30)]));
-        assert_ne!(t2, t0);
+        for layout in [StorageLayout::Columnar, StorageLayout::Rows] {
+            let mut t = table_with(layout);
+            let t0 = t.append(Tuple::new(vec![Value::from(10)]));
+            let t1 = t.append(Tuple::new(vec![Value::from(20)]));
+            assert!(t.remove(t0).is_some());
+            assert!(t.remove(t0).is_none());
+            assert_eq!(t.len(), 1);
+            assert!(t.get(t0).is_none());
+            assert_eq!(t.get(t1).unwrap().get(0), Value::from(20));
+            // New appends take fresh slots, not the tombstoned one.
+            let t2 = t.append(Tuple::new(vec![Value::from(30)]));
+            assert_ne!(t2, t0);
+            assert_eq!(t.slot_count(), 3);
+        }
     }
 
     #[test]
     fn iter_skips_tombstones_in_tid_order() {
-        let mut t = table();
-        let ids: Vec<_> = (0..5)
-            .map(|i| t.append(Tuple::new(vec![Value::from(i)])))
-            .collect();
-        t.remove(ids[1]);
-        t.remove(ids[3]);
-        let seen: Vec<i64> = t.iter().map(|(_, tup)| tup[0].as_int().unwrap()).collect();
-        assert_eq!(seen, vec![0, 2, 4]);
+        for layout in [StorageLayout::Columnar, StorageLayout::Rows] {
+            let mut t = table_with(layout);
+            let ids: Vec<_> = (0..5)
+                .map(|i| t.append(Tuple::new(vec![Value::from(i)])))
+                .collect();
+            t.remove(ids[1]);
+            t.remove(ids[3]);
+            let seen: Vec<i64> = t
+                .iter()
+                .map(|(_, tup)| tup.get(0).as_int().unwrap())
+                .collect();
+            assert_eq!(seen, vec![0, 2, 4]);
+        }
     }
 
     #[test]
     fn get_out_of_range_is_none() {
         let t = table();
         assert!(t.get(TupleId(99)).is_none());
+    }
+
+    #[test]
+    fn layouts_store_identical_tuples() {
+        let rows = vec![
+            vec![Value::from(1)],
+            vec![Value::from(2)],
+            vec![Value::from(3)],
+        ];
+        let mut a = table_with(StorageLayout::Columnar);
+        let mut b = table_with(StorageLayout::Rows);
+        for r in &rows {
+            let ta = a.append(Tuple::new(r.clone()));
+            let tb = b.append(Tuple::new(r.clone()));
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(a.layout(), StorageLayout::Columnar);
+        assert_eq!(b.layout(), StorageLayout::Rows);
+        for (ta, tb) in a.iter().zip(b.iter()) {
+            assert_eq!(ta.0, tb.0);
+            assert_eq!(ta.1, tb.1);
+        }
+        // Columnar exposes the raw slab; rows does not.
+        assert_eq!(a.column(0).unwrap().len(), 3);
+        assert_eq!(a.live_mask().unwrap(), &[true, true, true]);
+        assert!(b.column(0).is_none());
+    }
+
+    #[test]
+    fn columnar_update_in_place_keeps_slab_rows() {
+        let mut t = table();
+        let t0 = t.append(Tuple::new(vec![Value::from(1)]));
+        t.remove(t0);
+        t.append_datums_at(t0, vec![Datum::Int(9)]);
+        assert_eq!(t.get(t0).unwrap().get(0), Value::from(9));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.slot_count(), 1);
     }
 }

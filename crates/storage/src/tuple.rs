@@ -1,6 +1,6 @@
 //! Tuples and tuple identifiers.
 
-use crate::value::Value;
+use crate::value::{Datum, Value, ValueRef};
 use std::fmt;
 use std::ops::Index;
 
@@ -62,6 +62,94 @@ impl From<Vec<Value>> for Tuple {
     }
 }
 
+/// A borrowed view of one stored tuple, independent of the table's physical
+/// layout: row-store tuples borrow the [`Tuple`], columnar tuples borrow the
+/// column slabs. All read paths traffic in this type so a fetch never clones
+/// a value.
+#[derive(Debug, Clone, Copy)]
+pub enum TupleRef<'a> {
+    /// A tuple in a row-layout table.
+    Row(&'a Tuple),
+    /// Row `row` of a columnar table: one slab per attribute.
+    Col { cols: &'a [Vec<Datum>], row: usize },
+}
+
+impl<'a> TupleRef<'a> {
+    pub fn arity(&self) -> usize {
+        match self {
+            TupleRef::Row(t) => t.arity(),
+            TupleRef::Col { cols, .. } => cols.len(),
+        }
+    }
+
+    /// Borrow attribute `idx`.
+    pub fn get(&self, idx: usize) -> ValueRef<'a> {
+        match self {
+            TupleRef::Row(t) => ValueRef::from(&t[idx]),
+            TupleRef::Col { cols, row } => cols[idx][*row].value_ref(),
+        }
+    }
+
+    /// Attribute `idx` in stored form. On a row-layout table this interns
+    /// text on the fly — cheap for the test-only legacy layout, free for
+    /// columnar.
+    pub fn datum(&self, idx: usize) -> Datum {
+        match self {
+            TupleRef::Row(t) => Datum::from_value(&t[idx]),
+            TupleRef::Col { cols, row } => cols[idx][*row],
+        }
+    }
+
+    /// Materialize attribute `idx` as an owned [`Value`].
+    pub fn value(&self, idx: usize) -> Value {
+        self.get(idx).to_value()
+    }
+
+    /// Project on a set of attribute positions, materializing values.
+    pub fn project(&self, positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&p| self.value(p)).collect()
+    }
+
+    /// Project on a set of attribute positions in stored form.
+    pub fn project_datums(&self, positions: &[usize]) -> Vec<Datum> {
+        positions.iter().map(|&p| self.datum(p)).collect()
+    }
+
+    /// [`TupleRef::project_datums`] into a caller-owned buffer, so a bulk
+    /// copy loop reuses one allocation for every tuple.
+    pub fn project_datums_into(&self, positions: &[usize], out: &mut Vec<Datum>) {
+        out.clear();
+        out.extend(positions.iter().map(|&p| self.datum(p)));
+    }
+
+    /// Materialize every attribute.
+    pub fn values(&self) -> Vec<Value> {
+        (0..self.arity()).map(|i| self.value(i)).collect()
+    }
+
+    /// Every attribute in stored form.
+    pub fn datums(&self) -> Vec<Datum> {
+        (0..self.arity()).map(|i| self.datum(i)).collect()
+    }
+
+    /// Materialize into an owned [`Tuple`].
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::new(self.values())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = ValueRef<'a>> + '_ {
+        (0..self.arity()).map(move |i| self.get(i))
+    }
+}
+
+impl PartialEq for TupleRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity() == other.arity() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for TupleRef<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +166,26 @@ mod tests {
     fn tuple_id_display() {
         assert_eq!(TupleId(5).to_string(), "t5");
         assert_eq!(TupleId(5).as_usize(), 5);
+    }
+
+    #[test]
+    fn tuple_ref_reads_identically_across_layouts() {
+        let vals = vec![Value::from(1), Value::from("a"), Value::Null];
+        let t = Tuple::new(vals.clone());
+        let row = TupleRef::Row(&t);
+        let cols: Vec<Vec<Datum>> = vals.iter().map(|v| vec![Datum::from_value(v)]).collect();
+        let col = TupleRef::Col {
+            cols: &cols,
+            row: 0,
+        };
+        assert_eq!(row, col);
+        assert_eq!(row.values(), col.values());
+        assert_eq!(row.project(&[1, 0]), col.project(&[1, 0]));
+        assert_eq!(row.project_datums(&[1]), col.project_datums(&[1]));
+        assert_eq!(col.get(1), Value::from("a"));
+        assert_eq!(col.value(0), Value::from(1));
+        assert_eq!(row.datums(), col.datums());
+        assert_eq!(col.to_tuple(), t);
+        assert!(col.get(2).is_null());
     }
 }

@@ -1,5 +1,14 @@
 //! Typed scalar values stored in tuples.
+//!
+//! Three representations share one value model:
+//!
+//! * [`Value`] — the owned boundary type (API, I/O, NLG);
+//! * [`Datum`] — the 16-byte stored form: scalars inline, text as an
+//!   interned [`Sym`]. Columns are contiguous `Vec<Datum>` slabs;
+//! * [`ValueRef`] — a borrowed view over either, used by the read path so
+//!   fetches never clone a string.
 
+use crate::sym::Sym;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -198,6 +207,299 @@ impl From<bool> for Value {
     }
 }
 
+/// The compact stored form of a [`Value`]: 16 bytes, `Copy`, text interned.
+///
+/// Equality and hashing mirror [`Value`] exactly (floats by bit pattern,
+/// NaN equal to NaN; text by symbol, which the interner makes equivalent to
+/// string equality), so deduplicating a column of `Datum`s gives the same
+/// set as deduplicating the corresponding `Value`s.
+#[derive(Debug, Clone, Copy)]
+pub enum Datum {
+    Null,
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Sym(Sym),
+}
+
+impl Datum {
+    /// Convert for storage, interning text payloads.
+    pub fn from_value(v: &Value) -> Datum {
+        match v {
+            Value::Null => Datum::Null,
+            Value::Int(i) => Datum::Int(*i),
+            Value::Float(f) => Datum::Float(*f),
+            Value::Bool(b) => Datum::Bool(*b),
+            Value::Text(s) => Datum::Sym(Sym::intern(s)),
+        }
+    }
+
+    /// Convert for probing, *without* interning: `None` means the text was
+    /// never interned and therefore cannot match any stored datum.
+    pub fn probe_value(v: &Value) -> Option<Datum> {
+        match v {
+            Value::Null => Some(Datum::Null),
+            Value::Int(i) => Some(Datum::Int(*i)),
+            Value::Float(f) => Some(Datum::Float(*f)),
+            Value::Bool(b) => Some(Datum::Bool(*b)),
+            Value::Text(s) => Sym::lookup(s).map(Datum::Sym),
+        }
+    }
+
+    /// Materialize back into the owned boundary type.
+    pub fn to_value(self) -> Value {
+        match self {
+            Datum::Null => Value::Null,
+            Datum::Int(i) => Value::Int(i),
+            Datum::Float(f) => Value::Float(f),
+            Datum::Bool(b) => Value::Bool(b),
+            Datum::Sym(s) => Value::Text(s.as_str().to_owned()),
+        }
+    }
+
+    /// Borrow as a [`ValueRef`]; interned text is `'static`.
+    pub fn value_ref(self) -> ValueRef<'static> {
+        match self {
+            Datum::Null => ValueRef::Null,
+            Datum::Int(i) => ValueRef::Int(i),
+            Datum::Float(f) => ValueRef::Float(f),
+            Datum::Bool(b) => ValueRef::Bool(b),
+            Datum::Sym(s) => ValueRef::Text(s.as_str()),
+        }
+    }
+
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Datum::Null => None,
+            Datum::Int(_) => Some(DataType::Int),
+            Datum::Float(_) => Some(DataType::Float),
+            Datum::Bool(_) => Some(DataType::Bool),
+            Datum::Sym(_) => Some(DataType::Text),
+        }
+    }
+
+    pub fn conforms_to(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Datum::Null => 0,
+            Datum::Bool(_) => 1,
+            Datum::Int(_) => 2,
+            Datum::Float(_) => 3,
+            Datum::Sym(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Datum::Null, Datum::Null) => true,
+            (Datum::Int(a), Datum::Int(b)) => a == b,
+            (Datum::Float(a), Datum::Float(b)) => a.to_bits() == b.to_bits(),
+            (Datum::Bool(a), Datum::Bool(b)) => a == b,
+            (Datum::Sym(a), Datum::Sym(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Datum {}
+
+impl Hash for Datum {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.variant_rank().hash(state);
+        match self {
+            Datum::Null => {}
+            Datum::Int(i) => i.hash(state),
+            Datum::Float(f) => f.to_bits().hash(state),
+            Datum::Bool(b) => b.hash(state),
+            Datum::Sym(s) => s.hash(state),
+        }
+    }
+}
+
+impl PartialEq<Value> for Datum {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Datum::Null, Value::Null) => true,
+            (Datum::Int(a), Value::Int(b)) => a == b,
+            (Datum::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Datum::Bool(a), Value::Bool(b)) => a == b,
+            (Datum::Sym(a), Value::Text(b)) => a.as_str() == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.value_ref().fmt(f)
+    }
+}
+
+/// A borrowed scalar: what the read path hands out instead of `&Value`.
+///
+/// Equality, ordering, hashing and display mirror [`Value`] exactly.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(&'a str),
+    Bool(bool),
+}
+
+impl<'a> ValueRef<'a> {
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Float(f) => Value::Float(f),
+            ValueRef::Text(s) => Value::Text(s.to_owned()),
+            ValueRef::Bool(b) => Value::Bool(b),
+        }
+    }
+
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            ValueRef::Null => None,
+            ValueRef::Int(_) => Some(DataType::Int),
+            ValueRef::Float(_) => Some(DataType::Float),
+            ValueRef::Text(_) => Some(DataType::Text),
+            ValueRef::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ValueRef::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&'a str> {
+        match self {
+            ValueRef::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn variant_rank(&self) -> u8 {
+        match self {
+            ValueRef::Null => 0,
+            ValueRef::Bool(_) => 1,
+            ValueRef::Int(_) => 2,
+            ValueRef::Float(_) => 3,
+            ValueRef::Text(_) => 4,
+        }
+    }
+}
+
+impl<'a> From<&'a Value> for ValueRef<'a> {
+    fn from(v: &'a Value) -> ValueRef<'a> {
+        match v {
+            Value::Null => ValueRef::Null,
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Float(f) => ValueRef::Float(*f),
+            Value::Text(s) => ValueRef::Text(s),
+            Value::Bool(b) => ValueRef::Bool(*b),
+        }
+    }
+}
+
+impl PartialEq for ValueRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ValueRef::Null, ValueRef::Null) => true,
+            (ValueRef::Int(a), ValueRef::Int(b)) => a == b,
+            (ValueRef::Float(a), ValueRef::Float(b)) => a.to_bits() == b.to_bits(),
+            (ValueRef::Text(a), ValueRef::Text(b)) => a == b,
+            (ValueRef::Bool(a), ValueRef::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ValueRef<'_> {}
+
+impl PartialEq<Value> for ValueRef<'_> {
+    fn eq(&self, other: &Value) -> bool {
+        *self == ValueRef::from(other)
+    }
+}
+
+impl PartialEq<ValueRef<'_>> for Value {
+    fn eq(&self, other: &ValueRef<'_>) -> bool {
+        ValueRef::from(self) == *other
+    }
+}
+
+impl Hash for ValueRef<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.variant_rank().hash(state);
+        match self {
+            ValueRef::Null => {}
+            ValueRef::Int(i) => i.hash(state),
+            ValueRef::Float(f) => f.to_bits().hash(state),
+            ValueRef::Text(s) => s.hash(state),
+            ValueRef::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for ValueRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ValueRef<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (ValueRef::Int(a), ValueRef::Int(b)) => a.cmp(b),
+            (ValueRef::Float(a), ValueRef::Float(b)) => a.total_cmp(b),
+            (ValueRef::Int(a), ValueRef::Float(b)) => (*a as f64).total_cmp(b),
+            (ValueRef::Float(a), ValueRef::Int(b)) => a.total_cmp(&(*b as f64)),
+            (ValueRef::Text(a), ValueRef::Text(b)) => a.cmp(b),
+            (ValueRef::Bool(a), ValueRef::Bool(b)) => a.cmp(b),
+            _ => self.variant_rank().cmp(&other.variant_rank()),
+        }
+    }
+}
+
+impl fmt::Display for ValueRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueRef::Null => f.write_str("NULL"),
+            ValueRef::Int(i) => write!(f, "{i}"),
+            ValueRef::Float(x) => write!(f, "{x}"),
+            ValueRef::Text(s) => f.write_str(s),
+            ValueRef::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +569,63 @@ mod tests {
         assert_eq!(Value::from("s").as_text(), Some("s"));
         assert!(Value::Null.is_null());
         assert_eq!(Value::Null.data_type(), None);
+    }
+
+    #[test]
+    fn datum_round_trips_and_mirrors_value_semantics() {
+        let vals = [
+            Value::Null,
+            Value::from(42),
+            Value::from(2.5),
+            Value::Float(f64::NAN),
+            Value::from("datum round trip"),
+            Value::from(true),
+        ];
+        for v in &vals {
+            let d = Datum::from_value(v);
+            assert_eq!(d.to_value(), *v);
+            assert!(&d == v, "Datum == Value for {v}");
+            assert_eq!(d.to_string(), v.to_string());
+            assert_eq!(d.data_type(), v.data_type());
+            // Once interned, probing finds the same datum.
+            assert_eq!(Datum::probe_value(v), Some(d));
+        }
+        assert_eq!(
+            Datum::probe_value(&Value::from("datum-never-stored-xx")),
+            None
+        );
+        assert!(Datum::from_value(&Value::from(1.0)).conforms_to(DataType::Float));
+        assert_eq!(Datum::from_value(&Value::from(9)).as_int(), Some(9));
+    }
+
+    #[test]
+    fn value_ref_mirrors_value_eq_ord_hash_display() {
+        let vals = [
+            Value::Null,
+            Value::from(1),
+            Value::from(1.5),
+            Value::from("abc"),
+            Value::from(false),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let (ra, rb) = (ValueRef::from(a), ValueRef::from(b));
+                assert_eq!(ra == rb, a == b);
+                assert_eq!(ra.cmp(&rb), a.cmp(b));
+                assert_eq!(ra == *b, a == b);
+                assert_eq!(*a == rb, a == b);
+            }
+            let r = ValueRef::from(a);
+            assert_eq!(r.to_string(), a.to_string());
+            assert_eq!(r.to_value(), *a);
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            a.hash(&mut h1);
+            r.hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "hash mismatch for {a}");
+        }
+        assert_eq!(ValueRef::Text("s").as_text(), Some("s"));
+        assert_eq!(ValueRef::Int(3).as_int(), Some(3));
+        assert!(ValueRef::Null.is_null());
     }
 }

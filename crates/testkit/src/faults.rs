@@ -84,7 +84,7 @@ fn storage_site_mapping(report: &mut FaultReport) {
         .attr_position("mid")
         .expect("GENRE.mid");
     let (first_tid, first_movie) = db.table(movie).iter().next().expect("demo has movies");
-    let mid_value = first_movie[0].clone();
+    let mid_value = first_movie.get(0).to_value();
     let dump = storage_io::dump_to_string(&db);
     let dump_path = std::env::temp_dir().join(format!(
         "precis-testkit-faults-{}.precisdb",

@@ -4,7 +4,7 @@
 //! The testkit answers two questions no single-crate unit test can:
 //!
 //! 1. **Do all execution paths agree?** Every generated case is pushed
-//!    through four paths that must produce the same answer — retrieval
+//!    through five paths that must produce the same answer — retrieval
 //!    strategies, sequential vs parallel joins, cold vs warm vs invalidated
 //!    caches, and a loopback `precis-server` round-trip ([`oracle`]).
 //! 2. **Do all failure paths stay inside the error contract?** Faults
@@ -373,7 +373,7 @@ mod tests {
     #[test]
     fn quick_smoke_run_passes() {
         // A miniature run across enough cases to hit several datasets and
-        // all four legs, plus the full fault suite.
+        // all five legs, plus the full fault suite.
         let config = TestkitConfig {
             seed: 42,
             cases: 12,

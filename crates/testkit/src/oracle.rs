@@ -1,4 +1,4 @@
-//! The differential oracle: one case, four execution paths, one answer.
+//! The differential oracle: one case, five execution paths, one answer.
 //!
 //! For a given [`CaseSpec`] the oracle asserts:
 //!
@@ -17,6 +17,12 @@
 //! * **Server leg** — a loopback `precis-server` round-trip must return
 //!   exactly the bytes of [`precis_server::render_answer`] applied to the
 //!   in-process answer.
+//! * **Layout leg** — an engine over the legacy row-store layout
+//!   ([`StorageLayout::Rows`]), built by replaying the exact insert sequence
+//!   of the columnar database (so tuple ids coincide), must produce a
+//!   byte-identical rendered answer and an identical canonical tuple set.
+//!   This pins the columnar-arena / interned-symbol read path to the
+//!   straightforward row representation on every generated case.
 
 use crate::gen::{CaseSpec, DatasetSpec};
 use precis_core::{
@@ -29,7 +35,7 @@ use precis_datagen::{
 };
 use precis_nlg::Vocabulary;
 use precis_server::{render_answer, Server, ServerConfig, ServerHandle};
-use precis_storage::{Database, Value};
+use precis_storage::{Database, StorageLayout, Value};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -43,6 +49,7 @@ pub enum Leg {
     Parallel,
     Cache,
     Server,
+    Layout,
 }
 
 impl std::fmt::Display for Leg {
@@ -52,6 +59,7 @@ impl std::fmt::Display for Leg {
             Leg::Parallel => "parallel",
             Leg::Cache => "cache",
             Leg::Server => "server",
+            Leg::Layout => "layout",
         })
     }
 }
@@ -63,12 +71,14 @@ pub struct Mismatch {
     pub detail: String,
 }
 
-/// Everything a dataset needs to serve all four legs: a shared read-only
+/// Everything a dataset needs to serve all five legs: a shared read-only
 /// engine fronted by a loopback server, and a private mutable engine for
 /// the cache-invalidation leg.
 pub struct DatasetCtx {
     engine: Arc<PrecisEngine>,
     mut_engine: PrecisEngine,
+    /// Same data behind the legacy row-store layout, for the layout leg.
+    rows_engine: PrecisEngine,
     vocab: Option<Vocabulary>,
     server: Option<ServerHandle>,
     addr: SocketAddr,
@@ -118,6 +128,8 @@ impl DatasetCtx {
     pub fn build(spec: &DatasetSpec) -> Result<DatasetCtx, String> {
         let (db, graph, vocab) = build_dataset(spec);
 
+        let rows_db = replay_into_rows_layout(&db)?;
+        let rows_engine = PrecisEngine::new(rows_db, graph.clone()).map_err(|e| e.to_string())?;
         let engine =
             Arc::new(PrecisEngine::new(db.clone(), graph.clone()).map_err(|e| e.to_string())?);
         let mut_engine = PrecisEngine::new(db, graph).map_err(|e| e.to_string())?;
@@ -140,6 +152,7 @@ impl DatasetCtx {
         Ok(DatasetCtx {
             engine,
             mut_engine,
+            rows_engine,
             vocab,
             server: Some(server),
             addr,
@@ -168,7 +181,7 @@ impl DatasetCtx {
         if let Some(movie) = schema.relation_id("MOVIE") {
             // Demo / synthetic movies schema: GENRE(gid, mid, genre).
             let (_, first) = db.table(movie).iter().next()?;
-            let mid = first[0].clone();
+            let mid = first.get(0).to_value();
             return Some((
                 "GENRE",
                 vec![Value::from(key), mid, Value::from("testkitfiller")],
@@ -183,6 +196,28 @@ impl DatasetCtx {
         }
         None
     }
+}
+
+/// Rebuild `db` behind [`StorageLayout::Rows`] by replaying every live
+/// tuple in tuple-id order. The generated datasets are append-only, so the
+/// replayed tuple ids must coincide with the originals — verified here, so
+/// the layout leg compares like with like.
+fn replay_into_rows_layout(db: &Database) -> Result<Database, String> {
+    let mut rows_db = Database::with_layout(db.schema().clone(), StorageLayout::Rows)
+        .map_err(|e| e.to_string())?;
+    for (rel, _) in db.schema().relations() {
+        for (tid, t) in db.table(rel).iter() {
+            let replayed = rows_db
+                .insert_into(rel, t.values())
+                .map_err(|e| format!("rows-layout replay insert failed: {e}"))?;
+            if replayed != tid {
+                return Err(format!(
+                    "rows-layout replay produced {replayed:?} for original {tid:?}"
+                ));
+            }
+        }
+    }
+    Ok(rows_db)
 }
 
 fn base_spec(case: &CaseSpec) -> AnswerSpec {
@@ -254,13 +289,14 @@ fn render(engine: &PrecisEngine, vocab: Option<&Vocabulary>, answer: &PrecisAnsw
     render_answer(engine, vocab, answer)
 }
 
-/// Run all four legs of one case. Empty result = the case passes.
+/// Run all five legs of one case. Empty result = the case passes.
 pub fn run_case(ctx: &mut DatasetCtx, case: &CaseSpec) -> Vec<Mismatch> {
     let mut out = Vec::new();
     strategy_leg(ctx, case, &mut out);
     parallel_leg(ctx, case, &mut out);
     cache_leg(ctx, case, &mut out);
     server_leg(ctx, case, &mut out);
+    layout_leg(ctx, case, &mut out);
     out
 }
 
@@ -451,6 +487,53 @@ fn cache_leg(ctx: &mut DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
         Err(e) => out.push(Mismatch {
             leg: Leg::Cache,
             detail: format!("post-invalidation answer errored: {e}"),
+        }),
+    }
+}
+
+/// The columnar arena layout and the legacy row store must be logically
+/// indistinguishable: identical canonical tuple sets in the result database
+/// and byte-identical rendered answers, on every generated case.
+fn layout_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
+    let q = query(case);
+    let spec = base_spec(case);
+    let columnar = ctx.engine.answer(&q, &spec);
+    let rows = ctx.rows_engine.answer(&q, &spec);
+    match (columnar, rows) {
+        (Ok(c), Ok(r)) => {
+            let tuples_c = canonical_rows(&c.precis.database);
+            let tuples_r = canonical_rows(&r.precis.database);
+            if tuples_c != tuples_r {
+                for (rel, rc) in &tuples_c {
+                    if Some(rc) != tuples_r.get(rel) {
+                        out.push(Mismatch {
+                            leg: Leg::Layout,
+                            detail: format!(
+                                "relation {rel}: columnar retrieved {} tuples, rows layout {}",
+                                rc.len(),
+                                tuples_r.get(rel).map_or(0, Vec::len)
+                            ),
+                        });
+                    }
+                }
+            }
+            let vocab = ctx.vocab.as_ref();
+            let cb = render(&ctx.engine, vocab, &c);
+            let rb = render(&ctx.rows_engine, vocab, &r);
+            if cb != rb {
+                out.push(Mismatch {
+                    leg: Leg::Layout,
+                    detail: format!("rendered answers differ: {}", first_diff(&cb, &rb)),
+                });
+            }
+        }
+        (c, r) => out.push(Mismatch {
+            leg: Leg::Layout,
+            detail: format!(
+                "columnar vs rows outcome mismatch: {:?} vs {:?}",
+                c.map(|_| "ok").map_err(|e| e.to_string()),
+                r.map(|_| "ok").map_err(|e| e.to_string())
+            ),
         }),
     }
 }

@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for tid in tids {
             let t = engine.database().table(*orig_rel).get(*tid).unwrap();
             let visible = &answer.precis.visible[orig_rel];
-            let row: Vec<String> = visible.iter().map(|&a| t[a].to_string()).collect();
+            let row: Vec<String> = visible.iter().map(|&a| t.get(a).to_string()).collect();
             println!("    {}", row.join(" | "));
         }
     }

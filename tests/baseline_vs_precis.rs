@@ -46,7 +46,15 @@ fn baseline_returns_flattened_rows_precis_returns_a_database() {
     let movie = s.relation_id("MOVIE").unwrap();
     let titles: Vec<String> = answer.precis.collected[&movie]
         .iter()
-        .map(|tid| engine.database().table(movie).get(*tid).unwrap()[1].to_string())
+        .map(|tid| {
+            engine
+                .database()
+                .table(movie)
+                .get(*tid)
+                .unwrap()
+                .get(1)
+                .to_string()
+        })
         .collect();
     assert!(titles.contains(&"Match Point".to_owned()));
 }

@@ -44,7 +44,14 @@ fn data_value_weights_bias_retrieval_toward_recent_movies() {
         .unwrap();
     let titles: Vec<String> = a.precis.collected[&movie]
         .iter()
-        .map(|tid| e.database().table(movie).get(*tid).unwrap()[1].to_string())
+        .map(|tid| {
+            e.database()
+                .table(movie)
+                .get(*tid)
+                .unwrap()
+                .get(1)
+                .to_string()
+        })
         .collect();
     // The two newest reachable movies win the two slots: Match Point (2005)
     // and Melinda and Melinda (2004).

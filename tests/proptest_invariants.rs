@@ -108,7 +108,7 @@ proptest! {
         let mut origins = Vec::new();
         for o in &occs {
             origins.push(o.rel);
-            seeds.entry(o.rel).or_default().extend(&o.tids);
+            seeds.entry(o.rel).or_default().extend(o.tids.iter());
         }
         let rs = generate_result_schema(&g, &origins, &DegreeConstraint::MinWeight(0.3));
         let strategy = if naive { RetrievalStrategy::NaiveQ } else { RetrievalStrategy::RoundRobin };
@@ -167,7 +167,7 @@ proptest! {
         let mut origins = Vec::new();
         for o in &occs {
             origins.push(o.rel);
-            seeds.entry(o.rel).or_default().extend(&o.tids);
+            seeds.entry(o.rel).or_default().extend(o.tids.iter());
         }
         let rs = generate_result_schema(&g, &origins, &DegreeConstraint::MinWeight(0.2));
         let p = generate_result_database(

@@ -133,7 +133,7 @@ proptest! {
         let idx = InvertedIndex::build(&db);
         let r = db.schema().relation_id("R").unwrap();
         for (tid, tup) in db.table(r).iter() {
-            let text = tup[1].as_text().unwrap();
+            let text = tup.get(1).as_text().unwrap();
             for word in tokenize(text) {
                 let occs = idx.lookup(&db, &word);
                 let hit = occs.iter().any(|o| o.rel == r && o.tids.contains(&tid));
@@ -147,9 +147,9 @@ proptest! {
         for (i, n) in names.iter().enumerate() {
             for word in tokenize(n) {
                 for occ in idx.lookup(&db, &word) {
-                    for tid in &occ.tids {
+                    for tid in occ.tids.iter() {
                         let t = db.table(occ.rel).get(*tid).unwrap();
-                        let stored = t[occ.attr].as_text().unwrap();
+                        let stored = t.get(occ.attr).as_text().unwrap();
                         prop_assert!(
                             tokenize(stored).contains(&word),
                             "posting for {word:?} points at {stored:?}"
