@@ -1,18 +1,20 @@
 //! PR-trajectory benchmark snapshot: a compact JSON report of the answer
 //! pipeline's wall-clock medians, throughput, cache behavior, and thread
-//! count, committed as `BENCH_PR6.json` so successive PRs can track the
+//! count, committed as `BENCH_PR7.json` so successive PRs can track the
 //! trajectory of the same workloads over time.
 //!
 //! The workloads mirror the paper's evaluation (§6): a Figure-7-style
 //! schema-generator sweep, a Figure-8-style database-generator run, a
 //! Figure-9 NaïveQ vs Round-Robin pair, plus an end-to-end multi-token
 //! [`PrecisEngine`] workload that exercises the parallel index-lookup path
-//! and the answer caches.
+//! and the answer caches. The `wal_append_*` / `recovery_replay` workloads
+//! track the durability subsystem: append throughput under each fsync
+//! policy, and crash-recovery replay speed.
 //!
 //! Regenerate with:
 //!
 //! ```text
-//! cargo run --release -p precis-bench --bin bench_report -- BENCH_PR6.json
+//! cargo run --release -p precis-bench --bin bench_report -- BENCH_PR7.json
 //! ```
 
 use crate::workloads::{
@@ -24,13 +26,14 @@ use precis_core::{
     PrecisQuery, RetrievalStrategy,
 };
 use precis_datagen::{chain_db_fanout, movies_graph, MoviesConfig, MoviesGenerator};
-use precis_storage::RelationId;
+use precis_durability::{recover, DurableStore, FsyncPolicy, Wal};
+use precis_storage::{Database, RelationId, TupleId, Value, WalOp};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Label stamped into the JSON snapshot; bumped when a PR regenerates the
 /// committed report.
-pub const REPORT_LABEL: &str = "BENCH_PR6";
+pub const REPORT_LABEL: &str = "BENCH_PR7";
 
 /// Scale knob: `quick` keeps every workload under a second for tests;
 /// `full` is the committed-report configuration.
@@ -267,6 +270,120 @@ fn tuple_scan_workload(scale: Scale) -> WorkloadStat {
         samples.push(t0.elapsed().as_secs_f64());
     }
     stat_from_samples("tuple_scan", samples, Some(scanned))
+}
+
+/// A fresh scratch directory under the system temp dir, unique per call.
+fn wal_scratch_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "precis-bench-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir
+}
+
+/// A representative mutation record: an int key, a median-length text, and
+/// a float — roughly the shape of a movies-row insert.
+fn wal_insert_op(i: u64) -> WalOp {
+    WalOp::Insert {
+        relation: "BENCH".to_owned(),
+        tid: TupleId(i),
+        values: vec![
+            Value::from(i as i64),
+            Value::from("a median-sized text payload for the log"),
+            Value::from(0.5 + i as f64),
+        ],
+    }
+}
+
+/// Durability workload: raw WAL append throughput under one fsync policy,
+/// each repeat ending with the group-commit barrier the server issues
+/// before acknowledging a batch. `tuples_per_sec` is records per second.
+fn wal_append_workload(policy: FsyncPolicy, scale: Scale) -> WorkloadStat {
+    let (records, repeats) = match (policy, scale) {
+        // Every append fsyncs: keep record counts small enough that the
+        // workload stays seconds, not minutes, on spinning media.
+        (FsyncPolicy::Always, Scale::Quick) => (50u64, 3),
+        (FsyncPolicy::Always, Scale::Full) => (1_000, 5),
+        (_, Scale::Quick) => (2_000, 3),
+        (_, Scale::Full) => (100_000, 5),
+    };
+    let dir = wal_scratch_dir("wal-append");
+    let path = dir.join("wal.log");
+    let mut samples = Vec::new();
+    let mut appended = 0usize;
+    for _ in 0..repeats {
+        let mut wal = Wal::create(&path, policy, 0).expect("bench wal creates");
+        let t0 = Instant::now();
+        for i in 0..records {
+            wal.append_op(wal_insert_op(i)).expect("append succeeds");
+        }
+        wal.flush().expect("group-commit barrier");
+        samples.push(t0.elapsed().as_secs_f64());
+        appended += records as usize;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let name = match policy {
+        FsyncPolicy::Never => "wal_append_fsync_never",
+        FsyncPolicy::Batch(_) => "wal_append_fsync_batch",
+        FsyncPolicy::Always => "wal_append_fsync_always",
+    };
+    stat_from_samples(name, samples, Some(appended))
+}
+
+/// Durability workload: crash-recovery replay speed. A synthetic movies
+/// database is logged as schema-install + one insert record per tuple, then
+/// [`recover`] rebuilds it from the files alone; `tuples_per_sec` is
+/// recovered tuples per second.
+fn recovery_replay_workload(scale: Scale) -> WorkloadStat {
+    let (movies, repeats) = match scale {
+        Scale::Quick => (300, 3),
+        Scale::Full => (5_000, 10),
+    };
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies,
+        directors: (movies / 12).max(1),
+        actors: (movies / 2).max(1),
+        theatres: (movies / 60).max(1),
+        plays: movies * 2,
+        seed: 0xD00D,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let dir = wal_scratch_dir("recovery");
+    let store = DurableStore::open(&dir).expect("bench store opens");
+    let mut wal = store
+        .create_wal(FsyncPolicy::Never, 0)
+        .expect("bench wal creates");
+    let empty = Database::new(db.schema().clone()).expect("schema twin");
+    wal.append_schema_install(&precis_storage::io::dump_to_string(&empty))
+        .expect("schema-install record");
+    for (rel, rs) in db.schema().relations() {
+        for (tid, t) in db.table(rel).iter() {
+            wal.append_op(WalOp::Insert {
+                relation: rs.name().to_owned(),
+                tid,
+                values: t.values().to_vec(),
+            })
+            .expect("insert record");
+        }
+    }
+    drop(wal);
+    let mut samples = Vec::new();
+    let mut recovered_tuples = 0usize;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let rec = recover(&dir)
+            .expect("recovery succeeds")
+            .expect("database materializes");
+        samples.push(t0.elapsed().as_secs_f64());
+        assert!(rec.report.truncated.is_none(), "clean log replays cleanly");
+        recovered_tuples += rec.db.total_tuples();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    stat_from_samples("recovery_replay", samples, Some(recovered_tuples))
 }
 
 /// The PR 1 pipeline fixture: a synthetic movies engine plus the rotating
@@ -521,6 +638,10 @@ pub fn run_report(scale: Scale) -> BenchReport {
             postings_intersection_workload(scale),
             tuple_scan_workload(scale),
             engine_workload(scale),
+            wal_append_workload(FsyncPolicy::Never, scale),
+            wal_append_workload(FsyncPolicy::Batch(64), scale),
+            wal_append_workload(FsyncPolicy::Always, scale),
+            recovery_replay_workload(scale),
         ],
         tracing: Some(tracing_overhead(scale)),
     }
@@ -616,13 +737,23 @@ mod tests {
                 "postings_intersection",
                 "tuple_scan",
                 "multi_token_engine",
+                "wal_append_fsync_never",
+                "wal_append_fsync_batch",
+                "wal_append_fsync_always",
+                "recovery_replay",
             ]
         );
         for w in &report.workloads {
             assert!(w.runs > 0, "{}", w.name);
             assert!(w.median_secs >= 0.0, "{}", w.name);
         }
-        let engine = report.workloads.last().unwrap();
+        let replay = report.workloads.last().unwrap();
+        assert!(
+            replay.tuples_per_sec.unwrap() > 0.0,
+            "recovery replays tuples"
+        );
+        let engine = &report.workloads[6];
+        assert_eq!(engine.name, "multi_token_engine");
         assert!(
             engine.schema_hit_rate.unwrap() > 0.9,
             "repeated queries must hit the schema cache: {:?}",

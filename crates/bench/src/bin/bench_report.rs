@@ -1,7 +1,7 @@
 //! Regenerate the PR-trajectory benchmark snapshot.
 //!
 //! ```text
-//! cargo run --release -p precis-bench --bin bench_report -- BENCH_PR6.json
+//! cargo run --release -p precis-bench --bin bench_report -- BENCH_PR7.json
 //! cargo run --release -p precis-bench --bin bench_report -- --quick out.json
 //! ```
 //!

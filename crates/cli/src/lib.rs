@@ -29,11 +29,16 @@ precis — interactive précis query explorer
   precis --load <file>           a database saved with `save`
   precis ... --exec 'cmd; cmd'   run commands non-interactively
   precis ... serve [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
+                   [--data-dir DIR] [--checkpoint-every N]
                                  run the HTTP query service over the chosen
                                  database (POST /shutdown stops it; honored
                                  from loopback peers only — note the API has
                                  no auth, so think before binding --addr to
-                                 a non-loopback address)
+                                 a non-loopback address). With --data-dir,
+                                 POST /mutate writes are WAL-durable: the
+                                 dir holds snapshot.precisdb + wal.log, and
+                                 a restart recovers every acknowledged
+                                 mutation (existing state beats the source)
   precis testkit [--seed N] [--cases N] [--profile quick|soak]
                  [--repro-out FILE]
                                  run the differential oracle + fault-injection
@@ -168,12 +173,21 @@ pub fn calibrate_cost_model(db: &Database) -> Option<CostModel> {
 pub struct ServeOptions {
     /// Bind address. The API is unauthenticated: binding a non-loopback
     /// address exposes `/query` and `/metrics` to every peer that can reach
-    /// the port (`POST /shutdown` stays loopback-only regardless).
+    /// the port (`POST /shutdown` and `POST /mutate` stay loopback-only
+    /// regardless).
     pub addr: String,
     pub workers: usize,
     pub queue: usize,
     /// Default per-query deadline, milliseconds; 0 disables deadlines.
     pub deadline_ms: u64,
+    /// Durable serving: the directory holding `snapshot.precisdb` and
+    /// `wal.log`. When it already holds state, recovery wins over the
+    /// `Source` (the source still provides the schema graph and
+    /// vocabulary); when empty, the source bootstraps it. `None` serves
+    /// purely in memory.
+    pub data_dir: Option<String>,
+    /// Snapshot + rotate the WAL after this many records (0 = never).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -183,6 +197,8 @@ impl Default for ServeOptions {
             workers: 4,
             queue: 64,
             deadline_ms: 10_000,
+            data_dir: None,
+            checkpoint_every: 10_000,
         }
     }
 }
@@ -237,8 +253,55 @@ pub fn start_server(
     source: Source,
     options: &ServeOptions,
 ) -> Result<(precis_server::ServerHandle, String), String> {
-    let (db, graph, vocabulary, label) = open_source(source)?;
-    let mut engine = PrecisEngine::new(db, graph).map_err(|e| e.to_string())?;
+    let (source_db, graph, vocabulary, mut label) = open_source(source)?;
+
+    // Durable serving: recover the data dir (its state beats the source) or
+    // bootstrap it from the source, and wire the WAL into the database so
+    // every mutation streams into the log.
+    let (db, durability) = match &options.data_dir {
+        None => (source_db, None),
+        Some(dir) => {
+            use precis_durability::{DurableStore, FsyncPolicy, SharedWal};
+            let store = DurableStore::open(dir).map_err(|e| e.to_string())?;
+            let policy = FsyncPolicy::Batch(256);
+            let (mut db, wal) = match store.recover().map_err(|e| e.to_string())? {
+                Some(rec) => {
+                    let wal = store
+                        .open_wal(policy, rec.report.next_lsn)
+                        .map_err(|e| e.to_string())?;
+                    let _ = write!(
+                        label,
+                        " (recovered from {dir}: {} replayed, {} skipped{})",
+                        rec.report.replayed,
+                        rec.report.skipped,
+                        match &rec.report.truncated {
+                            Some(why) => format!(", tail truncated: {why}"),
+                            None => String::new(),
+                        }
+                    );
+                    (rec.db, wal)
+                }
+                None => {
+                    // Fresh dir: the initial snapshot covers the source
+                    // database; the WAL starts empty at LSN 0.
+                    precis_durability::write_snapshot(&source_db, 0, store.snapshot_path())
+                        .map_err(|e| e.to_string())?;
+                    let wal = store.create_wal(policy, 0).map_err(|e| e.to_string())?;
+                    let _ = write!(label, " (durable at {dir})");
+                    (source_db, wal)
+                }
+            };
+            let wal = SharedWal::new(wal);
+            db.set_wal_sink(std::sync::Arc::new(wal.clone()));
+            let durability = precis_server::Durability::new(store, wal, options.checkpoint_every);
+            (db, Some(durability))
+        }
+    };
+
+    let mut engine = PrecisEngine::new(db, graph).map_err(|e| match &options.data_dir {
+        Some(dir) => format!("state in {dir} is incompatible with the chosen source: {e}"),
+        None => e.to_string(),
+    })?;
     // Calibrate micro-costs up front so served query profiles carry the
     // cost model's predicted times next to the measured wall times.
     if let Some(model) = calibrate_cost_model(engine.database()) {
@@ -253,7 +316,7 @@ pub fn start_server(
             .then(|| std::time::Duration::from_millis(options.deadline_ms)),
         ..precis_server::ServerConfig::default()
     };
-    let handle = precis_server::Server::start(engine, vocabulary, config)
+    let handle = precis_server::Server::start_durable(engine, vocabulary, config, durability)
         .map_err(|e| format!("cannot start server on {}: {e}", options.addr))?;
     Ok((handle, label))
 }
@@ -880,6 +943,7 @@ mod tests {
             workers: 1,
             queue: 2,
             deadline_ms: 2_000,
+            ..ServeOptions::default()
         };
         let (handle, label) = start_server(Source::Demo, &options).unwrap();
         assert!(label.contains("demo movies database"));
@@ -892,6 +956,67 @@ mod tests {
         assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
         handle.trigger_shutdown();
         handle.wait();
+    }
+
+    /// The full operator story: serve with `--data-dir`, mutate, stop without
+    /// any orderly close of the durability state, then restart on the same
+    /// directory and watch the mutation come back.
+    #[test]
+    fn serve_with_data_dir_recovers_mutations_across_restarts() {
+        use std::io::{Read as _, Write as _};
+
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "precis-cli-durable-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let options = ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue: 4,
+            deadline_ms: 2_000,
+            data_dir: Some(dir.to_str().unwrap().to_owned()),
+            checkpoint_every: 0,
+        };
+
+        let post = |addr: std::net::SocketAddr, path: &str, body: &str| -> String {
+            let mut conn = std::net::TcpStream::connect(addr).unwrap();
+            conn.write_all(
+                format!(
+                    "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+            let mut reply = String::new();
+            conn.read_to_string(&mut reply).unwrap();
+            reply
+        };
+
+        // First life: fresh dir bootstraps from the demo source.
+        let (handle, label) = start_server(Source::Demo, &options).unwrap();
+        assert!(label.contains("durable at"), "{label}");
+        let addr = handle.local_addr();
+        let mutate = r#"{"ops":[{"op":"insert","relation":"DIRECTOR",
+            "values":[777001,"Zzyxgnarp Qblitherton","Testville","1970-01-01"]}]}"#;
+        let reply = post(addr, "/mutate", mutate);
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains("\"applied\": 1"), "{reply}");
+        let reply = post(addr, "/query", r#"{"tokens": "zzyxgnarp"}"#);
+        assert!(reply.contains("Zzyxgnarp Qblitherton"), "{reply}");
+        handle.trigger_shutdown();
+        handle.wait();
+
+        // Second life: recovery wins over the source; the mutation survives.
+        let (handle, label) = start_server(Source::Demo, &options).unwrap();
+        assert!(label.contains("recovered from"), "{label}");
+        let reply = post(handle.local_addr(), "/query", r#"{"tokens": "zzyxgnarp"}"#);
+        assert!(reply.contains("Zzyxgnarp Qblitherton"), "{reply}");
+        handle.trigger_shutdown();
+        handle.wait();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

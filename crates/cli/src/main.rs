@@ -105,6 +105,27 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--deadline-ms needs milliseconds (0 = none)"));
             }
+            "--data-dir" => {
+                i += 1;
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--data-dir needs `serve`"));
+                opts.data_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--data-dir needs a directory")),
+                );
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--checkpoint-every needs `serve`"));
+                opts.checkpoint_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--checkpoint-every needs a count (0 = never)"));
+            }
             "--demo" => source = Some(precis_cli::Source::Demo),
             "--synthetic" => {
                 i += 1;

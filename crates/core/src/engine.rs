@@ -140,6 +140,23 @@ pub struct PrecisEngine {
     cost_model: Option<CostModel>,
 }
 
+impl Clone for PrecisEngine {
+    /// Deep-copy the engine for copy-on-write mutation (the server's write
+    /// path clones, mutates, and republishes). The answer cache is
+    /// per-instance state behind mutexes, so the clone starts with a cold
+    /// cache rather than sharing one.
+    fn clone(&self) -> Self {
+        PrecisEngine {
+            db: self.db.clone(),
+            graph: self.graph.clone(),
+            index: self.index.clone(),
+            profiles: self.profiles.clone(),
+            cache: AnswerCache::default(),
+            cost_model: self.cost_model,
+        }
+    }
+}
+
 impl PrecisEngine {
     /// Create an engine, building the inverted index over `db` and making
     /// sure every join endpoint of `graph` is indexed — the schema graph may
@@ -198,6 +215,28 @@ impl PrecisEngine {
         self.index.add_tuple(&self.db, rel, tid);
         self.cache.bump_generation();
         Ok(tid)
+    }
+
+    /// Replace a tuple's values in place, keeping the inverted index in
+    /// sync and invalidating the answer caches. The postings for the old
+    /// values are removed before the row changes and the new values are
+    /// indexed after — no full index rebuild.
+    pub fn update(
+        &mut self,
+        rel: RelationId,
+        tid: TupleId,
+        values: Vec<precis_storage::Value>,
+    ) -> Result<()> {
+        self.index.remove_tuple(&self.db, rel, tid);
+        self.cache.bump_generation();
+        let result = self.db.update(rel, tid, values);
+        // Re-index whatever the tuple holds now: the new values on success,
+        // the untouched old ones if the update was rejected — either way
+        // the index stays consistent with the table.
+        if self.db.table(rel).get(tid).is_some() {
+            self.index.add_tuple(&self.db, rel, tid);
+        }
+        result.map_err(Into::into)
     }
 
     /// Delete a tuple, keeping the inverted index in sync and invalidating
@@ -746,5 +785,75 @@ mod tests {
         // token is resolved exactly once and the pre-pass schema is reused.
         assert_eq!((s.token_hits, s.token_misses), (0, 1));
         assert_eq!((s.schema_hits, s.schema_misses), (1, 1));
+    }
+
+    #[test]
+    fn update_maintains_the_index_like_a_full_rebuild() {
+        let (db, graph) = expert_join_setup();
+        let mut engine = PrecisEngine::new(db, graph).unwrap();
+        let venue = engine.database().schema().relation_id("VENUE").unwrap();
+        engine
+            .update(
+                venue,
+                TupleId(0),
+                vec![Value::from(1), Value::from("Pallas"), Value::from("Athens")],
+            )
+            .unwrap();
+        // A failed update (bad tid) must leave the index consistent too.
+        assert!(engine.update(venue, TupleId(99), vec![]).is_err());
+        let rebuilt = InvertedIndex::build(engine.database());
+        for token in ["odeon", "pallas", "rex", "athens", "rome", "ada"] {
+            assert_eq!(
+                engine.index().lookup(engine.database(), token),
+                rebuilt.lookup(engine.database(), token),
+                "postings for {token:?} drifted from a full rebuild"
+            );
+        }
+        // And answers see the new value, not the old one.
+        let spec = AnswerSpec::new(
+            crate::DegreeConstraint::MinWeight(0.5),
+            CardinalityConstraint::Unbounded,
+        );
+        assert_eq!(
+            engine
+                .answer(&PrecisQuery::parse("pallas"), &spec)
+                .unwrap()
+                .precis
+                .total_tuples(),
+            2 // the venue plus Ada through the shared city
+        );
+        assert_eq!(
+            engine
+                .answer(&PrecisQuery::parse("odeon"), &spec)
+                .unwrap()
+                .precis
+                .total_tuples(),
+            0,
+            "the overwritten value must stop matching"
+        );
+    }
+
+    #[test]
+    fn cloned_engines_mutate_independently() {
+        let (db, graph) = expert_join_setup();
+        let mut engine = PrecisEngine::new(db, graph).unwrap();
+        let before = engine.clone();
+        engine
+            .insert(
+                "VENUE",
+                vec![Value::from(3), Value::from("Annex"), Value::from("Athens")],
+            )
+            .unwrap();
+        assert_eq!(engine.database().total_tuples(), 4);
+        assert_eq!(before.database().total_tuples(), 3);
+        assert_eq!(
+            engine.index().lookup(engine.database(), "annex").len(),
+            1,
+            "mutated clone indexes the new tuple"
+        );
+        assert!(
+            before.index().lookup(before.database(), "annex").is_empty(),
+            "original engine is untouched"
+        );
     }
 }

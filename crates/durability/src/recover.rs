@@ -1,0 +1,425 @@
+//! Crash recovery: load the latest snapshot, replay the WAL tail, and
+//! truncate — never fail — at the first torn, corrupt, or misapplied
+//! record.
+//!
+//! The contract is *ACK-after-fsync*: every mutation that was fsynced and
+//! acknowledged survives recovery; an unacknowledged tail may be kept (if
+//! the OS flushed it) or cut (if it tore). Because the log is applied
+//! strictly in order and the snapshot records the first LSN it does *not*
+//! cover, recovery is idempotent — crashing during recovery and recovering
+//! again yields the identical database.
+
+use crate::record::WalEntry;
+use crate::snapshot::{load_snapshot, Snapshot};
+use crate::store::{SNAPSHOT_FILE, WAL_FILE};
+use crate::wal::read_one;
+use precis_storage::{io, Database, Result, StorageError, WalOp};
+use std::path::Path;
+
+/// What recovery did, for logs and the server's `/metrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The snapshot's `next_lsn`, when a snapshot was loaded.
+    pub snapshot_lsn: Option<u64>,
+    /// WAL records applied on top of the snapshot.
+    pub replayed: usize,
+    /// WAL records skipped because the snapshot already covered them
+    /// (a crash landed between snapshot install and WAL rotation).
+    pub skipped: usize,
+    /// Why the log tail was cut, if it was.
+    pub truncated: Option<String>,
+    /// The LSN the reopened WAL should assign next.
+    pub next_lsn: u64,
+}
+
+/// A recovered database plus the [`RecoveryReport`] describing how it was
+/// reassembled.
+#[derive(Debug)]
+pub struct Recovered {
+    pub db: Database,
+    pub report: RecoveryReport,
+}
+
+/// Recover the store under `dir`. Returns `Ok(None)` when the directory
+/// holds neither a snapshot nor any usable WAL record (a brand-new store).
+/// A torn or corrupt WAL tail is physically truncated so the next append
+/// extends a clean prefix.
+pub fn recover(dir: impl AsRef<Path>) -> Result<Option<Recovered>> {
+    let _span = precis_obs::span("wal.replay");
+    let dir = dir.as_ref();
+    let wal_path = dir.join(WAL_FILE);
+    let snapshot = load_snapshot(dir.join(SNAPSHOT_FILE))?;
+    let buf = match std::fs::read(&wal_path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(StorageError::Io(format!("wal {}: {e}", wal_path.display()))),
+    };
+
+    let snapshot_lsn = snapshot.as_ref().map(|s| s.next_lsn);
+    let (floor, mut db) = match snapshot {
+        Some(Snapshot { db, next_lsn }) => (next_lsn, Some(db)),
+        None => (0, None),
+    };
+    let mut next_lsn = floor;
+    let mut replayed = 0usize;
+    let mut skipped = 0usize;
+    let mut truncated = None;
+    let mut offset = 0usize;
+    loop {
+        let (consumed, lsn, entry) = match read_one(&buf, offset) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) => {
+                truncated = Some(e.to_string());
+                break;
+            }
+        };
+        if lsn < floor {
+            skipped += 1;
+            offset += consumed;
+            continue;
+        }
+        if let Err(e) = apply(&mut db, &entry) {
+            // A record that decodes but does not apply means the log and
+            // the snapshot disagree (e.g. an insert that would land on a
+            // different tuple id). Serving the consistent prefix beats
+            // refusing to start.
+            truncated = Some(format!("record lsn {lsn}: {e}"));
+            break;
+        }
+        replayed += 1;
+        next_lsn = lsn + 1;
+        offset += consumed;
+    }
+
+    if truncated.is_some() && (offset as u64) < buf.len() as u64 {
+        truncate_file(&wal_path, offset as u64)?;
+    }
+
+    let report = RecoveryReport {
+        snapshot_lsn,
+        replayed,
+        skipped,
+        truncated,
+        next_lsn,
+    };
+    Ok(db.map(|db| Recovered { db, report }))
+}
+
+/// Apply one WAL entry to the database being rebuilt. Insert replay
+/// verifies the engine hands back the tuple id the record stored — the
+/// snapshot-as-compaction-point protocol guarantees it, so a mismatch
+/// means the files are inconsistent and the log must be cut here.
+fn apply(db: &mut Option<Database>, entry: &WalEntry) -> Result<()> {
+    match entry {
+        WalEntry::SchemaInstall { schema_text } => {
+            if db.is_some() {
+                return Err(StorageError::Corrupt(
+                    "schema install into a non-empty store".into(),
+                ));
+            }
+            *db = Some(io::load_from_string(schema_text)?);
+            Ok(())
+        }
+        WalEntry::Op(op) => {
+            let db = db.as_mut().ok_or_else(|| {
+                StorageError::Corrupt("mutation before any schema or snapshot".into())
+            })?;
+            match op {
+                WalOp::Insert {
+                    relation,
+                    tid,
+                    values,
+                } => {
+                    // Verify BEFORE mutating: inserts claim the next slot,
+                    // so a mismatch is detectable up front and the database
+                    // stays exactly at the consistent prefix.
+                    let rel = db.schema().require_relation(relation)?;
+                    let next = db.table(rel).slot_count() as u64;
+                    if next != tid.0 {
+                        return Err(StorageError::Corrupt(format!(
+                            "insert into {relation} would land on tid {next} but the log says {}",
+                            tid.0
+                        )));
+                    }
+                    db.insert_into(rel, values.clone()).map(|_| ())
+                }
+                WalOp::Update {
+                    relation,
+                    tid,
+                    values,
+                } => {
+                    let rel = db.schema().require_relation(relation)?;
+                    db.update(rel, *tid, values.clone())
+                }
+                WalOp::Delete { relation, tid } => {
+                    let rel = db.schema().require_relation(relation)?;
+                    db.delete(rel, *tid)
+                }
+            }
+        }
+    }
+}
+
+fn truncate_file(path: &Path, len: u64) -> Result<()> {
+    let io_err = |e: std::io::Error| StorageError::Io(format!("wal {}: {e}", path.display()));
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(io_err)?;
+    f.set_len(len).map_err(io_err)?;
+    f.sync_data().map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::write_snapshot;
+    use crate::store::DurableStore;
+    use crate::testutil::{sample_schema, scratch_dir};
+    use crate::wal::{FsyncPolicy, SharedWal, Wal};
+    use precis_storage::Value;
+    use std::sync::Arc;
+
+    /// Bootstrap a live database whose mutations stream into a fresh WAL
+    /// under `dir`, starting from an empty schema-install record.
+    fn live_db(dir: &Path) -> (Database, SharedWal) {
+        let store = DurableStore::open(dir).unwrap();
+        let empty = Database::new(sample_schema()).unwrap();
+        let mut wal = store.create_wal(FsyncPolicy::Never, 0).unwrap();
+        wal.append_schema_install(&io::dump_to_string(&empty))
+            .unwrap();
+        let shared = SharedWal::new(wal);
+        let mut db = empty;
+        db.set_wal_sink(Arc::new(shared.clone()));
+        (db, shared)
+    }
+
+    fn populate(db: &mut Database) {
+        db.insert(
+            "DIRECTOR",
+            vec![Value::from(1), Value::from("Allen"), Value::from(7.25)],
+        )
+        .unwrap();
+        db.insert(
+            "DIRECTOR",
+            vec![Value::from(2), Value::from("Coppola"), Value::Null],
+        )
+        .unwrap();
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let director = db.schema().relation_id("DIRECTOR").unwrap();
+        let t10 = db
+            .insert(
+                "MOVIE",
+                vec![Value::from(10), Value::from("Match Pont"), Value::from(1)],
+            )
+            .unwrap();
+        // Fix the typo via update, then delete and re-add a director's movie.
+        db.update(
+            movie,
+            t10,
+            vec![Value::from(10), Value::from("Match Point"), Value::from(1)],
+        )
+        .unwrap();
+        let t11 = db
+            .insert(
+                "MOVIE",
+                vec![Value::from(11), Value::from("Cut Scene"), Value::from(2)],
+            )
+            .unwrap();
+        db.delete(movie, t11).unwrap();
+        db.update(
+            director,
+            precis_storage::TupleId(1),
+            vec![Value::from(2), Value::from("S. Coppola"), Value::from(8.0)],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_dir_recovers_to_nothing() {
+        let dir = scratch_dir("rec-empty");
+        assert!(recover(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_log_replay_reproduces_the_live_database() {
+        let dir = scratch_dir("rec-full");
+        let (mut db, wal) = live_db(&dir);
+        populate(&mut db);
+        wal.flush().unwrap();
+        let rec = recover(&dir).unwrap().unwrap();
+        assert_eq!(
+            io::dump_to_string(&rec.db),
+            io::dump_to_string(&db),
+            "replay from the empty schema must reproduce the live state"
+        );
+        assert!(rec.report.truncated.is_none());
+        assert_eq!(rec.report.skipped, 0);
+        assert_eq!(rec.report.replayed, 8); // schema + 7 ops
+        assert_eq!(rec.report.next_lsn, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_recovers_and_checkpoint_compacts() {
+        let dir = scratch_dir("rec-snap-tail");
+        let store = DurableStore::open(&dir).unwrap();
+        let (mut db, wal) = live_db(&dir);
+        populate(&mut db);
+        // Checkpoint mid-stream: returns the compacted reload, which takes
+        // over as the live database so tids keep matching the snapshot.
+        let mut db = wal.with(|w| store.checkpoint(&db, w)).unwrap();
+        db.set_wal_sink(Arc::new(wal.clone()));
+        let movie = db.schema().relation_id("MOVIE").unwrap();
+        let tid = db
+            .insert(
+                "MOVIE",
+                vec![Value::from(12), Value::from("Sleeper"), Value::from(1)],
+            )
+            .unwrap();
+        db.update(
+            movie,
+            tid,
+            vec![
+                Value::from(12),
+                Value::from("Sleeper (1973)"),
+                Value::from(1),
+            ],
+        )
+        .unwrap();
+        wal.flush().unwrap();
+        let rec = recover(&dir).unwrap().unwrap();
+        assert_eq!(io::dump_to_string(&rec.db), io::dump_to_string(&db));
+        assert_eq!(rec.report.snapshot_lsn, Some(8));
+        assert_eq!(rec.report.replayed, 2);
+        assert_eq!(rec.report.skipped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_wal_records_are_skipped_not_double_applied() {
+        // Simulate a crash between snapshot install and WAL rotation: the
+        // snapshot covers everything but the old log is still on disk.
+        let dir = scratch_dir("rec-stale");
+        let (mut db, wal) = live_db(&dir);
+        populate(&mut db);
+        wal.flush().unwrap();
+        write_snapshot(&db, wal.next_lsn(), dir.join(SNAPSHOT_FILE)).unwrap();
+        let rec = recover(&dir).unwrap().unwrap();
+        assert_eq!(io::dump_to_string(&rec.db), io::dump_to_string(&db));
+        assert_eq!(rec.report.replayed, 0);
+        assert_eq!(rec.report.skipped, 8);
+        assert_eq!(rec.report.next_lsn, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recovery_is_idempotent() {
+        let dir = scratch_dir("rec-torn");
+        let (mut db, wal) = live_db(&dir);
+        populate(&mut db);
+        wal.flush().unwrap();
+        let wal_path = dir.join(WAL_FILE);
+        let full = std::fs::read(&wal_path).unwrap();
+        for cut in [full.len() - 1, full.len() - 7, full.len() / 2] {
+            std::fs::write(&wal_path, &full[..cut]).unwrap();
+            let first = recover(&dir).unwrap().unwrap();
+            assert!(first.report.truncated.is_some(), "cut at {cut}");
+            // The file was physically truncated: a second crash-and-recover
+            // sees a clean log and lands on the identical database.
+            let second = recover(&dir).unwrap().unwrap();
+            assert!(second.report.truncated.is_none());
+            assert_eq!(
+                io::dump_to_string(&first.db),
+                io::dump_to_string(&second.db)
+            );
+            assert_eq!(first.report.next_lsn, second.report.next_lsn);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn insert_tid_mismatch_cuts_the_log() {
+        let dir = scratch_dir("rec-tidmismatch");
+        let empty = Database::new(sample_schema()).unwrap();
+        let mut wal = Wal::create(dir.join(WAL_FILE), FsyncPolicy::Never, 0).unwrap();
+        wal.append_schema_install(&io::dump_to_string(&empty))
+            .unwrap();
+        wal.append_op(WalOp::Insert {
+            relation: "DIRECTOR".into(),
+            // A fresh DIRECTOR table hands out tid 0; the log claiming 5
+            // means snapshot and log disagree.
+            tid: precis_storage::TupleId(5),
+            values: vec![Value::from(1), Value::from("X"), Value::Null],
+        })
+        .unwrap();
+        drop(wal);
+        let rec = recover(&dir).unwrap().unwrap();
+        assert!(rec.report.truncated.unwrap().contains("tid"));
+        assert_eq!(rec.db.total_tuples(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutation_before_schema_is_refused() {
+        let dir = scratch_dir("rec-noschema");
+        let mut wal = Wal::create(dir.join(WAL_FILE), FsyncPolicy::Never, 0).unwrap();
+        wal.append_op(WalOp::Delete {
+            relation: "MOVIE".into(),
+            tid: precis_storage::TupleId(0),
+        })
+        .unwrap();
+        drop(wal);
+        assert!(recover(&dir).unwrap().is_none());
+        // The unusable record was truncated away.
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_store_reopens_and_keeps_accepting_writes() {
+        let dir = scratch_dir("rec-reopen");
+        let (mut db, wal) = live_db(&dir);
+        populate(&mut db);
+        wal.flush().unwrap();
+        drop((db, wal));
+        // "Restart": recover, reopen the wal at the reported LSN, write more.
+        let store = DurableStore::open(&dir).unwrap();
+        let rec = store.recover().unwrap().unwrap();
+        let wal = store
+            .open_wal(FsyncPolicy::Always, rec.report.next_lsn)
+            .unwrap();
+        let shared = SharedWal::new(wal);
+        let mut db = rec.db;
+        db.set_wal_sink(Arc::new(shared.clone()));
+        db.insert(
+            "DIRECTOR",
+            vec![Value::from(3), Value::from("Lee"), Value::from(9.0)],
+        )
+        .unwrap();
+        drop((db, shared));
+        let again = recover(&dir).unwrap().unwrap();
+        assert_eq!(again.report.truncated, None);
+        let director = again.db.schema().relation_id("DIRECTOR").unwrap();
+        assert_eq!(again.db.len(director), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_beats_schema_install_when_both_present() {
+        // After a checkpoint the rotated log is empty, but if a crash left
+        // stale pre-checkpoint records (including the schema install), the
+        // LSN floor must skip them all instead of re-installing the schema.
+        let dir = scratch_dir("rec-snapwins");
+        let (mut db, wal) = live_db(&dir);
+        populate(&mut db);
+        write_snapshot(&db, wal.next_lsn(), dir.join(SNAPSHOT_FILE)).unwrap();
+        let rec = recover(&dir).unwrap().unwrap();
+        assert_eq!(rec.report.skipped, 8);
+        assert_eq!(io::dump_to_string(&rec.db), io::dump_to_string(&db));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

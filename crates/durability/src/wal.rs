@@ -1,0 +1,422 @@
+//! The append-only write-ahead log: group commit, fsync policies, and the
+//! lenient scanner recovery uses to read a possibly-torn log back.
+
+use crate::record::{decode_frame, encode_frame, WalEntry};
+use precis_storage::{failpoint, Result, StorageError, WalOp, WalSink};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// When appended records reach the disk platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync: records reach the OS page cache only. Survives process
+    /// crashes (`kill -9`), not power loss.
+    Never,
+    /// Group commit: fsync once every `n` appended records and on every
+    /// explicit [`Wal::flush`].
+    Batch(usize),
+    /// Fsync after every append. Slowest, zero acknowledged-write loss.
+    Always,
+}
+
+/// Monotone counters the server exports as `precis_wal_*` metrics.
+#[derive(Debug, Default)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub appended: AtomicU64,
+    /// fsync calls issued since open.
+    pub fsyncs: AtomicU64,
+}
+
+/// The append side of the log. One writer at a time; share behind
+/// [`SharedWal`] for sink use.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    next_lsn: u64,
+    /// Appends since the last fsync (drives [`FsyncPolicy::Batch`]).
+    unsynced: usize,
+    stats: Arc<WalStats>,
+}
+
+impl Wal {
+    /// Create a fresh, empty log at `path`, truncating any existing file.
+    /// The first record will carry LSN `next_lsn`.
+    pub fn create(path: impl AsRef<Path>, policy: FsyncPolicy, next_lsn: u64) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        Ok(Wal {
+            file,
+            path,
+            policy,
+            next_lsn,
+            unsynced: 0,
+            stats: Arc::new(WalStats::default()),
+        })
+    }
+
+    /// Open an existing log for appending. `next_lsn` comes from recovery
+    /// (one past the last valid record); recovery has already truncated any
+    /// torn tail, so appending extends a clean prefix.
+    pub fn open_for_append(
+        path: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        next_lsn: u64,
+    ) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        Ok(Wal {
+            file,
+            path,
+            policy,
+            next_lsn,
+            unsynced: 0,
+            stats: Arc::new(WalStats::default()),
+        })
+    }
+
+    /// The LSN the next appended record will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    pub fn stats(&self) -> Arc<WalStats> {
+        Arc::clone(&self.stats)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one entry; returns its LSN. Fsyncs per the policy — callers
+    /// that acknowledge writes must still call [`Wal::flush`] before
+    /// acknowledging (the group-commit barrier).
+    pub fn append(&mut self, entry: &WalEntry) -> Result<u64> {
+        let _span = precis_obs::span("wal.append");
+        failpoint::check("wal_append")?;
+        let lsn = self.next_lsn;
+        let frame = encode_frame(lsn, entry);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.next_lsn += 1;
+        self.unsynced += 1;
+        self.stats.appended.fetch_add(1, Ordering::Relaxed);
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Append a storage mutation.
+    pub fn append_op(&mut self, op: WalOp) -> Result<u64> {
+        self.append(&WalEntry::Op(op))
+    }
+
+    /// Append a schema-install record (the bootstrap entry of a log with no
+    /// snapshot underneath).
+    pub fn append_schema_install(&mut self, schema_text: &str) -> Result<u64> {
+        self.append(&WalEntry::SchemaInstall {
+            schema_text: schema_text.to_owned(),
+        })
+    }
+
+    /// Group-commit barrier: push buffered records to disk now (no-op under
+    /// [`FsyncPolicy::Never`] beyond the OS write already issued).
+    pub fn flush(&mut self) -> Result<()> {
+        if self.unsynced == 0 || self.policy == FsyncPolicy::Never {
+            return Ok(());
+        }
+        self.sync()
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        let _span = precis_obs::span("wal.fsync");
+        failpoint::check("wal_fsync")?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        self.unsynced = 0;
+        self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rotate after a checkpoint: the snapshot now covers every record, so
+    /// the log restarts empty. LSNs keep counting — recovery uses the
+    /// snapshot's LSN to skip anything older, which also makes a crash
+    /// between snapshot install and rotation harmless.
+    pub fn rotate(&mut self) -> Result<()> {
+        use std::io::Seek as _;
+        self.file.set_len(0).map_err(|e| io_err(&self.path, e))?;
+        // Rewind: set_len does not move the write cursor, and leaving it
+        // past EOF would zero-fill a gap before the next frame.
+        self.file
+            .seek(std::io::SeekFrom::Start(0))
+            .map_err(|e| io_err(&self.path, e))?;
+        self.sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("wal {}: {e}", path.display()))
+}
+
+/// A [`Wal`] shareable across engine clones: implements the storage
+/// [`WalSink`] trait so a `Database` reports every mutation here.
+#[derive(Debug, Clone)]
+pub struct SharedWal(Arc<Mutex<Wal>>);
+
+impl SharedWal {
+    pub fn new(wal: Wal) -> Self {
+        SharedWal(Arc::new(Mutex::new(wal)))
+    }
+
+    /// Run `f` with the locked writer (append batches, flush, checkpoint).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
+        let mut wal = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut wal)
+    }
+
+    /// Group-commit barrier; see [`Wal::flush`].
+    pub fn flush(&self) -> Result<()> {
+        self.with(|w| w.flush())
+    }
+
+    pub fn stats(&self) -> Arc<WalStats> {
+        self.with(|w| w.stats())
+    }
+
+    pub fn next_lsn(&self) -> u64 {
+        self.with(|w| w.next_lsn())
+    }
+}
+
+impl WalSink for SharedWal {
+    fn record(&self, op: WalOp) -> Result<()> {
+        self.with(|w| w.append_op(op)).map(|_lsn| ())
+    }
+}
+
+/// Result of scanning a log file leniently.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every valid record in order: `(lsn, entry)`.
+    pub entries: Vec<(u64, WalEntry)>,
+    /// Byte length of the valid prefix.
+    pub valid_bytes: u64,
+    /// Why the tail was cut, if it was (`None` = the whole file is valid).
+    pub truncated: Option<String>,
+}
+
+/// Read every valid record from `path`, stopping (not failing) at the first
+/// torn or corrupt frame. A missing file is an empty log. `Err` is reserved
+/// for the file being unreadable at all.
+pub fn scan_wal(path: impl AsRef<Path>) -> Result<WalScan> {
+    let _span = precis_obs::span("wal.replay");
+    let path = path.as_ref();
+    let buf = match std::fs::read(path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                entries: Vec::new(),
+                valid_bytes: 0,
+                truncated: None,
+            })
+        }
+        Err(e) => return Err(io_err(path, e)),
+    };
+    let mut entries = Vec::new();
+    let mut offset = 0usize;
+    let mut truncated = None;
+    loop {
+        match read_one(&buf, offset) {
+            Ok(Some((consumed, lsn, entry))) => {
+                entries.push((lsn, entry));
+                offset += consumed;
+            }
+            Ok(None) => break,
+            Err(e) => {
+                truncated = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    Ok(WalScan {
+        entries,
+        valid_bytes: offset as u64,
+        truncated,
+    })
+}
+
+/// Strict single-frame read used by [`scan_wal`] and the fault harness:
+/// propagates torn/corrupt frames (and injected `wal_replay` faults) as
+/// errors instead of truncating.
+pub fn read_one(
+    buf: &[u8],
+    offset: usize,
+) -> std::result::Result<Option<(usize, u64, WalEntry)>, StorageError> {
+    failpoint::check("wal_replay")?;
+    decode_frame(buf, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_dir;
+    use precis_storage::{TupleId, Value};
+
+    fn op(i: u64) -> WalOp {
+        WalOp::Insert {
+            relation: "R".into(),
+            tid: TupleId(i),
+            values: vec![Value::from(i as i64), Value::from(format!("row {i}"))],
+        }
+    }
+
+    #[test]
+    fn append_then_scan_round_trips() {
+        let dir = scratch_dir("wal-roundtrip");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Always, 1).unwrap();
+        wal.append_schema_install("precisdb 1\nschema s\n").unwrap();
+        for i in 0..10 {
+            wal.append_op(op(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        assert_eq!(wal.next_lsn(), 12);
+        drop(wal);
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.truncated.is_none());
+        assert_eq!(scan.entries.len(), 11);
+        assert_eq!(scan.entries[0].0, 1);
+        assert!(matches!(scan.entries[0].1, WalEntry::SchemaInstall { .. }));
+        assert_eq!(scan.entries[10].0, 11);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tails_truncate_at_every_cut_point() {
+        let dir = scratch_dir("wal-torn");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, 0).unwrap();
+        for i in 0..5 {
+            wal.append_op(op(i)).unwrap();
+        }
+        drop(wal);
+        let full = std::fs::read(&path).unwrap();
+        let whole = scan_wal(&path).unwrap();
+        assert_eq!(whole.entries.len(), 5);
+        let cut_path = dir.join("cut.log");
+        for end in 0..full.len() {
+            std::fs::write(&cut_path, &full[..end]).unwrap();
+            let scan = scan_wal(&cut_path).unwrap();
+            assert!(scan.entries.len() <= 5);
+            assert!(scan.valid_bytes <= end as u64);
+            if end < full.len() && scan.entries.len() < 5 {
+                // Anything but the exact full file loses only whole frames
+                // off the tail, never earlier records.
+                for (i, (lsn, _)) in scan.entries.iter().enumerate() {
+                    assert_eq!(*lsn, i as u64);
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_middle_record_cuts_the_rest() {
+        let dir = scratch_dir("wal-corrupt");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, 0).unwrap();
+        for i in 0..5 {
+            wal.append_op(op(i)).unwrap();
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let frame_len = bytes.len() / 5;
+        // Flip a payload byte inside the third record.
+        bytes[2 * frame_len + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.entries.len(), 2);
+        assert!(scan.truncated.unwrap().contains("checksum"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policies_schedule_syncs() {
+        let dir = scratch_dir("wal-fsync");
+        let append_n = |policy, n: u64| {
+            let mut wal = Wal::create(dir.join("w.log"), policy, 0).unwrap();
+            for i in 0..n {
+                wal.append_op(op(i)).unwrap();
+            }
+            let stats = wal.stats();
+            (
+                stats.appended.load(Ordering::Relaxed),
+                stats.fsyncs.load(Ordering::Relaxed),
+            )
+        };
+        assert_eq!(append_n(FsyncPolicy::Always, 6), (6, 6));
+        assert_eq!(append_n(FsyncPolicy::Batch(4), 6), (6, 1));
+        assert_eq!(append_n(FsyncPolicy::Never, 6), (6, 0));
+        // An explicit flush syncs pending batch records exactly once.
+        let mut wal = Wal::create(dir.join("w.log"), FsyncPolicy::Batch(100), 0).unwrap();
+        wal.append_op(op(0)).unwrap();
+        wal.flush().unwrap();
+        wal.flush().unwrap(); // nothing pending: no extra fsync
+        assert_eq!(wal.stats().fsyncs.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotate_empties_the_log_but_keeps_lsns_monotone() {
+        let dir = scratch_dir("wal-rotate");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, 0).unwrap();
+        for i in 0..3 {
+            wal.append_op(op(i)).unwrap();
+        }
+        wal.rotate().unwrap();
+        assert_eq!(wal.next_lsn(), 3);
+        wal.append_op(op(99)).unwrap();
+        drop(wal);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.entries.len(), 1);
+        assert_eq!(scan.entries[0].0, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_wal_is_a_wal_sink() {
+        let dir = scratch_dir("wal-sink");
+        let wal = Wal::create(dir.join("wal.log"), FsyncPolicy::Never, 0).unwrap();
+        let shared = SharedWal::new(wal);
+        let sink: &dyn WalSink = &shared;
+        sink.record(op(0)).unwrap();
+        sink.record(op(1)).unwrap();
+        shared.flush().unwrap();
+        assert_eq!(shared.next_lsn(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

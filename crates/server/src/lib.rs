@@ -13,6 +13,8 @@
 //! |--------|---------------|------------------------------------------------|
 //! | POST   | `/query`      | Answer a précis query (JSON in, JSON out; set  |
 //! |        |               | `"profile": true` for per-phase timings)       |
+//! | POST   | `/mutate`     | Apply a batch of insert/update/delete ops      |
+//! |        |               | (loopback only; WAL-durable with `--data-dir`) |
 //! | GET    | `/healthz`    | Liveness probe                                 |
 //! | GET    | `/metrics`    | Prometheus text exposition                     |
 //! | GET    | `/debug/slow` | The N slowest query profiles (loopback only)   |
@@ -27,6 +29,7 @@ pub mod api;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod mutate;
 pub mod queue;
 mod server;
 pub mod slowlog;
@@ -36,5 +39,6 @@ pub use api::{
     QueryRequest,
 };
 pub use metrics::Metrics;
+pub use mutate::{parse_mutate_request, Durability, MutateOp};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use slowlog::SlowLog;

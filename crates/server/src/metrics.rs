@@ -39,7 +39,7 @@ const STATUS_LABELS: [&str; STATUSES.len() + 1] = [
 ];
 
 /// Endpoints tracked individually; anything else lands in `other`.
-const ENDPOINTS: [&str; 4] = ["query", "healthz", "metrics", "other"];
+const ENDPOINTS: [&str; 5] = ["query", "mutate", "healthz", "metrics", "other"];
 
 /// One cumulative latency histogram.
 #[derive(Debug, Default)]

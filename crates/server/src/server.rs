@@ -12,6 +12,7 @@
 use crate::api;
 use crate::http::{self, ParseError, Request, Response};
 use crate::metrics::Metrics;
+use crate::mutate::{self, Durability};
 use crate::queue::{BoundedQueue, PushError};
 use crate::slowlog::SlowLog;
 use precis_core::{CoreError, PrecisEngine, SnapshotCell};
@@ -21,7 +22,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -73,6 +74,13 @@ struct Shared {
     /// the generation-stamped caches inside the engine — stay consistent
     /// even if a swap lands mid-query.
     engine: SnapshotCell<PrecisEngine>,
+    /// Serializes the copy-on-write mutation path (`POST /mutate` and
+    /// checkpoints). Readers never touch it — they load snapshots.
+    write_lock: Mutex<()>,
+    /// WAL + snapshot state when serving with `--data-dir`; `None` for a
+    /// purely in-memory server (mutations still work, they just don't
+    /// survive a restart).
+    durability: Option<Durability>,
     vocabulary: Option<Vocabulary>,
     metrics: Arc<Metrics>,
     /// Admitted connections, stamped with their admission instant so the
@@ -104,9 +112,23 @@ impl Server {
         vocabulary: Option<Vocabulary>,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        Server::start_durable(engine, vocabulary, config, None)
+    }
+
+    /// [`Server::start`] with durable-serving state attached: `POST /mutate`
+    /// appends to the WAL before acknowledging and auto-checkpoints at the
+    /// configured record threshold.
+    pub fn start_durable(
+        engine: Arc<PrecisEngine>,
+        vocabulary: Option<Vocabulary>,
+        config: ServerConfig,
+        durability: Option<Durability>,
+    ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let shared = Arc::new(Shared {
             engine: SnapshotCell::new(engine),
+            write_lock: Mutex::new(()),
+            durability,
             vocabulary,
             metrics: Arc::new(Metrics::default()),
             queue: BoundedQueue::new(config.queue_capacity),
@@ -307,10 +329,21 @@ fn route(
             handle_query(shared, &request.body, queue_wait),
             false,
         ),
+        // Mutations are unauthenticated, like /shutdown: only loopback
+        // peers may change the data a public bind is serving.
+        ("POST", "/mutate") if !peer_is_loopback => (
+            "mutate",
+            Response::error(403, "mutations are only honored from loopback"),
+            false,
+        ),
+        ("POST", "/mutate") => ("mutate", handle_mutate(shared, &request.body), false),
         ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n"), false),
         ("GET", "/metrics") => {
             let cache = shared.engine.load().cache_stats();
-            let body = shared.metrics.render_prometheus(&cache);
+            let mut body = shared.metrics.render_prometheus(&cache);
+            if let Some(d) = &shared.durability {
+                render_wal_metrics(&mut body, d);
+            }
             ("metrics", Response::text(200, body), false)
         }
         // The slow-query log exposes query text, so like /shutdown it is
@@ -338,11 +371,98 @@ fn route(
             Response::json(200, "{\"shutting_down\": true}\n".to_owned()),
             true,
         ),
-        (_, "/query" | "/healthz" | "/metrics" | "/shutdown" | "/debug/slow") => {
+        (_, "/query" | "/mutate" | "/healthz" | "/metrics" | "/shutdown" | "/debug/slow") => {
             ("other", Response::error(405, "method not allowed"), false)
         }
         _ => ("other", Response::error(404, "no such endpoint"), false),
     }
+}
+
+/// Apply a `/mutate` batch copy-on-write under the write lock: clone the
+/// current engine, apply ops in order (each one streaming into the WAL via
+/// the database's sink), force the group-commit fsync, publish the new
+/// engine, and auto-checkpoint when the record threshold is crossed.
+fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "body must be UTF-8");
+    };
+    let ops = match mutate::parse_mutate_request(text) {
+        Ok(ops) => ops,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let _guard = shared.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+    let base = shared.engine.load();
+    let applied = mutate::apply_ops(&base, &ops);
+    // ACK-after-fsync: the group-commit barrier runs before anything is
+    // published or acknowledged. If the disk refuses the sync, nothing is
+    // published — the batch never happened as far as readers and the
+    // durability contract are concerned (its unacknowledged WAL records
+    // may or may not survive, which the contract allows).
+    let mut wal_lsn = None;
+    if let Some(d) = &shared.durability {
+        if let Err(e) = d.wal.flush() {
+            return Response::error(503, &format!("write-ahead log sync failed: {e}"));
+        }
+        wal_lsn = Some(d.wal.next_lsn().saturating_sub(1));
+        d.since_checkpoint
+            .fetch_add(applied.applied as u64, Ordering::Relaxed);
+    }
+    let mut engine = Arc::new(applied.engine);
+    shared.engine.store(engine.clone());
+
+    let mut checkpointed = false;
+    if let Some(d) = &shared.durability {
+        if d.checkpoint_every > 0
+            && d.since_checkpoint.load(Ordering::Relaxed) >= d.checkpoint_every
+        {
+            match mutate::checkpoint_engine(d, &engine) {
+                Ok(rebuilt) => {
+                    engine = Arc::new(rebuilt);
+                    shared.engine.store(engine);
+                    checkpointed = true;
+                }
+                // A failed checkpoint is not a failed mutation: the batch
+                // is applied and fsynced, so acknowledge it and leave the
+                // longer WAL for the next checkpoint attempt.
+                Err(_) => shared.metrics.record_panic(),
+            }
+        }
+    }
+
+    let body = mutate::render_mutate_response(
+        applied.applied,
+        &applied.inserted_tids,
+        wal_lsn,
+        checkpointed,
+        applied.error.as_deref(),
+    );
+    let status = if applied.error.is_some() { 400 } else { 200 };
+    Response::json(status, body)
+}
+
+/// Append the `precis_wal_*` series to a `/metrics` exposition.
+fn render_wal_metrics(out: &mut String, d: &Durability) {
+    use std::fmt::Write as _;
+    let stats = d.wal.stats();
+    let _ = write!(
+        out,
+        "# HELP precis_wal_appended_total WAL records appended since start.\n\
+         # TYPE precis_wal_appended_total counter\n\
+         precis_wal_appended_total {}\n\
+         # HELP precis_wal_fsyncs_total WAL fsync calls since start.\n\
+         # TYPE precis_wal_fsyncs_total counter\n\
+         precis_wal_fsyncs_total {}\n\
+         # HELP precis_wal_checkpoints_total Snapshot checkpoints taken since start.\n\
+         # TYPE precis_wal_checkpoints_total counter\n\
+         precis_wal_checkpoints_total {}\n\
+         # HELP precis_wal_next_lsn The LSN the next WAL record will carry.\n\
+         # TYPE precis_wal_next_lsn gauge\n\
+         precis_wal_next_lsn {}\n",
+        stats.appended.load(Ordering::Relaxed),
+        stats.fsyncs.load(Ordering::Relaxed),
+        d.checkpoints.load(Ordering::Relaxed),
+        d.wal.next_lsn(),
+    );
 }
 
 fn handle_query(shared: &Shared, body: &[u8], queue_wait: Duration) -> Response {

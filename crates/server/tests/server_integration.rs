@@ -338,6 +338,181 @@ fn profiled_queries_feed_the_response_slow_log_and_phase_metrics() {
     handle.join();
 }
 
+fn post_mutate(addr: SocketAddr, body: &str) -> (u16, String, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /mutate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Bootstrap a durable data dir with a generated movies database and return
+/// the pieces a durable server start needs.
+fn durable_fixture(
+    dir: &std::path::Path,
+) -> (
+    Arc<PrecisEngine>,
+    precis_server::mutate::Durability,
+    precis_durability::SharedWal,
+) {
+    use precis_durability::{DurableStore, FsyncPolicy, SharedWal};
+    let store = DurableStore::open(dir).expect("data dir opens");
+    let mut db = MoviesGenerator::new(MoviesConfig {
+        movies: 50,
+        directors: 8,
+        actors: 20,
+        theatres: 2,
+        plays: 60,
+        seed: 0xD0_0D,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    // Initial checkpoint: the snapshot covers the generated data, the WAL
+    // starts empty at LSN 0.
+    precis_durability::write_snapshot(&db, 0, store.snapshot_path()).expect("bootstrap snapshot");
+    let wal = SharedWal::new(
+        store
+            .create_wal(FsyncPolicy::Batch(64), 0)
+            .expect("wal creates"),
+    );
+    db.set_wal_sink(Arc::new(wal.clone()));
+    let engine = Arc::new(PrecisEngine::new(db, movies_graph()).expect("engine builds"));
+    let durability = precis_server::mutate::Durability::new(store, wal.clone(), 0);
+    (engine, durability, wal)
+}
+
+#[test]
+fn mutations_survive_kill_and_restart_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("precis-server-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (engine, durability, _wal) = durable_fixture(&dir);
+    let handle = Server::start_durable(engine, None, ServerConfig::default(), Some(durability))
+        .expect("server starts");
+    let addr = handle.local_addr();
+
+    // Two inserts: a fresh director and a movie referencing them.
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [
+            {"op": "insert", "relation": "DIRECTOR",
+             "values": [999001, "Zzyzx Quine", "Nowhere", "1970-01-01"]},
+            {"op": "insert", "relation": "MOVIE",
+             "values": [999002, "Zzyxfilm", 1999, 999001]}
+        ]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"applied\": 2"), "{body}");
+    assert!(body.contains("\"durable_lsn\": 1"), "{body}");
+
+    // The published snapshot serves the new tuple immediately.
+    let (status, _, q) = post_query(addr, r#"{"tokens": "zzyxfilm"}"#);
+    assert_eq!(status, 200, "{q}");
+    assert!(q.contains("Zzyxfilm"), "{q}");
+
+    // A batch that fails midway keeps its applied prefix (WAL and served
+    // state must never disagree) and reports the failure.
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [
+            {"op": "update", "relation": "MOVIE", "tid": 50,
+             "values": [999002, "Zzyxfilm Redux", 2001, 999001]},
+            {"op": "delete", "relation": "MOVIE", "tid": 123456}
+        ]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"applied\": 1"), "{body}");
+    assert!(body.contains("\"error\""), "{body}");
+    let (_, _, q) = post_query(addr, r#"{"tokens": "redux"}"#);
+    assert!(q.contains("Zzyxfilm Redux"), "{q}");
+
+    // WAL metrics surface in the exposition.
+    let (_, _, metrics) = roundtrip(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(metrics.contains("precis_wal_appended_total 3"), "{metrics}");
+    assert!(
+        metrics.contains("precis_requests_total{endpoint=\"mutate\",status=\"200\"} 1"),
+        "{metrics}"
+    );
+
+    // "Kill": drop the server without any checkpoint; only the snapshot
+    // and WAL survive. Recovery must replay all three acknowledged ops.
+    let expected = {
+        let e = handle.engine();
+        api::answer_query(
+            &e,
+            None,
+            &api::parse_query_request(r#"{"tokens": "redux"}"#).unwrap(),
+            None,
+        )
+        .unwrap()
+    };
+    handle.join();
+
+    let store = precis_durability::DurableStore::open(&dir).expect("reopen");
+    let rec = store.recover().expect("recovery").expect("state exists");
+    assert_eq!(rec.report.replayed, 3, "{:?}", rec.report);
+    assert!(rec.report.truncated.is_none(), "{:?}", rec.report);
+    let engine2 = PrecisEngine::new(rec.db, movies_graph()).expect("engine rebuilds");
+    let got = api::answer_query(
+        &engine2,
+        None,
+        &api::parse_query_request(r#"{"tokens": "redux"}"#).unwrap(),
+        None,
+    )
+    .unwrap();
+    assert_eq!(got, expected, "recovered answer diverged from live answer");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_checkpoint_compacts_and_keeps_serving() {
+    let dir = std::env::temp_dir().join(format!("precis-server-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (engine, mut durability, wal) = durable_fixture(&dir);
+    durability.checkpoint_every = 1; // checkpoint after every batch
+    let handle = Server::start_durable(engine, None, ServerConfig::default(), Some(durability))
+        .expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [{"op": "insert", "relation": "DIRECTOR",
+                     "values": [999003, "Quizzical Zzyx", "Here", null]}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"checkpointed\": true"), "{body}");
+    // The rotated WAL is empty; the snapshot alone carries the state.
+    assert_eq!(
+        std::fs::metadata(dir.join(precis_durability::WAL_FILE))
+            .unwrap()
+            .len(),
+        0
+    );
+    assert!(wal.next_lsn() >= 1, "LSNs keep counting across rotation");
+
+    // Serving continues from the compacted engine, and further mutations
+    // land in the fresh log.
+    let (status, _, q) = post_query(addr, r#"{"tokens": "quizzical"}"#);
+    assert_eq!(status, 200, "{q}");
+    assert!(q.contains("Quizzical Zzyx"), "{q}");
+    handle.join();
+
+    let rec = precis_durability::recover(&dir).unwrap().unwrap();
+    let engine2 = PrecisEngine::new(rec.db, movies_graph()).unwrap();
+    let got = api::answer_query(
+        &engine2,
+        None,
+        &api::parse_query_request(r#"{"tokens": "quizzical"}"#).unwrap(),
+        None,
+    )
+    .unwrap();
+    assert!(got.contains("Quizzical Zzyx"), "{got}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn shutdown_endpoint_drains_and_joins() {
     let handle =

@@ -7,7 +7,9 @@ use crate::stats::AccessStats;
 use crate::table::{StorageLayout, Table};
 use crate::tuple::{TupleId, TupleRef};
 use crate::value::{Datum, Value};
+use crate::wal::{WalOp, WalSink};
 use crate::Result;
+use std::sync::Arc;
 
 /// Everything insert/update/delete need to know about one relation,
 /// resolved once at schema install instead of per call: the primary-key
@@ -52,6 +54,9 @@ pub struct Database {
     enforce_fk: bool,
     layout: StorageLayout,
     stats: AccessStats,
+    /// When attached, every successful mutation is described to the sink
+    /// after it applies. `None` (the default) is the pure in-memory mode.
+    wal: Option<Arc<dyn WalSink>>,
 }
 
 impl Database {
@@ -109,6 +114,56 @@ impl Database {
             enforce_fk: false,
             layout,
             stats: AccessStats::new(),
+            wal: None,
+        })
+    }
+
+    /// Attach a write-ahead-log sink: from now on every successful
+    /// insert/update/delete is reported to `sink` in application order.
+    /// Replaces any previous sink; clones of this database share the same
+    /// sink (it is reference-counted).
+    pub fn set_wal_sink(&mut self, sink: Arc<dyn WalSink>) {
+        self.wal = Some(sink);
+    }
+
+    /// Detach the write-ahead-log sink, returning to pure in-memory mode.
+    pub fn clear_wal_sink(&mut self) {
+        self.wal = None;
+    }
+
+    /// The attached write-ahead-log sink, if any.
+    pub fn wal_sink(&self) -> Option<&Arc<dyn WalSink>> {
+        self.wal.as_ref()
+    }
+
+    /// Describe a just-applied insert to the sink. The no-sink check must
+    /// stay inlined into the bulk-insert loops: pulling the whole emission
+    /// body (tuple re-materialization + `WalOp` construction) into those
+    /// loops defeats inlining and costs the pure in-memory mode a call per
+    /// tuple, so the body lives out of line behind a `#[cold]` split.
+    #[inline(always)]
+    fn emit_wal_insert(&self, rel: RelationId, tid: TupleId) -> Result<()> {
+        if self.wal.is_some() {
+            self.emit_wal_insert_sink(rel, tid)?;
+        }
+        Ok(())
+    }
+
+    /// The sink-attached half of [`Database::emit_wal_insert`]: reads the
+    /// stored tuple back so every insert path (values, datums, slices)
+    /// pays the materialization cost only when a sink is attached.
+    #[cold]
+    #[inline(never)]
+    fn emit_wal_insert_sink(&self, rel: RelationId, tid: TupleId) -> Result<()> {
+        let sink = self.wal.as_ref().expect("caller checked for a sink");
+        let values = self.tables[rel.0]
+            .get(tid)
+            .expect("tuple just inserted")
+            .values();
+        sink.record(WalOp::Insert {
+            relation: self.schema.relation(rel).name().to_owned(),
+            tid,
+            values,
         })
     }
 
@@ -190,7 +245,9 @@ impl Database {
             self.check_foreign_keys(rel, &values)?;
         }
         let datums = values.iter().map(Datum::from_value).collect();
-        self.apply_insert(rel, datums)
+        let tid = self.apply_insert(rel, datums)?;
+        self.emit_wal_insert(rel, tid)?;
+        Ok(tid)
     }
 
     /// Insert a tuple already in stored form — the allocation-light path
@@ -211,7 +268,9 @@ impl Database {
         if self.enforce_fk {
             self.check_foreign_keys_datums(rel, &datums)?;
         }
-        self.apply_insert(rel, datums)
+        let tid = self.apply_insert(rel, datums)?;
+        self.emit_wal_insert(rel, tid)?;
+        Ok(tid)
     }
 
     /// [`Database::insert_datums_into`] from a borrowed slice: bulk copy
@@ -234,6 +293,7 @@ impl Database {
         self.apply_insert_indexes(rel, datums, tid)?;
         let appended = self.tables[rel.0].append_datums_from(datums);
         debug_assert_eq!(appended, tid);
+        self.emit_wal_insert(rel, tid)?;
         Ok(tid)
     }
 
@@ -467,6 +527,13 @@ impl Database {
         self.tables[rel.0].remove(tid);
         let new_tid = self.tables[rel.0].append_datums_at(tid, new);
         debug_assert_eq!(new_tid, tid);
+        if let Some(sink) = &self.wal {
+            sink.record(WalOp::Update {
+                relation: self.schema.relation(rel).name().to_owned(),
+                tid,
+                values,
+            })?;
+        }
         Ok(())
     }
 
@@ -489,6 +556,12 @@ impl Database {
             if !d.is_null() {
                 idx.remove_datum(d, tid);
             }
+        }
+        if let Some(sink) = &self.wal {
+            sink.record(WalOp::Delete {
+                relation: self.schema.relation(rel).name().to_owned(),
+                tid,
+            })?;
         }
         Ok(())
     }
@@ -888,6 +961,39 @@ mod tests {
         // Indexes were cloned too: pk lookups work independently.
         assert_eq!(copy.lookup_pk(dir, &Value::from(2)), Some(TupleId(1)));
         assert_eq!(db.lookup_pk(dir, &Value::from(2)), None);
+    }
+
+    #[test]
+    fn mutations_emit_wal_records_in_order() {
+        use crate::wal::{MemoryWalSink, WalOp};
+        let mut db = movies_db();
+        let sink = MemoryWalSink::new();
+        db.set_wal_sink(sink.clone());
+        let t = db
+            .insert("DIRECTOR", vec![Value::from(1), Value::from("A")])
+            .unwrap();
+        let dir = db.schema().relation_id("DIRECTOR").unwrap();
+        db.update(dir, t, vec![Value::from(1), Value::from("A2")])
+            .unwrap();
+        db.delete(dir, t).unwrap();
+        // A failed mutation emits nothing.
+        assert!(db.delete(dir, t).is_err());
+        let recs = sink.records();
+        assert_eq!(recs.len(), 3);
+        assert!(matches!(&recs[0], WalOp::Insert { relation, tid, values }
+                if relation == "DIRECTOR" && *tid == t && values[1] == Value::from("A")));
+        assert!(matches!(&recs[1], WalOp::Update { tid, values, .. }
+                if *tid == t && values[1] == Value::from("A2")));
+        assert!(matches!(&recs[2], WalOp::Delete { tid, .. } if *tid == t));
+        // Clones share the sink; detaching stops emission.
+        let mut copy = db.clone();
+        copy.insert("DIRECTOR", vec![Value::from(9), Value::from("C")])
+            .unwrap();
+        assert_eq!(sink.len(), 4);
+        copy.clear_wal_sink();
+        copy.insert("DIRECTOR", vec![Value::from(10), Value::from("D")])
+            .unwrap();
+        assert_eq!(sink.len(), 4);
     }
 
     #[test]

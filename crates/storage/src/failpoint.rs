@@ -45,6 +45,9 @@ pub const SITES: &[&str] = &[
     "dump_to_file",
     "load_from_file",
     "load_from_string",
+    "wal_append",
+    "wal_fsync",
+    "wal_replay",
 ];
 
 /// What an armed failpoint injects when it fires.

@@ -206,11 +206,35 @@ fn corrupt(msg: impl Into<String>) -> StorageError {
 
 /// Write the dump to `path`, propagating I/O failures as
 /// [`StorageError::Io`] instead of panicking.
+///
+/// The write is crash-atomic: the dump goes to a temporary sibling file,
+/// is fsynced, and is renamed over `path` in one step, so a crash mid-dump
+/// leaves either the old file or the new one — never a truncated,
+/// unloadable hybrid. The containing directory is fsynced best-effort so
+/// the rename itself survives a power cut.
 pub fn dump_to_file(db: &Database, path: impl AsRef<std::path::Path>) -> Result<()> {
     crate::failpoint::check("dump_to_file")?;
     let path = path.as_ref();
-    std::fs::write(path, dump_to_string(db))
-        .map_err(|e| StorageError::Io(format!("cannot write {}: {e}", path.display())))
+    let io_err =
+        |e: std::io::Error| StorageError::Io(format!("cannot write {}: {e}", path.display()));
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(dump_to_string(db).as_bytes()).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        // Persist the rename in the directory; best-effort because some
+        // filesystems refuse to open directories for syncing.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Load a dump from `path`. A missing or unreadable file is
@@ -483,6 +507,30 @@ mod tests {
             matches!(unwritable, Err(StorageError::Io(_))),
             "{unwritable:?}"
         );
+    }
+
+    #[test]
+    fn dump_to_file_installs_atomically() {
+        // The dump lands via temp file + rename: after a successful dump no
+        // temp sibling remains, and re-dumping over an existing file
+        // replaces it wholesale.
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("precis_io_atomic_{}.precisdb", std::process::id()));
+        let tmp = dir.join(format!(
+            "precis_io_atomic_{}.precisdb.tmp",
+            std::process::id()
+        ));
+        dump_to_file(&sample_db(), &path).unwrap();
+        assert!(!tmp.exists(), "temp file must not outlive the install");
+        // Overwrite with a smaller database; the file is fully replaced.
+        let mut small = sample_db();
+        let movie = small.schema().relation_id("MOVIE").unwrap();
+        small.delete(movie, crate::TupleId(0)).unwrap();
+        dump_to_file(&small, &path).unwrap();
+        assert!(!tmp.exists());
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(loaded.total_tuples(), small.total_tuples());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

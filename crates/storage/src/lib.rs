@@ -62,6 +62,7 @@ pub mod sym;
 mod table;
 mod tuple;
 mod value;
+pub mod wal;
 
 pub use database::Database;
 pub use error::StorageError;
@@ -74,6 +75,7 @@ pub use sym::{Sym, SymbolTable};
 pub use table::{StorageLayout, Table, TableIter};
 pub use tuple::{Tuple, TupleId, TupleRef};
 pub use value::{DataType, Datum, Value, ValueRef};
+pub use wal::{MemoryWalSink, NullWalSink, WalOp, WalSink};
 
 /// Convenience result alias used across the storage engine.
 pub type Result<T> = std::result::Result<T, StorageError>;

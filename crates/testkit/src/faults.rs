@@ -23,6 +23,7 @@
 
 use precis_core::{AnswerSpec, CancelToken, CoreError, PrecisEngine, PrecisQuery};
 use precis_datagen::{movies_graph, movies_vocabulary, woody_allen_instance};
+use precis_durability::{encode_frame, read_one, FsyncPolicy, Wal, WalEntry};
 use precis_server::{render_answer, Server, ServerConfig};
 use precis_storage::failpoint::{self, FailureKind};
 use precis_storage::{io as storage_io, Database, StorageError, Value, ValueScan};
@@ -91,6 +92,12 @@ fn storage_site_mapping(report: &mut FaultReport) {
         std::process::id()
     ));
     storage_io::dump_to_file(&db, &dump_path).expect("baseline dump");
+    let wal_path =
+        std::env::temp_dir().join(format!("precis-testkit-faults-{}.wal", std::process::id()));
+    let wal_entry = WalEntry::SchemaInstall {
+        schema_text: "precis".to_owned(),
+    };
+    let wal_frame = encode_frame(0, &wal_entry);
 
     // Each driver runs the operation that crosses one site and reports
     // whether it succeeded (used both for the injected-error assertion and
@@ -155,6 +162,26 @@ fn storage_site_mapping(report: &mut FaultReport) {
             "load_from_string",
             Box::new(|| storage_io::load_from_string(&dump).map(|_| ())),
         ),
+        (
+            "wal_append",
+            Box::new(|| {
+                let mut wal = Wal::create(&wal_path, FsyncPolicy::Never, 0)?;
+                wal.append(&wal_entry).map(|_| ())
+            }),
+        ),
+        (
+            "wal_fsync",
+            Box::new(|| {
+                // Always-fsync: the very first append crosses the sync site
+                // (the append site itself is not armed for this driver).
+                let mut wal = Wal::create(&wal_path, FsyncPolicy::Always, 0)?;
+                wal.append(&wal_entry).map(|_| ())
+            }),
+        ),
+        (
+            "wal_replay",
+            Box::new(|| read_one(&wal_frame, 0).map(|_| ())),
+        ),
     ];
 
     assert_eq!(
@@ -186,6 +213,7 @@ fn storage_site_mapping(report: &mut FaultReport) {
     }
 
     let _ = std::fs::remove_file(&dump_path);
+    let _ = std::fs::remove_file(&wal_path);
 }
 
 /// Layer 2a: faults under a full engine answer surface as

@@ -1,4 +1,4 @@
-//! The differential oracle: one case, five execution paths, one answer.
+//! The differential oracle: one case, six execution paths, one answer.
 //!
 //! For a given [`CaseSpec`] the oracle asserts:
 //!
@@ -23,6 +23,13 @@
 //!   byte-identical rendered answer and an identical canonical tuple set.
 //!   This pins the columnar-arena / interned-symbol read path to the
 //!   straightforward row representation on every generated case.
+//! * **Durability leg** — a WAL-backed twin of the dataset (every insert
+//!   streamed through `precis-durability`, plus per-case update-to-same-value
+//!   records) is crash-recovered from disk — no orderly close, just
+//!   [`precis_durability::recover`] over the live files — and must yield a
+//!   byte-identical `dump_to_string` AND a byte-identical rendered answer
+//!   versus the live engine. No record may be reported truncated: everything
+//!   was flushed before the simulated crash.
 
 use crate::gen::{CaseSpec, DatasetSpec};
 use precis_core::{
@@ -33,8 +40,10 @@ use precis_datagen::{
     chain_db_fanout, movies_graph, movies_vocabulary, woody_allen_instance, MoviesConfig,
     MoviesGenerator,
 };
+use precis_durability::{recover, DurableStore, FsyncPolicy, SharedWal};
 use precis_nlg::Vocabulary;
 use precis_server::{render_answer, Server, ServerConfig, ServerHandle};
+use precis_storage::io as storage_io;
 use precis_storage::{Database, StorageLayout, Value};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
@@ -50,6 +59,7 @@ pub enum Leg {
     Cache,
     Server,
     Layout,
+    Durability,
 }
 
 impl std::fmt::Display for Leg {
@@ -60,6 +70,7 @@ impl std::fmt::Display for Leg {
             Leg::Cache => "cache",
             Leg::Server => "server",
             Leg::Layout => "layout",
+            Leg::Durability => "durability",
         })
     }
 }
@@ -79,6 +90,12 @@ pub struct DatasetCtx {
     mut_engine: PrecisEngine,
     /// Same data behind the legacy row-store layout, for the layout leg.
     rows_engine: PrecisEngine,
+    /// WAL-backed twin for the durability leg: every insert (and each
+    /// case's update records) streams through a real on-disk log.
+    durable_engine: PrecisEngine,
+    durable_wal: SharedWal,
+    durable_dir: std::path::PathBuf,
+    graph: precis_graph::SchemaGraph,
     vocab: Option<Vocabulary>,
     server: Option<ServerHandle>,
     addr: SocketAddr,
@@ -130,9 +147,12 @@ impl DatasetCtx {
 
         let rows_db = replay_into_rows_layout(&db)?;
         let rows_engine = PrecisEngine::new(rows_db, graph.clone()).map_err(|e| e.to_string())?;
+        let (durable_db, durable_wal, durable_dir) = replay_through_wal(&db)?;
+        let durable_engine =
+            PrecisEngine::new(durable_db, graph.clone()).map_err(|e| e.to_string())?;
         let engine =
             Arc::new(PrecisEngine::new(db.clone(), graph.clone()).map_err(|e| e.to_string())?);
-        let mut_engine = PrecisEngine::new(db, graph).map_err(|e| e.to_string())?;
+        let mut_engine = PrecisEngine::new(db, graph.clone()).map_err(|e| e.to_string())?;
         let server = Server::start(
             Arc::clone(&engine),
             vocab.clone(),
@@ -153,6 +173,10 @@ impl DatasetCtx {
             engine,
             mut_engine,
             rows_engine,
+            durable_engine,
+            durable_wal,
+            durable_dir,
+            graph,
             vocab,
             server: Some(server),
             addr,
@@ -160,12 +184,14 @@ impl DatasetCtx {
         })
     }
 
-    /// Shut the loopback server down (idempotent).
+    /// Shut the loopback server down and drop the durable twin's scratch
+    /// directory (idempotent).
     pub fn shutdown(mut self) {
         if let Some(server) = self.server.take() {
             server.trigger_shutdown();
             server.join();
         }
+        let _ = std::fs::remove_dir_all(&self.durable_dir);
     }
 
     /// A valid filler row for the cache-invalidation leg: inserted then
@@ -218,6 +244,44 @@ fn replay_into_rows_layout(db: &Database) -> Result<Database, String> {
         }
     }
     Ok(rows_db)
+}
+
+/// Rebuild `db` as a WAL-backed twin on disk: a fresh scratch directory, a
+/// schema-install record, then every live tuple re-inserted with the log
+/// sink attached — so the on-disk WAL alone reproduces the dataset. Tuple
+/// ids are verified to coincide, exactly as in the rows-layout replay.
+fn replay_through_wal(db: &Database) -> Result<(Database, SharedWal, std::path::PathBuf), String> {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "precis-testkit-durable-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let store = DurableStore::open(&dir).map_err(|e| format!("durable store open: {e}"))?;
+    let mut wal = store
+        .create_wal(FsyncPolicy::Batch(64), 0)
+        .map_err(|e| format!("wal create: {e}"))?;
+    let mut durable_db =
+        Database::new(db.schema().clone()).map_err(|e| format!("durable twin schema: {e}"))?;
+    wal.append_schema_install(&storage_io::dump_to_string(&durable_db))
+        .map_err(|e| format!("schema-install record: {e}"))?;
+    let wal = SharedWal::new(wal);
+    durable_db.set_wal_sink(Arc::new(wal.clone()));
+    for (rel, _) in db.schema().relations() {
+        for (tid, t) in db.table(rel).iter() {
+            let replayed = durable_db
+                .insert_into(rel, t.values())
+                .map_err(|e| format!("durable twin insert failed: {e}"))?;
+            if replayed != tid {
+                return Err(format!(
+                    "durable twin produced {replayed:?} for original {tid:?}"
+                ));
+            }
+        }
+    }
+    wal.flush()
+        .map_err(|e| format!("durable twin flush: {e}"))?;
+    Ok((durable_db, wal, dir))
 }
 
 fn base_spec(case: &CaseSpec) -> AnswerSpec {
@@ -289,7 +353,7 @@ fn render(engine: &PrecisEngine, vocab: Option<&Vocabulary>, answer: &PrecisAnsw
     render_answer(engine, vocab, answer)
 }
 
-/// Run all five legs of one case. Empty result = the case passes.
+/// Run all six legs of one case. Empty result = the case passes.
 pub fn run_case(ctx: &mut DatasetCtx, case: &CaseSpec) -> Vec<Mismatch> {
     let mut out = Vec::new();
     strategy_leg(ctx, case, &mut out);
@@ -297,6 +361,7 @@ pub fn run_case(ctx: &mut DatasetCtx, case: &CaseSpec) -> Vec<Mismatch> {
     cache_leg(ctx, case, &mut out);
     server_leg(ctx, case, &mut out);
     layout_leg(ctx, case, &mut out);
+    durability_leg(ctx, case, &mut out);
     out
 }
 
@@ -532,6 +597,117 @@ fn layout_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
             detail: format!(
                 "columnar vs rows outcome mismatch: {:?} vs {:?}",
                 c.map(|_| "ok").map_err(|e| e.to_string()),
+                r.map(|_| "ok").map_err(|e| e.to_string())
+            ),
+        }),
+    }
+}
+
+/// The WAL round-trip must be invisible: log some update-to-same-value
+/// records, crash-recover the twin from its on-disk state (no orderly
+/// close), and demand the recovered database dumps byte-identically and
+/// answers the case byte-identically to the live twin.
+fn durability_leg(ctx: &mut DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
+    // Update the first live tuple of (up to) two relations to its own
+    // values: logically a no-op, but each one appends a real Update record
+    // and exercises the incremental index-maintenance path.
+    let rewrites: Vec<_> = {
+        let db = ctx.durable_engine.database();
+        db.schema()
+            .relations()
+            .filter_map(|(rel, _)| {
+                db.table(rel)
+                    .iter()
+                    .next()
+                    .map(|(tid, t)| (rel, tid, t.values().to_vec()))
+            })
+            .take(2)
+            .collect()
+    };
+    for (rel, tid, values) in rewrites {
+        if let Err(e) = ctx.durable_engine.update(rel, tid, values) {
+            out.push(Mismatch {
+                leg: Leg::Durability,
+                detail: format!("update-to-same-values failed: {e}"),
+            });
+            return;
+        }
+    }
+    // Group-commit barrier, then crash: nothing is closed, recovery reads
+    // whatever the live files hold.
+    if let Err(e) = ctx.durable_wal.flush() {
+        out.push(Mismatch {
+            leg: Leg::Durability,
+            detail: format!("wal flush failed: {e}"),
+        });
+        return;
+    }
+    let recovered = match recover(&ctx.durable_dir) {
+        Ok(Some(r)) => r,
+        Ok(None) => {
+            out.push(Mismatch {
+                leg: Leg::Durability,
+                detail: "recovery produced no database from a populated log".to_owned(),
+            });
+            return;
+        }
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Durability,
+                detail: format!("recovery errored: {e}"),
+            });
+            return;
+        }
+    };
+    if let Some(why) = &recovered.report.truncated {
+        out.push(Mismatch {
+            leg: Leg::Durability,
+            detail: format!("fully-flushed log reported a torn tail: {why}"),
+        });
+    }
+    let live_dump = storage_io::dump_to_string(ctx.durable_engine.database());
+    let recovered_dump = storage_io::dump_to_string(&recovered.db);
+    if live_dump != recovered_dump {
+        out.push(Mismatch {
+            leg: Leg::Durability,
+            detail: format!(
+                "recovered dump differs: {}",
+                first_diff(&live_dump, &recovered_dump)
+            ),
+        });
+        return;
+    }
+    let recovered_engine = match PrecisEngine::new(recovered.db, ctx.graph.clone()) {
+        Ok(e) => e,
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Durability,
+                detail: format!("recovered engine failed to build: {e}"),
+            });
+            return;
+        }
+    };
+    let q = query(case);
+    let spec = base_spec(case);
+    let live = ctx.durable_engine.answer(&q, &spec);
+    let replayed = recovered_engine.answer(&q, &spec);
+    match (live, replayed) {
+        (Ok(l), Ok(r)) => {
+            let vocab = ctx.vocab.as_ref();
+            let lb = render(&ctx.durable_engine, vocab, &l);
+            let rb = render(&recovered_engine, vocab, &r);
+            if lb != rb {
+                out.push(Mismatch {
+                    leg: Leg::Durability,
+                    detail: format!("rendered answers differ: {}", first_diff(&lb, &rb)),
+                });
+            }
+        }
+        (l, r) => out.push(Mismatch {
+            leg: Leg::Durability,
+            detail: format!(
+                "live vs recovered outcome mismatch: {:?} vs {:?}",
+                l.map(|_| "ok").map_err(|e| e.to_string()),
                 r.map(|_| "ok").map_err(|e| e.to_string())
             ),
         }),
