@@ -36,4 +36,4 @@ pub use record::{decode_frame, encode_frame, WalEntry, MAX_PAYLOAD};
 pub use recover::{recover, Recovered, RecoveryReport};
 pub use snapshot::{load_snapshot, write_snapshot, Snapshot};
 pub use store::{DurableStore, SNAPSHOT_FILE, WAL_FILE};
-pub use wal::{read_one, scan_wal, FsyncPolicy, SharedWal, Wal, WalScan, WalStats};
+pub use wal::{read_one, scan_wal, FsyncPolicy, SharedWal, Wal, WalMark, WalScan, WalStats};

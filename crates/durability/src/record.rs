@@ -45,16 +45,28 @@ fn corrupt(msg: impl Into<String>) -> StorageError {
     StorageError::Corrupt(msg.into())
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str, wide: bool) {
-    if wide {
-        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-    } else {
-        out.extend_from_slice(&(s.len() as u16).to_le_bytes());
-    }
-    out.extend_from_slice(s.as_bytes());
+/// An encode-time size violation: a length that does not fit its field
+/// width would otherwise be silently truncated, producing a frame that
+/// passes its CRC but decodes to wrong data (or a "trailing bytes"
+/// corruption that cuts the log on replay).
+fn oversized(what: &str, len: usize, max: usize) -> StorageError {
+    StorageError::WalFailed(format!("{what} of {len} bytes exceeds the record cap {max}"))
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+fn put_str(out: &mut Vec<u8>, s: &str, wide: bool) -> Result<(), StorageError> {
+    if wide {
+        let len = u32::try_from(s.len()).map_err(|_| oversized("text", s.len(), u32::MAX as usize))?;
+        out.extend_from_slice(&len.to_le_bytes());
+    } else {
+        let len = u16::try_from(s.len())
+            .map_err(|_| oversized("relation name", s.len(), u16::MAX as usize))?;
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) -> Result<(), StorageError> {
     match v {
         Value::Null => out.push(0),
         Value::Int(i) => {
@@ -71,13 +83,27 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
         }
         Value::Text(s) => {
             out.push(4);
-            put_str(out, s, true);
+            put_str(out, s, true)?;
         }
     }
+    Ok(())
 }
 
-/// Serialize one entry into a complete frame (header + payload).
-pub fn encode_frame(lsn: u64, entry: &WalEntry) -> Vec<u8> {
+fn put_values(out: &mut Vec<u8>, values: &[Value]) -> Result<(), StorageError> {
+    let n = u16::try_from(values.len())
+        .map_err(|_| oversized("row", values.len(), u16::MAX as usize))?;
+    out.extend_from_slice(&n.to_le_bytes());
+    for v in values {
+        put_value(out, v)?;
+    }
+    Ok(())
+}
+
+/// Serialize one entry into a complete frame (header + payload). Fails —
+/// instead of silently truncating a length field — when a relation name,
+/// value count, or text value exceeds its field width, or when the whole
+/// payload would exceed [`MAX_PAYLOAD`] (the reader rejects such frames).
+pub fn encode_frame(lsn: u64, entry: &WalEntry) -> Result<Vec<u8>, StorageError> {
     let mut payload = Vec::with_capacity(64);
     payload.extend_from_slice(&lsn.to_le_bytes());
     match entry {
@@ -87,12 +113,9 @@ pub fn encode_frame(lsn: u64, entry: &WalEntry) -> Vec<u8> {
             values,
         }) => {
             payload.push(KIND_INSERT);
-            put_str(&mut payload, relation, false);
+            put_str(&mut payload, relation, false)?;
             payload.extend_from_slice(&tid.0.to_le_bytes());
-            payload.extend_from_slice(&(values.len() as u16).to_le_bytes());
-            for v in values {
-                put_value(&mut payload, v);
-            }
+            put_values(&mut payload, values)?;
         }
         WalEntry::Op(WalOp::Update {
             relation,
@@ -100,28 +123,28 @@ pub fn encode_frame(lsn: u64, entry: &WalEntry) -> Vec<u8> {
             values,
         }) => {
             payload.push(KIND_UPDATE);
-            put_str(&mut payload, relation, false);
+            put_str(&mut payload, relation, false)?;
             payload.extend_from_slice(&tid.0.to_le_bytes());
-            payload.extend_from_slice(&(values.len() as u16).to_le_bytes());
-            for v in values {
-                put_value(&mut payload, v);
-            }
+            put_values(&mut payload, values)?;
         }
         WalEntry::Op(WalOp::Delete { relation, tid }) => {
             payload.push(KIND_DELETE);
-            put_str(&mut payload, relation, false);
+            put_str(&mut payload, relation, false)?;
             payload.extend_from_slice(&tid.0.to_le_bytes());
         }
         WalEntry::SchemaInstall { schema_text } => {
             payload.push(KIND_SCHEMA);
-            put_str(&mut payload, schema_text, true);
+            put_str(&mut payload, schema_text, true)?;
         }
+    }
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(oversized("record payload", payload.len(), MAX_PAYLOAD as usize));
     }
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
     frame.extend_from_slice(&payload);
-    frame
+    Ok(frame)
 }
 
 struct Cursor<'a> {
@@ -291,7 +314,7 @@ mod tests {
     #[test]
     fn frames_round_trip() {
         for (i, entry) in sample_entries().into_iter().enumerate() {
-            let frame = encode_frame(i as u64 + 1, &entry);
+            let frame = encode_frame(i as u64 + 1, &entry).unwrap();
             let (consumed, lsn, decoded) = decode_frame(&frame, 0).unwrap().unwrap();
             assert_eq!(consumed, frame.len());
             assert_eq!(lsn, i as u64 + 1);
@@ -303,7 +326,7 @@ mod tests {
     fn every_truncation_is_a_clean_corrupt_error() {
         let mut buf = Vec::new();
         for (i, e) in sample_entries().iter().enumerate() {
-            buf.extend_from_slice(&encode_frame(i as u64, e));
+            buf.extend_from_slice(&encode_frame(i as u64, e).unwrap());
         }
         for end in 0..buf.len() {
             // Walk frames until the cut; the error must be Corrupt, never a
@@ -324,7 +347,7 @@ mod tests {
 
     #[test]
     fn bit_flips_are_detected() {
-        let frame = encode_frame(9, &sample_entries()[1]);
+        let frame = encode_frame(9, &sample_entries()[1]).unwrap();
         for i in 8..frame.len() {
             let mut bad = frame.clone();
             bad[i] ^= 0x40;
@@ -337,7 +360,7 @@ mod tests {
 
     #[test]
     fn absurd_length_fields_are_rejected_without_allocating() {
-        let mut frame = encode_frame(1, &sample_entries()[3]);
+        let mut frame = encode_frame(1, &sample_entries()[3]).unwrap();
         frame[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_frame(&frame, 0).is_err());
     }
@@ -345,5 +368,39 @@ mod tests {
     #[test]
     fn empty_buffer_is_clean_eof() {
         assert!(decode_frame(&[], 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_lengths_error_instead_of_truncating() {
+        // A relation name wider than its u16 length field.
+        let e = encode_frame(
+            0,
+            &WalEntry::Op(WalOp::Delete {
+                relation: "R".repeat((u16::MAX as usize) + 1),
+                tid: TupleId(0),
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(&e, StorageError::WalFailed(m) if m.contains("relation name")));
+        // A row with more values than the u16 count field can carry.
+        let e = encode_frame(
+            0,
+            &WalEntry::Op(WalOp::Insert {
+                relation: "R".into(),
+                tid: TupleId(0),
+                values: vec![Value::Null; (u16::MAX as usize) + 1],
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(&e, StorageError::WalFailed(m) if m.contains("row")));
+        // A payload past MAX_PAYLOAD (one big text value).
+        let e = encode_frame(
+            0,
+            &WalEntry::SchemaInstall {
+                schema_text: "x".repeat(MAX_PAYLOAD as usize + 1),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(&e, StorageError::WalFailed(m) if m.contains("payload")));
     }
 }

@@ -31,6 +31,18 @@ pub struct WalStats {
     pub fsyncs: AtomicU64,
 }
 
+/// A point in the log a writer can roll back to: the byte length of the
+/// file and the LSN the next record would carry, taken together *before* a
+/// batch via [`Wal::mark`]. If any append or fsync in the batch fails,
+/// [`Wal::truncate_to_mark`] physically cuts the file back here — erasing
+/// half-written frames and abandoned records so they can never interleave
+/// with (or steal the LSNs/tids of) later acknowledged writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalMark {
+    next_lsn: u64,
+    bytes: u64,
+}
+
 /// The append side of the log. One writer at a time; share behind
 /// [`SharedWal`] for sink use.
 #[derive(Debug)]
@@ -39,6 +51,10 @@ pub struct Wal {
     path: PathBuf,
     policy: FsyncPolicy,
     next_lsn: u64,
+    /// Byte length of the fully-written frame prefix. A failed `write_all`
+    /// may leave extra partial bytes in the file past this point; rollback
+    /// truncates to a mark ≤ this, which erases them.
+    bytes: u64,
     /// Appends since the last fsync (drives [`FsyncPolicy::Batch`]).
     unsynced: usize,
     stats: Arc<WalStats>,
@@ -60,6 +76,7 @@ impl Wal {
             path,
             policy,
             next_lsn,
+            bytes: 0,
             unsynced: 0,
             stats: Arc::new(WalStats::default()),
         })
@@ -79,11 +96,13 @@ impl Wal {
             .append(true)
             .open(&path)
             .map_err(|e| io_err(&path, e))?;
+        let bytes = file.metadata().map_err(|e| io_err(&path, e))?.len();
         Ok(Wal {
             file,
             path,
             policy,
             next_lsn,
+            bytes,
             unsynced: 0,
             stats: Arc::new(WalStats::default()),
         })
@@ -109,11 +128,12 @@ impl Wal {
         let _span = precis_obs::span("wal.append");
         failpoint::check("wal_append")?;
         let lsn = self.next_lsn;
-        let frame = encode_frame(lsn, entry);
+        let frame = encode_frame(lsn, entry)?;
         self.file
             .write_all(&frame)
             .map_err(|e| io_err(&self.path, e))?;
         self.next_lsn += 1;
+        self.bytes += frame.len() as u64;
         self.unsynced += 1;
         self.stats.appended.fetch_add(1, Ordering::Relaxed);
         match self.policy {
@@ -159,6 +179,44 @@ impl Wal {
         Ok(())
     }
 
+    /// The current end of the log, for rolling a failed batch back. Take
+    /// one before appending a batch; see [`Wal::truncate_to_mark`].
+    pub fn mark(&self) -> WalMark {
+        WalMark {
+            next_lsn: self.next_lsn,
+            bytes: self.bytes,
+        }
+    }
+
+    /// Physically cut the log back to `mark`, durably: every frame appended
+    /// after it — including any half-written frame a failed append left —
+    /// is erased, and the next append reuses the mark's LSN at the mark's
+    /// offset. The write lock's batch-abort path uses this so abandoned
+    /// records can never coexist with later acknowledged ones claiming the
+    /// same LSNs and tuple slots (recovery would truncate at the duplicate
+    /// and lose acknowledged writes).
+    ///
+    /// If this itself fails the log's on-disk state is unknown; the caller
+    /// must stop appending (the server poisons its durability state and
+    /// refuses further mutations until restart).
+    pub fn truncate_to_mark(&mut self, mark: WalMark) -> Result<()> {
+        use std::io::Seek as _;
+        self.file
+            .set_len(mark.bytes)
+            .map_err(|e| io_err(&self.path, e))?;
+        // Rewind: set_len does not move the write cursor, and leaving it
+        // past EOF would zero-fill a gap before the next frame. (Files
+        // opened in append mode ignore the cursor; seeking is harmless.)
+        self.file
+            .seek(std::io::SeekFrom::Start(mark.bytes))
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        self.next_lsn = mark.next_lsn;
+        self.bytes = mark.bytes;
+        self.unsynced = 0;
+        Ok(())
+    }
+
     /// Rotate after a checkpoint: the snapshot now covers every record, so
     /// the log restarts empty. LSNs keep counting — recovery uses the
     /// snapshot's LSN to skip anything older, which also makes a crash
@@ -171,6 +229,7 @@ impl Wal {
         self.file
             .seek(std::io::SeekFrom::Start(0))
             .map_err(|e| io_err(&self.path, e))?;
+        self.bytes = 0;
         self.sync()?;
         self.unsynced = 0;
         Ok(())
@@ -200,6 +259,16 @@ impl SharedWal {
     /// Group-commit barrier; see [`Wal::flush`].
     pub fn flush(&self) -> Result<()> {
         self.with(|w| w.flush())
+    }
+
+    /// The current end of the log; see [`Wal::mark`].
+    pub fn mark(&self) -> WalMark {
+        self.with(|w| w.mark())
+    }
+
+    /// Roll a failed batch back; see [`Wal::truncate_to_mark`].
+    pub fn truncate_to_mark(&self, mark: WalMark) -> Result<()> {
+        self.with(|w| w.truncate_to_mark(mark))
     }
 
     pub fn stats(&self) -> Arc<WalStats> {
@@ -404,6 +473,85 @@ mod tests {
         let scan = scan_wal(&path).unwrap();
         assert_eq!(scan.entries.len(), 1);
         assert_eq!(scan.entries[0].0, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_to_mark_erases_a_failed_batch_and_reuses_its_lsns() {
+        let dir = scratch_dir("wal-rollback");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, 0).unwrap();
+        for i in 0..3 {
+            wal.append_op(op(i)).unwrap();
+        }
+        wal.flush().unwrap();
+        let mark = wal.mark();
+        assert_eq!(
+            mark,
+            WalMark {
+                next_lsn: 3,
+                bytes: std::fs::metadata(&path).unwrap().len(),
+            }
+        );
+        // A "failed batch": two appended records plus stray partial bytes
+        // from a torn third append land in the file past the mark.
+        wal.append_op(op(3)).unwrap();
+        wal.append_op(op(4)).unwrap();
+        use std::io::Write as _;
+        wal.file.write_all(&[0xAB; 7]).unwrap();
+        wal.truncate_to_mark(mark).unwrap();
+        assert_eq!(wal.next_lsn(), 3);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), mark.bytes);
+        // The rolled-back LSNs and slots are reclaimed by the next batch;
+        // the log scans clean with no gap and no duplicate.
+        wal.append_op(op(3)).unwrap();
+        drop(wal);
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.truncated.is_none(), "{:?}", scan.truncated);
+        assert_eq!(
+            scan.entries.iter().map(|(lsn, _)| *lsn).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopened_wal_rolls_back_across_restarts() {
+        // open_for_append must learn the file's real length, or a later
+        // rollback would truncate to the wrong offset.
+        let dir = scratch_dir("wal-reopen-mark");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, 0).unwrap();
+        wal.append_op(op(0)).unwrap();
+        drop(wal);
+        let mut wal = Wal::open_for_append(&path, FsyncPolicy::Never, 1).unwrap();
+        let mark = wal.mark();
+        assert_eq!(mark.bytes, std::fs::metadata(&path).unwrap().len());
+        wal.append_op(op(1)).unwrap();
+        wal.truncate_to_mark(mark).unwrap();
+        wal.append_op(op(1)).unwrap();
+        drop(wal);
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.truncated.is_none());
+        assert_eq!(scan.entries.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_records_are_refused_at_append_time() {
+        let dir = scratch_dir("wal-oversize");
+        let path = dir.join("wal.log");
+        let mut wal = Wal::create(&path, FsyncPolicy::Never, 0).unwrap();
+        let err = wal
+            .append_op(WalOp::Delete {
+                relation: "R".repeat((u16::MAX as usize) + 1),
+                tid: TupleId(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::WalFailed(_)), "{err:?}");
+        // Nothing reached the file and the LSN did not advance.
+        assert_eq!(wal.next_lsn(), 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

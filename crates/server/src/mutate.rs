@@ -3,17 +3,24 @@
 //! durable), and published atomically via the engine snapshot cell.
 //!
 //! Batches are ordered streams, not transactions: ops apply in order and
-//! the first failure stops the batch. Everything applied up to that point
-//! is kept, logged, and published — so the served state and the WAL never
-//! disagree — and the response reports how far the batch got.
+//! the first failure stops the batch. On an ordinary *validation* failure
+//! (unknown relation, bad arity, missing tuple, …) everything applied up
+//! to that point is kept, logged, and published — so the served state and
+//! the WAL never disagree — and the response reports how far the batch
+//! got. A *WAL* failure (append or group-commit fsync refused) instead
+//! aborts the whole batch: the cloned engine is discarded unpublished and
+//! the log is physically rolled back to its pre-batch mark, because a
+//! published mutation the log lacks — or abandoned log records whose LSNs
+//! and tuple slots a later batch would reclaim — makes recovery truncate
+//! away acknowledged writes.
 
 use crate::json::{self, Json};
-use precis_core::PrecisEngine;
+use precis_core::{CoreError, PrecisEngine};
 use precis_durability::{DurableStore, SharedWal};
 use precis_index::InvertedIndex;
-use precis_storage::{DataType, RelationId, TupleId, Value, WalSink};
+use precis_storage::{DataType, RelationId, StorageError, TupleId, Value, WalSink};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Durable-serving state attached to a server: where snapshots and the WAL
@@ -29,6 +36,15 @@ pub struct Durability {
     pub since_checkpoint: AtomicU64,
     /// Checkpoints taken by this server (exported as a metric).
     pub checkpoints: AtomicU64,
+    /// Auto-checkpoints that failed (exported as a metric). A failed
+    /// checkpoint is not a failed mutation — the batch stays acknowledged
+    /// and the longer WAL waits for the next attempt.
+    pub checkpoint_failures: AtomicU64,
+    /// Set when a failed batch could not be rolled back off the WAL: the
+    /// log's on-disk state no longer matches what replay would compute, so
+    /// every further mutation is refused until restart (recovery truncates
+    /// the bad tail). Queries keep serving the last published engine.
+    poisoned: AtomicBool,
 }
 
 impl Durability {
@@ -39,7 +55,18 @@ impl Durability {
             checkpoint_every,
             since_checkpoint: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
         }
+    }
+
+    /// Refuse all further mutations; see the `poisoned` field.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
     }
 }
 
@@ -159,12 +186,15 @@ fn coerce_row(
 }
 
 /// Result of applying a batch: how far it got, the tids inserts landed on,
-/// and the first error if the batch stopped early.
+/// and the first error if the batch stopped early. `wal_failed` marks the
+/// error as a WAL-sink failure — the stopping op applied in memory but was
+/// *not* logged, so `engine` must be discarded, never published.
 pub struct Applied {
     pub engine: PrecisEngine,
     pub applied: usize,
     pub inserted_tids: Vec<u64>,
     pub error: Option<String>,
+    pub wal_failed: bool,
 }
 
 /// Apply `ops` in order to a deep copy of `base`, stopping at the first
@@ -175,12 +205,14 @@ pub fn apply_ops(base: &PrecisEngine, ops: &[MutateOp]) -> Applied {
     let mut inserted_tids = Vec::new();
     let mut applied = 0usize;
     let mut error = None;
+    let mut wal_failed = false;
     for (i, op) in ops.iter().enumerate() {
         let result = apply_one(&mut engine, op, &mut inserted_tids);
         match result {
             Ok(()) => applied += 1,
             Err(e) => {
-                error = Some(format!("ops[{i}]: {e}"));
+                wal_failed = e.is_wal_failure;
+                error = Some(format!("ops[{i}]: {}", e.message));
                 break;
             }
         }
@@ -190,6 +222,32 @@ pub fn apply_ops(base: &PrecisEngine, ops: &[MutateOp]) -> Applied {
         applied,
         inserted_tids,
         error,
+        wal_failed,
+    }
+}
+
+/// An apply-time failure: its message plus whether it was the WAL sink
+/// refusing the record (as opposed to the op failing validation).
+struct ApplyError {
+    message: String,
+    is_wal_failure: bool,
+}
+
+impl From<String> for ApplyError {
+    fn from(message: String) -> Self {
+        ApplyError {
+            message,
+            is_wal_failure: false,
+        }
+    }
+}
+
+impl From<CoreError> for ApplyError {
+    fn from(e: CoreError) -> Self {
+        ApplyError {
+            is_wal_failure: matches!(&e, CoreError::Storage(StorageError::WalFailed(_))),
+            message: e.to_string(),
+        }
     }
 }
 
@@ -197,12 +255,12 @@ fn apply_one(
     engine: &mut PrecisEngine,
     op: &MutateOp,
     inserted_tids: &mut Vec<u64>,
-) -> Result<(), String> {
+) -> Result<(), ApplyError> {
     match op {
         MutateOp::Insert { relation, values } => {
             let rel = require_relation(engine, relation)?;
             let row = coerce_row(engine, rel, values)?;
-            let tid = engine.insert(relation, row).map_err(|e| e.to_string())?;
+            let tid = engine.insert(relation, row)?;
             inserted_tids.push(tid.0);
             Ok(())
         }
@@ -213,13 +271,13 @@ fn apply_one(
         } => {
             let rel = require_relation(engine, relation)?;
             let row = coerce_row(engine, rel, values)?;
-            engine
-                .update(rel, TupleId(*tid), row)
-                .map_err(|e| e.to_string())
+            engine.update(rel, TupleId(*tid), row)?;
+            Ok(())
         }
         MutateOp::Delete { relation, tid } => {
             let rel = require_relation(engine, relation)?;
-            engine.delete(rel, TupleId(*tid)).map_err(|e| e.to_string())
+            engine.delete(rel, TupleId(*tid))?;
+            Ok(())
         }
     }
 }

@@ -382,6 +382,14 @@ fn route(
 /// current engine, apply ops in order (each one streaming into the WAL via
 /// the database's sink), force the group-commit fsync, publish the new
 /// engine, and auto-checkpoint when the record threshold is crossed.
+///
+/// Any WAL failure — an append refused mid-batch or the group-commit fsync
+/// refused — aborts the whole batch: the cloned engine is discarded
+/// unpublished and the log is physically rolled back to its pre-batch
+/// mark, so served state and log never diverge and the abandoned records'
+/// LSNs and tuple slots are reclaimed cleanly by the next batch. If even
+/// the rollback fails the durability state is poisoned and every further
+/// mutation is refused until restart.
 fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
     let Ok(text) = std::str::from_utf8(body) else {
         return Response::error(400, "body must be UTF-8");
@@ -391,17 +399,33 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
         Err(msg) => return Response::error(400, &msg),
     };
     let _guard = shared.write_lock.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(d) = &shared.durability {
+        if d.is_poisoned() {
+            return Response::error(
+                503,
+                "write-ahead log state is inconsistent; mutations are disabled until restart",
+            );
+        }
+    }
     let base = shared.engine.load();
+    // Mark the log's end before the first append so a failed batch can be
+    // rolled back whole.
+    let mark = shared.durability.as_ref().map(|d| d.wal.mark());
     let applied = mutate::apply_ops(&base, &ops);
     // ACK-after-fsync: the group-commit barrier runs before anything is
-    // published or acknowledged. If the disk refuses the sync, nothing is
-    // published — the batch never happened as far as readers and the
-    // durability contract are concerned (its unacknowledged WAL records
-    // may or may not survive, which the contract allows).
+    // published or acknowledged. If the disk refused an append or refuses
+    // the sync, nothing is published and the log is rolled back — the
+    // batch never happened as far as readers, the log, and the durability
+    // contract are concerned.
     let mut wal_lsn = None;
     if let Some(d) = &shared.durability {
+        let mark = mark.expect("mark taken whenever durability is attached");
+        if applied.wal_failed {
+            let reason = applied.error.as_deref().unwrap_or("write-ahead log error");
+            return abort_batch(d, mark, reason);
+        }
         if let Err(e) = d.wal.flush() {
-            return Response::error(503, &format!("write-ahead log sync failed: {e}"));
+            return abort_batch(d, mark, &format!("write-ahead log sync failed: {e}"));
         }
         wal_lsn = Some(d.wal.next_lsn().saturating_sub(1));
         d.since_checkpoint
@@ -424,7 +448,10 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
                 // A failed checkpoint is not a failed mutation: the batch
                 // is applied and fsynced, so acknowledge it and leave the
                 // longer WAL for the next checkpoint attempt.
-                Err(_) => shared.metrics.record_panic(),
+                Err(e) => {
+                    d.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("precis-server: auto-checkpoint failed (will retry): {e}");
+                }
             }
         }
     }
@@ -438,6 +465,27 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
     );
     let status = if applied.error.is_some() { 400 } else { 200 };
     Response::json(status, body)
+}
+
+/// Abandon a batch whose WAL writes failed: roll the log back to its
+/// pre-batch mark (leaving the published engine untouched) and report 503.
+/// A rollback failure leaves the on-disk log unknown — poison durability so
+/// no later batch can interleave with the abandoned records.
+fn abort_batch(d: &Durability, mark: precis_durability::WalMark, reason: &str) -> Response {
+    match d.wal.truncate_to_mark(mark) {
+        Ok(()) => Response::error(503, &format!("{reason}; batch rolled back")),
+        Err(e) => {
+            d.poison();
+            eprintln!(
+                "precis-server: WAL rollback failed after a failed batch; \
+                 mutations disabled until restart: {e}"
+            );
+            Response::error(
+                503,
+                &format!("{reason}; rollback failed ({e}), mutations disabled until restart"),
+            )
+        }
+    }
 }
 
 /// Append the `precis_wal_*` series to a `/metrics` exposition.
@@ -455,12 +503,16 @@ fn render_wal_metrics(out: &mut String, d: &Durability) {
          # HELP precis_wal_checkpoints_total Snapshot checkpoints taken since start.\n\
          # TYPE precis_wal_checkpoints_total counter\n\
          precis_wal_checkpoints_total {}\n\
+         # HELP precis_wal_checkpoint_failures_total Auto-checkpoint attempts that failed.\n\
+         # TYPE precis_wal_checkpoint_failures_total counter\n\
+         precis_wal_checkpoint_failures_total {}\n\
          # HELP precis_wal_next_lsn The LSN the next WAL record will carry.\n\
          # TYPE precis_wal_next_lsn gauge\n\
          precis_wal_next_lsn {}\n",
         stats.appended.load(Ordering::Relaxed),
         stats.fsyncs.load(Ordering::Relaxed),
         d.checkpoints.load(Ordering::Relaxed),
+        d.checkpoint_failures.load(Ordering::Relaxed),
         d.wal.next_lsn(),
     );
 }

@@ -338,6 +338,13 @@ fn profiled_queries_feed_the_response_slow_log_and_phase_metrics() {
     handle.join();
 }
 
+/// Durable tests serialize on the storage failpoint gate: the WAL fault
+/// tests arm process-wide failpoints, which a concurrently running
+/// mutation in another test would trip.
+fn durable_gate() -> std::sync::MutexGuard<'static, ()> {
+    precis_storage::failpoint::exclusive()
+}
+
 fn post_mutate(addr: SocketAddr, body: &str) -> (u16, String, String) {
     roundtrip(
         addr,
@@ -385,6 +392,7 @@ fn durable_fixture(
 
 #[test]
 fn mutations_survive_kill_and_restart_byte_identically() {
+    let _gate = durable_gate();
     let dir = std::env::temp_dir().join(format!("precis-server-durable-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -468,6 +476,7 @@ fn mutations_survive_kill_and_restart_byte_identically() {
 
 #[test]
 fn auto_checkpoint_compacts_and_keeps_serving() {
+    let _gate = durable_gate();
     let dir = std::env::temp_dir().join(format!("precis-server-ckpt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -510,6 +519,134 @@ fn auto_checkpoint_compacts_and_keeps_serving() {
     )
     .unwrap();
     assert!(got.contains("Quizzical Zzyx"), "{got}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_append_failure_mid_batch_rolls_back_unpublished() {
+    use precis_storage::failpoint::{self, FailureKind};
+    let _gate = durable_gate();
+    let dir = std::env::temp_dir().join(format!("precis-server-walfail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (engine, durability, _wal) = durable_fixture(&dir);
+    let handle = Server::start_durable(engine, None, ServerConfig::default(), Some(durability))
+        .expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [
+            {"op": "insert", "relation": "DIRECTOR",
+             "values": [999001, "Zzyzx Quine", "Nowhere", "1970-01-01"]},
+            {"op": "insert", "relation": "MOVIE",
+             "values": [999002, "Zzyxfilm", 1999, 999001]}
+        ]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+
+    // Fail the SECOND append of the next batch: the first op applies in
+    // memory and logs, then the sink refuses — nothing of the batch may be
+    // published or stay in the log.
+    failpoint::arm("wal_append", FailureKind::Io, 1, 1);
+    failpoint::set_process_wide(true);
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [
+            {"op": "insert", "relation": "DIRECTOR",
+             "values": [999003, "Abandoned Aborton", "Gone", null]},
+            {"op": "insert", "relation": "DIRECTOR",
+             "values": [999004, "Another Aborton", "Gone", null]}
+        ]}"#,
+    );
+    failpoint::disarm_all();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("rolled back"), "{body}");
+
+    // The aborted batch is not served (even its successfully-logged-then-
+    // rolled-back first op).
+    let (_, _, q) = post_query(addr, r#"{"tokens": "aborton"}"#);
+    assert!(!q.contains("Aborton"), "{q}");
+
+    // The next batch reclaims the rolled-back LSN and tuple slot exactly:
+    // directors 0..=7 are generated, batch 1 claimed tid 8, so this insert
+    // lands on tid 9 with LSN 2 (batch 1 wrote LSNs 0 and 1).
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [{"op": "insert", "relation": "DIRECTOR",
+                     "values": [999005, "Quizzical Zzyx", "Here", null]}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"inserted_tids\": [9]"), "{body}");
+    assert!(body.contains("\"durable_lsn\": 2"), "{body}");
+    handle.join();
+
+    // Recovery replays the whole log — no torn tail, no tid mismatch — and
+    // serves every acknowledged write, none of the aborted ones.
+    let rec = precis_durability::recover(&dir).unwrap().unwrap();
+    assert!(rec.report.truncated.is_none(), "{:?}", rec.report);
+    assert_eq!(rec.report.replayed, 3, "{:?}", rec.report);
+    let dump = precis_storage::io::dump_to_string(&rec.db);
+    assert!(dump.contains("Quizzical Zzyx"), "post-failure ack lost");
+    assert!(dump.contains("Zzyxfilm"), "pre-failure ack lost");
+    assert!(!dump.contains("Aborton"), "aborted batch resurrected");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_fsync_failure_rolls_back_and_later_acks_survive_recovery() {
+    use precis_storage::failpoint::{self, FailureKind};
+    let _gate = durable_gate();
+    let dir = std::env::temp_dir().join(format!("precis-server-fsyncfail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (engine, durability, _wal) = durable_fixture(&dir);
+    let handle = Server::start_durable(engine, None, ServerConfig::default(), Some(durability))
+        .expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [{"op": "insert", "relation": "DIRECTOR",
+                     "values": [999001, "Zzyzx Quine", "Nowhere", null]}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"durable_lsn\": 0"), "{body}");
+
+    // Refuse the group-commit fsync: the batch was appended but cannot be
+    // made durable, so it must be rolled back off the log, not abandoned
+    // in it (where its record would collide with the next batch's tid).
+    failpoint::arm("wal_fsync", FailureKind::Io, 0, 1);
+    failpoint::set_process_wide(true);
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [{"op": "insert", "relation": "DIRECTOR",
+                     "values": [999002, "Fsyncless Phantom", "Gone", null]}]}"#,
+    );
+    failpoint::disarm_all();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("rolled back"), "{body}");
+    let (_, _, q) = post_query(addr, r#"{"tokens": "phantom"}"#);
+    assert!(!q.contains("Phantom"), "{q}");
+
+    // ACK-after-fsync must hold for every later write: this batch reuses
+    // the abandoned tid 9 and LSN 1, fsyncs, and is acknowledged.
+    let (status, _, body) = post_mutate(
+        addr,
+        r#"{"ops": [{"op": "insert", "relation": "DIRECTOR",
+                     "values": [999003, "Quorate Zzyx", "Here", null]}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"inserted_tids\": [9]"), "{body}");
+    assert!(body.contains("\"durable_lsn\": 1"), "{body}");
+    handle.join();
+
+    let rec = precis_durability::recover(&dir).unwrap().unwrap();
+    assert!(rec.report.truncated.is_none(), "{:?}", rec.report);
+    assert_eq!(rec.report.replayed, 2, "{:?}", rec.report);
+    let dump = precis_storage::io::dump_to_string(&rec.db);
+    assert!(dump.contains("Quorate Zzyx"), "acknowledged write lost");
+    assert!(!dump.contains("Phantom"), "unfsynced batch resurrected");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -165,6 +165,7 @@ impl Database {
             tid,
             values,
         })
+        .map_err(StorageError::wal_failed)
     }
 
     pub fn schema(&self) -> &DatabaseSchema {
@@ -532,7 +533,8 @@ impl Database {
                 relation: self.schema.relation(rel).name().to_owned(),
                 tid,
                 values,
-            })?;
+            })
+            .map_err(StorageError::wal_failed)?;
         }
         Ok(())
     }
@@ -561,7 +563,8 @@ impl Database {
             sink.record(WalOp::Delete {
                 relation: self.schema.relation(rel).name().to_owned(),
                 tid,
-            })?;
+            })
+            .map_err(StorageError::wal_failed)?;
         }
         Ok(())
     }

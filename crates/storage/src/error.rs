@@ -45,6 +45,22 @@ pub enum StorageError {
     Corrupt(String),
     /// An I/O failure reading or writing a dump file.
     Io(String),
+    /// A mutation applied in memory but could not be recorded in the
+    /// write-ahead log. Callers that promise durability must treat the
+    /// mutation as failed and discard the in-memory state.
+    WalFailed(String),
+}
+
+impl StorageError {
+    /// Wrap an error raised by a [`crate::wal::WalSink`] so callers can
+    /// tell "the log refused the record" apart from ordinary validation
+    /// failures (which leave memory and log agreeing). Idempotent.
+    pub fn wal_failed(e: StorageError) -> StorageError {
+        match e {
+            already @ StorageError::WalFailed(_) => already,
+            other => StorageError::WalFailed(other.to_string()),
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -96,6 +112,7 @@ impl fmt::Display for StorageError {
             } => write!(f, "no index on {relation}.{attribute}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt database dump: {msg}"),
             StorageError::Io(msg) => write!(f, "dump i/o error: {msg}"),
+            StorageError::WalFailed(msg) => write!(f, "write-ahead log failure: {msg}"),
         }
     }
 }

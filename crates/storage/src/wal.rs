@@ -6,9 +6,12 @@
 //! log, and a database without a sink attached pays one `Option` check per
 //! mutation. The sink is called *after* the in-memory mutation succeeds, so
 //! a sink error means "the mutation applied in memory but was not made
-//! durable"; callers that promise durability must treat that as a failed
-//! operation and discard the in-memory state (the server's mutation path
-//! applies batches to a throwaway clone and only publishes on success).
+//! durable". Sink errors are wrapped in [`crate::StorageError::WalFailed`] so
+//! callers that promise durability can tell them apart from validation
+//! failures: they must treat the operation as failed and discard the
+//! in-memory state (the server's mutation path applies batches to a
+//! throwaway clone, rolls the log back to its pre-batch offset, and only
+//! publishes on success).
 
 use crate::tuple::TupleId;
 use crate::value::Value;

@@ -97,7 +97,7 @@ fn storage_site_mapping(report: &mut FaultReport) {
     let wal_entry = WalEntry::SchemaInstall {
         schema_text: "precis".to_owned(),
     };
-    let wal_frame = encode_frame(0, &wal_entry);
+    let wal_frame = encode_frame(0, &wal_entry).expect("test entry encodes");
 
     // Each driver runs the operation that crosses one site and reports
     // whether it succeeded (used both for the injected-error assertion and
