@@ -673,7 +673,19 @@ impl BenchReport {
         if let Some(tracing) = &self.tracing {
             let _ = writeln!(out, "  \"tracing_overhead\": {},", tracing.to_json_object());
         }
-        let _ = writeln!(out, "  \"workloads\": [");
+        let _ = writeln!(out, "  \"workloads\": {}", self.workloads_json_array());
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// The `"workloads"` array alone (pretty-printed at a 2-space base
+    /// indent, no trailing newline). Shared between the full report and the
+    /// PR 8 serving snapshot, which embeds the same array so the CI
+    /// bench-smoke gate reads `fig8_database_generator` throughput from
+    /// either file.
+    pub fn workloads_json_array(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "[");
         for (i, w) in self.workloads.iter().enumerate() {
             let _ = writeln!(out, "    {{");
             let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
@@ -705,8 +717,7 @@ impl BenchReport {
             };
             let _ = writeln!(out, "    }}{comma}");
         }
-        let _ = writeln!(out, "  ]");
-        let _ = writeln!(out, "}}");
+        out.push_str("  ]");
         out
     }
 }

@@ -6,20 +6,27 @@
 //! cargo run --release -p precis-bench --bin load_gen -- --quick out.json
 //! cargo run --release -p precis-bench --bin load_gen -- --clients 32 --workers 4
 //! cargo run --release -p precis-bench --bin load_gen -- --pr5 BENCH_PR5.json
+//! cargo run --release -p precis-bench --bin load_gen -- --pr8 BENCH_PR8.json
 //! ```
 //!
 //! `--pr5` labels the report `BENCH_PR5` and prepends the tracing-overhead
 //! measurement (armed vs disarmed medians over the PR 1 pipeline workload),
 //! so the queue-wait/service-time split and the observability cost land in
-//! one snapshot. With no path, the JSON is printed to stdout only.
+//! one snapshot. `--pr8` labels the report `BENCH_PR8`, switches the default
+//! shape to the duplicate-heavy synchronized burst that exercises the
+//! cost-aware scheduler (coalesce hit rate, shed false-positive rate,
+//! Formula-2 prediction accuracy), and appends the pipeline `workloads`
+//! array so the CI bench-smoke gate can read fig8 throughput from the same
+//! file. With no path, the JSON is printed to stdout only.
 
-use precis_bench::bench_report::{tracing_overhead, Scale};
+use precis_bench::bench_report::{run_report, tracing_overhead, Scale};
 use precis_bench::load_report::{run_load, LoadConfig};
 
 fn main() {
     let mut config = LoadConfig::default();
     let mut path: Option<String> = None;
     let mut pr5 = false;
+    let mut pr8 = false;
     let mut quick = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -39,16 +46,28 @@ fn main() {
                 quick = true;
             }
             "--pr5" => pr5 = true,
+            "--pr8" => {
+                pr8 = true;
+                // Adopt the burst shape, but let size knobs already parsed
+                // (or still to come) override it — flag order is free.
+                let base = LoadConfig::pr8();
+                config.duplicate_pct = base.duplicate_pct;
+                if !quick {
+                    config.queue_capacity = base.queue_capacity;
+                    config.clients = base.clients;
+                }
+            }
             "--movies" => config.movies = numeric(&mut i, "--movies"),
             "--workers" => config.workers = numeric(&mut i, "--workers"),
             "--queue" => config.queue_capacity = numeric(&mut i, "--queue"),
             "--clients" => config.clients = numeric(&mut i, "--clients"),
             "--requests" => config.requests_per_client = numeric(&mut i, "--requests"),
             "--deadline-ms" => config.deadline_ms = numeric(&mut i, "--deadline-ms") as u64,
+            "--duplicates" => config.duplicate_pct = numeric(&mut i, "--duplicates").min(100) as u8,
             other if other.starts_with('-') => {
                 eprintln!(
-                    "unknown flag {other:?} (expected --quick | --pr5 | --movies | --workers | \
-                     --queue | --clients | --requests | --deadline-ms)"
+                    "unknown flag {other:?} (expected --quick | --pr5 | --pr8 | --movies | \
+                     --workers | --queue | --clients | --requests | --deadline-ms | --duplicates)"
                 );
                 std::process::exit(2);
             }
@@ -56,14 +75,21 @@ fn main() {
         }
         i += 1;
     }
+    if pr5 && pr8 {
+        eprintln!("--pr5 and --pr8 are mutually exclusive");
+        std::process::exit(2);
+    }
 
+    let scale = if quick { Scale::Quick } else { Scale::Full };
     let tracing = pr5.then(|| {
         eprintln!("measuring tracing overhead...");
-        tracing_overhead(if quick { Scale::Quick } else { Scale::Full })
+        tracing_overhead(scale)
     });
     let report = run_load(config);
     let mut json = if pr5 {
         report.to_json_labeled("BENCH_PR5")
+    } else if pr8 {
+        report.to_json_labeled("BENCH_PR8")
     } else {
         report.to_json()
     };
@@ -77,6 +103,15 @@ fn main() {
             1,
         );
     }
+    if pr8 {
+        eprintln!("running pipeline workloads for the fig8 gate...");
+        let workloads = run_report(scale).workloads_json_array();
+        let stripped = json
+            .strip_suffix("}\n")
+            .and_then(|s| s.strip_suffix('\n'))
+            .expect("load report JSON shape");
+        json = format!("{stripped},\n  \"workloads\": {workloads}\n}}\n");
+    }
     print!("{json}");
     if let Some(path) = path {
         std::fs::write(&path, &json).unwrap_or_else(|e| {
@@ -86,11 +121,15 @@ fn main() {
         eprintln!("wrote {path}");
     }
     eprintln!(
-        "({} ok / {} rejected / {} deadline-exceeded in {:.1}s, {:.0} req/s)",
+        "({} ok / {} rejected / {} deadline-exceeded in {:.1}s, {:.0} req/s, \
+         {} coalesced, {} shed, p50 {:.4}s)",
         report.ok,
         report.rejected,
         report.deadline_exceeded,
         report.wall_secs,
-        report.throughput_rps
+        report.throughput_rps,
+        report.coalesced_total,
+        report.shed_total,
+        report.p50_secs
     );
 }

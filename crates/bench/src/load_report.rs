@@ -1,9 +1,10 @@
 //! Closed-loop load generation against an in-process `precis-server` over
-//! loopback: N client threads each issue a stream of `/query` requests and
-//! time every response. The summary — throughput, p50/p95/p99 latency, and
-//! the rejection rate under admission control — is committed as
-//! `BENCH_PR2.json` so successive PRs track the serving path the same way
-//! `BENCH_PR6.json` tracks the answer pipeline.
+//! loopback: N client threads each issue a stream of `/v1/query` requests
+//! and time every response. The summary — throughput, p50/p95/p99 latency,
+//! rejection rate under admission control, and the cost-aware scheduler's
+//! coalesce/shed accounting — is committed as `BENCH_PR8.json` so
+//! successive PRs track the serving path the same way `BENCH_PR7.json`
+//! tracks the answer pipeline.
 //!
 //! Regenerate with:
 //!
@@ -11,19 +12,20 @@
 //! cargo run --release -p precis-bench --bin load_gen -- BENCH_PR2.json
 //! ```
 
-use precis_core::PrecisEngine;
+use precis_core::{CostModel, PrecisEngine};
 use precis_datagen::{movies_graph, movies_vocabulary, MoviesConfig, MoviesGenerator};
 use precis_server::{Server, ServerConfig};
+use precis_storage::{Database, Value};
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// Load-run shape. The defaults model a sanely provisioned server — client
 /// concurrency below `workers + queue_capacity` — so the committed
 /// `BENCH_PR2.json` tracks real serving throughput and latency rather than
-/// a wall of 503s (an earlier default rejected 91% of requests, which made
+/// a wall of 429s (an earlier default rejected 91% of requests, which made
 /// every other number in the report meaningless). [`LoadConfig::quick`]
 /// stays deliberately overloaded so admission control is still exercised in
 /// tests.
@@ -42,6 +44,10 @@ pub struct LoadConfig {
     pub requests_per_client: usize,
     /// Server default deadline, milliseconds.
     pub deadline_ms: u64,
+    /// Percentage (0–100) of requests drawn from one hot body instead of
+    /// the rotating mix. Duplicates arriving concurrently coalesce into a
+    /// single execution, so this knob directly exercises single-flight.
+    pub duplicate_pct: u8,
 }
 
 impl Default for LoadConfig {
@@ -53,6 +59,7 @@ impl Default for LoadConfig {
             clients: 12,
             requests_per_client: 50,
             deadline_ms: 5_000,
+            duplicate_pct: 0,
         }
     }
 }
@@ -67,6 +74,22 @@ impl LoadConfig {
             clients: 8,
             requests_per_client: 20,
             deadline_ms: 5_000,
+            duplicate_pct: 50,
+        }
+    }
+
+    /// The `BENCH_PR8.json` shape: a duplicate-heavy burst (clients start
+    /// behind a barrier) against the cost-aware scheduler, so coalescing
+    /// and admission pricing carry the run rather than raw fan-out.
+    pub fn pr8() -> Self {
+        LoadConfig {
+            movies: 1_000,
+            workers: 4,
+            queue_capacity: 32,
+            clients: 16,
+            requests_per_client: 50,
+            deadline_ms: 5_000,
+            duplicate_pct: 80,
         }
     }
 }
@@ -83,7 +106,7 @@ pub struct LoadReport {
     pub other: usize,
     /// Successful (200) responses per second of wall time.
     pub throughput_rps: f64,
-    /// 503s as a fraction of all requests.
+    /// 429s (shed at admission) as a fraction of all requests.
     pub rejection_rate: f64,
     /// Latency of successful responses, seconds.
     pub p50_secs: f64,
@@ -100,6 +123,26 @@ pub struct LoadReport {
     /// queue wait excluded), from
     /// `precis_request_duration_seconds{endpoint="query"}`.
     pub service_time: HistSummary,
+    /// Responses served by joining another request's in-flight execution.
+    pub coalesced_total: u64,
+    /// `coalesced_total` over all 200s: the fraction of successful answers
+    /// that cost no execution of their own.
+    pub coalesce_hit_rate: f64,
+    /// Parsed queries shed by the cost-aware scheduler (queue-capacity or
+    /// deadline sheds; connection-stage refusals are
+    /// `server_rejected_total`).
+    pub shed_total: u64,
+    /// Sheds the scheduler's hindsight cost ratio judged unnecessary.
+    pub shed_false_positive_total: u64,
+    pub shed_false_positive_rate: f64,
+    /// Pops where cost ordering disagreed with FIFO arrival order.
+    pub reordered_total: u64,
+    /// Formula-2 accountability over the whole run, scraped from
+    /// `precis_cost_model_{predicted,measured}_seconds_total`: the ratio is
+    /// the model's aggregate accuracy (1.0 = perfectly calibrated).
+    pub predicted_seconds_total: f64,
+    pub measured_seconds_total: f64,
+    pub measured_over_predicted: f64,
 }
 
 /// Summary of one server-side histogram. Quantiles are bucket upper bounds
@@ -140,7 +183,8 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// Rotating request bodies: mixed strategies and constraints so the run
-/// exercises cached and uncached answer paths.
+/// exercises cached and uncached answer paths. `BODIES[0]` doubles as the
+/// hot body that `duplicate_pct` concentrates load onto.
 const BODIES: [&str; 4] = [
     r#"{"tokens": "comedy", "degree": {"minweight": 0.5}}"#,
     r#"{"tokens": ["drama", "thriller"], "cardinality": {"perrel": 20}}"#,
@@ -154,13 +198,13 @@ fn one_request(addr: SocketAddr, body: &str) -> Option<(u16, Duration)> {
     stream
         .write_all(
             format!(
-                "POST /query HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n{body}",
+                "POST /v1/query HTTP/1.1\r\nHost: load\r\nContent-Length: {}\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
         )
         .ok()?;
-    // Collect whatever arrives. A 503 is written by the acceptor without
+    // Collect whatever arrives. A 429 is written by the acceptor without
     // draining our request, so the close can RST the connection after the
     // response bytes — a read error past the status line still counts.
     let mut buf = Vec::new();
@@ -176,6 +220,60 @@ fn one_request(addr: SocketAddr, body: &str) -> Option<(u16, Duration)> {
     Some((status, t0.elapsed()))
 }
 
+/// Calibrate the Formula-2 micro-costs against the generated database (the
+/// first indexed, populated attribute), so the scheduler prices queries at
+/// admission during the run instead of flying blind.
+fn calibrate(db: &Database) -> Option<CostModel> {
+    for (rel, schema) in db.schema().relations() {
+        if db.len(rel) == 0 {
+            continue;
+        }
+        for attr in 0..schema.arity() {
+            if !db.has_index(rel, attr) {
+                continue;
+            }
+            let samples: Vec<Value> = db
+                .table(rel)
+                .iter()
+                .take(32)
+                .map(|(_, t)| t.values()[attr].clone())
+                .collect();
+            if let Some(model) = CostModel::calibrate(db, rel, attr, &samples, 8) {
+                return Some(model);
+            }
+        }
+    }
+    None
+}
+
+/// One raw `GET /v1/metrics` scrape; empty on any transport error.
+fn fetch_metrics(addr: SocketAddr) -> String {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return String::new();
+    };
+    if stream
+        .write_all(b"GET /v1/metrics HTTP/1.1\r\nHost: load\r\n\r\n")
+        .is_err()
+    {
+        return String::new();
+    }
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// Value of an unlabeled counter in a Prometheus exposition, 0.0 if absent.
+fn scrape_counter(exposition: &str, family: &str) -> f64 {
+    exposition
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| {
+            l.strip_prefix(family)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or(0.0)
+}
+
 /// Run the closed loop: start a server, hammer it, summarize.
 pub fn run_load(config: LoadConfig) -> LoadReport {
     let db = MoviesGenerator::new(MoviesConfig {
@@ -189,9 +287,13 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
     })
     .generate();
     let vocab = movies_vocabulary(db.schema());
-    let engine = Arc::new(PrecisEngine::new(db, movies_graph()).expect("engine builds"));
+    let cost_model = calibrate(&db);
+    let mut engine = PrecisEngine::new(db, movies_graph()).expect("engine builds");
+    if let Some(model) = cost_model {
+        engine.set_cost_model(model);
+    }
     let handle = Server::start(
-        engine,
+        Arc::new(engine),
         Some(vocab),
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
@@ -204,14 +306,27 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
     .expect("server starts");
     let addr = handle.local_addr();
 
+    // All clients start behind a barrier so the run opens with a genuine
+    // burst — the arrival pattern that makes duplicates concurrent and
+    // therefore coalescable.
+    let barrier = Arc::new(Barrier::new(config.clients));
     let t0 = Instant::now();
     let clients: Vec<_> = (0..config.clients)
         .map(|c| {
             let requests = config.requests_per_client;
+            let duplicate_pct = config.duplicate_pct as usize;
+            let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
                 let mut outcomes: Vec<(u16, Duration)> = Vec::with_capacity(requests);
+                barrier.wait();
                 for r in 0..requests {
-                    let body = BODIES[(c + r) % BODIES.len()];
+                    // Deterministic per-(client, round) coin: the hot body
+                    // for duplicate_pct% of requests, the rotation otherwise.
+                    let body = if (c * 37 + r * 11) % 100 < duplicate_pct {
+                        BODIES[0]
+                    } else {
+                        BODIES[(c + r) % BODIES.len()]
+                    };
                     if let Some(outcome) = one_request(addr, body) {
                         outcomes.push(outcome);
                     }
@@ -230,7 +345,7 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
                     ok += 1;
                     ok_latencies.push(latency.as_secs_f64());
                 }
-                503 => rejected += 1,
+                429 => rejected += 1,
                 504 => deadline_exceeded += 1,
                 _ => other += 1,
             }
@@ -238,7 +353,18 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
     }
     let wall_secs = t0.elapsed().as_secs_f64();
 
+    // Scrape the exposition before shutdown: the cost-model accountability
+    // counters live in the per-server phase aggregates, not in `Metrics`.
+    let exposition = fetch_metrics(addr);
+    let predicted_seconds_total =
+        scrape_counter(&exposition, "precis_cost_model_predicted_seconds_total");
+    let measured_seconds_total =
+        scrape_counter(&exposition, "precis_cost_model_measured_seconds_total");
+
     let metrics = handle.metrics();
+    let coalesced_total = metrics.coalesced_total();
+    let shed_total = metrics.shed_total();
+    let shed_false_positive_total = metrics.shed_false_positive_total();
     let report = LoadReport {
         requests_total: config.clients * config.requests_per_client,
         ok,
@@ -268,6 +394,23 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
         server_queue_depth_final: metrics.queue_depth(),
         queue_wait: HistSummary::from(&metrics.queue_wait),
         service_time: HistSummary::from(metrics.duration("query")),
+        coalesced_total,
+        coalesce_hit_rate: coalesced_total as f64 / ok.max(1) as f64,
+        shed_total,
+        shed_false_positive_total,
+        shed_false_positive_rate: if shed_total > 0 {
+            shed_false_positive_total as f64 / shed_total as f64
+        } else {
+            0.0
+        },
+        reordered_total: metrics.reordered_total(),
+        predicted_seconds_total,
+        measured_seconds_total,
+        measured_over_predicted: if predicted_seconds_total > 0.0 {
+            measured_seconds_total / predicted_seconds_total
+        } else {
+            0.0
+        },
         wall_secs,
         config,
     };
@@ -286,13 +429,15 @@ impl LoadReport {
         let _ = writeln!(
             out,
             "  \"config\": {{\"movies\": {}, \"workers\": {}, \"queue_capacity\": {}, \
-             \"clients\": {}, \"requests_per_client\": {}, \"deadline_ms\": {}}},",
+             \"clients\": {}, \"requests_per_client\": {}, \"deadline_ms\": {}, \
+             \"duplicate_pct\": {}}},",
             self.config.movies,
             self.config.workers,
             self.config.queue_capacity,
             self.config.clients,
             self.config.requests_per_client,
-            self.config.deadline_ms
+            self.config.deadline_ms,
+            self.config.duplicate_pct
         );
         let _ = writeln!(out, "  \"wall_secs\": {:.6},", self.wall_secs);
         let _ = writeln!(out, "  \"requests_total\": {},", self.requests_total);
@@ -329,6 +474,24 @@ impl LoadReport {
         );
         let _ = writeln!(
             out,
+            "  \"scheduler\": {{\"coalesced_total\": {}, \"coalesce_hit_rate\": {:.6}, \
+             \"shed_total\": {}, \"shed_false_positive_total\": {}, \
+             \"shed_false_positive_rate\": {:.6}, \"reordered_total\": {}}},",
+            self.coalesced_total,
+            self.coalesce_hit_rate,
+            self.shed_total,
+            self.shed_false_positive_total,
+            self.shed_false_positive_rate,
+            self.reordered_total
+        );
+        let _ = writeln!(
+            out,
+            "  \"cost_model\": {{\"predicted_seconds_total\": {:.6}, \
+             \"measured_seconds_total\": {:.6}, \"measured_over_predicted\": {:.6}}},",
+            self.predicted_seconds_total, self.measured_seconds_total, self.measured_over_predicted
+        );
+        let _ = writeln!(
+            out,
             "  \"queue_wait_secs\": {},",
             self.queue_wait.to_json_inline()
         );
@@ -357,9 +520,19 @@ mod tests {
         assert!(report.ok > 0, "some requests succeed");
         assert!(
             report.rejected > 0,
-            "8 clients against 1 worker + 1 queue slot must see 503s"
+            "8 clients against 1 worker + 1 queue slot must see 429s"
         );
-        assert_eq!(report.rejected as u64, report.server_rejected_total);
+        // Client-side 429s decompose into connection-stage refusals plus
+        // query-stage sheds — the server accounts for every one.
+        assert_eq!(
+            report.rejected as u64,
+            report.server_rejected_total + report.shed_total
+        );
+        // The run calibrates a cost model up front, so the accountability
+        // counters are live and the aggregate ratio is well-defined.
+        assert!(report.predicted_seconds_total > 0.0);
+        assert!(report.measured_over_predicted > 0.0);
+        assert!(report.coalesce_hit_rate <= 1.0);
         assert!(report.p50_secs <= report.p95_secs && report.p95_secs <= report.p99_secs);
         assert!(report.throughput_rps > 0.0);
         // Queue wait and service time are recorded separately server-side;
@@ -374,6 +547,10 @@ mod tests {
         assert!(json.contains("\"p99\""));
         assert!(json.contains("\"queue_wait_secs\""));
         assert!(json.contains("\"service_time_secs\""));
+        assert!(json.contains("\"scheduler\""));
+        assert!(json.contains("\"coalesce_hit_rate\""));
+        assert!(json.contains("\"cost_model\""));
+        assert!(json.contains("\"duplicate_pct\": 50"));
         assert!(report
             .to_json_labeled("BENCH_PR5")
             .contains("\"report\": \"BENCH_PR5\""));
@@ -402,6 +579,7 @@ mod tests {
             clients: 4,
             requests_per_client: 5,
             deadline_ms: 5_000,
+            duplicate_pct: 0,
         });
         report.rejection_rate = 0.91;
         assert!(report.to_json().contains("\"warning\""));

@@ -42,6 +42,13 @@ impl CostModel {
         s.index_probes as f64 * self.index_time + s.tuple_reads as f64 * self.tuple_time
     }
 
+    /// Formula (2) applied to a precomputed tuple-volume estimate — the
+    /// admission-time form, where the scheduler has already folded the
+    /// cardinality constraint and the result schema into one tuple count.
+    pub fn predict_volume(&self, tuples: u64) -> f64 {
+        tuples as f64 * (self.index_time + self.tuple_time)
+    }
+
     /// Formula (3): the per-relation cardinality constraint affordable
     /// within `cost_m` seconds when `n_r` relations will be populated.
     pub fn cardinality_for_budget(&self, cost_m: f64, n_r: usize) -> usize {
@@ -106,6 +113,8 @@ mod tests {
         assert!((c1 - 10.0 * 4.0 * 3e-6).abs() < 1e-12);
         assert!((m.predict(20, 4) - 2.0 * c1).abs() < 1e-12);
         assert!((m.predict(10, 8) - 2.0 * c1).abs() < 1e-12);
+        // The volume form agrees with the (c_R, n_R) form.
+        assert!((m.predict_volume(40) - c1).abs() < 1e-12);
     }
 
     #[test]

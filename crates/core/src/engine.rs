@@ -454,6 +454,85 @@ impl PrecisEngine {
         let spec = AnswerSpec::new(degree, CardinalityConstraint::MaxTuplesPerRelation(c_r));
         self.answer_with_matches(&self.graph, matches, &spec)
     }
+
+    /// Admission-time cost prediction: resolve the query's tokens and
+    /// result schema (both cache-fronted, so the work is reused by the
+    /// answer that usually follows), fold the cardinality constraint into a
+    /// retrieved-tuple volume, and price it with Formula (2). This is the
+    /// hook a cost-aware scheduler calls before committing a worker: it
+    /// costs a warm-cache token lookup plus a schema-cache probe, never a
+    /// retrieval.
+    pub fn predict_cost(
+        &self,
+        query: &PrecisQuery,
+        degree: &DegreeConstraint,
+        cardinality: &CardinalityConstraint,
+    ) -> Result<CostPrediction> {
+        if query.is_empty() {
+            return Err(CoreError::EmptyQuery);
+        }
+        let matches = self.lookup_tokens(query);
+        let (origins, seeds) = origins_and_seeds(&matches);
+        let key = AnswerCache::schema_key(&origins, degree, None);
+        let schema = match self.cache.get_schema(&key) {
+            Some(cached) => cached.as_ref().clone(),
+            None => {
+                let s = generate_result_schema(&self.graph, &origins, degree);
+                self.cache.put_schema(key, Arc::new(s.clone()));
+                s
+            }
+        };
+        let relations = schema.relation_count();
+        let seed_tuples: u64 = seeds.values().map(|t| t.len() as u64).sum();
+        let est_tuples = estimate_tuples(&self.db, &schema, cardinality);
+        Ok(CostPrediction {
+            relations,
+            seed_tuples,
+            est_tuples,
+            predicted_secs: self.cost_model.map(|m| m.predict_volume(est_tuples)),
+        })
+    }
+}
+
+/// What [`PrecisEngine::predict_cost`] knows before any retrieval runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPrediction {
+    /// Relations the result schema will populate (`n_R`).
+    pub relations: usize,
+    /// Seed tuples the inverted index matched across all tokens.
+    pub seed_tuples: u64,
+    /// Tuple volume the cardinality constraint admits, capped per relation
+    /// by the stored tuple count (a constraint larger than the relation
+    /// cannot retrieve more than the relation holds).
+    pub est_tuples: u64,
+    /// Formula-2 cost in seconds; `None` until a cost model is calibrated.
+    pub predicted_secs: Option<f64>,
+}
+
+/// Fold a cardinality constraint and a result schema into the tuple volume
+/// Formula (2) prices. Per-relation caps sum `min(c_R, |R|)`; a total cap
+/// bounds that sum; `Unbounded` assumes the worst case of every stored
+/// tuple in every populated relation; a conjunction takes its tightest
+/// component.
+fn estimate_tuples(
+    db: &Database,
+    schema: &ResultSchema,
+    cardinality: &CardinalityConstraint,
+) -> u64 {
+    let stored_total: u64 = schema.relations().map(|(rel, _)| db.len(rel) as u64).sum();
+    match cardinality {
+        CardinalityConstraint::MaxTuplesPerRelation(c) => schema
+            .relations()
+            .map(|(rel, _)| (db.len(rel) as u64).min(*c as u64))
+            .sum(),
+        CardinalityConstraint::MaxTotalTuples(t) => stored_total.min(*t as u64),
+        CardinalityConstraint::Unbounded => stored_total,
+        CardinalityConstraint::All(parts) => parts
+            .iter()
+            .map(|c| estimate_tuples(db, schema, c))
+            .min()
+            .unwrap_or(stored_total),
+    }
 }
 
 /// Fold index matches into the origin relations (first-match order,
@@ -680,6 +759,75 @@ mod tests {
             first.schema.relation_count(),
             second.schema.relation_count()
         );
+    }
+
+    #[test]
+    fn predict_cost_prices_the_constrained_volume_and_warms_the_caches() {
+        let (db, graph) = expert_join_setup();
+        let mut engine = PrecisEngine::new(db, graph).unwrap();
+        let q = PrecisQuery::parse("ada");
+        let degree = crate::DegreeConstraint::MinWeight(0.5);
+
+        // Without a calibrated model the volume is still estimated.
+        let p = engine
+            .predict_cost(&q, &degree, &CardinalityConstraint::Unbounded)
+            .unwrap();
+        assert!(p.relations > 0);
+        assert!(p.seed_tuples > 0);
+        assert!(p.est_tuples > 0);
+        assert_eq!(p.predicted_secs, None);
+
+        engine.set_cost_model(CostModel::new(1e-6, 2e-6));
+        let unbounded = engine
+            .predict_cost(&q, &degree, &CardinalityConstraint::Unbounded)
+            .unwrap();
+        let secs = unbounded.predicted_secs.unwrap();
+        assert!((secs - unbounded.est_tuples as f64 * 3e-6).abs() < 1e-12);
+
+        // A per-relation cap of 1 admits at most one tuple per populated
+        // relation, and never more than the unbounded worst case.
+        let capped = engine
+            .predict_cost(&q, &degree, &CardinalityConstraint::MaxTuplesPerRelation(1))
+            .unwrap();
+        assert!(capped.est_tuples <= unbounded.relations as u64);
+        assert!(capped.est_tuples <= unbounded.est_tuples);
+
+        // A total cap bounds the volume outright; a conjunction takes the
+        // tightest component.
+        let total = engine
+            .predict_cost(&q, &degree, &CardinalityConstraint::MaxTotalTuples(2))
+            .unwrap();
+        assert!(total.est_tuples <= 2);
+        let both = engine
+            .predict_cost(
+                &q,
+                &degree,
+                &CardinalityConstraint::All(vec![
+                    CardinalityConstraint::MaxTotalTuples(2),
+                    CardinalityConstraint::Unbounded,
+                ]),
+            )
+            .unwrap();
+        assert_eq!(both.est_tuples, total.est_tuples);
+
+        // The prediction's token and schema lookups land in the caches, so
+        // the answer that follows reuses them.
+        let s = engine.cache_stats();
+        assert!(s.token_misses >= 1);
+        let spec = AnswerSpec::new(degree.clone(), CardinalityConstraint::Unbounded);
+        engine.answer(&q, &spec).unwrap();
+        let s2 = engine.cache_stats();
+        assert!(s2.token_hits > s.token_hits);
+        assert!(s2.schema_hits > s.schema_hits);
+
+        assert!(matches!(
+            engine.predict_cost(
+                &PrecisQuery::new(Vec::<String>::new()),
+                &degree,
+                &CardinalityConstraint::Unbounded
+            ),
+            Err(CoreError::EmptyQuery)
+        ));
     }
 
     #[test]

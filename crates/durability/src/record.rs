@@ -50,12 +50,15 @@ fn corrupt(msg: impl Into<String>) -> StorageError {
 /// passes its CRC but decodes to wrong data (or a "trailing bytes"
 /// corruption that cuts the log on replay).
 fn oversized(what: &str, len: usize, max: usize) -> StorageError {
-    StorageError::WalFailed(format!("{what} of {len} bytes exceeds the record cap {max}"))
+    StorageError::WalFailed(format!(
+        "{what} of {len} bytes exceeds the record cap {max}"
+    ))
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str, wide: bool) -> Result<(), StorageError> {
     if wide {
-        let len = u32::try_from(s.len()).map_err(|_| oversized("text", s.len(), u32::MAX as usize))?;
+        let len =
+            u32::try_from(s.len()).map_err(|_| oversized("text", s.len(), u32::MAX as usize))?;
         out.extend_from_slice(&len.to_le_bytes());
     } else {
         let len = u16::try_from(s.len())
@@ -138,7 +141,11 @@ pub fn encode_frame(lsn: u64, entry: &WalEntry) -> Result<Vec<u8>, StorageError>
         }
     }
     if payload.len() > MAX_PAYLOAD as usize {
-        return Err(oversized("record payload", payload.len(), MAX_PAYLOAD as usize));
+        return Err(oversized(
+            "record payload",
+            payload.len(),
+            MAX_PAYLOAD as usize,
+        ));
     }
     let mut frame = Vec::with_capacity(8 + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());

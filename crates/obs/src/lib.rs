@@ -29,6 +29,7 @@
 pub mod export;
 pub mod profile;
 pub mod promfmt;
+pub mod sched_obs;
 pub mod tracer;
 
 pub use export::{chrome_trace, render_profile_text};

@@ -7,6 +7,7 @@
 //! call and assert the served bytes are identical under concurrency.
 
 use crate::json::{self, Json};
+use crate::sched::{FlightKey, Priority};
 use precis_core::{
     AnswerSpec, CancelToken, CardinalityConstraint, CoreError, DegreeConstraint, PrecisAnswer,
     PrecisEngine, PrecisQuery, RetrievalStrategy,
@@ -34,6 +35,13 @@ pub struct QueryRequest {
     /// flag only controls the response body, so default responses stay
     /// byte-identical.
     pub profile: bool,
+    /// Deadline class for the scheduler: interactive queries are ordered
+    /// ahead of batch queries.
+    pub priority: Priority,
+    /// Whether this request may share one execution with concurrent
+    /// identical requests (same tokens, constraints, and strategy). On by
+    /// default; opting out isolates the request in both directions.
+    pub coalesce: bool,
 }
 
 /// Decode a request body. Only `tokens` is required:
@@ -44,7 +52,9 @@ pub struct QueryRequest {
 ///   "degree": {"minweight": 0.9},       // or {"top": 3} or {"maxlen": 2}
 ///   "cardinality": {"perrel": 10},      // or {"total": 50} or "unbounded"
 ///   "strategy": "roundrobin",           // or "naive" / "topweight"
-///   "deadline_ms": 2000
+///   "deadline_ms": 2000,
+///   "priority": "interactive",          // or "batch"
+///   "coalesce": true
 /// }
 /// ```
 pub fn parse_query_request(body: &str) -> Result<QueryRequest, String> {
@@ -124,6 +134,26 @@ pub fn parse_query_request(body: &str) -> Result<QueryRequest, String> {
         Some(_) => return Err("profile must be a boolean".to_owned()),
     };
 
+    let priority = match doc.get("priority") {
+        None => Priority::Interactive,
+        Some(Json::String(s)) => match s.as_str() {
+            "interactive" => Priority::Interactive,
+            "batch" => Priority::Batch,
+            other => {
+                return Err(format!(
+                    "unknown priority {other:?} (expected \"interactive\" | \"batch\")"
+                ))
+            }
+        },
+        Some(_) => return Err("priority must be a string".to_owned()),
+    };
+
+    let coalesce = match doc.get("coalesce") {
+        None => true,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("coalesce must be a boolean".to_owned()),
+    };
+
     Ok(QueryRequest {
         query,
         degree,
@@ -131,7 +161,76 @@ pub fn parse_query_request(body: &str) -> Result<QueryRequest, String> {
         strategy,
         deadline_ms,
         profile,
+        priority,
+        coalesce,
     })
+}
+
+/// The canonical identity of a request's *execution*: tokens, degree,
+/// cardinality, and strategy — exactly the inputs [`answer_query_at`]
+/// consumes. Per-request envelope fields (deadline, priority, profile) are
+/// deliberately excluded: they shape how a waiter is treated, not what is
+/// computed, so requests differing only in those still share one flight.
+pub fn flight_key(request: &QueryRequest) -> FlightKey {
+    let mut key = String::with_capacity(64);
+    for t in request.query.tokens() {
+        key.push_str(t);
+        key.push('\x1f');
+    }
+    key.push('|');
+    write_degree_key(&mut key, &request.degree);
+    key.push('|');
+    write_cardinality_key(&mut key, &request.cardinality);
+    key.push('|');
+    key.push_str(match request.strategy {
+        RetrievalStrategy::NaiveQ => "naive",
+        RetrievalStrategy::RoundRobin => "roundrobin",
+        RetrievalStrategy::TopWeight => "topweight",
+    });
+    FlightKey::new(key)
+}
+
+fn write_degree_key(out: &mut String, d: &DegreeConstraint) {
+    match d {
+        DegreeConstraint::TopProjections(r) => {
+            let _ = write!(out, "top:{r}");
+        }
+        // Encode the float's bits so 0.9 and 0.9000000001 never collide.
+        DegreeConstraint::MinWeight(w) => {
+            let _ = write!(out, "mw:{:x}", w.to_bits());
+        }
+        DegreeConstraint::MaxPathLength(l) => {
+            let _ = write!(out, "len:{l}");
+        }
+        DegreeConstraint::All(parts) => {
+            out.push_str("all(");
+            for p in parts {
+                write_degree_key(out, p);
+                out.push(',');
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_cardinality_key(out: &mut String, c: &CardinalityConstraint) {
+    match c {
+        CardinalityConstraint::MaxTotalTuples(n) => {
+            let _ = write!(out, "total:{n}");
+        }
+        CardinalityConstraint::MaxTuplesPerRelation(n) => {
+            let _ = write!(out, "perrel:{n}");
+        }
+        CardinalityConstraint::All(parts) => {
+            out.push_str("all(");
+            for p in parts {
+                write_cardinality_key(out, p);
+                out.push(',');
+            }
+            out.push(')');
+        }
+        CardinalityConstraint::Unbounded => out.push_str("unbounded"),
+    }
 }
 
 /// Execute a decoded request against the engine under a deadline and render
@@ -163,13 +262,44 @@ pub fn answer_query_profiled(
     default_deadline: Option<Duration>,
     profile: &Arc<QueryProfile>,
 ) -> Result<String, CoreError> {
-    let budget = match (request.deadline_ms, default_deadline) {
+    let deadline = request_budget(request, default_deadline).map(|b| Instant::now() + b);
+    let mut body = answer_query_at(engine, vocabulary, request, deadline, profile)?;
+    if request.profile {
+        let mut rendered = String::new();
+        write_profile_json(&mut rendered, &profile.snapshot());
+        splice_json_field(&mut body, "profile", &rendered);
+    }
+    Ok(body)
+}
+
+/// The wall-clock budget a request is entitled to: its own `deadline_ms`
+/// capped by the server default.
+pub fn request_budget(
+    request: &QueryRequest,
+    default_deadline: Option<Duration>,
+) -> Option<Duration> {
+    match (request.deadline_ms, default_deadline) {
         (Some(ms), Some(cap)) => Some(Duration::from_millis(ms).min(cap)),
         (Some(ms), None) => Some(Duration::from_millis(ms)),
         (None, cap) => cap,
-    };
+    }
+}
+
+/// Execute a decoded request against an *absolute* deadline — the v1
+/// end-to-end contract, where the clock starts at admission and time spent
+/// queued counts against the caller's budget. Returns the rendered body
+/// without any per-waiter extras (`profile` / `scheduling` objects are
+/// spliced by the caller), so a coalesced flight renders once and every
+/// waiter's default body is byte-identical.
+pub fn answer_query_at(
+    engine: &PrecisEngine,
+    vocabulary: Option<&Vocabulary>,
+    request: &QueryRequest,
+    deadline: Option<Instant>,
+    profile: &Arc<QueryProfile>,
+) -> Result<String, CoreError> {
     let mut options = precis_core::DbGenOptions::default();
-    let cancel = budget.map(CancelToken::with_timeout);
+    let cancel = deadline.map(CancelToken::with_deadline);
     options.cancel = cancel.clone();
     options.profile = Some(profile.clone());
     let spec = AnswerSpec::new(request.degree.clone(), request.cardinality.clone())
@@ -181,21 +311,44 @@ pub fn answer_query_profiled(
     if let Some(c) = &cancel {
         c.check()?;
     }
-    let mut body = render_answer_with(engine, vocabulary, &answer, Some(profile));
+    let body = render_answer_with(engine, vocabulary, &answer, Some(profile));
     profile.finish();
-    if request.profile {
-        // Splice the profile object in before the closing brace, keeping the
-        // rest of the body byte-identical to an unprofiled response.
-        let trimmed = body
-            .strip_suffix("}\n")
-            .expect("render_answer bodies end with }\\n")
-            .len();
-        body.truncate(trimmed);
-        body.push_str(", \"profile\": ");
-        write_profile_json(&mut body, &profile.snapshot());
-        body.push_str("}\n");
-    }
     Ok(body)
+}
+
+/// Splice `, "<key>": <value_json>` in before the body's closing brace,
+/// keeping everything already rendered byte-identical. Bodies from
+/// [`render_answer`] always end with `}\n`.
+pub fn splice_json_field(body: &mut String, key: &str, value_json: &str) {
+    let trimmed = body
+        .strip_suffix("}\n")
+        .expect("render_answer bodies end with }\\n")
+        .len();
+    body.truncate(trimmed);
+    body.push_str(", \"");
+    body.push_str(key);
+    body.push_str("\": ");
+    body.push_str(value_json);
+    body.push_str("}\n");
+}
+
+/// Render the `"scheduling"` metadata object a profiled response carries:
+/// what the admission controller predicted, how long the request actually
+/// queued, and whether the answer was computed by a coalesced flight.
+pub fn render_scheduling_json(
+    predicted_secs: Option<f64>,
+    queue_wait: Duration,
+    coalesced: bool,
+) -> String {
+    let mut out = String::from("{\"predicted_ms\": ");
+    match predicted_secs {
+        Some(s) => json::write_f64(&mut out, s * 1e3),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"queue_wait_ms\": ");
+    json::write_f64(&mut out, queue_wait.as_secs_f64() * 1e3);
+    let _ = write!(out, ", \"coalesced\": {coalesced}}}");
+    out
 }
 
 /// Append one [`ProfileSnapshot`] as a deterministic JSON object: phases in
@@ -446,5 +599,64 @@ mod tests {
     fn unbounded_cardinality_parses() {
         let r = parse_query_request(r#"{"tokens": "x", "cardinality": "unbounded"}"#).unwrap();
         assert_eq!(r.cardinality, CardinalityConstraint::Unbounded);
+    }
+
+    #[test]
+    fn scheduling_fields_parse_with_defaults() {
+        let r = parse_query_request(r#"{"tokens": "x"}"#).unwrap();
+        assert_eq!(r.priority, Priority::Interactive);
+        assert!(r.coalesce, "coalescing is on by default");
+        let r = parse_query_request(r#"{"tokens": "x", "priority": "batch", "coalesce": false}"#)
+            .unwrap();
+        assert_eq!(r.priority, Priority::Batch);
+        assert!(!r.coalesce);
+        for (body, needle) in [
+            (r#"{"tokens": "x", "priority": "urgent"}"#, "priority"),
+            (r#"{"tokens": "x", "coalesce": 1}"#, "coalesce"),
+        ] {
+            let err = parse_query_request(body).unwrap_err();
+            assert!(err.contains(needle), "{body} → {err}");
+        }
+    }
+
+    #[test]
+    fn flight_keys_identify_the_execution_not_the_envelope() {
+        let base = parse_query_request(r#"{"tokens": "woody allen"}"#).unwrap();
+        let same_exec = parse_query_request(
+            r#"{"tokens": ["woody", "allen"], "deadline_ms": 9, "priority": "batch",
+               "profile": true}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            flight_key(&base),
+            flight_key(&same_exec),
+            "deadline/priority/profile do not change what is computed"
+        );
+        for different in [
+            r#"{"tokens": "woody"}"#,
+            r#"{"tokens": "woody allen", "degree": {"top": 3}}"#,
+            r#"{"tokens": "woody allen", "cardinality": {"total": 50}}"#,
+            r#"{"tokens": "woody allen", "strategy": "naive"}"#,
+        ] {
+            let other = parse_query_request(different).unwrap();
+            assert_ne!(flight_key(&base), flight_key(&other), "{different}");
+        }
+    }
+
+    #[test]
+    fn scheduling_json_and_splice_compose() {
+        let mut body = String::from("{\"tokens\": []}\n");
+        let sched = render_scheduling_json(Some(0.0025), Duration::from_micros(1500), true);
+        splice_json_field(&mut body, "scheduling", &sched);
+        assert_eq!(
+            body,
+            "{\"tokens\": [], \"scheduling\": {\"predicted_ms\": 2.5, \
+             \"queue_wait_ms\": 1.5, \"coalesced\": true}}\n"
+        );
+        let none = render_scheduling_json(None, Duration::ZERO, false);
+        assert_eq!(
+            none,
+            "{\"predicted_ms\": null, \"queue_wait_ms\": 0, \"coalesced\": false}"
+        );
     }
 }

@@ -169,18 +169,64 @@ impl Response {
         }
     }
 
-    /// A JSON error payload: `{"error": "..."}`.
-    pub fn error(status: u16, message: &str) -> Self {
-        let mut body = String::from("{\"error\": ");
-        crate::json::write_str(&mut body, message);
-        body.push_str("}\n");
-        Response::json(status, body)
+    /// The structured error envelope every non-2xx response carries:
+    /// `{"error": {"code": "...", "message": "..."}}`.
+    pub fn error(status: u16, code: &str, message: &str) -> Self {
+        Response::json(status, render_error(code, message, None, None))
+    }
+
+    /// An error envelope with a machine-readable back-off hint. The hint is
+    /// carried twice: as `retry_after_ms` inside the envelope (milliseconds)
+    /// and as a `Retry-After` header (whole seconds, rounded up, per RFC
+    /// 9110).
+    pub fn error_retry(status: u16, code: &str, message: &str, retry_after_ms: u64) -> Self {
+        Response::json(
+            status,
+            render_error(code, message, Some(retry_after_ms), None),
+        )
+        .with_header(format!(
+            "Retry-After: {}",
+            retry_after_ms.div_ceil(1000).max(1)
+        ))
+    }
+
+    /// An error envelope with a `details` object; `details_json` must be a
+    /// pre-rendered JSON value.
+    pub fn error_detailed(status: u16, code: &str, message: &str, details_json: &str) -> Self {
+        Response::json(
+            status,
+            render_error(code, message, None, Some(details_json)),
+        )
     }
 
     pub fn with_header(mut self, header: impl Into<String>) -> Self {
         self.extra_headers.push(header.into());
         self
     }
+}
+
+/// Render the shared error envelope. Kept as a free function so both the
+/// `Response` constructors and tests agree on the exact byte layout.
+fn render_error(
+    code: &str,
+    message: &str,
+    retry_after_ms: Option<u64>,
+    details_json: Option<&str>,
+) -> String {
+    let mut body = String::from("{\"error\": {\"code\": ");
+    crate::json::write_str(&mut body, code);
+    body.push_str(", \"message\": ");
+    crate::json::write_str(&mut body, message);
+    if let Some(ms) = retry_after_ms {
+        body.push_str(", \"retry_after_ms\": ");
+        body.push_str(&ms.to_string());
+    }
+    if let Some(details) = details_json {
+        body.push_str(", \"details\": ");
+        body.push_str(details);
+    }
+    body.push_str("}}\n");
+    body
 }
 
 pub fn status_reason(status: u16) -> &'static str {
@@ -192,6 +238,7 @@ pub fn status_reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -301,18 +348,39 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let client = TcpStream::connect(addr).unwrap();
         let (mut server_side, _) = listener.accept().unwrap();
-        let resp = Response::error(503, "overloaded").with_header("Retry-After: 1");
+        let resp = Response::error_retry(429, "overloaded", "server overloaded", 1500);
         write_response(&mut server_side, &resp).unwrap();
         drop(server_side);
         let mut text = String::new();
         let mut client = client;
         client.read_to_string(&mut text).unwrap();
         assert!(
-            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
             "{text}"
         );
         assert!(text.contains("Connection: close\r\n"));
-        assert!(text.contains("Retry-After: 1\r\n"));
-        assert!(text.ends_with("{\"error\": \"overloaded\"}\n"));
+        assert!(
+            text.contains("Retry-After: 2\r\n"),
+            "1500ms rounds up: {text}"
+        );
+        assert!(text.ends_with(
+            "{\"error\": {\"code\": \"overloaded\", \"message\": \
+             \"server overloaded\", \"retry_after_ms\": 1500}}\n"
+        ));
+    }
+
+    #[test]
+    fn error_envelopes_cover_plain_and_detailed_forms() {
+        let plain = Response::error(404, "not_found", "no such path");
+        assert_eq!(
+            String::from_utf8(plain.body).unwrap(),
+            "{\"error\": {\"code\": \"not_found\", \"message\": \"no such path\"}}\n"
+        );
+        let detailed = Response::error_detailed(400, "bad_request", "x", "{\"field\": \"q\"}");
+        assert_eq!(
+            String::from_utf8(detailed.body).unwrap(),
+            "{\"error\": {\"code\": \"bad_request\", \"message\": \"x\", \
+             \"details\": {\"field\": \"q\"}}}\n"
+        );
     }
 }

@@ -1,24 +1,39 @@
 //! `precis-server`: a concurrent network front-end for the précis engine.
 //!
 //! A deliberately dependency-free HTTP/1.1 service over `std::net`: a fixed
-//! worker pool fed by a bounded admission queue (overload → `503` +
-//! `Retry-After`, never unbounded buffering), per-request deadlines that
-//! abort précis generation cooperatively (→ `504`), and a Prometheus-format
-//! `/metrics` endpoint covering request counts, latency histograms, queue
-//! depth, rejections, and the engine's answer-cache statistics.
+//! worker pool fed by a cost-aware scheduler ([`sched`]) that parses each
+//! query at admission, prices it with the calibrated Formula-2 model, and
+//! then sheds it (overload → `429` + `Retry-After`, never unbounded
+//! buffering), coalesces it onto an identical in-flight query, or orders it
+//! shortest-predicted-first within its deadline class. Deadlines are
+//! end-to-end from admission and abort précis generation cooperatively
+//! (→ `504`); a Prometheus-format `/metrics` endpoint covers request
+//! counts, latency histograms, queue depth, shed/coalesce/reorder totals,
+//! and the engine's answer-cache statistics.
 //!
-//! Endpoints:
+//! Endpoints (each mounted under `/v1/` — the versioned contract — and at
+//! its legacy unversioned alias, which answers identically plus a
+//! `Deprecation` header):
 //!
-//! | Method | Path          | Purpose                                        |
-//! |--------|---------------|------------------------------------------------|
-//! | POST   | `/query`      | Answer a précis query (JSON in, JSON out; set  |
-//! |        |               | `"profile": true` for per-phase timings)       |
-//! | POST   | `/mutate`     | Apply a batch of insert/update/delete ops      |
-//! |        |               | (loopback only; WAL-durable with `--data-dir`) |
-//! | GET    | `/healthz`    | Liveness probe                                 |
-//! | GET    | `/metrics`    | Prometheus text exposition                     |
-//! | GET    | `/debug/slow` | The N slowest query profiles (loopback only)   |
-//! | POST   | `/shutdown`   | Graceful shutdown (drains in-flight requests)  |
+//! | Method | Path             | Purpose                                        |
+//! |--------|------------------|------------------------------------------------|
+//! | POST   | `/v1/query`      | Answer a précis query (JSON in, JSON out; set  |
+//! |        |                  | `"profile": true` for per-phase timings and    |
+//! |        |                  | `"scheduling"` metadata; `"priority"` /        |
+//! |        |                  | `"coalesce"` steer the scheduler)              |
+//! | POST   | `/v1/mutate`     | Apply a batch of insert/update/delete ops      |
+//! |        |                  | (loopback only; WAL-durable with `--data-dir`) |
+//! | GET    | `/v1/healthz`    | Liveness probe                                 |
+//! | GET    | `/v1/metrics`    | Prometheus text exposition                     |
+//! | GET    | `/v1/debug/slow` | The N slowest query profiles (loopback only)   |
+//! | POST   | `/shutdown`      | Graceful shutdown (drains in-flight requests;  |
+//! |        |                  | unversioned only)                              |
+//!
+//! Every non-2xx response carries the structured error envelope
+//! `{"error": {"code", "message", "retry_after_ms"?, "details"?}}`. Status
+//! semantics: `429` means overload (shed by admission — back off and
+//! retry); `503` is reserved for durability failures and shutdown; `504`
+//! means the end-to-end deadline fired.
 //!
 //! Every `/query` is profiled end to end (queue wait, parse, token lookup,
 //! schema generation, per-relation db_gen traversal, NLG, render) via
@@ -30,15 +45,16 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod mutate;
-pub mod queue;
+pub mod sched;
 mod server;
 pub mod slowlog;
 
 pub use api::{
-    answer_query, answer_query_profiled, parse_query_request, render_answer, write_profile_json,
-    QueryRequest,
+    answer_query, answer_query_profiled, flight_key, parse_query_request, render_answer,
+    write_profile_json, QueryRequest,
 };
 pub use metrics::Metrics;
 pub use mutate::{parse_mutate_request, Durability, MutateOp};
+pub use sched::{Priority, Scheduler};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use slowlog::SlowLog;

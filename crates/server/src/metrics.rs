@@ -26,7 +26,7 @@ pub const LATENCY_BUCKETS: [f64; 12] = [
 /// Statuses tracked per endpoint — every code the server emits. Anything
 /// else lands in a dedicated `other` label rather than masquerading as a
 /// tracked status.
-const STATUSES: [u16; 10] = [200, 400, 403, 404, 405, 408, 413, 500, 503, 504];
+const STATUSES: [u16; 11] = [200, 400, 403, 404, 405, 408, 413, 429, 500, 503, 504];
 
 /// Index of the catch-all slot for statuses outside [`STATUSES`].
 const STATUS_OTHER: usize = STATUSES.len();
@@ -35,7 +35,7 @@ const STATUS_OTHER: usize = STATUSES.len();
 /// codes plus the `other` catch-all) — rendering a scrape must not allocate
 /// a label string per series.
 const STATUS_LABELS: [&str; STATUSES.len() + 1] = [
-    "200", "400", "403", "404", "405", "408", "413", "500", "503", "504", "other",
+    "200", "400", "403", "404", "405", "408", "413", "429", "500", "503", "504", "other",
 ];
 
 /// Endpoints tracked individually; anything else lands in `other`.
@@ -122,12 +122,21 @@ pub struct Metrics {
     pub queue_wait: Histogram,
     /// Connections currently queued for a worker.
     queue_depth: AtomicU64,
-    /// Connections refused at admission (queue full → 503).
+    /// Connections refused at admission (queue full → 429).
     rejected_total: AtomicU64,
     /// Requests aborted by their deadline (→ 504).
     deadline_exceeded_total: AtomicU64,
     /// Handler panics converted to 500s.
     panics_total: AtomicU64,
+    /// Queries refused by the cost-aware admission controller (→ 429).
+    sched_shed_total: AtomicU64,
+    /// Sheds the hindsight estimator attributes to cost-model error rather
+    /// than real pressure (a subset of `sched_shed_total`).
+    sched_shed_false_positive_total: AtomicU64,
+    /// Requests answered by attaching to an existing identical flight.
+    sched_coalesced_total: AtomicU64,
+    /// Pops where the cost-aware policy disagreed with FIFO order.
+    sched_reordered_total: AtomicU64,
     /// Per-phase / cost-model aggregates accumulated from query profiles.
     pub phases: PhaseAgg,
 }
@@ -172,6 +181,40 @@ impl Metrics {
 
     pub fn record_panic(&self) {
         self.panics_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A query was shed at admission; `false_positive` carries the
+    /// scheduler's hindsight verdict.
+    pub fn record_shed(&self, false_positive: bool) {
+        self.sched_shed_total.fetch_add(1, Ordering::Relaxed);
+        if false_positive {
+            self.sched_shed_false_positive_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn record_coalesced(&self) {
+        self.sched_coalesced_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_reordered(&self) {
+        self.sched_reordered_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.sched_shed_total.load(Ordering::Relaxed)
+    }
+
+    pub fn shed_false_positive_total(&self) -> u64 {
+        self.sched_shed_false_positive_total.load(Ordering::Relaxed)
+    }
+
+    pub fn coalesced_total(&self) -> u64 {
+        self.sched_coalesced_total.load(Ordering::Relaxed)
+    }
+
+    pub fn reordered_total(&self) -> u64 {
+        self.sched_reordered_total.load(Ordering::Relaxed)
     }
 
     pub fn enqueued(&self) {
@@ -288,7 +331,7 @@ impl Metrics {
             self.queue_wait.count()
         );
 
-        let singles: [(&str, &str, u64); 4] = [
+        let singles: [(&str, &str, u64); 8] = [
             (
                 "precis_queue_depth",
                 "Connections waiting for a worker (gauge).",
@@ -296,7 +339,7 @@ impl Metrics {
             ),
             (
                 "precis_rejected_total",
-                "Connections refused at admission with 503.",
+                "Connections refused at admission with 429.",
                 self.rejected_total(),
             ),
             (
@@ -308,6 +351,26 @@ impl Metrics {
                 "precis_handler_panics_total",
                 "Handler panics converted to 500 responses.",
                 self.panics_total.load(Ordering::Relaxed),
+            ),
+            (
+                "precis_sched_shed_total",
+                "Queries refused by cost-aware admission with 429.",
+                self.shed_total(),
+            ),
+            (
+                "precis_sched_shed_false_positive_total",
+                "Sheds attributed to cost-model error by the hindsight estimator.",
+                self.shed_false_positive_total(),
+            ),
+            (
+                "precis_sched_coalesced_total",
+                "Requests answered by an existing identical in-flight query.",
+                self.coalesced_total(),
+            ),
+            (
+                "precis_sched_reordered_total",
+                "Scheduler pops that disagreed with FIFO arrival order.",
+                self.sched_reordered_total.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, value) in singles {
@@ -387,6 +450,29 @@ mod tests {
         assert!(text.contains("precis_cache_events_total{layer=\"schema\",kind=\"hit\"} 3"));
         assert_eq!(m.deadline_exceeded_total(), 1);
         assert_eq!(m.requests_for("query", 200), 1);
+    }
+
+    #[test]
+    fn scheduler_counters_export_and_429_has_its_own_label() {
+        let m = Metrics::default();
+        m.record_request("query", 429, Duration::ZERO);
+        m.record_shed(false);
+        m.record_shed(true);
+        m.record_coalesced();
+        m.record_coalesced();
+        m.record_coalesced();
+        m.record_reordered();
+        let text = m.render_prometheus(&AnswerCacheStats::default());
+        assert!(
+            text.contains("precis_requests_total{endpoint=\"query\",status=\"429\"} 1"),
+            "429 must not fold into the other catch-all:\n{text}"
+        );
+        assert!(text.contains("precis_sched_shed_total 2"));
+        assert!(text.contains("precis_sched_shed_false_positive_total 1"));
+        assert!(text.contains("precis_sched_coalesced_total 3"));
+        assert!(text.contains("precis_sched_reordered_total 1"));
+        assert_eq!(m.shed_total(), 2);
+        assert_eq!(m.coalesced_total(), 3);
     }
 
     #[test]

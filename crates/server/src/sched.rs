@@ -1,0 +1,860 @@
+//! The cost-aware scheduler that replaced the FIFO admission queue.
+//!
+//! Three policies, all driven by the Formula-2 cost prediction computed at
+//! admission time (the request is parsed *before* it queues, not when a
+//! worker finally picks it up):
+//!
+//! 1. **Shedding** — a query whose predicted cost cannot meet its deadline
+//!    given the predicted backlog ahead of it is refused immediately with a
+//!    retry hint, instead of burning a worker on a guaranteed timeout.
+//! 2. **Ordering** — the ready queue is popped shortest-predicted-first
+//!    within deadline classes (interactive before batch), with an aging
+//!    guard: a job bypassed more than [`Scheduler::aging_threshold`] times
+//!    is scheduled next regardless of cost, so large queries cannot starve.
+//! 3. **Coalescing** — concurrent identical requests (same canonical
+//!    tokens, constraints, and strategy) share one execution whose answer
+//!    fans out to every waiter. A flight accepts joiners from the moment it
+//!    queues until its result is taken for fan-out, including while it is
+//!    executing.
+//!
+//! The scheduler is generic over the raw-connection, job-payload, and
+//! waiter types so its invariants are testable without sockets: `C` is what
+//! the acceptor enqueues, `P` what a parsed query carries into execution,
+//! `W` one response destination. Raw connections are always popped before
+//! ready jobs — parsing is microseconds next to retrieval, and every parsed
+//! connection improves the ordering information the queue acts on.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Deadline class of a query. Interactive jobs are always scheduled ahead
+/// of batch jobs (aging aside); within a class the cheapest predicted cost
+/// wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    #[default]
+    Interactive,
+    Batch,
+}
+
+impl Priority {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Field encoding for scheduler spans (0 = interactive, 1 = batch).
+    pub fn as_field(self) -> u64 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+}
+
+/// Canonical identity of one execution: tokens + constraints + strategy,
+/// pre-encoded to a string by the API layer so the scheduler never parses.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlightKey(String);
+
+impl FlightKey {
+    pub fn new(canonical: String) -> Self {
+        FlightKey(canonical)
+    }
+}
+
+/// The waiter list of one flight. Kept behind its own lock (always taken
+/// *after* the scheduler lock) so late joiners can attach while the worker
+/// executes, and the fan-out takes everything that attached in time.
+#[derive(Debug)]
+struct FlightWaiters<W> {
+    /// `false` once the fan-out has drained the list; attaches are refused.
+    open: bool,
+    waiters: Vec<W>,
+}
+
+#[derive(Debug)]
+struct QueuedJob<P, W> {
+    seq: u64,
+    class: Priority,
+    predicted_secs: Option<f64>,
+    deadline: Option<Instant>,
+    admitted: Instant,
+    /// Pops that chose a younger job over this one. Crossing the aging
+    /// threshold promotes the job to the head of the queue.
+    bypassed: u32,
+    key: Option<FlightKey>,
+    payload: P,
+    waiters: Arc<Mutex<FlightWaiters<W>>>,
+}
+
+/// A job handed to a worker for execution.
+#[derive(Debug)]
+pub struct Job<P, W> {
+    pub seq: u64,
+    pub class: Priority,
+    pub predicted_secs: Option<f64>,
+    /// The creator's deadline; joiners may be more permissive — take the
+    /// max over [`Job::inspect_waiters`] at execution start.
+    pub deadline: Option<Instant>,
+    pub admitted: Instant,
+    /// This pop chose the job ahead of at least one older one (the
+    /// shortest-predicted-first order disagreed with FIFO).
+    pub reordered: bool,
+    pub payload: P,
+    key: Option<FlightKey>,
+    waiters: Arc<Mutex<FlightWaiters<W>>>,
+}
+
+impl<P, W> Job<P, W> {
+    /// Run `f` over the waiters attached so far. Joiners may still attach
+    /// afterwards (until [`Scheduler::finish`]), so treat the view as a
+    /// lower bound, not the fan-out set.
+    pub fn inspect_waiters<R>(&self, f: impl FnOnce(&[W]) -> R) -> R {
+        let cell = self.waiters.lock().unwrap_or_else(|p| p.into_inner());
+        f(&cell.waiters)
+    }
+}
+
+/// One unit of work for a worker: an unparsed connection (read it, then
+/// either answer inline or submit a query job) or a scheduled query.
+pub enum Work<C, P, W> {
+    Conn(C),
+    Job(Job<P, W>),
+}
+
+/// Why a raw connection was refused at the acceptor.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ConnRefusal<C> {
+    Full(C),
+    Closed(C),
+}
+
+/// Admission decision for one parsed query.
+#[derive(Debug)]
+pub enum Admission<W> {
+    /// Queued as a fresh flight; a worker will pick it up in cost order.
+    Queued,
+    /// Attached to an existing identical flight. `fanout` counts every
+    /// waiter on the flight including this one.
+    Coalesced { fanout: usize },
+    /// Refused: executing this query now would be wasted work. The waiter
+    /// is handed back so the caller can deliver the 429.
+    Shed(Shed, W),
+    /// The scheduler is closed for shutdown; the waiter is handed back.
+    Closed(W),
+}
+
+/// Why admission shed a query, with the evidence behind the decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shed {
+    pub reason: ShedReason,
+    /// Predicted seconds of ready work ahead of the query, per worker.
+    pub backlog_secs: f64,
+    /// Client back-off hint derived from the backlog estimate.
+    pub retry_after_ms: u64,
+    /// Hindsight check: with the measured actual/predicted cost ratio
+    /// (EWMA over completed jobs) applied, the query *would* have met its
+    /// deadline — the shed was driven by model error, not real pressure.
+    /// Tracked so the shed false-positive rate is measurable live.
+    pub false_positive: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The ready queue is at capacity.
+    Capacity,
+    /// Predicted backlog + predicted cost exceed the query's deadline.
+    Deadline,
+}
+
+#[derive(Debug)]
+struct State<C, P, W> {
+    conns: VecDeque<C>,
+    ready: Vec<QueuedJob<P, W>>,
+    flights: HashMap<FlightKey, Arc<Mutex<FlightWaiters<W>>>>,
+    next_seq: u64,
+    closed: bool,
+    /// EWMA of measured/predicted service-time ratio over completed jobs;
+    /// 1.0 until the first completion reports in.
+    ratio_ewma: f64,
+    ratio_samples: u64,
+}
+
+/// The scheduler shared by the acceptor (conn producer), the workers
+/// (consumers and query producers), and the handle (close).
+#[derive(Debug)]
+pub struct Scheduler<C, P, W> {
+    conn_capacity: usize,
+    query_capacity: usize,
+    workers: usize,
+    aging_threshold: u32,
+    state: Mutex<State<C, P, W>>,
+    available: Condvar,
+}
+
+/// Bounds on the retry hint handed back with a shed: never so small the
+/// client hammers, never so large it gives up on a transient burst.
+const RETRY_AFTER_MS_MIN: u64 = 25;
+const RETRY_AFTER_MS_MAX: u64 = 5_000;
+
+impl<C, P, W> Scheduler<C, P, W> {
+    /// Capacities of 0 are promoted to 1 — a queue that can hold nothing
+    /// would deadlock the acceptor against the workers.
+    pub fn new(
+        conn_capacity: usize,
+        query_capacity: usize,
+        workers: usize,
+        aging_threshold: u32,
+    ) -> Self {
+        Scheduler {
+            conn_capacity: conn_capacity.max(1),
+            query_capacity: query_capacity.max(1),
+            workers: workers.max(1),
+            aging_threshold: aging_threshold.max(1),
+            state: Mutex::new(State {
+                conns: VecDeque::new(),
+                ready: Vec::new(),
+                flights: HashMap::new(),
+                next_seq: 0,
+                closed: false,
+                ratio_ewma: 1.0,
+                ratio_samples: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    pub fn conn_capacity(&self) -> usize {
+        self.conn_capacity
+    }
+
+    pub fn aging_threshold(&self) -> u32 {
+        self.aging_threshold
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<C, P, W>> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Non-blocking connection admission (the acceptor's fast path).
+    pub fn try_push_conn(&self, conn: C) -> Result<(), ConnRefusal<C>> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(ConnRefusal::Closed(conn));
+        }
+        if s.conns.len() >= self.conn_capacity {
+            return Err(ConnRefusal::Full(conn));
+        }
+        s.conns.push_back(conn);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Admit one parsed query: coalesce onto an identical flight, shed it,
+    /// or queue it as a fresh flight. `key` must be `None` when the request
+    /// opted out of coalescing — a keyless flight neither joins nor accepts
+    /// joiners.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_query(
+        &self,
+        payload: P,
+        class: Priority,
+        predicted_secs: Option<f64>,
+        deadline: Option<Instant>,
+        admitted: Instant,
+        key: Option<FlightKey>,
+        waiter: W,
+    ) -> Admission<W> {
+        let mut s = self.lock();
+        if s.closed {
+            return Admission::Closed(waiter);
+        }
+
+        if let Some(k) = &key {
+            if let Some(cell) = s.flights.get(k) {
+                let cell = Arc::clone(cell);
+                let mut fl = cell.lock().unwrap_or_else(|p| p.into_inner());
+                if fl.open {
+                    fl.waiters.push(waiter);
+                    return Admission::Coalesced {
+                        fanout: fl.waiters.len(),
+                    };
+                }
+                // The fan-out already drained this flight; fall through and
+                // queue a fresh one (the map entry is stale and about to be
+                // removed by `finish`).
+            }
+        }
+
+        let backlog_secs = self.backlog_per_worker(&s);
+        let retry_after_ms = (backlog_secs * 1e3).ceil() as u64;
+        let retry_after_ms = retry_after_ms.clamp(RETRY_AFTER_MS_MIN, RETRY_AFTER_MS_MAX);
+
+        if s.ready.len() >= self.query_capacity {
+            return Admission::Shed(
+                Shed {
+                    reason: ShedReason::Capacity,
+                    backlog_secs,
+                    retry_after_ms,
+                    false_positive: false,
+                },
+                waiter,
+            );
+        }
+
+        if let (Some(cost), Some(d)) = (predicted_secs, deadline) {
+            let remaining = d.saturating_duration_since(Instant::now()).as_secs_f64();
+            if backlog_secs + cost > remaining {
+                // Hindsight: would the EWMA-corrected estimate have fit?
+                let ratio = if s.ratio_samples > 0 {
+                    s.ratio_ewma
+                } else {
+                    1.0
+                };
+                let false_positive = (backlog_secs + cost) * ratio <= remaining;
+                return Admission::Shed(
+                    Shed {
+                        reason: ShedReason::Deadline,
+                        backlog_secs,
+                        retry_after_ms,
+                        false_positive,
+                    },
+                    waiter,
+                );
+            }
+        }
+
+        let waiters = Arc::new(Mutex::new(FlightWaiters {
+            open: true,
+            waiters: vec![waiter],
+        }));
+        if let Some(k) = key.clone() {
+            s.flights.insert(k, Arc::clone(&waiters));
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.ready.push(QueuedJob {
+            seq,
+            class,
+            predicted_secs,
+            deadline,
+            admitted,
+            bypassed: 0,
+            key,
+            payload,
+            waiters,
+        });
+        drop(s);
+        self.available.notify_one();
+        Admission::Queued
+    }
+
+    /// Predicted seconds of ready work per worker — the queue-pressure term
+    /// of the shed decision.
+    fn backlog_per_worker(&self, s: &State<C, P, W>) -> f64 {
+        let total: f64 = s.ready.iter().filter_map(|j| j.predicted_secs).sum();
+        total / self.workers as f64
+    }
+
+    /// Blocking pop. Raw connections first; then the scheduling policy over
+    /// the ready queue. Returns `None` only once the scheduler is closed
+    /// *and* drained, so shutdown still answers everything admitted.
+    pub fn pop(&self) -> Option<Work<C, P, W>> {
+        let mut s = self.lock();
+        loop {
+            if let Some(conn) = s.conns.pop_front() {
+                return Some(Work::Conn(conn));
+            }
+            if !s.ready.is_empty() {
+                return Some(Work::Job(Self::pick_locked(&mut s, self.aging_threshold)));
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).expect("scheduler lock");
+        }
+    }
+
+    /// Non-blocking pop, for tests and drain loops.
+    pub fn try_pop(&self) -> Option<Work<C, P, W>> {
+        let mut s = self.lock();
+        if let Some(conn) = s.conns.pop_front() {
+            return Some(Work::Conn(conn));
+        }
+        if !s.ready.is_empty() {
+            return Some(Work::Job(Self::pick_locked(&mut s, self.aging_threshold)));
+        }
+        None
+    }
+
+    /// The scheduling policy. Aged jobs (bypassed ≥ threshold) go first,
+    /// oldest first — this is the starvation bound: once a job has been
+    /// passed over `threshold` times, nothing admitted later can precede
+    /// it. Otherwise the best deadline class is served
+    /// shortest-predicted-first, ties broken FIFO.
+    fn pick_locked(s: &mut State<C, P, W>, aging_threshold: u32) -> Job<P, W> {
+        debug_assert!(!s.ready.is_empty());
+        let aged = s
+            .ready
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.bypassed >= aging_threshold)
+            .min_by_key(|(_, j)| j.seq)
+            .map(|(i, _)| i);
+        let idx = aged.unwrap_or_else(|| {
+            let best_class = s.ready.iter().map(|j| j.class).min().expect("non-empty");
+            s.ready
+                .iter()
+                .enumerate()
+                .filter(|(_, j)| j.class == best_class)
+                .min_by(|(_, a), (_, b)| {
+                    a.predicted_secs
+                        .unwrap_or(0.0)
+                        .total_cmp(&b.predicted_secs.unwrap_or(0.0))
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i)
+                .expect("class filter is non-empty")
+        });
+        let chosen_seq = s.ready[idx].seq;
+        let mut reordered = false;
+        for j in &mut s.ready {
+            if j.seq < chosen_seq {
+                j.bypassed += 1;
+                reordered = true;
+            }
+        }
+        let job = s.ready.swap_remove(idx);
+        Job {
+            seq: job.seq,
+            class: job.class,
+            predicted_secs: job.predicted_secs,
+            deadline: job.deadline,
+            admitted: job.admitted,
+            reordered,
+            payload: job.payload,
+            key: job.key,
+            waiters: job.waiters,
+        }
+    }
+
+    /// Take the flight's waiters for fan-out and retire it from the
+    /// coalescing table. After this, an identical request starts a fresh
+    /// flight; waiters that attached before the call are all in the
+    /// returned list.
+    pub fn finish(&self, job: &Job<P, W>) -> Vec<W> {
+        let mut s = self.lock();
+        if let Some(k) = &job.key {
+            if s.flights
+                .get(k)
+                .is_some_and(|cell| Arc::ptr_eq(cell, &job.waiters))
+            {
+                s.flights.remove(k);
+            }
+        }
+        drop(s);
+        let mut cell = job.waiters.lock().unwrap_or_else(|p| p.into_inner());
+        cell.open = false;
+        std::mem::take(&mut cell.waiters)
+    }
+
+    /// Report a completed execution so the shed false-positive estimator
+    /// tracks how the Formula-2 prediction relates to measured service
+    /// time.
+    pub fn complete(&self, predicted_secs: Option<f64>, actual_secs: f64) {
+        let Some(predicted) = predicted_secs else {
+            return;
+        };
+        if predicted <= 1e-12 || !actual_secs.is_finite() {
+            return;
+        }
+        let ratio = actual_secs / predicted;
+        let mut s = self.lock();
+        if s.ratio_samples == 0 {
+            s.ratio_ewma = ratio;
+        } else {
+            s.ratio_ewma = 0.8 * s.ratio_ewma + 0.2 * ratio;
+        }
+        s.ratio_samples += 1;
+    }
+
+    /// The current measured/predicted service-time ratio estimate.
+    pub fn cost_ratio(&self) -> f64 {
+        let s = self.lock();
+        if s.ratio_samples == 0 {
+            1.0
+        } else {
+            s.ratio_ewma
+        }
+    }
+
+    /// Close the scheduler: no further admissions; blocked consumers wake
+    /// and drain the remainder.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Raw connections waiting to be read.
+    pub fn conns_len(&self) -> usize {
+        self.lock().conns.len()
+    }
+
+    /// Parsed queries waiting for a worker.
+    pub fn ready_len(&self) -> usize {
+        self.lock().ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_core::CancelToken;
+    use std::time::Duration;
+
+    type S = Scheduler<u32, &'static str, u32>;
+
+    fn sched(aging: u32) -> S {
+        Scheduler::new(8, 8, 1, aging)
+    }
+
+    fn far_deadline() -> Option<Instant> {
+        Some(Instant::now() + Duration::from_secs(3600))
+    }
+
+    fn submit(s: &S, payload: &'static str, class: Priority, cost: f64, waiter: u32) {
+        match s.submit_query(
+            payload,
+            class,
+            Some(cost),
+            far_deadline(),
+            Instant::now(),
+            None,
+            waiter,
+        ) {
+            Admission::Queued => {}
+            other => panic!("expected Queued, got {other:?}"),
+        }
+    }
+
+    fn pop_payload(s: &S) -> &'static str {
+        match s.try_pop() {
+            Some(Work::Job(j)) => j.payload,
+            other => panic!("expected a job, got {:?}", other.is_some()),
+        }
+    }
+
+    #[test]
+    fn conns_are_bounded_and_popped_before_jobs() {
+        let s: S = Scheduler::new(2, 8, 1, 4);
+        s.try_push_conn(1).unwrap();
+        s.try_push_conn(2).unwrap();
+        assert_eq!(s.try_push_conn(3), Err(ConnRefusal::Full(3)));
+        submit(&s, "job", Priority::Interactive, 0.001, 0);
+        assert!(matches!(s.try_pop(), Some(Work::Conn(1))));
+        assert!(matches!(s.try_pop(), Some(Work::Conn(2))));
+        assert!(matches!(s.try_pop(), Some(Work::Job(_))));
+        assert!(s.try_pop().is_none());
+    }
+
+    #[test]
+    fn shortest_predicted_first_never_violates_class_ordering() {
+        // Batch jobs are cheaper than every interactive job, yet the
+        // interactive class drains first — cost ordering applies only
+        // within a deadline class.
+        let s = sched(100);
+        submit(&s, "batch-cheap", Priority::Batch, 0.000_1, 0);
+        submit(&s, "int-expensive", Priority::Interactive, 0.5, 1);
+        submit(&s, "int-cheap", Priority::Interactive, 0.001, 2);
+        submit(&s, "batch-expensive", Priority::Batch, 0.9, 3);
+        assert_eq!(pop_payload(&s), "int-cheap");
+        assert_eq!(pop_payload(&s), "int-expensive");
+        assert_eq!(pop_payload(&s), "batch-cheap");
+        assert_eq!(pop_payload(&s), "batch-expensive");
+    }
+
+    #[test]
+    fn pops_that_disagree_with_fifo_are_flagged_reordered() {
+        let s = sched(100);
+        submit(&s, "expensive", Priority::Interactive, 0.5, 0);
+        submit(&s, "cheap", Priority::Interactive, 0.001, 1);
+        match s.try_pop() {
+            Some(Work::Job(j)) => {
+                assert_eq!(j.payload, "cheap");
+                assert!(j.reordered, "cheap overtook the older expensive job");
+            }
+            _ => panic!("expected a job"),
+        }
+        match s.try_pop() {
+            Some(Work::Job(j)) => {
+                assert_eq!(j.payload, "expensive");
+                assert!(!j.reordered, "nothing older remained");
+            }
+            _ => panic!("expected a job"),
+        }
+    }
+
+    #[test]
+    fn aging_bounds_starvation_to_the_threshold() {
+        // A max-cost query under a sustained stream of cheap queries must
+        // run after at most `aging_threshold` bypasses: pops 1..=K go to
+        // the cheap stream, pop K+1 is the starved job — regardless of how
+        // many cheap jobs keep arriving.
+        let k = 3u32;
+        let s = sched(k);
+        submit(&s, "huge", Priority::Interactive, 10.0, 0);
+        let mut order = Vec::new();
+        for _ in 0..=k {
+            submit(&s, "cheap", Priority::Interactive, 0.000_1, 1);
+            order.push(pop_payload(&s));
+        }
+        assert_eq!(
+            order.as_slice(),
+            ["cheap", "cheap", "cheap", "huge"],
+            "the starved job ran within aging_threshold + 1 rounds"
+        );
+        // Aging also lets a batch job overtake the interactive class.
+        let s = sched(k);
+        submit(&s, "batch", Priority::Batch, 5.0, 0);
+        let mut popped_batch_at = None;
+        for round in 0..=k {
+            submit(&s, "int", Priority::Interactive, 0.000_1, 1);
+            if pop_payload(&s) == "batch" {
+                popped_batch_at = Some(round);
+                break;
+            }
+        }
+        assert_eq!(popped_batch_at, Some(k), "batch ran after K bypasses");
+    }
+
+    #[test]
+    fn identical_requests_coalesce_into_one_flight_with_shared_bytes() {
+        let s: Scheduler<u32, &'static str, (u32, CancelToken)> = Scheduler::new(8, 8, 1, 4);
+        let key = || Some(FlightKey::new("k".to_owned()));
+        let t0 = CancelToken::new();
+        let t1 = CancelToken::new();
+        let t2 = CancelToken::new();
+        assert!(matches!(
+            s.submit_query(
+                "q",
+                Priority::Interactive,
+                Some(0.001),
+                far_deadline(),
+                Instant::now(),
+                key(),
+                (0, t0.clone())
+            ),
+            Admission::Queued
+        ));
+        assert!(matches!(
+            s.submit_query(
+                "q",
+                Priority::Interactive,
+                Some(0.001),
+                far_deadline(),
+                Instant::now(),
+                key(),
+                (1, t1.clone())
+            ),
+            Admission::Coalesced { fanout: 2 }
+        ));
+        let job = match s.try_pop() {
+            Some(Work::Job(j)) => j,
+            _ => panic!("expected the flight"),
+        };
+        // A joiner can still attach while the flight executes.
+        assert!(matches!(
+            s.submit_query(
+                "q",
+                Priority::Interactive,
+                Some(0.001),
+                far_deadline(),
+                Instant::now(),
+                key(),
+                (2, t2.clone())
+            ),
+            Admission::Coalesced { fanout: 3 }
+        ));
+        assert_eq!(s.ready_len(), 0, "joiners add no queue entries");
+
+        // Cancelling one waiter's token must not cancel the flight: the
+        // flight runs on its own token, never a clone of a waiter's.
+        let flight_token = CancelToken::new();
+        t1.cancel();
+        assert!(!flight_token.is_cancelled());
+        assert!(t0.check().is_ok() && t2.check().is_ok());
+
+        let waiters = s.finish(&job);
+        let ids: Vec<u32> = waiters.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, [0, 1, 2], "every waiter sees the one result");
+
+        // After finish, the key maps to nothing: identical requests start a
+        // fresh flight instead of attaching to drained state.
+        assert!(matches!(
+            s.submit_query(
+                "q2",
+                Priority::Interactive,
+                Some(0.001),
+                far_deadline(),
+                Instant::now(),
+                key(),
+                (9, CancelToken::new())
+            ),
+            Admission::Queued
+        ));
+    }
+
+    #[test]
+    fn opting_out_of_coalescing_isolates_the_request() {
+        let s = sched(4);
+        let key = Some(FlightKey::new("same".to_owned()));
+        assert!(matches!(
+            s.submit_query(
+                "a",
+                Priority::Interactive,
+                None,
+                None,
+                Instant::now(),
+                key.clone(),
+                0
+            ),
+            Admission::Queued
+        ));
+        // coalesce=false is expressed as key=None: no join, no flight entry.
+        assert!(matches!(
+            s.submit_query(
+                "b",
+                Priority::Interactive,
+                None,
+                None,
+                Instant::now(),
+                None,
+                1
+            ),
+            Admission::Queued
+        ));
+        assert_eq!(s.ready_len(), 2);
+    }
+
+    #[test]
+    fn capacity_and_deadline_sheds_carry_retry_hints() {
+        let s: S = Scheduler::new(2, 1, 1, 4);
+        submit(&s, "first", Priority::Interactive, 0.050, 0);
+        match s.submit_query(
+            "overflow",
+            Priority::Interactive,
+            Some(0.001),
+            far_deadline(),
+            Instant::now(),
+            None,
+            1,
+        ) {
+            Admission::Shed(shed, _) => {
+                assert_eq!(shed.reason, ShedReason::Capacity);
+                assert!(shed.retry_after_ms >= RETRY_AFTER_MS_MIN);
+                assert!(!shed.false_positive);
+            }
+            other => panic!("expected capacity shed, got {other:?}"),
+        }
+
+        // Deadline shed: 50ms of backlog ahead, 10ms of budget.
+        let s2: S = Scheduler::new(2, 8, 1, 4);
+        submit(&s2, "backlog", Priority::Interactive, 0.050, 0);
+        match s2.submit_query(
+            "late",
+            Priority::Interactive,
+            Some(0.001),
+            Some(Instant::now() + Duration::from_millis(10)),
+            Instant::now(),
+            None,
+            1,
+        ) {
+            Admission::Shed(shed, _) => {
+                assert_eq!(shed.reason, ShedReason::Deadline);
+                assert!(shed.backlog_secs >= 0.050 - 1e-9);
+            }
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+        // A query with no deadline (or no prediction) is never deadline-shed.
+        assert!(matches!(
+            s2.submit_query(
+                "nodeadline",
+                Priority::Interactive,
+                Some(10.0),
+                None,
+                Instant::now(),
+                None,
+                2
+            ),
+            Admission::Queued
+        ));
+    }
+
+    #[test]
+    fn hindsight_ratio_marks_model_driven_sheds_as_false_positives() {
+        let s: S = Scheduler::new(2, 8, 1, 4);
+        // The model over-predicts 10×: completions report actual = 0.1 × predicted.
+        for _ in 0..20 {
+            s.complete(Some(0.010), 0.001);
+        }
+        assert!(s.cost_ratio() < 0.2);
+        submit(&s, "backlog", Priority::Interactive, 0.080, 0);
+        // 80ms predicted backlog + 1ms predicted cost vs 40ms budget: shed
+        // by the raw model, but the corrected estimate (~8ms) fits — a
+        // false positive.
+        match s.submit_query(
+            "victim",
+            Priority::Interactive,
+            Some(0.001),
+            Some(Instant::now() + Duration::from_millis(40)),
+            Instant::now(),
+            None,
+            1,
+        ) {
+            Admission::Shed(shed, _) => {
+                assert_eq!(shed.reason, ShedReason::Deadline);
+                assert!(shed.false_positive, "corrected estimate fits the budget");
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_admitted_work_then_releases_consumers() {
+        let s = sched(4);
+        s.try_push_conn(7).unwrap();
+        submit(&s, "job", Priority::Interactive, 0.001, 0);
+        s.close();
+        assert_eq!(s.try_push_conn(8), Err(ConnRefusal::Closed(8)));
+        assert!(matches!(
+            s.submit_query(
+                "late",
+                Priority::Interactive,
+                None,
+                None,
+                Instant::now(),
+                None,
+                1
+            ),
+            Admission::Closed(1)
+        ));
+        assert!(matches!(s.pop(), Some(Work::Conn(7))));
+        assert!(matches!(s.pop(), Some(Work::Job(_))));
+        assert!(s.pop().is_none());
+
+        // A consumer blocked on an empty scheduler wakes on close.
+        let s2: Arc<S> = Arc::new(Scheduler::new(1, 1, 1, 4));
+        let waiter = {
+            let s2 = Arc::clone(&s2);
+            std::thread::spawn(move || s2.pop().is_none())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        s2.close();
+        assert!(waiter.join().unwrap());
+    }
+}

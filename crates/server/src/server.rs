@@ -1,22 +1,36 @@
-//! The serving loop: an acceptor thread feeding a bounded queue, a fixed
-//! worker pool draining it, and a handle for graceful shutdown.
+//! The serving loop: an acceptor thread feeding the cost-aware scheduler,
+//! a fixed worker pool draining it, and a handle for graceful shutdown.
 //!
-//! Admission control happens at the acceptor: when the queue is full the
-//! connection is answered `503` with `Retry-After` and closed immediately —
-//! the server never buffers unbounded work. Each admitted connection carries
-//! exactly one request; its deadline is armed the moment a worker picks it
-//! up, so time spent queued does not silently eat the caller's budget, and
-//! the socket's I/O timeouts are armed at the same moment, so a silent peer
-//! can pin a worker for at most [`ServerConfig::io_timeout`].
+//! Workers are read-first: a popped *connection* is parsed immediately —
+//! non-query requests are answered inline, queries are priced with the
+//! calibrated Formula-2 model and submitted to the scheduler, where they
+//! are shed (`429` + `Retry-After`), coalesced onto an identical in-flight
+//! query, or queued shortest-predicted-first within their deadline class. A
+//! popped *job* is executed once and its answer fanned out to every waiter
+//! of the flight. Since parsing is microseconds next to retrieval, the
+//! socket queue converts into a cost-ordered job queue as soon as there is
+//! any backlog to reorder.
+//!
+//! Deadlines are end-to-end: the clock starts at admission, so time spent
+//! queued counts against the caller's budget — which is what makes the shed
+//! rule ("predicted backlog + predicted cost exceed the remaining budget")
+//! coherent. The socket's I/O timeouts are armed before the first read, so
+//! a silent peer can pin a worker for at most [`ServerConfig::io_timeout`].
+//!
+//! Every endpoint is mounted twice: under `/v1/` (the versioned contract)
+//! and at its legacy unversioned path, which answers identically plus a
+//! `Deprecation` header. Non-2xx responses all carry the structured error
+//! envelope (`{"error": {"code", "message", ...}}`) from [`http::Response`].
 
 use crate::api;
 use crate::http::{self, ParseError, Request, Response};
 use crate::metrics::Metrics;
 use crate::mutate::{self, Durability};
-use crate::queue::{BoundedQueue, PushError};
+use crate::sched::{Admission, ConnRefusal, Job, Scheduler, Shed, ShedReason, Work};
 use crate::slowlog::SlowLog;
 use precis_core::{CoreError, PrecisEngine, SnapshotCell};
 use precis_nlg::Vocabulary;
+use precis_obs::sched_obs;
 use precis_obs::{Phase, QueryProfile};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,11 +47,13 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads handling requests.
     pub workers: usize,
-    /// Connections allowed to wait for a worker before admission control
-    /// starts answering 503.
+    /// Bound on each of the scheduler's stages: raw connections waiting to
+    /// be read, and parsed queries waiting to execute. Beyond either bound
+    /// admission answers 429.
     pub queue_capacity: usize,
     /// Deadline applied to every `/query`; a request's own `deadline_ms`
-    /// may only tighten it. `None` disables deadlines by default.
+    /// may only tighten it. The budget is end-to-end from admission.
+    /// `None` disables deadlines by default.
     pub default_deadline: Option<Duration>,
     /// Per-socket read/write timeout armed before a worker touches the
     /// connection. A peer that connects and then goes silent (or stops
@@ -50,6 +66,9 @@ pub struct ServerConfig {
     /// How many of the worst query profiles `GET /debug/slow` retains.
     /// Zero disables the slow-query log.
     pub slow_log_capacity: usize,
+    /// Starvation bound for the cost-ordered queue: a query bypassed this
+    /// many times is scheduled next regardless of predicted cost or class.
+    pub aging_threshold: u32,
 }
 
 impl Default for ServerConfig {
@@ -61,9 +80,30 @@ impl Default for ServerConfig {
             default_deadline: Some(Duration::from_secs(10)),
             io_timeout: Some(Duration::from_secs(5)),
             slow_log_capacity: 8,
+            aging_threshold: 8,
         }
     }
 }
+
+/// A parsed query waiting for (or undergoing) execution.
+struct QueryJob {
+    request: api::QueryRequest,
+    /// Time the admitting worker spent parsing, attributed to the flight's
+    /// profile so per-phase aggregates still see it.
+    parse_time: Duration,
+}
+
+/// One response destination of a flight.
+struct Waiter {
+    stream: TcpStream,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    wants_profile: bool,
+    /// Came in over a legacy unversioned path → deprecation headers.
+    deprecated: bool,
+}
+
+type Sched = Scheduler<(Instant, TcpStream), QueryJob, Waiter>;
 
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
@@ -83,9 +123,9 @@ struct Shared {
     durability: Option<Durability>,
     vocabulary: Option<Vocabulary>,
     metrics: Arc<Metrics>,
-    /// Admitted connections, stamped with their admission instant so the
-    /// picking worker can attribute queue wait separately from service time.
-    queue: BoundedQueue<(Instant, TcpStream)>,
+    /// The cost-aware scheduler: raw connections, the cost-ordered ready
+    /// queue, and the single-flight coalescing table.
+    sched: Sched,
     slow_log: Arc<SlowLog>,
     shutdown: AtomicBool,
     default_deadline: Option<Duration>,
@@ -125,13 +165,19 @@ impl Server {
         durability: Option<Durability>,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
+        let workers_n = config.workers.max(1);
         let shared = Arc::new(Shared {
             engine: SnapshotCell::new(engine),
             write_lock: Mutex::new(()),
             durability,
             vocabulary,
             metrics: Arc::new(Metrics::default()),
-            queue: BoundedQueue::new(config.queue_capacity),
+            sched: Scheduler::new(
+                config.queue_capacity,
+                config.queue_capacity,
+                workers_n,
+                config.aging_threshold,
+            ),
             slow_log: Arc::new(SlowLog::new(config.slow_log_capacity)),
             shutdown: AtomicBool::new(false),
             default_deadline: config.default_deadline,
@@ -139,7 +185,7 @@ impl Server {
             local_addr: listener.local_addr()?,
         });
 
-        let workers = (0..config.workers.max(1))
+        let workers = (0..workers_n)
             .map(|i| {
                 let shared = shared.clone();
                 std::thread::Builder::new()
@@ -222,7 +268,7 @@ fn trigger_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
-    shared.queue.close();
+    shared.sched.close();
     // The acceptor blocks in accept(); a throwaway connection wakes it so it
     // can observe the flag and exit.
     let _ = TcpStream::connect(shared.local_addr);
@@ -234,17 +280,21 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        match shared.queue.try_push((Instant::now(), stream)) {
+        match shared.sched.try_push_conn((Instant::now(), stream)) {
             Ok(()) => shared.metrics.enqueued(),
-            Err(PushError::Full((_, mut stream))) => {
+            Err(ConnRefusal::Full((_, mut stream))) => {
                 shared.metrics.record_rejection();
-                let resp = Response::error(503, "server overloaded, retry shortly")
-                    .with_header("Retry-After: 1");
+                let resp = Response::error_retry(
+                    429,
+                    "overloaded",
+                    "server overloaded, retry shortly",
+                    1000,
+                );
                 let _ = http::write_response(&mut stream, &resp);
             }
-            Err(PushError::Closed((_, mut stream))) => {
+            Err(ConnRefusal::Closed((_, mut stream))) => {
                 let resp =
-                    Response::error(503, "server shutting down").with_header("Retry-After: 1");
+                    Response::error_retry(503, "shutting_down", "server shutting down", 1000);
                 let _ = http::write_response(&mut stream, &resp);
             }
         }
@@ -252,50 +302,79 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some((admitted, mut stream)) = shared.queue.pop() {
-        shared.metrics.dequeued();
-        let queue_wait = admitted.elapsed();
-        shared.metrics.record_queue_wait(queue_wait);
-        serve_connection(shared, &mut stream, queue_wait);
+    while let Some(work) = shared.sched.pop() {
+        match work {
+            Work::Conn((admitted, stream)) => {
+                shared.metrics.dequeued();
+                serve_connection(shared, stream, admitted);
+            }
+            Work::Job(job) => {
+                if job.reordered {
+                    shared.metrics.record_reordered();
+                }
+                execute_flight(shared, job);
+            }
+        }
     }
 }
 
-/// Read one request off the connection, handle it, answer it, close.
+/// The versioned route table: map a request path to its canonical endpoint
+/// and whether it arrived over a deprecated (unversioned) alias.
+fn canonical_path(path: &str) -> (&str, bool) {
+    match path {
+        "/v1/query" | "/v1/mutate" | "/v1/healthz" | "/v1/metrics" | "/v1/debug/slow" => {
+            (&path[3..], false)
+        }
+        "/query" | "/mutate" | "/healthz" | "/metrics" | "/debug/slow" => (path, true),
+        other => (other, false),
+    }
+}
+
+/// Headers advertising that the unversioned path is a deprecated alias of
+/// the `/v1/` mount.
+fn deprecate(resp: Response, path: &str) -> Response {
+    resp.with_header("Deprecation: true")
+        .with_header(format!("Link: </v1{path}>; rel=\"successor-version\""))
+}
+
+/// Read one request off the connection and dispatch it. Non-query requests
+/// are answered inline; queries go through cost-aware admission and are
+/// answered later by [`execute_flight`] (or immediately, if shed).
 ///
 /// The socket's read/write timeouts are armed first, so a silent or
 /// non-reading peer costs the worker at most `io_timeout` before it is
 /// answered (`408` on a stalled read) and released back to the queue.
-fn serve_connection(shared: &Shared, stream: &mut TcpStream, queue_wait: Duration) {
+fn serve_connection(shared: &Shared, mut stream: TcpStream, admitted: Instant) {
     let started = Instant::now();
     if shared.io_timeout.is_some() {
         let _ = stream.set_read_timeout(shared.io_timeout);
         let _ = stream.set_write_timeout(shared.io_timeout);
     }
-    let request = match http::read_request(stream) {
+    let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(ParseError::Disconnected) => return,
         Err(ParseError::Bad(msg)) => {
-            let resp = Response::error(400, &msg);
+            let resp = Response::error(400, "bad_request", &msg);
             shared
                 .metrics
                 .record_request("other", 400, started.elapsed());
-            let _ = http::write_response(stream, &resp);
+            let _ = http::write_response(&mut stream, &resp);
             return;
         }
         Err(ParseError::TooLarge) => {
-            let resp = Response::error(413, "request too large");
+            let resp = Response::error(413, "payload_too_large", "request too large");
             shared
                 .metrics
                 .record_request("other", 413, started.elapsed());
-            let _ = http::write_response(stream, &resp);
+            let _ = http::write_response(&mut stream, &resp);
             return;
         }
         Err(ParseError::TimedOut) => {
-            let resp = Response::error(408, "timed out waiting for request");
+            let resp = Response::error(408, "request_timeout", "timed out waiting for request");
             shared
                 .metrics
                 .record_request("other", 408, started.elapsed());
-            let _ = http::write_response(stream, &resp);
+            let _ = http::write_response(&mut stream, &resp);
             return;
         }
     };
@@ -304,36 +383,47 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream, queue_wait: Duratio
         .peer_addr()
         .map(|a| a.ip().is_loopback())
         .unwrap_or(false);
-    let (endpoint, response, shutdown_after) =
-        route(shared, &request, peer_is_loopback, queue_wait);
+    let (path, deprecated) = canonical_path(&request.path);
+    // Time between admission and pickup is the connection-stage queue wait;
+    // a query's additional ready-queue wait surfaces in its profile and
+    // `"scheduling"` metadata instead.
+    shared.metrics.record_queue_wait(admitted.elapsed());
+
+    if request.method == "POST" && path == "/query" {
+        admit_query(shared, stream, &request.body, admitted, started, deprecated);
+        return;
+    }
+
+    let (endpoint, response, shutdown_after) = route(shared, &request, path, peer_is_loopback);
+    let response = if deprecated {
+        deprecate(response, path)
+    } else {
+        response
+    };
     shared
         .metrics
         .record_request(endpoint, response.status, started.elapsed());
-    let _ = http::write_response(stream, &response);
+    let _ = http::write_response(&mut stream, &response);
     if shutdown_after {
         trigger_shutdown(shared);
     }
 }
 
-/// Dispatch one request. Returns the metrics endpoint label, the response,
-/// and whether to begin shutdown after answering.
+/// Dispatch one non-query request on its canonical path. Returns the
+/// metrics endpoint label, the response, and whether to begin shutdown
+/// after answering.
 fn route(
     shared: &Shared,
     request: &Request,
+    path: &str,
     peer_is_loopback: bool,
-    queue_wait: Duration,
 ) -> (&'static str, Response, bool) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/query") => (
-            "query",
-            handle_query(shared, &request.body, queue_wait),
-            false,
-        ),
+    match (request.method.as_str(), path) {
         // Mutations are unauthenticated, like /shutdown: only loopback
         // peers may change the data a public bind is serving.
         ("POST", "/mutate") if !peer_is_loopback => (
             "mutate",
-            Response::error(403, "mutations are only honored from loopback"),
+            Response::error(403, "forbidden", "mutations are only honored from loopback"),
             false,
         ),
         ("POST", "/mutate") => ("mutate", handle_mutate(shared, &request.body), false),
@@ -350,7 +440,11 @@ fn route(
         // only honored from loopback peers.
         ("GET", "/debug/slow") if !peer_is_loopback => (
             "other",
-            Response::error(403, "debug endpoints are only honored from loopback"),
+            Response::error(
+                403,
+                "forbidden",
+                "debug endpoints are only honored from loopback",
+            ),
             false,
         ),
         ("GET", "/debug/slow") => (
@@ -363,7 +457,7 @@ fn route(
         // termination to every peer that can reach the port.
         ("POST", "/shutdown") if !peer_is_loopback => (
             "other",
-            Response::error(403, "shutdown is only honored from loopback"),
+            Response::error(403, "forbidden", "shutdown is only honored from loopback"),
             false,
         ),
         ("POST", "/shutdown") => (
@@ -371,10 +465,276 @@ fn route(
             Response::json(200, "{\"shutting_down\": true}\n".to_owned()),
             true,
         ),
-        (_, "/query" | "/mutate" | "/healthz" | "/metrics" | "/shutdown" | "/debug/slow") => {
-            ("other", Response::error(405, "method not allowed"), false)
+        (_, "/query" | "/mutate" | "/healthz" | "/metrics" | "/shutdown" | "/debug/slow") => (
+            "other",
+            Response::error(405, "method_not_allowed", "method not allowed"),
+            false,
+        ),
+        _ => (
+            "other",
+            Response::error(404, "not_found", "no such endpoint"),
+            false,
+        ),
+    }
+}
+
+/// Cost-aware admission for one query: parse eagerly, price with the
+/// calibrated Formula-2 model, then shed, coalesce, or enqueue. Shed and
+/// error responses are written here; queued/coalesced requests are answered
+/// by [`execute_flight`] when their flight completes.
+fn admit_query(
+    shared: &Shared,
+    mut stream: TcpStream,
+    body: &[u8],
+    admitted: Instant,
+    started: Instant,
+    deprecated: bool,
+) {
+    let answer_now = |resp: Response, stream: &mut TcpStream| {
+        let resp = if deprecated {
+            deprecate(resp, "/query")
+        } else {
+            resp
+        };
+        shared
+            .metrics
+            .record_request("query", resp.status, started.elapsed());
+        let _ = http::write_response(stream, &resp);
+    };
+
+    let Ok(text) = std::str::from_utf8(body) else {
+        answer_now(
+            Response::error(400, "bad_request", "body must be UTF-8"),
+            &mut stream,
+        );
+        return;
+    };
+    let parse_started = Instant::now();
+    let request = match api::parse_query_request(text) {
+        Ok(r) => r,
+        Err(msg) => {
+            answer_now(Response::error(400, "bad_request", &msg), &mut stream);
+            return;
         }
-        _ => ("other", Response::error(404, "no such endpoint"), false),
+    };
+
+    // Price the query with Formula 2 before it queues. This also warms the
+    // engine's token and schema caches, so the priced work is not wasted
+    // when the query executes on the same snapshot.
+    let engine = shared.engine.load();
+    let admit_span = precis_obs::span(sched_obs::SPAN_ADMIT);
+    let prediction =
+        match engine.predict_cost(&request.query, &request.degree, &request.cardinality) {
+            Ok(p) => p,
+            Err(CoreError::EmptyQuery) => {
+                drop(admit_span);
+                answer_now(
+                    Response::error(400, "empty_query", "query has no tokens"),
+                    &mut stream,
+                );
+                return;
+            }
+            Err(e) => {
+                drop(admit_span);
+                answer_now(
+                    Response::error(500, "internal", &e.to_string()),
+                    &mut stream,
+                );
+                return;
+            }
+        };
+    let predicted_secs = prediction.predicted_secs;
+    admit_span.field(
+        sched_obs::FIELD_PREDICTED_NS,
+        predicted_secs.map(|s| (s * 1e9) as u64).unwrap_or(0),
+    );
+    admit_span.field(sched_obs::FIELD_CLASS, request.priority.as_field());
+    drop(admit_span);
+    let parse_time = parse_started.elapsed();
+
+    let deadline = api::request_budget(&request, shared.default_deadline).map(|b| admitted + b);
+    let key = request.coalesce.then(|| api::flight_key(&request));
+    let class = request.priority;
+    let waiter = Waiter {
+        stream,
+        admitted,
+        deadline,
+        wants_profile: request.profile,
+        deprecated,
+    };
+    let payload = QueryJob {
+        request,
+        parse_time,
+    };
+
+    match shared.sched.submit_query(
+        payload,
+        class,
+        predicted_secs,
+        deadline,
+        admitted,
+        key,
+        waiter,
+    ) {
+        Admission::Queued => {}
+        Admission::Coalesced { fanout } => {
+            shared.metrics.record_coalesced();
+            let span = precis_obs::span(sched_obs::SPAN_COALESCE);
+            span.field(sched_obs::FIELD_FANOUT, fanout as u64);
+        }
+        Admission::Shed(shed, mut w) => {
+            shared.metrics.record_shed(shed.false_positive);
+            emit_shed_span(&shed, predicted_secs);
+            let (code, message) = match shed.reason {
+                ShedReason::Capacity => ("overloaded", "query queue is full, retry shortly"),
+                ShedReason::Deadline => (
+                    "shed_deadline",
+                    "predicted cost cannot meet the deadline under current load",
+                ),
+            };
+            answer_now(
+                Response::error_retry(429, code, message, shed.retry_after_ms),
+                &mut w.stream,
+            );
+        }
+        Admission::Closed(mut w) => {
+            answer_now(
+                Response::error_retry(503, "shutting_down", "server shutting down", 1000),
+                &mut w.stream,
+            );
+        }
+    }
+}
+
+fn emit_shed_span(shed: &Shed, predicted_secs: Option<f64>) {
+    let span = precis_obs::span(sched_obs::SPAN_SHED);
+    span.field(
+        sched_obs::FIELD_PREDICTED_NS,
+        predicted_secs.map(|s| (s * 1e9) as u64).unwrap_or(0),
+    );
+    span.field(
+        sched_obs::FIELD_BACKLOG_NS,
+        (shed.backlog_secs * 1e9) as u64,
+    );
+    span.field(sched_obs::FIELD_RETRY_AFTER_MS, shed.retry_after_ms);
+}
+
+/// Execute one flight and fan its answer out to every waiter. The flight's
+/// deadline is the most permissive across the waiters attached at start
+/// (joiners arriving mid-execution ride along but cannot extend it), and
+/// cancelling — i.e. disconnecting — any single waiter never cancels the
+/// flight: the execution runs on its own token and a dead socket just fails
+/// its one write at fan-out.
+fn execute_flight(shared: &Shared, job: Job<QueryJob, Waiter>) {
+    let exec_started = Instant::now();
+    let exec_span = precis_obs::span(sched_obs::SPAN_EXECUTE);
+    exec_span.field(
+        sched_obs::FIELD_PREDICTED_NS,
+        job.predicted_secs.map(|s| (s * 1e9) as u64).unwrap_or(0),
+    );
+    exec_span.field(sched_obs::FIELD_CLASS, job.class.as_field());
+
+    // Most permissive deadline across the waiters attached so far; `None`
+    // anywhere means unbounded wins (it is the most permissive).
+    let deadline = job.inspect_waiters(|ws| {
+        ws.iter()
+            .map(|w| w.deadline)
+            .fold(job.deadline, |acc, d| match (acc, d) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            })
+    });
+
+    // Every query is profiled internally — the slow log and the per-phase
+    // /metrics aggregates need it — but the response only carries the
+    // profile when a waiter opted in, so default responses stay
+    // byte-identical to an unprofiled server.
+    let profile = Arc::new(QueryProfile::new());
+    profile.add_phase(Phase::QueueWait, exec_started - job.admitted);
+    profile.add_phase(Phase::Parse, job.payload.parse_time);
+
+    // One wait-free snapshot per flight: the query runs against exactly
+    // this engine even if `swap_engine` publishes a replacement mid-flight.
+    let engine = shared.engine.load();
+    // A panic in answer generation must cost one flight, not a worker: the
+    // engine's state is all behind Arcs and internally lock-guarded, so an
+    // unwound handler leaves nothing half-mutated.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        api::answer_query_at(
+            &engine,
+            shared.vocabulary.as_ref(),
+            &job.payload.request,
+            deadline,
+            &profile,
+        )
+    }));
+    let service = exec_started.elapsed();
+    shared
+        .sched
+        .complete(job.predicted_secs, service.as_secs_f64());
+
+    // Prepare the shared success body (and its profile JSON, rendered once)
+    // or the shared error. Fan-out happens after `finish` retires the
+    // flight, so late joiners are all in the list.
+    enum FlightResult {
+        Body(String, Option<String>),
+        Error(u16, &'static str, String),
+    }
+    let result = match outcome {
+        Ok(Ok(body)) => {
+            let snap = profile.snapshot();
+            shared.metrics.phases.accumulate(&snap);
+            shared.slow_log.offer(snap.clone());
+            let mut profile_json = String::new();
+            api::write_profile_json(&mut profile_json, &snap);
+            FlightResult::Body(body, Some(profile_json))
+        }
+        Ok(Err(CoreError::Cancelled)) => {
+            FlightResult::Error(504, "deadline_exceeded", "deadline exceeded".to_owned())
+        }
+        Ok(Err(CoreError::EmptyQuery)) => {
+            FlightResult::Error(400, "empty_query", "query has no tokens".to_owned())
+        }
+        Ok(Err(e)) => FlightResult::Error(500, "internal", e.to_string()),
+        Err(_) => {
+            shared.metrics.record_panic();
+            FlightResult::Error(500, "internal", "internal error answering query".to_owned())
+        }
+    };
+
+    let waiters = shared.sched.finish(&job);
+    exec_span.field(sched_obs::FIELD_FANOUT, waiters.len() as u64);
+    drop(exec_span);
+
+    for (i, mut w) in waiters.into_iter().enumerate() {
+        let queue_wait = exec_started.saturating_duration_since(w.admitted);
+        // `finish` preserves attach order: index 0 is the flight's creator,
+        // everyone after it coalesced onto the flight.
+        let coalesced = i > 0;
+        let response = match &result {
+            FlightResult::Body(body, profile_json) => {
+                let mut body = body.clone();
+                if w.wants_profile {
+                    let sched_json =
+                        api::render_scheduling_json(job.predicted_secs, queue_wait, coalesced);
+                    api::splice_json_field(&mut body, "scheduling", &sched_json);
+                    if let Some(p) = profile_json {
+                        api::splice_json_field(&mut body, "profile", p);
+                    }
+                }
+                Response::json(200, body)
+            }
+            FlightResult::Error(status, code, message) => Response::error(*status, code, message),
+        };
+        let response = if w.deprecated {
+            deprecate(response, "/query")
+        } else {
+            response
+        };
+        shared
+            .metrics
+            .record_request("query", response.status, service);
+        let _ = http::write_response(&mut w.stream, &response);
     }
 }
 
@@ -390,19 +750,23 @@ fn route(
 /// LSNs and tuple slots are reclaimed cleanly by the next batch. If even
 /// the rollback fails the durability state is poisoned and every further
 /// mutation is refused until restart.
+///
+/// `503` on this path always means a durability failure (or shutdown) —
+/// overload is signalled with `429` by admission, never here.
 fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
     let Ok(text) = std::str::from_utf8(body) else {
-        return Response::error(400, "body must be UTF-8");
+        return Response::error(400, "bad_request", "body must be UTF-8");
     };
     let ops = match mutate::parse_mutate_request(text) {
         Ok(ops) => ops,
-        Err(msg) => return Response::error(400, &msg),
+        Err(msg) => return Response::error(400, "bad_request", &msg),
     };
     let _guard = shared.write_lock.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(d) = &shared.durability {
         if d.is_poisoned() {
             return Response::error(
                 503,
+                "wal_poisoned",
                 "write-ahead log state is inconsistent; mutations are disabled until restart",
             );
         }
@@ -464,6 +828,12 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
         applied.error.as_deref(),
     );
     let status = if applied.error.is_some() { 400 } else { 200 };
+    if status == 400 {
+        // Non-2xx responses carry the envelope; the partial-application
+        // report rides along in `details` so callers keep the full picture.
+        let message = applied.error.as_deref().unwrap_or("mutation failed");
+        return Response::error_detailed(400, "mutate_failed", message, body.trim_end());
+    }
     Response::json(status, body)
 }
 
@@ -473,7 +843,7 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
 /// no later batch can interleave with the abandoned records.
 fn abort_batch(d: &Durability, mark: precis_durability::WalMark, reason: &str) -> Response {
     match d.wal.truncate_to_mark(mark) {
-        Ok(()) => Response::error(503, &format!("{reason}; batch rolled back")),
+        Ok(()) => Response::error(503, "wal_failed", &format!("{reason}; batch rolled back")),
         Err(e) => {
             d.poison();
             eprintln!(
@@ -482,6 +852,7 @@ fn abort_batch(d: &Durability, mark: precis_durability::WalMark, reason: &str) -
             );
             Response::error(
                 503,
+                "wal_poisoned",
                 &format!("{reason}; rollback failed ({e}), mutations disabled until restart"),
             )
         }
@@ -515,54 +886,4 @@ fn render_wal_metrics(out: &mut String, d: &Durability) {
         d.checkpoint_failures.load(Ordering::Relaxed),
         d.wal.next_lsn(),
     );
-}
-
-fn handle_query(shared: &Shared, body: &[u8], queue_wait: Duration) -> Response {
-    let Ok(text) = std::str::from_utf8(body) else {
-        return Response::error(400, "body must be UTF-8");
-    };
-    // Every query is profiled internally — the slow log and the per-phase
-    // /metrics aggregates need it — but the response only carries the
-    // profile when the request opted in, so default responses stay
-    // byte-identical to an unprofiled server.
-    let profile = Arc::new(QueryProfile::new());
-    profile.add_phase(Phase::QueueWait, queue_wait);
-    let parse_started = Instant::now();
-    let request = match api::parse_query_request(text) {
-        Ok(r) => r,
-        Err(msg) => return Response::error(400, &msg),
-    };
-    profile.add_phase(Phase::Parse, parse_started.elapsed());
-
-    // One wait-free snapshot per request: the query runs against exactly
-    // this engine even if `swap_engine` publishes a replacement mid-flight.
-    let engine = shared.engine.load();
-    // A panic in answer generation must cost one request, not a worker: the
-    // engine's state is all behind Arcs and internally lock-guarded, so a
-    // unwound handler leaves nothing half-mutated.
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        api::answer_query_profiled(
-            &engine,
-            shared.vocabulary.as_ref(),
-            &request,
-            shared.default_deadline,
-            &profile,
-        )
-    }));
-    match outcome {
-        Ok(Ok(body)) => {
-            profile.finish();
-            let snap = profile.snapshot();
-            shared.metrics.phases.accumulate(&snap);
-            shared.slow_log.offer(snap);
-            Response::json(200, body)
-        }
-        Ok(Err(CoreError::Cancelled)) => Response::error(504, "deadline exceeded"),
-        Ok(Err(CoreError::EmptyQuery)) => Response::error(400, "query has no tokens"),
-        Ok(Err(e)) => Response::error(500, &e.to_string()),
-        Err(_) => {
-            shared.metrics.record_panic();
-            Response::error(500, "internal error answering query")
-        }
-    }
 }

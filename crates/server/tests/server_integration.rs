@@ -1,7 +1,10 @@
 //! End-to-end tests against a live server on an ephemeral loopback port:
 //! concurrent responses must be byte-identical to direct engine answers,
-//! overload must answer 503 at admission, deadline-exceeded must answer 504
-//! without poisoning the worker pool, and shutdown must drain cleanly.
+//! overload must answer 429 at admission (503 stays reserved for durability
+//! failures and shutdown), deadline-exceeded must answer 504 without
+//! poisoning the worker pool, identical concurrent queries must coalesce
+//! into one execution, the `/v1/` mounts and their deprecated unversioned
+//! aliases must answer identically, and shutdown must drain cleanly.
 
 use precis_core::{CostModel, PrecisEngine};
 use precis_datagen::{movies_graph, movies_vocabulary, MoviesConfig, MoviesGenerator};
@@ -115,7 +118,7 @@ fn concurrent_responses_are_byte_identical_to_direct_answers() {
 }
 
 #[test]
-fn overload_answers_503_with_retry_after_and_bounded_queue() {
+fn overload_answers_429_with_retry_after_and_bounded_queue() {
     let handle = Server::start(
         test_engine(),
         None,
@@ -141,10 +144,13 @@ fn overload_answers_503_with_retry_after_and_bounded_queue() {
         "queue depth is bounded"
     );
 
-    // Admission control now rejects instead of buffering.
+    // Admission control rejects instead of buffering — with 429, the
+    // overload status; 503 is reserved for durability failures.
     let (status, head, body) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
-    assert_eq!(status, 503, "{body}");
+    assert_eq!(status, 429, "{body}");
     assert!(head.contains("Retry-After:"), "{head}");
+    assert!(body.contains("\"code\": \"overloaded\""), "{body}");
+    assert!(body.contains("\"retry_after_ms\""), "{body}");
     assert!(handle.metrics().rejected_total() >= 1);
 
     // Release the held connections; the pool drains and serves again.
@@ -648,6 +654,218 @@ fn wal_fsync_failure_rolls_back_and_later_acks_survive_recovery() {
     assert!(dump.contains("Quorate Zzyx"), "acknowledged write lost");
     assert!(!dump.contains("Phantom"), "unfsynced batch resurrected");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn post_query_v1(addr: SocketAddr, body: &str) -> (u16, String, String) {
+    roundtrip(
+        addr,
+        &format!(
+            "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn v1_mounts_answer_identically_and_legacy_paths_carry_deprecation() {
+    let handle =
+        Server::start(test_engine(), None, ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    // Same request through both mounts: byte-identical bodies, and only the
+    // legacy alias announces its deprecation and v1 successor.
+    let body = r#"{"tokens": "comedy"}"#;
+    let (status_v1, head_v1, got_v1) = post_query_v1(addr, body);
+    let (status_legacy, head_legacy, got_legacy) = post_query(addr, body);
+    assert_eq!(status_v1, 200, "{got_v1}");
+    assert_eq!(status_legacy, 200, "{got_legacy}");
+    assert_eq!(got_v1, got_legacy, "v1 and legacy bodies diverged");
+    assert!(!head_v1.contains("Deprecation"), "{head_v1}");
+    assert!(head_legacy.contains("Deprecation: true"), "{head_legacy}");
+    assert!(
+        head_legacy.contains("Link: </v1/query>; rel=\"successor-version\""),
+        "{head_legacy}"
+    );
+
+    let (status, head, body) = roundtrip(addr, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok\n");
+    assert!(!head.contains("Deprecation"), "{head}");
+    let (status, head, _) = roundtrip(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(head.contains("Deprecation: true"), "{head}");
+
+    let (status, _, metrics) = roundtrip(addr, "GET /v1/metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("precis_sched_shed_total"), "{metrics}");
+    assert!(
+        metrics.contains("precis_sched_coalesced_total"),
+        "{metrics}"
+    );
+    let (status, _, _) = roundtrip(addr, "GET /v1/debug/slow HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+
+    // Every non-2xx answers the structured envelope with a stable code.
+    let (status, _, body) = roundtrip(addr, "GET /v1/nope HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"code\": \"not_found\""), "{body}");
+    let (status, _, body) = roundtrip(addr, "DELETE /v1/query HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+    assert!(body.contains("\"code\": \"method_not_allowed\""), "{body}");
+    let (status, _, body) = post_query_v1(addr, r#"{"tokens": 42}"#);
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\": \"bad_request\""), "{body}");
+    let (status, _, body) = post_query_v1(addr, r#"{"tokens": "comedy", "priority": "urgent"}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("priority"), "{body}");
+
+    // The scheduler knobs are accepted on the wire.
+    let (status, _, body) = post_query_v1(
+        addr,
+        r#"{"tokens": "comedy", "priority": "batch", "coalesce": false}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    handle.join();
+}
+
+#[test]
+fn identical_concurrent_queries_coalesce_into_one_execution() {
+    let handle = Server::start(
+        test_engine(),
+        None,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            io_timeout: Some(Duration::from_millis(400)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // Pin the lone worker on a connection that never sends its request so
+    // four identical queries stack up behind it. Workers drain raw
+    // connections before executing queries, so all four are parsed and
+    // admitted — one flight, three coalesced joins — before any executes.
+    let busy = TcpStream::connect(addr).expect("busy conn");
+    std::thread::sleep(Duration::from_millis(100));
+    let body = r#"{"tokens": ["drama", "thriller"], "degree": {"minweight": 0.5}}"#;
+    let raw = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut clients: Vec<TcpStream> = (0..4)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).expect("client conn");
+            s.write_all(raw.as_bytes()).expect("send");
+            s
+        })
+        .collect();
+    drop(busy);
+
+    let mut bodies = Vec::new();
+    for s in &mut clients {
+        let mut out = Vec::new();
+        s.read_to_end(&mut out).expect("response");
+        let response = String::from_utf8(out).expect("utf-8");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header block");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        bodies.push(body.to_owned());
+    }
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]), "fan-out diverged");
+    assert_eq!(handle.metrics().coalesced_total(), 3);
+    assert!(handle.metrics().requests_for("query", 200) >= 4);
+    handle.join();
+}
+
+#[test]
+fn scheduling_metadata_reports_prediction_queue_wait_and_coalescing() {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies: 200,
+        directors: 20,
+        actors: 100,
+        theatres: 4,
+        plays: 400,
+        seed: 0x5E21,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let mut engine = PrecisEngine::new(db, movies_graph()).expect("engine builds");
+    engine.set_cost_model(CostModel::new(1e-6, 2e-6));
+    let handle =
+        Server::start(Arc::new(engine), None, ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    // Default responses carry no scheduling object (byte-compat with PR 7).
+    let (status, _, plain) = post_query_v1(addr, r#"{"tokens": "comedy"}"#);
+    assert_eq!(status, 200, "{plain}");
+    assert!(!plain.contains("\"scheduling\""), "{plain}");
+
+    let (status, _, profiled) = post_query_v1(addr, r#"{"tokens": "comedy", "profile": true}"#);
+    assert_eq!(status, 200, "{profiled}");
+    let doc = json::parse(&profiled).expect("profiled body parses");
+    let sched = doc.get("scheduling").expect("scheduling object present");
+    assert!(
+        sched
+            .get("predicted_ms")
+            .and_then(json::Json::as_f64)
+            .is_some(),
+        "cost model attached, prediction expected: {profiled}"
+    );
+    assert!(
+        sched
+            .get("queue_wait_ms")
+            .and_then(json::Json::as_f64)
+            .is_some(),
+        "{profiled}"
+    );
+    assert_eq!(
+        sched.get("coalesced"),
+        Some(&json::Json::Bool(false)),
+        "{profiled}"
+    );
+    handle.join();
+}
+
+#[test]
+fn predicted_cost_beyond_deadline_sheds_with_429() {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies: 200,
+        directors: 20,
+        actors: 100,
+        theatres: 4,
+        plays: 400,
+        seed: 0x5E21,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let mut engine = PrecisEngine::new(db, movies_graph()).expect("engine builds");
+    // An absurd calibration: every tuple claims 20 seconds, so any priced
+    // query predicts far past a 50ms deadline and must be shed up front.
+    engine.set_cost_model(CostModel::new(10.0, 10.0));
+    let handle = Server::start(
+        Arc::new(engine),
+        None,
+        ServerConfig {
+            default_deadline: None,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let (status, head, body) = post_query_v1(addr, r#"{"tokens": "comedy", "deadline_ms": 50}"#);
+    assert_eq!(status, 429, "{body}");
+    assert!(head.contains("Retry-After:"), "{head}");
+    assert!(body.contains("\"code\": \"shed_deadline\""), "{body}");
+    assert!(body.contains("\"retry_after_ms\""), "{body}");
+    assert!(handle.metrics().shed_total() >= 1);
+    assert!(handle.metrics().requests_for("query", 429) >= 1);
+
+    // Without a deadline there is nothing to miss: the same query runs.
+    let (status, _, body) = post_query_v1(addr, r#"{"tokens": "comedy"}"#);
+    assert_eq!(status, 200, "{body}");
+    handle.join();
 }
 
 #[test]

@@ -14,7 +14,7 @@
 //!    `CoreError::Cancelled`.
 //! 3. **Server resilience** — a loopback server answers 500 to an injected
 //!    storage fault, 500 to an injected panic (worker survives), 504 to an
-//!    exhausted deadline, 503 under queue overflow — and returns correct
+//!    exhausted deadline, 429 under queue overflow — and returns correct
 //!    200 answers after each.
 //!
 //! The whole suite holds [`failpoint::exclusive`] and uses process-wide
@@ -296,7 +296,7 @@ fn cancel_injection(report: &mut FaultReport) {
     });
 }
 
-/// Layer 3: the server maps injected faults to 500/504/503, keeps its
+/// Layer 3: the server maps injected faults to 500/504/429, keeps its
 /// worker pool alive through an injected panic, and answers correctly
 /// afterwards.
 fn server_resilience(report: &mut FaultReport) {
@@ -318,7 +318,7 @@ fn server_resilience(report: &mut FaultReport) {
     .expect("fault server starts");
     let addr = server.local_addr();
     let body = r#"{"tokens": "woody comedy"}"#;
-    let post = |b: &str| crate::oracle::http_request(addr, "POST", "/query", Some(b));
+    let post = |b: &str| crate::oracle::http_request(addr, "POST", "/v1/query", Some(b));
 
     // Baseline 200.
     let baseline = post(body);
@@ -371,11 +371,11 @@ fn server_resilience(report: &mut FaultReport) {
         format!("zero deadline should answer 504, got {expired:?}")
     });
 
-    // Queue overflow → 503 on at least one connection, then recovery.
+    // Queue overflow → 429 on at least one connection, then recovery.
     // Open idle connections (workers block reading them until io_timeout);
     // with 2 workers + queue 2, the 5th onwards is rejected at admission.
     let mut idle = Vec::new();
-    let mut saw_503 = false;
+    let mut saw_429 = false;
     for _ in 0..8 {
         if let Ok(stream) = std::net::TcpStream::connect(addr) {
             idle.push(stream);
@@ -385,14 +385,14 @@ fn server_resilience(report: &mut FaultReport) {
         let _ = stream.set_read_timeout(Some(Duration::from_millis(300)));
         let mut buf = [0u8; 128];
         if let Ok(n) = std::io::Read::read(stream, &mut buf) {
-            if n > 0 && String::from_utf8_lossy(&buf[..n]).contains("503") {
-                saw_503 = true;
+            if n > 0 && String::from_utf8_lossy(&buf[..n]).contains("429") {
+                saw_429 = true;
             }
         }
     }
     drop(idle);
-    report.check(saw_503, || {
-        "queue overflow never produced a 503 admission rejection".to_owned()
+    report.check(saw_429, || {
+        "queue overflow never produced a 429 admission rejection".to_owned()
     });
     // The pool drains its idle connections (408 on stalled reads) and
     // serves correct answers again.

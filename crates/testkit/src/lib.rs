@@ -4,9 +4,11 @@
 //! The testkit answers two questions no single-crate unit test can:
 //!
 //! 1. **Do all execution paths agree?** Every generated case is pushed
-//!    through five paths that must produce the same answer — retrieval
+//!    through paths that must produce the same answer — retrieval
 //!    strategies, sequential vs parallel joins, cold vs warm vs invalidated
-//!    caches, and a loopback `precis-server` round-trip ([`oracle`]).
+//!    caches, a loopback `precis-server` `/v1/query` round-trip, and the
+//!    same request fanned out over concurrent duplicate connections, which
+//!    the scheduler coalesces into a single flight ([`oracle`]).
 //! 2. **Do all failure paths stay inside the error contract?** Faults
 //!    injected at every storage failpoint, deterministic cancellations, and
 //!    worker panics must map to documented error variants, never poison
@@ -373,7 +375,7 @@ mod tests {
     #[test]
     fn quick_smoke_run_passes() {
         // A miniature run across enough cases to hit several datasets and
-        // all five legs, plus the full fault suite.
+        // all seven legs, plus the full fault suite.
         let config = TestkitConfig {
             seed: 42,
             cases: 12,

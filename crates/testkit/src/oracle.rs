@@ -60,6 +60,7 @@ pub enum Leg {
     Server,
     Layout,
     Durability,
+    Coalesce,
 }
 
 impl std::fmt::Display for Leg {
@@ -71,6 +72,7 @@ impl std::fmt::Display for Leg {
             Leg::Server => "server",
             Leg::Layout => "layout",
             Leg::Durability => "durability",
+            Leg::Coalesce => "coalesce",
         })
     }
 }
@@ -82,7 +84,7 @@ pub struct Mismatch {
     pub detail: String,
 }
 
-/// Everything a dataset needs to serve all five legs: a shared read-only
+/// Everything a dataset needs to serve all seven legs: a shared read-only
 /// engine fronted by a loopback server, and a private mutable engine for
 /// the cache-invalidation leg.
 pub struct DatasetCtx {
@@ -353,7 +355,7 @@ fn render(engine: &PrecisEngine, vocab: Option<&Vocabulary>, answer: &PrecisAnsw
     render_answer(engine, vocab, answer)
 }
 
-/// Run all six legs of one case. Empty result = the case passes.
+/// Run all seven legs of one case. Empty result = the case passes.
 pub fn run_case(ctx: &mut DatasetCtx, case: &CaseSpec) -> Vec<Mismatch> {
     let mut out = Vec::new();
     strategy_leg(ctx, case, &mut out);
@@ -362,6 +364,7 @@ pub fn run_case(ctx: &mut DatasetCtx, case: &CaseSpec) -> Vec<Mismatch> {
     server_leg(ctx, case, &mut out);
     layout_leg(ctx, case, &mut out);
     durability_leg(ctx, case, &mut out);
+    coalesce_leg(ctx, case, &mut out);
     out
 }
 
@@ -728,7 +731,7 @@ fn server_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
         }
     };
     let body = request_body(case);
-    match http_request(ctx.addr, "POST", "/query", Some(&body)) {
+    match http_request(ctx.addr, "POST", "/v1/query", Some(&body)) {
         Ok((200, served)) => {
             if served != expected {
                 out.push(Mismatch {
@@ -745,6 +748,100 @@ fn server_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
             leg: Leg::Server,
             detail: format!("loopback request failed: {e}"),
         }),
+    }
+}
+
+/// Single-flight leg: the same request sent over N concurrent connections
+/// must fan out byte-identical answers — and at least one of them must have
+/// been a real execution, not a coalesced join (a flight with no creator
+/// would mean the scheduler invented an answer).
+fn coalesce_leg(ctx: &DatasetCtx, case: &CaseSpec, out: &mut Vec<Mismatch>) {
+    const FANOUT: usize = 4;
+    let q = query(case);
+    let spec = base_spec(case);
+    let expected = match ctx.engine.answer(&q, &spec) {
+        Ok(a) => render(&ctx.engine, ctx.vocab.as_ref(), &a),
+        Err(e) => {
+            out.push(Mismatch {
+                leg: Leg::Coalesce,
+                detail: format!("direct answer errored: {e}"),
+            });
+            return;
+        }
+    };
+    let body = request_body(case);
+    let raw = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: testkit\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let coalesced_before = ctx
+        .server
+        .as_ref()
+        .map(|s| s.metrics().coalesced_total())
+        .unwrap_or(0);
+
+    // Write all requests before reading any response, so the duplicates are
+    // genuinely concurrent and eligible for single-flight.
+    let mut socks = Vec::with_capacity(FANOUT);
+    for i in 0..FANOUT {
+        let sent = TcpStream::connect(ctx.addr).and_then(|mut s| {
+            s.set_read_timeout(Some(Duration::from_secs(10)))?;
+            s.write_all(raw.as_bytes())?;
+            Ok(s)
+        });
+        match sent {
+            Ok(s) => socks.push(s),
+            Err(e) => {
+                out.push(Mismatch {
+                    leg: Leg::Coalesce,
+                    detail: format!("duplicate {i} failed to send: {e}"),
+                });
+                return;
+            }
+        }
+    }
+    for (i, mut s) in socks.into_iter().enumerate() {
+        let mut response = String::new();
+        if let Err(e) = s.read_to_string(&mut response) {
+            out.push(Mismatch {
+                leg: Leg::Coalesce,
+                detail: format!("duplicate {i} read failed: {e}"),
+            });
+            continue;
+        }
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let served = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        if status != 200 {
+            out.push(Mismatch {
+                leg: Leg::Coalesce,
+                detail: format!(
+                    "duplicate {i}: expected 200, got {status}: {}",
+                    served.trim()
+                ),
+            });
+        } else if served != expected {
+            out.push(Mismatch {
+                leg: Leg::Coalesce,
+                detail: format!("duplicate {i}: {}", first_diff(&expected, &served)),
+            });
+        }
+    }
+    if let Some(server) = &ctx.server {
+        let coalesced = server.metrics().coalesced_total() - coalesced_before;
+        if coalesced >= FANOUT as u64 {
+            out.push(Mismatch {
+                leg: Leg::Coalesce,
+                detail: format!("all {FANOUT} duplicates coalesced — no execution of record"),
+            });
+        }
     }
 }
 
