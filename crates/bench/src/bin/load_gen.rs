@@ -7,6 +7,7 @@
 //! cargo run --release -p precis-bench --bin load_gen -- --clients 32 --workers 4
 //! cargo run --release -p precis-bench --bin load_gen -- --pr5 BENCH_PR5.json
 //! cargo run --release -p precis-bench --bin load_gen -- --pr8 BENCH_PR8.json
+//! cargo run --release -p precis-bench --bin load_gen -- --pr10 BENCH_PR10.json
 //! ```
 //!
 //! `--pr5` labels the report `BENCH_PR5` and prepends the tracing-overhead
@@ -17,17 +18,44 @@
 //! cost-aware scheduler (coalesce hit rate, shed false-positive rate,
 //! Formula-2 prediction accuracy), and appends the pipeline `workloads`
 //! array so the CI bench-smoke gate can read fig8 throughput from the same
-//! file. With no path, the JSON is printed to stdout only.
+//! file. `--pr10` measures always-on telemetry overhead: the PR 8 burst
+//! shape served by two *co-resident* servers (telemetry off / telemetry
+//! on) over one shared engine, half the client threads pinned to each
+//! server per round (halves swap every round) so machine noise hits both
+//! modes at the same instants and cancels out of the paired per-round
+//! deltas. `overhead.p50_delta_pct` is
+//! the median over rounds of the per-round paired p50 delta, plus a
+//! re-measure of the disarmed span-site cost; the committed
+//! `BENCH_PR10.json` gates that delta under 2%. With no path, the JSON is
+//! printed to stdout only.
 
 use precis_bench::bench_report::{run_report, tracing_overhead, Scale};
-use precis_bench::load_report::{run_load, LoadConfig};
+use precis_bench::load_report::{run_coresident_ab, run_load, CoresidentAb, LoadConfig};
+
+/// Cost of one disarmed span site, nanoseconds — re-measured so the PR 10
+/// snapshot proves always-on sampling did not quietly arm the fast path.
+fn disarmed_span_site_ns() -> f64 {
+    assert!(
+        !precis_obs::armed(),
+        "tracer must be disarmed for the span-site measure"
+    );
+    let iters: u32 = 4_000_000;
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        let _s = precis_obs::span("bench.disarmed_site");
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(iters)
+}
 
 fn main() {
     let mut config = LoadConfig::default();
     let mut path: Option<String> = None;
     let mut pr5 = false;
     let mut pr8 = false;
+    let mut pr10 = false;
     let mut quick = false;
+    let mut rounds: Option<usize> = None;
+    let mut requests_set = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -46,8 +74,12 @@ fn main() {
                 quick = true;
             }
             "--pr5" => pr5 = true,
-            "--pr8" => {
-                pr8 = true;
+            "--pr8" | "--pr10" => {
+                if args[i].as_str() == "--pr10" {
+                    pr10 = true;
+                } else {
+                    pr8 = true;
+                }
                 // Adopt the burst shape, but let size knobs already parsed
                 // (or still to come) override it — flag order is free.
                 let base = LoadConfig::pr8();
@@ -61,13 +93,18 @@ fn main() {
             "--workers" => config.workers = numeric(&mut i, "--workers"),
             "--queue" => config.queue_capacity = numeric(&mut i, "--queue"),
             "--clients" => config.clients = numeric(&mut i, "--clients"),
-            "--requests" => config.requests_per_client = numeric(&mut i, "--requests"),
+            "--requests" => {
+                config.requests_per_client = numeric(&mut i, "--requests");
+                requests_set = true;
+            }
             "--deadline-ms" => config.deadline_ms = numeric(&mut i, "--deadline-ms") as u64,
             "--duplicates" => config.duplicate_pct = numeric(&mut i, "--duplicates").min(100) as u8,
+            "--rounds" => rounds = Some(numeric(&mut i, "--rounds").max(1)),
             other if other.starts_with('-') => {
                 eprintln!(
-                    "unknown flag {other:?} (expected --quick | --pr5 | --pr8 | --movies | \
-                     --workers | --queue | --clients | --requests | --deadline-ms | --duplicates)"
+                    "unknown flag {other:?} (expected --quick | --pr5 | --pr8 | --pr10 | \
+                     --movies | --workers | --queue | --clients | --requests | --deadline-ms | \
+                     --duplicates | --rounds)"
                 );
                 std::process::exit(2);
             }
@@ -75,12 +112,65 @@ fn main() {
         }
         i += 1;
     }
-    if pr5 && pr8 {
-        eprintln!("--pr5 and --pr8 are mutually exclusive");
+    if (pr5 as u8) + (pr8 as u8) + (pr10 as u8) > 1 {
+        eprintln!("--pr5, --pr8, and --pr10 are mutually exclusive");
         std::process::exit(2);
     }
 
     let scale = if quick { Scale::Quick } else { Scale::Full };
+
+    if pr10 {
+        let rounds = rounds.unwrap_or(if quick { 3 } else { 48 });
+        // Many short rounds beat few long ones: the gate statistic is a
+        // median over per-round paired deltas, and its resolution scales
+        // with the number of rounds, not the requests inside one.
+        if !requests_set && !quick {
+            config.requests_per_client = 100;
+        }
+        eprintln!("pr10: measuring always-on telemetry overhead ({rounds} co-resident rounds)...");
+        let CoresidentAb {
+            off,
+            on,
+            p50_delta_pct_median: p50_delta_pct,
+        } = run_coresident_ab(&config, rounds);
+        let site_ns = disarmed_span_site_ns();
+        let off_json = off.to_json_labeled("pr10_telemetry_off");
+        let on_json = on.to_json_labeled("pr10_always_on");
+        let json = format!(
+            "{{\n  \"report\": \"BENCH_PR10\",\n  \"overhead\": {{\"p50_off_secs\": {:.6}, \
+             \"p50_on_secs\": {:.6}, \"p50_delta_pct\": {:.3}, \"throughput_off_rps\": {:.3}, \
+             \"throughput_on_rps\": {:.3}, \"disarmed_span_site_ns\": {:.2}, \"rounds\": {}}},\n  \
+             \"telemetry_off\": {},\n  \"always_on\": {}}}\n",
+            off.p50_secs,
+            on.p50_secs,
+            p50_delta_pct,
+            off.throughput_rps,
+            on.throughput_rps,
+            site_ns,
+            rounds,
+            off_json.trim_end(),
+            on_json.trim_end()
+        );
+        print!("{json}");
+        if let Some(path) = path {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        eprintln!(
+            "(pooled p50 off {:.4}s / on {:.4}s, paired-median delta {:+.2}%; \
+             {:.0} vs {:.0} req/s; disarmed span site {:.1} ns)",
+            off.p50_secs,
+            on.p50_secs,
+            p50_delta_pct,
+            off.throughput_rps,
+            on.throughput_rps,
+            site_ns
+        );
+        return;
+    }
     let tracing = pr5.then(|| {
         eprintln!("measuring tracing overhead...");
         tracing_overhead(scale)

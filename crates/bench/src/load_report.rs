@@ -48,6 +48,11 @@ pub struct LoadConfig {
     /// the rotating mix. Duplicates arriving concurrently coalesce into a
     /// single execution, so this knob directly exercises single-flight.
     pub duplicate_pct: u8,
+    /// Run the server with always-on telemetry (trace ids on every request,
+    /// per-request span capture, tail sampling, SLO counters). Off by
+    /// default so historical reports stay comparable; the `--pr10` overhead
+    /// measurement runs the same shape both ways.
+    pub telemetry: bool,
 }
 
 impl Default for LoadConfig {
@@ -60,6 +65,7 @@ impl Default for LoadConfig {
             requests_per_client: 50,
             deadline_ms: 5_000,
             duplicate_pct: 0,
+            telemetry: false,
         }
     }
 }
@@ -75,6 +81,7 @@ impl LoadConfig {
             requests_per_client: 20,
             deadline_ms: 5_000,
             duplicate_pct: 50,
+            telemetry: false,
         }
     }
 
@@ -90,6 +97,7 @@ impl LoadConfig {
             requests_per_client: 50,
             deadline_ms: 5_000,
             duplicate_pct: 80,
+            telemetry: false,
         }
     }
 }
@@ -274,8 +282,9 @@ fn scrape_counter(exposition: &str, family: &str) -> f64 {
         .unwrap_or(0.0)
 }
 
-/// Run the closed loop: start a server, hammer it, summarize.
-pub fn run_load(config: LoadConfig) -> LoadReport {
+/// Build the shared world one load run (or every slice of an interleaved
+/// run) serves: generated database, vocabulary, calibrated engine.
+fn build_world(config: &LoadConfig) -> (Arc<PrecisEngine>, precis_nlg::Vocabulary) {
     let db = MoviesGenerator::new(MoviesConfig {
         movies: config.movies,
         directors: (config.movies / 12).max(1),
@@ -292,81 +301,195 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
     if let Some(model) = cost_model {
         engine.set_cost_model(model);
     }
-    let handle = Server::start(
-        Arc::new(engine),
-        Some(vocab),
+    (Arc::new(engine), vocab)
+}
+
+/// Start one server over the shared engine, with or without telemetry.
+fn start_server(
+    engine: &Arc<PrecisEngine>,
+    vocab: &precis_nlg::Vocabulary,
+    config: &LoadConfig,
+    telemetry: bool,
+) -> precis_server::ServerHandle {
+    Server::start(
+        Arc::clone(engine),
+        Some(vocab.clone()),
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: config.workers,
             queue_capacity: config.queue_capacity,
             default_deadline: Some(Duration::from_millis(config.deadline_ms)),
+            telemetry: telemetry.then(precis_obs::TelemetryConfig::default),
             ..ServerConfig::default()
         },
     )
-    .expect("server starts");
-    let addr = handle.local_addr();
+    .expect("server starts")
+}
 
-    // All clients start behind a barrier so the run opens with a genuine
-    // burst — the arrival pattern that makes duplicates concurrent and
-    // therefore coalescable.
+/// One synchronized client burst: every client thread starts behind a
+/// barrier so the run opens with a genuine burst — the arrival pattern that
+/// makes duplicates concurrent and therefore coalescable. `seed` varies the
+/// body sequence between slices of an interleaved run (zero reproduces the
+/// classic single-run sequence).
+fn run_clients(addr: SocketAddr, config: &LoadConfig, seed: usize) -> Vec<(u16, Duration)> {
+    run_clients_multi(&[addr], config, seed, 0)
+        .pop()
+        .expect("one outcome bucket per address")
+}
+
+/// The same synchronized burst spread over several co-resident servers:
+/// client `c` spends the whole burst on `addrs[(c + rotate) % addrs.len()]`,
+/// so each server runs an *independent* closed loop over its share of the
+/// clients while both experience the same instants of host noise. The
+/// assignment rotates with `rotate` (one step per round) so every client
+/// thread visits every server equally across a run. Clients must not
+/// alternate per request: closed-loop alternation pins the servers to
+/// identical throughput, which lets client concurrency migrate toward the
+/// slower server and amplifies any service-time difference into an
+/// unbounded latency ratio. Outcomes come back bucketed by server index.
+fn run_clients_multi(
+    addrs: &[SocketAddr],
+    config: &LoadConfig,
+    seed: usize,
+    rotate: usize,
+) -> Vec<Vec<(u16, Duration)>> {
     let barrier = Arc::new(Barrier::new(config.clients));
-    let t0 = Instant::now();
+    let addrs: Vec<SocketAddr> = addrs.to_vec();
     let clients: Vec<_> = (0..config.clients)
         .map(|c| {
             let requests = config.requests_per_client;
             let duplicate_pct = config.duplicate_pct as usize;
             let barrier = Arc::clone(&barrier);
+            let addrs = addrs.clone();
             std::thread::spawn(move || {
-                let mut outcomes: Vec<(u16, Duration)> = Vec::with_capacity(requests);
+                let mut outcomes: Vec<Vec<(u16, Duration)>> = vec![Vec::new(); addrs.len()];
                 barrier.wait();
                 for r in 0..requests {
                     // Deterministic per-(client, round) coin: the hot body
                     // for duplicate_pct% of requests, the rotation otherwise.
-                    let body = if (c * 37 + r * 11) % 100 < duplicate_pct {
+                    let body = if (c * 37 + (seed + r) * 11) % 100 < duplicate_pct {
                         BODIES[0]
                     } else {
-                        BODIES[(c + r) % BODIES.len()]
+                        BODIES[(c + seed + r) % BODIES.len()]
                     };
-                    if let Some(outcome) = one_request(addr, body) {
-                        outcomes.push(outcome);
+                    let which = (c + rotate) % addrs.len();
+                    if let Some(outcome) = one_request(addrs[which], body) {
+                        outcomes[which].push(outcome);
                     }
                 }
                 outcomes
             })
         })
         .collect();
-
-    let mut ok_latencies: Vec<f64> = Vec::new();
-    let (mut ok, mut rejected, mut deadline_exceeded, mut other) = (0usize, 0usize, 0usize, 0usize);
+    let mut merged: Vec<Vec<(u16, Duration)>> = vec![Vec::new(); addrs.len()];
     for client in clients {
-        for (status, latency) in client.join().expect("client thread") {
-            match status {
-                200 => {
-                    ok += 1;
-                    ok_latencies.push(latency.as_secs_f64());
-                }
-                429 => rejected += 1,
-                504 => deadline_exceeded += 1,
-                _ => other += 1,
-            }
+        for (which, outcomes) in client
+            .join()
+            .expect("client thread")
+            .into_iter()
+            .enumerate()
+        {
+            merged[which].extend(outcomes);
         }
     }
-    let wall_secs = t0.elapsed().as_secs_f64();
+    merged
+}
 
-    // Scrape the exposition before shutdown: the cost-model accountability
-    // counters live in the per-server phase aggregates, not in `Metrics`.
-    let exposition = fetch_metrics(addr);
-    let predicted_seconds_total =
-        scrape_counter(&exposition, "precis_cost_model_predicted_seconds_total");
-    let measured_seconds_total =
-        scrape_counter(&exposition, "precis_cost_model_measured_seconds_total");
+/// Server-side counters accumulated over one or more server lifetimes.
+#[derive(Default)]
+struct ServerCounters {
+    rejected: u64,
+    deadline_exceeded: u64,
+    queue_depth_final: u64,
+    coalesced: u64,
+    shed: u64,
+    shed_false_positive: u64,
+    reordered: u64,
+    predicted_seconds: f64,
+    measured_seconds: f64,
+    queue_wait: HistAcc,
+    service_time: HistAcc,
+}
 
-    let metrics = handle.metrics();
-    let coalesced_total = metrics.coalesced_total();
-    let shed_total = metrics.shed_total();
-    let shed_false_positive_total = metrics.shed_false_positive_total();
-    let report = LoadReport {
-        requests_total: config.clients * config.requests_per_client,
+/// Count-weighted accumulator for merging [`HistSummary`]s across server
+/// lifetimes. The mean stays exact; quantiles are count-weighted averages
+/// of per-lifetime bucket-resolution quantiles (each lifetime sees the same
+/// workload shape, so the approximation is tight).
+#[derive(Default)]
+struct HistAcc {
+    count: u64,
+    sum_secs: f64,
+    p50_weighted: f64,
+    p95_weighted: f64,
+}
+
+impl HistAcc {
+    fn add(&mut self, h: &HistSummary) {
+        self.count += h.count;
+        self.sum_secs += h.mean_secs * h.count as f64;
+        self.p50_weighted += h.p50_secs * h.count as f64;
+        self.p95_weighted += h.p95_secs * h.count as f64;
+    }
+
+    fn summary(&self) -> HistSummary {
+        let n = self.count.max(1) as f64;
+        HistSummary {
+            count: self.count,
+            p50_secs: self.p50_weighted / n,
+            p95_secs: self.p95_weighted / n,
+            mean_secs: self.sum_secs / n,
+        }
+    }
+}
+
+impl ServerCounters {
+    /// Scrape one server (exposition plus in-process metrics) and fold its
+    /// counters in. Call before shutdown.
+    fn absorb(&mut self, handle: &precis_server::ServerHandle) {
+        // The cost-model accountability counters live in the per-server
+        // phase aggregates, not in `Metrics`, so they come off the wire.
+        let exposition = fetch_metrics(handle.local_addr());
+        self.predicted_seconds +=
+            scrape_counter(&exposition, "precis_cost_model_predicted_seconds_total");
+        self.measured_seconds +=
+            scrape_counter(&exposition, "precis_cost_model_measured_seconds_total");
+        let metrics = handle.metrics();
+        self.rejected += metrics.rejected_total();
+        self.deadline_exceeded += metrics.deadline_exceeded_total();
+        self.queue_depth_final = metrics.queue_depth();
+        self.coalesced += metrics.coalesced_total();
+        self.shed += metrics.shed_total();
+        self.shed_false_positive += metrics.shed_false_positive_total();
+        self.reordered += metrics.reordered_total();
+        self.queue_wait.add(&HistSummary::from(&metrics.queue_wait));
+        self.service_time
+            .add(&HistSummary::from(metrics.duration("query")));
+    }
+}
+
+/// Fold client outcomes and server counters into a [`LoadReport`].
+fn summarize(
+    config: LoadConfig,
+    requests_total: usize,
+    outcomes: &[(u16, Duration)],
+    wall_secs: f64,
+    counters: &ServerCounters,
+) -> LoadReport {
+    let mut ok_latencies: Vec<f64> = Vec::new();
+    let (mut ok, mut rejected, mut deadline_exceeded, mut other) = (0usize, 0usize, 0usize, 0usize);
+    for (status, latency) in outcomes {
+        match status {
+            200 => {
+                ok += 1;
+                ok_latencies.push(latency.as_secs_f64());
+            }
+            429 => rejected += 1,
+            504 => deadline_exceeded += 1,
+            _ => other += 1,
+        }
+    }
+    LoadReport {
+        requests_total,
         ok,
         rejected,
         deadline_exceeded,
@@ -376,8 +499,7 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
         } else {
             0.0
         },
-        rejection_rate: rejected as f64
-            / (config.clients * config.requests_per_client).max(1) as f64,
+        rejection_rate: rejected as f64 / requests_total.max(1) as f64,
         p50_secs: {
             ok_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
             percentile(&ok_latencies, 0.50)
@@ -389,33 +511,148 @@ pub fn run_load(config: LoadConfig) -> LoadReport {
         } else {
             ok_latencies.iter().sum::<f64>() / ok_latencies.len() as f64
         },
-        server_rejected_total: metrics.rejected_total(),
-        server_deadline_exceeded_total: metrics.deadline_exceeded_total(),
-        server_queue_depth_final: metrics.queue_depth(),
-        queue_wait: HistSummary::from(&metrics.queue_wait),
-        service_time: HistSummary::from(metrics.duration("query")),
-        coalesced_total,
-        coalesce_hit_rate: coalesced_total as f64 / ok.max(1) as f64,
-        shed_total,
-        shed_false_positive_total,
-        shed_false_positive_rate: if shed_total > 0 {
-            shed_false_positive_total as f64 / shed_total as f64
+        server_rejected_total: counters.rejected,
+        server_deadline_exceeded_total: counters.deadline_exceeded,
+        server_queue_depth_final: counters.queue_depth_final,
+        queue_wait: counters.queue_wait.summary(),
+        service_time: counters.service_time.summary(),
+        coalesced_total: counters.coalesced,
+        coalesce_hit_rate: counters.coalesced as f64 / ok.max(1) as f64,
+        shed_total: counters.shed,
+        shed_false_positive_total: counters.shed_false_positive,
+        shed_false_positive_rate: if counters.shed > 0 {
+            counters.shed_false_positive as f64 / counters.shed as f64
         } else {
             0.0
         },
-        reordered_total: metrics.reordered_total(),
-        predicted_seconds_total,
-        measured_seconds_total,
-        measured_over_predicted: if predicted_seconds_total > 0.0 {
-            measured_seconds_total / predicted_seconds_total
+        reordered_total: counters.reordered,
+        predicted_seconds_total: counters.predicted_seconds,
+        measured_seconds_total: counters.measured_seconds,
+        measured_over_predicted: if counters.predicted_seconds > 0.0 {
+            counters.measured_seconds / counters.predicted_seconds
         } else {
             0.0
         },
         wall_secs,
         config,
-    };
+    }
+}
+
+/// Run the closed loop: start a server, hammer it, summarize.
+pub fn run_load(config: LoadConfig) -> LoadReport {
+    let (engine, vocab) = build_world(&config);
+    let handle = start_server(&engine, &vocab, &config, config.telemetry);
+    let t0 = Instant::now();
+    let outcomes = run_clients(handle.local_addr(), &config, 0);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let mut counters = ServerCounters::default();
+    counters.absorb(&handle);
+    let requests_total = config.clients * config.requests_per_client;
+    let report = summarize(config, requests_total, &outcomes, wall_secs, &counters);
     handle.join();
     report
+}
+
+/// Telemetry-overhead A/B against two co-resident servers.
+///
+/// Whole-run A/B cannot resolve a small overhead on a shared machine:
+/// back-to-back runs of the *same* configuration here swing ±30% as noisy
+/// neighbors come and go, and even time-sliced alternation leaves the two
+/// modes seconds apart — per-burst p50s on this host scatter ±20%, so a
+/// sub-2% gate could never be resolved sequentially. Instead both servers
+/// run *simultaneously* over one shared engine, each serving an
+/// independent closed loop over half the client threads (halves swap every
+/// round): the two modes see the same client mix, the same body mix, and
+/// the same instants of machine noise, so the drift cancels at millisecond
+/// granularity inside every round.
+///
+/// One caveat is inherent: arming is process-global, so while the
+/// telemetry-on server is alive the off server's span sites are not the
+/// true disarmed fast path — they pay the inert capture-only check (a few
+/// relaxed loads) instead of one. That cost is measured separately and
+/// reported as `disarmed_span_site_ns` (single-digit nanoseconds per
+/// site); the paired delta therefore isolates everything else: identity,
+/// capture, sampling, retention, and SLO accounting.
+///
+/// `config.requests_per_client` is the per-round count; round 0 is an
+/// unmeasured warmup that also drains the retention bucket's initial
+/// burst, so measured rounds see steady-state rate-limited retention.
+pub struct CoresidentAb {
+    pub off: LoadReport,
+    pub on: LoadReport,
+    /// Median over measured rounds of the per-round paired p50 delta
+    /// (on vs off), in percent — the statistic the overhead gate reads.
+    pub p50_delta_pct_median: f64,
+}
+
+pub fn run_coresident_ab(config: &LoadConfig, rounds: usize) -> CoresidentAb {
+    let (engine, vocab) = build_world(config);
+    let handles = [
+        start_server(&engine, &vocab, config, false),
+        start_server(&engine, &vocab, config, true),
+    ];
+    let addrs = [handles[0].local_addr(), handles[1].local_addr()];
+    let mut outcomes: [Vec<(u16, Duration)>; 2] = [Vec::new(), Vec::new()];
+    let mut walls = [0.0f64; 2];
+    let mut round_deltas: Vec<f64> = Vec::with_capacity(rounds);
+    for round in 0..rounds + 1 {
+        let t0 = Instant::now();
+        let got = run_clients_multi(&addrs, config, round * config.requests_per_client, round);
+        let wall = t0.elapsed().as_secs_f64();
+        if round == 0 {
+            continue;
+        }
+        let mut round_p50 = [0.0f64; 2];
+        for (mode, got) in got.into_iter().enumerate() {
+            let mut ok: Vec<f64> = got
+                .iter()
+                .filter(|(status, _)| *status == 200)
+                .map(|(_, d)| d.as_secs_f64())
+                .collect();
+            ok.sort_by(|a, b| a.total_cmp(b));
+            round_p50[mode] = percentile(&ok, 0.50);
+            outcomes[mode].extend(got);
+            walls[mode] += wall;
+        }
+        if round_p50[0] > 0.0 {
+            let delta = (round_p50[1] - round_p50[0]) / round_p50[0] * 100.0;
+            if std::env::var_os("PRECIS_AB_VERBOSE").is_some() {
+                eprintln!(
+                    "round {round:>3}: off p50 {:>7.0}us  on p50 {:>7.0}us  delta {delta:+.2}%",
+                    round_p50[0] * 1e6,
+                    round_p50[1] * 1e6,
+                );
+            }
+            round_deltas.push(delta);
+        }
+    }
+    let mut counters = [ServerCounters::default(), ServerCounters::default()];
+    for (mode, handle) in handles.iter().enumerate() {
+        counters[mode].absorb(handle);
+    }
+    for handle in handles {
+        handle.trigger_shutdown();
+        handle.join();
+    }
+    round_deltas.sort_by(|a, b| a.total_cmp(b));
+    let p50_delta_pct_median = if round_deltas.is_empty() {
+        0.0
+    } else {
+        round_deltas[round_deltas.len() / 2]
+    };
+    let report = |mode: usize, counters: &ServerCounters| {
+        let mut cfg = config.clone();
+        cfg.telemetry = mode == 1;
+        // Each server answers half of every round's burst.
+        cfg.requests_per_client = config.requests_per_client * rounds / 2;
+        let requests_total = cfg.clients * cfg.requests_per_client;
+        summarize(cfg, requests_total, &outcomes[mode], walls[mode], counters)
+    };
+    CoresidentAb {
+        off: report(0, &counters[0]),
+        on: report(1, &counters[1]),
+        p50_delta_pct_median,
+    }
 }
 
 impl LoadReport {
@@ -430,14 +667,15 @@ impl LoadReport {
             out,
             "  \"config\": {{\"movies\": {}, \"workers\": {}, \"queue_capacity\": {}, \
              \"clients\": {}, \"requests_per_client\": {}, \"deadline_ms\": {}, \
-             \"duplicate_pct\": {}}},",
+             \"duplicate_pct\": {}, \"telemetry\": {}}},",
             self.config.movies,
             self.config.workers,
             self.config.queue_capacity,
             self.config.clients,
             self.config.requests_per_client,
             self.config.deadline_ms,
-            self.config.duplicate_pct
+            self.config.duplicate_pct,
+            self.config.telemetry
         );
         let _ = writeln!(out, "  \"wall_secs\": {:.6},", self.wall_secs);
         let _ = writeln!(out, "  \"requests_total\": {},", self.requests_total);
@@ -580,6 +818,7 @@ mod tests {
             requests_per_client: 5,
             deadline_ms: 5_000,
             duplicate_pct: 0,
+            telemetry: true,
         });
         report.rejection_rate = 0.91;
         assert!(report.to_json().contains("\"warning\""));

@@ -30,6 +30,7 @@ precis — interactive précis query explorer
   precis ... --exec 'cmd; cmd'   run commands non-interactively
   precis ... serve [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
                    [--data-dir DIR] [--checkpoint-every N]
+                   [--trace-slow-ms MS] [--no-telemetry]
                                  run the HTTP query service over the chosen
                                  database (POST /shutdown stops it; honored
                                  from loopback peers only — note the API has
@@ -38,7 +39,13 @@ precis — interactive précis query explorer
                                  POST /mutate writes are WAL-durable: the
                                  dir holds snapshot.precisdb + wal.log, and
                                  a restart recovers every acknowledged
-                                 mutation (existing state beats the source)
+                                 mutation (existing state beats the source).
+                                 Telemetry is always on by default: every
+                                 request gets a trace id and the tail sampler
+                                 retains interesting traces at
+                                 /v1/debug/traces; --trace-slow-ms overrides
+                                 both classes' slow thresholds (0 retains
+                                 everything), --no-telemetry disables it all
   precis testkit [--seed N] [--cases N] [--profile quick|soak]
                  [--repro-out FILE]
                                  run the differential oracle + fault-injection
@@ -188,6 +195,13 @@ pub struct ServeOptions {
     pub data_dir: Option<String>,
     /// Snapshot + rotate the WAL after this many records (0 = never).
     pub checkpoint_every: u64,
+    /// Tail-sampler slow threshold override, milliseconds, applied to both
+    /// priority classes. `None` keeps the per-class defaults (25ms
+    /// interactive / 250ms batch); 0 retains every completed request.
+    pub trace_slow_ms: Option<u64>,
+    /// Disable always-on telemetry entirely (no trace ids, no tail sampler,
+    /// no SLO engine).
+    pub no_telemetry: bool,
 }
 
 impl Default for ServeOptions {
@@ -199,6 +213,8 @@ impl Default for ServeOptions {
             deadline_ms: 10_000,
             data_dir: None,
             checkpoint_every: 10_000,
+            trace_slow_ms: None,
+            no_telemetry: false,
         }
     }
 }
@@ -308,12 +324,22 @@ pub fn start_server(
         engine.set_cost_model(model);
     }
     let engine = std::sync::Arc::new(engine);
+    let telemetry = (!options.no_telemetry).then(|| {
+        let mut t = precis_obs::TelemetryConfig::default();
+        if let Some(ms) = options.trace_slow_ms {
+            let threshold = std::time::Duration::from_millis(ms);
+            t.slow_interactive = threshold;
+            t.slow_batch = threshold;
+        }
+        t
+    });
     let config = precis_server::ServerConfig {
         addr: options.addr.clone(),
         workers: options.workers,
         queue_capacity: options.queue,
         default_deadline: (options.deadline_ms > 0)
             .then(|| std::time::Duration::from_millis(options.deadline_ms)),
+        telemetry,
         ..precis_server::ServerConfig::default()
     };
     let handle = precis_server::Server::start_durable(engine, vocabulary, config, durability)
@@ -978,6 +1004,7 @@ mod tests {
             deadline_ms: 2_000,
             data_dir: Some(dir.to_str().unwrap().to_owned()),
             checkpoint_every: 0,
+            ..ServeOptions::default()
         };
 
         let post = |addr: std::net::SocketAddr, path: &str, body: &str| -> String {

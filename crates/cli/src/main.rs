@@ -126,6 +126,23 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--checkpoint-every needs a count (0 = never)"));
             }
+            "--trace-slow-ms" => {
+                i += 1;
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--trace-slow-ms needs `serve`"));
+                opts.trace_slow_ms = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--trace-slow-ms needs milliseconds (0 = all)")),
+                );
+            }
+            "--no-telemetry" => {
+                let opts = serve
+                    .as_mut()
+                    .unwrap_or_else(|| usage("--no-telemetry needs `serve`"));
+                opts.no_telemetry = true;
+            }
             "--demo" => source = Some(precis_cli::Source::Demo),
             "--synthetic" => {
                 i += 1;

@@ -297,7 +297,13 @@ impl PrecisEngine {
                 });
             }
         }
-        let trace = spec.options.profile.as_ref().map_or(0, |p| p.trace());
+        // Unprofiled queries inherit the caller's ambient trace (if any), so
+        // their engine spans still land in the request's capture buffer.
+        let trace = spec
+            .options
+            .profile
+            .as_ref()
+            .map_or_else(precis_obs::current_trace, |p| p.trace());
         precis_obs::with_trace(trace, || {
             let _answer_span = precis_obs::span("engine.answer");
             let graph = match &spec.profile {

@@ -25,11 +25,19 @@
 //! finished profiles into a Prometheus text exposition fragment. The
 //! [`promfmt`] module validates Prometheus text expositions (CI pipes live
 //! `/metrics` scrapes through it).
+//!
+//! On top of those sit the always-on layers ([`telemetry`], [`slo`]): wire
+//! trace identity (W3C-style `traceparent`), per-request span capture via
+//! [`tracer::capture_trace`], a tail sampler that retains only interesting
+//! traces into a byte-budgeted store, and an SLO engine computing
+//! multi-window error-budget burn rates.
 
 pub mod export;
 pub mod profile;
 pub mod promfmt;
 pub mod sched_obs;
+pub mod slo;
+pub mod telemetry;
 pub mod tracer;
 
 pub use export::{chrome_trace, render_profile_text};
@@ -37,7 +45,13 @@ pub use profile::{
     CostParams, Phase, PhaseAgg, ProfileSnapshot, QueryProfile, RelationDelta, RelationProfile,
 };
 pub use promfmt::validate_exposition;
+pub use slo::{SloEngine, SloEvent, SloSpec, SloStatus};
+pub use telemetry::{
+    retain_reasons, RetainedTrace, SchedDecision, ShedDecision, TelemetryConfig, TraceFilter,
+    TraceId, TraceStore, TraceVerdictInput,
+};
 pub use tracer::{
-    arm, armed, drain, exclusive, flush_thread, new_trace_id, now_ns, ring_capacity, span,
-    with_trace, ArmGuard, DrainedSpans, SpanGuard, SpanRecord,
+    arm, arm_capture_only, armed, capture_trace, current_trace, drain, exclusive, flush_thread,
+    new_trace_id, now_ns, ring_capacity, span, trace_scope, with_trace, ArmGuard, CapturedSpans,
+    DrainedSpans, SpanGuard, SpanRecord, TraceCapture, TraceScope,
 };

@@ -133,8 +133,15 @@ impl Default for QueryProfile {
 
 impl QueryProfile {
     pub fn new() -> Self {
+        QueryProfile::with_trace_id(tracer::new_trace_id())
+    }
+
+    /// A profile correlated with an already-allocated trace id — the server
+    /// allocates the id at admission (so admission spans and the capture
+    /// buffer share it) and hands it to the flight's profile here.
+    pub fn with_trace_id(trace: u64) -> Self {
         QueryProfile {
-            trace: tracer::new_trace_id(),
+            trace,
             created_ns: tracer::now_ns(),
             finished_ns: AtomicU64::new(0),
             phase_ns: Default::default(),

@@ -1,0 +1,436 @@
+//! Declarative SLOs on rolling windowed counters, with multi-window burn
+//! rates.
+//!
+//! Each objective is a pair of predicates over finished requests: *eligible*
+//! (does this request count toward the SLO at all?) and *bad* (did it burn
+//! error budget?). Outcomes are bucketed into a ring of per-second
+//! (good, bad) counters; windows are evaluated lazily at read time by
+//! summing the buckets they cover, so recording stays a couple of integer
+//! increments under a short lock.
+//!
+//! Burn rate follows the standard SRE definition:
+//!
+//! ```text
+//! burn = bad_fraction / error_budget_fraction
+//!      = (bad / total) / (1 - objective)
+//! ```
+//!
+//! A burn of 1.0 spends the budget exactly at the rate the window allows;
+//! the *fast-burn* page condition is a short-window burn ≥ 14.4 (the
+//! canonical "2% of a 30-day budget in an hour" multiplier), which the
+//! server surfaces through `/v1/healthz` as `degraded` without failing the
+//! health check.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Seconds of per-second history kept per objective — enough to cover the
+/// longest window below (1h).
+const HISTORY_SECS: usize = 3600;
+
+/// Short/long evaluation windows, in seconds.
+pub const WINDOW_SHORT_SECS: u64 = 300;
+pub const WINDOW_LONG_SECS: u64 = 3600;
+
+/// A short-window burn at or above this is a fast burn.
+pub const FAST_BURN: f64 = 14.4;
+
+/// What one finished request looked like to the SLO engine.
+#[derive(Debug, Clone, Copy)]
+pub struct SloEvent {
+    /// `"interactive"`, `"batch"`, or `""` for non-query endpoints.
+    pub class: &'static str,
+    pub status: u16,
+    pub latency: Duration,
+}
+
+/// One declarative objective.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Stable name used in metrics labels and JSON (`interactive_p99_25ms`).
+    pub name: &'static str,
+    /// Human-readable statement of the objective.
+    pub statement: &'static str,
+    /// Target good fraction, e.g. `0.99` (p99 latency) or `0.999`
+    /// (availability). Budget fraction is `1 - objective`.
+    pub objective: f64,
+    /// Restrict eligibility to this class; `None` means every request.
+    pub class: Option<&'static str>,
+    /// Latency above which an eligible request is bad; `None` makes this an
+    /// availability SLO (bad = 5xx).
+    pub latency_threshold: Option<Duration>,
+}
+
+impl SloSpec {
+    fn eligible(&self, event: &SloEvent) -> bool {
+        if let Some(class) = self.class {
+            if event.class != class {
+                return false;
+            }
+        }
+        // A latency SLO only judges requests that actually ran; refused
+        // ones (shed, closed) neither spend nor bank its budget —
+        // availability covers those.
+        self.latency_threshold.is_none() || (200..300).contains(&event.status)
+    }
+
+    fn bad(&self, event: &SloEvent) -> bool {
+        match self.latency_threshold {
+            Some(threshold) => event.latency > threshold,
+            None => matches!(event.status, 500 | 502 | 503 | 504),
+        }
+    }
+}
+
+/// The default objectives: per-class latency matched to the telemetry
+/// slow thresholds, plus overall availability.
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec {
+            name: "interactive_p99_25ms",
+            statement: "interactive p99 < 25ms over 5m",
+            objective: 0.99,
+            class: Some("interactive"),
+            latency_threshold: Some(Duration::from_millis(25)),
+        },
+        SloSpec {
+            name: "batch_p99_250ms",
+            statement: "batch p99 < 250ms over 5m",
+            objective: 0.99,
+            class: Some("batch"),
+            latency_threshold: Some(Duration::from_millis(250)),
+        },
+        SloSpec {
+            name: "availability_99_9",
+            statement: "availability 99.9% over 1h",
+            objective: 0.999,
+            class: None,
+            latency_threshold: None,
+        },
+    ]
+}
+
+/// Ring of per-second (good, bad) buckets for one objective.
+struct Counters {
+    /// Index = second % HISTORY_SECS; each slot remembers which absolute
+    /// second it last counted so stale slots are skipped, not zeroed
+    /// eagerly.
+    seconds: Vec<u64>,
+    good: Vec<u64>,
+    bad: Vec<u64>,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            seconds: vec![u64::MAX; HISTORY_SECS],
+            good: vec![0; HISTORY_SECS],
+            bad: vec![0; HISTORY_SECS],
+        }
+    }
+
+    fn record(&mut self, second: u64, bad: bool) {
+        let slot = (second % HISTORY_SECS as u64) as usize;
+        if self.seconds[slot] != second {
+            self.seconds[slot] = second;
+            self.good[slot] = 0;
+            self.bad[slot] = 0;
+        }
+        if bad {
+            self.bad[slot] += 1;
+        } else {
+            self.good[slot] += 1;
+        }
+    }
+
+    /// (good, bad) summed over the last `window` seconds ending at `now`.
+    fn window(&self, now: u64, window: u64) -> (u64, u64) {
+        let (mut good, mut bad) = (0, 0);
+        let start = now.saturating_sub(window.saturating_sub(1));
+        for second in start..=now {
+            let slot = (second % HISTORY_SECS as u64) as usize;
+            if self.seconds[slot] == second {
+                good += self.good[slot];
+                bad += self.bad[slot];
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// Burn-rate reading for one objective over one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowBurn {
+    pub window_secs: u64,
+    pub good: u64,
+    pub bad: u64,
+    /// `bad_fraction / budget_fraction`; 0.0 with no traffic.
+    pub burn: f64,
+}
+
+/// Point-in-time reading for one objective.
+#[derive(Debug, Clone)]
+pub struct SloStatus {
+    pub spec: SloSpec,
+    pub short: WindowBurn,
+    pub long: WindowBurn,
+    pub fast_burn: bool,
+}
+
+/// The engine: fixed spec list, one counter ring per spec.
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    counters: Mutex<Vec<Counters>>,
+    /// Monotonic anchor so `record`/`snapshot` agree on "now" in seconds.
+    epoch_ns: u64,
+}
+
+impl SloEngine {
+    pub fn new(specs: Vec<SloSpec>) -> SloEngine {
+        let counters = Mutex::new(specs.iter().map(|_| Counters::new()).collect());
+        SloEngine {
+            specs,
+            counters,
+            epoch_ns: crate::tracer::now_ns(),
+        }
+    }
+
+    pub fn with_defaults() -> SloEngine {
+        SloEngine::new(default_slos())
+    }
+
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    fn now_second(&self) -> u64 {
+        crate::tracer::now_ns().saturating_sub(self.epoch_ns) / 1_000_000_000
+    }
+
+    /// Record one finished request against every eligible objective.
+    pub fn record(&self, event: SloEvent) {
+        let second = self.now_second();
+        let mut counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        for (spec, counter) in self.specs.iter().zip(counters.iter_mut()) {
+            if spec.eligible(&event) {
+                counter.record(second, spec.bad(&event));
+            }
+        }
+    }
+
+    fn burn(spec: &SloSpec, good: u64, bad: u64) -> f64 {
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - spec.objective).max(f64::EPSILON);
+        (bad as f64 / total as f64) / budget
+    }
+
+    /// Evaluate every objective's short and long windows.
+    pub fn snapshot(&self) -> Vec<SloStatus> {
+        let now = self.now_second();
+        let counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        self.specs
+            .iter()
+            .zip(counters.iter())
+            .map(|(spec, counter)| {
+                let eval = |window_secs: u64| {
+                    let (good, bad) = counter.window(now, window_secs);
+                    WindowBurn {
+                        window_secs,
+                        good,
+                        bad,
+                        burn: SloEngine::burn(spec, good, bad),
+                    }
+                };
+                let short = eval(WINDOW_SHORT_SECS);
+                let long = eval(WINDOW_LONG_SECS);
+                SloStatus {
+                    spec: spec.clone(),
+                    fast_burn: short.burn >= FAST_BURN,
+                    short,
+                    long,
+                }
+            })
+            .collect()
+    }
+
+    /// Names of objectives currently fast-burning, for `/v1/healthz`.
+    pub fn fast_burning(&self) -> Vec<&'static str> {
+        self.snapshot()
+            .iter()
+            .filter(|s| s.fast_burn)
+            .map(|s| s.spec.name)
+            .collect()
+    }
+
+    /// Append the `precis_slo_*` Prometheus families.
+    pub fn write_prometheus(&self, out: &mut String) {
+        let statuses = self.snapshot();
+        out.push_str("# HELP precis_slo_objective Target good fraction per objective.\n");
+        out.push_str("# TYPE precis_slo_objective gauge\n");
+        for s in &statuses {
+            let _ = writeln!(
+                out,
+                "precis_slo_objective{{slo=\"{}\"}} {}",
+                s.spec.name, s.spec.objective
+            );
+        }
+        out.push_str("# HELP precis_slo_burn_rate Error-budget burn rate per window (1.0 = spending exactly on budget).\n");
+        out.push_str("# TYPE precis_slo_burn_rate gauge\n");
+        for s in &statuses {
+            for w in [&s.short, &s.long] {
+                let _ = writeln!(
+                    out,
+                    "precis_slo_burn_rate{{slo=\"{}\",window=\"{}s\"}} {:.6}",
+                    s.spec.name, w.window_secs, w.burn
+                );
+            }
+        }
+        out.push_str(
+            "# HELP precis_slo_requests_total Requests judged per objective and window.\n",
+        );
+        out.push_str("# TYPE precis_slo_requests_total gauge\n");
+        for s in &statuses {
+            for w in [&s.short, &s.long] {
+                let _ = writeln!(
+                    out,
+                    "precis_slo_requests_total{{slo=\"{}\",window=\"{}s\",outcome=\"good\"}} {}",
+                    s.spec.name, w.window_secs, w.good
+                );
+                let _ = writeln!(
+                    out,
+                    "precis_slo_requests_total{{slo=\"{}\",window=\"{}s\",outcome=\"bad\"}} {}",
+                    s.spec.name, w.window_secs, w.bad
+                );
+            }
+        }
+        out.push_str("# HELP precis_slo_fast_burn 1 when the short-window burn is at or above the page threshold (14.4).\n");
+        out.push_str("# TYPE precis_slo_fast_burn gauge\n");
+        for s in &statuses {
+            let _ = writeln!(
+                out,
+                "precis_slo_fast_burn{{slo=\"{}\"}} {}",
+                s.spec.name,
+                u8::from(s.fast_burn)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(class: &'static str, ms: u64) -> SloEvent {
+        SloEvent {
+            class,
+            status: 200,
+            latency: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn latency_slo_judges_only_its_class_and_successes() {
+        let engine = SloEngine::with_defaults();
+        engine.record(ok("interactive", 1)); // good
+        engine.record(ok("interactive", 30)); // bad: over 25ms
+        engine.record(ok("batch", 30)); // good for batch's 250ms objective
+        engine.record(SloEvent {
+            class: "interactive",
+            status: 429,
+            latency: Duration::from_millis(1),
+        }); // shed: ineligible for the latency SLO; good for availability (not 5xx)
+
+        let snap = engine.snapshot();
+        let interactive = &snap[0];
+        assert_eq!(interactive.spec.name, "interactive_p99_25ms");
+        assert_eq!((interactive.short.good, interactive.short.bad), (1, 1));
+        let batch = &snap[1];
+        assert_eq!((batch.short.good, batch.short.bad), (1, 0));
+        let avail = &snap[2];
+        assert_eq!((avail.short.good, avail.short.bad), (4, 0));
+    }
+
+    #[test]
+    fn burn_rate_matches_the_formula_and_fast_burn_trips() {
+        let engine = SloEngine::with_defaults();
+        // 50% bad on a 1% budget → burn 50 ≥ 14.4.
+        engine.record(ok("interactive", 1));
+        engine.record(ok("interactive", 500));
+        let snap = engine.snapshot();
+        let interactive = &snap[0];
+        assert!((interactive.short.burn - 50.0).abs() < 1e-9);
+        assert!(interactive.fast_burn);
+        assert_eq!(engine.fast_burning(), vec!["interactive_p99_25ms"]);
+
+        // Availability: 1 bad in 4 on a 0.1% budget → burn 250.
+        for _ in 0..3 {
+            engine.record(SloEvent {
+                class: "",
+                status: 200,
+                latency: Duration::from_millis(1),
+            });
+        }
+        engine.record(SloEvent {
+            class: "",
+            status: 503,
+            latency: Duration::from_millis(1),
+        });
+        let snap = engine.snapshot();
+        let avail = &snap[2];
+        // 1 bad / 6 total (2 interactive + 4 plain) on 0.001 budget.
+        let expected = (1.0 / 6.0) / 0.001;
+        assert!((avail.short.burn - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_traffic_means_zero_burn_not_nan() {
+        let engine = SloEngine::with_defaults();
+        for status in engine.snapshot() {
+            assert_eq!(status.short.burn, 0.0);
+            assert_eq!(status.long.burn, 0.0);
+            assert!(!status.fast_burn);
+        }
+        assert!(engine.fast_burning().is_empty());
+    }
+
+    #[test]
+    fn prometheus_families_cover_every_objective() {
+        let engine = SloEngine::with_defaults();
+        engine.record(ok("interactive", 1));
+        let mut out = String::new();
+        engine.write_prometheus(&mut out);
+        for name in [
+            "interactive_p99_25ms",
+            "batch_p99_250ms",
+            "availability_99_9",
+        ] {
+            assert!(out.contains(&format!("precis_slo_objective{{slo=\"{name}\"}}")));
+            assert!(out.contains(&format!(
+                "precis_slo_burn_rate{{slo=\"{name}\",window=\"300s\"}}"
+            )));
+            assert!(out.contains(&format!(
+                "precis_slo_burn_rate{{slo=\"{name}\",window=\"3600s\"}}"
+            )));
+            assert!(out.contains(&format!("precis_slo_fast_burn{{slo=\"{name}\"}}")));
+        }
+        assert!(out.contains(
+            "precis_slo_requests_total{slo=\"interactive_p99_25ms\",window=\"300s\",outcome=\"good\"} 1"
+        ));
+    }
+
+    #[test]
+    fn counters_ring_skips_stale_slots() {
+        let mut c = Counters::new();
+        c.record(10, false);
+        c.record(10, true);
+        // Same slot, much later second: old counts must not leak in.
+        c.record(10 + HISTORY_SECS as u64, false);
+        assert_eq!(c.window(10 + HISTORY_SECS as u64, 60), (1, 0));
+        // And the old second is gone even when asked about directly.
+        assert_eq!(c.window(10, 1), (0, 0));
+    }
+}

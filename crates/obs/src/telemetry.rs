@@ -1,0 +1,737 @@
+//! Always-on telemetry: wire trace identity, tail-based sampling, and the
+//! bounded in-memory store of retained traces.
+//!
+//! Every request gets a 128-bit *wire* trace id at admission — accepted
+//! from an incoming W3C-style `traceparent` header or minted — which is
+//! echoed on the response, embedded in error envelopes, and used to look
+//! retained traces up. The wire id is pure identity: span correlation keeps
+//! using the small sequential internal ids from [`crate::tracer`], so a
+//! hostile or colliding wire id can never alias another request's spans.
+//!
+//! At request completion a tail sampler decides whether the trace was
+//! *interesting* (slow for its priority class, any non-2xx, a scheduler
+//! shed/coalesce/reorder decision, a WAL rollback, a handler panic) or
+//! passes a deterministic 1-in-N head sample. Interesting traces are
+//! retained in a byte-budgeted ring ([`TraceStore`]); everything else is
+//! dropped with a counted reason, so "we kept nothing" is always
+//! distinguishable from "nothing happened".
+
+use crate::profile::ProfileSnapshot;
+use crate::tracer::SpanRecord;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A 128-bit wire trace id (W3C trace-context `trace-id`). Never zero —
+/// the spec reserves the all-zero id as invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceId(u128);
+
+/// Counter mixed into minted ids so two requests admitted in the same
+/// clock tick still differ.
+static MINT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Mint a fresh id from the wall clock and a process-wide counter.
+    pub fn mint() -> TraceId {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let seq = MINT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(nanos ^ seq.rotate_left(32));
+        let lo = splitmix64(seq ^ nanos.rotate_left(17)).max(1);
+        TraceId(((hi as u128) << 64) | lo as u128)
+    }
+
+    pub fn from_u128(v: u128) -> Option<TraceId> {
+        (v != 0).then_some(TraceId(v))
+    }
+
+    /// Parse a 32-lowercase/uppercase-hex trace id.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16)
+            .ok()
+            .and_then(TraceId::from_u128)
+    }
+
+    /// Parse a W3C `traceparent` header (`00-<32hex>-<16hex>-<2hex>`) and
+    /// return the trace id. Unknown versions are tolerated as long as the
+    /// field layout matches; a zero trace id is rejected per spec.
+    pub fn parse_traceparent(header: &str) -> Option<TraceId> {
+        let mut parts = header.trim().split('-');
+        let version = parts.next()?;
+        let trace = parts.next()?;
+        let parent = parts.next()?;
+        let flags = parts.next()?;
+        if version.len() != 2 || parent.len() != 16 || flags.len() != 2 {
+            return None;
+        }
+        if u8::from_str_radix(version, 16).is_err()
+            || u64::from_str_radix(parent, 16).is_err()
+            || u8::from_str_radix(flags, 16).is_err()
+        {
+            return None;
+        }
+        TraceId::from_hex(trace)
+    }
+
+    /// The 32-hex wire form.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// A `traceparent` header value naming this trace, with the given
+    /// 64-bit parent (span) id and the sampled flag set.
+    pub fn traceparent(self, parent: u64) -> String {
+        format!("00-{:032x}-{:016x}-01", self.0, parent.max(1))
+    }
+
+    /// Deterministic 1-in-`n` head sample on the id's low bits. `n == 0`
+    /// disables head sampling entirely.
+    pub fn head_sampled(self, n: u64) -> bool {
+        n > 0 && (self.0 as u64).is_multiple_of(n)
+    }
+}
+
+/// Telemetry tuning. The defaults match the SLO defaults: a trace slower
+/// than its class's latency objective is interesting by definition.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Latency above which an interactive-class request is retained.
+    pub slow_interactive: Duration,
+    /// Latency above which a batch-class request is retained.
+    pub slow_batch: Duration,
+    /// Deterministic head sample: keep 1 in this many uninteresting traces
+    /// (on the wire id's low bits, so a retried request samples the same
+    /// way). Zero disables head sampling.
+    pub head_sample_every: u64,
+    /// Byte budget for the retained-trace ring; oldest traces are evicted
+    /// (and counted) once the estimate exceeds it.
+    pub store_budget_bytes: usize,
+    /// Per-request span cap; spans past it are dropped and counted.
+    pub max_spans_per_trace: usize,
+    /// Token-bucket ceiling on retained traces per second (burst = one
+    /// second's worth). A human reads dozens of traces, not thousands: past
+    /// this rate an extra retained trace buys nothing and its capture and
+    /// store churn is pure overhead at exactly the moment the server is
+    /// busiest, so overflow is counted (`rate_limited`) instead of kept.
+    /// Zero disables the limit.
+    pub retain_per_sec: u32,
+    /// Token-bucket ceiling on *speculative span captures* per second.
+    /// Tail sampling cannot know at admission whether a request will turn
+    /// out interesting, so capture is speculative — and recording every
+    /// span of every request costs tens of microseconds each, which at
+    /// thousands of requests per second is several percent of a core spent
+    /// on traces that are then thrown away. This bucket bounds that spend
+    /// independent of load: head-sampled requests always capture, the next
+    /// `capture_per_sec` requests per second capture speculatively, and an
+    /// interesting request admitted past the bucket is still retained with
+    /// a synthesized single-span degraded capture. The default (64/s, plus
+    /// unbudgeted head samples) comfortably covers the steady-state rate at
+    /// which interesting traces actually appear, while bounding worst-case
+    /// capture spend to ~0.3% of a core. Zero disables the limit (capture
+    /// everything).
+    pub capture_per_sec: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            slow_interactive: Duration::from_millis(25),
+            slow_batch: Duration::from_millis(250),
+            head_sample_every: 64,
+            store_budget_bytes: 4 << 20,
+            max_spans_per_trace: 256,
+            retain_per_sec: 128,
+            capture_per_sec: 64,
+        }
+    }
+}
+
+/// Everything the tail sampler needs to judge one finished request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceVerdictInput {
+    pub status: u16,
+    pub latency_ns: u64,
+    /// `"interactive"` / `"batch"` for queries; `""` elsewhere (judged by
+    /// the interactive threshold).
+    pub batch_class: bool,
+    pub shed: bool,
+    pub coalesced: bool,
+    pub reordered: bool,
+    pub wal_rollback: bool,
+    pub panicked: bool,
+}
+
+/// Why a trace was retained, in a stable order. Empty means "drop it"
+/// unless the head sample keeps it.
+pub fn retain_reasons(
+    config: &TelemetryConfig,
+    id: TraceId,
+    input: &TraceVerdictInput,
+) -> Vec<&'static str> {
+    let mut reasons = Vec::new();
+    let threshold = if input.batch_class {
+        config.slow_batch
+    } else {
+        config.slow_interactive
+    };
+    if input.latency_ns > threshold.as_nanos() as u64 {
+        reasons.push("slow");
+    }
+    if !(200..300).contains(&input.status) {
+        reasons.push("error");
+    }
+    if input.shed {
+        reasons.push("shed");
+    }
+    if input.coalesced {
+        reasons.push("coalesced");
+    }
+    if input.reordered {
+        reasons.push("reordered");
+    }
+    if input.wal_rollback {
+        reasons.push("wal_rollback");
+    }
+    if input.panicked {
+        reasons.push("panic");
+    }
+    if reasons.is_empty() && id.head_sampled(config.head_sample_every) {
+        reasons.push("head_sample");
+    }
+    reasons
+}
+
+/// The scheduler's per-waiter decision record attached to retained traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedDecision {
+    pub predicted_ms: Option<f64>,
+    pub queue_wait_ms: f64,
+    pub coalesced: bool,
+    /// Waiters the flight fanned out to (1 for an uncoalesced flight).
+    pub fanout: u64,
+    pub reordered: bool,
+    pub shed: Option<ShedDecision>,
+}
+
+/// The admission controller's shed verdict, when the request was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedDecision {
+    /// `"capacity"` or `"deadline"`.
+    pub reason: &'static str,
+    pub backlog_ms: f64,
+    pub retry_after_ms: u64,
+    pub false_positive: bool,
+}
+
+/// One retained trace: identity, outcome, the scheduler's decision record,
+/// the profile's predicted-vs-measured phases, and the captured span tree.
+#[derive(Debug, Clone)]
+pub struct RetainedTrace {
+    /// 32-hex wire trace id.
+    pub trace_id: String,
+    /// The flight creator's wire id, for waiters that coalesced onto an
+    /// existing flight (their spans cover admission only; the execution
+    /// spans live on the linked trace).
+    pub link: Option<String>,
+    pub endpoint: &'static str,
+    /// `"interactive"` / `"batch"` for queries, `""` elsewhere.
+    pub class: &'static str,
+    pub status: u16,
+    pub reasons: Vec<&'static str>,
+    pub latency_ns: u64,
+    /// Smallest latency-histogram bucket bound (seconds) this request
+    /// landed in — the exemplar linkage back to `/metrics`; `+Inf` is
+    /// `f64::INFINITY`.
+    pub bucket_le: f64,
+    pub sched: Option<SchedDecision>,
+    pub profile: Option<ProfileSnapshot>,
+    pub spans: Vec<SpanRecord>,
+    /// Spans past the per-request cap.
+    pub span_drops: u64,
+    /// Monotonic capture timestamp ([`crate::tracer::now_ns`]).
+    pub captured_at_ns: u64,
+}
+
+impl RetainedTrace {
+    /// Rough heap footprint, for the store's byte budget.
+    fn approx_bytes(&self) -> usize {
+        let spans: usize = self
+            .spans
+            .iter()
+            .map(|s| {
+                std::mem::size_of::<SpanRecord>()
+                    + s.fields.len() * 16
+                    + s.label.as_ref().map_or(0, String::len)
+            })
+            .sum();
+        let profile = self.profile.as_ref().map_or(0, |p| {
+            std::mem::size_of::<ProfileSnapshot>() + p.query.len() + p.relations.len() * 96
+        });
+        std::mem::size_of::<RetainedTrace>() + self.trace_id.len() + 34 + spans + profile
+    }
+}
+
+/// Filters for listing retained traces.
+#[derive(Debug, Default, Clone)]
+pub struct TraceFilter {
+    /// Keep traces whose reasons include this (e.g. `"shed"`, `"slow"`).
+    pub outcome: Option<String>,
+    /// Keep traces of this priority class.
+    pub class: Option<String>,
+    pub min_latency: Option<Duration>,
+}
+
+struct StoreInner {
+    entries: VecDeque<RetainedTrace>,
+    bytes: usize,
+}
+
+/// Retention token bucket (see [`TelemetryConfig::retain_per_sec`]).
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Bounded ring of retained traces. Insertion evicts the oldest entries
+/// once the byte estimate exceeds the budget; evictions and sampler drops
+/// are both counted by reason so the `precis_trace_*` families always
+/// account for every admitted request.
+pub struct TraceStore {
+    budget_bytes: usize,
+    retain_per_sec: f64,
+    bucket: Mutex<Bucket>,
+    /// Speculative-capture bucket (see [`TelemetryConfig::capture_per_sec`]):
+    /// consumed at admission, independent of the retention bucket so a lull
+    /// in retained traffic cannot silently re-enable capture-everything.
+    capture_per_sec: f64,
+    capture_bucket: Mutex<Bucket>,
+    inner: Mutex<StoreInner>,
+    retained: Mutex<BTreeMap<&'static str, u64>>,
+    dropped: Mutex<BTreeMap<&'static str, u64>>,
+    /// Hot-path drop reasons kept as plain atomics (the mutex'd map is
+    /// only touched for rare reasons like eviction); merged back into the
+    /// `precis_trace_dropped_total` family on scrape.
+    dropped_not_interesting: AtomicU64,
+    dropped_rate_limited: AtomicU64,
+}
+
+impl TraceStore {
+    /// A store evicting past `budget_bytes`, retaining at most
+    /// `retain_per_sec` traces per second and admitting at most
+    /// `capture_per_sec` speculative span captures per second (zero:
+    /// unlimited, for either).
+    pub fn new(budget_bytes: usize, retain_per_sec: u32, capture_per_sec: u32) -> TraceStore {
+        TraceStore {
+            budget_bytes,
+            retain_per_sec: f64::from(retain_per_sec),
+            bucket: Mutex::new(Bucket {
+                tokens: f64::from(retain_per_sec),
+                last: Instant::now(),
+            }),
+            capture_per_sec: f64::from(capture_per_sec),
+            capture_bucket: Mutex::new(Bucket {
+                tokens: f64::from(capture_per_sec),
+                last: Instant::now(),
+            }),
+            inner: Mutex::new(StoreInner {
+                entries: VecDeque::new(),
+                bytes: 0,
+            }),
+            retained: Mutex::new(BTreeMap::new()),
+            dropped: Mutex::new(BTreeMap::new()),
+            dropped_not_interesting: AtomicU64::new(0),
+            dropped_rate_limited: AtomicU64::new(0),
+        }
+    }
+
+    fn take_token(bucket: &Mutex<Bucket>, per_sec: f64) -> bool {
+        if per_sec <= 0.0 {
+            return true;
+        }
+        let mut b = bucket.lock().unwrap_or_else(|p| p.into_inner());
+        let now = Instant::now();
+        let elapsed = now.duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * per_sec).min(per_sec);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Take one retention token; `false` means the trace must be dropped
+    /// (count it with [`TraceStore::drop_rate_limited`]).
+    pub fn admit_retention(&self) -> bool {
+        TraceStore::take_token(&self.bucket, self.retain_per_sec)
+    }
+
+    /// Take one speculative-capture token; `false` means the request
+    /// records no spans (if it still wins retention, finalize synthesizes
+    /// a degraded single-span capture).
+    pub fn admit_capture(&self) -> bool {
+        TraceStore::take_token(&self.capture_bucket, self.capture_per_sec)
+    }
+
+    /// Count an interesting trace dropped because retention is
+    /// rate-limited.
+    pub fn drop_rate_limited(&self) {
+        self.dropped_rate_limited.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bump(map: &Mutex<BTreeMap<&'static str, u64>>, reason: &'static str) {
+        *map.lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(reason)
+            .or_insert(0) += 1;
+    }
+
+    /// Retain one trace; the first reason is the one counted.
+    pub fn offer(&self, trace: RetainedTrace) {
+        TraceStore::bump(&self.retained, trace.reasons.first().unwrap_or(&"unknown"));
+        let bytes = trace.approx_bytes();
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.entries.push_back(trace);
+        inner.bytes += bytes;
+        while inner.bytes > self.budget_bytes && inner.entries.len() > 1 {
+            if let Some(old) = inner.entries.pop_front() {
+                inner.bytes = inner.bytes.saturating_sub(old.approx_bytes());
+                TraceStore::bump(&self.dropped, "evicted");
+            }
+        }
+    }
+
+    /// Count a trace the sampler decided not to keep.
+    pub fn drop_uninteresting(&self) {
+        self.dropped_not_interesting.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Newest-first listing matching the filter.
+    pub fn list(&self, filter: &TraceFilter) -> Vec<RetainedTrace> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner
+            .entries
+            .iter()
+            .rev()
+            .filter(|t| {
+                filter
+                    .outcome
+                    .as_deref()
+                    .is_none_or(|o| t.reasons.contains(&o))
+                    && filter.class.as_deref().is_none_or(|c| t.class == c)
+                    && filter
+                        .min_latency
+                        .is_none_or(|m| t.latency_ns >= m.as_nanos() as u64)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Look one trace up by its 32-hex wire id.
+    pub fn get(&self, trace_id: &str) -> Option<RetainedTrace> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner
+            .entries
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).bytes
+    }
+
+    /// Append the `precis_trace_*` Prometheus families.
+    pub fn write_prometheus(&self, out: &mut String) {
+        out.push_str("# HELP precis_trace_retained_total Traces kept by the tail sampler, by first reason.\n");
+        out.push_str("# TYPE precis_trace_retained_total counter\n");
+        let retained = self.retained.lock().unwrap_or_else(|p| p.into_inner());
+        if retained.is_empty() {
+            out.push_str("precis_trace_retained_total{reason=\"none\"} 0\n");
+        }
+        for (reason, n) in retained.iter() {
+            let _ = writeln!(
+                out,
+                "precis_trace_retained_total{{reason=\"{reason}\"}} {n}"
+            );
+        }
+        drop(retained);
+        out.push_str(
+            "# HELP precis_trace_dropped_total Traces dropped (sampler) or evicted (budget).\n",
+        );
+        out.push_str("# TYPE precis_trace_dropped_total counter\n");
+        let mut dropped = self
+            .dropped
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone();
+        let not_interesting = self.dropped_not_interesting.load(Ordering::Relaxed);
+        if not_interesting > 0 {
+            dropped.insert("not_interesting", not_interesting);
+        }
+        let rate_limited = self.dropped_rate_limited.load(Ordering::Relaxed);
+        if rate_limited > 0 {
+            dropped.insert("rate_limited", rate_limited);
+        }
+        if dropped.is_empty() {
+            out.push_str("precis_trace_dropped_total{reason=\"none\"} 0\n");
+        }
+        for (reason, n) in dropped.iter() {
+            let _ = writeln!(out, "precis_trace_dropped_total{{reason=\"{reason}\"}} {n}");
+        }
+        let _ = write!(
+            out,
+            "# HELP precis_trace_store_entries Retained traces currently held.\n\
+             # TYPE precis_trace_store_entries gauge\n\
+             precis_trace_store_entries {}\n\
+             # HELP precis_trace_store_bytes Estimated bytes held by the trace store.\n\
+             # TYPE precis_trace_store_bytes gauge\n\
+             precis_trace_store_bytes {}\n",
+            self.len(),
+            self.bytes(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_trace(id: &str, reasons: Vec<&'static str>) -> RetainedTrace {
+        RetainedTrace {
+            trace_id: id.to_owned(),
+            link: None,
+            endpoint: "query",
+            class: "interactive",
+            status: 200,
+            reasons,
+            latency_ns: 1_000_000,
+            bucket_le: 0.0025,
+            sched: None,
+            profile: None,
+            spans: Vec::new(),
+            span_drops: 0,
+            captured_at_ns: 0,
+        }
+    }
+
+    #[test]
+    fn traceparent_round_trips_and_rejects_garbage() {
+        let id = TraceId::mint();
+        let header = id.traceparent(0xDEAD);
+        assert_eq!(TraceId::parse_traceparent(&header), Some(id));
+        assert_eq!(header.len(), 2 + 1 + 32 + 1 + 16 + 1 + 2);
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(TraceId::from_hex(&hex), Some(id));
+
+        for bad in [
+            "",
+            "00-short-0000000000000000-01",
+            "00-00000000000000000000000000000000-0000000000000000-01", // zero id
+            "zz-0123456789abcdef0123456789abcdef-0000000000000000-01",
+            "00-0123456789abcdef0123456789abcdef-nothex0000000000-01",
+            "not a header at all",
+        ] {
+            assert_eq!(TraceId::parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_distinct_and_nonzero() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_ne!(a.to_hex(), "0".repeat(32));
+    }
+
+    #[test]
+    fn sampler_keeps_interesting_traces_and_counts_everything_else() {
+        let config = TelemetryConfig::default();
+        // Head sampling off so only interestingness decides.
+        let config = TelemetryConfig {
+            head_sample_every: 0,
+            ..config
+        };
+        let id = TraceId::mint();
+        let fast_ok = TraceVerdictInput {
+            status: 200,
+            latency_ns: 1_000_000,
+            ..TraceVerdictInput::default()
+        };
+        assert!(retain_reasons(&config, id, &fast_ok).is_empty());
+
+        let slow = TraceVerdictInput {
+            latency_ns: 26_000_000,
+            status: 200,
+            ..TraceVerdictInput::default()
+        };
+        assert_eq!(retain_reasons(&config, id, &slow), vec!["slow"]);
+        // The same latency is fine for batch (250ms threshold).
+        let slow_batch = TraceVerdictInput {
+            batch_class: true,
+            ..slow
+        };
+        assert!(retain_reasons(&config, id, &slow_batch).is_empty());
+
+        let shed = TraceVerdictInput {
+            status: 429,
+            shed: true,
+            ..TraceVerdictInput::default()
+        };
+        assert_eq!(retain_reasons(&config, id, &shed), vec!["error", "shed"]);
+
+        let everything = TraceVerdictInput {
+            status: 503,
+            latency_ns: u64::MAX,
+            coalesced: true,
+            reordered: true,
+            wal_rollback: true,
+            panicked: true,
+            ..TraceVerdictInput::default()
+        };
+        assert_eq!(
+            retain_reasons(&config, id, &everything),
+            vec![
+                "slow",
+                "error",
+                "coalesced",
+                "reordered",
+                "wal_rollback",
+                "panic"
+            ]
+        );
+    }
+
+    #[test]
+    fn head_sampling_is_deterministic_on_the_wire_id() {
+        let config = TelemetryConfig {
+            head_sample_every: 4,
+            ..TelemetryConfig::default()
+        };
+        let sampled = TraceId::from_u128(8).unwrap();
+        let unsampled = TraceId::from_u128(9).unwrap();
+        let boring = TraceVerdictInput {
+            status: 200,
+            latency_ns: 1,
+            ..TraceVerdictInput::default()
+        };
+        assert_eq!(
+            retain_reasons(&config, sampled, &boring),
+            vec!["head_sample"]
+        );
+        assert!(retain_reasons(&config, unsampled, &boring).is_empty());
+        // An interesting trace never double-counts as a head sample.
+        let slow = TraceVerdictInput {
+            latency_ns: u64::MAX,
+            ..boring
+        };
+        assert_eq!(retain_reasons(&config, sampled, &slow), vec!["slow"]);
+    }
+
+    #[test]
+    fn store_retains_lists_and_gets_by_id() {
+        let store = TraceStore::new(1 << 20, 0, 0);
+        store.offer(minimal_trace("a".repeat(32).as_str(), vec!["slow"]));
+        store.offer({
+            let mut t = minimal_trace("b".repeat(32).as_str(), vec!["shed", "error"]);
+            t.class = "batch";
+            t.latency_ns = 50_000_000;
+            t
+        });
+        store.drop_uninteresting();
+        assert_eq!(store.len(), 2);
+
+        let all = store.list(&TraceFilter::default());
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].trace_id, "b".repeat(32), "newest first");
+
+        let shed_only = store.list(&TraceFilter {
+            outcome: Some("shed".to_owned()),
+            ..TraceFilter::default()
+        });
+        assert_eq!(shed_only.len(), 1);
+        let batch_only = store.list(&TraceFilter {
+            class: Some("batch".to_owned()),
+            ..TraceFilter::default()
+        });
+        assert_eq!(batch_only.len(), 1);
+        let slow_enough = store.list(&TraceFilter {
+            min_latency: Some(Duration::from_millis(10)),
+            ..TraceFilter::default()
+        });
+        assert_eq!(slow_enough.len(), 1);
+
+        assert!(store.get(&"a".repeat(32)).is_some());
+        assert!(store.get(&"c".repeat(32)).is_none());
+
+        let mut out = String::new();
+        store.write_prometheus(&mut out);
+        assert!(out.contains("precis_trace_retained_total{reason=\"slow\"} 1"));
+        assert!(out.contains("precis_trace_retained_total{reason=\"shed\"} 1"));
+        assert!(out.contains("precis_trace_dropped_total{reason=\"not_interesting\"} 1"));
+        assert!(out.contains("precis_trace_store_entries 2"));
+    }
+
+    #[test]
+    fn store_evicts_oldest_over_budget_and_counts_evictions() {
+        let store = TraceStore::new(2048, 0, 0);
+        for i in 0..64 {
+            let mut t = minimal_trace(&format!("{i:032x}"), vec!["slow"]);
+            // Pad so a handful of traces overflow the tiny budget.
+            t.spans = vec![
+                SpanRecord {
+                    trace: 1,
+                    id: 1,
+                    parent: 0,
+                    name: "pad",
+                    start_ns: 0,
+                    end_ns: 1,
+                    thread: 1,
+                    fields: Vec::new(),
+                    label: None,
+                };
+                4
+            ];
+            store.offer(t);
+        }
+        assert!(store.len() < 64, "budget evicted something");
+        assert!(store.bytes() <= 2048 + 1024, "bytes tracked");
+        // The survivors are the newest.
+        let newest = store.list(&TraceFilter::default());
+        assert_eq!(newest[0].trace_id, format!("{:032x}", 63));
+        let mut out = String::new();
+        store.write_prometheus(&mut out);
+        assert!(out.contains("precis_trace_dropped_total{reason=\"evicted\"}"));
+    }
+}

@@ -16,9 +16,9 @@
 //! a panic or an unbounded queue.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// Bound on buffered spans process-wide. Oldest records are evicted (and
@@ -31,6 +31,11 @@ const FLUSH_THRESHOLD: usize = 64;
 /// Number of live [`ArmGuard`]s. Zero means every `span()` call returns an
 /// inert guard after a single relaxed load.
 static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+/// Live [`ArmGuard`]s that asked for capture-only recording. While this
+/// equals [`ARMED`], spans of uncaptured traces are skipped at the span
+/// site (see [`arm_capture_only`]).
+static CAPTURE_ONLY: AtomicUsize = AtomicUsize::new(0);
 
 /// Global span/trace id allocator. Ids are only consumed while armed, so
 /// the fetch_add never shows up in disarmed profiles. Starts at 1 — id 0 is
@@ -83,6 +88,41 @@ struct ThreadCtx {
     thread: u64,
     stack: Vec<OpenSpan>,
     buf: Vec<SpanRecord>,
+    /// Spare vector reused by [`flush_locked`] so the capture-diversion pass
+    /// never allocates in steady state.
+    scratch: Vec<SpanRecord>,
+    /// Last trace id whose capture registration this thread looked up, and
+    /// what the registry said. Both hits and misses are cached: a request's
+    /// flushes touch the global registry mutex once, not once per flush.
+    cached_trace: u64,
+    cached_capture: Option<Arc<Mutex<CaptureBuf>>>,
+}
+
+impl ThreadCtx {
+    /// Capture buffer registered for `trace`, consulting the global registry
+    /// only when the cache is for a different trace. Trace ids are never
+    /// reused, so a stale entry can only belong to a finished request.
+    fn capture_for(&mut self, trace: u64) -> Option<Arc<Mutex<CaptureBuf>>> {
+        if trace == 0 {
+            return None;
+        }
+        if self.cached_trace != trace {
+            // With zero registered captures the answer is a guaranteed miss;
+            // caching it without the lock is safe for the same reason the
+            // cache itself is: captures register before their spans record.
+            if CAPTURE_COUNT.load(Ordering::Relaxed) == 0 {
+                self.cached_capture = None;
+            } else {
+                let registry = match captures().lock() {
+                    Ok(r) => r,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                self.cached_capture = registry.get(&trace).cloned();
+            }
+            self.cached_trace = trace;
+        }
+        self.cached_capture.clone()
+    }
 }
 
 thread_local! {
@@ -91,6 +131,9 @@ thread_local! {
         thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
         stack: Vec::new(),
         buf: Vec::new(),
+        scratch: Vec::new(),
+        cached_trace: 0,
+        cached_capture: None,
     });
 }
 
@@ -123,15 +166,39 @@ pub fn armed() -> bool {
 /// nest; recording stops when the last one drops.
 pub fn arm() -> ArmGuard {
     ARMED.fetch_add(1, Ordering::SeqCst);
-    ArmGuard(())
+    ArmGuard {
+        capture_only: false,
+    }
+}
+
+/// Arm span recording for *captured traces only*: while every live guard
+/// is capture-only, a span site stays inert unless the calling thread's
+/// current trace has a registered [`capture_trace`] buffer — nothing is
+/// recorded for uncaptured traces and nothing reaches the shared ring.
+///
+/// This is the always-on server mode: the server only ever reads spans
+/// back out of per-request captures, so materializing records that could
+/// only land in the (never-drained) ring would be pure overhead at
+/// saturation. A plain [`arm`] guard anywhere in the process restores
+/// record-everything semantics for as long as it lives, so harnesses that
+/// drain the ring compose with a live capture-only server.
+pub fn arm_capture_only() -> ArmGuard {
+    CAPTURE_ONLY.fetch_add(1, Ordering::SeqCst);
+    ARMED.fetch_add(1, Ordering::SeqCst);
+    ArmGuard { capture_only: true }
 }
 
 #[must_use = "spans are recorded only while the guard is live"]
-pub struct ArmGuard(());
+pub struct ArmGuard {
+    capture_only: bool,
+}
 
 impl Drop for ArmGuard {
     fn drop(&mut self) {
         ARMED.fetch_sub(1, Ordering::SeqCst);
+        if self.capture_only {
+            CAPTURE_ONLY.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -162,8 +229,26 @@ pub fn span(name: &'static str) -> SpanGuard {
 
 #[cold]
 fn span_slow(name: &'static str) -> SpanGuard {
+    // Capture-only armers: the record could only ever be read back out of
+    // a per-request capture, so skip the site entirely when the current
+    // trace has none (or there is no trace at all). With zero live
+    // captures — the steady state at saturation, where the retention
+    // bucket keeps new registrations out — that decision needs four
+    // relaxed loads and never touches the thread-local. The
+    // capture-registered-before-recording contract makes both this and
+    // the per-thread cached negative safe.
+    let capture_only = CAPTURE_ONLY.load(Ordering::Relaxed) == ARMED.load(Ordering::Relaxed);
+    if capture_only && CAPTURE_COUNT.load(Ordering::Relaxed) == 0 {
+        return SpanGuard { depth: usize::MAX };
+    }
     CTX.with(|c| {
         let mut c = c.borrow_mut();
+        if capture_only {
+            let trace = c.trace;
+            if trace == 0 || c.capture_for(trace).is_none() {
+                return SpanGuard { depth: usize::MAX };
+            }
+        }
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         let parent = c.stack.last().map(|s| s.id).unwrap_or(0);
         let depth = c.stack.len();
@@ -248,13 +333,44 @@ fn close_to_depth(depth: usize) {
             };
             c.buf.push(rec);
         }
-        if c.buf.len() >= FLUSH_THRESHOLD || c.stack.is_empty() {
+        // Inside a trace scope the scope-exit flush publishes everything at
+        // once; flushing on every root-span close there would just pay the
+        // lock traffic several times per request for no visibility gain.
+        if c.buf.len() >= FLUSH_THRESHOLD || (c.stack.is_empty() && c.trace == 0) {
             flush_locked(&mut c);
         }
     });
 }
 
 fn flush_locked(c: &mut ThreadCtx) {
+    if c.buf.is_empty() {
+        return;
+    }
+    // Divert records whose trace has a registered per-request capture buffer
+    // before anything reaches the shared ring: captured requests never
+    // pollute the process-wide ring, and harnesses draining the ring never
+    // see (or race with) per-request traces. The common no-capture case is
+    // one relaxed load.
+    if CAPTURE_COUNT.load(Ordering::Relaxed) > 0 {
+        let mut scratch = std::mem::take(&mut c.scratch);
+        std::mem::swap(&mut c.buf, &mut scratch);
+        for rec in scratch.drain(..) {
+            let Some(capture) = c.capture_for(rec.trace) else {
+                c.buf.push(rec);
+                continue;
+            };
+            let mut buf = match capture.lock() {
+                Ok(b) => b,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if buf.spans.len() < buf.max_spans {
+                buf.spans.push(rec);
+            } else {
+                buf.dropped += 1;
+            }
+        }
+        c.scratch = scratch;
+    }
     if c.buf.is_empty() {
         return;
     }
@@ -268,6 +384,104 @@ fn flush_locked(c: &mut ThreadCtx) {
             r.dropped += 1;
         }
         r.buf.push_back(rec);
+    }
+}
+
+/// Per-request capture buffer contents.
+struct CaptureBuf {
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+    max_spans: usize,
+}
+
+/// Registered captures by trace id, plus a relaxed count so the flush fast
+/// path skips the map entirely when nothing is captured.
+static CAPTURE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+fn captures() -> &'static Mutex<HashMap<u64, Arc<Mutex<CaptureBuf>>>> {
+    static CAPTURES: OnceLock<Mutex<HashMap<u64, Arc<Mutex<CaptureBuf>>>>> = OnceLock::new();
+    CAPTURES.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn unregister_capture(trace: u64) {
+    let mut registry = match captures().lock() {
+        Ok(r) => r,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if registry.remove(&trace).is_some() {
+        CAPTURE_COUNT.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Route every span recorded under `trace` (via [`with_trace`]) into a
+/// private per-request buffer instead of the shared ring, until the returned
+/// guard is consumed by [`TraceCapture::take`] or dropped. At most
+/// `max_spans` records are kept; overflow is counted, never unbounded.
+///
+/// Register the capture *before* recording spans under `trace`: threads
+/// cache their registry lookup per trace id, so records flushed before the
+/// registration stay in the shared ring.
+pub fn capture_trace(trace: u64, max_spans: usize) -> TraceCapture {
+    let buf = Arc::new(Mutex::new(CaptureBuf {
+        spans: Vec::new(),
+        dropped: 0,
+        max_spans: max_spans.max(1),
+    }));
+    let mut registry = match captures().lock() {
+        Ok(r) => r,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if registry.insert(trace, buf.clone()).is_none() {
+        CAPTURE_COUNT.fetch_add(1, Ordering::Relaxed);
+    }
+    TraceCapture { trace, buf }
+}
+
+/// Handle to one registered per-request capture. Dropping it without
+/// [`take`] unregisters the trace and discards whatever was captured.
+///
+/// [`take`]: TraceCapture::take
+pub struct TraceCapture {
+    trace: u64,
+    buf: Arc<Mutex<CaptureBuf>>,
+}
+
+/// Everything a [`TraceCapture`] collected, sorted parents-first like
+/// [`drain`].
+#[derive(Debug)]
+pub struct CapturedSpans {
+    pub spans: Vec<SpanRecord>,
+    /// Records past the capture's `max_spans` cap.
+    pub dropped: u64,
+}
+
+impl TraceCapture {
+    /// The trace id this capture is registered for.
+    pub fn trace(&self) -> u64 {
+        self.trace
+    }
+
+    /// Flush the calling thread, unregister the trace, and return the
+    /// captured spans.
+    pub fn take(self) -> CapturedSpans {
+        flush_thread();
+        unregister_capture(self.trace);
+        let mut buf = match self.buf.lock() {
+            Ok(b) => b,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut spans = std::mem::take(&mut buf.spans);
+        let dropped = std::mem::take(&mut buf.dropped);
+        drop(buf);
+        // `self` still unregisters on drop, which is now a no-op.
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        CapturedSpans { spans, dropped }
+    }
+}
+
+impl Drop for TraceCapture {
+    fn drop(&mut self) {
+        unregister_capture(self.trace);
     }
 }
 
@@ -300,6 +514,47 @@ pub fn with_trace<R>(trace: u64, f: impl FnOnce() -> R) -> R {
     });
     let _restore = Restore(prev);
     f()
+}
+
+/// Guard form of [`with_trace`] for scopes a closure cannot express —
+/// request handlers threading ownership out through early returns. Restores
+/// the previous trace id and flushes the thread buffer on drop.
+pub struct TraceScope {
+    prev: Option<u64>,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            CTX.with(|c| {
+                let mut c = c.borrow_mut();
+                c.trace = prev;
+                flush_locked(&mut c);
+            });
+        }
+    }
+}
+
+/// Set the thread's current trace id until the returned guard drops.
+/// Disarmed cost: one relaxed load.
+pub fn trace_scope(trace: u64) -> TraceScope {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return TraceScope { prev: None };
+    }
+    let prev = CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        std::mem::replace(&mut c.trace, trace)
+    });
+    TraceScope { prev: Some(prev) }
+}
+
+/// The trace id the calling thread is currently recording under (set by an
+/// enclosing [`with_trace`]); 0 outside any trace scope or while disarmed.
+pub fn current_trace() -> u64 {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return 0;
+    }
+    CTX.with(|c| c.borrow().trace)
 }
 
 /// Everything the ring held, sorted so that within a trace parents precede
@@ -432,6 +687,78 @@ mod tests {
             2,
             "outer trace restored after nested scope: {traces:?}"
         );
+    }
+
+    #[test]
+    fn captured_traces_bypass_the_ring_and_uncaptured_ones_do_not() {
+        let _gate = exclusive();
+        drain();
+        let _arm = arm();
+        let captured = new_trace_id();
+        let free = new_trace_id();
+        let capture = capture_trace(captured, 64);
+        with_trace(captured, || {
+            let root = span("captured.root");
+            root.field("n", 1);
+            let _child = span("captured.child");
+        });
+        with_trace(free, || {
+            let _s = span("free.span");
+        });
+        let got = capture.take();
+        assert_eq!(got.spans.len(), 2);
+        assert_eq!(got.dropped, 0);
+        assert!(got.spans.iter().all(|s| s.trace == captured));
+        assert_eq!(got.spans[0].name, "captured.root");
+        assert_eq!(got.spans[1].parent, got.spans[0].id);
+        // The uncaptured trace still reached the ring; the captured one
+        // never did.
+        let d = drain();
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.spans[0].trace, free);
+    }
+
+    #[test]
+    fn capture_overflow_counts_and_drop_unregisters() {
+        let _gate = exclusive();
+        drain();
+        let _arm = arm();
+        let trace = new_trace_id();
+        let capture = capture_trace(trace, 2);
+        with_trace(trace, || {
+            for _ in 0..5 {
+                let _s = span("tiny");
+            }
+        });
+        let got = capture.take();
+        assert_eq!(got.spans.len(), 2);
+        assert_eq!(got.dropped, 3);
+
+        // Dropping without take unregisters: later spans under the same
+        // trace go to the ring again.
+        let capture = capture_trace(trace, 8);
+        drop(capture);
+        with_trace(trace, || {
+            let _s = span("back.to.ring");
+        });
+        let d = drain();
+        assert_eq!(d.spans.len(), 1);
+        assert_eq!(d.spans[0].name, "back.to.ring");
+    }
+
+    #[test]
+    fn current_trace_tracks_the_with_trace_scope() {
+        let _gate = exclusive();
+        drain();
+        assert_eq!(current_trace(), 0, "disarmed reports no trace");
+        let _arm = arm();
+        let trace = new_trace_id();
+        assert_eq!(current_trace(), 0);
+        with_trace(trace, || {
+            assert_eq!(current_trace(), trace);
+        });
+        assert_eq!(current_trace(), 0);
+        drain();
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! JSON rendering for the loopback-only debug endpoints:
+//! `GET /v1/debug/traces` (retained-trace list), `GET /v1/debug/traces/<id>`
+//! (full span tree + scheduling decision record + predicted-vs-measured
+//! phases, or Chrome `trace_event` JSON with `?format=chrome`), and
+//! `GET /v1/debug/slo` (objective statuses with per-window burn rates).
+//!
+//! Pure functions over the telemetry structures — the server routes here
+//! after its loopback check, so these never see a remote peer.
+
+use crate::api::write_profile_json;
+use crate::json::write_str;
+use precis_obs::slo::SloStatus;
+use precis_obs::telemetry::{RetainedTrace, SchedDecision};
+use precis_obs::SpanRecord;
+use std::fmt::Write as _;
+
+fn write_bucket_le(out: &mut String, bucket_le: f64) {
+    if bucket_le.is_finite() {
+        let _ = write!(out, "{bucket_le}");
+    } else {
+        out.push_str("\"+Inf\"");
+    }
+}
+
+fn write_reasons(out: &mut String, reasons: &[&str]) {
+    out.push('[');
+    for (i, reason) in reasons.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_str(out, reason);
+    }
+    out.push(']');
+}
+
+/// The shared per-trace header fields (list entries and the detail view).
+fn write_trace_head(out: &mut String, trace: &RetainedTrace) {
+    out.push_str("{\"trace_id\": ");
+    write_str(out, &trace.trace_id);
+    if let Some(link) = &trace.link {
+        out.push_str(", \"link\": ");
+        write_str(out, link);
+    }
+    out.push_str(", \"endpoint\": ");
+    write_str(out, trace.endpoint);
+    out.push_str(", \"class\": ");
+    write_str(out, trace.class);
+    let _ = write!(out, ", \"status\": {}", trace.status);
+    out.push_str(", \"reasons\": ");
+    write_reasons(out, &trace.reasons);
+    let _ = write!(
+        out,
+        ", \"latency_ms\": {:.3}, \"bucket_le\": ",
+        trace.latency_ns as f64 / 1e6
+    );
+    write_bucket_le(out, trace.bucket_le);
+}
+
+fn write_sched(out: &mut String, sched: &SchedDecision) {
+    out.push_str("{\"predicted_ms\": ");
+    match sched.predicted_ms {
+        Some(ms) => {
+            let _ = write!(out, "{ms:.3}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(
+        out,
+        ", \"queue_wait_ms\": {:.3}, \"coalesced\": {}, \"fanout\": {}, \"reordered\": {}",
+        sched.queue_wait_ms, sched.coalesced, sched.fanout, sched.reordered
+    );
+    if let Some(shed) = &sched.shed {
+        out.push_str(", \"shed\": {\"reason\": ");
+        write_str(out, shed.reason);
+        let _ = write!(
+            out,
+            ", \"backlog_ms\": {:.3}, \"retry_after_ms\": {}, \"false_positive\": {}}}",
+            shed.backlog_ms, shed.retry_after_ms, shed.false_positive
+        );
+    }
+    out.push('}');
+}
+
+fn write_span(out: &mut String, span: &SpanRecord) {
+    let _ = write!(
+        out,
+        "{{\"id\": {}, \"parent\": {}, \"name\": ",
+        span.id, span.parent
+    );
+    write_str(out, span.name);
+    let _ = write!(
+        out,
+        ", \"thread\": {}, \"start_us\": {:.1}, \"dur_us\": {:.1}",
+        span.thread,
+        span.start_ns as f64 / 1e3,
+        span.end_ns.saturating_sub(span.start_ns) as f64 / 1e3
+    );
+    if let Some(label) = &span.label {
+        out.push_str(", \"label\": ");
+        write_str(out, label);
+    }
+    if !span.fields.is_empty() {
+        out.push_str(", \"fields\": {");
+        for (i, (name, value)) in span.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_str(out, name);
+            let _ = write!(out, ": {value}");
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// The `GET /v1/debug/traces` body: newest-first list entries with the
+/// exemplar bucket linkage, without span bodies.
+pub fn render_trace_list(traces: &[RetainedTrace]) -> String {
+    let mut out = String::with_capacity(128 + traces.len() * 256);
+    let _ = write!(out, "{{\"count\": {}, \"traces\": [", traces.len());
+    for (i, trace) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_trace_head(&mut out, trace);
+        let _ = write!(
+            out,
+            ", \"spans\": {}, \"span_drops\": {}}}",
+            trace.spans.len(),
+            trace.span_drops
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The `GET /v1/debug/traces/<id>` body: everything the server knows about
+/// one request — span tree, scheduler decision record, and the profile's
+/// predicted-vs-measured phases.
+pub fn render_trace_detail(trace: &RetainedTrace) -> String {
+    let mut out = String::with_capacity(1024);
+    write_trace_head(&mut out, trace);
+    out.push_str(", \"sched\": ");
+    match &trace.sched {
+        Some(sched) => write_sched(&mut out, sched),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"profile\": ");
+    match &trace.profile {
+        Some(snapshot) => write_profile_json(&mut out, snapshot),
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ", \"span_drops\": {}, \"spans\": [", trace.span_drops);
+    for (i, span) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_span(&mut out, span);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// The `?format=chrome` export of one retained trace: the spans as Chrome
+/// `trace_event` JSON, loadable in `chrome://tracing` / Perfetto.
+pub fn render_trace_chrome(trace: &RetainedTrace) -> String {
+    precis_obs::chrome_trace(&trace.spans, trace.span_drops)
+}
+
+/// The `GET /v1/debug/slo` body.
+pub fn render_slo(statuses: &[SloStatus]) -> String {
+    let mut out = String::with_capacity(256 + statuses.len() * 256);
+    let fast: Vec<&str> = statuses
+        .iter()
+        .filter(|s| s.fast_burn)
+        .map(|s| s.spec.name)
+        .collect();
+    out.push_str("{\"fast_burn\": ");
+    write_reasons(&mut out, &fast);
+    out.push_str(", \"slos\": [");
+    for (i, status) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        write_str(&mut out, status.spec.name);
+        out.push_str(", \"statement\": ");
+        write_str(&mut out, status.spec.statement);
+        let _ = write!(
+            out,
+            ", \"objective\": {}, \"fast_burn\": {}, \"windows\": [",
+            status.spec.objective, status.fast_burn
+        );
+        for (j, window) in [&status.short, &status.long].into_iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"window_secs\": {}, \"good\": {}, \"bad\": {}, \"burn_rate\": {:.6}}}",
+                window.window_secs, window.good, window.bad, window.burn
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use precis_obs::slo::{SloEngine, SloEvent};
+    use precis_obs::telemetry::ShedDecision;
+    use std::time::Duration;
+
+    fn sample_trace() -> RetainedTrace {
+        RetainedTrace {
+            trace_id: "f".repeat(32),
+            link: Some("e".repeat(32)),
+            endpoint: "query",
+            class: "interactive",
+            status: 429,
+            reasons: vec!["error", "shed"],
+            latency_ns: 2_500_000,
+            bucket_le: 0.0025,
+            sched: Some(SchedDecision {
+                predicted_ms: Some(12.5),
+                queue_wait_ms: 0.7,
+                coalesced: false,
+                fanout: 1,
+                reordered: true,
+                shed: Some(ShedDecision {
+                    reason: "deadline",
+                    backlog_ms: 40.0,
+                    retry_after_ms: 250,
+                    false_positive: false,
+                }),
+            }),
+            profile: None,
+            spans: vec![SpanRecord {
+                trace: 7,
+                id: 1,
+                parent: 0,
+                name: "server.admit",
+                start_ns: 100,
+                end_ns: 2_100,
+                thread: 3,
+                fields: vec![("predicted_ns", 12_500_000)],
+                label: Some("movies".to_owned()),
+            }],
+            span_drops: 2,
+            captured_at_ns: 0,
+        }
+    }
+
+    #[test]
+    fn list_and_detail_render_parseable_json() {
+        let trace = sample_trace();
+        let list = render_trace_list(std::slice::from_ref(&trace));
+        let doc = crate::json::parse(&list).expect("list parses");
+        assert_eq!(
+            doc.get("count").and_then(|c| c.as_f64()),
+            Some(1.0),
+            "{list}"
+        );
+        assert!(list.contains("\"bucket_le\": 0.0025"));
+        assert!(list.contains("\"reasons\": [\"error\", \"shed\"]"));
+
+        let detail = render_trace_detail(&trace);
+        let doc = crate::json::parse(&detail).expect("detail parses");
+        let sched = doc.get("sched").expect("sched present");
+        assert_eq!(
+            sched
+                .get("shed")
+                .and_then(|s| s.get("reason"))
+                .and_then(|r| r.as_str()),
+            Some("deadline")
+        );
+        assert!(detail.contains("\"name\": \"server.admit\""), "{detail}");
+        assert!(detail.contains("\"predicted_ns\": 12500000"), "{detail}");
+        assert!(detail.contains("\"span_drops\": 2"));
+        assert!(detail.contains("\"link\": "));
+        assert!(detail.contains("\"profile\": null"));
+    }
+
+    #[test]
+    fn chrome_export_is_the_span_list_in_trace_event_form() {
+        let body = render_trace_chrome(&sample_trace());
+        assert!(body.contains("\"traceEvents\""), "{body}");
+        assert!(body.contains("server.admit"), "{body}");
+    }
+
+    #[test]
+    fn slo_body_parses_and_names_fast_burning_objectives() {
+        let engine = SloEngine::with_defaults();
+        engine.record(SloEvent {
+            class: "interactive",
+            status: 200,
+            latency: Duration::from_millis(500),
+        });
+        let body = render_slo(&engine.snapshot());
+        let doc = crate::json::parse(&body).expect("slo body parses");
+        assert!(
+            body.contains("\"fast_burn\": [\"interactive_p99_25ms\"]"),
+            "{body}"
+        );
+        let slos = match doc.get("slos") {
+            Some(crate::json::Json::Array(items)) => items,
+            other => panic!("slos not an array: {other:?}"),
+        };
+        assert_eq!(slos.len(), 3);
+        assert_eq!(
+            slos[0].get("name").unwrap().as_str(),
+            Some("interactive_p99_25ms")
+        );
+    }
+}

@@ -19,6 +19,8 @@ pub struct Request {
     pub method: String,
     /// Path without query string.
     pub path: String,
+    /// Raw query string (after `?`, before any `#`), empty when absent.
+    pub query: String,
     /// Header names lowercased, values trimmed.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
@@ -30,6 +32,15 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Look a key up in the query string (`k=v` pairs joined by `&`; no
+    /// percent-decoding — debug-endpoint values are plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
     }
 }
 
@@ -75,7 +86,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
         return Err(ParseError::Bad(format!("unsupported version {version:?}")));
     }
     let method = method.to_owned();
-    let path = target.split('?').next().unwrap_or("").to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -113,6 +127,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     Ok(Request {
         method,
         path,
+        query,
         headers,
         body,
     })
@@ -229,6 +244,48 @@ fn render_error(
     body
 }
 
+/// Splice the request's wire trace id into an already-rendered error
+/// envelope so every error names the retained trace that explains it. The
+/// id lands inside `details` — appended to an existing `details` object or
+/// as a fresh one. Non-envelope bodies (2xx, plain text) pass through
+/// untouched.
+pub fn embed_trace_id(response: &mut Response, trace_hex: &str) {
+    if response.content_type != "application/json" {
+        return;
+    }
+    let Ok(body) = std::str::from_utf8(&response.body) else {
+        return;
+    };
+    if !body.starts_with("{\"error\": {") {
+        return;
+    }
+    let Some(prefix) = body.strip_suffix("}}\n") else {
+        return;
+    };
+    let mut out = String::with_capacity(body.len() + 48);
+    if let Some(details_prefix) = prefix.strip_suffix('}') {
+        if prefix.contains(", \"details\": {") {
+            // `..., "details": {...}` — drop its closing brace and extend it.
+            out.push_str(details_prefix);
+            if !details_prefix.ends_with('{') {
+                out.push_str(", ");
+            }
+        } else {
+            // details is a non-object (pre-rendered string/array): leave it
+            // alone and nest the id in a sibling-free wrapper instead.
+            out.push_str(prefix);
+            out.push_str(", \"details\": {");
+        }
+    } else {
+        out.push_str(prefix);
+        out.push_str(", \"details\": {");
+    }
+    out.push_str("\"trace_id\": \"");
+    out.push_str(trace_hex);
+    out.push_str("\"}}}\n");
+    response.body = out.into_bytes();
+}
+
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -289,6 +346,9 @@ mod tests {
                 .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/query");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"body");
     }
@@ -382,5 +442,49 @@ mod tests {
             "{\"error\": {\"code\": \"bad_request\", \"message\": \"x\", \
              \"details\": {\"field\": \"q\"}}}\n"
         );
+    }
+
+    #[test]
+    fn trace_id_splices_into_every_envelope_shape() {
+        let hex = "00000000000000000000000000000abc";
+
+        let mut plain = Response::error(404, "not_found", "no such path");
+        embed_trace_id(&mut plain, hex);
+        assert_eq!(
+            String::from_utf8(plain.body).unwrap(),
+            format!(
+                "{{\"error\": {{\"code\": \"not_found\", \"message\": \"no such path\", \
+                 \"details\": {{\"trace_id\": \"{hex}\"}}}}}}\n"
+            )
+        );
+
+        let mut retry = Response::error_retry(429, "overloaded", "busy", 1500);
+        embed_trace_id(&mut retry, hex);
+        assert_eq!(
+            String::from_utf8(retry.body).unwrap(),
+            format!(
+                "{{\"error\": {{\"code\": \"overloaded\", \"message\": \"busy\", \
+                 \"retry_after_ms\": 1500, \"details\": {{\"trace_id\": \"{hex}\"}}}}}}\n"
+            )
+        );
+
+        let mut detailed = Response::error_detailed(400, "bad", "x", "{\"field\": \"q\"}");
+        embed_trace_id(&mut detailed, hex);
+        assert_eq!(
+            String::from_utf8(detailed.body).unwrap(),
+            format!(
+                "{{\"error\": {{\"code\": \"bad\", \"message\": \"x\", \
+                 \"details\": {{\"field\": \"q\", \"trace_id\": \"{hex}\"}}}}}}\n"
+            )
+        );
+
+        // Non-envelope bodies pass through untouched.
+        let mut ok = Response::json(200, "{\"answer\": 1}\n".to_owned());
+        let before = ok.body.clone();
+        embed_trace_id(&mut ok, hex);
+        assert_eq!(ok.body, before);
+        let mut text = Response::text(200, "ok\n");
+        embed_trace_id(&mut text, hex);
+        assert_eq!(text.body, b"ok\n");
     }
 }

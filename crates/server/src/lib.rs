@@ -26,6 +26,13 @@
 //! | GET    | `/v1/healthz`    | Liveness probe                                 |
 //! | GET    | `/v1/metrics`    | Prometheus text exposition                     |
 //! | GET    | `/v1/debug/slow` | The N slowest query profiles (loopback only)   |
+//! | GET    | `/v1/debug/traces` | Retained traces from the tail sampler        |
+//! |        |                  | (loopback only; filter by `outcome`, `class`,  |
+//! |        |                  | `min_latency_ms`)                              |
+//! | GET    | `/v1/debug/traces/<id>` | One retained trace: span tree +         |
+//! |        |                  | scheduling decision + predicted-vs-measured    |
+//! |        |                  | phases (`?format=chrome` for Chrome JSON)      |
+//! | GET    | `/v1/debug/slo`  | SLO burn-rate statuses (loopback only)         |
 //! | POST   | `/shutdown`      | Graceful shutdown (drains in-flight requests;  |
 //! |        |                  | unversioned only)                              |
 //!
@@ -38,9 +45,16 @@
 //! Every `/query` is profiled end to end (queue wait, parse, token lookup,
 //! schema generation, per-relation db_gen traversal, NLG, render) via
 //! `precis-obs`; profiles feed the slow-query log and the per-phase
-//! Prometheus aggregates.
+//! Prometheus aggregates. With telemetry enabled (the default), every
+//! request additionally carries a 128-bit wire trace id (from an incoming
+//! `traceparent` or minted) echoed as `x-precis-trace-id` on every response
+//! and embedded in every error envelope's `details`; a tail sampler retains
+//! the interesting traces for the `/v1/debug/traces` endpoints and an SLO
+//! engine tracks error-budget burn rates (`precis_slo_*` families,
+//! `/v1/debug/slo`, and a degraded-but-200 `/v1/healthz`).
 
 pub mod api;
+pub mod debug;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -56,5 +70,5 @@ pub use api::{
 pub use metrics::Metrics;
 pub use mutate::{parse_mutate_request, Durability, MutateOp};
 pub use sched::{Priority, Scheduler};
-pub use server::{Server, ServerConfig, ServerHandle};
-pub use slowlog::SlowLog;
+pub use server::{Server, ServerConfig, ServerHandle, Telemetry};
+pub use slowlog::{SlowEntry, SlowLog};

@@ -107,6 +107,18 @@ impl Histogram {
     }
 }
 
+/// The smallest [`LATENCY_BUCKETS`] upper bound covering `secs`, or
+/// `+Inf` past the last bucket — the exemplar-style linkage retained
+/// traces and slow-log entries carry so a histogram spike in `/metrics`
+/// is navigable to the concrete requests that landed in that bucket.
+pub fn bucket_le(secs: f64) -> f64 {
+    LATENCY_BUCKETS
+        .iter()
+        .copied()
+        .find(|le| secs <= *le)
+        .unwrap_or(f64::INFINITY)
+}
+
 /// All serving metrics, shared across acceptor and workers.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -406,6 +418,15 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bucket_le_picks_the_covering_bound() {
+        assert_eq!(bucket_le(0.0), 0.00025);
+        assert_eq!(bucket_le(0.00025), 0.00025);
+        assert_eq!(bucket_le(0.0011), 0.0025);
+        assert_eq!(bucket_le(5.0), 5.0);
+        assert_eq!(bucket_le(5.1), f64::INFINITY);
+    }
 
     #[test]
     fn histogram_buckets_are_cumulative_and_quantiles_bound() {

@@ -21,17 +21,34 @@
 //! and at its legacy unversioned path, which answers identically plus a
 //! `Deprecation` header. Non-2xx responses all carry the structured error
 //! envelope (`{"error": {"code", "message", ...}}`) from [`http::Response`].
+//!
+//! With telemetry enabled (the default), every request also gets a 128-bit
+//! wire trace id at admission — accepted from an incoming `traceparent`
+//! header or minted — echoed back as `x-precis-trace-id`/`traceparent` on
+//! every response and embedded in every error envelope's `details`. Spans
+//! are captured into a per-request buffer, and at completion a tail sampler
+//! retains the trace iff it was interesting (slow for its class, non-2xx,
+//! shed/coalesce/reorder, WAL rollback, panic) or head-sampled; retained
+//! traces are served by the loopback-only `GET /v1/debug/traces` endpoints,
+//! and every finished request feeds the SLO burn-rate engine behind
+//! `GET /v1/debug/slo` and the `precis_slo_*` metric families.
 
 use crate::api;
+use crate::debug;
 use crate::http::{self, ParseError, Request, Response};
 use crate::metrics::Metrics;
 use crate::mutate::{self, Durability};
 use crate::sched::{Admission, ConnRefusal, Job, Scheduler, Shed, ShedReason, Work};
-use crate::slowlog::SlowLog;
+use crate::slowlog::{SlowEntry, SlowLog};
 use precis_core::{CoreError, PrecisEngine, SnapshotCell};
 use precis_nlg::Vocabulary;
 use precis_obs::sched_obs;
-use precis_obs::{Phase, QueryProfile};
+use precis_obs::slo::{SloEngine, SloEvent};
+use precis_obs::telemetry::{
+    retain_reasons, RetainedTrace, SchedDecision, ShedDecision, TelemetryConfig, TraceFilter,
+    TraceId, TraceStore, TraceVerdictInput,
+};
+use precis_obs::{Phase, ProfileSnapshot, QueryProfile, TraceCapture};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -69,6 +86,10 @@ pub struct ServerConfig {
     /// Starvation bound for the cost-ordered queue: a query bypassed this
     /// many times is scheduled next regardless of predicted cost or class.
     pub aging_threshold: u32,
+    /// Always-on tail-sampled tracing and the SLO engine. `None` disables
+    /// both (benchmark baselines, embedded test servers that must not arm
+    /// the process-wide tracer).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServerConfig {
@@ -81,7 +102,50 @@ impl Default for ServerConfig {
             io_timeout: Some(Duration::from_secs(5)),
             slow_log_capacity: 8,
             aging_threshold: 8,
+            telemetry: Some(TelemetryConfig::default()),
         }
+    }
+}
+
+/// Always-on telemetry state shared by the acceptor and workers: the
+/// retained-trace store, the SLO engine, and the arm guard keeping the
+/// tracer recording for the server's lifetime. The guard arms the tracer
+/// *capture-only*: span sites materialize records exclusively for traces
+/// with a registered per-request capture, so uncaptured requests pay a few
+/// relaxed loads per site, nothing reaches the process-global ring a
+/// concurrent in-process `explain` or test may be draining, and captured
+/// requests divert into their own buffers as before.
+pub struct Telemetry {
+    config: TelemetryConfig,
+    store: TraceStore,
+    slo: SloEngine,
+    _arm: precis_obs::ArmGuard,
+}
+
+impl Telemetry {
+    fn new(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            store: TraceStore::new(
+                config.store_budget_bytes,
+                config.retain_per_sec,
+                config.capture_per_sec,
+            ),
+            slo: SloEngine::with_defaults(),
+            _arm: precis_obs::arm_capture_only(),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
     }
 }
 
@@ -91,6 +155,34 @@ struct QueryJob {
     /// Time the admitting worker spent parsing, attributed to the flight's
     /// profile so per-phase aggregates still see it.
     parse_time: Duration,
+    /// The creator's internal span-correlation trace id; the flight's
+    /// profile and execution spans record under it so they land in the
+    /// creator's capture. 0 when telemetry is disabled.
+    trace_internal: u64,
+    /// The creator's 32-hex wire trace id (slow-log linkage); empty when
+    /// telemetry is disabled.
+    trace_hex: String,
+}
+
+/// Per-request trace context: the external wire identity plus the internal
+/// capture collecting this request's spans.
+struct TraceCtx {
+    wire: TraceId,
+    /// `wire` as 32-hex, cached — it is stamped on headers, envelopes, and
+    /// log lines.
+    hex: String,
+    /// Internal span-correlation id (from the tracer's sequence, never
+    /// derived from the wire id — a hostile `traceparent` cannot alias
+    /// another request's spans).
+    internal: u64,
+    /// `None` when the retention bucket was closed at admission: the trace
+    /// could not be kept with a full span set anyway, so no per-request
+    /// buffer is registered and span records flow to the shared ring. If
+    /// the trace still wins retention, finalize synthesizes its root span.
+    capture: Option<TraceCapture>,
+    /// For coalesced waiters: the flight creator's wire id, whose retained
+    /// trace holds the execution spans.
+    link: Option<String>,
 }
 
 /// One response destination of a flight.
@@ -101,6 +193,9 @@ struct Waiter {
     wants_profile: bool,
     /// Came in over a legacy unversioned path → deprecation headers.
     deprecated: bool,
+    /// This waiter's own trace (admission spans; execution spans live on
+    /// the creator's trace). `None` when telemetry is disabled.
+    trace: Option<TraceCtx>,
 }
 
 type Sched = Scheduler<(Instant, TcpStream), QueryJob, Waiter>;
@@ -127,6 +222,8 @@ struct Shared {
     /// queue, and the single-flight coalescing table.
     sched: Sched,
     slow_log: Arc<SlowLog>,
+    /// Tail-sampled tracing + SLO engine; `None` when disabled by config.
+    telemetry: Option<Arc<Telemetry>>,
     shutdown: AtomicBool,
     default_deadline: Option<Duration>,
     io_timeout: Option<Duration>,
@@ -179,6 +276,7 @@ impl Server {
                 config.aging_threshold,
             ),
             slow_log: Arc::new(SlowLog::new(config.slow_log_capacity)),
+            telemetry: config.telemetry.map(|t| Arc::new(Telemetry::new(t))),
             shutdown: AtomicBool::new(false),
             default_deadline: config.default_deadline,
             io_timeout: config.io_timeout,
@@ -221,6 +319,13 @@ impl ServerHandle {
     /// The bounded slow-query log served by `GET /debug/slow`.
     pub fn slow_log(&self) -> Arc<SlowLog> {
         self.shared.slow_log.clone()
+    }
+
+    /// The telemetry state (trace store + SLO engine) behind the
+    /// `/v1/debug/traces` and `/v1/debug/slo` endpoints; `None` when the
+    /// server was started with `telemetry: None`.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.shared.telemetry.clone()
     }
 
     /// The engine snapshot new requests will be served from.
@@ -322,11 +427,23 @@ fn worker_loop(shared: &Shared) {
 /// and whether it arrived over a deprecated (unversioned) alias.
 fn canonical_path(path: &str) -> (&str, bool) {
     match path {
-        "/v1/query" | "/v1/mutate" | "/v1/healthz" | "/v1/metrics" | "/v1/debug/slow" => {
-            (&path[3..], false)
+        "/v1/query" | "/v1/mutate" | "/v1/healthz" | "/v1/metrics" | "/v1/debug/slow"
+        | "/v1/debug/slo" => (&path[3..], false),
+        "/query" | "/mutate" | "/healthz" | "/metrics" | "/debug/slow" | "/debug/slo" => {
+            (path, true)
         }
-        "/query" | "/mutate" | "/healthz" | "/metrics" | "/debug/slow" => (path, true),
-        other => (other, false),
+        other => {
+            // The trace endpoints carry a dynamic id suffix.
+            if let Some(rest) = other.strip_prefix("/v1") {
+                if rest == "/debug/traces" || rest.starts_with("/debug/traces/") {
+                    return (rest, false);
+                }
+            }
+            if other == "/debug/traces" || other.starts_with("/debug/traces/") {
+                return (other, true);
+            }
+            (other, false)
+        }
     }
 }
 
@@ -335,6 +452,120 @@ fn canonical_path(path: &str) -> (&str, bool) {
 fn deprecate(resp: Response, path: &str) -> Response {
     resp.with_header("Deprecation: true")
         .with_header(format!("Link: </v1{path}>; rel=\"successor-version\""))
+}
+
+/// Start a trace for one request: accept the wire id from a `traceparent`
+/// header or mint one, allocate a fresh internal span id, and register the
+/// per-request capture buffer. `None` when telemetry is disabled.
+fn begin_trace(shared: &Shared, traceparent: Option<&str>) -> Option<TraceCtx> {
+    let telem = shared.telemetry.as_deref()?;
+    let wire = traceparent
+        .and_then(TraceId::parse_traceparent)
+        .unwrap_or_else(TraceId::mint);
+    let internal = precis_obs::new_trace_id();
+    // Span capture is speculative (the tail verdict comes at finalize) and
+    // costs tens of microseconds per request, so it is token-bucketed:
+    // head-sampled requests always capture — they are the deterministic
+    // always-on baseline — and everything else captures only while the
+    // capture bucket has tokens. A trace that captures nothing here but
+    // still wins retention gets a synthesized root span from finalize.
+    let capture = (wire.head_sampled(telem.config.head_sample_every)
+        || telem.store.admit_capture())
+    .then(|| precis_obs::capture_trace(internal, telem.config.max_spans_per_trace));
+    Some(TraceCtx {
+        wire,
+        hex: wire.to_hex(),
+        internal,
+        capture,
+        link: None,
+    })
+}
+
+/// Echo the wire trace id on the response — `x-precis-trace-id` plus a
+/// `traceparent` continuation — and embed it in an error envelope's
+/// `details` so failures are retrievable by id.
+fn stamp_trace(mut resp: Response, ctx: &TraceCtx) -> Response {
+    http::embed_trace_id(&mut resp, &ctx.hex);
+    resp.with_header(format!("x-precis-trace-id: {}", ctx.hex))
+        .with_header(format!(
+            "traceparent: {}",
+            ctx.wire.traceparent(ctx.internal)
+        ))
+}
+
+/// Finish one request's trace: feed the SLO engine, run the tail sampler,
+/// and either retain the captured spans (with the scheduler's decision
+/// record and the profile's predicted-vs-measured phases) or count the
+/// drop. Consumes the capture either way.
+fn finalize_trace(
+    shared: &Shared,
+    ctx: TraceCtx,
+    endpoint: &'static str,
+    class: &'static str,
+    input: TraceVerdictInput,
+    sched: Option<SchedDecision>,
+    profile: Option<&ProfileSnapshot>,
+) {
+    let Some(telem) = shared.telemetry.as_deref() else {
+        return;
+    };
+    telem.slo.record(SloEvent {
+        class,
+        status: input.status,
+        latency: Duration::from_nanos(input.latency_ns),
+    });
+    let reasons = retain_reasons(&telem.config, ctx.wire, &input);
+    if reasons.is_empty() {
+        // Dropping the capture unregisters it and discards its spans.
+        telem.store.drop_uninteresting();
+        return;
+    }
+    if !telem.store.admit_retention() {
+        telem.store.drop_rate_limited();
+        return;
+    }
+    let captured_at_ns = precis_obs::now_ns();
+    let (spans, span_drops) = match ctx.capture {
+        Some(capture) => {
+            let captured = capture.take();
+            (captured.spans, captured.dropped)
+        }
+        // Degraded capture: no buffer was registered because the bucket
+        // was closed at admission, yet this trace won retention after all.
+        // Synthesize the root span from what finalize already knows so the
+        // detail endpoint still shows the request's extent.
+        None => (
+            vec![precis_obs::SpanRecord {
+                trace: ctx.internal,
+                id: 1,
+                parent: 0,
+                name: "request.degraded_capture",
+                start_ns: captured_at_ns.saturating_sub(input.latency_ns),
+                end_ns: captured_at_ns,
+                thread: 0,
+                fields: Vec::new(),
+                label: None,
+            }],
+            0,
+        ),
+    };
+    telem.store.offer(RetainedTrace {
+        trace_id: ctx.hex,
+        link: ctx.link,
+        endpoint,
+        class,
+        status: input.status,
+        reasons,
+        latency_ns: input.latency_ns,
+        bucket_le: crate::metrics::bucket_le(input.latency_ns as f64 / 1e9),
+        sched,
+        // Cloned only here, after the trace won retention — the common
+        // dropped path never copies the phase snapshot.
+        profile: profile.cloned(),
+        spans,
+        span_drops,
+        captured_at_ns,
+    });
 }
 
 /// Read one request off the connection and dispatch it. Non-query requests
@@ -353,28 +584,36 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, admitted: Instant) {
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(ParseError::Disconnected) => return,
-        Err(ParseError::Bad(msg)) => {
-            let resp = Response::error(400, "bad_request", &msg);
+        Err(e) => {
+            let (status, code, message): (u16, &str, String) = match e {
+                ParseError::Bad(msg) => (400, "bad_request", msg),
+                ParseError::TooLarge => (413, "payload_too_large", "request too large".to_owned()),
+                ParseError::TimedOut => (
+                    408,
+                    "request_timeout",
+                    "timed out waiting for request".to_owned(),
+                ),
+                ParseError::Disconnected => unreachable!("handled above"),
+            };
+            // No parsed headers → no incoming traceparent to honor, but the
+            // refusal still gets an id so the retained trace is findable.
+            let ctx = begin_trace(shared, None);
+            let mut resp = Response::error(status, code, &message);
+            if let Some(c) = &ctx {
+                resp = stamp_trace(resp, c);
+            }
             shared
                 .metrics
-                .record_request("other", 400, started.elapsed());
+                .record_request("other", status, started.elapsed());
             let _ = http::write_response(&mut stream, &resp);
-            return;
-        }
-        Err(ParseError::TooLarge) => {
-            let resp = Response::error(413, "payload_too_large", "request too large");
-            shared
-                .metrics
-                .record_request("other", 413, started.elapsed());
-            let _ = http::write_response(&mut stream, &resp);
-            return;
-        }
-        Err(ParseError::TimedOut) => {
-            let resp = Response::error(408, "request_timeout", "timed out waiting for request");
-            shared
-                .metrics
-                .record_request("other", 408, started.elapsed());
-            let _ = http::write_response(&mut stream, &resp);
+            if let Some(c) = ctx {
+                let input = TraceVerdictInput {
+                    status,
+                    latency_ns: admitted.elapsed().as_nanos() as u64,
+                    ..TraceVerdictInput::default()
+                };
+                finalize_trace(shared, c, "other", "", input, None, None);
+            }
             return;
         }
     };
@@ -390,20 +629,47 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, admitted: Instant) {
     shared.metrics.record_queue_wait(admitted.elapsed());
 
     if request.method == "POST" && path == "/query" {
-        admit_query(shared, stream, &request.body, admitted, started, deprecated);
+        admit_query(shared, stream, &request, admitted, started, deprecated);
         return;
     }
 
-    let (endpoint, response, shutdown_after) = route(shared, &request, path, peer_is_loopback);
-    let response = if deprecated {
+    let ctx = begin_trace(shared, request.header("traceparent"));
+    let (endpoint, response, shutdown_after) = {
+        // Spans emitted while routing record under this request's trace and
+        // divert into its capture, not the global ring.
+        let _scope = precis_obs::trace_scope(ctx.as_ref().map_or(0, |c| c.internal));
+        route(
+            shared,
+            &request,
+            path,
+            peer_is_loopback,
+            ctx.as_ref().map_or("", |c| c.hex.as_str()),
+        )
+    };
+    // The mutate handler's only 503s are durability failures, which always
+    // roll the WAL back (or poison it trying).
+    let wal_rollback = endpoint == "mutate" && response.status == 503;
+    let mut response = if deprecated {
         deprecate(response, path)
     } else {
         response
     };
+    if let Some(c) = &ctx {
+        response = stamp_trace(response, c);
+    }
     shared
         .metrics
         .record_request(endpoint, response.status, started.elapsed());
     let _ = http::write_response(&mut stream, &response);
+    if let Some(c) = ctx {
+        let input = TraceVerdictInput {
+            status: response.status,
+            latency_ns: admitted.elapsed().as_nanos() as u64,
+            wal_rollback,
+            ..TraceVerdictInput::default()
+        };
+        finalize_trace(shared, c, endpoint, "", input, None, None);
+    }
     if shutdown_after {
         trigger_shutdown(shared);
     }
@@ -417,47 +683,65 @@ fn route(
     request: &Request,
     path: &str,
     peer_is_loopback: bool,
+    trace_hex: &str,
 ) -> (&'static str, Response, bool) {
     match (request.method.as_str(), path) {
         // Mutations are unauthenticated, like /shutdown: only loopback
         // peers may change the data a public bind is serving.
         ("POST", "/mutate") if !peer_is_loopback => (
             "mutate",
-            Response::error(403, "forbidden", "mutations are only honored from loopback"),
+            loopback_refusal("mutations are only honored from loopback"),
             false,
         ),
-        ("POST", "/mutate") => ("mutate", handle_mutate(shared, &request.body), false),
-        ("GET", "/healthz") => ("healthz", Response::text(200, "ok\n"), false),
+        ("POST", "/mutate") => (
+            "mutate",
+            handle_mutate(shared, &request.body, trace_hex),
+            false,
+        ),
+        ("GET", "/healthz") => {
+            // An SLO fast-burning its error budget degrades health without
+            // failing it — the process is up; the operator should look.
+            let body = match shared.telemetry.as_deref() {
+                Some(t) => {
+                    let fast = t.slo.fast_burning();
+                    if fast.is_empty() {
+                        "ok\n".to_owned()
+                    } else {
+                        format!("degraded: fast burn on {}\n", fast.join(", "))
+                    }
+                }
+                None => "ok\n".to_owned(),
+            };
+            ("healthz", Response::text(200, body), false)
+        }
         ("GET", "/metrics") => {
             let cache = shared.engine.load().cache_stats();
             let mut body = shared.metrics.render_prometheus(&cache);
             if let Some(d) = &shared.durability {
                 render_wal_metrics(&mut body, d);
             }
+            if let Some(t) = shared.telemetry.as_deref() {
+                t.store.write_prometheus(&mut body);
+                t.slo.write_prometheus(&mut body);
+            }
             ("metrics", Response::text(200, body), false)
         }
-        // The slow-query log exposes query text, so like /shutdown it is
-        // only honored from loopback peers.
-        ("GET", "/debug/slow") if !peer_is_loopback => (
+        // Debug endpoints expose query text and full request traces, so
+        // like /shutdown they are only honored from loopback peers — and a
+        // remote peer's refusal carries the same structured envelope as
+        // every other error.
+        ("GET", p) if is_debug_path(p) && !peer_is_loopback => (
             "other",
-            Response::error(
-                403,
-                "forbidden",
-                "debug endpoints are only honored from loopback",
-            ),
+            loopback_refusal("debug endpoints are only honored from loopback"),
             false,
         ),
-        ("GET", "/debug/slow") => (
-            "other",
-            Response::json(200, shared.slow_log.render_json()),
-            false,
-        ),
+        ("GET", p) if is_debug_path(p) => ("other", handle_debug(shared, request, p), false),
         // Shutdown is unauthenticated, so it is only honored from loopback
         // peers; binding a public address must not hand remote process
         // termination to every peer that can reach the port.
         ("POST", "/shutdown") if !peer_is_loopback => (
             "other",
-            Response::error(403, "forbidden", "shutdown is only honored from loopback"),
+            loopback_refusal("shutdown is only honored from loopback"),
             false,
         ),
         ("POST", "/shutdown") => (
@@ -465,7 +749,12 @@ fn route(
             Response::json(200, "{\"shutting_down\": true}\n".to_owned()),
             true,
         ),
-        (_, "/query" | "/mutate" | "/healthz" | "/metrics" | "/shutdown" | "/debug/slow") => (
+        (_, "/query" | "/mutate" | "/healthz" | "/metrics" | "/shutdown") => (
+            "other",
+            Response::error(405, "method_not_allowed", "method not allowed"),
+            false,
+        ),
+        (_, p) if is_debug_path(p) => (
             "other",
             Response::error(405, "method_not_allowed", "method not allowed"),
             false,
@@ -478,6 +767,63 @@ fn route(
     }
 }
 
+/// The loopback-only debug surface (canonical paths).
+fn is_debug_path(path: &str) -> bool {
+    path == "/debug/slow"
+        || path == "/debug/slo"
+        || path == "/debug/traces"
+        || path.starts_with("/debug/traces/")
+}
+
+/// The uniform refusal every loopback-only endpoint answers a remote peer
+/// with: always the structured v1 error envelope, never a bare body.
+fn loopback_refusal(message: &str) -> Response {
+    Response::error(403, "forbidden", message)
+}
+
+/// Dispatch one loopback-only debug GET on its canonical path.
+fn handle_debug(shared: &Shared, request: &Request, path: &str) -> Response {
+    if path == "/debug/slow" {
+        return Response::json(200, shared.slow_log.render_json());
+    }
+    let Some(telem) = shared.telemetry.as_deref() else {
+        return Response::error(
+            404,
+            "telemetry_disabled",
+            "server started without telemetry",
+        );
+    };
+    match path {
+        "/debug/slo" => Response::json(200, debug::render_slo(&telem.slo.snapshot())),
+        "/debug/traces" => {
+            let filter = TraceFilter {
+                outcome: request.query_param("outcome").map(str::to_owned),
+                class: request.query_param("class").map(str::to_owned),
+                min_latency: request
+                    .query_param("min_latency_ms")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                    .map(|ms| Duration::from_secs_f64(ms / 1e3)),
+            };
+            Response::json(200, debug::render_trace_list(&telem.store.list(&filter)))
+        }
+        _ => match path.strip_prefix("/debug/traces/") {
+            Some(id) if !id.is_empty() => match telem.store.get(id) {
+                Some(trace) if request.query_param("format") == Some("chrome") => {
+                    Response::json(200, debug::render_trace_chrome(&trace))
+                }
+                Some(trace) => Response::json(200, debug::render_trace_detail(&trace)),
+                None => Response::error(
+                    404,
+                    "trace_not_found",
+                    "no retained trace with that id (dropped by the sampler, evicted, or never seen)",
+                ),
+            },
+            _ => Response::error(404, "not_found", "no such endpoint"),
+        },
+    }
+}
+
 /// Cost-aware admission for one query: parse eagerly, price with the
 /// calibrated Formula-2 model, then shed, coalesce, or enqueue. Shed and
 /// error responses are written here; queued/coalesced requests are answered
@@ -485,27 +831,55 @@ fn route(
 fn admit_query(
     shared: &Shared,
     mut stream: TcpStream,
-    body: &[u8],
+    http_request: &Request,
     admitted: Instant,
     started: Instant,
     deprecated: bool,
 ) {
-    let answer_now = |resp: Response, stream: &mut TcpStream| {
+    let mut ctx = begin_trace(shared, http_request.header("traceparent"));
+    // Admission spans (pricing, shed, coalesce) record under this request's
+    // trace so they land in its capture buffer.
+    let _scope = precis_obs::trace_scope(ctx.as_ref().map_or(0, |c| c.internal));
+
+    // Answer an inline (non-flight) query response: deprecation headers,
+    // trace stamping, metrics, and the trace's SLO + sampler finalization.
+    let answer_now = |resp: Response,
+                      stream: &mut TcpStream,
+                      ctx: Option<TraceCtx>,
+                      class: &'static str,
+                      sched: Option<SchedDecision>| {
         let resp = if deprecated {
             deprecate(resp, "/query")
         } else {
             resp
         };
+        let resp = match &ctx {
+            Some(c) => stamp_trace(resp, c),
+            None => resp,
+        };
         shared
             .metrics
             .record_request("query", resp.status, started.elapsed());
         let _ = http::write_response(stream, &resp);
+        if let Some(c) = ctx {
+            let input = TraceVerdictInput {
+                status: resp.status,
+                latency_ns: admitted.elapsed().as_nanos() as u64,
+                batch_class: class == "batch",
+                shed: sched.as_ref().is_some_and(|s| s.shed.is_some()),
+                ..TraceVerdictInput::default()
+            };
+            finalize_trace(shared, c, "query", class, input, sched, None);
+        }
     };
 
-    let Ok(text) = std::str::from_utf8(body) else {
+    let Ok(text) = std::str::from_utf8(&http_request.body) else {
         answer_now(
             Response::error(400, "bad_request", "body must be UTF-8"),
             &mut stream,
+            ctx.take(),
+            "",
+            None,
         );
         return;
     };
@@ -513,10 +887,17 @@ fn admit_query(
     let request = match api::parse_query_request(text) {
         Ok(r) => r,
         Err(msg) => {
-            answer_now(Response::error(400, "bad_request", &msg), &mut stream);
+            answer_now(
+                Response::error(400, "bad_request", &msg),
+                &mut stream,
+                ctx.take(),
+                "",
+                None,
+            );
             return;
         }
     };
+    let class_str = request.priority.as_str();
 
     // Price the query with Formula 2 before it queues. This also warms the
     // engine's token and schema caches, so the priced work is not wasted
@@ -531,6 +912,9 @@ fn admit_query(
                 answer_now(
                     Response::error(400, "empty_query", "query has no tokens"),
                     &mut stream,
+                    ctx.take(),
+                    class_str,
+                    None,
                 );
                 return;
             }
@@ -539,6 +923,9 @@ fn admit_query(
                 answer_now(
                     Response::error(500, "internal", &e.to_string()),
                     &mut stream,
+                    ctx.take(),
+                    class_str,
+                    None,
                 );
                 return;
             }
@@ -551,22 +938,35 @@ fn admit_query(
     admit_span.field(sched_obs::FIELD_CLASS, request.priority.as_field());
     drop(admit_span);
     let parse_time = parse_started.elapsed();
+    // Conn-stage queue wait, for the scheduling decision record.
+    let conn_wait_ms = (started - admitted).as_secs_f64() * 1e3;
 
     let deadline = api::request_budget(&request, shared.default_deadline).map(|b| admitted + b);
     let key = request.coalesce.then(|| api::flight_key(&request));
     let class = request.priority;
+    let (trace_internal, trace_hex) = ctx
+        .as_ref()
+        .map_or((0, String::new()), |c| (c.internal, c.hex.clone()));
     let waiter = Waiter {
         stream,
         admitted,
         deadline,
         wants_profile: request.profile,
         deprecated,
+        trace: ctx,
     };
     let payload = QueryJob {
         request,
         parse_time,
+        trace_internal,
+        trace_hex,
     };
 
+    // The waiter — and with it this trace's capture handle — crosses to an
+    // executing worker inside `submit_query`, and a fast flight can
+    // finalize the trace before this thread's deferred span flush runs.
+    // Publish the admission spans into the capture first.
+    precis_obs::flush_thread();
     match shared.sched.submit_query(
         payload,
         class,
@@ -581,6 +981,11 @@ fn admit_query(
             shared.metrics.record_coalesced();
             let span = precis_obs::span(sched_obs::SPAN_COALESCE);
             span.field(sched_obs::FIELD_FANOUT, fanout as u64);
+            // Same race as above: the joined flight may finalize this
+            // waiter any moment, so flush eagerly; if it already did, the
+            // span lands in the shared ring instead (best-effort).
+            drop(span);
+            precis_obs::flush_thread();
         }
         Admission::Shed(shed, mut w) => {
             shared.metrics.record_shed(shed.false_positive);
@@ -592,15 +997,37 @@ fn admit_query(
                     "predicted cost cannot meet the deadline under current load",
                 ),
             };
+            let decision = SchedDecision {
+                predicted_ms: predicted_secs.map(|s| s * 1e3),
+                queue_wait_ms: conn_wait_ms,
+                coalesced: false,
+                fanout: 0,
+                reordered: false,
+                shed: Some(ShedDecision {
+                    reason: match shed.reason {
+                        ShedReason::Capacity => "capacity",
+                        ShedReason::Deadline => "deadline",
+                    },
+                    backlog_ms: shed.backlog_secs * 1e3,
+                    retry_after_ms: shed.retry_after_ms,
+                    false_positive: shed.false_positive,
+                }),
+            };
             answer_now(
                 Response::error_retry(429, code, message, shed.retry_after_ms),
                 &mut w.stream,
+                w.trace.take(),
+                class_str,
+                Some(decision),
             );
         }
         Admission::Closed(mut w) => {
             answer_now(
                 Response::error_retry(503, "shutting_down", "server shutting down", 1000),
                 &mut w.stream,
+                w.trace.take(),
+                class_str,
+                None,
             );
         }
     }
@@ -627,6 +1054,9 @@ fn emit_shed_span(shed: &Shed, predicted_secs: Option<f64>) {
 /// its one write at fan-out.
 fn execute_flight(shared: &Shared, job: Job<QueryJob, Waiter>) {
     let exec_started = Instant::now();
+    // Execution spans record under the flight creator's trace, so the
+    // creator's retained trace holds the full admission→execution tree.
+    let _scope = precis_obs::trace_scope(job.payload.trace_internal);
     let exec_span = precis_obs::span(sched_obs::SPAN_EXECUTE);
     exec_span.field(
         sched_obs::FIELD_PREDICTED_NS,
@@ -648,8 +1078,12 @@ fn execute_flight(shared: &Shared, job: Job<QueryJob, Waiter>) {
     // Every query is profiled internally — the slow log and the per-phase
     // /metrics aggregates need it — but the response only carries the
     // profile when a waiter opted in, so default responses stay
-    // byte-identical to an unprofiled server.
-    let profile = Arc::new(QueryProfile::new());
+    // byte-identical to an unprofiled server. The profile reuses the
+    // creator's internal trace id so engine spans land in its capture.
+    let profile = Arc::new(match job.payload.trace_internal {
+        0 => QueryProfile::new(),
+        t => QueryProfile::with_trace_id(t),
+    });
     profile.add_phase(Phase::QueueWait, exec_started - job.admitted);
     profile.add_phase(Phase::Parse, job.payload.parse_time);
 
@@ -680,11 +1114,19 @@ fn execute_flight(shared: &Shared, job: Job<QueryJob, Waiter>) {
         Body(String, Option<String>),
         Error(u16, &'static str, String),
     }
+    // Snapshot the profile for every outcome — a 504's retained trace must
+    // still carry its predicted-vs-measured phase times (`snapshot` works
+    // on an unfinished profile; the success path already called `finish`).
+    let panicked = outcome.is_err();
+    let snap = profile.snapshot();
     let result = match outcome {
         Ok(Ok(body)) => {
-            let snap = profile.snapshot();
             shared.metrics.phases.accumulate(&snap);
-            shared.slow_log.offer(snap.clone());
+            shared.slow_log.offer(SlowEntry {
+                snapshot: snap.clone(),
+                trace_hex: job.payload.trace_hex.clone(),
+                bucket_le: crate::metrics::bucket_le(service.as_secs_f64()),
+            });
             let mut profile_json = String::new();
             api::write_profile_json(&mut profile_json, &snap);
             FlightResult::Body(body, Some(profile_json))
@@ -703,9 +1145,21 @@ fn execute_flight(shared: &Shared, job: Job<QueryJob, Waiter>) {
     };
 
     let waiters = shared.sched.finish(&job);
-    exec_span.field(sched_obs::FIELD_FANOUT, waiters.len() as u64);
+    let fanout = waiters.len() as u64;
+    exec_span.field(sched_obs::FIELD_FANOUT, fanout);
     drop(exec_span);
 
+    // The creator's wire id, linked from every coalesced waiter's retained
+    // trace (the creator's trace holds the execution spans they shared).
+    let creator_hex = waiters
+        .first()
+        .and_then(|w| w.trace.as_ref().map(|t| t.hex.clone()));
+
+    // Two passes: every waiter's response goes on the wire before any
+    // trace is finalized, so one waiter's sampling/retention work never
+    // sits in front of the next waiter's bytes. The worker still pays for
+    // finalization, but no client waits on it.
+    let mut pending: Vec<(TraceCtx, TraceVerdictInput, SchedDecision)> = Vec::new();
     for (i, mut w) in waiters.into_iter().enumerate() {
         let queue_wait = exec_started.saturating_duration_since(w.admitted);
         // `finish` preserves attach order: index 0 is the flight's creator,
@@ -726,15 +1180,53 @@ fn execute_flight(shared: &Shared, job: Job<QueryJob, Waiter>) {
             }
             FlightResult::Error(status, code, message) => Response::error(*status, code, message),
         };
-        let response = if w.deprecated {
+        let mut response = if w.deprecated {
             deprecate(response, "/query")
         } else {
             response
         };
+        if let Some(t) = &w.trace {
+            response = stamp_trace(response, t);
+        }
         shared
             .metrics
             .record_request("query", response.status, service);
         let _ = http::write_response(&mut w.stream, &response);
+
+        if let Some(mut trace) = w.trace.take() {
+            if coalesced {
+                trace.link = creator_hex.clone().filter(|h| *h != trace.hex);
+            }
+            let decision = SchedDecision {
+                predicted_ms: job.predicted_secs.map(|s| s * 1e3),
+                queue_wait_ms: queue_wait.as_secs_f64() * 1e3,
+                coalesced,
+                fanout,
+                reordered: job.reordered,
+                shed: None,
+            };
+            let input = TraceVerdictInput {
+                status: response.status,
+                latency_ns: w.admitted.elapsed().as_nanos() as u64,
+                batch_class: job.class.as_str() == "batch",
+                coalesced,
+                reordered: job.reordered,
+                panicked,
+                ..TraceVerdictInput::default()
+            };
+            pending.push((trace, input, decision));
+        }
+    }
+    for (trace, input, decision) in pending {
+        finalize_trace(
+            shared,
+            trace,
+            "query",
+            job.class.as_str(),
+            input,
+            Some(decision),
+            Some(&snap),
+        );
     }
 }
 
@@ -753,7 +1245,7 @@ fn execute_flight(shared: &Shared, job: Job<QueryJob, Waiter>) {
 ///
 /// `503` on this path always means a durability failure (or shutdown) —
 /// overload is signalled with `429` by admission, never here.
-fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
+fn handle_mutate(shared: &Shared, body: &[u8], trace_hex: &str) -> Response {
     let Ok(text) = std::str::from_utf8(body) else {
         return Response::error(400, "bad_request", "body must be UTF-8");
     };
@@ -786,10 +1278,15 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
         let mark = mark.expect("mark taken whenever durability is attached");
         if applied.wal_failed {
             let reason = applied.error.as_deref().unwrap_or("write-ahead log error");
-            return abort_batch(d, mark, reason);
+            return abort_batch(d, mark, reason, trace_hex);
         }
         if let Err(e) = d.wal.flush() {
-            return abort_batch(d, mark, &format!("write-ahead log sync failed: {e}"));
+            return abort_batch(
+                d,
+                mark,
+                &format!("write-ahead log sync failed: {e}"),
+                trace_hex,
+            );
         }
         wal_lsn = Some(d.wal.next_lsn().saturating_sub(1));
         d.since_checkpoint
@@ -814,7 +1311,10 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
                 // longer WAL for the next checkpoint attempt.
                 Err(e) => {
                     d.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
-                    eprintln!("precis-server: auto-checkpoint failed (will retry): {e}");
+                    eprintln!(
+                        "precis-server: auto-checkpoint failed (will retry) \
+                         trace={trace_hex}: {e}"
+                    );
                 }
             }
         }
@@ -841,14 +1341,19 @@ fn handle_mutate(shared: &Shared, body: &[u8]) -> Response {
 /// pre-batch mark (leaving the published engine untouched) and report 503.
 /// A rollback failure leaves the on-disk log unknown — poison durability so
 /// no later batch can interleave with the abandoned records.
-fn abort_batch(d: &Durability, mark: precis_durability::WalMark, reason: &str) -> Response {
+fn abort_batch(
+    d: &Durability,
+    mark: precis_durability::WalMark,
+    reason: &str,
+    trace_hex: &str,
+) -> Response {
     match d.wal.truncate_to_mark(mark) {
         Ok(()) => Response::error(503, "wal_failed", &format!("{reason}; batch rolled back")),
         Err(e) => {
             d.poison();
             eprintln!(
                 "precis-server: WAL rollback failed after a failed batch; \
-                 mutations disabled until restart: {e}"
+                 mutations disabled until restart trace={trace_hex}: {e}"
             );
             Response::error(
                 503,

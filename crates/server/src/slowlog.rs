@@ -5,7 +5,10 @@
 //! profiles by total wall time — a bounded, allocation-light ranking, not a
 //! sliding window, so a burst of fast queries can never evict the outliers
 //! an operator is hunting. Served by `GET /debug/slow` (loopback only, the
-//! same policy as `POST /shutdown`).
+//! same policy as `POST /shutdown`). Each entry carries the wire trace id
+//! and the latency-histogram bucket bound it landed in, so a slow-log line
+//! is navigable both to its retained trace (`/v1/debug/traces/<id>`) and
+//! back to the `/metrics` histogram bucket it inflated.
 
 use crate::api::write_profile_json;
 use crate::json::write_str;
@@ -13,11 +16,22 @@ use precis_obs::ProfileSnapshot;
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
+/// One slow-log entry: the profile plus its telemetry linkage.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    pub snapshot: ProfileSnapshot,
+    /// 32-hex wire trace id; empty when telemetry is disabled.
+    pub trace_hex: String,
+    /// Smallest latency-histogram bound (seconds) covering this request's
+    /// service time; `f64::INFINITY` past the last bucket.
+    pub bucket_le: f64,
+}
+
 #[derive(Debug)]
 pub struct SlowLog {
     capacity: usize,
-    /// Sorted by `total_ns` descending; length ≤ `capacity`.
-    entries: Mutex<Vec<ProfileSnapshot>>,
+    /// Sorted by `snapshot.total_ns` descending; length ≤ `capacity`.
+    entries: Mutex<Vec<SlowEntry>>,
 }
 
 impl SlowLog {
@@ -34,7 +48,7 @@ impl SlowLog {
 
     /// Offer one finished profile; it is retained only if it ranks among
     /// the `capacity` slowest seen so far.
-    pub fn offer(&self, snap: ProfileSnapshot) {
+    pub fn offer(&self, entry: SlowEntry) {
         if self.capacity == 0 {
             return;
         }
@@ -42,34 +56,47 @@ impl SlowLog {
         if entries.len() == self.capacity
             && entries
                 .last()
-                .is_some_and(|worst| worst.total_ns >= snap.total_ns)
+                .is_some_and(|worst| worst.snapshot.total_ns >= entry.snapshot.total_ns)
         {
             return;
         }
-        let at = entries.partition_point(|e| e.total_ns >= snap.total_ns);
-        entries.insert(at, snap);
+        let at = entries.partition_point(|e| e.snapshot.total_ns >= entry.snapshot.total_ns);
+        entries.insert(at, entry);
         entries.truncate(self.capacity);
     }
 
     /// Current entries, slowest first.
-    pub fn snapshots(&self) -> Vec<ProfileSnapshot> {
+    pub fn entries(&self) -> Vec<SlowEntry> {
         self.entries.lock().expect("slow log lock").clone()
+    }
+
+    /// Current profile snapshots, slowest first.
+    pub fn snapshots(&self) -> Vec<ProfileSnapshot> {
+        self.entries().into_iter().map(|e| e.snapshot).collect()
     }
 
     /// Render the log as deterministic JSON (the `GET /debug/slow` body).
     pub fn render_json(&self) -> String {
-        let entries = self.snapshots();
+        let entries = self.entries();
         let mut out = String::with_capacity(256 + entries.len() * 512);
         let _ = write!(out, "{{\"capacity\": {}", self.capacity);
         out.push_str(", \"slow_queries\": [");
-        for (i, snap) in entries.iter().enumerate() {
+        for (i, entry) in entries.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
             out.push_str("{\"query\": ");
-            write_str(&mut out, &snap.query);
+            write_str(&mut out, &entry.snapshot.query);
+            out.push_str(", \"trace_id\": ");
+            write_str(&mut out, &entry.trace_hex);
+            out.push_str(", \"bucket_le\": ");
+            if entry.bucket_le.is_finite() {
+                let _ = write!(out, "{}", entry.bucket_le);
+            } else {
+                out.push_str("\"+Inf\"");
+            }
             out.push_str(", \"profile\": ");
-            write_profile_json(&mut out, snap);
+            write_profile_json(&mut out, &entry.snapshot);
             out.push('}');
         }
         out.push_str("]}\n");
@@ -82,33 +109,37 @@ mod tests {
     use super::*;
     use precis_obs::QueryProfile;
 
-    fn snap_with_total(query: &str, busy_ns: u64) -> ProfileSnapshot {
+    fn entry_with_total(query: &str, busy_ns: u64) -> SlowEntry {
         let p = QueryProfile::new();
         p.set_query(query);
         p.finish();
         let mut s = p.snapshot();
         s.total_ns = busy_ns;
-        s
+        SlowEntry {
+            snapshot: s,
+            trace_hex: format!("{busy_ns:032x}"),
+            bucket_le: crate::metrics::bucket_le(busy_ns as f64 / 1e9),
+        }
     }
 
     #[test]
     fn keeps_only_the_worst_profiles_sorted() {
         let log = SlowLog::new(2);
-        log.offer(snap_with_total("fast", 10));
-        log.offer(snap_with_total("slow", 1000));
-        log.offer(snap_with_total("medium", 100));
-        log.offer(snap_with_total("fastest", 1));
-        let entries = log.snapshots();
+        log.offer(entry_with_total("fast", 10));
+        log.offer(entry_with_total("slow", 1000));
+        log.offer(entry_with_total("medium", 100));
+        log.offer(entry_with_total("fastest", 1));
+        let entries = log.entries();
         assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].query, "slow");
-        assert_eq!(entries[1].query, "medium");
+        assert_eq!(entries[0].snapshot.query, "slow");
+        assert_eq!(entries[1].snapshot.query, "medium");
     }
 
     #[test]
-    fn renders_parseable_canonical_json() {
+    fn renders_parseable_canonical_json_with_trace_linkage() {
         let log = SlowLog::new(4);
-        log.offer(snap_with_total("woody \"allen\"", 500));
-        log.offer(snap_with_total("comedy", 700));
+        log.offer(entry_with_total("woody \"allen\"", 500));
+        log.offer(entry_with_total("comedy", 700));
         let body = log.render_json();
         let doc = crate::json::parse(&body).expect("slow log body parses");
         let list = match doc.get("slow_queries") {
@@ -117,16 +148,32 @@ mod tests {
         };
         assert_eq!(list.len(), 2);
         assert_eq!(list[0].get("query").unwrap().as_str(), Some("comedy"));
+        assert_eq!(
+            list[0].get("trace_id").unwrap().as_str(),
+            Some(format!("{:032x}", 700).as_str())
+        );
+        assert!(list[0].get("bucket_le").is_some());
         // Canonical-JSON round trip: parse(render(parse(body))) == parse(body).
         let rendered = crate::json::render(&doc);
         assert_eq!(crate::json::parse(&rendered).unwrap(), doc);
     }
 
     #[test]
+    fn infinite_bucket_renders_as_a_string_not_a_bare_inf() {
+        let log = SlowLog::new(1);
+        let mut entry = entry_with_total("glacial", 10_000_000_000);
+        entry.bucket_le = f64::INFINITY;
+        log.offer(entry);
+        let body = log.render_json();
+        assert!(body.contains("\"bucket_le\": \"+Inf\""), "{body}");
+        assert!(crate::json::parse(&body).is_ok());
+    }
+
+    #[test]
     fn zero_capacity_accepts_nothing() {
         let log = SlowLog::new(0);
-        log.offer(snap_with_total("x", 5));
-        assert!(log.snapshots().is_empty());
+        log.offer(entry_with_total("x", 5));
+        assert!(log.entries().is_empty());
         assert!(log.render_json().contains("\"slow_queries\": []"));
     }
 }

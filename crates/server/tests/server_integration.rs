@@ -896,3 +896,289 @@ fn shutdown_endpoint_drains_and_joins() {
         }
     }
 }
+
+/// The echoed wire trace id of a response, from `x-precis-trace-id`.
+fn trace_id_of(head: &str) -> String {
+    head.lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("x-precis-trace-id")
+                .then(|| value.trim().to_owned())
+        })
+        .unwrap_or_else(|| panic!("no x-precis-trace-id in:\n{head}"))
+}
+
+fn get_v1(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+#[test]
+fn shed_deadline_and_slow_requests_leave_retrievable_traces() {
+    let db = MoviesGenerator::new(MoviesConfig {
+        movies: 200,
+        directors: 20,
+        actors: 100,
+        theatres: 4,
+        plays: 400,
+        seed: 0x5E21,
+        ..MoviesConfig::default()
+    })
+    .generate();
+    let mut engine = PrecisEngine::new(db, movies_graph()).expect("engine builds");
+    // Calibrated absurdly high so a priced query with a tight deadline is
+    // shed at admission; queries without a deadline still run.
+    engine.set_cost_model(CostModel::new(10.0, 10.0));
+    let handle = Server::start(
+        Arc::new(engine),
+        None,
+        ServerConfig {
+            default_deadline: None,
+            // Zero slow threshold: every completed request counts as slow,
+            // so the success leg is deterministically retained.
+            telemetry: Some(precis_obs::TelemetryConfig {
+                slow_interactive: Duration::ZERO,
+                slow_batch: Duration::ZERO,
+                ..precis_obs::TelemetryConfig::default()
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // Leg 1: a predicted-cost shed (429) must echo a trace id, embed it in
+    // the envelope, and leave a retained trace holding the shed decision.
+    let (status, head, body) = post_query_v1(addr, r#"{"tokens": "comedy", "deadline_ms": 50}"#);
+    assert_eq!(status, 429, "{body}");
+    let shed_id = trace_id_of(&head);
+    assert!(
+        body.contains(&format!("\"trace_id\": \"{shed_id}\"")),
+        "429 envelope must embed its trace id: {body}"
+    );
+
+    // Leg 2: a successful query over the zero slow threshold. (The 504 leg
+    // lives in `traceparent_round_trips...`: under this absurd cost model a
+    // zero deadline is shed at admission before it can expire.)
+    let (status, head, _body) = post_query_v1(addr, r#"{"tokens": "comedy"}"#);
+    assert_eq!(status, 200);
+    let slow_id = trace_id_of(&head);
+
+    // Each trace is retrievable by its echoed id, carries the scheduler's
+    // decision record, and names why it was retained.
+    let (status, _, detail) = get_v1(addr, &format!("/v1/debug/traces/{shed_id}"));
+    assert_eq!(status, 200, "{detail}");
+    let doc = json::parse(&detail).expect("shed trace parses");
+    assert_eq!(doc.get("status").and_then(|s| s.as_f64()), Some(429.0));
+    assert!(detail.contains("\"shed\""), "{detail}");
+    assert!(detail.contains("\"reason\": \"deadline\""), "{detail}");
+    assert!(detail.contains("\"predicted_ms\""), "{detail}");
+
+    let (status, _, detail) = get_v1(addr, &format!("/v1/debug/traces/{slow_id}"));
+    assert_eq!(status, 200, "{detail}");
+    let doc = json::parse(&detail).expect("slow trace parses");
+    assert_eq!(doc.get("status").and_then(|s| s.as_f64()), Some(200.0));
+    assert!(detail.contains("\"slow\""), "{detail}");
+    // The profile rides along: measured phase times next to the cost
+    // model's predictions.
+    assert!(detail.contains("\"phases\""), "{detail}");
+    assert!(detail.contains("\"predicted_total_ms\""), "{detail}");
+    assert!(detail.contains("\"measured_ms\""), "{detail}");
+    // And the span tree covers admission through execution.
+    assert!(detail.contains("\"spans\": ["), "{detail}");
+    assert!(detail.contains("sched.admit"), "{detail}");
+    assert!(detail.contains("sched.execute"), "{detail}");
+    assert!(detail.contains("engine.answer"), "{detail}");
+
+    // The list view filters by outcome and carries the exemplar bucket.
+    let (status, _, list) = get_v1(addr, "/v1/debug/traces?outcome=shed");
+    assert_eq!(status, 200);
+    let doc = json::parse(&list).expect("list parses");
+    assert!(
+        doc.get("count").and_then(|c| c.as_f64()).unwrap_or(0.0) >= 1.0,
+        "{list}"
+    );
+    assert!(list.contains(&shed_id), "{list}");
+    assert!(!list.contains(&slow_id), "outcome filter leaked: {list}");
+    assert!(list.contains("\"bucket_le\""), "{list}");
+
+    // Chrome export of the slow trace is a trace_event document.
+    let (status, _, chrome) = get_v1(addr, &format!("/v1/debug/traces/{slow_id}?format=chrome"));
+    assert_eq!(status, 200);
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+
+    // An unknown id is a structured 404.
+    let (status, _, missing) = get_v1(addr, &format!("/v1/debug/traces/{}", "0".repeat(32)));
+    assert_eq!(status, 404, "{missing}");
+    assert!(
+        missing.contains("\"code\": \"trace_not_found\""),
+        "{missing}"
+    );
+
+    // The trace metric families are exposed.
+    let (_, _, metrics) = get_v1(addr, "/v1/metrics");
+    assert!(
+        metrics.contains("precis_trace_retained_total"),
+        "missing trace families"
+    );
+    assert!(
+        metrics.contains("precis_slo_burn_rate"),
+        "missing slo families"
+    );
+    handle.join();
+}
+
+#[test]
+fn traceparent_round_trips_and_healthz_body_stays_exact() {
+    let handle =
+        Server::start(test_engine(), None, ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    // An incoming W3C traceparent is adopted: the response echoes the same
+    // 128-bit id and a traceparent naming this server's span as parent.
+    let incoming = "00-0123456789abcdef0123456789abcdef-00000000000000aa-01";
+    let body = r#"{"tokens": "comedy"}"#;
+    let (status, head, _body) = roundtrip(
+        addr,
+        &format!(
+            "POST /v1/query HTTP/1.1\r\nHost: t\r\ntraceparent: {incoming}\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(trace_id_of(&head), "0123456789abcdef0123456789abcdef");
+    assert!(
+        head.contains("traceparent: 00-0123456789abcdef0123456789abcdef-"),
+        "{head}"
+    );
+
+    // A malformed traceparent (zero trace id) is rejected: a fresh id is
+    // minted instead of propagating the invalid one.
+    let zero = format!("00-{}-00000000000000aa-01", "0".repeat(32));
+    let (status, head, _body) = roundtrip(
+        addr,
+        &format!(
+            "POST /v1/query HTTP/1.1\r\nHost: t\r\ntraceparent: {zero}\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(status, 200);
+    assert_ne!(trace_id_of(&head), "0".repeat(32));
+
+    // Two bare requests mint distinct ids.
+    let (_, head_a, _) = post_query_v1(addr, body);
+    let (_, head_b, _) = post_query_v1(addr, body);
+    assert_ne!(trace_id_of(&head_a), trace_id_of(&head_b));
+
+    // Telemetry must not perturb response bodies: the health probe is still
+    // byte-exactly "ok\n" (integration contracts and CI grep for it). Check
+    // before the 504 below — one bad request against four is a fast burn of
+    // the availability budget, which legitimately degrades health.
+    let (status, _, health) = get_v1(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health, "ok\n");
+
+    // An expired deadline (504) is an error outcome: its envelope embeds
+    // the echoed id and the tail sampler retains the trace.
+    let (status, head, late_body) =
+        post_query_v1(addr, r#"{"tokens": "comedy", "deadline_ms": 0}"#);
+    assert_eq!(status, 504, "{late_body}");
+    let late_id = trace_id_of(&head);
+    assert!(
+        late_body.contains(&format!("\"trace_id\": \"{late_id}\"")),
+        "504 envelope must embed its trace id: {late_body}"
+    );
+    let (status, _, detail) = get_v1(addr, &format!("/v1/debug/traces/{late_id}"));
+    assert_eq!(status, 200, "{detail}");
+    let doc = json::parse(&detail).expect("504 trace parses");
+    assert_eq!(doc.get("status").and_then(|s| s.as_f64()), Some(504.0));
+    assert!(detail.contains("\"error\""), "{detail}");
+    assert!(detail.contains("\"sched\""), "{detail}");
+
+    // After the 504, health degrades (still 200 — the process is up) and
+    // names the burning objective.
+    let (status, _, health) = get_v1(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+    assert!(health.starts_with("degraded: fast burn on "), "{health}");
+    assert!(health.contains("availability_99_9"), "{health}");
+
+    // The SLO surface parses and names the default objectives.
+    let (status, _, slo) = get_v1(addr, "/v1/debug/slo");
+    assert_eq!(status, 200, "{slo}");
+    let doc = json::parse(&slo).expect("slo body parses");
+    assert!(doc.get("slos").is_some(), "{slo}");
+    assert!(slo.contains("interactive_p99_25ms"), "{slo}");
+    assert!(slo.contains("availability_99_9"), "{slo}");
+    assert!(slo.contains("\"burn_rate\""), "{slo}");
+    handle.join();
+}
+
+/// This host's non-loopback self address, if one exists: route a UDP socket
+/// at a TEST-NET address (no packets are sent) and read the chosen source
+/// IP. Lets a test connect to its own server with a non-loopback peer.
+fn non_loopback_self(port: u16) -> Option<SocketAddr> {
+    let probe = std::net::UdpSocket::bind("0.0.0.0:0").ok()?;
+    probe.connect("192.0.2.1:9").ok()?;
+    let ip = probe.local_addr().ok()?.ip();
+    (!ip.is_loopback()).then(|| SocketAddr::new(ip, port))
+}
+
+#[test]
+fn every_loopback_only_endpoint_refuses_remote_peers_with_the_envelope() {
+    let handle = Server::start(
+        test_engine(),
+        None,
+        ServerConfig {
+            addr: "0.0.0.0:0".to_owned(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let Some(remote) = non_loopback_self(handle.local_addr().port()) else {
+        // No non-loopback interface (unusual CI sandbox): nothing to test.
+        handle.trigger_shutdown();
+        handle.join();
+        return;
+    };
+
+    // The full loopback-only surface, versioned and legacy: every refusal
+    // is the structured envelope with a trace id, never a bare 403.
+    let paths = [
+        ("GET", "/v1/debug/slow"),
+        ("GET", "/debug/slow"),
+        ("GET", "/v1/debug/traces"),
+        ("GET", "/debug/traces"),
+        (
+            "GET",
+            &format!("/v1/debug/traces/{}", "a".repeat(32)) as &str,
+        ),
+        ("GET", "/v1/debug/slo"),
+        ("GET", "/debug/slo"),
+        ("POST", "/v1/mutate"),
+        ("POST", "/mutate"),
+        ("POST", "/shutdown"),
+    ];
+    for (method, path) in paths {
+        let (status, head, body) = roundtrip(
+            remote,
+            &format!("{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"),
+        );
+        assert_eq!(status, 403, "{method} {path}: {body}");
+        assert!(
+            body.contains("\"code\": \"forbidden\""),
+            "{method} {path} refusal is not the envelope: {body}"
+        );
+        assert!(
+            body.contains("\"trace_id\""),
+            "{method} {path} refusal lacks a trace id: {body}"
+        );
+        let _ = trace_id_of(&head);
+    }
+
+    // The public surface still answers the remote peer.
+    let (status, _, body) = roundtrip(remote, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    handle.trigger_shutdown();
+    handle.join();
+}

@@ -17,6 +17,12 @@
 //! * **Ring wrap** — overflowing the bounded ring drops the *oldest* spans
 //!   and counts them; a traced query straight after a wrap still works and
 //!   nothing panics.
+//! * **Always-on sampling invariance** — a server with telemetry enabled
+//!   (every request traced, tail-sampled, SLO-counted) answers a default
+//!   query with a body byte-identical to a telemetry-disabled server's,
+//!   while echoing a trace id header the disabled server must not; and
+//!   once the telemetry server is gone the tracer is disarmed again with a
+//!   per-span-site cost that stays within a generous CI bound.
 
 use crate::gen::{mix_seed, CaseSpec};
 use crate::oracle::build_dataset;
@@ -201,6 +207,117 @@ fn ring_wrap_check(
     });
 }
 
+/// One raw HTTP/1.1 exchange returning the full response text (status line,
+/// headers, and body) — the sampling check needs to see headers, which
+/// [`crate::oracle::http_request`] strips.
+fn raw_http(addr: std::net::SocketAddr, body: &str) -> std::io::Result<String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10)))?;
+    let req = format!(
+        "POST /v1/query HTTP/1.1\r\nHost: testkit\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response)
+}
+
+/// Always-on sampling must be invisible in response bodies: a
+/// telemetry-enabled server (tracer armed, every request captured and
+/// tail-sampled) answers byte-identically to a telemetry-disabled one,
+/// differing only in the echoed trace headers. Afterwards the tracer must
+/// be disarmed again, and one disarmed span site must cost no more than a
+/// generous CI-tolerant bound.
+fn always_on_sampling_check(report: &mut ObsReport) {
+    use precis_datagen::{movies_graph, movies_vocabulary, woody_allen_instance};
+    use precis_server::{Server, ServerConfig};
+
+    let db = woody_allen_instance();
+    let vocab = movies_vocabulary(db.schema());
+    let engine = Arc::new(PrecisEngine::new(db, movies_graph()).expect("demo engine"));
+    let config = |telemetry| ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_capacity: 16,
+        default_deadline: None,
+        io_timeout: Some(std::time::Duration::from_secs(5)),
+        telemetry,
+        ..ServerConfig::default()
+    };
+    let plain = Server::start(Arc::clone(&engine), Some(vocab.clone()), config(None))
+        .expect("telemetry-off server starts");
+    let sampled = Server::start(
+        Arc::clone(&engine),
+        Some(vocab),
+        config(Some(precis_obs::TelemetryConfig::default())),
+    )
+    .expect("telemetry-on server starts");
+
+    let body = r#"{"tokens": "woody comedy"}"#;
+    for _ in 0..3 {
+        let off = raw_http(plain.local_addr(), body);
+        let on = raw_http(sampled.local_addr(), body);
+        let (off, on) = match (off, on) {
+            (Ok(a), Ok(b)) => (a, b),
+            (a, b) => {
+                report.check(false, || {
+                    format!("sampling check request failed: {a:?} {b:?}")
+                });
+                break;
+            }
+        };
+        let split = |r: &str| {
+            r.split_once("\r\n\r\n")
+                .map(|(h, b)| (h.to_owned(), b.to_owned()))
+                .unwrap_or_default()
+        };
+        let (off_head, off_body) = split(&off);
+        let (on_head, on_body) = split(&on);
+        report.check(off_body == on_body, || {
+            format!(
+                "always-on sampling changed the response body:\noff: {off_body}\non:  {on_body}"
+            )
+        });
+        let on_head_lower = on_head.to_ascii_lowercase();
+        report.check(on_head_lower.contains("x-precis-trace-id:"), || {
+            format!("telemetry-on response is missing x-precis-trace-id:\n{on_head}")
+        });
+        report.check(on_head_lower.contains("traceparent:"), || {
+            format!("telemetry-on response is missing traceparent:\n{on_head}")
+        });
+        report.check(
+            !off_head.to_ascii_lowercase().contains("x-precis-trace-id:"),
+            || format!("telemetry-off response echoes a trace id:\n{off_head}"),
+        );
+    }
+    plain.trigger_shutdown();
+    sampled.trigger_shutdown();
+    plain.wait();
+    sampled.wait();
+
+    // The telemetry server held the only arm guard: gone with it.
+    report.check(!precis_obs::armed(), || {
+        "tracer still armed after the telemetry server shut down".to_owned()
+    });
+
+    // Re-measure the disarmed fast path. The real cost is a single relaxed
+    // atomic load (~1 ns); the bound is deliberately generous so shared CI
+    // runners never flake, while still catching an accidentally always-armed
+    // span site (two orders of magnitude slower).
+    let iters: u32 = 2_000_000;
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        let _s = precis_obs::span("obs.disarmed_site");
+    }
+    let per_site_ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    report.check(per_site_ns < 250.0, || {
+        format!("disarmed span site costs {per_site_ns:.1} ns, over the 250 ns CI bound")
+    });
+}
+
 /// Run the observability suite over `cases` seeded cases derived from
 /// `seed` (the same derivation as the oracle, so any failure names a case
 /// reproducible via `CaseSpec::generate(mix_seed(seed, index))`).
@@ -243,6 +360,7 @@ pub fn run_obs_suite(seed: u64, cases: usize) -> ObsReport {
             wrap_checked = true;
         }
     }
+    always_on_sampling_check(&mut report);
     report
 }
 
